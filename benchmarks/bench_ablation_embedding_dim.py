@@ -1,0 +1,68 @@
+"""Ablation: embedding dimensionality vs interpreter accuracy and training cost.
+
+The word2vec interpretation method relies on the review-trained embeddings;
+this ablation sweeps the PPMI-SVD dimension and measures (a) how accurately
+query predicates map to their gold attributes using phrase similarity over
+the raw phrase banks and (b) embedding training time.
+"""
+
+import time
+
+from benchmarks.conftest import print_result
+from repro.datasets.hotels import generate_hotel_corpus
+from repro.datasets.phrasebanks import hotel_domain_spec
+from repro.datasets.queries import hotel_predicate_bank
+from repro.experiments.common import ExperimentTable
+from repro.text.embeddings import PhraseEmbedder, PpmiSvdEmbeddings
+from repro.text.idf import DocumentFrequencies
+from repro.text.tokenize import tokenize
+
+
+def run_embedding_dim_ablation(dimensions=(8, 24, 48, 96), num_entities=30,
+                               reviews_per_entity=15, max_predicates=80):
+    corpus = generate_hotel_corpus(num_entities, reviews_per_entity, seed=4)
+    texts = [review.text for review in corpus.reviews]
+    frequencies = DocumentFrequencies()
+    frequencies.add_corpus([tokenize(text) for text in texts])
+    spec = hotel_domain_spec()
+    # Reference phrases: one representative positive phrase per attribute.
+    references = {
+        aspect.attribute: f"{aspect.opinion_levels[4][0]} {aspect.aspect_terms[0]}"
+        for aspect in spec.aspects
+    }
+    bank = [p for p in hotel_predicate_bank() if p.in_schema][:max_predicates]
+    rows = []
+    for dimension in dimensions:
+        start = time.perf_counter()
+        embeddings = PpmiSvdEmbeddings(dimension=dimension, min_count=2).fit(texts)
+        train_seconds = time.perf_counter() - start
+        embedder = PhraseEmbedder(embeddings, frequencies)
+        correct = 0
+        for predicate in bank:
+            best_attribute, best_similarity = None, -1.0
+            for attribute, reference in references.items():
+                similarity = embedder.similarity(predicate.text, reference)
+                if similarity > best_similarity:
+                    best_attribute, best_similarity = attribute, similarity
+            if best_attribute in predicate.attributes:
+                correct += 1
+        rows.append((dimension, correct / len(bank), train_seconds))
+    return rows
+
+
+def test_ablation_embedding_dimension(benchmark):
+    rows = benchmark.pedantic(run_embedding_dim_ablation, rounds=1, iterations=1)
+    table = ExperimentTable(
+        "Ablation: embedding dimension vs predicate→attribute matching accuracy",
+        ["Dimension", "Accuracy", "Training time (s)"],
+    )
+    for dimension, accuracy, seconds in rows:
+        table.add_row(dimension, round(accuracy, 3), round(seconds, 3))
+    print_result(table.format())
+    accuracies = {dimension: accuracy for dimension, accuracy, _seconds in rows}
+    # Every dimensionality carries usable signal; the spread between the best
+    # and worst configuration is bounded (on review-scale corpora the
+    # count-based embeddings saturate early and extra dimensions mostly add
+    # noise, which is why the library defaults to a mid-size dimension).
+    assert all(value > 0.3 for value in accuracies.values())
+    assert max(accuracies.values()) - min(accuracies.values()) < 0.45

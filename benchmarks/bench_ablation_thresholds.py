@@ -1,0 +1,53 @@
+"""Ablation: interpreter fallback threshold θ1 vs interpretation accuracy.
+
+Figure 5's fallback threshold decides when the word2vec interpretation is
+trusted; this ablation sweeps θ1 and reports how often each interpretation
+method is chosen and the resulting attribute accuracy on the hotel predicate
+bank.
+"""
+
+from benchmarks.conftest import print_result
+from repro.core.interpreter import InterpretationMethod, SubjectiveQueryInterpreter
+from repro.experiments.common import ExperimentTable
+
+
+def run_threshold_ablation(setup, thresholds=(0.3, 0.5, 0.7, 0.9), max_predicates=120):
+    bank = setup.predicate_bank[:max_predicates]
+    rows = []
+    for threshold in thresholds:
+        interpreter = SubjectiveQueryInterpreter(setup.database, w2v_threshold=threshold)
+        correct = 0
+        used = {method: 0 for method in InterpretationMethod}
+        for predicate in bank:
+            interpretation = interpreter.interpret(predicate.text)
+            used[interpretation.method] += 1
+            if interpretation.top_attribute in predicate.attributes:
+                correct += 1
+        rows.append(
+            (threshold, correct / len(bank),
+             used[InterpretationMethod.WORD2VEC],
+             used[InterpretationMethod.COOCCURRENCE],
+             used[InterpretationMethod.TEXT_RETRIEVAL])
+        )
+    return rows
+
+
+def test_ablation_fallback_thresholds(benchmark, hotel_setup_bench):
+    rows = benchmark.pedantic(
+        run_threshold_ablation, args=(hotel_setup_bench,), rounds=1, iterations=1
+    )
+    table = ExperimentTable(
+        "Ablation: w2v fallback threshold θ1 vs interpretation accuracy (hotel bank)",
+        ["θ1", "Accuracy", "#w2v", "#co-occur", "#text-retrieval"],
+    )
+    for threshold, accuracy, n_w2v, n_cooccur, n_ir in rows:
+        table.add_row(threshold, round(accuracy, 3), n_w2v, n_cooccur, n_ir)
+    print_result(table.format())
+    accuracies = {threshold: accuracy for threshold, accuracy, *_rest in rows}
+    usage = {threshold: w2v for threshold, _accuracy, w2v, *_rest in rows}
+    # Raising θ1 pushes more predicates to the fallback methods (monotone
+    # non-increasing w2v usage) while accuracy stays reasonable at moderate
+    # thresholds.
+    thresholds = sorted(usage)
+    assert all(usage[a] >= usage[b] for a, b in zip(thresholds, thresholds[1:]))
+    assert accuracies[0.5] > 0.7

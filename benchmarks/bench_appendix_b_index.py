@@ -1,0 +1,22 @@
+"""Benchmark for Appendix B — the single-substitution index for w2v interpretation."""
+
+from benchmarks.conftest import print_result
+from repro.experiments.exp_appendix_b_index import (
+    format_index_experiment,
+    run_index_experiment,
+)
+
+
+def test_appendix_b_substitution_index(benchmark, hotel_setup_bench):
+    result = benchmark.pedantic(
+        run_index_experiment,
+        kwargs={"setup": hotel_setup_bench, "max_predicates": 150},
+        rounds=1, iterations=1,
+    )
+    print_result(format_index_experiment(result))
+    # Appendix B's shape: a substantial fraction of predicate lookups avoid
+    # the full similarity search, and the indexed path agrees with the
+    # brute-force path on the vast majority of predicates.
+    assert result.fast_hit_rate > 0.1
+    assert result.agreement > 0.8
+    assert result.indexed_seconds < result.brute_force_seconds

@@ -1,0 +1,22 @@
+"""Benchmark for Appendix C — rule-based vs supervised pairing."""
+
+from benchmarks.conftest import print_result
+from repro.experiments.exp_appendix_c_pairing import (
+    format_pairing_experiment,
+    run_pairing_experiment,
+)
+
+
+def test_appendix_c_pairing_models(benchmark):
+    result = benchmark.pedantic(
+        run_pairing_experiment,
+        kwargs={"num_sentences": 600, "num_labelled_pairs": 1000, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print_result(format_pairing_experiment(result))
+    # Appendix C's shape: the supervised classifier reaches ~84% accuracy on
+    # labelled candidate pairs and the simple rule-based pairer achieves
+    # comparable pairing quality (which is why the pipeline defaults to it).
+    assert result.supervised_accuracy > 0.7
+    assert result.rule_based_f1 > 0.7
+    assert abs(result.rule_based_f1 - result.supervised_f1) < 0.25

@@ -1,0 +1,24 @@
+"""Benchmark for Figure 7 / Appendix A — fuzzy combination vs hard thresholds."""
+
+from benchmarks.conftest import print_result
+from repro.experiments.exp_fig7_fuzzy import format_fuzzy_comparison, run_fuzzy_comparison
+
+
+def test_fig7_fuzzy_vs_hard_constraints(benchmark):
+    result = benchmark(
+        run_fuzzy_comparison,
+        fuzzy_score_threshold=0.06,
+        hard_thresholds=(0.2, 0.3),
+        num_entities=5000,
+        seed=0,
+    )
+    print_result(format_fuzzy_comparison(result))
+    # Figure 7's message: the fuzzy acceptance region strictly contains
+    # entities the hard thresholds reject (the shaded area), so hard
+    # constraints lose relevant results.
+    assert result.accepted_fuzzy > result.accepted_hard
+    assert result.missed_by_hard > 0
+    assert result.missed_fraction > 0.05
+    # Boundary curves: once A2 clears its hard threshold, the fuzzy rule
+    # accepts strictly smaller A1 degrees than the hard rule for large A2.
+    assert result.fuzzy_boundary[-1] < result.hard_boundary[-1]

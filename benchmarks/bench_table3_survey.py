@@ -1,0 +1,18 @@
+"""Benchmark for Table 3 — share of subjective criteria per domain."""
+
+from benchmarks.conftest import print_result
+from repro.experiments.exp_table3_survey import (
+    format_survey_experiment,
+    run_survey_experiment,
+)
+
+
+def test_table3_survey(benchmark):
+    result = benchmark(run_survey_experiment, num_workers=30, criteria_per_worker=7, seed=0)
+    print_result(format_survey_experiment(result))
+    percentages = {r.domain: r.percent_subjective for r in result.results}
+    # Paper's Table 3: every domain is majority-subjective, vacation the most
+    # subjective, cars the least.
+    assert all(value > 50.0 for value in percentages.values())
+    assert percentages["Vacation"] == max(percentages.values())
+    assert percentages["Car"] == min(percentages.values())

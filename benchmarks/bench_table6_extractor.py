@@ -1,0 +1,34 @@
+"""Benchmark for Table 6 — opinion-extractor quality on four ABSA datasets."""
+
+from benchmarks.conftest import print_result
+from repro.experiments.exp_table6_extractor import (
+    format_extractor_experiment,
+    run_extractor_experiment,
+)
+
+
+def test_table6_extractor_quality(benchmark):
+    result = benchmark.pedantic(
+        run_extractor_experiment,
+        kwargs={"repeats": 2, "scale": 0.15, "epochs": 4, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print_result(format_extractor_experiment(result))
+    datasets = sorted({score.dataset for score in result.scores})
+    assert len(datasets) == 4
+    # Paper's Table 6 shape: our model beats the previous-SOTA stand-in on
+    # every dataset.
+    for dataset in datasets:
+        assert result.f1(dataset, "ours") > result.f1(dataset, "baseline")
+    # The gap is largest on the smallest (hotel) dataset, the transfer-learning
+    # argument of Section 5.4.1.
+    gaps = {
+        dataset: result.f1(dataset, "ours") - result.f1(dataset, "baseline")
+        for dataset in datasets
+    }
+    assert gaps["booking_hotel"] >= max(
+        gap for dataset, gap in gaps.items() if dataset != "booking_hotel"
+    ) - 0.05
+    # Robustness: training on 20% of the hotel sentences stays usable.
+    assert result.small_train_f1 is not None
+    assert result.small_train_f1 > 0.5

@@ -1,0 +1,44 @@
+"""Benchmark for Table 7 — marker summaries vs raw-extraction processing.
+
+Runs on the dense hotel setup (many reviews per entity), which is the regime
+where the paper's 3.3×–6.6× speedups arise: the marker-based membership
+functions read only the per-entity summaries while the marker-free variant
+scans every extracted phrase of the entity at query time.
+"""
+
+from benchmarks.conftest import print_result
+from repro.experiments.exp_table7_markers import (
+    format_marker_experiment,
+    run_marker_experiment,
+)
+
+
+def test_table7_markers_vs_no_markers(benchmark, hotel_setup_dense):
+    result = benchmark.pedantic(
+        run_marker_experiment,
+        kwargs={
+            "domains": ("hotels",),
+            "setups": {"hotels": hotel_setup_dense},
+            "num_markers": 10,
+            "queries_per_set": 15,
+            "membership_examples": 1000,
+        },
+        rounds=1, iterations=1,
+    )
+    print_result(format_marker_experiment(result))
+    total_with = total_without = 0.0
+    for option in ("london_under_300", "amsterdam"):
+        with_markers = result.row(option, "10-mkrs")
+        without = result.row(option, "no-mkrs")
+        total_with += with_markers.runtime_seconds
+        total_without += without.runtime_seconds
+        # Per-option timings are noisy at this scale; require only that the
+        # marker-based variant is not substantially slower anywhere...
+        assert result.speedup(option) > 0.8
+        # ...while result quality and membership accuracy stay comparable.
+        assert with_markers.ndcg_at_10 > without.ndcg_at_10 - 0.15
+        assert with_markers.lr_accuracy > without.lr_accuracy - 0.15
+        assert 0.4 <= with_markers.lr_accuracy <= 1.0
+    # Shape of Table 7: over the whole workload, marker summaries accelerate
+    # query processing (the factor grows with reviews per entity).
+    assert total_without > total_with

@@ -1,0 +1,63 @@
+"""Quickstart: build a subjective database and ask it experiential questions.
+
+Runs the full OpineDB pipeline on a small synthetic hotel corpus:
+
+1. generate reviews with known ground truth,
+2. train the opinion extractor and build the subjective database
+   (extraction → attribute classification → marker discovery → aggregation),
+3. run subjective SQL mixing objective filters and natural-language
+   predicates, and
+4. print the ranked answers with their interpretations and review evidence.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import SubjectiveQueryProcessor
+from repro.datasets import generate_hotel_corpus, hotel_seed_sets
+from repro.experiments.common import build_subjective_database
+
+
+def main() -> None:
+    print("Generating a synthetic hotel corpus (30 hotels)...")
+    corpus = generate_hotel_corpus(num_entities=30, reviews_per_entity=15, seed=0)
+    print(f"  {len(corpus.entities)} hotels, {corpus.num_reviews} reviews")
+
+    print("Building the subjective database (extraction + markers + summaries)...")
+    database = build_subjective_database(corpus, hotel_seed_sets(), seed=0)
+    print(f"  {database.num_extractions()} opinions extracted")
+    print("  subjective schema:")
+    print("    " + database.schema.describe().replace("\n", "\n    "))
+
+    processor = SubjectiveQueryProcessor(database)
+    sql = (
+        "select * from Entities "
+        "where city = 'london' and price_pn < 400 "
+        'and "has really clean rooms" and "friendly staff" limit 5'
+    )
+    print("\nQuery:\n  " + sql)
+    result = processor.execute(sql)
+
+    print("\nInterpretations:")
+    for predicate, interpretation in result.interpretations.items():
+        pairs = ", ".join(str(pair) for pair in interpretation.pairs) or "(text retrieval)"
+        print(f"  {predicate!r} -> {pairs}  [{interpretation.method.value}]")
+
+    print("\nTop hotels:")
+    for entity in result:
+        truth = corpus.quality(entity.entity_id, "room_cleanliness")
+        print(
+            f"  {entity.entity_id}  score={entity.score:.3f}  "
+            f"price={entity.row['price_pn']:.0f}  "
+            f"(latent cleanliness={truth:.2f})"
+        )
+
+    top = result.entity_ids[0]
+    print(f"\nWhy {top}? Evidence from its reviews:")
+    for line in processor.explain(result, top, limit=2)[:6]:
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

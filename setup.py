@@ -1,0 +1,4 @@
+"""Setuptools shim so editable installs work in offline environments without the wheel package."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""repro — a reproduction of "Subjective Databases" (OpineDB, VLDB 2019).
+
+The package implements the paper's subjective data model (linguistic
+domains, markers, marker summaries), its query language and processor
+(predicate interpretation, fuzzy combination, membership functions), the
+construction pipeline (opinion extraction, attribute classification, marker
+discovery, aggregation), the baselines of the evaluation, and synthetic
+datasets plus an experiment harness that regenerates every table and figure
+of the paper's evaluation section.
+
+Quick start::
+
+    from repro.datasets import generate_hotel_corpus, hotel_seed_sets
+    from repro.experiments.common import build_subjective_database
+    from repro.core import SubjectiveQueryProcessor
+
+    corpus = generate_hotel_corpus(num_entities=20, reviews_per_entity=15)
+    database = build_subjective_database(corpus, hotel_seed_sets())
+    processor = SubjectiveQueryProcessor(database)
+    result = processor.execute(
+        'select * from Entities where price_pn < 300 and "has really clean rooms" limit 5'
+    )
+    for entity in result:
+        print(entity.entity_id, round(entity.score, 3))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,15 @@
+"""Baselines OpineDB is compared against in Section 5.3.
+
+* :class:`IrEntityRanker` — the GZ12 opinion-based entity ranking baseline:
+  Okapi BM25 over each entity's concatenated reviews, with optional query
+  expansion and several predicate-combination modes.
+* :class:`AttributeBaseline` — the attribute-based (AB) baseline modelling
+  what a user of booking.com / yelp.com can achieve by ranking and filtering
+  on the queryable attributes exposed by those sites (ByPrice, ByRating,
+  1-Attribute, 2-Attribute).
+"""
+
+from repro.baselines.ir_baseline import IrEntityRanker
+from repro.baselines.attribute_baseline import AttributeBaseline, ScrapedAttributes
+
+__all__ = ["IrEntityRanker", "AttributeBaseline", "ScrapedAttributes"]

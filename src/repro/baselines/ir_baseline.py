@@ -1,0 +1,104 @@
+"""The GZ12 IR baseline: opinion-based entity ranking (Ganesan & Zhai, 2012).
+
+Following [17], each entity is represented by a single document that
+concatenates all its reviews; entities are ranked for a subjective query by
+their Okapi BM25 score.  As in the paper's re-implementation, the baseline is
+strengthened with (a) embedding-based query expansion and (b) a choice of
+methods for combining multiple query predicates (sum of per-predicate scores
+or score of the concatenated query).
+
+The baseline's characteristic weakness — it rewards any review that contains
+the query keywords even when the surrounding sentence is negative ("not
+clean", "never quiet") — is what the Table 5 and Figure 8 experiments
+surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.core.database import SubjectiveDatabase
+from repro.text.bm25 import Bm25Index
+from repro.text.embeddings import WordEmbeddings
+from repro.text.tokenize import tokenize
+
+
+@dataclass
+class IrEntityRanker:
+    """BM25 entity ranking over concatenated review documents.
+
+    Parameters
+    ----------
+    database:
+        The subjective database providing entities and reviews (only the raw
+        text is used — marker summaries are never touched).
+    embeddings:
+        Optional word embeddings for query expansion; each query token is
+        expanded with up to ``expansions_per_term`` near neighbours.
+    combine:
+        ``"sum"`` (default) sums the BM25 scores of the individual query
+        predicates; ``"concat"`` scores the concatenation of all predicates
+        as a single query.
+    """
+
+    database: SubjectiveDatabase
+    embeddings: WordEmbeddings | None = None
+    combine: str = "sum"
+    expansions_per_term: int = 2
+    expansion_threshold: float = 0.55
+
+    _index: Bm25Index | None = field(default=None, init=False, repr=False)
+
+    def _ensure_index(self) -> Bm25Index:
+        if self._index is None:
+            index = Bm25Index()
+            for entity in self.database.entities():
+                index.add_document(
+                    entity.entity_id, self.database.entity_document(entity.entity_id)
+                )
+            self._index = index
+        return self._index
+
+    def expand_query(self, predicate: str) -> str:
+        """Append embedding near-neighbours of each content word to the query."""
+        if self.embeddings is None:
+            return predicate
+        tokens = tokenize(predicate)
+        expanded = list(tokens)
+        for token in tokens:
+            expanded.extend(
+                self.embeddings.expand(
+                    token,
+                    top_n=self.expansions_per_term,
+                    threshold=self.expansion_threshold,
+                )
+            )
+        return " ".join(expanded)
+
+    def score(self, entity_id: Hashable, predicates: Sequence[str]) -> float:
+        """Combined BM25 relevance of one entity for the query predicates."""
+        index = self._ensure_index()
+        if self.combine == "concat":
+            query = " ".join(self.expand_query(predicate) for predicate in predicates)
+            return index.score(entity_id, query)
+        return sum(
+            index.score(entity_id, self.expand_query(predicate))
+            for predicate in predicates
+        )
+
+    def rank(
+        self,
+        predicates: Sequence[str],
+        candidates: Sequence[Hashable] | None = None,
+        top_k: int = 10,
+    ) -> list[tuple[Hashable, float]]:
+        """Rank candidate entities (all entities by default) for the predicates."""
+        self._ensure_index()
+        if candidates is None:
+            candidates = self.database.entity_ids()
+        scored = [
+            (entity_id, self.score(entity_id, predicates)) for entity_id in candidates
+        ]
+        scored.sort(key=lambda item: (-item[1], str(item[0])))
+        return scored[:top_k]

@@ -1,0 +1,69 @@
+"""Core of the reproduction: the subjective data model and query processor.
+
+This package contains the paper's primary contribution:
+
+* the data model — linguistic domains, markers and marker summaries
+  (Section 2), subjective attributes and subjective schemas;
+* fuzzy-logic combination of degrees of truth (Section 3.1);
+* membership functions turning marker summaries into degrees of truth
+  (Section 3.3);
+* the subjective query interpreter with its word2vec, co-occurrence and
+  text-retrieval methods (Section 3.2, Figure 5);
+* the subjective query processor tying everything together (Figure 4);
+* the :class:`SubjectiveDatabase` container that holds entities, reviews,
+  extractions, marker summaries, and the supporting indexes.
+"""
+
+from repro.core.domain import LinguisticDomain
+from repro.core.markers import Marker, MarkerSummary, SummaryKind
+from repro.core.attributes import (
+    ObjectiveAttribute,
+    SubjectiveAttribute,
+    SubjectiveSchema,
+)
+from repro.core.fuzzy import FuzzyLogic, ProductLogic, ZadehLogic, hard_threshold_filter
+from repro.core.membership import (
+    HeuristicMembership,
+    LearnedMembership,
+    MembershipFunction,
+    RawExtractionMembership,
+    summary_feature_vector,
+)
+from repro.core.interpreter import (
+    AttributeMarker,
+    Interpretation,
+    InterpretationMethod,
+    SubjectiveQueryInterpreter,
+)
+from repro.core.database import EntityRecord, ExtractionRecord, ReviewRecord, SubjectiveDatabase
+from repro.core.processor import QueryResult, RankedEntity, SubjectiveQueryProcessor
+
+__all__ = [
+    "LinguisticDomain",
+    "Marker",
+    "MarkerSummary",
+    "SummaryKind",
+    "ObjectiveAttribute",
+    "SubjectiveAttribute",
+    "SubjectiveSchema",
+    "FuzzyLogic",
+    "ZadehLogic",
+    "ProductLogic",
+    "hard_threshold_filter",
+    "MembershipFunction",
+    "HeuristicMembership",
+    "LearnedMembership",
+    "RawExtractionMembership",
+    "summary_feature_vector",
+    "AttributeMarker",
+    "Interpretation",
+    "InterpretationMethod",
+    "SubjectiveQueryInterpreter",
+    "SubjectiveDatabase",
+    "EntityRecord",
+    "ReviewRecord",
+    "ExtractionRecord",
+    "QueryResult",
+    "RankedEntity",
+    "SubjectiveQueryProcessor",
+]

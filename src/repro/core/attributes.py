@@ -1,0 +1,164 @@
+"""Subjective schemas: objective attributes + subjective attributes (Section 2).
+
+A subjective database schema has three parts: (1) the user-visible main
+schema — one entity relation with objective attributes, plus one relation
+per subjective attribute holding the marker summaries; (2) the raw review
+data; and (3) the extraction relation.  This module models part (1); the
+:class:`repro.core.database.SubjectiveDatabase` materialises all three parts
+on top of the relational engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.domain import LinguisticDomain
+from repro.core.markers import Marker, MarkerSummary, SummaryKind
+from repro.engine.types import ColumnType
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class ObjectiveAttribute:
+    """An ordinary typed attribute (price, address, cuisine, ...)."""
+
+    name: str
+    type: ColumnType
+    description: str = ""
+
+
+@dataclass
+class SubjectiveAttribute:
+    """A subjective attribute: a marker-summary type over a linguistic domain.
+
+    Attributes
+    ----------
+    name:
+        Attribute name, e.g. ``"room_cleanliness"``.
+    markers:
+        The markers of the summary type, in scale order for linear domains.
+    kind:
+        Whether the markers form a linear scale or unordered categories.
+    domain:
+        The linguistic domain (set of observed variations) of the attribute.
+    aspect_seeds / opinion_seeds:
+        The designer-provided seed terms used to train the attribute
+        classifier (Section 4.2); kept for provenance and re-training.
+    """
+
+    name: str
+    markers: list[Marker]
+    kind: SummaryKind = SummaryKind.LINEAR
+    domain: LinguisticDomain | None = None
+    aspect_seeds: list[str] = field(default_factory=list)
+    opinion_seeds: list[str] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("subjective attribute name must not be empty")
+        if not self.markers:
+            raise SchemaError(f"subjective attribute {self.name!r} needs markers")
+        names = [marker.name for marker in self.markers]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate markers in attribute {self.name!r}")
+        if self.domain is None:
+            self.domain = LinguisticDomain(self.name)
+
+    @property
+    def marker_names(self) -> list[str]:
+        return [marker.name for marker in self.markers]
+
+    @property
+    def relation_name(self) -> str:
+        """Name of the per-attribute relation holding the marker summaries."""
+        return f"summary_{self.name}"
+
+    def marker(self, name: str) -> Marker:
+        for marker in self.markers:
+            if marker.name == name:
+                return marker
+        raise SchemaError(f"attribute {self.name!r} has no marker {name!r}")
+
+    def has_marker(self, name: str) -> bool:
+        return any(marker.name == name for marker in self.markers)
+
+    def new_summary(self, embedding_dimension: int | None = None) -> MarkerSummary:
+        """Create an empty marker summary of this attribute's type."""
+        return MarkerSummary(
+            attribute=self.name,
+            markers=self.markers,
+            kind=self.kind,
+            embedding_dimension=embedding_dimension,
+        )
+
+
+@dataclass
+class SubjectiveSchema:
+    """The user-visible schema of one subjective database.
+
+    Attributes
+    ----------
+    name:
+        Schema (application) name, e.g. ``"hotels"``.
+    entity_key:
+        Name of the key attribute shared by all relations (``hotelname``).
+    objective_attributes:
+        Objective columns of the entity relation.
+    subjective_attributes:
+        The subjective attributes, each of which induces its own relation
+        keyed by ``entity_key`` and holding marker summaries.
+    """
+
+    name: str
+    entity_key: str
+    objective_attributes: list[ObjectiveAttribute] = field(default_factory=list)
+    subjective_attributes: list[SubjectiveAttribute] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        objective_names = [attribute.name for attribute in self.objective_attributes]
+        subjective_names = [attribute.name for attribute in self.subjective_attributes]
+        all_names = [self.entity_key, *objective_names, *subjective_names]
+        if len(set(all_names)) != len(all_names):
+            raise SchemaError(f"duplicate attribute names in schema {self.name!r}")
+
+    @property
+    def objective_names(self) -> list[str]:
+        return [attribute.name for attribute in self.objective_attributes]
+
+    @property
+    def subjective_names(self) -> list[str]:
+        return [attribute.name for attribute in self.subjective_attributes]
+
+    def subjective(self, name: str) -> SubjectiveAttribute:
+        for attribute in self.subjective_attributes:
+            if attribute.name == name:
+                return attribute
+        raise SchemaError(f"schema {self.name!r} has no subjective attribute {name!r}")
+
+    def objective(self, name: str) -> ObjectiveAttribute:
+        for attribute in self.objective_attributes:
+            if attribute.name == name:
+                return attribute
+        raise SchemaError(f"schema {self.name!r} has no objective attribute {name!r}")
+
+    def has_subjective(self, name: str) -> bool:
+        return any(attribute.name == name for attribute in self.subjective_attributes)
+
+    def add_subjective(self, attribute: SubjectiveAttribute) -> None:
+        """Add a subjective attribute, keeping names unique."""
+        if attribute.name == self.entity_key or attribute.name in self.objective_names \
+                or attribute.name in self.subjective_names:
+            raise SchemaError(f"attribute name already used: {attribute.name!r}")
+        self.subjective_attributes.append(attribute)
+
+    def describe(self) -> str:
+        """Human-readable schema listing in the style of the paper's Figure 2."""
+        lines = [f"{self.name}({self.entity_key}, "
+                 + ", ".join(self.objective_names) + ")"]
+        for attribute in self.subjective_attributes:
+            lines.append(
+                f"  * {attribute.name}: [" + ", ".join(attribute.marker_names) + "]"
+                + f"  ({attribute.kind.value})"
+            )
+        return "\n".join(lines)

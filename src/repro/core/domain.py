@@ -1,0 +1,95 @@
+"""Linguistic domains: the sets of phrases describing one subjective aspect.
+
+A linguistic domain (Section 2) is a set of short phrases ("linguistic
+variations") that describe a particular aspect of an object, e.g. for room
+cleanliness: {"very clean", "spotless", "average", "dirty", "stained
+carpet", ...}.  OpineDB bootstraps linguistic domains from the extraction
+pipeline rather than enumerating them in advance; this class therefore keeps
+per-phrase occurrence counts so the marker-discovery step can weight frequent
+variations more heavily.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.text.tokenize import tokenize
+
+
+def normalise_phrase(phrase: str) -> str:
+    """Canonical form of a phrase: lowercased, token-joined."""
+    return " ".join(tokenize(phrase))
+
+
+@dataclass
+class LinguisticDomain:
+    """The set of linguistic variations observed for one subjective attribute.
+
+    Parameters
+    ----------
+    attribute:
+        Name of the subjective attribute the domain describes
+        (e.g. ``"room_cleanliness"``).
+    """
+
+    attribute: str
+    _counts: Counter = field(default_factory=Counter)
+
+    def add(self, phrase: str, count: int = 1) -> str:
+        """Register ``count`` occurrences of ``phrase``; returns its canonical form."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        canonical = normalise_phrase(phrase)
+        if canonical:
+            self._counts[canonical] += count
+        return canonical
+
+    def add_many(self, phrases: Iterable[str]) -> None:
+        """Register one occurrence of each phrase."""
+        for phrase in phrases:
+            self.add(phrase)
+
+    def __contains__(self, phrase: str) -> bool:
+        return normalise_phrase(phrase) in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def count(self, phrase: str) -> int:
+        """Number of times ``phrase`` was observed."""
+        return self._counts.get(normalise_phrase(phrase), 0)
+
+    @property
+    def phrases(self) -> list[str]:
+        """All variations, most frequent first (ties broken lexically)."""
+        return [
+            phrase
+            for phrase, _count in sorted(
+                self._counts.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+
+    def most_common(self, n: int | None = None) -> list[tuple[str, int]]:
+        """The ``n`` most frequent (phrase, count) pairs."""
+        return Counter(self._counts).most_common(n)
+
+    def total_occurrences(self) -> int:
+        """Total number of phrase occurrences registered."""
+        return sum(self._counts.values())
+
+    def merge(self, other: "LinguisticDomain") -> "LinguisticDomain":
+        """Return a new domain combining the counts of ``self`` and ``other``."""
+        if self.attribute != other.attribute:
+            raise ValueError(
+                "cannot merge linguistic domains of different attributes: "
+                f"{self.attribute!r} vs {other.attribute!r}"
+            )
+        merged = LinguisticDomain(self.attribute)
+        merged._counts = Counter(self._counts)
+        merged._counts.update(other._counts)
+        return merged

@@ -1,0 +1,95 @@
+"""Fuzzy-logic combination of degrees of truth (Section 3.1).
+
+OpineDB replaces boolean connectives by fuzzy operators over degrees of
+truth in [0, 1].  Two t-norm variants from the paper are provided:
+
+* :class:`ZadehLogic` — the classic min/max/complement variant;
+* :class:`ProductLogic` — the multiplication variant OpineDB uses:
+  ``x ⊗ y = x·y``, ``¬x = 1 − x``, and by De Morgan
+  ``x ⊕ y = 1 − (1 − x)(1 − y)``.
+
+``hard_threshold_filter`` implements the alternative the paper argues
+against (Appendix A): translating subjective conditions into crisp
+per-condition thresholds.  It is used by the Figure-7 experiment and the
+fuzzy-variant ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _validate(degree: float) -> float:
+    if not 0.0 <= degree <= 1.0 + 1e-9:
+        raise ValueError(f"degree of truth out of range: {degree}")
+    return min(1.0, max(0.0, degree))
+
+
+class FuzzyLogic:
+    """Interface of a fuzzy-logic variant (a t-norm with its dual t-conorm)."""
+
+    name = "abstract"
+
+    def conjunction(self, degrees: Sequence[float]) -> float:
+        """Fuzzy AND (⊗) of one or more degrees of truth."""
+        raise NotImplementedError
+
+    def disjunction(self, degrees: Sequence[float]) -> float:
+        """Fuzzy OR (⊕) of one or more degrees of truth."""
+        raise NotImplementedError
+
+    def negation(self, degree: float) -> float:
+        """Fuzzy NOT of a degree of truth."""
+        return 1.0 - _validate(degree)
+
+
+class ZadehLogic(FuzzyLogic):
+    """The classic min/max fuzzy logic (Zadeh, Fagin 1996)."""
+
+    name = "zadeh"
+
+    def conjunction(self, degrees: Sequence[float]) -> float:
+        if not degrees:
+            return 1.0
+        return min(_validate(degree) for degree in degrees)
+
+    def disjunction(self, degrees: Sequence[float]) -> float:
+        if not degrees:
+            return 0.0
+        return max(_validate(degree) for degree in degrees)
+
+
+class ProductLogic(FuzzyLogic):
+    """The multiplication variant used by OpineDB (Klement et al.)."""
+
+    name = "product"
+
+    def conjunction(self, degrees: Sequence[float]) -> float:
+        result = 1.0
+        for degree in degrees:
+            result *= _validate(degree)
+        return result
+
+    def disjunction(self, degrees: Sequence[float]) -> float:
+        result = 1.0
+        for degree in degrees:
+            result *= 1.0 - _validate(degree)
+        return 1.0 - result
+
+
+def hard_threshold_filter(
+    degrees: Sequence[float], thresholds: Sequence[float]
+) -> bool:
+    """Crisp alternative to fuzzy conjunction: every degree must clear its threshold.
+
+    This is the "hard constraint" semantics of Appendix A
+    (``(A1 ≐ p1) > 0.2 AND (A2 ≐ p2) > 0.3``): an entity is accepted only
+    when each condition's degree of truth strictly exceeds the corresponding
+    threshold.
+    """
+    if len(degrees) != len(thresholds):
+        raise ValueError("degrees and thresholds must align")
+    return all(
+        _validate(degree) > threshold
+        for degree, threshold in zip(degrees, thresholds)
+    )

@@ -1,0 +1,228 @@
+"""Markers and marker summaries (Section 2).
+
+A *marker* is a designated phrase of a linguistic domain that represents an
+important distinction of the application ("very_clean", "luxurious").  A
+*marker summary* is the aggregate view OpineDB maintains per entity and
+subjective attribute: a histogram of how many extracted phrases mapped to
+each marker, together with auxiliary statistics used by the membership
+functions — the average sentiment of the phrases mapped to each marker and
+the centroid of their phrase-embedding vectors.
+
+Marker summaries come in two kinds (``SummaryKind``):
+
+* ``LINEAR`` — the markers form a linear scale (``very_clean`` > ``average``
+  > ``dirty`` > ``very_dirty``); a phrase may contribute fractionally to
+  adjacent markers.
+* ``CATEGORICAL`` — the markers are unordered categories (bathroom ``old`` /
+  ``modern`` / ``luxurious``); a phrase may contribute a full count to
+  several markers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class SummaryKind(enum.Enum):
+    """Whether a marker summary's markers form a linear scale or categories."""
+
+    LINEAR = "linear"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class Marker:
+    """One marker of a subjective attribute.
+
+    Attributes
+    ----------
+    name:
+        The marker phrase (e.g. ``"very clean"``); also used as the field
+        name of the marker-summary record type.
+    position:
+        Index of the marker within its summary type.  For linear summaries
+        the position encodes the scale order (0 = most positive by
+        convention of the discovery step); for categorical summaries it is
+        just an identifier.
+    sentiment:
+        Average sentiment of the linguistic variations the marker represents,
+        recorded at marker-discovery time.  Used as a feature by membership
+        functions and by the heuristic membership fallback.
+    """
+
+    name: str
+    position: int
+    sentiment: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return self.name
+
+
+class MarkerSummary:
+    """Aggregate of extracted phrases onto the markers of one attribute.
+
+    The summary records, per marker: the (possibly fractional) phrase count,
+    the running mean sentiment, and the running mean phrase-embedding vector.
+    These are exactly the precomputed features Section 3.3 lists as inputs to
+    the membership functions, and they can be maintained incrementally as new
+    reviews arrive (Section 4.2.2).
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        markers: Iterable[Marker],
+        kind: SummaryKind = SummaryKind.LINEAR,
+        embedding_dimension: int | None = None,
+    ) -> None:
+        self.attribute = attribute
+        self.markers = list(markers)
+        if not self.markers:
+            raise SchemaError(f"marker summary for {attribute!r} needs markers")
+        names = [marker.name for marker in self.markers]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate marker names in {attribute!r}: {names}")
+        self.kind = kind
+        self._by_name = {marker.name: marker for marker in self.markers}
+        self._counts = {marker.name: 0.0 for marker in self.markers}
+        self._sentiment_sums = {marker.name: 0.0 for marker in self.markers}
+        self._dimension = embedding_dimension
+        self._vector_sums = {
+            marker.name: (np.zeros(embedding_dimension) if embedding_dimension else None)
+            for marker in self.markers
+        }
+        self.num_phrases = 0.0
+        self.num_reviews = 0
+        self.num_unmatched = 0.0
+
+    # ------------------------------------------------------------ structure
+    @property
+    def marker_names(self) -> list[str]:
+        return [marker.name for marker in self.markers]
+
+    def marker(self, name: str) -> Marker:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"attribute {self.attribute!r} has no marker {name!r}"
+            ) from None
+
+    def has_marker(self, name: str) -> bool:
+        return name in self._by_name
+
+    # ----------------------------------------------------------- aggregation
+    def add_phrase(
+        self,
+        contributions: Mapping[str, float] | str,
+        sentiment: float = 0.0,
+        vector: np.ndarray | None = None,
+    ) -> None:
+        """Aggregate one extracted phrase into the summary.
+
+        ``contributions`` is either a single marker name (full count of 1) or
+        a mapping marker -> weight.  For linear summaries the weights of one
+        phrase should sum to 1 (fractional contribution to adjacent markers);
+        for categorical summaries each weight is typically a full count.
+        """
+        if isinstance(contributions, str):
+            contributions = {contributions: 1.0}
+        for name, weight in contributions.items():
+            if name not in self._by_name:
+                raise SchemaError(
+                    f"attribute {self.attribute!r} has no marker {name!r}"
+                )
+            if weight < 0:
+                raise ValueError("marker contributions must be non-negative")
+            self._counts[name] += weight
+            self._sentiment_sums[name] += sentiment * weight
+            if vector is not None and self._dimension:
+                self._vector_sums[name] = self._vector_sums[name] + vector * weight
+        self.num_phrases += sum(contributions.values())
+
+    def add_unmatched(self, count: float = 1.0) -> None:
+        """Record phrases of the attribute that matched no marker."""
+        self.num_unmatched += count
+
+    def merge(self, other: "MarkerSummary") -> None:
+        """Fold another summary over the same markers into this one (in place)."""
+        if other.marker_names != self.marker_names:
+            raise SchemaError("cannot merge summaries with different markers")
+        for name in self._counts:
+            self._counts[name] += other._counts[name]
+            self._sentiment_sums[name] += other._sentiment_sums[name]
+            if self._dimension and other._vector_sums[name] is not None:
+                self._vector_sums[name] = self._vector_sums[name] + other._vector_sums[name]
+        self.num_phrases += other.num_phrases
+        self.num_reviews += other.num_reviews
+        self.num_unmatched += other.num_unmatched
+
+    # ------------------------------------------------------------- queries
+    def count(self, marker_name: str) -> float:
+        """Phrase count aggregated on ``marker_name``."""
+        if marker_name not in self._counts:
+            raise SchemaError(
+                f"attribute {self.attribute!r} has no marker {marker_name!r}"
+            )
+        return self._counts[marker_name]
+
+    def counts(self) -> dict[str, float]:
+        """The histogram as a marker -> count mapping (copy)."""
+        return dict(self._counts)
+
+    def total(self) -> float:
+        """Total phrase mass aggregated across all markers."""
+        return sum(self._counts.values())
+
+    def fraction(self, marker_name: str) -> float:
+        """Share of the total phrase mass on ``marker_name`` (0 if empty)."""
+        total = self.total()
+        if total == 0.0:
+            return 0.0
+        return self.count(marker_name) / total
+
+    def fractions(self) -> dict[str, float]:
+        """All marker fractions."""
+        return {name: self.fraction(name) for name in self._counts}
+
+    def average_sentiment(self, marker_name: str) -> float:
+        """Mean sentiment of the phrases aggregated on ``marker_name``."""
+        count = self.count(marker_name)
+        if count == 0.0:
+            return 0.0
+        return self._sentiment_sums[marker_name] / count
+
+    def overall_sentiment(self) -> float:
+        """Phrase-mass-weighted mean sentiment across all markers."""
+        total = self.total()
+        if total == 0.0:
+            return 0.0
+        return sum(self._sentiment_sums.values()) / total
+
+    def centroid(self, marker_name: str) -> np.ndarray | None:
+        """Mean phrase-embedding vector of the phrases on ``marker_name``."""
+        if not self._dimension:
+            return None
+        count = self.count(marker_name)
+        if count == 0.0:
+            return np.zeros(self._dimension)
+        return self._vector_sums[marker_name] / count
+
+    def dominant_marker(self) -> Marker:
+        """The marker holding the largest share of the phrase mass."""
+        name = max(self._counts, key=lambda key: (self._counts[key], key))
+        return self._by_name[name]
+
+    def to_record(self) -> dict[str, float]:
+        """Record-type view (marker name -> count), as in the paper's examples."""
+        return self.counts()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{name}: {count:.1f}" for name, count in self._counts.items())
+        return f"MarkerSummary({self.attribute}: [{inner}])"

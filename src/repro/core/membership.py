@@ -1,0 +1,388 @@
+"""Membership functions: from marker summaries to degrees of truth (Section 3.3).
+
+Given an interpreted predicate ``A ≐ m`` (attribute A, marker m, original
+query phrase q) and an entity's marker summary for A, a membership function
+returns a degree of truth in [0, 1].
+
+Three implementations are provided:
+
+``HeuristicMembership``
+    A training-free function combining two signals read off the summary:
+    (a) *sentiment-aligned mass* — how much of the summary's phrase mass sits
+    on markers whose polarity agrees with the polarity of the query phrase
+    ("really clean" is positive, so mass on positive markers counts); and
+    (b) *similarity mass* — how much of the mass sits on the markers most
+    similar to the phrase in embedding space (which handles non-polar
+    phrases like "firm beds").  It is the bootstrap used to label training
+    data cheaply and the default when no labelled tuples are available.
+
+``LearnedMembership``
+    The paper's approach: a binary logistic-regression classifier trained on
+    labelled ``(marker summary, phrase, label)`` tuples; its positive-class
+    probability is the degree of truth.  Features come only from the
+    precomputed marker summary (marker masses, per-marker sentiments,
+    marker/phrase similarities), which is what makes query processing fast.
+
+``RawExtractionMembership``
+    The "no markers" ablation of Table 7: the same logistic-regression
+    model, but with features computed at query time by scanning all the raw
+    extracted phrases of the entity/attribute (number and fraction of
+    phrases similar to the query predicate, their average sentiment, ...).
+    It is substantially slower, which is exactly the effect Table 7 measures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.database import ExtractionRecord, SubjectiveDatabase
+from repro.core.markers import MarkerSummary
+from repro.errors import NotFittedError
+from repro.ml.logistic import LogisticRegression
+from repro.text.embeddings import PhraseEmbedder, cosine
+from repro.text.sentiment import SentimentAnalyzer
+
+#: Number of features produced by :func:`summary_feature_vector`.
+SUMMARY_FEATURE_COUNT = 12
+
+_ANALYZER = SentimentAnalyzer()
+_POLARITY_CACHE: dict[str, float] = {}
+
+
+def _phrase_polarity(phrase: str) -> float:
+    """Memoised sentiment polarity of a phrase (phrases repeat across entities)."""
+    cached = _POLARITY_CACHE.get(phrase)
+    if cached is None:
+        cached = _ANALYZER.polarity(phrase)
+        if len(_POLARITY_CACHE) < 100_000:
+            _POLARITY_CACHE[phrase] = cached
+    return cached
+
+
+def _marker_similarities(
+    summary: MarkerSummary, phrase: str, embedder: PhraseEmbedder | None
+) -> list[float]:
+    """Similarity of the query phrase to each marker (name and centroid)."""
+    if embedder is None:
+        return [0.0] * len(summary.markers)
+    phrase_vector = embedder.represent(phrase)
+    similarities = []
+    for marker in summary.markers:
+        name_vector = embedder.represent(marker.name)
+        name_similarity = cosine(phrase_vector, name_vector)
+        centroid = summary.centroid(marker.name)
+        centroid_similarity = (
+            cosine(phrase_vector, centroid) if centroid is not None else 0.0
+        )
+        similarities.append(max(name_similarity, centroid_similarity))
+    return similarities
+
+
+def _marker_polarities(summary: MarkerSummary) -> list[float]:
+    """Polarity of each marker: observed average sentiment, else the marker's own."""
+    polarities = []
+    for marker in summary.markers:
+        observed = summary.average_sentiment(marker.name)
+        if abs(observed) < 1e-9 and summary.count(marker.name) == 0.0:
+            observed = marker.sentiment
+        polarities.append(observed if abs(observed) > 1e-9 else marker.sentiment)
+    return polarities
+
+
+def _aligned_mass(summary: MarkerSummary, phrase_polarity: float) -> float:
+    """Share of the summary's mass on markers agreeing with the phrase polarity.
+
+    Each marker contributes its fraction weighted by ``0.5·(1 + sign·pol)``,
+    so a summary fully concentrated on strongly agreeing markers scores near
+    1 and one concentrated on strongly disagreeing markers scores near 0.
+    """
+    if summary.total() == 0.0:
+        return 0.0
+    sign = 1.0 if phrase_polarity >= 0 else -1.0
+    fractions = [summary.fraction(name) for name in summary.marker_names]
+    polarities = _marker_polarities(summary)
+    alignments = [0.5 * (1.0 + sign * max(-1.0, min(1.0, polarity)))
+                  for polarity in polarities]
+    return float(np.dot(fractions, alignments))
+
+
+def _similarity_mass(
+    summary: MarkerSummary, phrase: str, embedder: PhraseEmbedder | None
+) -> tuple[float, list[float]]:
+    """Mass concentrated on the markers most similar to the phrase, in [0, 1]."""
+    similarities = _marker_similarities(summary, phrase, embedder)
+    fractions = [summary.fraction(name) for name in summary.marker_names]
+    positives = np.clip(np.array(similarities), 0.0, None) ** 2
+    if positives.sum() <= 0 or summary.total() == 0.0:
+        return 0.5, similarities
+    weights = positives / positives.sum()
+    expected = float(np.dot(weights, fractions))
+    peak = max(fractions) if fractions else 1.0
+    return min(1.0, expected / (peak + 1e-9)), similarities
+
+
+def summary_feature_vector(
+    summary: MarkerSummary,
+    phrase: str,
+    embedder: PhraseEmbedder | None,
+    phrase_sentiment: float | None = None,
+) -> np.ndarray:
+    """Fixed-length feature vector of a (marker summary, phrase) pair.
+
+    The features only read the precomputed summary statistics (marker
+    masses, per-marker average sentiment, centroids), never the underlying
+    extractions — that is the efficiency argument of Section 3.3.  They are
+    aggregated so the vector length does not depend on the number of
+    markers, letting a single model serve attributes with different marker
+    counts.
+    """
+    if phrase_sentiment is None:
+        phrase_sentiment = _phrase_polarity(phrase)
+    total = summary.total()
+    fractions = [summary.fraction(name) for name in summary.marker_names]
+    sentiments = [summary.average_sentiment(name) for name in summary.marker_names]
+    similarity_mass, similarities = _similarity_mass(summary, phrase, embedder)
+    aligned = _aligned_mass(summary, phrase_sentiment)
+    best = int(np.argmax(similarities)) if similarities else 0
+    overall_sentiment = summary.overall_sentiment()
+    unmatched_fraction = (
+        summary.num_unmatched / (summary.num_unmatched + total)
+        if (summary.num_unmatched + total) > 0
+        else 0.0
+    )
+    return np.array(
+        [
+            math.log1p(total),
+            aligned,
+            similarity_mass,
+            fractions[best] if fractions else 0.0,
+            similarities[best] if similarities else 0.0,
+            sentiments[best] if sentiments else 0.0,
+            overall_sentiment,
+            phrase_sentiment,
+            phrase_sentiment * overall_sentiment,
+            unmatched_fraction,
+            float(np.dot(fractions, sentiments)) if fractions else 0.0,
+            1.0 if total == 0 else 0.0,
+        ]
+    )
+
+
+class MembershipFunction:
+    """Interface: degree of truth of a phrase given a marker summary."""
+
+    def degree(self, summary: MarkerSummary | None, phrase: str) -> float:
+        """Return a degree of truth in [0, 1]; ``summary`` may be ``None``."""
+        raise NotImplementedError
+
+
+@dataclass
+class HeuristicMembership(MembershipFunction):
+    """Training-free membership: sentiment-aligned mass blended with similarity mass.
+
+    The sentiment-aligned score is shrunk towards the neutral prior 0.5 with
+    ``smoothing_pseudocount`` pseudo-observations, so an entity whose summary
+    holds a single agreeing phrase does not outrank one with twenty phrases
+    that are almost all agreeing.
+    """
+
+    embedder: PhraseEmbedder | None = None
+    empty_degree: float = 0.25
+    polar_sentiment_weight: float = 0.75
+    neutral_sentiment_weight: float = 0.3
+    smoothing_pseudocount: float = 3.0
+
+    def degree(self, summary: MarkerSummary | None, phrase: str) -> float:
+        if summary is None or summary.total() == 0.0:
+            return self.empty_degree
+        phrase_polarity = _phrase_polarity(phrase)
+        similarity_mass, _similarities = _similarity_mass(summary, phrase, self.embedder)
+        if abs(phrase_polarity) >= 0.05:
+            sentiment_weight = self.polar_sentiment_weight
+            sentiment_score = _aligned_mass(summary, phrase_polarity)
+        else:
+            sentiment_weight = self.neutral_sentiment_weight
+            sentiment_score = 0.5 * (1.0 + summary.overall_sentiment())
+        total = summary.total()
+        k = self.smoothing_pseudocount
+        sentiment_score = (sentiment_score * total + 0.5 * k) / (total + k)
+        degree = sentiment_weight * sentiment_score + (1.0 - sentiment_weight) * similarity_mass
+        return min(1.0, max(0.0, degree))
+
+
+@dataclass
+class LearnedMembership(MembershipFunction):
+    """Logistic-regression membership trained on labelled (summary, phrase) tuples."""
+
+    embedder: PhraseEmbedder | None = None
+    model: LogisticRegression = field(default_factory=LogisticRegression)
+    _fitted: bool = field(default=False, init=False)
+
+    def _features(self, summary: MarkerSummary, phrase: str) -> np.ndarray:
+        return summary_feature_vector(summary, phrase, self.embedder)
+
+    def fit(
+        self,
+        examples: Sequence[tuple[MarkerSummary, str, int]],
+    ) -> "LearnedMembership":
+        """Train on ``(summary, phrase, label)`` tuples with binary labels."""
+        if not examples:
+            raise ValueError("no training examples provided")
+        features = np.vstack(
+            [self._features(summary, phrase) for summary, phrase, _label in examples]
+        )
+        labels = [int(label) for _summary, _phrase, label in examples]
+        if len(set(labels)) < 2:
+            raise ValueError("training labels must include both classes")
+        self.model.fit(features, labels)
+        self._fitted = True
+        return self
+
+    def accuracy(self, examples: Sequence[tuple[MarkerSummary, str, int]]) -> float:
+        """Classification accuracy on held-out labelled tuples."""
+        if not self._fitted:
+            raise NotFittedError("LearnedMembership is not fitted")
+        features = np.vstack(
+            [self._features(summary, phrase) for summary, phrase, _label in examples]
+        )
+        labels = [int(label) for _summary, _phrase, label in examples]
+        return self.model.score(features, labels)
+
+    def degree(self, summary: MarkerSummary | None, phrase: str) -> float:
+        if not self._fitted:
+            raise NotFittedError("LearnedMembership is not fitted")
+        if summary is None:
+            return 0.25
+        features = self._features(summary, phrase)
+        return float(self.model.positive_probability(features.reshape(1, -1))[0])
+
+
+def raw_extraction_features(
+    extractions: Sequence[ExtractionRecord],
+    phrase: str,
+    embedder: PhraseEmbedder | None,
+    similarity_threshold: float = 0.4,
+) -> np.ndarray:
+    """Query-time features computed from the raw extraction list (no markers).
+
+    Mirrors the engineered feature set the paper describes for the
+    marker-free variant: counts and fractions of extracted phrases similar
+    to the query predicate, their sentiment, and overall statistics.  The
+    cost is a full scan of the entity's extractions per query predicate.
+    """
+    total = len(extractions)
+    phrase_polarity = _phrase_polarity(phrase)
+    if total == 0:
+        return np.zeros(9)
+    if embedder is not None:
+        phrase_vector = embedder.represent(phrase)
+        similarities = [
+            cosine(phrase_vector, embedder.represent(record.phrase))
+            for record in extractions
+        ]
+    else:
+        similarities = [0.0] * total
+    similar = [
+        (record, sim)
+        for record, sim in zip(extractions, similarities)
+        if sim >= similarity_threshold
+    ]
+    sentiments = [record.sentiment for record in extractions]
+    similar_sentiments = [record.sentiment for record, _sim in similar]
+    sign = 1.0 if phrase_polarity >= 0 else -1.0
+    aligned = sum(0.5 * (1.0 + sign * max(-1.0, min(1.0, s))) for s in sentiments) / total
+    positive_fraction = sum(1 for s in sentiments if s > 0.05) / total
+    return np.array(
+        [
+            math.log1p(total),
+            aligned,
+            len(similar) / total,
+            float(np.mean(similar_sentiments)) if similar_sentiments else 0.0,
+            float(np.mean(sentiments)),
+            positive_fraction,
+            max(similarities) if similarities else 0.0,
+            float(np.mean(similarities)) if similarities else 0.0,
+            phrase_polarity,
+        ]
+    )
+
+
+@dataclass
+class RawExtractionMembership(MembershipFunction):
+    """The Table-7 "no markers" variant: LR over raw-extraction features.
+
+    Requires the owning :class:`SubjectiveDatabase` so it can scan the
+    extraction lists at query time; the attribute of the interpreted
+    predicate must be supplied through :meth:`degree_for_attribute` (the
+    generic :meth:`degree` signature has no attribute, so it is not
+    supported on this class).
+    """
+
+    database: SubjectiveDatabase
+    embedder: PhraseEmbedder | None = None
+    model: LogisticRegression = field(default_factory=LogisticRegression)
+    _fitted: bool = field(default=False, init=False)
+
+    def fit(
+        self,
+        examples: Sequence[tuple[object, str, str, int]],
+    ) -> "RawExtractionMembership":
+        """Train on ``(entity_id, attribute, phrase, label)`` tuples."""
+        if not examples:
+            raise ValueError("no training examples provided")
+        features = np.vstack(
+            [
+                raw_extraction_features(
+                    self.database.extractions(entity_id=entity, attribute=attribute),
+                    phrase,
+                    self.embedder,
+                )
+                for entity, attribute, phrase, _label in examples
+            ]
+        )
+        labels = [int(label) for _entity, _attribute, _phrase, label in examples]
+        if len(set(labels)) < 2:
+            raise ValueError("training labels must include both classes")
+        self.model.fit(features, labels)
+        self._fitted = True
+        return self
+
+    def accuracy(self, examples: Sequence[tuple[object, str, str, int]]) -> float:
+        """Classification accuracy on held-out (entity, attribute, phrase, label) tuples."""
+        if not self._fitted:
+            raise NotFittedError("RawExtractionMembership is not fitted")
+        features = np.vstack(
+            [
+                raw_extraction_features(
+                    self.database.extractions(entity_id=entity, attribute=attribute),
+                    phrase,
+                    self.embedder,
+                )
+                for entity, attribute, phrase, _label in examples
+            ]
+        )
+        labels = [int(label) for _entity, _attribute, _phrase, label in examples]
+        return self.model.score(features, labels)
+
+    def degree_for_attribute(self, entity_id: object, attribute: str, phrase: str) -> float:
+        """Degree of truth computed by scanning the raw extractions."""
+        if not self._fitted:
+            raise NotFittedError("RawExtractionMembership is not fitted")
+        extractions = self.database.extractions(entity_id=entity_id, attribute=attribute)
+        features = raw_extraction_features(extractions, phrase, self.embedder)
+        return float(self.model.positive_probability(features.reshape(1, -1))[0])
+
+    def degree(self, summary: MarkerSummary | None, phrase: str) -> float:
+        """Summary-based signature for interface compatibility.
+
+        The marker-free model has no use for the summary; callers should use
+        :meth:`degree_for_attribute`.  Provided so the class can stand in
+        where a :class:`MembershipFunction` is expected.
+        """
+        raise NotImplementedError(
+            "RawExtractionMembership requires degree_for_attribute(entity, attribute, phrase)"
+        )

@@ -1,0 +1,263 @@
+"""The subjective query processor (Figure 4).
+
+Pipeline for one query:
+
+1. parse the subjective SQL (``repro.engine.sqlparser``);
+2. evaluate the objective part of the WHERE clause to obtain the candidate
+   entities (objective predicates are crisp: 0 or 1);
+3. interpret every subjective predicate (``SubjectiveQueryInterpreter``);
+4. for each candidate entity, compute the degree of truth of every
+   interpreted predicate through the membership function over its marker
+   summaries — or through the text-retrieval fallback when the predicate
+   could not be interpreted;
+5. combine degrees through fuzzy logic following the WHERE expression tree
+   (AND → ⊗, OR → ⊕, NOT → 1−x) and rank the entities by the resulting
+   score.
+
+The processor can run with either the marker-based membership functions
+(the OpineDB default) or the raw-extraction variant (the "no markers"
+ablation of Table 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.database import SubjectiveDatabase
+from repro.core.fuzzy import FuzzyLogic, ProductLogic
+from repro.core.interpreter import (
+    Interpretation,
+    InterpretationMethod,
+    SubjectiveQueryInterpreter,
+)
+from repro.core.membership import (
+    HeuristicMembership,
+    MembershipFunction,
+    RawExtractionMembership,
+)
+from repro.engine.executor import QueryExecutor, SelectStatement
+from repro.engine.sqlparser import parse_query
+from repro.errors import ExecutionError
+
+
+@dataclass(frozen=True)
+class RankedEntity:
+    """One entity of a query result with its overall degree of truth."""
+
+    entity_id: Hashable
+    score: float
+    row: dict
+    predicate_degrees: dict[str, float]
+
+
+@dataclass
+class QueryResult:
+    """Ranked entities plus the interpretations used to produce them."""
+
+    sql: str
+    entities: list[RankedEntity]
+    interpretations: dict[str, Interpretation]
+
+    @property
+    def entity_ids(self) -> list[Hashable]:
+        return [entity.entity_id for entity in self.entities]
+
+    def top(self, k: int) -> list[RankedEntity]:
+        return self.entities[:k]
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+    def __iter__(self):
+        return iter(self.entities)
+
+
+@dataclass
+class SubjectiveQueryProcessor:
+    """Executes subjective SQL against a :class:`SubjectiveDatabase`.
+
+    Parameters
+    ----------
+    database:
+        The subjective database to query.
+    interpreter:
+        Predicate interpreter; a default one is constructed lazily.
+    membership:
+        Membership function mapping (marker summary, phrase) to a degree of
+        truth; defaults to the training-free heuristic.
+    logic:
+        Fuzzy-logic variant for combining degrees (product variant by
+        default, as in the paper).
+    top_k:
+        Default number of entities returned when the query has no LIMIT.
+    retrieval_pivot:
+        The constant ``c`` of the text-retrieval fallback
+        ``sigmoid(BM25(D, q) − c)``.
+    use_markers:
+        When ``False`` the processor bypasses marker summaries and uses
+        ``raw_membership`` (must then be provided) — the Table 7 ablation.
+    """
+
+    database: SubjectiveDatabase
+    interpreter: SubjectiveQueryInterpreter | None = None
+    membership: MembershipFunction | None = None
+    logic: FuzzyLogic = field(default_factory=ProductLogic)
+    top_k: int = 10
+    retrieval_pivot: float = 3.0
+    use_markers: bool = True
+    raw_membership: RawExtractionMembership | None = None
+
+    def __post_init__(self) -> None:
+        if self.interpreter is None:
+            self.interpreter = SubjectiveQueryInterpreter(self.database)
+        if self.membership is None:
+            self.membership = HeuristicMembership(
+                embedder=self.database.phrase_embedder
+            )
+        if not self.use_markers and self.raw_membership is None:
+            raise ExecutionError(
+                "use_markers=False requires a fitted RawExtractionMembership"
+            )
+
+    # ----------------------------------------------------------------- query
+    def execute(self, sql: str, top_k: int | None = None) -> QueryResult:
+        """Parse and execute a subjective-SQL string."""
+        statement = parse_query(sql)
+        return self.execute_statement(statement, top_k=top_k, sql=sql)
+
+    def execute_statement(
+        self,
+        statement: SelectStatement,
+        top_k: int | None = None,
+        sql: str = "",
+    ) -> QueryResult:
+        """Execute an already-parsed statement."""
+        executor = QueryExecutor(self.database.engine)
+        target_table = statement.table.lower()
+        if target_table not in ("entities",):
+            # Queries may also target the entity table by its schema name.
+            statement = SelectStatement(
+                table="entities",
+                alias=statement.alias,
+                columns=statement.columns,
+                join=statement.join,
+                where=statement.where,
+                order_by=statement.order_by,
+                limit=statement.limit,
+            )
+        candidates = executor.candidate_rows(statement)
+        predicates = statement.subjective_predicates()
+        interpretations = {
+            predicate: self.interpreter.interpret(predicate) for predicate in predicates
+        }
+
+        key_column = self.database.schema.entity_key
+        ranked: list[RankedEntity] = []
+        for row in candidates:
+            entity_id = self._entity_id_of(row, key_column, statement.alias)
+            degrees: dict[str, float] = {}
+
+            def scorer(predicate_text: str, _row: dict, _entity=entity_id, _degrees=degrees) -> float:
+                degree = self._predicate_degree(_entity, interpretations[predicate_text])
+                _degrees[predicate_text] = degree
+                return degree
+
+            if statement.where is None:
+                score = 1.0
+            else:
+                score = statement.where.fuzzy(row, scorer, self.logic)
+            ranked.append(
+                RankedEntity(
+                    entity_id=entity_id,
+                    score=score,
+                    row=row,
+                    predicate_degrees=degrees,
+                )
+            )
+        ranked.sort(key=lambda entity: (-entity.score, str(entity.entity_id)))
+        limit = statement.limit or top_k or self.top_k
+        return QueryResult(
+            sql=sql,
+            entities=ranked[:limit],
+            interpretations=interpretations,
+        )
+
+    # -------------------------------------------------------------- scoring
+    def _entity_id_of(self, row: dict, key_column: str, alias: str | None) -> Hashable:
+        if key_column in row:
+            return row[key_column]
+        if alias and f"{alias}.{key_column}" in row:
+            return row[f"{alias}.{key_column}"]
+        raise ExecutionError(f"result row has no entity key column {key_column!r}")
+
+    def _predicate_degree(self, entity_id: Hashable, interpretation: Interpretation) -> float:
+        """Degree of truth of one interpreted predicate for one entity."""
+        if interpretation.method is InterpretationMethod.TEXT_RETRIEVAL:
+            return self._retrieval_degree(entity_id, interpretation.predicate)
+        degrees = []
+        for pair in interpretation.pairs:
+            degrees.append(
+                self._pair_degree(entity_id, pair.attribute, pair.marker, interpretation)
+            )
+        if not degrees:
+            return self._retrieval_degree(entity_id, interpretation.predicate)
+        if interpretation.combinator == "and":
+            return self.logic.conjunction(degrees)
+        return self.logic.disjunction(degrees)
+
+    def _pair_degree(
+        self,
+        entity_id: Hashable,
+        attribute: str,
+        marker: str,
+        interpretation: Interpretation,
+    ) -> float:
+        """Degree of truth of one ``A ≐ m`` condition for one entity.
+
+        For word2vec interpretations the original predicate text carries the
+        user's wording ("really clean") and is the phrase handed to the
+        membership function; for co-occurrence interpretations the predicate
+        text is only a weak proxy of the attribute, so the marker itself is
+        used as the phrase.
+        """
+        if interpretation.method is InterpretationMethod.WORD2VEC:
+            phrase = interpretation.predicate
+        else:
+            phrase = marker
+        if not self.use_markers:
+            return self.raw_membership.degree_for_attribute(entity_id, attribute, phrase)
+        summary = self.database.marker_summary(entity_id, attribute)
+        return self.membership.degree(summary, phrase)
+
+    def _retrieval_degree(self, entity_id: Hashable, predicate: str) -> float:
+        """Text-retrieval fallback: sigmoid(BM25(entity document, q) − c)."""
+        index = self.database.entity_index
+        if index is None:
+            return 0.0
+        score = index.score(entity_id, predicate)
+        return 1.0 / (1.0 + math.exp(-(score - self.retrieval_pivot)))
+
+    # ------------------------------------------------------------- explain
+    def explain(self, result: QueryResult, entity_id: Hashable, limit: int = 3) -> list[str]:
+        """Human-readable evidence for why ``entity_id`` matched the query.
+
+        Returns review-sentence snippets (provenance) for each interpreted
+        predicate, via the marker summaries' provenance records.
+        """
+        lines: list[str] = []
+        for predicate, interpretation in result.interpretations.items():
+            if not interpretation.is_schema_interpretation:
+                lines.append(f"{predicate!r}: matched by text retrieval over raw reviews")
+                continue
+            for pair in interpretation.pairs:
+                evidence = self.database.explain(
+                    entity_id, pair.attribute, pair.marker, limit=limit
+                )
+                for record in evidence:
+                    lines.append(
+                        f"{predicate!r} -> {pair.attribute}.{pair.marker!r}: "
+                        f"\"{record.sentence}\""
+                    )
+        return lines

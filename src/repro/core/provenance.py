@@ -1,0 +1,54 @@
+"""Provenance of marker summaries: which extracted phrases produced them.
+
+Section 4.2.2 notes that any query result can be supported with evidence
+from the reviews because OpineDB tracks the provenance of extracted phrases.
+The store maps ``(entity, attribute, marker)`` to the extraction ids that
+were aggregated into that cell of the marker summary, so results can be
+explained by pointing back to concrete review sentences.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable
+
+
+@dataclass
+class ProvenanceStore:
+    """Maps marker-summary cells back to the extraction ids behind them."""
+
+    _by_cell: dict[tuple[Hashable, str, str], list[int]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    _by_entity_attribute: dict[tuple[Hashable, str], list[int]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+
+    def record(
+        self,
+        entity_id: Hashable,
+        attribute: str,
+        marker: str,
+        extraction_id: int,
+    ) -> None:
+        """Register that ``extraction_id`` contributed to (entity, attribute, marker)."""
+        self._by_cell[(entity_id, attribute, marker)].append(extraction_id)
+        self._by_entity_attribute[(entity_id, attribute)].append(extraction_id)
+
+    def extractions_for_marker(
+        self, entity_id: Hashable, attribute: str, marker: str
+    ) -> list[int]:
+        """Extraction ids aggregated into one marker cell (possibly empty)."""
+        return list(self._by_cell.get((entity_id, attribute, marker), ()))
+
+    def extractions_for_attribute(
+        self, entity_id: Hashable, attribute: str
+    ) -> list[int]:
+        """All extraction ids aggregated for (entity, attribute)."""
+        return list(self._by_entity_attribute.get((entity_id, attribute), ()))
+
+    def clear(self) -> None:
+        """Drop all provenance records (used when summaries are rebuilt)."""
+        self._by_cell.clear()
+        self._by_entity_attribute.clear()

@@ -1,0 +1,102 @@
+"""Programmatic construction of subjective-SQL queries.
+
+The experiments generate thousands of queries; composing SQL strings by
+hand is error-prone (quoting, operator precedence), so the builder exposes a
+small fluent API that renders to the dialect of
+:mod:`repro.engine.sqlparser`:
+
+    >>> sql = (SubjectiveQueryBuilder("Entities")
+    ...        .where_compare("price_pn", "<", 150)
+    ...        .where_equals("city", "london")
+    ...        .where_subjective("has really clean rooms")
+    ...        .limit(10)
+    ...        .to_sql())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _quote_literal(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if value is None:
+        return "null"
+    escaped = str(value).replace("'", "\\'")
+    return f"'{escaped}'"
+
+
+def _quote_predicate(text: str) -> str:
+    escaped = text.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+@dataclass
+class SubjectiveQueryBuilder:
+    """Fluent builder for single-table subjective SELECT queries."""
+
+    table: str
+    alias: str | None = None
+    _conditions: list[str] = field(default_factory=list)
+    _order_by: str | None = field(default=None)
+    _limit: int | None = field(default=None)
+
+    def where_compare(self, column: str, operator: str, value: object) -> "SubjectiveQueryBuilder":
+        """Add an objective comparison condition."""
+        if operator not in ("=", "!=", "<", "<=", ">", ">="):
+            raise ValueError(f"unsupported operator: {operator!r}")
+        self._conditions.append(f"{column} {operator} {_quote_literal(value)}")
+        return self
+
+    def where_equals(self, column: str, value: object) -> "SubjectiveQueryBuilder":
+        """Shorthand for an equality condition."""
+        return self.where_compare(column, "=", value)
+
+    def where_in(self, column: str, values: list) -> "SubjectiveQueryBuilder":
+        """Add an IN condition."""
+        if not values:
+            raise ValueError("IN list must not be empty")
+        rendered = ", ".join(_quote_literal(value) for value in values)
+        self._conditions.append(f"{column} in ({rendered})")
+        return self
+
+    def where_between(self, column: str, low: object, high: object) -> "SubjectiveQueryBuilder":
+        """Add a BETWEEN condition."""
+        self._conditions.append(
+            f"{column} between {_quote_literal(low)} and {_quote_literal(high)}"
+        )
+        return self
+
+    def where_subjective(self, predicate: str) -> "SubjectiveQueryBuilder":
+        """Add a natural-language subjective predicate."""
+        if not predicate.strip():
+            raise ValueError("subjective predicate must not be empty")
+        self._conditions.append(_quote_predicate(predicate))
+        return self
+
+    def order_by(self, column: str, descending: bool = False) -> "SubjectiveQueryBuilder":
+        """Order results by an objective column."""
+        self._order_by = f"{column} {'desc' if descending else 'asc'}"
+        return self
+
+    def limit(self, n: int) -> "SubjectiveQueryBuilder":
+        """Limit the number of returned entities."""
+        if n <= 0:
+            raise ValueError("limit must be positive")
+        self._limit = n
+        return self
+
+    def to_sql(self) -> str:
+        """Render the query as a subjective-SQL string."""
+        table = f"{self.table} {self.alias}" if self.alias else self.table
+        parts = [f"select * from {table}"]
+        if self._conditions:
+            parts.append("where " + " and ".join(self._conditions))
+        if self._order_by:
+            parts.append(f"order by {self._order_by}")
+        if self._limit is not None:
+            parts.append(f"limit {self._limit}")
+        return " ".join(parts)

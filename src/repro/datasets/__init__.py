@@ -1,0 +1,67 @@
+"""Synthetic datasets standing in for the paper's proprietary corpora.
+
+The paper evaluates on the Booking.com hotel-review dump and a Toronto
+subset of the Yelp dataset, plus SemEval ABSA corpora and an MTurk survey.
+None of these can be redistributed here, so this package generates synthetic
+equivalents with controlled ground truth:
+
+* :mod:`repro.datasets.hotels` / :mod:`repro.datasets.restaurants` — review
+  corpora where every entity has a latent quality per aspect and review
+  sentences voice opinions correlated with those latent qualities (including
+  negated phrasings that confuse keyword search, the paper's motivating
+  failure mode for the IR baseline);
+* :mod:`repro.datasets.semeval` — ABSA-style corpora with gold AS/OP token
+  tags for the extractor experiments (Table 6);
+* :mod:`repro.datasets.survey` — a simulated MTurk criteria survey
+  (Table 3);
+* :mod:`repro.datasets.queries` — the subjective query-predicate banks and
+  the easy/medium/hard workload generator with a ground-truth ``sat(q, e)``
+  oracle (Tables 5, 7, 8).
+"""
+
+from repro.datasets.phrasebanks import (
+    AspectSpec,
+    DomainSpec,
+    hotel_domain_spec,
+    restaurant_domain_spec,
+)
+from repro.datasets.corpus import SyntheticCorpus, SyntheticEntity, generate_corpus
+from repro.datasets.hotels import generate_hotel_corpus, hotel_seed_sets
+from repro.datasets.restaurants import generate_restaurant_corpus, restaurant_seed_sets
+from repro.datasets.semeval import AbsaDataset, generate_absa_dataset, standard_absa_datasets
+from repro.datasets.survey import SurveyResult, run_survey_simulation
+from repro.datasets.queries import (
+    PredicateSpec,
+    QueryWorkload,
+    SubjectiveQuery,
+    hotel_predicate_bank,
+    restaurant_predicate_bank,
+    generate_workload,
+    satisfaction_oracle,
+)
+
+__all__ = [
+    "AspectSpec",
+    "DomainSpec",
+    "hotel_domain_spec",
+    "restaurant_domain_spec",
+    "SyntheticCorpus",
+    "SyntheticEntity",
+    "generate_corpus",
+    "generate_hotel_corpus",
+    "hotel_seed_sets",
+    "generate_restaurant_corpus",
+    "restaurant_seed_sets",
+    "AbsaDataset",
+    "generate_absa_dataset",
+    "standard_absa_datasets",
+    "SurveyResult",
+    "run_survey_simulation",
+    "PredicateSpec",
+    "SubjectiveQuery",
+    "QueryWorkload",
+    "hotel_predicate_bank",
+    "restaurant_predicate_bank",
+    "generate_workload",
+    "satisfaction_oracle",
+]

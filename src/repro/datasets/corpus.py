@@ -1,0 +1,242 @@
+"""Generic synthetic review-corpus generator with latent ground truth.
+
+Every synthetic entity has a latent quality in [0, 1] for each aspect of its
+domain.  Reviews voice opinions whose polarity is sampled around the latent
+quality, so the corpus has a known ground truth: "does hotel h really have
+clean rooms?" is answered by the latent ``room_cleanliness`` quality of h.
+The experiment harness uses this as the ``sat(q, e)`` oracle of Section 5.2.3
+instead of the paper's manual labelling.
+
+Reviews are composed of templated sentences.  The templates deliberately mix
+direct opinions ("the room was spotless"), attributive phrasings ("spotless
+room"), and negated positives at the low levels ("the room was not clean") —
+the latter keep positive keywords in negative reviews, which is what defeats
+keyword retrieval but not sentiment-aware aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Mapping
+
+import numpy as np
+
+from repro.core.database import ReviewRecord
+from repro.datasets.phrasebanks import NUM_LEVELS, AspectSpec, DomainSpec
+from repro.errors import DatasetError
+from repro.utils.rng import ensure_rng
+
+ObjectiveGenerator = Callable[[int, np.random.Generator, Mapping[str, float]], dict]
+
+_SENTENCE_TEMPLATES = (
+    "the {aspect} was {opinion}",
+    "{opinion} {aspect}",
+    "the {aspect} felt {opinion}",
+    "we found the {aspect} {opinion}",
+    "{aspect} was {opinion} during our stay",
+)
+
+_OPENERS = (
+    "we stayed here last month",
+    "visited with my family",
+    "this was our second visit",
+    "came here for a special occasion",
+    "spent a few nights here",
+    "stopped by on a weekend trip",
+)
+
+_CLOSERS_POSITIVE = (
+    "overall we had a great time",
+    "would definitely recommend",
+    "we will be back",
+    "a lovely experience overall",
+)
+
+_CLOSERS_NEGATIVE = (
+    "overall quite disappointing",
+    "would not recommend",
+    "we will not be coming back",
+    "a frustrating experience overall",
+)
+
+
+@dataclass(frozen=True)
+class SyntheticEntity:
+    """A generated entity: objective attributes plus latent aspect qualities."""
+
+    entity_id: str
+    objective: dict
+    qualities: dict[str, float]
+
+    def quality(self, attribute: str) -> float:
+        """Latent quality of ``attribute`` in [0, 1] (ground truth)."""
+        return self.qualities[attribute]
+
+
+@dataclass
+class SyntheticCorpus:
+    """A generated corpus: domain spec, entities, reviews, and ground truth."""
+
+    spec: DomainSpec
+    entities: list[SyntheticEntity]
+    reviews: list[ReviewRecord]
+    seed: int
+
+    _by_id: dict[str, SyntheticEntity] = field(default_factory=dict, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_id = {entity.entity_id: entity for entity in self.entities}
+
+    def entity(self, entity_id: Hashable) -> SyntheticEntity:
+        try:
+            return self._by_id[str(entity_id)]
+        except KeyError:
+            raise DatasetError(f"unknown synthetic entity: {entity_id!r}") from None
+
+    def quality(self, entity_id: Hashable, attribute: str) -> float:
+        """Ground-truth latent quality of (entity, attribute)."""
+        return self.entity(entity_id).quality(attribute)
+
+    def reviews_of(self, entity_id: Hashable) -> list[ReviewRecord]:
+        return [review for review in self.reviews if review.entity_id == str(entity_id)]
+
+    @property
+    def num_reviews(self) -> int:
+        return len(self.reviews)
+
+    def entity_pairs(self) -> list[tuple[str, dict]]:
+        """(entity_id, objective attributes) pairs in builder-ready form."""
+        return [(entity.entity_id, dict(entity.objective)) for entity in self.entities]
+
+
+def _sample_level(quality: float, rng: np.random.Generator, noise: float) -> int:
+    """Map a latent quality in [0, 1] to a noisy discrete opinion level 0..4."""
+    value = quality * (NUM_LEVELS - 1) + rng.normal(0.0, noise)
+    return int(np.clip(round(value), 0, NUM_LEVELS - 1))
+
+
+_NEGATED_TEMPLATES = (
+    "the {aspect} was not {positive} at all",
+    "the {aspect} was never {positive}",
+    "{aspect} not {positive} and hardly acceptable",
+)
+
+#: Probability that a low-level (0 or 1) mention is voiced as a negated
+#: positive phrase ("not clean at all") instead of a plain negative one.
+NEGATED_POSITIVE_PROBABILITY = 0.35
+
+
+def _aspect_sentence(
+    aspect: AspectSpec, level: int, rng: np.random.Generator
+) -> str:
+    aspect_term = aspect.aspect_terms[int(rng.integers(len(aspect.aspect_terms)))]
+    if level <= 1 and rng.random() < NEGATED_POSITIVE_PROBABILITY:
+        # Negated positive phrasing: the sentence is negative but contains the
+        # positive keyword, which is what misleads keyword retrieval (the IR
+        # baseline) while sentiment-aware aggregation handles it correctly.
+        positive_bank = aspect.opinion_levels[3] + aspect.opinion_levels[4]
+        positive = positive_bank[int(rng.integers(len(positive_bank)))]
+        template = _NEGATED_TEMPLATES[int(rng.integers(len(_NEGATED_TEMPLATES)))]
+        return template.format(aspect=aspect_term, positive=positive)
+    opinions = aspect.opinion_levels[level]
+    opinion = opinions[int(rng.integers(len(opinions)))]
+    template = _SENTENCE_TEMPLATES[int(rng.integers(len(_SENTENCE_TEMPLATES)))]
+    return template.format(aspect=aspect_term, opinion=opinion)
+
+
+def generate_corpus(
+    spec: DomainSpec,
+    num_entities: int,
+    reviews_per_entity: int,
+    objective_generator: ObjectiveGenerator,
+    seed: int = 0,
+    level_noise: float = 0.7,
+    reviewer_pool: int | None = None,
+    entity_prefix: str | None = None,
+) -> SyntheticCorpus:
+    """Generate a synthetic corpus for ``spec``.
+
+    Parameters
+    ----------
+    num_entities / reviews_per_entity:
+        Corpus size; the number of reviews per entity is Poisson-distributed
+        around ``reviews_per_entity`` (minimum 3).
+    objective_generator:
+        Callable producing the objective attribute dict of entity ``i`` given
+        the RNG and the entity's latent qualities (so objective attributes
+        such as price can correlate with quality, as in real data).
+    level_noise:
+        Standard deviation of the noise between latent quality and the
+        opinion level voiced in a review sentence.
+    reviewer_pool:
+        Number of distinct reviewers; defaults to ``3 × num_entities``.
+        Reviewer assignment is Zipf-like so a few reviewers are prolific
+        (supporting "reviewed at least 10 hotels" style qualifications).
+    """
+    if num_entities < 1 or reviews_per_entity < 1:
+        raise DatasetError("corpus sizes must be positive")
+    rng = ensure_rng(seed)
+    prefix = entity_prefix or spec.entity_label
+    reviewer_pool = reviewer_pool or max(3, 3 * num_entities)
+    reviewer_weights = 1.0 / np.arange(1, reviewer_pool + 1)
+    reviewer_weights /= reviewer_weights.sum()
+
+    entities: list[SyntheticEntity] = []
+    reviews: list[ReviewRecord] = []
+    review_id = 0
+    for index in range(num_entities):
+        qualities = {
+            aspect.attribute: float(np.clip(rng.beta(2.0, 2.0), 0.02, 0.98))
+            for aspect in spec.aspects
+        }
+        objective = objective_generator(index, rng, qualities)
+        entity_id = f"{prefix}_{index:04d}"
+        entities.append(
+            SyntheticEntity(entity_id=entity_id, objective=objective, qualities=qualities)
+        )
+
+        num_reviews = max(3, int(rng.poisson(reviews_per_entity)))
+        for _ in range(num_reviews):
+            sentences = [_OPENERS[int(rng.integers(len(_OPENERS)))]]
+            mentioned_levels: list[int] = []
+            for aspect in spec.aspects:
+                if rng.random() > aspect.mention_probability:
+                    continue
+                level = _sample_level(qualities[aspect.attribute], rng, level_noise)
+                mentioned_levels.append(level)
+                sentences.append(_aspect_sentence(aspect, level, rng))
+            if not mentioned_levels:
+                aspect = spec.aspects[int(rng.integers(len(spec.aspects)))]
+                level = _sample_level(qualities[aspect.attribute], rng, level_noise)
+                mentioned_levels.append(level)
+                sentences.append(_aspect_sentence(aspect, level, rng))
+            # Experiential sentences ("a perfect romantic getaway") appear in
+            # reviews of entities whose underlying aspects are genuinely good;
+            # they ground the co-occurrence interpretation method.
+            for experience in spec.experiences:
+                mean_quality = float(
+                    np.mean([qualities[a] for a in experience.attributes])
+                )
+                if mean_quality >= experience.quality_threshold and \
+                        rng.random() < experience.probability:
+                    sentences.append(experience.sentence)
+            mean_level = float(np.mean(mentioned_levels))
+            if mean_level >= 2.5:
+                sentences.append(_CLOSERS_POSITIVE[int(rng.integers(len(_CLOSERS_POSITIVE)))])
+            elif mean_level <= 1.5:
+                sentences.append(_CLOSERS_NEGATIVE[int(rng.integers(len(_CLOSERS_NEGATIVE)))])
+            rating = float(np.clip(1.0 + mean_level + rng.normal(0.0, 0.4), 1.0, 5.0))
+            reviewer = f"reviewer_{int(rng.choice(reviewer_pool, p=reviewer_weights)):05d}"
+            reviews.append(
+                ReviewRecord(
+                    review_id=review_id,
+                    entity_id=entity_id,
+                    text=". ".join(sentences) + ".",
+                    reviewer_id=reviewer,
+                    rating=rating,
+                    year=int(rng.integers(2008, 2019)),
+                    helpful_votes=int(rng.poisson(1.2)),
+                )
+            )
+            review_id += 1
+    return SyntheticCorpus(spec=spec, entities=entities, reviews=reviews, seed=seed)

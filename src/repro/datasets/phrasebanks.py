@@ -1,0 +1,471 @@
+"""Phrase banks and domain specifications for the synthetic review generators.
+
+Every domain (hotels, restaurants) is described by a :class:`DomainSpec`: a
+list of aspects, each with its aspect terms (the nouns reviewers use for it)
+and an opinion-phrase bank stratified into five quality levels, from level 0
+(terrible) to level 4 (excellent).  The banks deliberately include *negated
+positive* phrasings at the low levels ("not clean at all", "never quiet") —
+these contain the positive keyword and are exactly the cases where keyword
+search (the IR baseline) is misled while OpineDB's sentiment-aware
+aggregation is not, reproducing the failure mode discussed in Section 5.3
+and Appendix D of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.markers import SummaryKind
+
+#: Number of quality levels in every opinion bank (0 = worst, 4 = best).
+NUM_LEVELS = 5
+
+
+@dataclass(frozen=True)
+class AspectSpec:
+    """One subjective aspect of a domain.
+
+    Attributes
+    ----------
+    attribute:
+        The subjective-attribute name this aspect populates.
+    aspect_terms:
+        Nouns reviewers use to refer to the aspect.
+    opinion_levels:
+        Five lists of opinion phrases, index 0 = most negative, 4 = most
+        positive.
+    mention_probability:
+        Chance that any given review mentions this aspect.
+    kind:
+        Whether the attribute's linguistic domain is linear or categorical.
+    """
+
+    attribute: str
+    aspect_terms: tuple[str, ...]
+    opinion_levels: tuple[tuple[str, ...], ...]
+    mention_probability: float = 0.5
+    kind: SummaryKind = SummaryKind.LINEAR
+
+    def __post_init__(self) -> None:
+        if len(self.opinion_levels) != NUM_LEVELS:
+            raise ValueError(
+                f"aspect {self.attribute!r} needs {NUM_LEVELS} opinion levels"
+            )
+        if not self.aspect_terms:
+            raise ValueError(f"aspect {self.attribute!r} needs aspect terms")
+        if not 0.0 < self.mention_probability <= 1.0:
+            raise ValueError("mention_probability must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ExperienceSpec:
+    """An experiential phrase reviewers use when certain aspects are great.
+
+    ``sentence`` is emitted into a review (with some probability) when the
+    mean latent quality of ``attributes`` is high.  These sentences are what
+    ground the co-occurrence interpretation method: "a perfect romantic
+    getaway" co-occurs with exceptional service and luxurious bathrooms, so
+    OpineDB can interpret the out-of-schema predicate from data alone.
+    """
+
+    sentence: str
+    attributes: tuple[str, ...]
+    quality_threshold: float = 0.62
+    probability: float = 0.5
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """A full domain description: its aspects plus naming metadata."""
+
+    name: str
+    entity_key: str
+    entity_label: str
+    aspects: tuple[AspectSpec, ...]
+    experiences: tuple[ExperienceSpec, ...] = ()
+
+    def aspect(self, attribute: str) -> AspectSpec:
+        for aspect in self.aspects:
+            if aspect.attribute == attribute:
+                return aspect
+        raise KeyError(f"domain {self.name!r} has no aspect {attribute!r}")
+
+    @property
+    def attribute_names(self) -> list[str]:
+        return [aspect.attribute for aspect in self.aspects]
+
+
+# --------------------------------------------------------------------------
+# Hotel domain: 15 subjective attributes (the paper reports 15 for hotels).
+# --------------------------------------------------------------------------
+
+_HOTEL_ASPECTS: tuple[AspectSpec, ...] = (
+    AspectSpec(
+        attribute="room_cleanliness",
+        aspect_terms=("room", "rooms", "carpet", "bedroom", "suite", "floor"),
+        opinion_levels=(
+            ("filthy", "absolutely filthy", "disgusting", "never cleaned", "covered in grime"),
+            ("dirty", "quite dirty", "stained", "dusty", "not clean", "not clean at all"),
+            ("average", "reasonably clean", "acceptable", "nothing special", "fairly tidy"),
+            ("clean", "very tidy", "well kept", "nice and clean", "pretty clean"),
+            ("spotless", "very clean", "immaculate", "spotlessly clean", "extremely clean"),
+        ),
+        mention_probability=0.65,
+    ),
+    AspectSpec(
+        attribute="bed_comfort",
+        aspect_terms=("bed", "beds", "mattress", "pillow", "pillows"),
+        opinion_levels=(
+            ("horribly uncomfortable", "worn out", "broken springs", "awful"),
+            ("too soft", "lumpy", "saggy", "uncomfortable", "not comfortable"),
+            ("ok", "decent", "average", "firm enough"),
+            ("comfortable", "comfy", "firm", "nice and soft"),
+            ("extremely comfortable", "heavenly", "perfect firmness", "wonderfully soft"),
+        ),
+        mention_probability=0.5,
+    ),
+    AspectSpec(
+        attribute="bathroom_style",
+        aspect_terms=("bathroom", "shower", "bath", "faucet", "bathtub"),
+        opinion_levels=(
+            ("mouldy", "falling apart", "disgusting", "broken"),
+            ("old", "dated", "worn", "old-fashioned", "outdated"),
+            ("standard", "basic", "adequate", "ordinary"),
+            ("modern", "stylish", "renovated", "nicely updated"),
+            ("luxurious", "gorgeous", "marble and spotless", "stunning"),
+        ),
+        mention_probability=0.45,
+        kind=SummaryKind.CATEGORICAL,
+    ),
+    AspectSpec(
+        attribute="service",
+        aspect_terms=("service", "reception", "front desk", "concierge", "check in"),
+        opinion_levels=(
+            ("appalling", "the worst", "unacceptable", "a nightmare"),
+            ("slow", "rude", "unhelpful", "indifferent", "not helpful"),
+            ("average", "ok", "acceptable", "fine"),
+            ("good", "friendly", "helpful", "prompt", "attentive"),
+            ("exceptional", "outstanding", "went above and beyond", "impeccable"),
+        ),
+        mention_probability=0.6,
+    ),
+    AspectSpec(
+        attribute="staff",
+        aspect_terms=("staff", "housekeeping", "porter", "manager", "team"),
+        opinion_levels=(
+            ("hostile", "incredibly rude", "awful"),
+            ("rude", "unfriendly", "dismissive", "not friendly"),
+            ("polite", "ok", "professional enough"),
+            ("friendly", "very kind", "welcoming", "helpful"),
+            ("wonderful", "exceptionally kind", "amazing", "truly caring"),
+        ),
+        mention_probability=0.55,
+    ),
+    AspectSpec(
+        attribute="breakfast",
+        aspect_terms=("breakfast", "buffet", "coffee", "morning meal"),
+        opinion_levels=(
+            ("inedible", "disgusting", "a disaster"),
+            ("poor", "stale", "cold", "very limited", "not fresh"),
+            ("average", "standard", "ok", "basic"),
+            ("good", "tasty", "fresh", "plenty of choice", "good options"),
+            ("delicious", "outstanding", "superb spread", "fantastic variety"),
+        ),
+        mention_probability=0.5,
+    ),
+    AspectSpec(
+        attribute="location",
+        aspect_terms=("location", "area", "neighborhood", "surroundings"),
+        opinion_levels=(
+            ("terrible", "dangerous", "awful"),
+            ("inconvenient", "far from everything", "sketchy", "not great"),
+            ("ok", "decent", "fine", "acceptable"),
+            ("good", "convenient", "central", "great place", "close to everything"),
+            ("perfect", "unbeatable", "right in the heart of the city", "amazing"),
+        ),
+        mention_probability=0.6,
+    ),
+    AspectSpec(
+        attribute="room_quietness",
+        aspect_terms=("room noise", "noise", "street noise", "walls", "soundproofing"),
+        opinion_levels=(
+            ("unbearably noisy", "constant noise", "impossible to sleep"),
+            ("noisy", "loud", "traffic noise all night", "not quiet", "never quiet"),
+            ("acceptable", "some noise", "mostly fine"),
+            ("quiet", "peaceful", "calm", "quiet place"),
+            ("very quiet", "perfectly silent", "wonderfully peaceful"),
+        ),
+        mention_probability=0.45,
+    ),
+    AspectSpec(
+        attribute="wifi",
+        aspect_terms=("wifi", "internet", "connection", "wi-fi"),
+        opinion_levels=(
+            ("useless", "never worked", "completely broken"),
+            ("slow", "unreliable", "kept dropping", "not working"),
+            ("ok", "adequate", "usable"),
+            ("fast", "reliable", "good"),
+            ("blazing fast", "excellent", "flawless"),
+        ),
+        mention_probability=0.35,
+    ),
+    AspectSpec(
+        attribute="bar",
+        aspect_terms=("bar", "lounge", "rooftop bar", "cocktails"),
+        opinion_levels=(
+            ("dreadful", "avoid it", "awful"),
+            ("overpriced", "dull", "boring", "not worth it"),
+            ("ok", "decent", "fine"),
+            ("lively", "fun", "great cocktails", "nice atmosphere"),
+            ("fantastic", "amazing vibe", "best rooftop in town", "buzzing"),
+        ),
+        mention_probability=0.3,
+    ),
+    AspectSpec(
+        attribute="view",
+        aspect_terms=("view", "window view", "balcony", "scenery"),
+        opinion_levels=(
+            ("depressing", "a brick wall", "awful"),
+            ("disappointing", "nothing to see", "blocked", "not much of a view"),
+            ("ok", "fine", "average"),
+            ("nice", "lovely", "pretty", "great"),
+            ("breathtaking", "stunning", "spectacular panorama", "unforgettable"),
+        ),
+        mention_probability=0.3,
+    ),
+    AspectSpec(
+        attribute="value",
+        aspect_terms=("price", "value", "rate", "cost"),
+        opinion_levels=(
+            ("a rip off", "outrageous", "daylight robbery"),
+            ("overpriced", "too expensive", "poor value", "not worth the price"),
+            ("fair", "reasonable", "ok"),
+            ("good value", "affordable", "worth it"),
+            ("a bargain", "incredible value", "unbeatable for the price"),
+        ),
+        mention_probability=0.45,
+    ),
+    AspectSpec(
+        attribute="facilities",
+        aspect_terms=("pool", "gym", "spa", "facilities", "sauna"),
+        opinion_levels=(
+            ("closed", "broken", "unusable"),
+            ("tiny", "run down", "disappointing", "not maintained"),
+            ("adequate", "ok", "standard"),
+            ("good", "well equipped", "nice", "clean and modern"),
+            ("world class", "superb", "luxurious", "outstanding"),
+        ),
+        mention_probability=0.35,
+        kind=SummaryKind.CATEGORICAL,
+    ),
+    AspectSpec(
+        attribute="parking",
+        aspect_terms=("parking", "garage", "car park"),
+        opinion_levels=(
+            ("impossible", "a nightmare", "nonexistent"),
+            ("expensive", "cramped", "hard to find", "not available"),
+            ("ok", "adequate", "fine"),
+            ("easy", "convenient", "plenty of space"),
+            ("free and spacious", "perfect", "effortless"),
+        ),
+        mention_probability=0.25,
+    ),
+    AspectSpec(
+        attribute="air_conditioning",
+        aspect_terms=("air conditioning", "ac", "heating", "temperature"),
+        opinion_levels=(
+            ("broken", "did not work at all", "useless"),
+            ("noisy", "weak", "unreliable", "not working properly"),
+            ("ok", "adequate", "fine"),
+            ("effective", "quiet and cool", "worked well"),
+            ("perfect", "whisper quiet and icy cold", "excellent"),
+        ),
+        mention_probability=0.3,
+    ),
+)
+
+
+# --------------------------------------------------------------------------
+# Restaurant domain: 11 subjective attributes (the paper reports 11).
+# --------------------------------------------------------------------------
+
+_RESTAURANT_ASPECTS: tuple[AspectSpec, ...] = (
+    AspectSpec(
+        attribute="food_quality",
+        aspect_terms=("food", "dishes", "meal", "cooking", "flavors"),
+        opinion_levels=(
+            ("inedible", "disgusting", "revolting"),
+            ("bland", "greasy", "disappointing", "not fresh", "not tasty"),
+            ("ok", "decent", "average", "fine"),
+            ("tasty", "delicious", "fresh", "flavorful", "really good"),
+            ("exceptional", "out of this world", "the best i have ever had", "divine"),
+        ),
+        mention_probability=0.8,
+    ),
+    AspectSpec(
+        attribute="service",
+        aspect_terms=("service", "server", "waiter", "waitress", "host"),
+        opinion_levels=(
+            ("appalling", "the worst service", "hostile"),
+            ("slow", "rude", "inattentive", "not attentive", "forgot our order"),
+            ("ok", "fine", "acceptable"),
+            ("friendly", "attentive", "prompt", "helpful"),
+            ("impeccable", "outstanding", "made us feel special"),
+        ),
+        mention_probability=0.65,
+    ),
+    AspectSpec(
+        attribute="ambience",
+        aspect_terms=("ambience", "atmosphere", "vibe", "decor", "music"),
+        opinion_levels=(
+            ("dreadful", "grim", "depressing"),
+            ("noisy", "cramped", "chaotic", "too loud", "not relaxing"),
+            ("ok", "casual", "fine"),
+            ("cozy", "charming", "relaxing", "warm", "quiet place"),
+            ("magical", "stunning", "absolutely enchanting", "romantic and intimate"),
+        ),
+        mention_probability=0.55,
+    ),
+    AspectSpec(
+        attribute="value",
+        aspect_terms=("price", "prices", "value", "bill", "cost"),
+        opinion_levels=(
+            ("a rip off", "outrageous", "insulting for the price"),
+            ("overpriced", "expensive for what you get", "not worth it"),
+            ("fair", "reasonable", "ok"),
+            ("good value", "affordable", "worth every penny"),
+            ("a steal", "incredible value", "unbeatable prices"),
+        ),
+        mention_probability=0.5,
+    ),
+    AspectSpec(
+        attribute="cleanliness",
+        aspect_terms=("restroom", "tables", "kitchen", "cutlery", "floor"),
+        opinion_levels=(
+            ("filthy", "disgusting", "health hazard"),
+            ("dirty", "sticky", "grimy", "not clean"),
+            ("acceptable", "ok", "fine"),
+            ("clean", "tidy", "well kept", "spotless tables"),
+            ("immaculate", "sparkling", "spotless"),
+        ),
+        mention_probability=0.35,
+    ),
+    AspectSpec(
+        attribute="portions",
+        aspect_terms=("portion", "portions", "serving", "servings"),
+        opinion_levels=(
+            ("microscopic", "a joke", "insultingly small"),
+            ("small", "tiny", "skimpy", "not enough"),
+            ("ok", "average", "adequate"),
+            ("generous", "large", "hearty", "filling"),
+            ("enormous", "huge", "impossible to finish"),
+        ),
+        mention_probability=0.4,
+    ),
+    AspectSpec(
+        attribute="drinks",
+        aspect_terms=("drinks", "cocktails", "wine", "wine list", "beer"),
+        opinion_levels=(
+            ("undrinkable", "awful", "terrible"),
+            ("limited", "overpriced", "watered down", "not great"),
+            ("ok", "decent", "standard"),
+            ("good", "creative cocktails", "well curated", "excellent wine list"),
+            ("phenomenal", "best cocktails in town", "world class"),
+        ),
+        mention_probability=0.35,
+    ),
+    AspectSpec(
+        attribute="desserts",
+        aspect_terms=("dessert", "desserts", "cake", "pastry", "sweets"),
+        opinion_levels=(
+            ("inedible", "stale", "awful"),
+            ("dry", "bland", "disappointing", "not fresh"),
+            ("ok", "fine", "average"),
+            ("delicious", "heavenly", "lovely", "great"),
+            ("unforgettable", "spectacular", "the best dessert ever"),
+        ),
+        mention_probability=0.3,
+    ),
+    AspectSpec(
+        attribute="wait_time",
+        aspect_terms=("wait", "wait time", "queue", "line", "seating time"),
+        opinion_levels=(
+            ("endless", "over two hours", "absurd"),
+            ("long", "slow", "forty five minutes", "not quick"),
+            ("ok", "reasonable", "expected"),
+            ("short", "quick", "seated right away"),
+            ("instant", "no wait at all", "walked straight in"),
+        ),
+        mention_probability=0.35,
+    ),
+    AspectSpec(
+        attribute="staff",
+        aspect_terms=("staff", "team", "manager", "chef", "kitchen staff"),
+        opinion_levels=(
+            ("hostile", "horrible", "aggressive"),
+            ("rude", "unfriendly", "dismissive", "not welcoming"),
+            ("polite", "ok", "professional"),
+            ("friendly", "very kind", "welcoming", "very kind staff"),
+            ("wonderful", "treated us like family", "amazing"),
+        ),
+        mention_probability=0.45,
+    ),
+    AspectSpec(
+        attribute="seating",
+        aspect_terms=("table", "tables", "seating", "chairs", "booth"),
+        opinion_levels=(
+            ("broken", "unbearable", "awful"),
+            ("cramped", "uncomfortable", "wobbly", "too close together"),
+            ("ok", "fine", "standard"),
+            ("comfortable", "spacious", "cozy booths", "high chair for kids"),
+            ("luxurious", "wonderfully comfortable", "perfect"),
+        ),
+        mention_probability=0.35,
+        kind=SummaryKind.CATEGORICAL,
+    ),
+)
+
+
+_HOTEL_EXPERIENCES: tuple[ExperienceSpec, ...] = (
+    ExperienceSpec("a perfect romantic getaway", ("service", "bathroom_style")),
+    ExperienceSpec("wonderful for our anniversary", ("service", "view")),
+    ExperienceSpec("ideal for a business trip", ("wifi", "location")),
+    ExperienceSpec("perfect for families with kids", ("staff", "facilities")),
+    ExperienceSpec("slept like a baby every night", ("room_quietness", "bed_comfort")),
+    ExperienceSpec("felt like a home away from home", ("staff", "service")),
+    ExperienceSpec("plenty of eating options nearby", ("location", "breakfast")),
+    ExperienceSpec("great base for exploring on a motorcycle", ("parking", "location")),
+)
+
+_RESTAURANT_EXPERIENCES: tuple[ExperienceSpec, ...] = (
+    ExperienceSpec("a perfect spot for a romantic dinner", ("ambience", "service")),
+    ExperienceSpec("great place to bring the kids for dinner", ("seating", "staff")),
+    ExperienceSpec("lovely private dinner vibe", ("ambience",)),
+    ExperienceSpec("ideal for a first date", ("ambience", "service")),
+    ExperienceSpec("works really well for large groups", ("seating", "service")),
+    ExperienceSpec("perfect for a quick lunch break", ("wait_time", "value")),
+    ExperienceSpec("a hidden gem", ("food_quality", "value")),
+    ExperienceSpec("celebrated a birthday here and it was wonderful", ("ambience", "desserts")),
+)
+
+
+def hotel_domain_spec() -> DomainSpec:
+    """The hotel domain specification (15 subjective aspects)."""
+    return DomainSpec(
+        name="hotels",
+        entity_key="hotelname",
+        entity_label="hotel",
+        aspects=_HOTEL_ASPECTS,
+        experiences=_HOTEL_EXPERIENCES,
+    )
+
+
+def restaurant_domain_spec() -> DomainSpec:
+    """The restaurant domain specification (11 subjective aspects)."""
+    return DomainSpec(
+        name="restaurants",
+        entity_key="restaurantname",
+        entity_label="restaurant",
+        aspects=_RESTAURANT_ASPECTS,
+        experiences=_RESTAURANT_EXPERIENCES,
+    )

@@ -1,0 +1,241 @@
+"""Subjective query-predicate banks and workload generation (Section 5.2.2).
+
+The paper collected 190 subjective query predicates for hotels and 185 for
+restaurants, then built query workloads as uniform random conjunctions of 2
+(easy), 4 (medium) or 7 (hard) predicates, each further extended with one of
+two objective options per domain (London < $300 / Amsterdam; low-price /
+Japanese cuisine).  This module reproduces that setup:
+
+* predicate banks are generated from the domain phrase banks (positive
+  phrasings of each aspect) plus a hand-written set of out-of-schema
+  predicates ("is a romantic getaway") that exercise the co-occurrence and
+  text-retrieval interpretation paths;
+* every predicate carries its gold attribute(s) so the Table 8 experiment
+  can score interpretation accuracy and the ``sat(q, e)`` oracle can judge
+  result quality against the synthetic corpora's latent ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query import SubjectiveQueryBuilder
+from repro.datasets.corpus import SyntheticCorpus
+from repro.datasets.phrasebanks import DomainSpec, hotel_domain_spec, restaurant_domain_spec
+from repro.errors import DatasetError
+from repro.utils.rng import ensure_rng
+
+#: Number of subjective conjuncts per difficulty level (Section 5.2.2).
+DIFFICULTY_CONJUNCTS = {"easy": 2, "medium": 4, "hard": 7}
+
+
+@dataclass(frozen=True)
+class PredicateSpec:
+    """One subjective query predicate with its gold interpretation.
+
+    ``attributes`` lists the subjective attributes the predicate is about
+    (usually one; out-of-schema predicates may map to several proxies).
+    ``in_schema`` is False for predicates whose wording is far from any
+    linguistic variation, i.e. the cases that should exercise the
+    co-occurrence or text-retrieval fallback.
+    """
+
+    text: str
+    attributes: tuple[str, ...]
+    polarity: float = 1.0
+    in_schema: bool = True
+
+    @property
+    def primary_attribute(self) -> str:
+        return self.attributes[0]
+
+
+@dataclass(frozen=True)
+class SubjectiveQuery:
+    """One generated workload query."""
+
+    sql: str
+    predicates: tuple[PredicateSpec, ...]
+    difficulty: str
+    option: str
+    domain: str
+
+
+@dataclass
+class QueryWorkload:
+    """A set of generated queries for one (domain, option, difficulty) cell."""
+
+    domain: str
+    option: str
+    difficulty: str
+    queries: list[SubjectiveQuery] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+
+_PREDICATE_TEMPLATES = (
+    "has {opinion} {aspect}",
+    "with {opinion} {aspect}",
+    "{opinion} {aspect}",
+    "looking for {opinion} {aspect}",
+)
+
+# Out-of-schema predicates: wording far from the linguistic domains, with the
+# proxy attributes the paper's co-occurrence method should discover.
+_HOTEL_SPECIAL = (
+    PredicateSpec("is a romantic getaway", ("service", "bathroom_style"), in_schema=False),
+    PredicateSpec("hotel for our anniversary", ("service", "view"), in_schema=False),
+    PredicateSpec("good for a business trip", ("wifi", "location"), in_schema=False),
+    PredicateSpec("perfect for families with kids", ("staff", "facilities"), in_schema=False),
+    PredicateSpec("a lively bar scene", ("bar",), in_schema=False),
+    PredicateSpec("easy to get a good night of sleep", ("room_quietness", "bed_comfort"), in_schema=False),
+    PredicateSpec("feels like a home away from home", ("staff", "service"), in_schema=False),
+    PredicateSpec("great for motorcyclists", ("parking", "location"), in_schema=False),
+    PredicateSpec("multiple eating options nearby", ("location", "breakfast"), in_schema=False),
+    PredicateSpec("a quiet place to work remotely", ("room_quietness", "wifi"), in_schema=False),
+)
+
+_RESTAURANT_SPECIAL = (
+    PredicateSpec("a romantic dinner spot", ("ambience", "service"), in_schema=False),
+    PredicateSpec("dinner with kids", ("seating", "staff"), in_schema=False),
+    PredicateSpec("private dinner vibe", ("ambience",), in_schema=False),
+    PredicateSpec("good for a first date", ("ambience", "service"), in_schema=False),
+    PredicateSpec("great for large groups", ("seating", "service"), in_schema=False),
+    PredicateSpec("close to public transportation", ("value", "wait_time"), in_schema=False),
+    PredicateSpec("perfect for a quick lunch break", ("wait_time", "value"), in_schema=False),
+    PredicateSpec("a hidden gem", ("food_quality", "value"), in_schema=False),
+    PredicateSpec("ideal for celebrating a birthday", ("ambience", "desserts"), in_schema=False),
+)
+
+
+def _bank_from_spec(
+    spec: DomainSpec,
+    specials: tuple[PredicateSpec, ...],
+    target_size: int,
+    per_attribute: int,
+) -> list[PredicateSpec]:
+    predicates: list[PredicateSpec] = []
+    seen: set[str] = set()
+    for aspect in spec.aspects:
+        produced = 0
+        positive_phrases = list(aspect.opinion_levels[4]) + list(aspect.opinion_levels[3])
+        for opinion in positive_phrases:
+            for template in _PREDICATE_TEMPLATES:
+                if produced >= per_attribute:
+                    break
+                aspect_term = aspect.aspect_terms[produced % len(aspect.aspect_terms)]
+                text = template.format(opinion=opinion, aspect=aspect_term)
+                if text in seen:
+                    continue
+                seen.add(text)
+                predicates.append(
+                    PredicateSpec(text=text, attributes=(aspect.attribute,))
+                )
+                produced += 1
+            if produced >= per_attribute:
+                break
+    predicates.extend(specials)
+    if len(predicates) < target_size:
+        raise DatasetError(
+            f"predicate bank too small: {len(predicates)} < {target_size}"
+        )
+    return predicates[:target_size]
+
+
+def hotel_predicate_bank() -> list[PredicateSpec]:
+    """190 hotel query predicates (Section 5.2.2), gold-labelled by attribute."""
+    return _bank_from_spec(hotel_domain_spec(), _HOTEL_SPECIAL,
+                           target_size=190, per_attribute=12)
+
+
+def restaurant_predicate_bank() -> list[PredicateSpec]:
+    """185 restaurant query predicates, gold-labelled by attribute."""
+    return _bank_from_spec(restaurant_domain_spec(), _RESTAURANT_SPECIAL,
+                           target_size=185, per_attribute=16)
+
+
+#: The objective query options of Table 4 / Table 5, per domain.
+HOTEL_OPTIONS: dict[str, list[tuple[str, str, object]]] = {
+    "london_under_300": [("city", "=", "london"), ("price_pn", "<", 300)],
+    "amsterdam": [("city", "=", "amsterdam")],
+}
+RESTAURANT_OPTIONS: dict[str, list[tuple[str, str, object]]] = {
+    "low_price": [("price_range", "=", 1)],
+    "jp_cuisine": [("cuisine", "=", "japanese")],
+}
+
+
+def generate_workload(
+    bank: list[PredicateSpec],
+    option_name: str,
+    option_conditions: list[tuple[str, str, object]],
+    difficulty: str,
+    num_queries: int,
+    domain: str,
+    table: str = "Entities",
+    limit: int = 10,
+    seed: int = 0,
+) -> QueryWorkload:
+    """Sample ``num_queries`` conjunctive queries for one workload cell.
+
+    Each query is a uniform random sample (without replacement) of
+    ``DIFFICULTY_CONJUNCTS[difficulty]`` predicates from the bank, extended
+    with the objective conditions of the option, rendered to subjective SQL.
+    """
+    if difficulty not in DIFFICULTY_CONJUNCTS:
+        raise DatasetError(f"unknown difficulty: {difficulty!r}")
+    if not bank:
+        raise DatasetError("empty predicate bank")
+    rng = ensure_rng(seed)
+    conjuncts = DIFFICULTY_CONJUNCTS[difficulty]
+    workload = QueryWorkload(domain=domain, option=option_name, difficulty=difficulty)
+    for _ in range(num_queries):
+        indices = rng.choice(len(bank), size=min(conjuncts, len(bank)), replace=False)
+        predicates = tuple(bank[int(index)] for index in indices)
+        builder = SubjectiveQueryBuilder(table)
+        for column, operator, value in option_conditions:
+            builder.where_compare(column, operator, value)
+        for predicate in predicates:
+            builder.where_subjective(predicate.text)
+        builder.limit(limit)
+        workload.queries.append(
+            SubjectiveQuery(
+                sql=builder.to_sql(),
+                predicates=predicates,
+                difficulty=difficulty,
+                option=option_name,
+                domain=domain,
+            )
+        )
+    return workload
+
+
+def satisfaction_oracle(
+    corpus: SyntheticCorpus,
+    predicate: PredicateSpec,
+    entity_id: object,
+    threshold: float = 0.6,
+) -> int:
+    """Ground-truth ``sat(q, e)``: does the entity really satisfy the predicate?
+
+    An entity satisfies a positive predicate when the mean latent quality of
+    the predicate's gold attributes reaches ``threshold`` (0.6 by default —
+    "clearly above average"), and a negative predicate when it stays below
+    ``1 − threshold``.  This replaces the paper's manual labelling of
+    sat(q, e) with the synthetic corpora's known ground truth.
+    """
+    qualities = [
+        corpus.quality(entity_id, attribute)
+        for attribute in predicate.attributes
+        if attribute in corpus.spec.attribute_names
+    ]
+    if not qualities:
+        return 0
+    mean_quality = sum(qualities) / len(qualities)
+    if predicate.polarity >= 0:
+        return int(mean_quality >= threshold)
+    return int(mean_quality <= 1.0 - threshold)

@@ -1,0 +1,50 @@
+"""In-memory relational engine with a subjective-SQL parser.
+
+The paper implements OpineDB's query engine on top of PostgreSQL and parses
+subjective SQL with ``sqlparse``.  This package provides the equivalent
+substrate from scratch: typed table schemas, in-memory tables, an expression
+AST, a recursive-descent SQL parser that accepts quoted natural-language
+predicates inside the WHERE clause, and an executor for
+select–project–filter–join–order–limit plans.
+"""
+
+from repro.engine.types import ColumnType
+from repro.engine.schema import Column, TableSchema
+from repro.engine.table import Row, Table
+from repro.engine.database import Database
+from repro.engine.expressions import (
+    AndExpression,
+    BetweenExpression,
+    ColumnReference,
+    ComparisonExpression,
+    Expression,
+    InExpression,
+    Literal,
+    NotExpression,
+    OrExpression,
+    SubjectivePredicate,
+)
+from repro.engine.sqlparser import parse_query
+from repro.engine.executor import QueryExecutor, SelectStatement
+
+__all__ = [
+    "ColumnType",
+    "Column",
+    "TableSchema",
+    "Row",
+    "Table",
+    "Database",
+    "Expression",
+    "Literal",
+    "ColumnReference",
+    "ComparisonExpression",
+    "AndExpression",
+    "OrExpression",
+    "NotExpression",
+    "InExpression",
+    "BetweenExpression",
+    "SubjectivePredicate",
+    "parse_query",
+    "SelectStatement",
+    "QueryExecutor",
+]

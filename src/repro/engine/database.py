@@ -1,0 +1,123 @@
+"""A named collection of tables plus SQL entry points and JSON persistence."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.engine.executor import QueryExecutor, SelectStatement
+from repro.engine.schema import Column, TableSchema
+from repro.engine.sqlparser import parse_query
+from repro.engine.table import Row, Table
+from repro.engine.types import ColumnType
+from repro.errors import ExecutionError, SchemaError
+
+
+class Database:
+    """An in-memory relational database: create tables, insert, query.
+
+    Table names are case-insensitive (SQL convention); the original casing
+    is preserved for display.
+    """
+
+    def __init__(self, name: str = "opinedb") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._display_names: dict[str, str] = {}
+
+    # --------------------------------------------------------------- tables
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a table from ``schema``; duplicate names are rejected."""
+        key = schema.name.lower()
+        if key in self._tables:
+            raise SchemaError(f"table already exists: {schema.name!r}")
+        table = Table(schema)
+        self._tables[key] = table
+        self._display_names[key] = schema.name
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table (raises if it does not exist)."""
+        key = name.lower()
+        if key not in self._tables:
+            raise ExecutionError(f"no such table: {name!r}")
+        del self._tables[key]
+        del self._display_names[key]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by (case-insensitive) name."""
+        key = name.lower()
+        if key not in self._tables:
+            raise ExecutionError(f"no such table: {name!r}")
+        return self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return [self._display_names[key] for key in sorted(self._tables)]
+
+    def insert(self, table_name: str, rows: Iterable[Mapping]) -> int:
+        """Insert rows into ``table_name``; returns the number inserted."""
+        return self.table(table_name).insert_many(rows)
+
+    # ---------------------------------------------------------------- query
+    def execute(self, sql: str) -> list[Row]:
+        """Parse and execute a SQL string with objective semantics.
+
+        Subjective predicates in the WHERE clause are ignored (treated as
+        true); use :class:`repro.core.processor.SubjectiveQueryProcessor`
+        for full subjective semantics.
+        """
+        statement = parse_query(sql)
+        return self.execute_statement(statement)
+
+    def execute_statement(self, statement: SelectStatement) -> list[Row]:
+        return QueryExecutor(self).execute(statement)
+
+    # ---------------------------------------------------------- persistence
+    def dump(self, path: str | Path) -> None:
+        """Serialise all tables (schema + rows) to a JSON file."""
+        payload = {
+            "name": self.name,
+            "tables": [
+                {
+                    "name": table.schema.name,
+                    "key": table.schema.key,
+                    "columns": [
+                        {
+                            "name": column.name,
+                            "type": column.type.value,
+                            "nullable": column.nullable,
+                        }
+                        for column in table.schema.columns
+                    ],
+                    "rows": table.scan(),
+                }
+                for table in (self._tables[key] for key in sorted(self._tables))
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, default=str))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Database":
+        """Rebuild a database previously written by :meth:`dump`."""
+        payload = json.loads(Path(path).read_text())
+        database = cls(payload.get("name", "opinedb"))
+        for table_payload in payload["tables"]:
+            schema = TableSchema(
+                name=table_payload["name"],
+                key=table_payload.get("key"),
+                columns=[
+                    Column(
+                        name=column["name"],
+                        type=ColumnType(column["type"]),
+                        nullable=column.get("nullable", True),
+                    )
+                    for column in table_payload["columns"]
+                ],
+            )
+            table = database.create_table(schema)
+            table.insert_many(table_payload["rows"])
+        return database

@@ -1,0 +1,150 @@
+"""Execution of parsed SELECT statements over a :class:`Database`.
+
+The executor implements the relational part of query processing: scan the
+FROM table, apply the optional join, filter by the objective value of the
+WHERE clause, project, order and limit.  Subjective predicates are treated
+as always-true at this level — the subjective query processor in
+:mod:`repro.core.processor` re-uses the same plan but replaces the boolean
+filter by fuzzy scoring and ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.engine.expressions import ColumnReference, Expression
+from repro.engine.table import Row
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.database import Database
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """An inner equi-join: ``JOIN table [alias] ON left = right``."""
+
+    table: str
+    alias: str | None
+    left: ColumnReference
+    right: ColumnReference
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    """ORDER BY a single column, ascending by default."""
+
+    column: ColumnReference
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed single-block subjective-SQL query."""
+
+    table: str
+    alias: str | None = None
+    columns: list[str] | None = None
+    join: JoinClause | None = None
+    where: Expression | None = None
+    order_by: OrderBy | None = None
+    limit: int | None = None
+
+    def subjective_predicates(self) -> list[str]:
+        """Texts of all subjective predicates in the WHERE clause."""
+        if self.where is None:
+            return []
+        return [predicate.text for predicate in self.where.subjective_predicates()]
+
+    def has_subjective_predicates(self) -> bool:
+        return bool(self.subjective_predicates())
+
+
+@dataclass
+class QueryExecutor:
+    """Evaluates :class:`SelectStatement` objects against a database."""
+
+    database: "Database"
+    _default_limit: int | None = field(default=None)
+
+    def execute(self, statement: SelectStatement) -> list[Row]:
+        """Run ``statement`` with objective (boolean) semantics."""
+        rows = self._scan_from(statement)
+        if statement.where is not None:
+            rows = [row for row in rows if statement.where.evaluate(row)]
+        rows = self._order(rows, statement.order_by)
+        limit = statement.limit if statement.limit is not None else self._default_limit
+        if limit is not None:
+            rows = rows[:limit]
+        return [self._project(row, statement.columns) for row in rows]
+
+    def candidate_rows(self, statement: SelectStatement) -> list[Row]:
+        """Rows passing only the *objective* part of the WHERE clause.
+
+        Used by the subjective query processor: the objective predicates act
+        as a crisp pre-filter (they evaluate to 0 or 1 in the fuzzy semantics)
+        and the surviving rows are then ranked by fuzzy degree of truth.
+        """
+        rows = self._scan_from(statement)
+        if statement.where is None:
+            return rows
+        return [row for row in rows if statement.where.evaluate(row)]
+
+    # ------------------------------------------------------------ internal
+    def _scan_from(self, statement: SelectStatement) -> list[Row]:
+        table = self.database.table(statement.table)
+        rows = [dict(row) for row in table.scan()]
+        rows = [self._qualify(row, statement.alias) for row in rows]
+        if statement.join is not None:
+            rows = self._apply_join(rows, statement.join)
+        return rows
+
+    @staticmethod
+    def _qualify(row: Row, alias: str | None) -> Row:
+        if alias is None:
+            return row
+        qualified = dict(row)
+        for key, value in row.items():
+            qualified[f"{alias}.{key}"] = value
+        return qualified
+
+    def _apply_join(self, rows: list[Row], join: JoinClause) -> list[Row]:
+        other = self.database.table(join.table)
+        other_rows = [self._qualify(dict(row), join.alias) for row in other.scan()]
+        joined: list[Row] = []
+        for row in rows:
+            left_value = self._join_value(row, join.left)
+            for other_row in other_rows:
+                right_value = self._join_value(other_row, join.right)
+                if left_value is not None and left_value == right_value:
+                    merged = dict(other_row)
+                    merged.update(row)
+                    joined.append(merged)
+        return joined
+
+    @staticmethod
+    def _join_value(row: Row, reference: ColumnReference):
+        try:
+            return reference.resolve(row)
+        except ExecutionError:
+            return None
+
+    @staticmethod
+    def _order(rows: list[Row], order_by: OrderBy | None) -> list[Row]:
+        if order_by is None:
+            return rows
+        def sort_key(row: Row):
+            value = order_by.column.resolve(row)
+            # Sort None last regardless of direction.
+            return (value is None, value)
+        return sorted(rows, key=sort_key, reverse=order_by.descending)
+
+    @staticmethod
+    def _project(row: Row, columns: list[str] | None) -> Row:
+        if columns is None:
+            return {key: value for key, value in row.items() if "." not in key}
+        missing = [column for column in columns if column not in row]
+        if missing:
+            raise ExecutionError(f"projection references unknown columns: {missing}")
+        return {column: row[column] for column in columns}

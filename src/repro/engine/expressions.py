@@ -1,0 +1,306 @@
+"""Expression AST for WHERE clauses, with objective evaluation semantics.
+
+The AST has two kinds of leaves:
+
+* *objective* conditions — comparisons, IN, BETWEEN over table columns —
+  which evaluate to plain booleans against a row, and
+* :class:`SubjectivePredicate` leaves — the quoted natural-language
+  conditions of subjective SQL ("has really clean rooms") — which have no
+  boolean value at the engine level.  The engine treats them as ``True``
+  when asked for a boolean (so objective filtering still works) and exposes
+  them to the query processor, which replaces them by fuzzy degrees of truth
+  (Section 3).
+
+``Expression.evaluate(row)`` gives the boolean semantics;
+``Expression.fuzzy(row, scorer, logic)`` gives the fuzzy semantics where
+``scorer(predicate_text, row)`` returns the degree of truth of a subjective
+leaf and ``logic`` is a :class:`repro.core.fuzzy.FuzzyLogic` variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.errors import ExecutionError
+
+SubjectiveScorer = Callable[[str, dict], float]
+
+
+class Expression:
+    """Base class for all WHERE-clause expression nodes."""
+
+    def evaluate(self, row: dict) -> bool:
+        """Boolean value of the expression for ``row`` (objective semantics)."""
+        raise NotImplementedError
+
+    def fuzzy(self, row: dict, scorer: SubjectiveScorer, logic: "Any") -> float:
+        """Fuzzy degree of truth for ``row``.
+
+        Objective sub-expressions contribute 0.0 or 1.0 (the paper interprets
+        objective predicates as crisp values); subjective leaves are scored by
+        ``scorer``; connectives combine through ``logic``.
+        """
+        raise NotImplementedError
+
+    def subjective_predicates(self) -> list["SubjectivePredicate"]:
+        """All subjective leaves in the expression, left to right."""
+        return [node for node in self.walk() if isinstance(node, SubjectivePredicate)]
+
+    def walk(self) -> Iterator["Expression"]:
+        """Depth-first iteration over all nodes (self included)."""
+        yield self
+
+    def columns(self) -> set[str]:
+        """Names of all table columns referenced by objective conditions."""
+        return set()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value (number, string, boolean)."""
+
+    value: Any
+
+    def evaluate(self, row: dict) -> bool:
+        return bool(self.value)
+
+    def fuzzy(self, row: dict, scorer: SubjectiveScorer, logic: Any) -> float:
+        return 1.0 if self.value else 0.0
+
+
+@dataclass(frozen=True)
+class ColumnReference(Expression):
+    """A reference to a column, optionally qualified (``h.price_pn``)."""
+
+    name: str
+    qualifier: str | None = None
+
+    def resolve(self, row: dict) -> Any:
+        if self.name in row:
+            return row[self.name]
+        qualified = f"{self.qualifier}.{self.name}" if self.qualifier else None
+        if qualified and qualified in row:
+            return row[qualified]
+        raise ExecutionError(f"unknown column {self.display_name!r}")
+
+    @property
+    def display_name(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+    def evaluate(self, row: dict) -> bool:
+        return bool(self.resolve(row))
+
+    def fuzzy(self, row: dict, scorer: SubjectiveScorer, logic: Any) -> float:
+        return 1.0 if self.evaluate(row) else 0.0
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class ComparisonExpression(Expression):
+    """``column <op> literal`` (or literal <op> column)."""
+
+    left: Expression
+    operator: str
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.operator not in _COMPARATORS:
+            raise ExecutionError(f"unsupported comparison operator {self.operator!r}")
+
+    @staticmethod
+    def _value(node: Expression, row: dict) -> Any:
+        if isinstance(node, ColumnReference):
+            return node.resolve(row)
+        if isinstance(node, Literal):
+            return node.value
+        raise ExecutionError("comparison operands must be columns or literals")
+
+    def evaluate(self, row: dict) -> bool:
+        left = self._value(self.left, row)
+        right = self._value(self.right, row)
+        if left is None or right is None:
+            return False
+        try:
+            return _COMPARATORS[self.operator](left, right)
+        except TypeError as error:
+            raise ExecutionError(
+                f"cannot compare {left!r} and {right!r}: {error}"
+            ) from error
+
+    def fuzzy(self, row: dict, scorer: SubjectiveScorer, logic: Any) -> float:
+        return 1.0 if self.evaluate(row) else 0.0
+
+    def walk(self) -> Iterator[Expression]:
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+
+@dataclass(frozen=True)
+class InExpression(Expression):
+    """``column IN (v1, v2, ...)``."""
+
+    column: ColumnReference
+    values: tuple
+
+    def evaluate(self, row: dict) -> bool:
+        return self.column.resolve(row) in self.values
+
+    def fuzzy(self, row: dict, scorer: SubjectiveScorer, logic: Any) -> float:
+        return 1.0 if self.evaluate(row) else 0.0
+
+    def walk(self) -> Iterator[Expression]:
+        yield self
+        yield from self.column.walk()
+
+    def columns(self) -> set[str]:
+        return self.column.columns()
+
+
+@dataclass(frozen=True)
+class BetweenExpression(Expression):
+    """``column BETWEEN low AND high`` (inclusive)."""
+
+    column: ColumnReference
+    low: Any
+    high: Any
+
+    def evaluate(self, row: dict) -> bool:
+        value = self.column.resolve(row)
+        if value is None:
+            return False
+        return self.low <= value <= self.high
+
+    def fuzzy(self, row: dict, scorer: SubjectiveScorer, logic: Any) -> float:
+        return 1.0 if self.evaluate(row) else 0.0
+
+    def walk(self) -> Iterator[Expression]:
+        yield self
+        yield from self.column.walk()
+
+    def columns(self) -> set[str]:
+        return self.column.columns()
+
+
+@dataclass(frozen=True)
+class SubjectivePredicate(Expression):
+    """A natural-language condition, e.g. ``"has really clean rooms"``.
+
+    At the engine level it is inert (boolean value ``True``); the subjective
+    query processor interprets it and supplies its degree of truth through
+    the ``scorer`` callback.
+    """
+
+    text: str
+
+    def evaluate(self, row: dict) -> bool:
+        return True
+
+    def fuzzy(self, row: dict, scorer: SubjectiveScorer, logic: Any) -> float:
+        return float(scorer(self.text, row))
+
+
+@dataclass(frozen=True)
+class AndExpression(Expression):
+    """Conjunction of two or more conditions."""
+
+    operands: tuple[Expression, ...]
+
+    def evaluate(self, row: dict) -> bool:
+        return all(operand.evaluate(row) for operand in self.operands)
+
+    def fuzzy(self, row: dict, scorer: SubjectiveScorer, logic: Any) -> float:
+        scores = [operand.fuzzy(row, scorer, logic) for operand in self.operands]
+        return logic.conjunction(scores)
+
+    def walk(self) -> Iterator[Expression]:
+        yield self
+        for operand in self.operands:
+            yield from operand.walk()
+
+    def columns(self) -> set[str]:
+        result: set[str] = set()
+        for operand in self.operands:
+            result |= operand.columns()
+        return result
+
+
+@dataclass(frozen=True)
+class OrExpression(Expression):
+    """Disjunction of two or more conditions."""
+
+    operands: tuple[Expression, ...]
+
+    def evaluate(self, row: dict) -> bool:
+        return any(operand.evaluate(row) for operand in self.operands)
+
+    def fuzzy(self, row: dict, scorer: SubjectiveScorer, logic: Any) -> float:
+        scores = [operand.fuzzy(row, scorer, logic) for operand in self.operands]
+        return logic.disjunction(scores)
+
+    def walk(self) -> Iterator[Expression]:
+        yield self
+        for operand in self.operands:
+            yield from operand.walk()
+
+    def columns(self) -> set[str]:
+        result: set[str] = set()
+        for operand in self.operands:
+            result |= operand.columns()
+        return result
+
+
+@dataclass(frozen=True)
+class NotExpression(Expression):
+    """Negation of a condition."""
+
+    operand: Expression
+
+    def evaluate(self, row: dict) -> bool:
+        return not self.operand.evaluate(row)
+
+    def fuzzy(self, row: dict, scorer: SubjectiveScorer, logic: Any) -> float:
+        return logic.negation(self.operand.fuzzy(row, scorer, logic))
+
+    def walk(self) -> Iterator[Expression]:
+        yield self
+        yield from self.operand.walk()
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+
+def conjunction(operands: Sequence[Expression]) -> Expression:
+    """Build a (possibly degenerate) conjunction from ``operands``."""
+    operands = list(operands)
+    if not operands:
+        return Literal(True)
+    if len(operands) == 1:
+        return operands[0]
+    return AndExpression(tuple(operands))
+
+
+def disjunction(operands: Sequence[Expression]) -> Expression:
+    """Build a (possibly degenerate) disjunction from ``operands``."""
+    operands = list(operands)
+    if not operands:
+        return Literal(False)
+    if len(operands) == 1:
+        return operands[0]
+    return OrExpression(tuple(operands))

@@ -1,0 +1,97 @@
+"""Table schemas: named, typed columns with a designated key."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.engine.types import ColumnType
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+    def validate(self, value: Any) -> Any:
+        if value is None and not self.nullable:
+            raise SchemaError(f"column {self.name!r} does not allow NULL")
+        return self.type.validate(value)
+
+
+@dataclass
+class TableSchema:
+    """Schema of one relation: R(K, A1, ..., An) with ``key`` = K.
+
+    The paper assumes a single-attribute key per relation (Section 2); the
+    engine enforces that keys exist and are unique at insert time.
+    """
+
+    name: str
+    columns: list[Column]
+    key: str | None = None
+    _by_name: dict[str, Column] = field(default_factory=dict, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("table name must not be empty")
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} needs at least one column")
+        for column in self.columns:
+            if column.name in self._by_name:
+                raise SchemaError(
+                    f"duplicate column {column.name!r} in table {self.name!r}"
+                )
+            self._by_name[column.name] = column
+        if self.key is not None and self.key not in self._by_name:
+            raise SchemaError(
+                f"key column {self.key!r} not defined in table {self.name!r}"
+            )
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def validate_row(self, values: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate and normalise one row mapping against the schema.
+
+        Unknown columns are rejected; missing columns become NULL (subject to
+        nullability checks).
+        """
+        unknown = set(values) - set(self._by_name)
+        if unknown:
+            raise SchemaError(
+                f"unknown columns for table {self.name!r}: {sorted(unknown)}"
+            )
+        row: dict[str, Any] = {}
+        for column in self.columns:
+            row[column.name] = column.validate(values.get(column.name))
+        return row
+
+
+def make_schema(
+    name: str,
+    columns: Iterable[tuple[str, ColumnType]],
+    key: str | None = None,
+) -> TableSchema:
+    """Convenience constructor from (name, type) pairs."""
+    return TableSchema(
+        name=name,
+        columns=[Column(column_name, column_type) for column_name, column_type in columns],
+        key=key,
+    )

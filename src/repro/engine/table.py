@@ -1,0 +1,104 @@
+"""In-memory tables: row storage, key uniqueness, scans and key lookups."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.engine.schema import TableSchema
+from repro.errors import ExecutionError, SchemaError
+
+Row = dict[str, Any]
+
+
+class Table:
+    """A heap of rows conforming to a :class:`TableSchema`.
+
+    Rows are plain dictionaries validated on insert.  When the schema defines
+    a key, a hash index on the key column is maintained for point lookups
+    (the subjective query processor looks up marker summaries by entity key).
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self._schema = schema
+        self._rows: list[Row] = []
+        self._key_index: dict[Any, int] = {}
+
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        return self._schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def insert(self, values: Mapping[str, Any]) -> Row:
+        """Validate and insert one row; returns the stored row."""
+        row = self._schema.validate_row(values)
+        key = self._schema.key
+        if key is not None:
+            key_value = row[key]
+            if key_value is None:
+                raise SchemaError(
+                    f"key column {key!r} of table {self.name!r} must not be NULL"
+                )
+            if key_value in self._key_index:
+                raise SchemaError(
+                    f"duplicate key {key_value!r} in table {self.name!r}"
+                )
+            self._key_index[key_value] = len(self._rows)
+        self._rows.append(row)
+        return row
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def get(self, key_value: Any) -> Row | None:
+        """Point lookup by key value (requires a keyed schema)."""
+        if self._schema.key is None:
+            raise ExecutionError(f"table {self.name!r} has no key column")
+        index = self._key_index.get(key_value)
+        if index is None:
+            return None
+        return self._rows[index]
+
+    def scan(self, predicate: Callable[[Row], bool] | None = None) -> list[Row]:
+        """Full scan, optionally filtered by a row predicate."""
+        if predicate is None:
+            return list(self._rows)
+        return [row for row in self._rows if predicate(row)]
+
+    def update(self, key_value: Any, changes: Mapping[str, Any]) -> Row:
+        """Update columns of the row with the given key."""
+        row = self.get(key_value)
+        if row is None:
+            raise ExecutionError(
+                f"no row with key {key_value!r} in table {self.name!r}"
+            )
+        merged = dict(row)
+        merged.update(changes)
+        validated = self._schema.validate_row(merged)
+        row.update(validated)
+        return row
+
+    def keys(self) -> list[Any]:
+        """All key values in insertion order (requires a keyed schema)."""
+        if self._schema.key is None:
+            raise ExecutionError(f"table {self.name!r} has no key column")
+        return [row[self._schema.key] for row in self._rows]
+
+    def column_values(self, column: str) -> list[Any]:
+        """All values of one column, in row order."""
+        if not self._schema.has_column(column):
+            raise SchemaError(f"table {self.name!r} has no column {column!r}")
+        return [row[column] for row in self._rows]

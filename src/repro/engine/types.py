@@ -1,0 +1,54 @@
+"""Column types supported by the relational engine."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """The value domains a column can hold.
+
+    ``SUMMARY`` is the engine-level type behind the data model's marker
+    summaries: the stored value is an opaque mapping (marker name -> count)
+    plus auxiliary statistics; the engine stores and retrieves it but never
+    compares it with the ordinary comparison operators.
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    SUMMARY = "summary"
+
+    def validate(self, value: Any) -> Any:
+        """Coerce/validate ``value`` for this type; ``None`` is always allowed."""
+        if value is None:
+            return None
+        if self is ColumnType.INTEGER:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"expected integer, got {value!r}")
+            if isinstance(value, float) and not value.is_integer():
+                raise SchemaError(f"expected integer, got {value!r}")
+            return int(value)
+        if self is ColumnType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"expected float, got {value!r}")
+            return float(value)
+        if self is ColumnType.TEXT:
+            if not isinstance(value, str):
+                raise SchemaError(f"expected text, got {value!r}")
+            return value
+        if self is ColumnType.BOOLEAN:
+            if not isinstance(value, bool):
+                raise SchemaError(f"expected boolean, got {value!r}")
+            return value
+        if self is ColumnType.SUMMARY:
+            return value
+        raise SchemaError(f"unsupported column type: {self}")
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (ColumnType.INTEGER, ColumnType.FLOAT)

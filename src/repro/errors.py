@@ -1,0 +1,44 @@
+"""Exception hierarchy shared by all repro subpackages.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish parse errors, schema errors, and query errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table or subjective schema is malformed or violated."""
+
+
+class ParseError(ReproError):
+    """A SQL / subjective-SQL string could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ExecutionError(ReproError):
+    """A parsed query could not be executed against the database."""
+
+
+class InterpretationError(ReproError):
+    """A subjective predicate could not be interpreted at all."""
+
+
+class ExtractionError(ReproError):
+    """The opinion-extraction pipeline was misused or failed."""
+
+
+class NotFittedError(ReproError):
+    """A model was used before it was trained."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator was configured inconsistently."""

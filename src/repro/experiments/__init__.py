@@ -1,0 +1,23 @@
+"""Experiment harness: one module per table / figure of the paper's evaluation.
+
+Every module exposes a ``run_*`` function returning a structured result and a
+``format_*`` function rendering it as the rows the paper reports.  The
+benchmarks in ``benchmarks/`` call these functions; the modules can also be
+executed directly (``python -m repro.experiments.exp_table5_quality``) for a
+quick look at any single experiment.
+
+| Module                         | Paper artefact                     |
+|--------------------------------|------------------------------------|
+| exp_table2_cooccurrence        | Table 2 (co-occurrence examples)   |
+| exp_table3_survey              | Table 3 (subjective criteria)      |
+| exp_table4_stats               | Table 4 (review statistics)        |
+| exp_table5_quality             | Table 5 (result quality)           |
+| exp_table6_extractor           | Table 6 (extractor F1)             |
+| exp_table7_markers             | Table 7 (markers vs no markers)    |
+| exp_table8_interpretation      | Table 8 (interpretation accuracy)  |
+| exp_fig7_fuzzy                 | Figure 7 (fuzzy vs hard)           |
+| exp_fig8_case                  | Figure 8 (quietness case study)    |
+| exp_appendix_b_index           | Appendix B (w2v index)             |
+| exp_appendix_c_pairing         | Appendix C (pairing models)        |
+| exp_attribute_classifier       | Section 4.2 (attribute classifier) |
+"""

@@ -1,0 +1,373 @@
+"""Shared experiment infrastructure.
+
+Provides:
+
+* :class:`ExperimentTable` — a tiny result-table container with pretty
+  printing, used by every experiment so benchmark output reads like the
+  paper's tables;
+* :func:`build_subjective_database` — runs the full construction pipeline
+  over a synthetic corpus (tagger training included);
+* :class:`DomainSetup` / :func:`prepare_domain` — one call that prepares
+  everything the query-quality experiments need for a domain: the corpus,
+  the populated subjective database, the predicate bank, the objective query
+  options, the scraped sub-ratings for the AB baseline, and the ground-truth
+  satisfaction oracle;
+* :func:`result_quality` — the paper's sat(Q, E) / sat-max(Q) metric
+  (Section 5.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.baselines.attribute_baseline import ScrapedAttributes
+from repro.core.attributes import ObjectiveAttribute
+from repro.core.database import SubjectiveDatabase
+from repro.core.markers import MarkerSummary
+from repro.datasets.corpus import SyntheticCorpus
+from repro.datasets.hotels import generate_hotel_corpus, hotel_seed_sets
+from repro.datasets.queries import (
+    HOTEL_OPTIONS,
+    RESTAURANT_OPTIONS,
+    PredicateSpec,
+    hotel_predicate_bank,
+    restaurant_predicate_bank,
+    satisfaction_oracle,
+)
+from repro.datasets.restaurants import generate_restaurant_corpus, restaurant_seed_sets
+from repro.datasets.semeval import generate_absa_dataset
+from repro.engine.types import ColumnType
+from repro.extraction.builder import SubjectiveDatabaseBuilder
+from repro.extraction.pipeline import ExtractionPipeline
+from repro.extraction.seeds import SeedSet
+from repro.extraction.tagger import OpinionTagger, PerceptronOpinionTagger
+from repro.ml.metrics import dcg
+from repro.utils.rng import ensure_rng
+
+
+# --------------------------------------------------------------------------
+# Result tables
+# --------------------------------------------------------------------------
+
+@dataclass
+class ExperimentTable:
+    """A labelled table of experiment results with pretty printing."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> list[object]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def format(self) -> str:
+        """Render as a fixed-width text table."""
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        rendered = [[fmt(value) for value in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in rendered)) if rendered
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in rendered:
+            lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format()
+
+
+# --------------------------------------------------------------------------
+# Database construction helpers
+# --------------------------------------------------------------------------
+
+_HOTEL_OBJECTIVE = [
+    ObjectiveAttribute("city", ColumnType.TEXT),
+    ObjectiveAttribute("price_pn", ColumnType.FLOAT),
+    ObjectiveAttribute("stars", ColumnType.INTEGER),
+    ObjectiveAttribute("rating", ColumnType.FLOAT),
+    ObjectiveAttribute("capacity", ColumnType.INTEGER),
+]
+_RESTAURANT_OBJECTIVE = [
+    ObjectiveAttribute("cuisine", ColumnType.TEXT),
+    ObjectiveAttribute("city", ColumnType.TEXT),
+    ObjectiveAttribute("price_range", ColumnType.INTEGER),
+    ObjectiveAttribute("stars", ColumnType.FLOAT),
+    ObjectiveAttribute("review_count", ColumnType.INTEGER),
+]
+
+#: Sub-ratings a booking site exposes, used as the AB baseline's scraped data.
+HOTEL_SCRAPED_ATTRIBUTES = (
+    "location", "room_cleanliness", "staff", "bed_comfort",
+    "facilities", "value", "breakfast", "wifi",
+)
+RESTAURANT_SCRAPED_ATTRIBUTES = (
+    "food_quality", "service", "ambience", "value", "cleanliness", "seating",
+)
+
+
+def train_default_tagger(domain: str, seed: int = 0, epochs: int = 3,
+                         train_sentences: int = 400) -> OpinionTagger:
+    """Train the default opinion tagger on a synthetic ABSA corpus for ``domain``."""
+    dataset = generate_absa_dataset(domain, train_sentences, 50, seed=seed)
+    return PerceptronOpinionTagger(epochs=epochs, seed=seed).fit(dataset.train)
+
+
+def build_subjective_database(
+    corpus: SyntheticCorpus,
+    seed_sets: list[SeedSet],
+    tagger: OpinionTagger | None = None,
+    num_markers: int = 4,
+    seed: int = 0,
+) -> SubjectiveDatabase:
+    """Run the full construction pipeline over a synthetic corpus."""
+    domain = "hotel" if corpus.spec.name == "hotels" else "restaurant"
+    if tagger is None:
+        tagger = train_default_tagger(domain, seed=seed)
+    objective = _HOTEL_OBJECTIVE if corpus.spec.name == "hotels" else _RESTAURANT_OBJECTIVE
+    builder = SubjectiveDatabaseBuilder(
+        schema_name=corpus.spec.name,
+        entity_key=corpus.spec.entity_key,
+        objective_attributes=list(objective),
+        seed_sets=seed_sets,
+        pipeline=ExtractionPipeline(tagger),
+        attribute_kinds={aspect.attribute: aspect.kind for aspect in corpus.spec.aspects},
+        num_markers=num_markers,
+        seed=seed,
+    )
+    return builder.build(corpus.entity_pairs(), corpus.reviews)
+
+
+def scraped_attributes_from_corpus(
+    corpus: SyntheticCorpus,
+    attributes: Sequence[str],
+    noise: float = 0.25,
+    halo: float = 0.65,
+    seed: int = 0,
+) -> ScrapedAttributes:
+    """Noisy per-entity sub-ratings, as a review site would aggregate them.
+
+    Real sub-ratings (booking.com's "Cleanliness", "Staff", ...) are coarse:
+    they mix the specific aspect with the reviewer's overall impression (the
+    halo effect) and carry aggregation noise.  ``halo`` is the weight of the
+    entity's overall quality in each sub-rating and ``noise`` the standard
+    deviation of the additive noise; both keep the AB baseline informative
+    but clearly weaker than reading the reviews, as in the paper's Table 5.
+    """
+    rng = ensure_rng(seed)
+    scraped = ScrapedAttributes()
+    for entity in corpus.entities:
+        overall = float(np.mean(list(entity.qualities.values())))
+        for attribute in attributes:
+            if attribute not in corpus.spec.attribute_names:
+                continue
+            specific = corpus.quality(entity.entity_id, attribute)
+            value = (1.0 - halo) * specific + halo * overall + rng.normal(0.0, noise)
+            scraped.add(entity.entity_id, attribute, float(np.clip(value, 0.0, 1.0)) * 10.0)
+    return scraped
+
+
+# --------------------------------------------------------------------------
+# Domain setup bundles
+# --------------------------------------------------------------------------
+
+@dataclass
+class DomainSetup:
+    """Everything the query-quality experiments need for one domain."""
+
+    name: str
+    corpus: SyntheticCorpus
+    database: SubjectiveDatabase
+    predicate_bank: list[PredicateSpec]
+    options: dict[str, list[tuple[str, str, object]]]
+    scraped: ScrapedAttributes
+    price_attribute: str
+    rating_attribute: str
+
+    def oracle(self, predicate: PredicateSpec, entity_id: Hashable,
+               threshold: float = 0.6) -> int:
+        """Ground-truth sat(q, e) from the corpus latent qualities."""
+        return satisfaction_oracle(self.corpus, predicate, entity_id, threshold)
+
+    def candidate_entities(self, option: str) -> list[str]:
+        """Entities passing one objective option's conditions."""
+        conditions = self.options[option]
+        survivors = []
+        for entity in self.corpus.entities:
+            keep = True
+            for column, operator, value in conditions:
+                actual = entity.objective.get(column)
+                if operator == "=" and actual != value:
+                    keep = False
+                elif operator == "<" and not (actual is not None and actual < value):
+                    keep = False
+                elif operator == ">" and not (actual is not None and actual > value):
+                    keep = False
+            if keep:
+                survivors.append(entity.entity_id)
+        return survivors
+
+
+def prepare_domain(
+    domain: str,
+    num_entities: int = 40,
+    reviews_per_entity: int = 20,
+    seed: int = 0,
+    num_markers: int = 4,
+    tagger: OpinionTagger | None = None,
+) -> DomainSetup:
+    """Build the full experiment setup for ``"hotels"`` or ``"restaurants"``."""
+    if domain == "hotels":
+        corpus = generate_hotel_corpus(num_entities, reviews_per_entity, seed=seed)
+        seed_sets = hotel_seed_sets()
+        bank = hotel_predicate_bank()
+        options = HOTEL_OPTIONS
+        scraped_names = HOTEL_SCRAPED_ATTRIBUTES
+        price_attribute, rating_attribute = "price_pn", "rating"
+    elif domain == "restaurants":
+        corpus = generate_restaurant_corpus(num_entities, reviews_per_entity, seed=seed + 1)
+        seed_sets = restaurant_seed_sets()
+        bank = restaurant_predicate_bank()
+        options = RESTAURANT_OPTIONS
+        scraped_names = RESTAURANT_SCRAPED_ATTRIBUTES
+        price_attribute, rating_attribute = "price_range", "stars"
+    else:
+        raise ValueError(f"unknown domain: {domain!r}")
+    database = build_subjective_database(
+        corpus, seed_sets, tagger=tagger, num_markers=num_markers, seed=seed
+    )
+    scraped = scraped_attributes_from_corpus(corpus, scraped_names, seed=seed)
+    return DomainSetup(
+        name=domain,
+        corpus=corpus,
+        database=database,
+        predicate_bank=bank,
+        options=options,
+        scraped=scraped,
+        price_attribute=price_attribute,
+        rating_attribute=rating_attribute,
+    )
+
+
+# --------------------------------------------------------------------------
+# Membership-function training (Sections 3.3 and 5.4.2)
+# --------------------------------------------------------------------------
+
+def sample_membership_examples(
+    setup: "DomainSetup",
+    num_examples: int = 1000,
+    seed: int = 0,
+) -> list[tuple[object, PredicateSpec, int]]:
+    """Sample labelled (entity, predicate, label) tuples for membership training.
+
+    The paper trains its logistic-regression membership functions on 1,000
+    labelled tuples; here labels come from the synthetic corpus's latent
+    ground truth instead of human labelling.
+    """
+    rng = ensure_rng(seed)
+    in_schema = [p for p in setup.predicate_bank if p.in_schema]
+    entities = setup.corpus.entities
+    examples = []
+    for _ in range(num_examples):
+        predicate = in_schema[int(rng.integers(len(in_schema)))]
+        entity = entities[int(rng.integers(len(entities)))]
+        label = setup.oracle(predicate, entity.entity_id)
+        examples.append((entity.entity_id, predicate, label))
+    return examples
+
+
+def train_learned_membership(
+    setup: "DomainSetup",
+    num_examples: int = 1000,
+    seed: int = 0,
+):
+    """Train the paper's LR membership function on sampled labelled tuples.
+
+    Returns ``(membership, test_accuracy)``.
+    """
+    from repro.core.membership import LearnedMembership
+
+    examples = sample_membership_examples(setup, num_examples, seed)
+    split = int(0.8 * len(examples))
+    database = setup.database
+
+    def tuples(rows):
+        return [
+            (database.marker_summary(entity, predicate.primary_attribute),
+             predicate.text, label)
+            for entity, predicate, label in rows
+            if database.marker_summary(entity, predicate.primary_attribute) is not None
+        ]
+
+    membership = LearnedMembership(embedder=database.phrase_embedder)
+    membership.fit(tuples(examples[:split]))
+    accuracy = membership.accuracy(tuples(examples[split:]))
+    return membership, accuracy
+
+
+# --------------------------------------------------------------------------
+# Result-quality metric (Section 5.2.3)
+# --------------------------------------------------------------------------
+
+def result_quality(
+    ranked_entities: Sequence[Hashable],
+    predicates: Sequence[PredicateSpec],
+    candidates: Sequence[Hashable],
+    sat: Callable[[PredicateSpec, Hashable], int],
+    k: int = 10,
+) -> float:
+    """The paper's quality metric: sat(Q, E) normalised by sat-max(Q).
+
+    ``sat(Q, E)`` sums, over the top-k returned entities, the number of query
+    predicates each satisfies, discounted by 1/log2(rank+1); ``sat-max(Q)``
+    is the same sum for the best possible ordering of the candidate set.
+    """
+    gains = [
+        float(sum(sat(predicate, entity) for predicate in predicates))
+        for entity in ranked_entities[:k]
+    ]
+    ideal = sorted(
+        (
+            float(sum(sat(predicate, entity) for predicate in predicates))
+            for entity in candidates
+        ),
+        reverse=True,
+    )[:k]
+    denominator = dcg(ideal)
+    if denominator == 0.0:
+        return 0.0
+    return dcg(gains) / denominator
+
+
+def mean_and_interval(values: Sequence[float]) -> tuple[float, float]:
+    """Mean and half-width of a 95% normal confidence interval."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return 0.0, 0.0
+    mean = float(array.mean())
+    if array.size == 1:
+        return mean, 0.0
+    half_width = 1.96 * float(array.std(ddof=1)) / np.sqrt(array.size)
+    return mean, half_width

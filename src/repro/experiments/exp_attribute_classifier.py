@@ -1,0 +1,132 @@
+"""Section 4.2 — attribute-classifier accuracy from seed expansion.
+
+The paper reports that with 277 hotel seeds (15 attributes) and 235
+restaurant seeds (11 attributes), seed expansion produces ~5,000 training
+tuples and the resulting classifiers reach 86.6% / 88.3% accuracy on 1,000
+manually labelled test records.  This experiment reproduces the pipeline:
+seeds → expansion with review-trained embeddings → classifier → accuracy on
+a held-out labelled set drawn from the phrase banks (phrases the seeds do
+not contain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.phrasebanks import DomainSpec, hotel_domain_spec, restaurant_domain_spec
+from repro.datasets.hotels import generate_hotel_corpus, hotel_seed_sets
+from repro.datasets.restaurants import generate_restaurant_corpus, restaurant_seed_sets
+from repro.experiments.common import ExperimentTable
+from repro.extraction.attribute_classifier import AttributeClassifier
+from repro.extraction.seeds import SeedSet, expand_seeds
+from repro.text.embeddings import PhraseEmbedder, PpmiSvdEmbeddings
+from repro.text.idf import DocumentFrequencies
+from repro.text.tokenize import tokenize
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class ClassifierScore:
+    """Accuracy of the attribute classifier for one domain."""
+
+    domain: str
+    num_attributes: int
+    num_seed_phrases: int
+    num_expanded: int
+    num_test: int
+    accuracy: float
+
+
+@dataclass
+class AttributeClassifierResult:
+    """Rows of the Section 4.2 classifier experiment."""
+
+    scores: list[ClassifierScore] = field(default_factory=list)
+
+    def accuracy(self, domain: str) -> float:
+        for score in self.scores:
+            if score.domain == domain:
+                return score.accuracy
+        raise KeyError(domain)
+
+    def as_table(self) -> ExperimentTable:
+        table = ExperimentTable(
+            title="Section 4.2: attribute classifier from seed expansion",
+            columns=["Domain", "#Attrs", "#Seeds", "#Expanded", "#Test", "Accuracy"],
+        )
+        for score in self.scores:
+            table.add_row(
+                score.domain, score.num_attributes, score.num_seed_phrases,
+                score.num_expanded, score.num_test, round(score.accuracy, 4),
+            )
+        return table
+
+
+def _test_examples(spec: DomainSpec, seed_sets: list[SeedSet],
+                   limit: int, seed: int) -> list[tuple[str, str]]:
+    """Held-out labelled phrases: bank combinations not present in the seeds."""
+    rng = ensure_rng(seed)
+    seed_opinions = {
+        seed_set.attribute: set(seed_set.opinion_terms) for seed_set in seed_sets
+    }
+    examples = []
+    for aspect in spec.aspects:
+        for level_index, level in enumerate(aspect.opinion_levels):
+            for opinion in level:
+                if opinion in seed_opinions.get(aspect.attribute, set()):
+                    continue
+                aspect_term = aspect.aspect_terms[level_index % len(aspect.aspect_terms)]
+                examples.append((f"{opinion} {aspect_term}", aspect.attribute))
+    rng.shuffle(examples)
+    return examples[:limit]
+
+
+def run_attribute_classifier_experiment(
+    domains: tuple[str, ...] = ("hotels", "restaurants"),
+    num_entities: int = 25,
+    reviews_per_entity: int = 12,
+    test_size: int = 1000,
+    target_expanded: int = 5000,
+    seed: int = 0,
+) -> AttributeClassifierResult:
+    """Run the seed-expansion + classification pipeline for both domains."""
+    result = AttributeClassifierResult()
+    for domain in domains:
+        if domain == "hotels":
+            spec = hotel_domain_spec()
+            corpus = generate_hotel_corpus(num_entities, reviews_per_entity, seed)
+            seed_sets = hotel_seed_sets(spec)
+        else:
+            spec = restaurant_domain_spec()
+            corpus = generate_restaurant_corpus(num_entities, reviews_per_entity, seed + 1)
+            seed_sets = restaurant_seed_sets(spec)
+        review_texts = [review.text for review in corpus.reviews]
+        embeddings = PpmiSvdEmbeddings(dimension=48, min_count=2).fit(review_texts)
+        frequencies = DocumentFrequencies()
+        frequencies.add_corpus([tokenize(text) for text in review_texts])
+        embedder = PhraseEmbedder(embeddings, frequencies)
+
+        expanded = expand_seeds(seed_sets, embeddings=embeddings,
+                                target_size=target_expanded, seed=seed)
+        classifier = AttributeClassifier(head="naive_bayes", embedder=embedder)
+        classifier.fit(expanded)
+        test = _test_examples(spec, seed_sets, test_size, seed)
+        result.scores.append(
+            ClassifierScore(
+                domain=domain,
+                num_attributes=len(seed_sets),
+                num_seed_phrases=sum(seed_set.num_seeds for seed_set in seed_sets),
+                num_expanded=len(expanded),
+                num_test=len(test),
+                accuracy=classifier.accuracy(test),
+            )
+        )
+    return result
+
+
+def format_attribute_classifier_experiment(result: AttributeClassifierResult) -> str:
+    return result.as_table().format()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    print(format_attribute_classifier_experiment(run_attribute_classifier_experiment()))

@@ -1,0 +1,108 @@
+"""Figure 7 / Appendix A — fuzzy combination vs hard per-condition thresholds.
+
+The appendix argues that translating subjective conditions into crisp
+per-condition thresholds discards entities that barely miss one threshold,
+while the fuzzy product keeps them when they are strong overall.  This
+experiment reproduces the figure's content in two forms:
+
+* the *boundary series*: for a grid of degrees of truth of condition A2, the
+  minimal degree of A1 accepted by the fuzzy rule (product ≥ s) versus by
+  the hard rule (A1 > t1 and A2 > t2) — the two curves of Figure 7;
+* the *selection counts* over a random population of entities: how many are
+  accepted by each rule and how many the hard rule loses despite a high
+  overall (product) score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.fuzzy import ProductLogic, hard_threshold_filter
+from repro.experiments.common import ExperimentTable
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class FuzzyComparisonResult:
+    """Boundary curves and selection counts for fuzzy vs hard constraints."""
+
+    fuzzy_score_threshold: float
+    hard_thresholds: tuple[float, float]
+    grid: list[float] = field(default_factory=list)
+    fuzzy_boundary: list[float] = field(default_factory=list)
+    hard_boundary: list[float] = field(default_factory=list)
+    num_entities: int = 0
+    accepted_fuzzy: int = 0
+    accepted_hard: int = 0
+    missed_by_hard: int = 0
+
+    @property
+    def missed_fraction(self) -> float:
+        if self.accepted_fuzzy == 0:
+            return 0.0
+        return self.missed_by_hard / self.accepted_fuzzy
+
+    def as_table(self) -> ExperimentTable:
+        table = ExperimentTable(
+            title="Figure 7: fuzzy product vs hard thresholds (acceptance boundary)",
+            columns=["A2 degree", "min A1 (fuzzy)", "min A1 (hard)"],
+        )
+        for a2, fuzzy_bound, hard_bound in zip(
+            self.grid, self.fuzzy_boundary, self.hard_boundary
+        ):
+            table.add_row(round(a2, 2), round(fuzzy_bound, 3), round(hard_bound, 3))
+        return table
+
+
+def run_fuzzy_comparison(
+    fuzzy_score_threshold: float = 0.06,
+    hard_thresholds: tuple[float, float] = (0.2, 0.3),
+    grid_points: int = 17,
+    num_entities: int = 2000,
+    seed: int = 0,
+) -> FuzzyComparisonResult:
+    """Compute the Figure 7 boundary curves and population selection counts."""
+    logic = ProductLogic()
+    result = FuzzyComparisonResult(
+        fuzzy_score_threshold=fuzzy_score_threshold,
+        hard_thresholds=hard_thresholds,
+    )
+    t1, t2 = hard_thresholds
+    grid = np.linspace(0.05, 1.0, grid_points)
+    for a2 in grid:
+        result.grid.append(float(a2))
+        # Fuzzy rule: a1 * a2 >= s  =>  a1 >= s / a2 (capped at 1).
+        result.fuzzy_boundary.append(float(min(1.0, fuzzy_score_threshold / a2)))
+        # Hard rule: a1 > t1 only when a2 > t2, otherwise nothing is accepted.
+        result.hard_boundary.append(float(t1) if a2 > t2 else 1.0)
+
+    rng = ensure_rng(seed)
+    degrees = rng.random((num_entities, 2))
+    result.num_entities = num_entities
+    for a1, a2 in degrees:
+        fuzzy_accept = logic.conjunction([a1, a2]) >= fuzzy_score_threshold
+        hard_accept = hard_threshold_filter([a1, a2], [t1, t2])
+        if fuzzy_accept:
+            result.accepted_fuzzy += 1
+            if not hard_accept:
+                result.missed_by_hard += 1
+        if hard_accept:
+            result.accepted_hard += 1
+    return result
+
+
+def format_fuzzy_comparison(result: FuzzyComparisonResult) -> str:
+    text = result.as_table().format()
+    text += (
+        f"\nEntities accepted — fuzzy: {result.accepted_fuzzy}, "
+        f"hard: {result.accepted_hard}; "
+        f"relevant entities missed by hard thresholds: {result.missed_by_hard} "
+        f"({result.missed_fraction * 100:.1f}% of the fuzzy-accepted set)"
+    )
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    print(format_fuzzy_comparison(run_fuzzy_comparison()))

@@ -1,0 +1,56 @@
+"""Table 3 — share of subjective criteria per domain (Section 5.1).
+
+Runs the simulated criteria survey and aggregates, per domain, the fraction
+of listed criteria that are subjective, together with top example criteria —
+the same columns as the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.survey import SurveyResult, run_survey_simulation
+from repro.experiments.common import ExperimentTable
+
+
+@dataclass
+class SurveyExperimentResult:
+    """Structured result of the Table 3 experiment."""
+
+    results: list[SurveyResult]
+
+    def as_table(self) -> ExperimentTable:
+        table = ExperimentTable(
+            title="Table 3: Subjective attributes in different domains",
+            columns=["Domain", "%Subj. Attr", "Some examples"],
+        )
+        for result in self.results:
+            table.add_row(
+                result.domain,
+                round(result.percent_subjective, 1),
+                ", ".join(result.subjective_examples[:3]),
+            )
+        return table
+
+
+def run_survey_experiment(
+    num_workers: int = 30,
+    criteria_per_worker: int = 7,
+    seed: int = 0,
+) -> SurveyExperimentResult:
+    """Simulate the survey with the paper's 30 workers × 7 criteria setup."""
+    return SurveyExperimentResult(
+        results=run_survey_simulation(
+            num_workers=num_workers,
+            criteria_per_worker=criteria_per_worker,
+            seed=seed,
+        )
+    )
+
+
+def format_survey_experiment(result: SurveyExperimentResult) -> str:
+    return result.as_table().format()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    print(format_survey_experiment(run_survey_experiment()))

@@ -1,0 +1,118 @@
+"""Table 4 — review statistics per objective query option (Section 5.2.2).
+
+For each of the four objective query options (London < $300, Amsterdam,
+low-price restaurants, Japanese restaurants), reports the number of entities
+passing the filter, the number of their reviews, the average review length
+in words, and the average review polarity — the columns of the paper's
+Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.corpus import SyntheticCorpus
+from repro.datasets.hotels import generate_hotel_corpus
+from repro.datasets.queries import HOTEL_OPTIONS, RESTAURANT_OPTIONS
+from repro.datasets.restaurants import generate_restaurant_corpus
+from repro.experiments.common import ExperimentTable
+from repro.text.sentiment import SentimentAnalyzer
+from repro.text.tokenize import tokenize
+
+
+@dataclass(frozen=True)
+class OptionStatistics:
+    """Statistics of one objective option's entity/review subset."""
+
+    option: str
+    num_entities: int
+    num_reviews: int
+    avg_words: float
+    avg_polarity: float
+
+
+@dataclass
+class ReviewStatisticsResult:
+    """Structured result of the Table 4 experiment."""
+
+    rows: list[OptionStatistics]
+
+    def as_table(self) -> ExperimentTable:
+        table = ExperimentTable(
+            title="Table 4: Review statistics per objective query option",
+            columns=["Option", "#Entities", "#Reviews", "avg #words", "avg polarity"],
+        )
+        for row in self.rows:
+            table.add_row(
+                row.option, row.num_entities, row.num_reviews,
+                round(row.avg_words, 2), round(row.avg_polarity, 2),
+            )
+        return table
+
+
+def _matches(objective: dict, conditions: list[tuple[str, str, object]]) -> bool:
+    for column, operator, value in conditions:
+        actual = objective.get(column)
+        if actual is None:
+            return False
+        if operator == "=" and actual != value:
+            return False
+        if operator == "<" and not actual < value:
+            return False
+        if operator == ">" and not actual > value:
+            return False
+    return True
+
+
+def _option_statistics(
+    corpus: SyntheticCorpus,
+    option: str,
+    conditions: list[tuple[str, str, object]],
+    analyzer: SentimentAnalyzer,
+) -> OptionStatistics:
+    entity_ids = {
+        entity.entity_id
+        for entity in corpus.entities
+        if _matches(entity.objective, conditions)
+    }
+    reviews = [review for review in corpus.reviews if review.entity_id in entity_ids]
+    word_counts = [len(tokenize(review.text)) for review in reviews]
+    polarities = [analyzer.polarity(review.text) for review in reviews]
+    return OptionStatistics(
+        option=option,
+        num_entities=len(entity_ids),
+        num_reviews=len(reviews),
+        avg_words=float(np.mean(word_counts)) if word_counts else 0.0,
+        avg_polarity=float(np.mean(polarities)) if polarities else 0.0,
+    )
+
+
+def run_review_statistics(
+    hotel_corpus: SyntheticCorpus | None = None,
+    restaurant_corpus: SyntheticCorpus | None = None,
+    num_entities: int = 40,
+    reviews_per_entity: int = 20,
+    seed: int = 0,
+) -> ReviewStatisticsResult:
+    """Compute the Table 4 statistics over (generated or supplied) corpora."""
+    hotel_corpus = hotel_corpus or generate_hotel_corpus(num_entities, reviews_per_entity, seed)
+    restaurant_corpus = restaurant_corpus or generate_restaurant_corpus(
+        num_entities, max(8, reviews_per_entity // 2), seed + 1
+    )
+    analyzer = SentimentAnalyzer()
+    rows = []
+    for option, conditions in HOTEL_OPTIONS.items():
+        rows.append(_option_statistics(hotel_corpus, option, conditions, analyzer))
+    for option, conditions in RESTAURANT_OPTIONS.items():
+        rows.append(_option_statistics(restaurant_corpus, option, conditions, analyzer))
+    return ReviewStatisticsResult(rows=rows)
+
+
+def format_review_statistics(result: ReviewStatisticsResult) -> str:
+    return result.as_table().format()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    print(format_review_statistics(run_review_statistics()))

@@ -1,0 +1,194 @@
+"""Table 7 — marker summaries vs no markers (Section 5.4.2).
+
+Compares OpineDB with its marker summaries (10 markers per attribute in the
+paper; configurable here) against a variant that ignores the summaries and
+computes engineered features directly from the raw extracted phrases at
+query time.  Three measurements per query set, as in the paper:
+
+* **LR-accuracy** — test accuracy of the logistic-regression membership
+  model trained on 1,000 labelled (entity, predicate) pairs;
+* **NDCG@10** — result quality of the processed queries;
+* **Runtime** — total processing time of the query workload, and the
+  resulting speedup of the marker-based variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.membership import LearnedMembership, RawExtractionMembership
+from repro.core.processor import SubjectiveQueryProcessor
+from repro.datasets.queries import generate_workload
+from repro.experiments.common import (
+    DomainSetup,
+    ExperimentTable,
+    prepare_domain,
+    result_quality,
+    sample_membership_examples,
+)
+from repro.utils.timing import Stopwatch
+
+
+@dataclass(frozen=True)
+class MarkerComparisonRow:
+    """Measurements of one variant (markers / no markers) on one query set."""
+
+    query_set: str
+    variant: str
+    lr_accuracy: float
+    ndcg_at_10: float
+    runtime_seconds: float
+
+
+@dataclass
+class MarkerExperimentResult:
+    """All rows of the Table 7 experiment plus derived speedups."""
+
+    rows: list[MarkerComparisonRow] = field(default_factory=list)
+
+    def row(self, query_set: str, variant: str) -> MarkerComparisonRow:
+        for row in self.rows:
+            if row.query_set == query_set and row.variant == variant:
+                return row
+        raise KeyError((query_set, variant))
+
+    def speedup(self, query_set: str) -> float:
+        with_markers = self.row(query_set, "10-mkrs").runtime_seconds
+        without = self.row(query_set, "no-mkrs").runtime_seconds
+        if with_markers <= 0:
+            return 0.0
+        return without / with_markers
+
+    def as_table(self) -> ExperimentTable:
+        query_sets = sorted({row.query_set for row in self.rows})
+        table = ExperimentTable(
+            title="Table 7: OpineDB with marker summaries vs without",
+            columns=["Variant", "Metric"] + query_sets,
+        )
+        for variant in ("10-mkrs", "no-mkrs"):
+            for metric, getter in (
+                ("LR-accuracy", lambda r: round(r.lr_accuracy, 3)),
+                ("NDCG@10", lambda r: round(r.ndcg_at_10, 3)),
+                ("Runtime (s)", lambda r: round(r.runtime_seconds, 3)),
+            ):
+                table.add_row(
+                    variant, metric,
+                    *[getter(self.row(query_set, variant)) for query_set in query_sets],
+                )
+        table.add_row(
+            "", "Speedup", *[round(self.speedup(query_set), 2) for query_set in query_sets]
+        )
+        return table
+
+
+def _fit_memberships(
+    setup: DomainSetup,
+    num_examples: int,
+    seed: int,
+) -> tuple[LearnedMembership, RawExtractionMembership, float, float]:
+    """Train both membership variants and return their test accuracies."""
+    examples = sample_membership_examples(setup, num_examples, seed)
+    split = int(0.8 * len(examples))
+    train, test = examples[:split], examples[split:]
+    database = setup.database
+    embedder = database.phrase_embedder
+
+    def summary_tuples(rows):
+        return [
+            (database.marker_summary(entity, predicate.primary_attribute),
+             predicate.text, label)
+            for entity, predicate, label in rows
+            if database.marker_summary(entity, predicate.primary_attribute) is not None
+        ]
+
+    def raw_tuples(rows):
+        return [
+            (entity, predicate.primary_attribute, predicate.text, label)
+            for entity, predicate, label in rows
+        ]
+
+    learned = LearnedMembership(embedder=embedder).fit(summary_tuples(train))
+    learned_accuracy = learned.accuracy(summary_tuples(test))
+    raw = RawExtractionMembership(database=database, embedder=embedder).fit(raw_tuples(train))
+    raw_accuracy = raw.accuracy(raw_tuples(test))
+    return learned, raw, learned_accuracy, raw_accuracy
+
+
+def _evaluate_workload(
+    setup: DomainSetup,
+    processor: SubjectiveQueryProcessor,
+    option: str,
+    queries,
+    top_k: int,
+) -> tuple[float, float]:
+    """(mean quality, total runtime) of a processor over one workload."""
+    candidates = setup.candidate_entities(option)
+    stopwatch = Stopwatch()
+    qualities = []
+    for query in queries:
+        with stopwatch.measure():
+            result = processor.execute(query.sql, top_k=top_k)
+        qualities.append(
+            result_quality(
+                result.entity_ids, list(query.predicates), candidates,
+                lambda predicate, entity: setup.oracle(predicate, entity), k=top_k,
+            )
+        )
+    mean_quality = sum(qualities) / len(qualities) if qualities else 0.0
+    return mean_quality, stopwatch.elapsed
+
+
+def run_marker_experiment(
+    domains: tuple[str, ...] = ("hotels", "restaurants"),
+    setups: dict[str, DomainSetup] | None = None,
+    num_markers: int = 10,
+    queries_per_set: int = 20,
+    membership_examples: int = 1000,
+    difficulty: str = "medium",
+    top_k: int = 10,
+    num_entities: int = 40,
+    reviews_per_entity: int = 20,
+    seed: int = 0,
+) -> MarkerExperimentResult:
+    """Run the Table 7 comparison over the four query sets (two per domain)."""
+    result = MarkerExperimentResult()
+    for domain in domains:
+        setup = (setups or {}).get(domain) or prepare_domain(
+            domain, num_entities=num_entities, reviews_per_entity=reviews_per_entity,
+            seed=seed, num_markers=num_markers,
+        )
+        learned, raw, learned_accuracy, raw_accuracy = _fit_memberships(
+            setup, membership_examples, seed
+        )
+        with_markers = SubjectiveQueryProcessor(setup.database, membership=learned)
+        without_markers = SubjectiveQueryProcessor(
+            setup.database, use_markers=False, raw_membership=raw
+        )
+        for option, conditions in setup.options.items():
+            workload = generate_workload(
+                setup.predicate_bank, option, conditions, difficulty,
+                num_queries=queries_per_set, domain=domain, seed=seed + 17,
+            )
+            quality_markers, runtime_markers = _evaluate_workload(
+                setup, with_markers, option, workload, top_k
+            )
+            quality_raw, runtime_raw = _evaluate_workload(
+                setup, without_markers, option, workload, top_k
+            )
+            result.rows.append(
+                MarkerComparisonRow(option, "10-mkrs", learned_accuracy,
+                                    quality_markers, runtime_markers)
+            )
+            result.rows.append(
+                MarkerComparisonRow(option, "no-mkrs", raw_accuracy,
+                                    quality_raw, runtime_raw)
+            )
+    return result
+
+
+def format_marker_experiment(result: MarkerExperimentResult) -> str:
+    return result.as_table().format()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    print(format_marker_experiment(run_marker_experiment(queries_per_set=10)))

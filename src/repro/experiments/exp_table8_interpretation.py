@@ -1,0 +1,121 @@
+"""Table 8 — accuracy of query-predicate interpretation (Section 5.4.3).
+
+Every predicate in the hotel and restaurant banks carries a gold attribute
+label.  The experiment runs the word2vec method alone, the co-occurrence
+method alone, and the combined three-stage algorithm, and scores each by the
+fraction of predicates whose predicted attribute matches the gold attribute
+exactly (the paper's criterion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.interpreter import SubjectiveQueryInterpreter
+from repro.datasets.queries import PredicateSpec
+from repro.experiments.common import DomainSetup, ExperimentTable, prepare_domain
+
+
+@dataclass(frozen=True)
+class InterpretationScore:
+    """Accuracy of one method on one predicate bank."""
+
+    query_set: str
+    size: int
+    method: str
+    accuracy: float
+
+
+@dataclass
+class InterpretationExperimentResult:
+    """All rows of the Table 8 experiment."""
+
+    scores: list[InterpretationScore] = field(default_factory=list)
+
+    def accuracy(self, query_set: str, method: str) -> float:
+        for score in self.scores:
+            if score.query_set == query_set and score.method == method:
+                return score.accuracy
+        raise KeyError((query_set, method))
+
+    def as_table(self) -> ExperimentTable:
+        query_sets = sorted({score.query_set for score in self.scores})
+        table = ExperimentTable(
+            title="Table 8: predicate-interpretation accuracy (%)",
+            columns=["Query set", "size", "w2v", "co-occur", "w2v+co-occur"],
+        )
+        for query_set in query_sets:
+            size = next(s.size for s in self.scores if s.query_set == query_set)
+            table.add_row(
+                query_set, size,
+                round(self.accuracy(query_set, "w2v") * 100, 2),
+                round(self.accuracy(query_set, "co-occur") * 100, 2),
+                round(self.accuracy(query_set, "w2v+co-occur") * 100, 2),
+            )
+        return table
+
+
+def _attribute_match(predicate: PredicateSpec, predicted: str | None) -> bool:
+    return predicted is not None and predicted in predicate.attributes
+
+
+def _score_bank(
+    interpreter: SubjectiveQueryInterpreter,
+    bank: list[PredicateSpec],
+) -> dict[str, float]:
+    w2v_correct = cooccur_correct = combined_correct = 0
+    for predicate in bank:
+        w2v = interpreter.interpret_word2vec(predicate.text)
+        if w2v is not None and _attribute_match(predicate, w2v.top_attribute):
+            w2v_correct += 1
+        cooccur = interpreter.interpret_cooccurrence(predicate.text)
+        if cooccur is not None and _attribute_match(predicate, cooccur.top_attribute):
+            cooccur_correct += 1
+        combined = interpreter.interpret(predicate.text)
+        if _attribute_match(predicate, combined.top_attribute):
+            combined_correct += 1
+    size = max(1, len(bank))
+    return {
+        "w2v": w2v_correct / size,
+        "co-occur": cooccur_correct / size,
+        "w2v+co-occur": combined_correct / size,
+    }
+
+
+def run_interpretation_experiment(
+    domains: tuple[str, ...] = ("hotels", "restaurants"),
+    setups: dict[str, DomainSetup] | None = None,
+    w2v_threshold: float = 0.5,
+    max_predicates: int | None = None,
+    num_entities: int = 40,
+    reviews_per_entity: int = 20,
+    seed: int = 0,
+) -> InterpretationExperimentResult:
+    """Run the Table 8 interpretation-accuracy comparison."""
+    result = InterpretationExperimentResult()
+    for domain in domains:
+        setup = (setups or {}).get(domain) or prepare_domain(
+            domain, num_entities=num_entities, reviews_per_entity=reviews_per_entity, seed=seed
+        )
+        bank = setup.predicate_bank
+        if max_predicates is not None:
+            bank = bank[:max_predicates]
+        interpreter = SubjectiveQueryInterpreter(
+            setup.database, w2v_threshold=w2v_threshold
+        )
+        accuracies = _score_bank(interpreter, bank)
+        query_set = "Hotel queries" if domain == "hotels" else "Restaurant queries"
+        for method, accuracy in accuracies.items():
+            result.scores.append(
+                InterpretationScore(query_set=query_set, size=len(bank),
+                                    method=method, accuracy=accuracy)
+            )
+    return result
+
+
+def format_interpretation_experiment(result: InterpretationExperimentResult) -> str:
+    return result.as_table().format()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    print(format_interpretation_experiment(run_interpretation_experiment()))

@@ -1,0 +1,56 @@
+"""Construction pipeline: from raw reviews to a populated subjective database.
+
+Implements Section 4 of the paper:
+
+* opinion extraction — tagging review sentences with aspect/opinion terms
+  and pairing them (Section 4.1, Appendix C);
+* attribute classification via seed expansion (Section 4.2);
+* marker discovery — sentiment bucketing for linear domains, k-means for
+  categorical domains (Section 4.2.1);
+* marker-summary aggregation with provenance (Section 4.2.2);
+* :class:`SubjectiveDatabaseBuilder`, the end-to-end driver.
+"""
+
+from repro.extraction.features import tagging_features
+from repro.extraction.tagger import (
+    BaselineLexiconTagger,
+    OpinionTagger,
+    PerceptronOpinionTagger,
+    TaggedSentence,
+)
+from repro.extraction.pairing import (
+    OpinionPair,
+    RuleBasedPairer,
+    SupervisedPairer,
+)
+from repro.extraction.pipeline import ExtractionPipeline, ExtractedOpinion
+from repro.extraction.seeds import SeedSet, expand_seeds
+from repro.extraction.attribute_classifier import AttributeClassifier
+from repro.extraction.marker_discovery import (
+    discover_categorical_markers,
+    discover_linear_markers,
+    suggest_markers,
+)
+from repro.extraction.aggregation import SummaryAggregator
+from repro.extraction.builder import SubjectiveDatabaseBuilder
+
+__all__ = [
+    "tagging_features",
+    "OpinionTagger",
+    "PerceptronOpinionTagger",
+    "BaselineLexiconTagger",
+    "TaggedSentence",
+    "OpinionPair",
+    "RuleBasedPairer",
+    "SupervisedPairer",
+    "ExtractionPipeline",
+    "ExtractedOpinion",
+    "SeedSet",
+    "expand_seeds",
+    "AttributeClassifier",
+    "discover_linear_markers",
+    "discover_categorical_markers",
+    "suggest_markers",
+    "SummaryAggregator",
+    "SubjectiveDatabaseBuilder",
+]

@@ -1,0 +1,160 @@
+"""Marker-summary aggregation (Section 4.2.2).
+
+Once markers are defined, the extracted phrases of every entity are
+aggregated onto them.  The aggregator assigns each extraction to the most
+similar marker of its attribute — by phrase-embedding similarity when an
+embedder is available, by sentiment proximity otherwise for linear scales —
+and maintains the count/sentiment/centroid statistics of the marker summary
+as well as the provenance store.
+
+Aggregation is configurable the way the paper sketches:
+
+* a ``review_filter`` restricts the reviews considered (prolific reviewers,
+  reviews after a year, ...), re-creating the summaries for qualified
+  subsets at query time;
+* a ``review_weight`` function lets an application weight reviews unequally
+  (recency, helpful votes);
+* ``fractional`` enables splitting one phrase between the two nearest
+  markers of a linear scale, the extension the paper leaves to future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+import numpy as np
+
+from repro.core.attributes import SubjectiveAttribute
+from repro.core.domain import normalise_phrase
+from repro.core.database import ExtractionRecord, ReviewRecord, SubjectiveDatabase
+from repro.core.markers import MarkerSummary, SummaryKind
+from repro.text.embeddings import PhraseEmbedder, cosine
+from repro.text.sentiment import SentimentAnalyzer
+
+ReviewFilter = Callable[[ReviewRecord], bool]
+ReviewWeight = Callable[[ReviewRecord], float]
+
+
+@dataclass
+class SummaryAggregator:
+    """Aggregates a database's extractions into per-entity marker summaries."""
+
+    database: SubjectiveDatabase
+    embedder: PhraseEmbedder | None = None
+    sentiment: SentimentAnalyzer = field(default_factory=SentimentAnalyzer)
+    fractional: bool = False
+    similarity_floor: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.embedder is None:
+            self.embedder = self.database.phrase_embedder
+
+    # ------------------------------------------------------------ assignment
+    def marker_contributions(
+        self, attribute: SubjectiveAttribute, record: ExtractionRecord
+    ) -> dict[str, float]:
+        """Distribution of one extraction over the attribute's markers.
+
+        The best-matching marker receives the full count unless
+        ``fractional`` is set and the attribute is linear, in which case the
+        two best adjacent markers split the count proportionally to their
+        similarity.  Returns an empty mapping when nothing matches at all.
+        """
+        scores = self._marker_scores(attribute, record)
+        if not scores:
+            return {}
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        best_name, best_score = ranked[0]
+        if best_score <= self.similarity_floor:
+            return {}
+        if not self.fractional or attribute.kind is not SummaryKind.LINEAR or len(ranked) < 2:
+            return {best_name: 1.0}
+        second_name, second_score = ranked[1]
+        if second_score <= self.similarity_floor:
+            return {best_name: 1.0}
+        total = best_score + second_score
+        return {best_name: best_score / total, second_name: second_score / total}
+
+    def _marker_scores(
+        self, attribute: SubjectiveAttribute, record: ExtractionRecord
+    ) -> dict[str, float]:
+        phrase = record.phrase
+        scores: dict[str, float] = {}
+        if self.embedder is not None:
+            phrase_vector = self.embedder.represent(phrase)
+            if np.linalg.norm(phrase_vector) > 0:
+                for marker in attribute.markers:
+                    marker_vector = self.embedder.represent(marker.name)
+                    scores[marker.name] = max(0.0, cosine(phrase_vector, marker_vector))
+        if not scores or max(scores.values()) <= self.similarity_floor:
+            # Sentiment proximity fallback (always available).
+            phrase_polarity = record.sentiment
+            for marker in attribute.markers:
+                distance = abs(phrase_polarity - marker.sentiment)
+                scores[marker.name] = max(0.0, 1.0 - distance / 2.0)
+        return scores
+
+    # ------------------------------------------------------------- aggregate
+    def aggregate(
+        self,
+        review_filter: ReviewFilter | None = None,
+        review_weight: ReviewWeight | None = None,
+        store: bool = True,
+    ) -> dict[tuple[Hashable, str], MarkerSummary]:
+        """Build marker summaries for every (entity, attribute) pair.
+
+        When ``store`` is true the summaries replace those held by the
+        database (and provenance is rebuilt); otherwise they are only
+        returned — the query-time re-aggregation path for review-qualifying
+        queries uses ``store=False``.
+        """
+        database = self.database
+        allowed_reviews: set[int] | None = None
+        if review_filter is not None:
+            allowed_reviews = {
+                review.review_id for review in database.filter_reviews(review_filter)
+            }
+        summaries: dict[tuple[Hashable, str], MarkerSummary] = {}
+        dimension = self.embedder.dimension if self.embedder is not None else None
+        for entity in database.entities():
+            for attribute in database.schema.subjective_attributes:
+                summary = attribute.new_summary(embedding_dimension=dimension)
+                summary.num_reviews = len(database.reviews(entity.entity_id))
+                summaries[(entity.entity_id, attribute.name)] = summary
+
+        if store:
+            database.clear_summaries()
+
+        for record in database.extractions():
+            if allowed_reviews is not None and record.review_id not in allowed_reviews:
+                continue
+            attribute = database.schema.subjective(record.attribute)
+            summary = summaries[(record.entity_id, record.attribute)]
+            contributions = self.marker_contributions(attribute, record)
+            if not contributions:
+                summary.add_unmatched()
+                continue
+            weight = 1.0
+            if review_weight is not None:
+                weight = max(0.0, float(review_weight(database.review(record.review_id))))
+                if weight == 0.0:
+                    continue
+            vector = (
+                self.embedder.represent(record.phrase) if self.embedder is not None else None
+            )
+            weighted = {name: share * weight for name, share in contributions.items()}
+            summary.add_phrase(weighted, sentiment=record.sentiment, vector=vector)
+            best_marker = max(contributions.items(), key=lambda item: item[1])[0]
+            if store:
+                database.set_variation_marker(
+                    record.attribute, normalise_phrase(record.phrase), best_marker
+                )
+                database.provenance.record(
+                    record.entity_id, record.attribute, best_marker, record.extraction_id
+                )
+
+        if store:
+            for (entity_id, _attribute_name), summary in summaries.items():
+                database.store_summary(entity_id, summary)
+        return summaries

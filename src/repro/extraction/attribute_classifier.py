@@ -1,0 +1,99 @@
+"""Attribute classifier: map extracted (aspect, opinion) pairs to attributes.
+
+Section 4.2 formulates assigning extracted pairs to subjective attributes as
+text classification over the concatenated phrase.  The classifier is trained
+on the seed-expanded tuples from :mod:`repro.extraction.seeds` and supports
+two heads: multinomial naive Bayes (default — fast, strong on short phrases)
+and logistic regression over bag-of-words + embedding features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+from repro.text.embeddings import PhraseEmbedder
+from repro.text.tokenize import tokenize
+from repro.text.vocab import Vocabulary
+
+
+@dataclass
+class AttributeClassifier:
+    """Phrase -> subjective attribute classifier.
+
+    Parameters
+    ----------
+    head:
+        ``"naive_bayes"`` (default) or ``"logistic"``.
+    embedder:
+        Optional phrase embedder; when supplied and the head is logistic,
+        phrase-embedding features are appended to the bag-of-words features.
+    """
+
+    head: str = "naive_bayes"
+    embedder: PhraseEmbedder | None = None
+
+    _nb: MultinomialNaiveBayes | None = field(default=None, init=False, repr=False)
+    _lr: LogisticRegression | None = field(default=None, init=False, repr=False)
+    _vocabulary: Vocabulary | None = field(default=None, init=False, repr=False)
+    _classes: list[str] = field(default_factory=list, init=False, repr=False)
+
+    def fit(self, examples: Sequence[tuple[str, str]]) -> "AttributeClassifier":
+        """Train on ``(phrase, attribute)`` tuples."""
+        if not examples:
+            raise ValueError("no training examples provided")
+        phrases = [phrase for phrase, _attribute in examples]
+        labels = [attribute for _phrase, attribute in examples]
+        self._classes = sorted(set(labels))
+        if self.head == "naive_bayes":
+            self._nb = MultinomialNaiveBayes().fit(phrases, labels)
+        elif self.head == "logistic":
+            self._vocabulary = Vocabulary(min_count=1)
+            self._vocabulary.add_corpus([tokenize(phrase) for phrase in phrases])
+            self._vocabulary.build()
+            features = np.vstack([self._features(phrase) for phrase in phrases])
+            self._lr = LogisticRegression(epochs=200, learning_rate=1.0).fit(features, labels)
+        else:
+            raise ValueError(f"unknown classifier head: {self.head!r}")
+        return self
+
+    def _features(self, phrase: str) -> np.ndarray:
+        assert self._vocabulary is not None
+        bow = np.zeros(len(self._vocabulary))
+        for token in tokenize(phrase):
+            token_id = self._vocabulary.id_of(token)
+            if token_id is not None:
+                bow[token_id] += 1.0
+        if self.embedder is not None:
+            return np.concatenate([bow, self.embedder.represent(phrase)])
+        return bow
+
+    @property
+    def classes(self) -> list[str]:
+        if not self._classes:
+            raise NotFittedError("AttributeClassifier is not fitted")
+        return list(self._classes)
+
+    def predict(self, phrase: str) -> str:
+        """Most probable attribute for a phrase."""
+        if self._nb is not None:
+            return str(self._nb.predict(phrase))
+        if self._lr is not None:
+            return str(self._lr.predict(self._features(phrase).reshape(1, -1))[0])
+        raise NotFittedError("AttributeClassifier is not fitted")
+
+    def predict_many(self, phrases: Sequence[str]) -> list[str]:
+        return [self.predict(phrase) for phrase in phrases]
+
+    def accuracy(self, examples: Sequence[tuple[str, str]]) -> float:
+        """Accuracy over held-out ``(phrase, attribute)`` tuples."""
+        if not examples:
+            return 0.0
+        predictions = self.predict_many([phrase for phrase, _attribute in examples])
+        gold = [attribute for _phrase, attribute in examples]
+        return sum(1 for p, g in zip(predictions, gold) if p == g) / len(gold)

@@ -1,0 +1,194 @@
+"""End-to-end construction of a subjective database from raw reviews.
+
+The builder orchestrates the full Section 4 pipeline:
+
+1. load entities (with their objective attributes) and reviews;
+2. train the corpus text models (embeddings, IDF, BM25 indexes);
+3. run the extraction pipeline over every review sentence;
+4. classify each extracted pair into a subjective attribute (seed-expanded
+   classifier), populating the linguistic domains;
+5. discover markers for every attribute (unless the designer fixed them);
+6. aggregate the extractions into per-entity marker summaries.
+
+It is the component a downstream application uses to go from "a folder of
+reviews plus a list of attribute seeds" to a queryable
+:class:`~repro.core.database.SubjectiveDatabase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.attributes import ObjectiveAttribute, SubjectiveAttribute, SubjectiveSchema
+from repro.core.database import ReviewRecord, SubjectiveDatabase
+from repro.core.markers import Marker, SummaryKind
+from repro.errors import ExtractionError
+from repro.extraction.aggregation import SummaryAggregator
+from repro.extraction.attribute_classifier import AttributeClassifier
+from repro.extraction.marker_discovery import suggest_markers
+from repro.extraction.pipeline import ExtractionPipeline
+from repro.extraction.seeds import SeedSet, expand_seeds
+from repro.text.sentiment import SentimentAnalyzer
+from repro.text.tokenize import sentences as split_sentences
+
+
+@dataclass
+class SubjectiveDatabaseBuilder:
+    """Drives the construction pipeline for one application domain.
+
+    Parameters
+    ----------
+    schema_name / entity_key:
+        Name the application and the key attribute of its entities.
+    objective_attributes:
+        The objective columns of the entity relation.
+    seed_sets:
+        One :class:`SeedSet` per subjective attribute (Section 4.2); the
+        attribute names of the seeds define the subjective schema.
+    attribute_kinds:
+        Optional mapping attribute -> :class:`SummaryKind`; linear by default.
+    fixed_markers:
+        Optional mapping attribute -> explicit marker list; attributes not
+        listed get automatically discovered markers.
+    num_markers:
+        Number of markers to discover per attribute.
+    pipeline:
+        A fitted :class:`ExtractionPipeline` (tagger + pairer).
+    min_confidence:
+        Extraction pairs whose classifier phrase is empty are dropped.
+    embedding_dimension:
+        Dimensionality of the corpus embeddings trained by the builder.
+    """
+
+    schema_name: str
+    entity_key: str
+    objective_attributes: list[ObjectiveAttribute]
+    seed_sets: list[SeedSet]
+    pipeline: ExtractionPipeline
+    attribute_kinds: Mapping[str, SummaryKind] = field(default_factory=dict)
+    fixed_markers: Mapping[str, list[Marker]] = field(default_factory=dict)
+    num_markers: int = 4
+    embedding_dimension: int = 48
+    classifier_head: str = "naive_bayes"
+    fractional_aggregation: bool = False
+    seed: int | None = 0
+
+    classifier: AttributeClassifier | None = field(default=None, init=False)
+    aggregator: SummaryAggregator | None = field(default=None, init=False)
+
+    def build(
+        self,
+        entities: Iterable[tuple[str, Mapping[str, object]]],
+        reviews: Iterable[ReviewRecord],
+    ) -> SubjectiveDatabase:
+        """Run the full pipeline and return a populated subjective database."""
+        schema = self._make_schema()
+        database = SubjectiveDatabase(
+            schema, embedding_dimension=self.embedding_dimension,
+            sentiment=SentimentAnalyzer(),
+        )
+        entity_list = list(entities)
+        if not entity_list:
+            raise ExtractionError("builder needs at least one entity")
+        for entity_id, objective in entity_list:
+            database.add_entity(entity_id, objective)
+        review_list = list(reviews)
+        if not review_list:
+            raise ExtractionError("builder needs at least one review")
+        database.add_reviews(review_list)
+
+        # Corpus text models first: the seed expansion and marker discovery
+        # both rely on the review-trained embeddings.
+        database.fit_text_models()
+
+        self.classifier = self._train_classifier(database)
+        self._extract_and_classify(database)
+        self._finalise_markers(database)
+        self.aggregator = SummaryAggregator(
+            database,
+            embedder=database.phrase_embedder,
+            fractional=self.fractional_aggregation,
+        )
+        self.aggregator.aggregate(store=True)
+        return database
+
+    # ------------------------------------------------------------ internals
+    def _make_schema(self) -> SubjectiveSchema:
+        subjective_attributes = []
+        for seed_set in self.seed_sets:
+            kind = self.attribute_kinds.get(seed_set.attribute, SummaryKind.LINEAR)
+            markers = self.fixed_markers.get(seed_set.attribute)
+            placeholder = markers or [
+                Marker(name=f"__pending_{index}", position=index)
+                for index in range(self.num_markers)
+            ]
+            subjective_attributes.append(
+                SubjectiveAttribute(
+                    name=seed_set.attribute,
+                    markers=list(placeholder),
+                    kind=kind,
+                    aspect_seeds=list(seed_set.aspect_terms),
+                    opinion_seeds=list(seed_set.opinion_terms),
+                )
+            )
+        return SubjectiveSchema(
+            name=self.schema_name,
+            entity_key=self.entity_key,
+            objective_attributes=list(self.objective_attributes),
+            subjective_attributes=subjective_attributes,
+        )
+
+    def _train_classifier(self, database: SubjectiveDatabase) -> AttributeClassifier:
+        embeddings = (
+            database.phrase_embedder.embeddings if database.phrase_embedder else None
+        )
+        examples = expand_seeds(
+            self.seed_sets,
+            embeddings=embeddings,
+            target_size=5000,
+            seed=self.seed,
+        )
+        classifier = AttributeClassifier(
+            head=self.classifier_head, embedder=database.phrase_embedder
+        )
+        classifier.fit(examples)
+        return classifier
+
+    def _extract_and_classify(self, database: SubjectiveDatabase) -> None:
+        assert self.classifier is not None
+        for review in database.reviews():
+            for sentence in split_sentences(review.text):
+                for opinion in self.pipeline.extract_sentence(sentence):
+                    if not opinion.aspect_term or not opinion.opinion_term:
+                        continue
+                    attribute = self.classifier.predict(opinion.phrase)
+                    database.add_extraction(
+                        entity_id=review.entity_id,
+                        review_id=review.review_id,
+                        sentence=sentence,
+                        aspect_term=opinion.aspect_term,
+                        opinion_term=opinion.opinion_term,
+                        attribute=attribute,
+                        sentiment=opinion.sentiment,
+                    )
+
+    def _finalise_markers(self, database: SubjectiveDatabase) -> None:
+        for attribute in database.schema.subjective_attributes:
+            if attribute.name in self.fixed_markers:
+                continue
+            if len(attribute.domain) == 0:
+                # No extraction landed on the attribute; keep a minimal
+                # sentiment scale so queries against it stay well-defined.
+                attribute.markers = [
+                    Marker(name="good", position=0, sentiment=0.6),
+                    Marker(name="bad", position=1, sentiment=-0.6),
+                ]
+                continue
+            attribute.markers = suggest_markers(
+                attribute.domain,
+                attribute.kind,
+                num_markers=self.num_markers,
+                embedder=database.phrase_embedder,
+                seed=self.seed,
+            )

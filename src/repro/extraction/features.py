@@ -1,0 +1,112 @@
+"""Feature templates for the opinion-tagging models.
+
+The structured-perceptron tagger is feature-based; this module defines the
+templates.  They are the classic CRF-style templates for aspect/opinion term
+extraction: word identity in a window, prefixes/suffixes, shape features,
+and — the strongest signal — membership of the token in the sentiment
+lexicon (opinion words) or in a set of frequent noun-like aspect candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.text.sentiment import SentimentAnalyzer
+from repro.text.stopwords import STOPWORDS
+
+_ANALYZER = SentimentAnalyzer()
+
+# Tokens that frequently start or belong to aspect terms across review
+# domains (rooms, food, service, ...).  They act like a gazetteer feature;
+# the learner can still override them from the training data.
+_COMMON_ASPECT_NOUNS: frozenset[str] = frozenset(
+    """
+    room rooms bed beds bathroom shower bath toilet towels towel pillow
+    pillows carpet floor furniture decor wifi internet breakfast coffee food
+    meal meals dish dishes menu dessert drink drinks bar staff service
+    reception concierge location view pool gym spa parking price value
+    noise atmosphere ambience ambiance vibe music table tables seating
+    portion portions pasta pizza sushi steak soup salad bread cocktail wine
+    server waiter waitress host kitchen restroom lobby elevator hallway
+    air conditioning heating window windows balcony garden terrace
+    """.split()
+)
+
+_INTENSIFIER_WORDS: frozenset[str] = frozenset(
+    {"very", "really", "extremely", "so", "super", "quite", "too", "pretty",
+     "absolutely", "incredibly", "remarkably", "fairly", "rather", "a", "bit",
+     "wee", "slightly", "somewhat", "not", "no", "never"}
+)
+
+
+def _shape(token: str) -> str:
+    if token.isdigit():
+        return "digits"
+    if any(character.isdigit() for character in token):
+        return "alnum"
+    if "-" in token:
+        return "hyphenated"
+    return "alpha"
+
+
+def tagging_features(tokens: Sequence[str], position: int) -> list[str]:
+    """Features of the token at ``position`` within ``tokens``.
+
+    Returns a list of feature strings; the perceptron hashes each of them
+    against each tag.  Templates: current/previous/next word identities,
+    bigrams, suffixes, lexicon polarity buckets, aspect-gazetteer and
+    intensifier membership, stopword/shape indicators, sentence position.
+    """
+    token = tokens[position].lower()
+    previous_token = tokens[position - 1].lower() if position > 0 else "<s>"
+    next_token = tokens[position + 1].lower() if position + 1 < len(tokens) else "</s>"
+    previous2 = tokens[position - 2].lower() if position > 1 else "<s>"
+    next2 = tokens[position + 2].lower() if position + 2 < len(tokens) else "</s>"
+
+    features = [
+        "bias",
+        f"w={token}",
+        f"w-1={previous_token}",
+        f"w+1={next_token}",
+        f"w-2={previous2}",
+        f"w+2={next2}",
+        f"w-1|w={previous_token}|{token}",
+        f"w|w+1={token}|{next_token}",
+        f"suffix3={token[-3:]}",
+        f"suffix2={token[-2:]}",
+        f"prefix3={token[:3]}",
+        f"shape={_shape(token)}",
+    ]
+
+    polarity = _ANALYZER.lexicon_polarity(token)
+    if polarity is not None:
+        if polarity > 0.3:
+            features.append("lex=positive")
+        elif polarity < -0.3:
+            features.append("lex=negative")
+        else:
+            features.append("lex=neutral")
+    previous_polarity = _ANALYZER.lexicon_polarity(previous_token)
+    if previous_polarity is not None:
+        features.append("lex-1=opinion")
+    next_polarity = _ANALYZER.lexicon_polarity(next_token)
+    if next_polarity is not None:
+        features.append("lex+1=opinion")
+
+    if token in _COMMON_ASPECT_NOUNS:
+        features.append("gaz=aspect")
+    if previous_token in _COMMON_ASPECT_NOUNS:
+        features.append("gaz-1=aspect")
+    if next_token in _COMMON_ASPECT_NOUNS:
+        features.append("gaz+1=aspect")
+    if token in _INTENSIFIER_WORDS:
+        features.append("intensifier")
+    if previous_token in _INTENSIFIER_WORDS:
+        features.append("intensifier-1")
+    if token in STOPWORDS:
+        features.append("stopword")
+    if position == 0:
+        features.append("position=first")
+    if position == len(tokens) - 1:
+        features.append("position=last")
+    return features

@@ -1,0 +1,132 @@
+"""Automatic marker discovery (Section 4.2.1).
+
+Given the linguistic domain of a subjective attribute, OpineDB suggests its
+markers automatically:
+
+* **linearly-ordered domains** — sort the variations by sentiment score and
+  split the domain into ``k`` equal-frequency buckets; the variation at the
+  centre of each bucket becomes a marker.  Markers end up ordered from most
+  negative to most positive (position 0 = most positive by convention here).
+* **categorical domains** — run k-means over the phrase-embedding vectors of
+  the variations and take the variation closest to each centroid (the
+  medoid) as a marker.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.domain import LinguisticDomain
+from repro.core.markers import Marker, SummaryKind
+from repro.ml.kmeans import KMeans
+from repro.text.embeddings import PhraseEmbedder
+from repro.text.sentiment import SentimentAnalyzer
+
+
+def discover_linear_markers(
+    domain: LinguisticDomain,
+    num_markers: int = 4,
+    sentiment: SentimentAnalyzer | None = None,
+) -> list[Marker]:
+    """Sentiment-bucketing marker discovery for linearly-ordered domains.
+
+    Variations are weighted by their observed frequency when forming the
+    equal-frequency buckets so that rare extreme phrases do not crowd out the
+    common vocabulary.
+    """
+    if num_markers < 2:
+        raise ValueError("a linear scale needs at least 2 markers")
+    if len(domain) == 0:
+        raise ValueError(f"linguistic domain of {domain.attribute!r} is empty")
+    analyzer = sentiment or SentimentAnalyzer()
+    scored = sorted(
+        ((analyzer.polarity(phrase), phrase, count) for phrase, count in domain.most_common()),
+        key=lambda item: (-item[0], item[1]),
+    )
+    total_mass = sum(count for _s, _p, count in scored)
+    k = min(num_markers, len(scored))
+    bucket_mass = total_mass / k
+    markers: list[Marker] = []
+    used: set[str] = set()
+    cumulative = 0.0
+    bucket: list[tuple[float, str, int]] = []
+    bucket_index = 0
+    for polarity, phrase, count in scored:
+        bucket.append((polarity, phrase, count))
+        cumulative += count
+        if cumulative >= bucket_mass * (bucket_index + 1) or (polarity, phrase, count) == scored[-1]:
+            centre = bucket[len(bucket) // 2]
+            name = centre[1]
+            if name in used:
+                # Fall back to any unused phrase in the bucket.
+                for _polarity, candidate, _count in bucket:
+                    if candidate not in used:
+                        name = candidate
+                        break
+            if name not in used:
+                markers.append(Marker(name=name, position=bucket_index, sentiment=centre[0]))
+                used.add(name)
+                bucket_index += 1
+            bucket = []
+        if bucket_index >= k:
+            break
+    # Re-number positions contiguously in case buckets collapsed.
+    return [
+        Marker(name=marker.name, position=index, sentiment=marker.sentiment)
+        for index, marker in enumerate(markers)
+    ]
+
+
+def discover_categorical_markers(
+    domain: LinguisticDomain,
+    embedder: PhraseEmbedder,
+    num_markers: int = 4,
+    seed: int | None = 0,
+    sentiment: SentimentAnalyzer | None = None,
+) -> list[Marker]:
+    """k-means marker discovery for categorical domains (medoid per cluster)."""
+    if num_markers < 2:
+        raise ValueError("a categorical summary needs at least 2 markers")
+    phrases = domain.phrases
+    if not phrases:
+        raise ValueError(f"linguistic domain of {domain.attribute!r} is empty")
+    analyzer = sentiment or SentimentAnalyzer()
+    vectors = np.vstack([embedder.represent(phrase) for phrase in phrases])
+    result = KMeans(n_clusters=min(num_markers, len(phrases)), seed=seed).fit(vectors)
+    markers: list[Marker] = []
+    used: set[str] = set()
+    for position, medoid_index in enumerate(result.medoid_indices):
+        name = phrases[medoid_index]
+        if name in used:
+            continue
+        markers.append(
+            Marker(name=name, position=position, sentiment=analyzer.polarity(name))
+        )
+        used.add(name)
+    return [
+        Marker(name=marker.name, position=index, sentiment=marker.sentiment)
+        for index, marker in enumerate(markers)
+    ]
+
+
+def suggest_markers(
+    domain: LinguisticDomain,
+    kind: SummaryKind,
+    num_markers: int = 4,
+    embedder: PhraseEmbedder | None = None,
+    sentiment: SentimentAnalyzer | None = None,
+    seed: int | None = 0,
+) -> list[Marker]:
+    """Dispatch to the linear or categorical discovery method."""
+    if kind is SummaryKind.LINEAR:
+        return discover_linear_markers(domain, num_markers, sentiment)
+    if embedder is None:
+        raise ValueError("categorical marker discovery requires a phrase embedder")
+    return discover_categorical_markers(domain, embedder, num_markers, seed, sentiment)
+
+
+def marker_names(markers: Sequence[Marker]) -> list[str]:
+    """Convenience accessor used by tests and experiments."""
+    return [marker.name for marker in markers]

@@ -1,0 +1,215 @@
+"""Pairing aspect terms with opinion terms (Figure 6, Appendix C).
+
+After tagging, maximal AS and OP spans must be linked into (aspect, opinion)
+pairs.  Two pairing models are provided, mirroring Appendix C:
+
+``RuleBasedPairer``
+    Unsupervised: greedily link each aspect span to the nearest unassigned
+    opinion span (token distance standing in for parse-tree distance).  The
+    paper notes this achieves performance comparable to the learned model,
+    which is why the default pipeline uses it.
+
+``SupervisedPairer``
+    A logistic-regression classifier over (sentence, candidate pair)
+    features — distance, order, intervening punctuation-like tokens, span
+    lengths — mirroring the paper's sentence-pair classification fine-tuned
+    on 1,000 labelled pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.extraction.tagger import TaggedSentence
+from repro.ml.logistic import LogisticRegression
+
+
+@dataclass(frozen=True)
+class OpinionPair:
+    """An (aspect term, opinion term) pair extracted from one sentence."""
+
+    aspect_term: str
+    opinion_term: str
+    aspect_span: tuple[int, int]
+    opinion_span: tuple[int, int]
+
+    @property
+    def phrase(self) -> str:
+        """Concatenated "opinion aspect" phrase, e.g. ``"very clean room"``."""
+        return f"{self.opinion_term} {self.aspect_term}".strip()
+
+
+def _span_distance(first: tuple[int, int], second: tuple[int, int]) -> int:
+    """Token gap between two spans (0 when adjacent or overlapping)."""
+    if first[1] <= second[0]:
+        return second[0] - first[1]
+    if second[1] <= first[0]:
+        return first[0] - second[1]
+    return 0
+
+
+class RuleBasedPairer:
+    """Greedy nearest-neighbour pairing of aspect and opinion spans."""
+
+    def __init__(self, max_distance: int = 8) -> None:
+        self.max_distance = max_distance
+
+    def pair(self, sentence: TaggedSentence) -> list[OpinionPair]:
+        """Pair the spans of one tagged sentence.
+
+        Aspect spans are processed left to right and each takes the nearest
+        still-unassigned opinion span (a proxy for parse-tree proximity that
+        also avoids "crossing" assignments in multi-clause sentences such as
+        "bed was too soft, bathroom a wee bit small").  Aspects left without a
+        partner fall back to sharing the nearest opinion ("bed and bathroom
+        were dirty").
+        """
+        aspect_spans = sentence.aspect_spans()
+        opinion_spans = sentence.opinion_spans()
+        if not aspect_spans or not opinion_spans:
+            return []
+        used_opinions: set[tuple[int, int]] = set()
+        pairs: list[OpinionPair] = []
+        unpaired: list[tuple[int, int]] = []
+        for aspect_span in aspect_spans:
+            available = [span for span in opinion_spans if span not in used_opinions]
+            if not available:
+                unpaired.append(aspect_span)
+                continue
+            best = min(
+                available,
+                key=lambda opinion_span: (_span_distance(aspect_span, opinion_span),
+                                          opinion_span[0]),
+            )
+            if _span_distance(aspect_span, best) > self.max_distance:
+                unpaired.append(aspect_span)
+                continue
+            pairs.append(self._make_pair(sentence, aspect_span, best))
+            used_opinions.add(best)
+        # Aspects left without a partner may still share the nearest opinion
+        # term ("bed and bathroom were dirty"): link them to the closest one.
+        for aspect_span in unpaired:
+            best = min(
+                opinion_spans,
+                key=lambda opinion_span: _span_distance(aspect_span, opinion_span),
+            )
+            if _span_distance(aspect_span, best) <= self.max_distance:
+                pairs.append(self._make_pair(sentence, aspect_span, best))
+        pairs.sort(key=lambda pair: pair.aspect_span[0])
+        return pairs
+
+    @staticmethod
+    def _make_pair(
+        sentence: TaggedSentence,
+        aspect_span: tuple[int, int],
+        opinion_span: tuple[int, int],
+    ) -> OpinionPair:
+        return OpinionPair(
+            aspect_term=" ".join(sentence.tokens[aspect_span[0] : aspect_span[1]]),
+            opinion_term=" ".join(sentence.tokens[opinion_span[0] : opinion_span[1]]),
+            aspect_span=aspect_span,
+            opinion_span=opinion_span,
+        )
+
+
+def _pair_features(
+    sentence: TaggedSentence,
+    aspect_span: tuple[int, int],
+    opinion_span: tuple[int, int],
+) -> np.ndarray:
+    distance = _span_distance(aspect_span, opinion_span)
+    between_lo = min(aspect_span[1], opinion_span[1])
+    between_hi = max(aspect_span[0], opinion_span[0])
+    between_tokens = sentence.tokens[between_lo:between_hi]
+    connectors = sum(1 for token in between_tokens if token in ("and", "but", "was", "is", "were"))
+    return np.array(
+        [
+            distance,
+            1.0 if opinion_span[0] < aspect_span[0] else 0.0,
+            aspect_span[1] - aspect_span[0],
+            opinion_span[1] - opinion_span[0],
+            len(between_tokens),
+            connectors,
+            1.0 if distance <= 2 else 0.0,
+        ]
+    )
+
+
+@dataclass
+class SupervisedPairer:
+    """Logistic-regression pairing classifier (Appendix C, supervised variant)."""
+
+    threshold: float = 0.5
+    model: LogisticRegression = field(default_factory=LogisticRegression)
+    _fitted: bool = field(default=False, init=False, repr=False)
+
+    def fit(
+        self,
+        examples: Sequence[tuple[TaggedSentence, tuple[int, int], tuple[int, int], int]],
+    ) -> "SupervisedPairer":
+        """Train on (sentence, aspect span, opinion span, label) tuples."""
+        if not examples:
+            raise ValueError("no training examples provided")
+        features = np.vstack(
+            [
+                _pair_features(sentence, aspect_span, opinion_span)
+                for sentence, aspect_span, opinion_span, _label in examples
+            ]
+        )
+        labels = [int(label) for *_rest, label in examples]
+        if len(set(labels)) < 2:
+            raise ValueError("training labels must include both classes")
+        self.model.fit(features, labels)
+        self._fitted = True
+        return self
+
+    def accuracy(
+        self,
+        examples: Sequence[tuple[TaggedSentence, tuple[int, int], tuple[int, int], int]],
+    ) -> float:
+        """Classification accuracy over held-out labelled candidate pairs."""
+        if not self._fitted:
+            raise NotFittedError("SupervisedPairer is not fitted")
+        features = np.vstack(
+            [
+                _pair_features(sentence, aspect_span, opinion_span)
+                for sentence, aspect_span, opinion_span, _label in examples
+            ]
+        )
+        labels = [int(label) for *_rest, label in examples]
+        return self.model.score(features, labels)
+
+    def pair(self, sentence: TaggedSentence) -> list[OpinionPair]:
+        """Pair spans whose classifier probability clears the threshold."""
+        if not self._fitted:
+            raise NotFittedError("SupervisedPairer is not fitted")
+        pairs: list[OpinionPair] = []
+        for aspect_span in sentence.aspect_spans():
+            best_span = None
+            best_probability = 0.0
+            for opinion_span in sentence.opinion_spans():
+                features = _pair_features(sentence, aspect_span, opinion_span)
+                probability = float(
+                    self.model.positive_probability(features.reshape(1, -1))[0]
+                )
+                if probability > best_probability:
+                    best_probability = probability
+                    best_span = opinion_span
+            if best_span is not None and best_probability >= self.threshold:
+                pairs.append(
+                    OpinionPair(
+                        aspect_term=" ".join(
+                            sentence.tokens[aspect_span[0] : aspect_span[1]]
+                        ),
+                        opinion_term=" ".join(
+                            sentence.tokens[best_span[0] : best_span[1]]
+                        ),
+                        aspect_span=aspect_span,
+                        opinion_span=best_span,
+                    )
+                )
+        return pairs

@@ -1,0 +1,82 @@
+"""The extraction pipeline: review text -> (aspect, opinion) pairs per sentence.
+
+Combines a tagger and a pairer (Figure 6) and adds sentence splitting and
+sentiment scoring of each extracted pair.  The pipeline is the front half of
+the database builder; its output feeds the attribute classifier and the
+marker-summary aggregator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ExtractionError
+from repro.extraction.pairing import OpinionPair, RuleBasedPairer, SupervisedPairer
+from repro.extraction.tagger import OpinionTagger, TaggedSentence
+from repro.text.sentiment import SentimentAnalyzer
+from repro.text.tokenize import sentences as split_sentences
+from repro.text.tokenize import tokenize
+
+
+@dataclass(frozen=True)
+class ExtractedOpinion:
+    """One extracted opinion: pair + source sentence + sentiment."""
+
+    sentence: str
+    aspect_term: str
+    opinion_term: str
+    sentiment: float
+
+    @property
+    def phrase(self) -> str:
+        return f"{self.opinion_term} {self.aspect_term}".strip()
+
+
+@dataclass
+class ExtractionPipeline:
+    """Tag review sentences and pair the tagged spans into opinions.
+
+    Parameters
+    ----------
+    tagger:
+        A fitted :class:`OpinionTagger`.
+    pairer:
+        Rule-based by default; a fitted :class:`SupervisedPairer` may be
+        substituted (Appendix C).
+    """
+
+    tagger: OpinionTagger
+    pairer: RuleBasedPairer | SupervisedPairer = field(default_factory=RuleBasedPairer)
+    sentiment: SentimentAnalyzer = field(default_factory=SentimentAnalyzer)
+
+    def extract_sentence(self, sentence: str) -> list[ExtractedOpinion]:
+        """Extract opinion pairs from one sentence."""
+        tokens = tokenize(sentence)
+        if not tokens:
+            return []
+        tagged = TaggedSentence(tuple(tokens), tuple(self.tagger.predict(tokens)))
+        pairs = self.pairer.pair(tagged)
+        return [self._to_opinion(sentence, pair) for pair in pairs]
+
+    def extract_review(self, text: str) -> list[ExtractedOpinion]:
+        """Extract opinion pairs from every sentence of a review."""
+        if not isinstance(text, str):
+            raise ExtractionError("review text must be a string")
+        opinions: list[ExtractedOpinion] = []
+        for sentence in split_sentences(text):
+            opinions.extend(self.extract_sentence(sentence))
+        return opinions
+
+    def extract_corpus(self, reviews: Iterable[str]) -> list[list[ExtractedOpinion]]:
+        """Extract opinions from a corpus; one list per review."""
+        return [self.extract_review(text) for text in reviews]
+
+    def _to_opinion(self, sentence: str, pair: OpinionPair) -> ExtractedOpinion:
+        sentiment = self.sentiment.polarity(pair.phrase)
+        return ExtractedOpinion(
+            sentence=sentence,
+            aspect_term=pair.aspect_term,
+            opinion_term=pair.opinion_term,
+            sentiment=sentiment,
+        )

@@ -1,0 +1,177 @@
+"""Opinion taggers: classify each token as aspect term, opinion term, or other.
+
+The tagging stage of Figure 6 labels every token of a review sentence with
+one of three tags: ``AS`` (part of an aspect term), ``OP`` (part of an
+opinion term), ``O`` (irrelevant).  Two models are provided:
+
+``PerceptronOpinionTagger`` ("our model")
+    A feature-rich linear-chain structured perceptron with Viterbi decoding
+    (see :mod:`repro.ml.perceptron` and :mod:`repro.extraction.features`).
+    This stands in for the paper's BERT+BiLSTM+CRF extractor.
+
+``BaselineLexiconTagger`` ("previous SOTA" stand-in)
+    A purely lexical tagger: a token is an opinion term when it (or its
+    intensifier-attached head) is in the sentiment lexicon, and an aspect
+    term when it appears in a noun gazetteer learned from the training data
+    only (no context features, no transition structure).  It plays the role
+    of the pre-BERT models of [51, 52] in the Table 6 comparison: reasonable
+    on large training sets, noticeably weaker on small ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import NotFittedError
+from repro.extraction.features import tagging_features
+from repro.ml.perceptron import StructuredPerceptronTagger
+from repro.text.sentiment import SentimentAnalyzer
+
+TAGS = ["O", "AS", "OP"]
+
+
+@dataclass(frozen=True)
+class TaggedSentence:
+    """A tokenised sentence together with one tag per token."""
+
+    tokens: tuple[str, ...]
+    tags: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.tokens) != len(self.tags):
+            raise ValueError("tokens and tags must have the same length")
+        unknown = set(self.tags) - set(TAGS)
+        if unknown:
+            raise ValueError(f"unknown tags: {unknown}")
+
+    def aspect_spans(self) -> list[tuple[int, int]]:
+        """(start, end) index pairs of maximal AS runs."""
+        return _spans(self.tags, "AS")
+
+    def opinion_spans(self) -> list[tuple[int, int]]:
+        """(start, end) index pairs of maximal OP runs."""
+        return _spans(self.tags, "OP")
+
+    def aspect_terms(self) -> list[str]:
+        return [" ".join(self.tokens[s:e]) for s, e in self.aspect_spans()]
+
+    def opinion_terms(self) -> list[str]:
+        return [" ".join(self.tokens[s:e]) for s, e in self.opinion_spans()]
+
+
+def _spans(tags: Sequence[str], label: str) -> list[tuple[int, int]]:
+    spans: list[tuple[int, int]] = []
+    start = None
+    for index, tag in enumerate(tags):
+        if tag == label and start is None:
+            start = index
+        elif tag != label and start is not None:
+            spans.append((start, index))
+            start = None
+    if start is not None:
+        spans.append((start, len(tags)))
+    return spans
+
+
+class OpinionTagger:
+    """Interface of a tagging model: fit on tagged sentences, predict tags."""
+
+    def fit(self, sentences: Sequence[TaggedSentence]) -> "OpinionTagger":
+        raise NotImplementedError
+
+    def predict(self, tokens: Sequence[str]) -> list[str]:
+        raise NotImplementedError
+
+    def predict_many(self, sentences: Sequence[Sequence[str]]) -> list[list[str]]:
+        return [self.predict(tokens) for tokens in sentences]
+
+    def tag(self, tokens: Sequence[str]) -> TaggedSentence:
+        """Predict and wrap into a :class:`TaggedSentence`."""
+        return TaggedSentence(tuple(tokens), tuple(self.predict(tokens)))
+
+
+@dataclass
+class PerceptronOpinionTagger(OpinionTagger):
+    """Structured-perceptron tagger with the rich feature templates."""
+
+    epochs: int = 8
+    seed: int | None = 0
+    _model: StructuredPerceptronTagger | None = field(default=None, init=False, repr=False)
+
+    def fit(self, sentences: Sequence[TaggedSentence]) -> "PerceptronOpinionTagger":
+        if not sentences:
+            raise ValueError("training set is empty")
+        self._model = StructuredPerceptronTagger(
+            feature_extractor=tagging_features,
+            tags=TAGS,
+            epochs=self.epochs,
+            seed=self.seed,
+        )
+        self._model.fit(
+            [list(sentence.tokens) for sentence in sentences],
+            [list(sentence.tags) for sentence in sentences],
+        )
+        return self
+
+    def predict(self, tokens: Sequence[str]) -> list[str]:
+        if self._model is None:
+            raise NotFittedError("PerceptronOpinionTagger is not fitted")
+        return self._model.predict(tokens)
+
+
+@dataclass
+class BaselineLexiconTagger(OpinionTagger):
+    """Lexicon/gazetteer tagger standing in for the pre-BERT SOTA baseline.
+
+    Aspect vocabulary is learned from the training data alone (tokens that
+    appear inside gold AS spans at least ``min_aspect_count`` times); opinion
+    terms come from the sentiment lexicon plus tokens seen inside gold OP
+    spans.  No transition structure and no contextual features, which is why
+    it trails the structured model, especially when training data is scarce.
+    """
+
+    min_aspect_count: int = 2
+    _aspect_vocabulary: set[str] = field(default_factory=set, init=False, repr=False)
+    _opinion_vocabulary: set[str] = field(default_factory=set, init=False, repr=False)
+    _analyzer: SentimentAnalyzer = field(default_factory=SentimentAnalyzer, init=False, repr=False)
+    _fitted: bool = field(default=False, init=False, repr=False)
+
+    def fit(self, sentences: Sequence[TaggedSentence]) -> "BaselineLexiconTagger":
+        if not sentences:
+            raise ValueError("training set is empty")
+        aspect_counts: Counter = Counter()
+        opinion_counts: Counter = Counter()
+        for sentence in sentences:
+            for token, tag in zip(sentence.tokens, sentence.tags):
+                if tag == "AS":
+                    aspect_counts[token.lower()] += 1
+                elif tag == "OP":
+                    opinion_counts[token.lower()] += 1
+        self._aspect_vocabulary = {
+            token for token, count in aspect_counts.items()
+            if count >= self.min_aspect_count
+        }
+        self._opinion_vocabulary = {
+            token for token, count in opinion_counts.items() if count >= 2
+        }
+        self._fitted = True
+        return self
+
+    def predict(self, tokens: Sequence[str]) -> list[str]:
+        if not self._fitted:
+            raise NotFittedError("BaselineLexiconTagger is not fitted")
+        tags = []
+        for token in tokens:
+            lowered = token.lower()
+            if lowered in self._aspect_vocabulary:
+                tags.append("AS")
+            elif lowered in self._opinion_vocabulary or (
+                self._analyzer.lexicon_polarity(lowered) is not None
+                and abs(self._analyzer.lexicon_polarity(lowered)) >= 0.2
+            ):
+                tags.append("OP")
+            else:
+                tags.append("O")
+        return tags

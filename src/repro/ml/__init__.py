@@ -1,0 +1,35 @@
+"""ML substrate: the classical models OpineDB's components are built from.
+
+Logistic regression backs the membership functions (Section 3.3), naive
+Bayes / logistic regression back the attribute classifier (Section 4.2),
+k-means backs categorical marker discovery (Section 4.2.1), and the
+structured perceptron sequence tagger backs the opinion extractor
+(Section 4.1, substituting for BERT+BiLSTM+CRF).
+"""
+
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+from repro.ml.kmeans import KMeans, KMeansResult
+from repro.ml.perceptron import StructuredPerceptronTagger
+from repro.ml.metrics import (
+    accuracy,
+    f1_score,
+    ndcg_at_k,
+    precision_recall_f1,
+    span_f1,
+)
+from repro.ml.split import train_test_split
+
+__all__ = [
+    "LogisticRegression",
+    "MultinomialNaiveBayes",
+    "KMeans",
+    "KMeansResult",
+    "StructuredPerceptronTagger",
+    "accuracy",
+    "f1_score",
+    "precision_recall_f1",
+    "span_f1",
+    "ndcg_at_k",
+    "train_test_split",
+]

@@ -1,0 +1,123 @@
+"""k-means clustering (k-means++ initialisation, Lloyd iterations).
+
+Categorical marker discovery (Section 4.2.1) clusters the phrase vectors of
+a linguistic domain and proposes the variation nearest each centroid as a
+marker.  The implementation is deterministic given a seed and exposes both
+the assignments and the indices of the points nearest each centroid (the
+"medoids"), which is what the marker-discovery step needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a k-means run."""
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    medoid_indices: list[int]
+
+
+class KMeans:
+    """Standard k-means with k-means++ seeding.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters to produce (clamped to the number of points).
+    max_iterations:
+        Upper bound on Lloyd iterations.
+    tolerance:
+        Early-stop threshold on centroid movement.
+    seed:
+        RNG seed controlling the k-means++ initialisation.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        seed: int | None = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be at least 1")
+        self.n_clusters = n_clusters
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.seed = seed
+
+    def fit(self, points: np.ndarray) -> KMeansResult:
+        """Cluster ``points`` (one row per observation)."""
+        X = np.asarray(points, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ValueError("points must be a non-empty 2-D array")
+        rng = ensure_rng(self.seed)
+        k = min(self.n_clusters, X.shape[0])
+        centroids = self._init_plus_plus(X, k, rng)
+        assignments = np.zeros(X.shape[0], dtype=np.int64)
+        for _ in range(self.max_iterations):
+            distances = self._pairwise_sq_distances(X, centroids)
+            assignments = distances.argmin(axis=1)
+            new_centroids = centroids.copy()
+            for cluster in range(k):
+                members = X[assignments == cluster]
+                if len(members):
+                    new_centroids[cluster] = members.mean(axis=0)
+            movement = float(np.linalg.norm(new_centroids - centroids))
+            centroids = new_centroids
+            if movement < self.tolerance:
+                break
+        distances = self._pairwise_sq_distances(X, centroids)
+        assignments = distances.argmin(axis=1)
+        inertia = float(distances[np.arange(X.shape[0]), assignments].sum())
+        medoids = self._medoids(X, centroids, assignments, k)
+        return KMeansResult(centroids, assignments, inertia, medoids)
+
+    @staticmethod
+    def _pairwise_sq_distances(X: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        diff = X[:, None, :] - centroids[None, :, :]
+        return np.einsum("ijk,ijk->ij", diff, diff)
+
+    @staticmethod
+    def _init_plus_plus(X: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+        n = X.shape[0]
+        centroids = np.empty((k, X.shape[1]))
+        first = int(rng.integers(0, n))
+        centroids[0] = X[first]
+        closest_sq = ((X - centroids[0]) ** 2).sum(axis=1)
+        for i in range(1, k):
+            total = closest_sq.sum()
+            if total <= 0.0:
+                choice = int(rng.integers(0, n))
+            else:
+                probabilities = closest_sq / total
+                choice = int(rng.choice(n, p=probabilities))
+            centroids[i] = X[choice]
+            new_sq = ((X - centroids[i]) ** 2).sum(axis=1)
+            closest_sq = np.minimum(closest_sq, new_sq)
+        return centroids
+
+    @staticmethod
+    def _medoids(
+        X: np.ndarray, centroids: np.ndarray, assignments: np.ndarray, k: int
+    ) -> list[int]:
+        medoids: list[int] = []
+        for cluster in range(k):
+            member_indices = np.where(assignments == cluster)[0]
+            if len(member_indices) == 0:
+                distances = ((X - centroids[cluster]) ** 2).sum(axis=1)
+                medoids.append(int(distances.argmin()))
+                continue
+            members = X[member_indices]
+            distances = ((members - centroids[cluster]) ** 2).sum(axis=1)
+            medoids.append(int(member_indices[distances.argmin()]))
+        return medoids

@@ -1,0 +1,162 @@
+"""Binary and multiclass logistic regression (numpy, batch gradient descent).
+
+Logistic regression is the workhorse model of OpineDB:
+
+* the **membership functions** of Section 3.3 are the probability outputs of
+  a binary logistic-regression classifier trained on (marker summary,
+  phrase, label) tuples — the paper explicitly picks LR because its
+  probability output can be read as a degree of truth in [0, 1];
+* the **attribute classifier** of Section 4.2 maps extracted (aspect,
+  opinion) pairs to subjective attributes; the multiclass (softmax) variant
+  here supports that use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    shifted = z - z.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+@dataclass
+class LogisticRegression:
+    """L2-regularised logistic regression trained with full-batch gradient descent.
+
+    Handles both binary problems (labels in {0, 1}) and multiclass problems
+    (arbitrary hashable labels) — the latter switches to a softmax head.
+
+    Parameters
+    ----------
+    learning_rate:
+        Gradient-descent step size.
+    epochs:
+        Number of full passes over the training matrix.
+    l2:
+        L2 penalty strength (0 disables regularisation).
+    fit_intercept:
+        Whether to learn a bias term.
+    standardize:
+        Whether to z-score features before fitting; the scaler statistics are
+        stored and re-applied at prediction time.  Marker-summary features
+        have wildly different scales (counts vs averages), so this defaults
+        to ``True``.
+    """
+
+    learning_rate: float = 0.5
+    epochs: int = 300
+    l2: float = 1e-3
+    fit_intercept: bool = True
+    standardize: bool = True
+
+    classes_: list | None = field(default=None, init=False, repr=False)
+    weights_: np.ndarray | None = field(default=None, init=False, repr=False)
+    _mean: np.ndarray | None = field(default=None, init=False, repr=False)
+    _std: np.ndarray | None = field(default=None, init=False, repr=False)
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, features: np.ndarray, labels: list | np.ndarray) -> "LogisticRegression":
+        """Train on a dense feature matrix and a label list."""
+        X = np.asarray(features, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("features must be a 2-D array")
+        labels = list(labels)
+        if len(labels) != X.shape[0]:
+            raise ValueError("features and labels must align")
+        self.classes_ = sorted(set(labels), key=repr)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two distinct labels")
+
+        if self.standardize:
+            self._mean = X.mean(axis=0)
+            self._std = X.std(axis=0)
+            self._std[self._std == 0.0] = 1.0
+            X = (X - self._mean) / self._std
+        if self.fit_intercept:
+            X = np.hstack([X, np.ones((X.shape[0], 1))])
+
+        if len(self.classes_) == 2:
+            self._fit_binary(X, labels)
+        else:
+            self._fit_multiclass(X, labels)
+        return self
+
+    def _fit_binary(self, X: np.ndarray, labels: list) -> None:
+        positive = self.classes_[1]
+        y = np.array([1.0 if label == positive else 0.0 for label in labels])
+        weights = np.zeros(X.shape[1])
+        n = X.shape[0]
+        for _ in range(self.epochs):
+            probabilities = _sigmoid(X @ weights)
+            gradient = X.T @ (probabilities - y) / n + self.l2 * weights
+            weights -= self.learning_rate * gradient
+        self.weights_ = weights.reshape(1, -1)
+
+    def _fit_multiclass(self, X: np.ndarray, labels: list) -> None:
+        index_of = {label: i for i, label in enumerate(self.classes_)}
+        y = np.zeros((X.shape[0], len(self.classes_)))
+        for row, label in enumerate(labels):
+            y[row, index_of[label]] = 1.0
+        weights = np.zeros((len(self.classes_), X.shape[1]))
+        n = X.shape[0]
+        for _ in range(self.epochs):
+            probabilities = _softmax(X @ weights.T)
+            gradient = (probabilities - y).T @ X / n + self.l2 * weights
+            weights -= self.learning_rate * gradient
+        self.weights_ = weights
+
+    # -------------------------------------------------------------- predict
+    def _transform(self, features: np.ndarray) -> np.ndarray:
+        if self.weights_ is None or self.classes_ is None:
+            raise NotFittedError("LogisticRegression is not fitted")
+        X = np.asarray(features, dtype=np.float64)
+        single = X.ndim == 1
+        if single:
+            X = X.reshape(1, -1)
+        if self.standardize and self._mean is not None and self._std is not None:
+            X = (X - self._mean) / self._std
+        if self.fit_intercept:
+            X = np.hstack([X, np.ones((X.shape[0], 1))])
+        return X
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Return class-probability rows aligned with :attr:`classes_`."""
+        X = self._transform(features)
+        if len(self.classes_) == 2:
+            positive = _sigmoid(X @ self.weights_[0])
+            return np.vstack([1.0 - positive, positive]).T
+        return _softmax(X @ self.weights_.T)
+
+    def predict(self, features: np.ndarray) -> list:
+        """Return the most probable class label per row."""
+        probabilities = self.predict_proba(features)
+        indices = probabilities.argmax(axis=1)
+        return [self.classes_[int(i)] for i in indices]
+
+    def positive_probability(self, features: np.ndarray) -> np.ndarray:
+        """Probability of the positive (larger-sorted) class; binary only.
+
+        This is the degree-of-truth output used by the membership functions.
+        """
+        if self.classes_ is None or len(self.classes_) != 2:
+            raise NotFittedError("positive_probability requires a fitted binary model")
+        return self.predict_proba(features)[:, 1]
+
+    def score(self, features: np.ndarray, labels: list | np.ndarray) -> float:
+        """Accuracy on a labelled evaluation set."""
+        predictions = self.predict(features)
+        labels = list(labels)
+        if not labels:
+            return 0.0
+        return sum(1 for p, g in zip(predictions, labels) if p == g) / len(labels)

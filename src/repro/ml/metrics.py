@@ -1,0 +1,119 @@
+"""Evaluation metrics used across the experiments.
+
+* classification accuracy and precision/recall/F1 (extractor, attribute
+  classifier, membership-function LR — Tables 6, 7 and Section 4.2);
+* span-level (chunk) F1 for sequence tagging, matching the paper's rule that
+  an aspect/opinion term counts only when it matches the gold span exactly;
+* NDCG@k-style result quality (Table 5, Table 7) following the paper's
+  ``sat(Q, E)`` definition with the 1/log2(j+1) position discount.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+
+def accuracy(gold: Sequence[Hashable], predicted: Sequence[Hashable]) -> float:
+    """Fraction of positions where ``predicted`` equals ``gold``."""
+    if len(gold) != len(predicted):
+        raise ValueError("gold and predicted must have the same length")
+    if not gold:
+        return 0.0
+    correct = sum(1 for g, p in zip(gold, predicted) if g == p)
+    return correct / len(gold)
+
+
+def precision_recall_f1(
+    num_correct: int, num_predicted: int, num_gold: int
+) -> tuple[float, float, float]:
+    """Compute (precision, recall, F1) from raw counts, guarding zeros."""
+    precision = num_correct / num_predicted if num_predicted else 0.0
+    recall = num_correct / num_gold if num_gold else 0.0
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    f1 = 2 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def f1_score(gold: Sequence[Hashable], predicted: Sequence[Hashable],
+             positive_label: Hashable = 1) -> float:
+    """Binary F1 of ``positive_label`` over aligned label sequences."""
+    if len(gold) != len(predicted):
+        raise ValueError("gold and predicted must have the same length")
+    num_correct = sum(
+        1 for g, p in zip(gold, predicted) if g == p == positive_label
+    )
+    num_predicted = sum(1 for p in predicted if p == positive_label)
+    num_gold = sum(1 for g in gold if g == positive_label)
+    return precision_recall_f1(num_correct, num_predicted, num_gold)[2]
+
+
+def extract_spans(tags: Sequence[str]) -> set[tuple[int, int, str]]:
+    """Convert a tag sequence into a set of ``(start, end, label)`` spans.
+
+    Tags use the scheme of the paper's Figure 6: "AS" for aspect-term tokens,
+    "OP" for opinion-term tokens, "O" for other tokens.  Maximal runs of the
+    same non-O tag form one span (an IO scheme — the synthetic corpora never
+    place two same-type terms adjacently, matching how the paper's datasets
+    are constructed).
+    """
+    spans: set[tuple[int, int, str]] = set()
+    start: int | None = None
+    current = "O"
+    for index, tag in enumerate(tags):
+        if tag != current:
+            if current != "O" and start is not None:
+                spans.add((start, index, current))
+            start = index if tag != "O" else None
+            current = tag
+    if current != "O" and start is not None:
+        spans.add((start, len(tags), current))
+    return spans
+
+
+def span_f1(
+    gold_sequences: Sequence[Sequence[str]],
+    predicted_sequences: Sequence[Sequence[str]],
+    label: str | None = None,
+) -> float:
+    """Exact-match span F1 over a corpus of tag sequences.
+
+    When ``label`` is given only spans of that type (e.g. "AS" or "OP") are
+    scored; otherwise all spans count.  This is the metric of Table 6.
+    """
+    if len(gold_sequences) != len(predicted_sequences):
+        raise ValueError("gold and predicted corpora must have the same size")
+    num_correct = num_predicted = num_gold = 0
+    for gold_tags, predicted_tags in zip(gold_sequences, predicted_sequences):
+        gold_spans = extract_spans(gold_tags)
+        predicted_spans = extract_spans(predicted_tags)
+        if label is not None:
+            gold_spans = {s for s in gold_spans if s[2] == label}
+            predicted_spans = {s for s in predicted_spans if s[2] == label}
+        num_correct += len(gold_spans & predicted_spans)
+        num_predicted += len(predicted_spans)
+        num_gold += len(gold_spans)
+    return precision_recall_f1(num_correct, num_predicted, num_gold)[2]
+
+
+def dcg(gains: Sequence[float]) -> float:
+    """Discounted cumulative gain with the paper's 1/log2(j+1) discount."""
+    return sum(gain / math.log2(j + 2) for j, gain in enumerate(gains))
+
+
+def ndcg_at_k(gains: Sequence[float], ideal_gains: Sequence[float], k: int) -> float:
+    """Normalised DCG@k: DCG of the result divided by DCG of the ideal list.
+
+    ``gains[j]`` is the gain of the entity at rank j (for Table 5 the gain is
+    the number of query predicates that entity satisfies); ``ideal_gains``
+    are the gains of the best possible ranking, usually the same values
+    sorted in decreasing order over all candidate entities.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    numerator = dcg(list(gains)[:k])
+    denominator = dcg(sorted(ideal_gains, reverse=True)[:k])
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator

@@ -1,0 +1,92 @@
+"""Multinomial naive Bayes over bag-of-words features.
+
+Used as a light-weight alternative head for the attribute classifier
+(Section 4.2): the classifier maps concatenated (aspect, opinion) phrases to
+subjective attributes.  Naive Bayes over token counts is fast to train on the
+seed-expanded training set and serves as a comparison point against the
+logistic-regression head in the ablation benches.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.errors import NotFittedError
+from repro.text.tokenize import tokenize
+
+
+@dataclass
+class MultinomialNaiveBayes:
+    """Multinomial naive Bayes text classifier with Laplace smoothing."""
+
+    alpha: float = 1.0
+
+    _class_counts: Counter = field(default_factory=Counter, init=False, repr=False)
+    _token_counts: dict = field(default_factory=dict, init=False, repr=False)
+    _class_totals: Counter = field(default_factory=Counter, init=False, repr=False)
+    _vocabulary: set = field(default_factory=set, init=False, repr=False)
+    _fitted: bool = field(default=False, init=False, repr=False)
+
+    def fit(self, texts: Sequence[str], labels: Sequence[Hashable]) -> "MultinomialNaiveBayes":
+        """Train on raw text snippets and their labels."""
+        if len(texts) != len(labels):
+            raise ValueError("texts and labels must align")
+        if not texts:
+            raise ValueError("training set is empty")
+        self._class_counts = Counter()
+        self._token_counts = defaultdict(Counter)
+        self._class_totals = Counter()
+        self._vocabulary = set()
+        for text, label in zip(texts, labels):
+            tokens = tokenize(text)
+            self._class_counts[label] += 1
+            self._token_counts[label].update(tokens)
+            self._class_totals[label] += len(tokens)
+            self._vocabulary.update(tokens)
+        self._fitted = True
+        return self
+
+    @property
+    def classes(self) -> list:
+        if not self._fitted:
+            raise NotFittedError("MultinomialNaiveBayes is not fitted")
+        return sorted(self._class_counts, key=repr)
+
+    def log_scores(self, text: str) -> dict[Hashable, float]:
+        """Per-class unnormalised log posterior of ``text``."""
+        if not self._fitted:
+            raise NotFittedError("MultinomialNaiveBayes is not fitted")
+        tokens = tokenize(text)
+        total_documents = sum(self._class_counts.values())
+        vocabulary_size = max(1, len(self._vocabulary))
+        scores: dict[Hashable, float] = {}
+        for label in self.classes:
+            log_prior = math.log(self._class_counts[label] / total_documents)
+            log_likelihood = 0.0
+            denominator = self._class_totals[label] + self.alpha * vocabulary_size
+            for token in tokens:
+                count = self._token_counts[label].get(token, 0)
+                log_likelihood += math.log((count + self.alpha) / denominator)
+            scores[label] = log_prior + log_likelihood
+        return scores
+
+    def predict(self, text: str) -> Hashable:
+        """Most probable class for ``text``."""
+        scores = self.log_scores(text)
+        return max(scores.items(), key=lambda item: (item[1], repr(item[0])))[0]
+
+    def predict_many(self, texts: Sequence[str]) -> list[Hashable]:
+        """Vector form of :meth:`predict`."""
+        return [self.predict(text) for text in texts]
+
+    def score(self, texts: Sequence[str], labels: Sequence[Hashable]) -> float:
+        """Accuracy over a labelled evaluation set."""
+        if len(texts) != len(labels):
+            raise ValueError("texts and labels must align")
+        if not texts:
+            return 0.0
+        predictions = self.predict_many(texts)
+        return sum(1 for p, g in zip(predictions, labels) if p == g) / len(labels)

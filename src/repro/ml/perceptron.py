@@ -1,0 +1,171 @@
+"""Averaged structured perceptron for sequence tagging with Viterbi decoding.
+
+This is the learning machinery behind OpineDB's opinion extractor in this
+reproduction.  The paper fine-tunes BERT+BiLSTM+CRF; running transformer
+models is out of scope for an offline pure-numpy build, so the tagger is a
+linear-chain structured model trained with the averaged perceptron — the same
+family of model (feature-based sequence labeller with first-order transition
+structure, Viterbi inference) that pre-neural ABSA extractors used.  The
+feature templates live in :mod:`repro.extraction.features`; this module is
+feature-agnostic: it scores (feature set, tag) emissions and (tag, tag)
+transitions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import NotFittedError
+from repro.utils.rng import ensure_rng
+
+FeatureExtractor = Callable[[Sequence[str], int], list[str]]
+
+
+@dataclass
+class StructuredPerceptronTagger:
+    """Linear-chain sequence tagger trained with the averaged perceptron.
+
+    Parameters
+    ----------
+    feature_extractor:
+        Callable mapping ``(tokens, position)`` to a list of feature strings.
+    tags:
+        The closed tag set (e.g. ``["O", "AS", "OP"]``).
+    epochs:
+        Training passes over the data.
+    seed:
+        Controls the per-epoch shuffling order.
+    """
+
+    feature_extractor: FeatureExtractor
+    tags: list[str]
+    epochs: int = 8
+    seed: int | None = 0
+
+    _emission: dict = field(default_factory=dict, init=False, repr=False)
+    _transition: dict = field(default_factory=dict, init=False, repr=False)
+    _fitted: bool = field(default=False, init=False, repr=False)
+
+    # ------------------------------------------------------------ training
+    def fit(
+        self,
+        sentences: Sequence[Sequence[str]],
+        tag_sequences: Sequence[Sequence[str]],
+    ) -> "StructuredPerceptronTagger":
+        """Train on aligned token and tag sequences."""
+        if len(sentences) != len(tag_sequences):
+            raise ValueError("sentences and tag sequences must align")
+        for tokens, tags in zip(sentences, tag_sequences):
+            if len(tokens) != len(tags):
+                raise ValueError("each sentence must align with its tags")
+            unknown = set(tags) - set(self.tags)
+            if unknown:
+                raise ValueError(f"unknown tags in training data: {unknown}")
+
+        rng = ensure_rng(self.seed)
+        emission: dict[tuple[str, str], float] = defaultdict(float)
+        transition: dict[tuple[str, str], float] = defaultdict(float)
+        emission_totals: dict[tuple[str, str], float] = defaultdict(float)
+        transition_totals: dict[tuple[str, str], float] = defaultdict(float)
+        emission_stamps: dict[tuple[str, str], int] = defaultdict(int)
+        transition_stamps: dict[tuple[str, str], int] = defaultdict(int)
+
+        def bump(weights, totals, stamps, key, delta, step):
+            totals[key] += (step - stamps[key]) * weights[key]
+            stamps[key] = step
+            weights[key] += delta
+
+        examples = list(range(len(sentences)))
+        step = 0
+        for _epoch in range(self.epochs):
+            rng.shuffle(examples)
+            for index in examples:
+                tokens = list(sentences[index])
+                gold = list(tag_sequences[index])
+                if not tokens:
+                    continue
+                features = [self.feature_extractor(tokens, i) for i in range(len(tokens))]
+                predicted = self._viterbi(features, emission, transition)
+                step += 1
+                if predicted == gold:
+                    continue
+                previous_gold = previous_predicted = None
+                for i in range(len(tokens)):
+                    if gold[i] != predicted[i]:
+                        for feature in features[i]:
+                            bump(emission, emission_totals, emission_stamps,
+                                 (feature, gold[i]), +1.0, step)
+                            bump(emission, emission_totals, emission_stamps,
+                                 (feature, predicted[i]), -1.0, step)
+                    gold_key = (previous_gold or "<s>", gold[i])
+                    predicted_key = (previous_predicted or "<s>", predicted[i])
+                    if gold_key != predicted_key:
+                        bump(transition, transition_totals, transition_stamps,
+                             gold_key, +1.0, step)
+                        bump(transition, transition_totals, transition_stamps,
+                             predicted_key, -1.0, step)
+                    previous_gold, previous_predicted = gold[i], predicted[i]
+
+        # Finalise averaging.
+        self._emission = {}
+        for key, weight in emission.items():
+            total = emission_totals[key] + (step - emission_stamps[key]) * weight
+            averaged = total / max(1, step)
+            if averaged != 0.0:
+                self._emission[key] = averaged
+        self._transition = {}
+        for key, weight in transition.items():
+            total = transition_totals[key] + (step - transition_stamps[key]) * weight
+            averaged = total / max(1, step)
+            if averaged != 0.0:
+                self._transition[key] = averaged
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------ inference
+    def _viterbi(
+        self,
+        features: list[list[str]],
+        emission: dict[tuple[str, str], float],
+        transition: dict[tuple[str, str], float],
+    ) -> list[str]:
+        n = len(features)
+        tags = self.tags
+        scores = [[0.0] * len(tags) for _ in range(n)]
+        backpointers = [[0] * len(tags) for _ in range(n)]
+        for t, tag in enumerate(tags):
+            scores[0][t] = (
+                sum(emission.get((f, tag), 0.0) for f in features[0])
+                + transition.get(("<s>", tag), 0.0)
+            )
+        for i in range(1, n):
+            for t, tag in enumerate(tags):
+                emit = sum(emission.get((f, tag), 0.0) for f in features[i])
+                best_score, best_prev = float("-inf"), 0
+                for p, previous in enumerate(tags):
+                    candidate = scores[i - 1][p] + transition.get((previous, tag), 0.0)
+                    if candidate > best_score:
+                        best_score, best_prev = candidate, p
+                scores[i][t] = best_score + emit
+                backpointers[i][t] = best_prev
+        best_last = max(range(len(tags)), key=lambda t: scores[n - 1][t])
+        path = [best_last]
+        for i in range(n - 1, 0, -1):
+            path.append(backpointers[i][path[-1]])
+        path.reverse()
+        return [tags[t] for t in path]
+
+    def predict(self, tokens: Sequence[str]) -> list[str]:
+        """Tag a single token sequence."""
+        if not self._fitted:
+            raise NotFittedError("StructuredPerceptronTagger is not fitted")
+        if not tokens:
+            return []
+        features = [self.feature_extractor(list(tokens), i) for i in range(len(tokens))]
+        return self._viterbi(features, self._emission, self._transition)
+
+    def predict_many(self, sentences: Sequence[Sequence[str]]) -> list[list[str]]:
+        """Tag a corpus of token sequences."""
+        return [self.predict(tokens) for tokens in sentences]

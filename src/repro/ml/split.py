@@ -1,0 +1,35 @@
+"""Dataset splitting helpers (deterministic, seedable)."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+T = TypeVar("T")
+
+
+def train_test_split(
+    items: Sequence[T],
+    test_fraction: float = 0.2,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[list[T], list[T]]:
+    """Shuffle ``items`` and split into (train, test) lists.
+
+    ``test_fraction`` must lie in (0, 1); at least one item lands in each
+    side whenever there are two or more items.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = ensure_rng(seed)
+    indices = np.arange(len(items))
+    rng.shuffle(indices)
+    n_test = int(round(len(items) * test_fraction))
+    if len(items) >= 2:
+        n_test = min(max(n_test, 1), len(items) - 1)
+    test_indices = set(indices[:n_test].tolist())
+    train = [item for i, item in enumerate(items) if i not in test_indices]
+    test = [item for i, item in enumerate(items) if i in test_indices]
+    return train, test

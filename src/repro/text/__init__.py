@@ -1,0 +1,50 @@
+"""Text substrate: tokenisation, sentiment, embeddings, IR.
+
+This package implements the NLP/IR building blocks that OpineDB assumed as
+off-the-shelf dependencies (gensim word2vec, NLTK sentiment, Elasticsearch
+BM25).  They are reimplemented here from scratch so the whole system runs
+offline on pure Python + numpy/scipy.
+"""
+
+from repro.text.tokenize import (
+    ngrams,
+    sentences,
+    tokenize,
+)
+from repro.text.stopwords import STOPWORDS, is_stopword
+from repro.text.vocab import Vocabulary
+from repro.text.idf import DocumentFrequencies
+from repro.text.sentiment import SentimentAnalyzer, SentimentScore
+from repro.text.embeddings import (
+    PhraseEmbedder,
+    PpmiSvdEmbeddings,
+    WordEmbeddings,
+)
+from repro.text.sgns import SkipGramEmbeddings
+from repro.text.similarity import (
+    KdTreeIndex,
+    NearestPhraseIndex,
+    cosine_similarity,
+)
+from repro.text.bm25 import Bm25Index, SearchHit
+
+__all__ = [
+    "tokenize",
+    "sentences",
+    "ngrams",
+    "STOPWORDS",
+    "is_stopword",
+    "Vocabulary",
+    "DocumentFrequencies",
+    "SentimentAnalyzer",
+    "SentimentScore",
+    "WordEmbeddings",
+    "PpmiSvdEmbeddings",
+    "SkipGramEmbeddings",
+    "PhraseEmbedder",
+    "KdTreeIndex",
+    "NearestPhraseIndex",
+    "cosine_similarity",
+    "Bm25Index",
+    "SearchHit",
+]

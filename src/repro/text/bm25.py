@@ -1,0 +1,135 @@
+"""Okapi BM25 retrieval over an inverted index.
+
+Stands in for the Elasticsearch dependency of the paper.  Three OpineDB
+components use it:
+
+* the co-occurrence interpretation method, which retrieves the top-k most
+  relevant *positive* reviews for a query predicate (Eq. 3);
+* the text-retrieval fallback, which scores each entity's concatenated
+  review document against the predicate (Section 3.2);
+* the GZ12 IR baseline (Section 5.3).
+
+The implementation is the textbook Okapi BM25 with parameters ``k1`` and
+``b`` and a standard inverted index with per-document term frequencies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenize import tokenize
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """A document returned by a BM25 search, with its relevance score."""
+
+    doc_id: Hashable
+    score: float
+
+
+class Bm25Index:
+    """Inverted index with Okapi BM25 ranking.
+
+    Documents are added with :meth:`add_document` (id + raw text or tokens)
+    and searched with :meth:`search`.  Scores of documents that contain no
+    query term are 0 and such documents are not returned.
+    """
+
+    def __init__(self, k1: float = 1.5, b: float = 0.75,
+                 drop_stopwords: bool = True) -> None:
+        if k1 < 0 or not 0 <= b <= 1:
+            raise ValueError("invalid BM25 parameters")
+        self.k1 = k1
+        self.b = b
+        self._drop_stopwords = drop_stopwords
+        self._postings: dict[str, dict[Hashable, int]] = defaultdict(dict)
+        self._doc_lengths: dict[Hashable, int] = {}
+        self._total_length = 0
+
+    def _prepare(self, text: str | Sequence[str]) -> list[str]:
+        tokens = tokenize(text) if isinstance(text, str) else list(text)
+        if self._drop_stopwords:
+            tokens = [token for token in tokens if token not in STOPWORDS]
+        return tokens
+
+    def add_document(self, doc_id: Hashable, text: str | Sequence[str]) -> None:
+        """Index one document.  Re-adding an existing id raises ``ValueError``."""
+        if doc_id in self._doc_lengths:
+            raise ValueError(f"document already indexed: {doc_id!r}")
+        tokens = self._prepare(text)
+        counts = Counter(tokens)
+        for token, count in counts.items():
+            self._postings[token][doc_id] = count
+        self._doc_lengths[doc_id] = len(tokens)
+        self._total_length += len(tokens)
+
+    def add_corpus(self, documents: Iterable[tuple[Hashable, str | Sequence[str]]]) -> None:
+        """Index many ``(doc_id, text)`` pairs."""
+        for doc_id, text in documents:
+            self.add_document(doc_id, text)
+
+    def __len__(self) -> int:
+        return len(self._doc_lengths)
+
+    def __contains__(self, doc_id: Hashable) -> bool:
+        return doc_id in self._doc_lengths
+
+    @property
+    def average_length(self) -> float:
+        if not self._doc_lengths:
+            return 0.0
+        return self._total_length / len(self._doc_lengths)
+
+    def idf(self, token: str) -> float:
+        """BM25 idf with the standard +0.5 smoothing, floored at 0."""
+        n = len(self._doc_lengths)
+        df = len(self._postings.get(token, ()))
+        if n == 0:
+            return 0.0
+        return max(0.0, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
+
+    def score(self, doc_id: Hashable, query: str | Sequence[str]) -> float:
+        """BM25 score of a single document for ``query`` (0 if not indexed)."""
+        if doc_id not in self._doc_lengths:
+            return 0.0
+        tokens = self._prepare(query)
+        avg_length = self.average_length or 1.0
+        doc_length = self._doc_lengths[doc_id]
+        total = 0.0
+        for token in tokens:
+            postings = self._postings.get(token)
+            if not postings:
+                continue
+            tf = postings.get(doc_id, 0)
+            if tf == 0:
+                continue
+            idf = self.idf(token)
+            denominator = tf + self.k1 * (1 - self.b + self.b * doc_length / avg_length)
+            total += idf * tf * (self.k1 + 1) / denominator
+        return total
+
+    def search(self, query: str | Sequence[str], top_k: int = 10) -> list[SearchHit]:
+        """Return up to ``top_k`` documents ranked by BM25 score."""
+        tokens = self._prepare(query)
+        if not tokens or not self._doc_lengths:
+            return []
+        avg_length = self.average_length or 1.0
+        scores: dict[Hashable, float] = defaultdict(float)
+        for token in tokens:
+            postings = self._postings.get(token)
+            if not postings:
+                continue
+            idf = self.idf(token)
+            for doc_id, tf in postings.items():
+                doc_length = self._doc_lengths[doc_id]
+                denominator = tf + self.k1 * (
+                    1 - self.b + self.b * doc_length / avg_length
+                )
+                scores[doc_id] += idf * tf * (self.k1 + 1) / denominator
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], str(item[0])))
+        return [SearchHit(doc_id, score) for doc_id, score in ranked[:top_k]]

@@ -1,0 +1,59 @@
+"""Document-frequency statistics and the IDF weighting of Equation (1).
+
+OpineDB weights word vectors by inverse document frequency when building the
+representation of a query predicate or linguistic variation:
+
+    rep(p) = sum_{w in p} w2v(w) * idf(w)                        (Eq. 1)
+
+This module provides the ``idf`` lookup used both by the phrase embedder
+(Section 3.2) and by the BM25 retrieval engine.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class DocumentFrequencies:
+    """Counts, for each token, the number of documents containing it.
+
+    The smoothed IDF formula ``log((1 + N) / (1 + df)) + 1`` is used so that
+    tokens never seen in the corpus still receive a finite, maximal weight —
+    query predicates frequently contain words absent from the reviews.
+    """
+
+    _doc_freq: Counter = field(default_factory=Counter)
+    _num_documents: int = 0
+
+    def add_document(self, tokens: Sequence[str]) -> None:
+        """Register one document given its token list."""
+        self._doc_freq.update(set(tokens))
+        self._num_documents += 1
+
+    def add_corpus(self, documents: Iterable[Sequence[str]]) -> None:
+        """Register every document of a tokenised corpus."""
+        for document in documents:
+            self.add_document(document)
+
+    @property
+    def num_documents(self) -> int:
+        return self._num_documents
+
+    def document_frequency(self, token: str) -> int:
+        """Number of documents that contain ``token`` at least once."""
+        return self._doc_freq.get(token, 0)
+
+    def idf(self, token: str) -> float:
+        """Smoothed inverse document frequency of ``token``."""
+        df = self._doc_freq.get(token, 0)
+        return math.log((1.0 + self._num_documents) / (1.0 + df)) + 1.0
+
+    def average_idf(self) -> float:
+        """Mean IDF over the vocabulary (used as a default for blending)."""
+        if not self._doc_freq:
+            return 1.0
+        return sum(self.idf(token) for token in self._doc_freq) / len(self._doc_freq)

@@ -1,0 +1,191 @@
+"""Lexicon- and rule-based sentiment analysis.
+
+Stands in for the NLTK sentiment analyzer used by the paper.  OpineDB uses
+sentiment in three places:
+
+* ranking reviews in the co-occurrence interpretation method
+  (``rank_score(d) = BM25(d, q) * senti(d)``, Eq. 3);
+* ordering the phrases of a linearly-ordered linguistic domain before
+  bucketing them into markers (Section 4.2.1);
+* summary features (average sentiment per marker) consumed by the
+  membership-function model (Section 3.3).
+
+The analyzer combines a polarity lexicon with three rules: negation flips the
+polarity of the following opinion word, intensifiers ("very", "extremely")
+scale it up, and diminishers ("slightly", "a bit") scale it down.  Scores are
+normalised to [-1, 1] per text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.text.tokenize import tokenize
+
+# Polarity lexicon.  Values are in [-1, 1]; magnitude reflects strength.
+# The entries cover the hotel / restaurant review vocabulary used by the
+# synthetic corpora plus a generic core so user-supplied text also works.
+_LEXICON: dict[str, float] = {
+    # --- strongly positive -------------------------------------------------
+    "spotless": 1.0, "immaculate": 1.0, "pristine": 1.0, "exceptional": 1.0,
+    "outstanding": 1.0, "superb": 1.0, "fantastic": 0.95, "amazing": 0.95,
+    "wonderful": 0.9, "excellent": 0.95, "perfect": 0.95, "delicious": 0.9,
+    "luxurious": 0.85, "gorgeous": 0.85, "stunning": 0.85, "flawless": 0.95,
+    "heavenly": 0.9, "divine": 0.85, "delightful": 0.85, "impeccable": 0.95,
+    # --- positive -----------------------------------------------------------
+    "clean": 0.7, "great": 0.75, "good": 0.6, "nice": 0.55, "lovely": 0.7,
+    "comfortable": 0.65, "comfy": 0.6, "friendly": 0.7, "helpful": 0.7,
+    "tasty": 0.7, "fresh": 0.6, "quiet": 0.6, "peaceful": 0.7, "calm": 0.55,
+    "spacious": 0.6, "modern": 0.5, "stylish": 0.6, "charming": 0.65,
+    "cozy": 0.6, "warm": 0.45, "soft": 0.4, "attentive": 0.65, "polite": 0.6,
+    "courteous": 0.6, "generous": 0.6, "prompt": 0.5, "efficient": 0.55,
+    "convenient": 0.5, "affordable": 0.5, "reasonable": 0.4, "pleasant": 0.6,
+    "relaxing": 0.65, "romantic": 0.65, "lively": 0.5, "vibrant": 0.55,
+    "tidy": 0.6, "bright": 0.45, "firm": 0.3, "crisp": 0.45, "quick": 0.4,
+    "fast": 0.4, "welcoming": 0.65, "smooth": 0.45, "fun": 0.55,
+    "authentic": 0.55, "flavorful": 0.7, "juicy": 0.55, "crispy": 0.5,
+    "recommend": 0.6, "recommended": 0.6, "enjoyed": 0.6, "loved": 0.8,
+    "love": 0.7, "like": 0.3, "liked": 0.4, "happy": 0.6, "pleased": 0.6,
+    # --- neutral / weak ----------------------------------------------------
+    "average": 0.0, "ok": 0.05, "okay": 0.05, "standard": 0.05, "fine": 0.15,
+    "decent": 0.2, "adequate": 0.1, "acceptable": 0.1, "basic": -0.05,
+    "ordinary": 0.0, "typical": 0.0, "fair": 0.1, "moderate": 0.0,
+    # --- negative ----------------------------------------------------------
+    "dirty": -0.7, "stained": -0.6, "dusty": -0.55, "grimy": -0.7,
+    "smelly": -0.65, "noisy": -0.6, "loud": -0.5, "uncomfortable": -0.6,
+    "rude": -0.75, "unfriendly": -0.65, "slow": -0.45, "cold": -0.35,
+    "stale": -0.5, "bland": -0.45, "greasy": -0.45, "soggy": -0.45,
+    "cramped": -0.5, "tiny": -0.35, "small": -0.2, "old": -0.25,
+    "outdated": -0.4, "dated": -0.35, "worn": -0.4, "shabby": -0.5,
+    "broken": -0.6, "faulty": -0.55, "hard": -0.3, "lumpy": -0.45,
+    "saggy": -0.45, "thin": -0.25, "expensive": -0.35, "overpriced": -0.55,
+    "pricey": -0.3, "bad": -0.6, "poor": -0.55, "mediocre": -0.35,
+    "disappointing": -0.6, "disappointed": -0.6, "annoying": -0.5,
+    "unpleasant": -0.55, "uncaring": -0.55, "indifferent": -0.4,
+    "unhelpful": -0.55, "ignored": -0.5, "crowded": -0.35, "chaotic": -0.45,
+    "messy": -0.5, "sticky": -0.45, "moldy": -0.75, "mouldy": -0.75,
+    "musty": -0.5, "damp": -0.4, "leaky": -0.5, "flickering": -0.3,
+    "avoid": -0.6, "terrible": -0.9, "horrible": -0.9, "awful": -0.85,
+    "disgusting": -0.95, "filthy": -0.9, "atrocious": -0.9, "dreadful": -0.85,
+    "worst": -0.95, "nightmare": -0.85, "unacceptable": -0.8, "gross": -0.7,
+    "inedible": -0.85, "revolting": -0.9, "nasty": -0.7, "hate": -0.7,
+    "hated": -0.7, "worn-out": -0.5, "run-down": -0.5, "noise": -0.35,
+    "stain": -0.5, "stains": -0.5, "smell": -0.3, "odor": -0.4, "bugs": -0.7,
+    "cockroach": -0.9, "cockroaches": -0.9, "mold": -0.75, "mildew": -0.6,
+}
+
+# Words that flip the polarity of the next few opinion words.
+_NEGATIONS: frozenset[str] = frozenset(
+    {"not", "no", "never", "nothing", "hardly", "barely", "without", "isn't",
+     "wasn't", "aren't", "weren't", "don't", "didn't", "doesn't", "cannot",
+     "can't", "won't", "nor"}
+)
+
+# Multipliers applied to the next opinion word.
+_INTENSIFIERS: dict[str, float] = {
+    "very": 1.35, "extremely": 1.5, "really": 1.3, "incredibly": 1.5,
+    "absolutely": 1.45, "super": 1.35, "so": 1.2, "totally": 1.3,
+    "exceptionally": 1.5, "remarkably": 1.4, "spotlessly": 1.4,
+    "perfectly": 1.4, "truly": 1.3, "utterly": 1.45, "insanely": 1.4,
+}
+_DIMINISHERS: dict[str, float] = {
+    "slightly": 0.6, "somewhat": 0.7, "fairly": 0.8, "quite": 0.9,
+    "rather": 0.85, "bit": 0.6, "little": 0.65, "mildly": 0.6,
+    "reasonably": 0.8, "moderately": 0.7,
+}
+
+_NEGATION_SCOPE = 3  # how many following tokens a negation affects
+
+
+@dataclass(frozen=True)
+class SentimentScore:
+    """Result of scoring a piece of text.
+
+    Attributes
+    ----------
+    polarity:
+        Overall score in [-1, 1]; > 0 means positive.
+    positive, negative:
+        Sum of positive / negative contributions before normalisation.
+    num_opinion_words:
+        Number of lexicon hits; 0 means the text carried no opinion signal.
+    """
+
+    polarity: float
+    positive: float
+    negative: float
+    num_opinion_words: int
+
+    @property
+    def is_positive(self) -> bool:
+        return self.polarity > 0.05
+
+    @property
+    def is_negative(self) -> bool:
+        return self.polarity < -0.05
+
+
+class SentimentAnalyzer:
+    """Rule-augmented lexicon sentiment scorer.
+
+    The analyzer is stateless and cheap to construct; a custom lexicon can be
+    layered on top of the built-in one (domain-specific phrase banks do this
+    to make sure their opinion words are always covered).
+    """
+
+    def __init__(self, extra_lexicon: dict[str, float] | None = None) -> None:
+        self._lexicon = dict(_LEXICON)
+        if extra_lexicon:
+            self._lexicon.update(extra_lexicon)
+
+    def lexicon_polarity(self, word: str) -> float | None:
+        """Raw lexicon polarity of a single word, or ``None`` if unknown."""
+        return self._lexicon.get(word)
+
+    def score_tokens(self, tokens: Sequence[str]) -> SentimentScore:
+        """Score an already-tokenised text."""
+        positive = 0.0
+        negative = 0.0
+        hits = 0
+        negation_left = 0
+        multiplier = 1.0
+        for token in tokens:
+            if token in _NEGATIONS:
+                negation_left = _NEGATION_SCOPE
+                continue
+            if token in _INTENSIFIERS:
+                multiplier = _INTENSIFIERS[token]
+                continue
+            if token in _DIMINISHERS:
+                multiplier = _DIMINISHERS[token]
+                continue
+            value = self._lexicon.get(token)
+            if value is not None:
+                adjusted = value * multiplier
+                if negation_left > 0:
+                    adjusted = -0.75 * adjusted
+                if adjusted >= 0:
+                    positive += adjusted
+                else:
+                    negative += -adjusted
+                hits += 1
+            multiplier = 1.0
+            if negation_left > 0:
+                negation_left -= 1
+        if hits == 0:
+            return SentimentScore(0.0, 0.0, 0.0, 0)
+        polarity = (positive - negative) / (positive + negative + 1e-9)
+        return SentimentScore(polarity, positive, negative, hits)
+
+    def score(self, text: str) -> SentimentScore:
+        """Tokenise and score raw text."""
+        return self.score_tokens(tokenize(text))
+
+    def polarity(self, text: str) -> float:
+        """Convenience accessor returning just the polarity in [-1, 1]."""
+        return self.score(text).polarity
+
+    def positiveness(self, text: str) -> float:
+        """Map polarity to [0, 1]; used as ``senti(d)`` in Eq. 3."""
+        return 0.5 * (self.score(text).polarity + 1.0)

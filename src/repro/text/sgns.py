@@ -1,0 +1,136 @@
+"""Skip-gram with negative sampling (SGNS), implemented in numpy.
+
+The PPMI-SVD embeddings in :mod:`repro.text.embeddings` are the library
+default (deterministic, fast).  This module provides a faithful word2vec-style
+trainer for users who want the same embedding family as the paper.  The
+trainer follows the original formulation of Mikolov et al. (2013):
+
+* unigram^0.75 negative-sampling distribution,
+* frequent-word subsampling with threshold ``t``,
+* SGD over (center, context) pairs with a linearly decaying learning rate.
+
+It is intentionally small-scale: corpora of a few hundred thousand tokens
+train in a few seconds, which is what the synthetic review corpora produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.text.embeddings import WordEmbeddings
+from repro.text.tokenize import tokenize
+from repro.text.vocab import Vocabulary
+from repro.utils.rng import ensure_rng
+
+
+def _sigmoid(x: np.ndarray | float) -> np.ndarray | float:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+@dataclass
+class SkipGramEmbeddings:
+    """word2vec (SGNS) trainer.
+
+    Parameters mirror the gensim defaults scaled down for small corpora.
+    """
+
+    dimension: int = 64
+    window: int = 4
+    min_count: int = 2
+    negatives: int = 5
+    epochs: int = 3
+    learning_rate: float = 0.025
+    subsample: float = 1e-3
+    seed: int | None = 0
+
+    def fit(self, documents: Iterable[str | Sequence[str]]) -> WordEmbeddings:
+        """Train on a corpus of raw strings or pre-tokenised documents."""
+        rng = ensure_rng(self.seed)
+        tokenised = [
+            tokenize(document) if isinstance(document, str) else list(document)
+            for document in documents
+        ]
+        vocabulary = Vocabulary(min_count=self.min_count)
+        vocabulary.add_corpus(tokenised)
+        vocabulary.build()
+        size = len(vocabulary)
+        if size < 2:
+            raise ValueError("corpus too small to train embeddings")
+
+        counts = np.array(
+            [vocabulary.count(vocabulary.token_of(i)) for i in range(size)],
+            dtype=np.float64,
+        )
+        total = counts.sum()
+        noise = counts**0.75
+        noise /= noise.sum()
+        keep_probability = np.minimum(
+            1.0, np.sqrt(self.subsample / (counts / total)) + self.subsample / (counts / total)
+        )
+
+        input_vectors = (rng.random((size, self.dimension)) - 0.5) / self.dimension
+        output_vectors = np.zeros((size, self.dimension))
+
+        pairs = self._build_pairs(tokenised, vocabulary, keep_probability, rng)
+        if not pairs:
+            raise ValueError("corpus produced no training pairs")
+        pairs_array = np.array(pairs, dtype=np.int64)
+
+        steps_total = self.epochs * len(pairs_array)
+        step = 0
+        for _epoch in range(self.epochs):
+            rng.shuffle(pairs_array)
+            for center, context in pairs_array:
+                alpha = self.learning_rate * max(
+                    0.05, 1.0 - step / max(1, steps_total)
+                )
+                negatives = rng.choice(size, size=self.negatives, p=noise)
+                self._train_pair(
+                    input_vectors, output_vectors, center, context, negatives, alpha
+                )
+                step += 1
+        return WordEmbeddings(vocabulary, input_vectors)
+
+    def _build_pairs(
+        self,
+        tokenised: list[list[str]],
+        vocabulary: Vocabulary,
+        keep_probability: np.ndarray,
+        rng: np.random.Generator,
+    ) -> list[tuple[int, int]]:
+        pairs: list[tuple[int, int]] = []
+        for tokens in tokenised:
+            ids = vocabulary.encode(tokens)
+            kept = [i for i in ids if rng.random() < keep_probability[i]]
+            for position, center in enumerate(kept):
+                span = int(rng.integers(1, self.window + 1))
+                lo = max(0, position - span)
+                hi = min(len(kept), position + span + 1)
+                for other_position in range(lo, hi):
+                    if other_position == position:
+                        continue
+                    pairs.append((center, kept[other_position]))
+        return pairs
+
+    @staticmethod
+    def _train_pair(
+        input_vectors: np.ndarray,
+        output_vectors: np.ndarray,
+        center: int,
+        context: int,
+        negatives: np.ndarray,
+        alpha: float,
+    ) -> None:
+        center_vector = input_vectors[center]
+        targets = np.concatenate(([context], negatives))
+        labels = np.zeros(len(targets))
+        labels[0] = 1.0
+        target_vectors = output_vectors[targets]
+        scores = _sigmoid(target_vectors @ center_vector)
+        gradients = (labels - scores) * alpha
+        input_gradient = gradients @ target_vectors
+        output_vectors[targets] += np.outer(gradients, center_vector)
+        input_vectors[center] += input_gradient

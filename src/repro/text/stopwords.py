@@ -1,0 +1,28 @@
+"""A compact English stopword list.
+
+The list mirrors the common core of the NLTK / scikit-learn stopword lists.
+Negation words ("not", "no", "never", "nor") are *excluded* on purpose:
+OpineDB's sentiment handling and opinion phrases depend on negations
+("not clean", "no hot water") surviving tokenisation.
+"""
+
+from __future__ import annotations
+
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again all am an and any are as at be because been
+    before being below between both but by could did do does doing down
+    during each few for from further had has have having he her here hers
+    herself him himself his how i if in into is it its itself just me more
+    most my myself of off on once only or other our ours ourselves out over
+    own same she should so some such than that the their theirs them
+    themselves then there these they this those through to too under until
+    up was we were what when where which while who whom why will with you
+    your yours yourself yourselves
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """Return ``True`` when ``token`` (already lowercased) is a stopword."""
+    return token in STOPWORDS

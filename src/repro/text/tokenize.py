@@ -1,0 +1,85 @@
+"""Tokenisation primitives shared by all text components.
+
+OpineDB operates on review sentences and short phrases.  The tokenizer is
+deliberately simple and deterministic: lowercasing, splitting on
+non-alphanumeric boundaries while keeping intra-word apostrophes and hyphens
+("don't", "old-fashioned"), and a separate sentence splitter on terminal
+punctuation.  Downstream components (embeddings, BM25, taggers) all share the
+same token stream so that extracted phrases, markers, and query predicates
+live in the same lexical space.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Sequence
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:['\-][a-z0-9]+)*")
+_SENTENCE_RE = re.compile(r"[.!?]+[\s$]|[.!?]+$|\n+")
+
+
+def tokenize(text: str, keep_stopwords: bool = True) -> list[str]:
+    """Split ``text`` into lowercase word tokens.
+
+    Parameters
+    ----------
+    text:
+        Arbitrary review or query text.
+    keep_stopwords:
+        When ``False``, tokens in :data:`repro.text.stopwords.STOPWORDS`
+        are removed.  Kept as an option because sentiment negation handling
+        needs stopwords ("not", "no") while IDF statistics usually drop them.
+    """
+    tokens = _TOKEN_RE.findall(text.lower())
+    if keep_stopwords:
+        return tokens
+    from repro.text.stopwords import STOPWORDS
+
+    return [token for token in tokens if token not in STOPWORDS]
+
+
+def sentences(text: str) -> list[str]:
+    """Split review text into sentences on terminal punctuation.
+
+    The splitter is intentionally conservative: it never merges text across
+    newlines and never splits inside a token, which is sufficient for the
+    synthetic and review-style corpora the system handles.
+    """
+    pieces = _SENTENCE_RE.split(text)
+    return [piece.strip() for piece in pieces if piece and piece.strip()]
+
+
+def ngrams(tokens: Sequence[str], n: int) -> list[tuple[str, ...]]:
+    """Return all contiguous ``n``-grams of ``tokens`` (empty if too short)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if len(tokens) < n:
+        return []
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def iter_token_windows(
+    tokens: Sequence[str], window: int
+) -> Iterator[tuple[str, list[str]]]:
+    """Yield ``(center, context)`` pairs for co-occurrence counting.
+
+    ``context`` contains up to ``window`` tokens on each side of the center
+    token.  Used by both the PPMI-SVD and skip-gram embedding trainers.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    for index, center in enumerate(tokens):
+        lo = max(0, index - window)
+        hi = min(len(tokens), index + window + 1)
+        context = [tokens[j] for j in range(lo, hi) if j != index]
+        yield center, context
+
+
+def phrase_tokens(phrases: Iterable[str]) -> list[list[str]]:
+    """Tokenise a collection of short phrases, dropping empty results."""
+    result = []
+    for phrase in phrases:
+        tokens = tokenize(phrase)
+        if tokens:
+            result.append(tokens)
+    return result

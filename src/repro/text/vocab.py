@@ -1,0 +1,96 @@
+"""Vocabulary: a bidirectional token <-> integer-id mapping with counts.
+
+The embedding trainers, the BM25 index, and the sequence-tagging features all
+need a stable mapping from tokens to dense integer identifiers.  The
+vocabulary also records raw token frequencies, which feed the IDF statistics
+and the sub-sampling / minimum-count filters of the embedding trainers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass
+class Vocabulary:
+    """A frequency-aware token vocabulary.
+
+    Tokens are added with :meth:`add` / :meth:`add_corpus` and frozen into a
+    contiguous id space lazily the first time ids are requested.  Adding more
+    tokens after freezing is allowed; new tokens get the next free ids.
+    """
+
+    min_count: int = 1
+    _counts: Counter = field(default_factory=Counter)
+    _token_to_id: dict[str, int] = field(default_factory=dict)
+    _id_to_token: list[str] = field(default_factory=list)
+
+    def add(self, tokens: Iterable[str]) -> None:
+        """Count ``tokens`` (one document / sentence worth of tokens)."""
+        self._counts.update(tokens)
+
+    def add_corpus(self, documents: Iterable[Sequence[str]]) -> None:
+        """Count tokens from every document of an already-tokenised corpus."""
+        for document in documents:
+            self._counts.update(document)
+
+    def build(self) -> "Vocabulary":
+        """Freeze the id space: frequent tokens first, ties broken lexically.
+
+        Returns ``self`` so construction can be chained.
+        """
+        self._token_to_id.clear()
+        self._id_to_token.clear()
+        eligible = [
+            (token, count)
+            for token, count in self._counts.items()
+            if count >= self.min_count
+        ]
+        eligible.sort(key=lambda item: (-item[1], item[0]))
+        for token, _count in eligible:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    def id_of(self, token: str) -> int | None:
+        """Return the integer id of ``token`` or ``None`` if out of vocabulary."""
+        return self._token_to_id.get(token)
+
+    def token_of(self, token_id: int) -> str:
+        """Return the token with integer id ``token_id``."""
+        return self._id_to_token[token_id]
+
+    def count(self, token: str) -> int:
+        """Return the raw corpus frequency of ``token`` (0 if unseen)."""
+        return self._counts.get(token, 0)
+
+    def total_count(self) -> int:
+        """Return the total number of counted token occurrences."""
+        return sum(self._counts.values())
+
+    def encode(self, tokens: Sequence[str], skip_unknown: bool = True) -> list[int]:
+        """Map tokens to ids; unknown tokens are skipped or raise ``KeyError``."""
+        ids: list[int] = []
+        for token in tokens:
+            token_id = self._token_to_id.get(token)
+            if token_id is None:
+                if skip_unknown:
+                    continue
+                raise KeyError(f"token not in vocabulary: {token!r}")
+            ids.append(token_id)
+        return ids
+
+    def most_common(self, n: int | None = None) -> list[tuple[str, int]]:
+        """Return the ``n`` most frequent (token, count) pairs."""
+        return self._counts.most_common(n)

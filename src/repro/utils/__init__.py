@@ -1,0 +1,6 @@
+"""Small shared utilities: deterministic RNG handling and timing helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timing import Stopwatch, timed
+
+__all__ = ["ensure_rng", "spawn_rng", "Stopwatch", "timed"]

@@ -1,0 +1,39 @@
+"""Deterministic random-number-generator helpers.
+
+All stochastic components of the library (dataset generators, embedding
+training, k-means initialisation, query-workload sampling) accept either a
+seed or a :class:`numpy.random.Generator`.  Centralising the conversion here
+keeps experiment runs reproducible: the same seed always produces the same
+corpus, the same query workload, and the same model initialisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed_or_rng``.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` (a fixed default seed of 0, so that "unseeded" library calls are
+    still deterministic — experiments must be repeatable by default).
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    if seed_or_rng is None:
+        return np.random.default_rng(0)
+    return np.random.default_rng(int(seed_or_rng))
+
+
+def spawn_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent child generator for a named sub-stream.
+
+    Used when one seeded experiment needs several independent random streams
+    (e.g. one for corpus generation and one for query sampling) that must not
+    perturb each other when one of them draws more numbers.
+    """
+    seed = int(rng.integers(0, 2**31 - 1)) + stream * 1_000_003
+    return np.random.default_rng(seed)

@@ -1,0 +1,47 @@
+"""Timing helpers used by the experiment harness (Table 7 runtimes)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates wall-clock time across multiple measured sections.
+
+    The Table 7 experiment measures the total running time of 100 queries;
+    a stopwatch lets the harness exclude setup (index construction, model
+    training) from the measured query-processing time.
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            lap = time.perf_counter() - start
+            self.elapsed += lap
+            self.laps.append(lap)
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps.clear()
+
+
+@contextmanager
+def timed() -> Iterator[Stopwatch]:
+    """Context manager returning a stopwatch holding the elapsed block time."""
+    watch = Stopwatch()
+    start = time.perf_counter()
+    try:
+        yield watch
+    finally:
+        watch.elapsed = time.perf_counter() - start
+        watch.laps.append(watch.elapsed)

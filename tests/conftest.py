@@ -1,0 +1,79 @@
+"""Shared fixtures: small corpora and a fully built subjective database.
+
+The expensive fixtures are session-scoped so the construction pipeline runs
+once per test session; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.hotels import generate_hotel_corpus, hotel_seed_sets
+from repro.datasets.restaurants import generate_restaurant_corpus, restaurant_seed_sets
+from repro.datasets.semeval import generate_absa_dataset
+from repro.experiments.common import DomainSetup, prepare_domain
+from repro.extraction.tagger import PerceptronOpinionTagger
+from repro.text.embeddings import PhraseEmbedder, PpmiSvdEmbeddings
+from repro.text.idf import DocumentFrequencies
+from repro.text.tokenize import tokenize
+
+# A tiny hand-written corpus used by the text-substrate tests.
+SMALL_CORPUS = [
+    "the room was very clean and the staff was friendly",
+    "the room was dirty and the carpet was stained",
+    "spotless room with a great location near the station",
+    "the bathroom was luxurious and modern with marble floors",
+    "old bathroom with a broken faucet and a bad smell",
+    "breakfast was delicious with fresh fruit and good coffee",
+    "the breakfast was stale and the coffee was cold",
+    "very quiet room with a comfortable bed",
+    "noisy room facing the street with constant traffic noise",
+    "friendly staff helped us with our luggage",
+] * 4
+
+
+@pytest.fixture(scope="session")
+def small_embedder() -> PhraseEmbedder:
+    embeddings = PpmiSvdEmbeddings(dimension=24, min_count=1).fit(SMALL_CORPUS)
+    frequencies = DocumentFrequencies()
+    frequencies.add_corpus([tokenize(text) for text in SMALL_CORPUS])
+    return PhraseEmbedder(embeddings, frequencies)
+
+
+@pytest.fixture(scope="session")
+def hotel_corpus():
+    return generate_hotel_corpus(num_entities=12, reviews_per_entity=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def restaurant_corpus():
+    return generate_restaurant_corpus(num_entities=10, reviews_per_entity=6, seed=8)
+
+
+@pytest.fixture(scope="session")
+def hotel_seeds():
+    return hotel_seed_sets()
+
+
+@pytest.fixture(scope="session")
+def restaurant_seeds():
+    return restaurant_seed_sets()
+
+
+@pytest.fixture(scope="session")
+def small_tagger():
+    dataset = generate_absa_dataset("hotel", 200, 40, seed=5)
+    return PerceptronOpinionTagger(epochs=3, seed=5).fit(dataset.train)
+
+
+@pytest.fixture(scope="session")
+def hotel_setup(small_tagger) -> DomainSetup:
+    """A small but fully built hotel domain (database + bank + baselines data)."""
+    return prepare_domain(
+        "hotels", num_entities=16, reviews_per_entity=10, seed=3, tagger=small_tagger
+    )
+
+
+@pytest.fixture(scope="session")
+def hotel_database(hotel_setup):
+    return hotel_setup.database

@@ -1,0 +1,114 @@
+"""Tests for the IR and attribute-based baselines."""
+
+import pytest
+
+from repro.baselines.attribute_baseline import AttributeBaseline, ScrapedAttributes
+from repro.baselines.ir_baseline import IrEntityRanker
+
+
+class TestIrBaseline:
+    def test_ranks_all_entities_by_default(self, hotel_database):
+        ranker = IrEntityRanker(hotel_database)
+        ranking = ranker.rank(["clean room"], top_k=5)
+        assert len(ranking) == 5
+        scores = [score for _entity, score in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_restricts_to_candidates(self, hotel_database):
+        ranker = IrEntityRanker(hotel_database)
+        candidates = hotel_database.entity_ids()[:3]
+        ranking = ranker.rank(["clean room"], candidates=candidates, top_k=10)
+        assert {entity for entity, _score in ranking} <= set(candidates)
+
+    def test_score_sums_predicates(self, hotel_database):
+        ranker = IrEntityRanker(hotel_database)
+        entity = hotel_database.entity_ids()[0]
+        single = ranker.score(entity, ["clean room"])
+        double = ranker.score(entity, ["clean room", "friendly staff"])
+        assert double >= single
+
+    def test_concat_combination_mode(self, hotel_database):
+        ranker = IrEntityRanker(hotel_database, combine="concat")
+        assert ranker.rank(["clean room", "quiet room"], top_k=3)
+
+    def test_query_expansion_adds_terms(self, hotel_database):
+        embeddings = hotel_database.phrase_embedder.embeddings
+        ranker = IrEntityRanker(hotel_database, embeddings=embeddings)
+        expanded = ranker.expand_query("clean room")
+        assert len(expanded.split()) >= 2
+
+    def test_keyword_match_ignores_negation(self, hotel_database):
+        """The IR baseline's characteristic flaw: it cannot tell 'not clean' apart."""
+        ranker = IrEntityRanker(hotel_database)
+        entity = hotel_database.entity_ids()[0]
+        assert ranker.score(entity, ["not clean room"]) >= ranker.score(entity, ["clean room"]) * 0.5
+
+
+class TestScrapedAttributes:
+    def test_add_and_read(self):
+        scraped = ScrapedAttributes()
+        scraped.add("e1", "cleanliness", 8.0)
+        scraped.add("e1", "staff", 6.0)
+        scraped.add("e2", "cleanliness", 4.0)
+        assert scraped.attributes() == ["cleanliness", "staff"]
+        assert scraped.value("e1", "staff") == 6.0
+        assert scraped.value("e2", "staff") == 0.0
+
+
+class TestAttributeBaseline:
+    def make(self):
+        scraped = ScrapedAttributes()
+        objective = {}
+        values = {
+            "e1": {"cleanliness": 9.0, "staff": 3.0, "price": 100, "rating": 7.0},
+            "e2": {"cleanliness": 5.0, "staff": 9.0, "price": 50, "rating": 9.0},
+            "e3": {"cleanliness": 2.0, "staff": 2.0, "price": 200, "rating": 4.0},
+        }
+        for entity, row in values.items():
+            scraped.add(entity, "cleanliness", row["cleanliness"])
+            scraped.add(entity, "staff", row["staff"])
+            objective[entity] = {"price": row["price"], "rating": row["rating"]}
+        return AttributeBaseline(scraped=scraped, objective=objective)
+
+    def test_by_price_cheapest_first(self):
+        baseline = self.make()
+        assert baseline.by_price(["e1", "e2", "e3"], "price", top_k=3) == ["e2", "e1", "e3"]
+
+    def test_by_rating_highest_first(self):
+        baseline = self.make()
+        assert baseline.by_rating(["e1", "e2", "e3"], "rating", top_k=3)[0] == "e2"
+
+    def test_by_attributes_sum(self):
+        baseline = self.make()
+        ranking = baseline.by_attributes(["e1", "e2", "e3"], ["cleanliness", "staff"], top_k=3)
+        assert ranking[0] == "e2"  # 5+9 beats 9+3
+
+    def test_best_single_attribute_oracle(self):
+        baseline = self.make()
+
+        def gain(ranking):
+            return 1.0 if ranking and ranking[0] == "e1" else 0.0
+
+        ranking, attribute = baseline.best_single_attribute(["e1", "e2", "e3"], gain, top_k=3)
+        assert attribute == "cleanliness"
+        assert ranking[0] == "e1"
+
+    def test_best_pair_oracle(self):
+        baseline = self.make()
+
+        def gain(ranking):
+            return sum(1.0 for entity in ranking[:1] if entity == "e2")
+
+        ranking, pair = baseline.best_attribute_pair(["e1", "e2", "e3"], gain, top_k=3)
+        assert set(pair) == {"cleanliness", "staff"}
+        assert ranking[0] == "e2"
+
+    def test_top_k_respected(self):
+        baseline = self.make()
+        assert len(baseline.by_price(["e1", "e2", "e3"], "price", top_k=2)) == 2
+
+    def test_missing_price_sorts_last(self):
+        baseline = self.make()
+        baseline.objective["e4"] = {}
+        ranking = baseline.by_price(["e1", "e4"], "price", top_k=2)
+        assert ranking[-1] == "e4"

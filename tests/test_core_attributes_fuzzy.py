@@ -1,0 +1,140 @@
+"""Unit tests for subjective attributes/schemas and the fuzzy-logic variants."""
+
+import pytest
+
+from repro.core.attributes import ObjectiveAttribute, SubjectiveAttribute, SubjectiveSchema
+from repro.core.fuzzy import ProductLogic, ZadehLogic, hard_threshold_filter
+from repro.core.markers import Marker, SummaryKind
+from repro.engine.types import ColumnType
+from repro.errors import SchemaError
+
+
+def cleanliness_attribute():
+    return SubjectiveAttribute(
+        name="room_cleanliness",
+        markers=[Marker("very clean", 0, 0.9), Marker("dirty", 1, -0.7)],
+    )
+
+
+class TestSubjectiveAttribute:
+    def test_marker_names(self):
+        assert cleanliness_attribute().marker_names == ["very clean", "dirty"]
+
+    def test_relation_name(self):
+        assert cleanliness_attribute().relation_name == "summary_room_cleanliness"
+
+    def test_requires_markers(self):
+        with pytest.raises(SchemaError):
+            SubjectiveAttribute(name="x", markers=[])
+
+    def test_duplicate_markers_rejected(self):
+        with pytest.raises(SchemaError):
+            SubjectiveAttribute(name="x", markers=[Marker("a", 0), Marker("a", 1)])
+
+    def test_domain_auto_created(self):
+        assert cleanliness_attribute().domain.attribute == "room_cleanliness"
+
+    def test_marker_lookup(self):
+        attribute = cleanliness_attribute()
+        assert attribute.marker("dirty").sentiment == -0.7
+        assert attribute.has_marker("very clean")
+        with pytest.raises(SchemaError):
+            attribute.marker("missing")
+
+    def test_new_summary_kind_propagates(self):
+        attribute = cleanliness_attribute()
+        attribute.kind = SummaryKind.CATEGORICAL
+        summary = attribute.new_summary()
+        assert summary.kind is SummaryKind.CATEGORICAL
+
+
+class TestSubjectiveSchema:
+    def make(self):
+        return SubjectiveSchema(
+            name="hotels",
+            entity_key="hotelname",
+            objective_attributes=[ObjectiveAttribute("price_pn", ColumnType.FLOAT)],
+            subjective_attributes=[cleanliness_attribute()],
+        )
+
+    def test_names(self):
+        schema = self.make()
+        assert schema.objective_names == ["price_pn"]
+        assert schema.subjective_names == ["room_cleanliness"]
+
+    def test_lookup(self):
+        schema = self.make()
+        assert schema.subjective("room_cleanliness").name == "room_cleanliness"
+        assert schema.objective("price_pn").type is ColumnType.FLOAT
+        assert schema.has_subjective("room_cleanliness")
+        with pytest.raises(SchemaError):
+            schema.subjective("missing")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            SubjectiveSchema(
+                name="x", entity_key="price",
+                objective_attributes=[ObjectiveAttribute("price", ColumnType.FLOAT)],
+            )
+
+    def test_add_subjective(self):
+        schema = self.make()
+        schema.add_subjective(SubjectiveAttribute(name="service", markers=[Marker("good", 0)]))
+        assert schema.has_subjective("service")
+        with pytest.raises(SchemaError):
+            schema.add_subjective(cleanliness_attribute())
+
+    def test_describe_lists_markers(self):
+        text = self.make().describe()
+        assert "room_cleanliness" in text
+        assert "very clean" in text
+
+
+class TestFuzzyLogic:
+    def test_product_conjunction(self):
+        assert ProductLogic().conjunction([0.5, 0.5]) == pytest.approx(0.25)
+
+    def test_product_disjunction(self):
+        assert ProductLogic().disjunction([0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_product_negation(self):
+        assert ProductLogic().negation(0.3) == pytest.approx(0.7)
+
+    def test_zadeh_conjunction(self):
+        assert ZadehLogic().conjunction([0.4, 0.8]) == 0.4
+
+    def test_zadeh_disjunction(self):
+        assert ZadehLogic().disjunction([0.4, 0.8]) == 0.8
+
+    def test_empty_conjunction_is_one(self):
+        assert ProductLogic().conjunction([]) == 1.0
+        assert ZadehLogic().conjunction([]) == 1.0
+
+    def test_empty_disjunction_is_zero(self):
+        assert ProductLogic().disjunction([]) == 0.0
+        assert ZadehLogic().disjunction([]) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ProductLogic().conjunction([1.5])
+
+    def test_objective_values_behave_as_boolean(self):
+        logic = ProductLogic()
+        assert logic.conjunction([1.0, 0.7]) == pytest.approx(0.7)
+        assert logic.conjunction([0.0, 0.7]) == 0.0
+
+    def test_hard_threshold_filter(self):
+        assert hard_threshold_filter([0.5, 0.6], [0.2, 0.3])
+        assert not hard_threshold_filter([0.1, 0.9], [0.2, 0.3])
+
+    def test_hard_threshold_misaligned(self):
+        with pytest.raises(ValueError):
+            hard_threshold_filter([0.5], [0.2, 0.3])
+
+    def test_fuzzy_keeps_near_boundary_entities(self):
+        # The Appendix-A argument: a strong overall entity barely failing one
+        # threshold is kept by the fuzzy product but dropped by hard filters.
+        logic = ProductLogic()
+        degrees = [0.19, 0.95]
+        assert not hard_threshold_filter(degrees, [0.2, 0.3])
+        assert logic.conjunction(degrees) > 0.06

@@ -1,0 +1,167 @@
+"""Unit tests for linguistic domains, markers and marker summaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import LinguisticDomain, normalise_phrase
+from repro.core.markers import Marker, MarkerSummary, SummaryKind
+from repro.errors import SchemaError
+
+
+class TestLinguisticDomain:
+    def make(self):
+        domain = LinguisticDomain("room_cleanliness")
+        domain.add("Very Clean", count=3)
+        domain.add("dirty")
+        domain.add("very clean")
+        return domain
+
+    def test_normalisation(self):
+        assert normalise_phrase("Very  Clean!") == "very clean"
+
+    def test_contains_uses_canonical_form(self):
+        assert "VERY CLEAN" in self.make()
+
+    def test_counts_accumulate(self):
+        assert self.make().count("very clean") == 4
+
+    def test_phrases_sorted_by_frequency(self):
+        assert self.make().phrases[0] == "very clean"
+
+    def test_len_counts_unique_phrases(self):
+        assert len(self.make()) == 2
+
+    def test_total_occurrences(self):
+        assert self.make().total_occurrences() == 5
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            LinguisticDomain("x").add("clean", count=0)
+
+    def test_merge(self):
+        first = self.make()
+        second = LinguisticDomain("room_cleanliness")
+        second.add("spotless")
+        merged = first.merge(second)
+        assert "spotless" in merged
+        assert merged.count("very clean") == 4
+
+    def test_merge_different_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().merge(LinguisticDomain("other"))
+
+    def test_add_many(self):
+        domain = LinguisticDomain("x")
+        domain.add_many(["a b", "c d", "a b"])
+        assert domain.count("a b") == 2
+
+
+def make_summary(kind=SummaryKind.LINEAR, dimension=None):
+    markers = [
+        Marker("very clean", 0, sentiment=0.9),
+        Marker("average", 1, sentiment=0.0),
+        Marker("dirty", 2, sentiment=-0.7),
+    ]
+    return MarkerSummary("room_cleanliness", markers, kind=kind,
+                         embedding_dimension=dimension)
+
+
+class TestMarkerSummary:
+    def test_requires_markers(self):
+        with pytest.raises(SchemaError):
+            MarkerSummary("x", [])
+
+    def test_duplicate_markers_rejected(self):
+        with pytest.raises(SchemaError):
+            MarkerSummary("x", [Marker("a", 0), Marker("a", 1)])
+
+    def test_add_single_marker_phrase(self):
+        summary = make_summary()
+        summary.add_phrase("very clean", sentiment=0.8)
+        assert summary.count("very clean") == 1.0
+        assert summary.total() == 1.0
+
+    def test_add_fractional_contribution(self):
+        summary = make_summary()
+        summary.add_phrase({"very clean": 0.5, "average": 0.5}, sentiment=0.4)
+        assert summary.count("very clean") == pytest.approx(0.5)
+        assert summary.total() == pytest.approx(1.0)
+
+    def test_unknown_marker_rejected(self):
+        with pytest.raises(SchemaError):
+            make_summary().add_phrase("luxurious")
+
+    def test_negative_contribution_rejected(self):
+        with pytest.raises(ValueError):
+            make_summary().add_phrase({"dirty": -1.0})
+
+    def test_fractions_sum_to_one(self):
+        summary = make_summary()
+        summary.add_phrase("very clean")
+        summary.add_phrase("dirty")
+        summary.add_phrase("dirty")
+        assert sum(summary.fractions().values()) == pytest.approx(1.0)
+
+    def test_empty_summary_fractions_are_zero(self):
+        assert make_summary().fraction("dirty") == 0.0
+
+    def test_average_sentiment_per_marker(self):
+        summary = make_summary()
+        summary.add_phrase("very clean", sentiment=0.8)
+        summary.add_phrase("very clean", sentiment=0.4)
+        assert summary.average_sentiment("very clean") == pytest.approx(0.6)
+
+    def test_overall_sentiment_weighted(self):
+        summary = make_summary()
+        summary.add_phrase("very clean", sentiment=1.0)
+        summary.add_phrase("dirty", sentiment=-1.0)
+        assert summary.overall_sentiment() == pytest.approx(0.0)
+
+    def test_centroid_requires_dimension(self):
+        assert make_summary().centroid("dirty") is None
+
+    def test_centroid_averages_vectors(self):
+        summary = make_summary(dimension=2)
+        summary.add_phrase("very clean", vector=np.array([1.0, 0.0]))
+        summary.add_phrase("very clean", vector=np.array([0.0, 1.0]))
+        assert np.allclose(summary.centroid("very clean"), [0.5, 0.5])
+
+    def test_dominant_marker(self):
+        summary = make_summary()
+        summary.add_phrase("dirty")
+        summary.add_phrase("dirty")
+        summary.add_phrase("average")
+        assert summary.dominant_marker().name == "dirty"
+
+    def test_unmatched_tracking(self):
+        summary = make_summary()
+        summary.add_unmatched(2)
+        assert summary.num_unmatched == 2
+
+    def test_merge(self):
+        first = make_summary()
+        first.add_phrase("very clean", sentiment=1.0)
+        second = make_summary()
+        second.add_phrase("dirty", sentiment=-1.0)
+        first.merge(second)
+        assert first.total() == pytest.approx(2.0)
+        assert first.count("dirty") == 1.0
+
+    def test_merge_mismatched_markers_rejected(self):
+        other = MarkerSummary("x", [Marker("a", 0), Marker("b", 1)])
+        with pytest.raises(SchemaError):
+            make_summary().merge(other)
+
+    def test_to_record(self):
+        summary = make_summary()
+        summary.add_phrase("average")
+        record = summary.to_record()
+        assert record["average"] == 1.0
+        assert set(record) == {"very clean", "average", "dirty"}
+
+    def test_marker_lookup(self):
+        summary = make_summary()
+        assert summary.marker("dirty").position == 2
+        assert summary.has_marker("average")
+        with pytest.raises(SchemaError):
+            summary.marker("missing")

@@ -1,0 +1,122 @@
+"""Unit tests for the membership functions (Section 3.3)."""
+
+import pytest
+
+from repro.core.markers import Marker, MarkerSummary
+from repro.core.membership import (
+    HeuristicMembership,
+    LearnedMembership,
+    summary_feature_vector,
+)
+from repro.errors import NotFittedError
+
+
+def summary_with(counts, sentiments=None):
+    markers = [
+        Marker("very clean", 0, 0.9),
+        Marker("average", 1, 0.0),
+        Marker("dirty", 2, -0.7),
+    ]
+    summary = MarkerSummary("room_cleanliness", markers)
+    sentiments = sentiments or {"very clean": 0.9, "average": 0.0, "dirty": -0.7}
+    for name, count in counts.items():
+        for _ in range(count):
+            summary.add_phrase(name, sentiment=sentiments[name])
+    return summary
+
+
+CLEAN = summary_with({"very clean": 18, "average": 3, "dirty": 1})
+DIRTY = summary_with({"very clean": 1, "average": 4, "dirty": 15})
+EMPTY = summary_with({})
+
+
+class TestHeuristicMembership:
+    membership = HeuristicMembership(embedder=None)
+
+    def test_clean_summary_scores_high_for_clean_phrase(self):
+        assert self.membership.degree(CLEAN, "really clean rooms") > 0.6
+
+    def test_dirty_summary_scores_low_for_clean_phrase(self):
+        assert self.membership.degree(DIRTY, "really clean rooms") < 0.4
+
+    def test_ordering_is_correct(self):
+        assert self.membership.degree(CLEAN, "clean rooms") > \
+            self.membership.degree(DIRTY, "clean rooms")
+
+    def test_negative_phrase_reverses_ordering(self):
+        assert self.membership.degree(DIRTY, "dirty rooms") > \
+            self.membership.degree(CLEAN, "dirty rooms")
+
+    def test_empty_summary_gives_prior(self):
+        assert self.membership.degree(EMPTY, "clean") == self.membership.empty_degree
+
+    def test_missing_summary_gives_prior(self):
+        assert self.membership.degree(None, "clean") == self.membership.empty_degree
+
+    def test_degree_in_unit_interval(self):
+        for summary in (CLEAN, DIRTY, EMPTY):
+            for phrase in ("spotless room", "filthy room", "average room", "the room"):
+                assert 0.0 <= self.membership.degree(summary, phrase) <= 1.0
+
+    def test_works_with_embedder(self, small_embedder):
+        membership = HeuristicMembership(embedder=small_embedder)
+        assert membership.degree(CLEAN, "very clean room") > \
+            membership.degree(DIRTY, "very clean room")
+
+
+class TestSummaryFeatures:
+    def test_fixed_length(self, small_embedder):
+        first = summary_feature_vector(CLEAN, "clean room", small_embedder)
+        second = summary_feature_vector(DIRTY, "noisy room", None)
+        assert first.shape == second.shape
+
+    def test_aligned_mass_feature_orders_summaries(self):
+        clean_features = summary_feature_vector(CLEAN, "clean room", None)
+        dirty_features = summary_feature_vector(DIRTY, "clean room", None)
+        # Feature index 1 is the sentiment-aligned mass.
+        assert clean_features[1] > dirty_features[1]
+
+    def test_empty_summary_flag(self):
+        features = summary_feature_vector(EMPTY, "clean room", None)
+        assert features[-1] == 1.0
+
+
+class TestLearnedMembership:
+    def make_examples(self):
+        examples = []
+        for _ in range(10):
+            examples.append((CLEAN, "really clean rooms", 1))
+            examples.append((DIRTY, "really clean rooms", 0))
+            examples.append((summary_with({"very clean": 9, "dirty": 2}), "spotless room", 1))
+            examples.append((summary_with({"very clean": 1, "dirty": 9}), "spotless room", 0))
+        return examples
+
+    def test_fit_and_degree_ordering(self):
+        membership = LearnedMembership(embedder=None).fit(self.make_examples())
+        assert membership.degree(CLEAN, "really clean rooms") > \
+            membership.degree(DIRTY, "really clean rooms")
+
+    def test_accuracy_on_training_distribution(self):
+        examples = self.make_examples()
+        membership = LearnedMembership(embedder=None).fit(examples)
+        assert membership.accuracy(examples) > 0.8
+
+    def test_degree_in_unit_interval(self):
+        membership = LearnedMembership(embedder=None).fit(self.make_examples())
+        assert 0.0 <= membership.degree(CLEAN, "clean") <= 1.0
+
+    def test_missing_summary_prior(self):
+        membership = LearnedMembership(embedder=None).fit(self.make_examples())
+        assert membership.degree(None, "clean") == 0.25
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LearnedMembership().degree(CLEAN, "clean")
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            LearnedMembership().fit([(CLEAN, "clean", 1), (DIRTY, "clean", 1)])
+
+    def test_empty_examples_rejected(self):
+        with pytest.raises(ValueError):
+            LearnedMembership().fit([])

@@ -1,0 +1,238 @@
+"""Tests for the synthetic dataset generators (corpora, ABSA, survey, queries)."""
+
+import pytest
+
+from repro.core.markers import SummaryKind
+from repro.datasets.corpus import generate_corpus
+from repro.datasets.hotels import HOTEL_CITIES, generate_hotel_corpus, hotel_seed_sets
+from repro.datasets.phrasebanks import (
+    NUM_LEVELS,
+    AspectSpec,
+    hotel_domain_spec,
+    restaurant_domain_spec,
+)
+from repro.datasets.queries import (
+    DIFFICULTY_CONJUNCTS,
+    HOTEL_OPTIONS,
+    RESTAURANT_OPTIONS,
+    generate_workload,
+    hotel_predicate_bank,
+    restaurant_predicate_bank,
+    satisfaction_oracle,
+)
+from repro.datasets.restaurants import RESTAURANT_CUISINES, generate_restaurant_corpus
+from repro.datasets.semeval import generate_absa_dataset, standard_absa_datasets
+from repro.datasets.survey import run_survey_simulation
+from repro.engine.sqlparser import parse_query
+from repro.errors import DatasetError
+
+
+class TestPhraseBanks:
+    def test_hotel_spec_has_fifteen_aspects(self):
+        assert len(hotel_domain_spec().aspects) == 15
+
+    def test_restaurant_spec_has_eleven_aspects(self):
+        assert len(restaurant_domain_spec().aspects) == 11
+
+    def test_every_aspect_has_five_levels(self):
+        for spec in (hotel_domain_spec(), restaurant_domain_spec()):
+            for aspect in spec.aspects:
+                assert len(aspect.opinion_levels) == NUM_LEVELS
+                assert all(level for level in aspect.opinion_levels)
+
+    def test_aspect_lookup(self):
+        spec = hotel_domain_spec()
+        assert spec.aspect("service").attribute == "service"
+        with pytest.raises(KeyError):
+            spec.aspect("nonexistent")
+
+    def test_both_kinds_present(self):
+        kinds = {aspect.kind for aspect in hotel_domain_spec().aspects}
+        assert kinds == {SummaryKind.LINEAR, SummaryKind.CATEGORICAL}
+
+    def test_invalid_aspect_spec_rejected(self):
+        with pytest.raises(ValueError):
+            AspectSpec("x", ("room",), (("a",),) * 3)
+        with pytest.raises(ValueError):
+            AspectSpec("x", (), (("a",),) * 5)
+        with pytest.raises(ValueError):
+            AspectSpec("x", ("room",), (("a",),) * 5, mention_probability=0.0)
+
+
+class TestCorpusGenerator:
+    def test_sizes(self, hotel_corpus):
+        assert len(hotel_corpus.entities) == 12
+        assert hotel_corpus.num_reviews >= 12 * 3
+
+    def test_qualities_in_unit_interval(self, hotel_corpus):
+        for entity in hotel_corpus.entities:
+            for attribute, quality in entity.qualities.items():
+                assert 0.0 <= quality <= 1.0
+
+    def test_reviews_reference_existing_entities(self, hotel_corpus):
+        ids = {entity.entity_id for entity in hotel_corpus.entities}
+        assert all(review.entity_id in ids for review in hotel_corpus.reviews)
+
+    def test_quality_lookup(self, hotel_corpus):
+        entity = hotel_corpus.entities[0]
+        assert hotel_corpus.quality(entity.entity_id, "service") == entity.quality("service")
+        with pytest.raises(DatasetError):
+            hotel_corpus.quality("missing", "service")
+
+    def test_deterministic_given_seed(self):
+        first = generate_hotel_corpus(5, 5, seed=42)
+        second = generate_hotel_corpus(5, 5, seed=42)
+        assert [r.text for r in first.reviews] == [r.text for r in second.reviews]
+
+    def test_different_seed_differs(self):
+        first = generate_hotel_corpus(5, 5, seed=1)
+        second = generate_hotel_corpus(5, 5, seed=2)
+        assert [r.text for r in first.reviews] != [r.text for r in second.reviews]
+
+    def test_review_text_reflects_quality(self):
+        corpus = generate_hotel_corpus(20, 20, seed=3)
+        best = max(corpus.entities, key=lambda e: e.quality("room_cleanliness"))
+        worst = min(corpus.entities, key=lambda e: e.quality("room_cleanliness"))
+        best_text = " ".join(r.text for r in corpus.reviews_of(best.entity_id))
+        worst_text = " ".join(r.text for r in corpus.reviews_of(worst.entity_id))
+        positive_words = ("spotless", "very clean", "immaculate")
+        assert sum(best_text.count(w) for w in positive_words) >= \
+            sum(worst_text.count(w) for w in positive_words)
+
+    def test_hotel_objective_attributes(self, hotel_corpus):
+        for entity in hotel_corpus.entities:
+            assert entity.objective["city"] in HOTEL_CITIES
+            assert entity.objective["price_pn"] > 0
+            assert 1 <= entity.objective["stars"] <= 5
+
+    def test_restaurant_objective_attributes(self, restaurant_corpus):
+        for entity in restaurant_corpus.entities:
+            assert entity.objective["cuisine"] in RESTAURANT_CUISINES
+            assert 1 <= entity.objective["price_range"] <= 4
+
+    def test_entity_pairs_form(self, hotel_corpus):
+        pairs = hotel_corpus.entity_pairs()
+        assert len(pairs) == len(hotel_corpus.entities)
+        assert isinstance(pairs[0][1], dict)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_corpus(hotel_domain_spec(), 0, 5, lambda i, r, q: {})
+
+    def test_reviewer_pool_produces_prolific_reviewers(self):
+        corpus = generate_hotel_corpus(15, 15, seed=0)
+        counts = {}
+        for review in corpus.reviews:
+            counts[review.reviewer_id] = counts.get(review.reviewer_id, 0) + 1
+        assert max(counts.values()) >= 5
+
+
+class TestAbsaDatasets:
+    def test_sizes(self):
+        dataset = generate_absa_dataset("hotel", 100, 30, seed=0)
+        assert len(dataset.train) == 100
+        assert len(dataset.test) == 30
+        assert dataset.total == 130
+
+    def test_tags_align_with_tokens(self):
+        dataset = generate_absa_dataset("restaurant", 50, 10, seed=1)
+        for sentence in dataset.train:
+            assert len(sentence.tokens) == len(sentence.tags)
+
+    def test_contains_fillers_and_opinions(self):
+        dataset = generate_absa_dataset("hotel", 200, 20, seed=2)
+        has_filler = any(set(s.tags) == {"O"} for s in dataset.train)
+        has_opinion = any("OP" in s.tags for s in dataset.train)
+        assert has_filler and has_opinion
+
+    def test_laptop_domain_supported(self):
+        dataset = generate_absa_dataset("laptop", 40, 10, seed=3)
+        assert dataset.total == 50
+
+    def test_standard_datasets_match_paper_relative_sizes(self):
+        datasets = {d.name: d for d in standard_absa_datasets(scale=0.1)}
+        assert set(datasets) == {
+            "semeval14_restaurant", "semeval14_laptop",
+            "semeval15_restaurant", "booking_hotel",
+        }
+        assert datasets["booking_hotel"].total < datasets["semeval14_restaurant"].total
+
+
+class TestSurvey:
+    def test_all_domains_covered(self):
+        results = run_survey_simulation(num_workers=10, seed=0)
+        assert {result.domain for result in results} == {
+            "Hotel", "Restaurant", "Vacation", "College", "Home", "Career", "Car",
+        }
+
+    def test_majority_subjective_everywhere(self):
+        for result in run_survey_simulation(num_workers=30, seed=0):
+            assert result.subjective_fraction > 0.5
+
+    def test_vacation_more_subjective_than_car(self):
+        results = {r.domain: r for r in run_survey_simulation(num_workers=30, seed=0)}
+        assert results["Vacation"].subjective_fraction > results["Car"].subjective_fraction
+
+    def test_examples_are_subjective_criteria(self):
+        results = run_survey_simulation(num_workers=10, seed=1)
+        for result in results:
+            assert result.subjective_examples
+
+
+class TestPredicateBanksAndWorkloads:
+    def test_bank_sizes_match_paper(self):
+        assert len(hotel_predicate_bank()) == 190
+        assert len(restaurant_predicate_bank()) == 185
+
+    def test_predicates_unique(self):
+        texts = [predicate.text for predicate in hotel_predicate_bank()]
+        assert len(texts) == len(set(texts))
+
+    def test_gold_attributes_exist_in_domain(self):
+        spec_attributes = set(hotel_domain_spec().attribute_names)
+        for predicate in hotel_predicate_bank():
+            assert set(predicate.attributes) <= spec_attributes
+
+    def test_out_of_schema_predicates_present(self):
+        assert any(not predicate.in_schema for predicate in hotel_predicate_bank())
+
+    def test_workload_generation(self):
+        workload = generate_workload(
+            hotel_predicate_bank(), "london_under_300",
+            HOTEL_OPTIONS["london_under_300"], "medium", num_queries=5,
+            domain="hotels", seed=0,
+        )
+        assert len(workload) == 5
+        for query in workload:
+            assert len(query.predicates) == DIFFICULTY_CONJUNCTS["medium"]
+            statement = parse_query(query.sql)
+            assert len(statement.subjective_predicates()) == len(query.predicates)
+            assert statement.limit == 10
+
+    def test_workload_objective_conditions_rendered(self):
+        workload = generate_workload(
+            restaurant_predicate_bank(), "jp_cuisine",
+            RESTAURANT_OPTIONS["jp_cuisine"], "easy", num_queries=2,
+            domain="restaurants", seed=1,
+        )
+        assert all("cuisine = 'japanese'" in query.sql for query in workload)
+
+    def test_unknown_difficulty_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_workload(hotel_predicate_bank(), "x", [], "impossible", 1, "hotels")
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_workload([], "x", [], "easy", 1, "hotels")
+
+    def test_satisfaction_oracle_thresholds(self, hotel_corpus):
+        bank = hotel_predicate_bank()
+        predicate = next(p for p in bank if p.primary_attribute == "room_cleanliness")
+        entity = hotel_corpus.entities[0]
+        expected = int(entity.quality("room_cleanliness") >= 0.6)
+        assert satisfaction_oracle(hotel_corpus, predicate, entity.entity_id) == expected
+
+    def test_oracle_multi_attribute_predicates(self, hotel_corpus):
+        predicate = next(p for p in hotel_predicate_bank() if len(p.attributes) > 1)
+        value = satisfaction_oracle(hotel_corpus, predicate, hotel_corpus.entities[0].entity_id)
+        assert value in (0, 1)

@@ -1,0 +1,150 @@
+"""Unit tests for the query executor and the Database facade."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.schema import make_schema
+from repro.engine.types import ColumnType
+from repro.errors import ExecutionError, SchemaError
+
+
+def make_database():
+    database = Database("test")
+    hotels = database.create_table(
+        make_schema(
+            "Hotels",
+            [
+                ("hotelname", ColumnType.TEXT),
+                ("city", ColumnType.TEXT),
+                ("price_pn", ColumnType.FLOAT),
+                ("stars", ColumnType.INTEGER),
+            ],
+            key="hotelname",
+        )
+    )
+    hotels.insert_many([
+        {"hotelname": "alpha", "city": "london", "price_pn": 120.0, "stars": 3},
+        {"hotelname": "beta", "city": "london", "price_pn": 260.0, "stars": 5},
+        {"hotelname": "gamma", "city": "amsterdam", "price_pn": 90.0, "stars": 4},
+        {"hotelname": "delta", "city": "paris", "price_pn": 150.0, "stars": 2},
+    ])
+    cafes = database.create_table(
+        make_schema(
+            "Cafes",
+            [("cafename", ColumnType.TEXT), ("city", ColumnType.TEXT)],
+            key="cafename",
+        )
+    )
+    cafes.insert_many([
+        {"cafename": "espresso", "city": "london"},
+        {"cafename": "latte", "city": "amsterdam"},
+    ])
+    return database
+
+
+class TestDatabase:
+    def test_table_names(self):
+        assert make_database().table_names() == ["Cafes", "Hotels"]
+
+    def test_table_lookup_is_case_insensitive(self):
+        assert make_database().table("hotels").name == "Hotels"
+
+    def test_duplicate_table_rejected(self):
+        database = make_database()
+        with pytest.raises(SchemaError):
+            database.create_table(make_schema("hotels", [("a", ColumnType.TEXT)]))
+
+    def test_missing_table_raises(self):
+        with pytest.raises(ExecutionError):
+            make_database().table("missing")
+
+    def test_drop_table(self):
+        database = make_database()
+        database.drop_table("Cafes")
+        assert not database.has_table("Cafes")
+
+    def test_insert_helper(self):
+        database = make_database()
+        assert database.insert("Cafes", [{"cafename": "mocha", "city": "paris"}]) == 1
+
+
+class TestExecution:
+    def test_filter_and_projection(self):
+        rows = make_database().execute(
+            "select hotelname from Hotels where city = 'london'"
+        )
+        assert [row["hotelname"] for row in rows] == ["alpha", "beta"]
+
+    def test_numeric_filter(self):
+        rows = make_database().execute("select * from Hotels where price_pn < 130")
+        assert {row["hotelname"] for row in rows} == {"alpha", "gamma"}
+
+    def test_order_by_and_limit(self):
+        rows = make_database().execute(
+            "select * from Hotels order by price_pn desc limit 2"
+        )
+        assert [row["hotelname"] for row in rows] == ["beta", "delta"]
+
+    def test_order_by_ascending(self):
+        rows = make_database().execute("select * from Hotels order by stars asc")
+        assert rows[0]["hotelname"] == "delta"
+
+    def test_in_condition(self):
+        rows = make_database().execute(
+            "select * from Hotels where city in ('paris', 'amsterdam')"
+        )
+        assert {row["hotelname"] for row in rows} == {"gamma", "delta"}
+
+    def test_between_condition(self):
+        rows = make_database().execute(
+            "select * from Hotels where price_pn between 100 and 200"
+        )
+        assert {row["hotelname"] for row in rows} == {"alpha", "delta"}
+
+    def test_alias_and_qualified_columns(self):
+        rows = make_database().execute(
+            "select * from Hotels h where h.city = 'london' and h.stars > 4"
+        )
+        assert [row["hotelname"] for row in rows] == ["beta"]
+
+    def test_subjective_predicates_are_inert_objectively(self):
+        rows = make_database().execute(
+            'select * from Hotels where city = \'london\' and "has clean rooms"'
+        )
+        assert len(rows) == 2
+
+    def test_join(self):
+        rows = make_database().execute(
+            "select * from Hotels h join Cafes c on h.city = c.city"
+        )
+        cities = {row["city"] for row in rows}
+        assert cities == {"london", "amsterdam"}
+        assert len(rows) == 3  # two london hotels x 1 cafe + one amsterdam pair
+
+    def test_projection_of_unknown_column_raises(self):
+        with pytest.raises(ExecutionError):
+            make_database().execute("select nonexistent from Hotels")
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(ExecutionError):
+            make_database().execute("select * from Nowhere")
+
+
+class TestPersistence:
+    def test_dump_and_load_roundtrip(self, tmp_path):
+        database = make_database()
+        path = tmp_path / "db.json"
+        database.dump(path)
+        restored = Database.load(path)
+        assert restored.table_names() == database.table_names()
+        original = database.execute("select * from Hotels order by hotelname")
+        loaded = restored.execute("select * from Hotels order by hotelname")
+        assert original == loaded
+
+    def test_loaded_database_preserves_keys(self, tmp_path):
+        database = make_database()
+        path = tmp_path / "db.json"
+        database.dump(path)
+        restored = Database.load(path)
+        with pytest.raises(SchemaError):
+            restored.table("Hotels").insert({"hotelname": "alpha"})

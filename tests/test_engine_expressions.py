@@ -1,0 +1,143 @@
+"""Unit tests for the WHERE-clause expression AST."""
+
+import pytest
+
+from repro.core.fuzzy import ProductLogic, ZadehLogic
+from repro.engine.expressions import (
+    AndExpression,
+    BetweenExpression,
+    ColumnReference,
+    ComparisonExpression,
+    InExpression,
+    Literal,
+    NotExpression,
+    OrExpression,
+    SubjectivePredicate,
+    conjunction,
+    disjunction,
+)
+from repro.errors import ExecutionError
+
+ROW = {"price": 120.0, "city": "london", "stars": 4}
+
+
+def comparison(column, operator, value):
+    return ComparisonExpression(ColumnReference(column), operator, Literal(value))
+
+
+class TestComparisons:
+    def test_less_than(self):
+        assert comparison("price", "<", 150).evaluate(ROW)
+        assert not comparison("price", "<", 100).evaluate(ROW)
+
+    def test_equality_and_inequality(self):
+        assert comparison("city", "=", "london").evaluate(ROW)
+        assert comparison("city", "!=", "paris").evaluate(ROW)
+
+    def test_greater_or_equal(self):
+        assert comparison("stars", ">=", 4).evaluate(ROW)
+
+    def test_null_comparison_is_false(self):
+        assert not comparison("price", "<", 100).evaluate({"price": None})
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ExecutionError):
+            comparison("missing", "=", 1).evaluate(ROW)
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ExecutionError):
+            ComparisonExpression(ColumnReference("price"), "~", Literal(1))
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(ExecutionError):
+            comparison("city", "<", 3).evaluate(ROW)
+
+    def test_qualified_column_resolution(self):
+        reference = ColumnReference("price", qualifier="h")
+        row = {"h.price": 99.0}
+        assert reference.resolve(row) == 99.0
+
+    def test_columns_reported(self):
+        assert comparison("price", "<", 1).columns() == {"price"}
+
+
+class TestSetConditions:
+    def test_in(self):
+        expression = InExpression(ColumnReference("city"), ("london", "paris"))
+        assert expression.evaluate(ROW)
+        assert not expression.evaluate({"city": "rome"})
+
+    def test_between(self):
+        expression = BetweenExpression(ColumnReference("price"), 100, 150)
+        assert expression.evaluate(ROW)
+        assert not expression.evaluate({"price": 300.0})
+
+    def test_between_null_is_false(self):
+        assert not BetweenExpression(ColumnReference("price"), 0, 10).evaluate({"price": None})
+
+
+class TestConnectives:
+    def test_and(self):
+        expression = AndExpression((comparison("price", "<", 150), comparison("stars", ">", 3)))
+        assert expression.evaluate(ROW)
+
+    def test_or(self):
+        expression = OrExpression((comparison("price", "<", 50), comparison("stars", ">", 3)))
+        assert expression.evaluate(ROW)
+
+    def test_not(self):
+        assert NotExpression(comparison("price", "<", 50)).evaluate(ROW)
+
+    def test_conjunction_helper_degenerate(self):
+        assert conjunction([]).evaluate(ROW)
+        single = comparison("price", "<", 150)
+        assert conjunction([single]) is single
+
+    def test_disjunction_helper_degenerate(self):
+        assert not disjunction([]).evaluate(ROW)
+
+    def test_walk_visits_all_nodes(self):
+        expression = AndExpression((comparison("a", "=", 1), NotExpression(Literal(True))))
+        kinds = [type(node).__name__ for node in expression.walk()]
+        assert "AndExpression" in kinds
+        assert "NotExpression" in kinds
+        assert "Literal" in kinds
+
+
+class TestSubjectivePredicates:
+    def test_boolean_value_is_true(self):
+        assert SubjectivePredicate("has clean rooms").evaluate(ROW)
+
+    def test_collection(self):
+        expression = AndExpression((
+            comparison("price", "<", 150),
+            SubjectivePredicate("has clean rooms"),
+            SubjectivePredicate("quiet room"),
+        ))
+        texts = [predicate.text for predicate in expression.subjective_predicates()]
+        assert texts == ["has clean rooms", "quiet room"]
+
+    def test_fuzzy_scoring_uses_scorer(self):
+        expression = AndExpression((
+            comparison("price", "<", 150),
+            SubjectivePredicate("clean"),
+        ))
+        score = expression.fuzzy(ROW, lambda text, row: 0.5, ProductLogic())
+        assert score == pytest.approx(0.5)
+
+    def test_fuzzy_objective_failure_zeroes_product(self):
+        expression = AndExpression((
+            comparison("price", "<", 50),
+            SubjectivePredicate("clean"),
+        ))
+        assert expression.fuzzy(ROW, lambda text, row: 0.9, ProductLogic()) == 0.0
+
+    def test_fuzzy_or_with_zadeh(self):
+        expression = OrExpression((SubjectivePredicate("a"), SubjectivePredicate("b")))
+        degrees = {"a": 0.3, "b": 0.8}
+        score = expression.fuzzy(ROW, lambda text, row: degrees[text], ZadehLogic())
+        assert score == pytest.approx(0.8)
+
+    def test_fuzzy_not(self):
+        expression = NotExpression(SubjectivePredicate("a"))
+        assert expression.fuzzy(ROW, lambda text, row: 0.2, ProductLogic()) == pytest.approx(0.8)

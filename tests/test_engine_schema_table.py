@@ -1,0 +1,164 @@
+"""Unit tests for column types, table schemas and in-memory tables."""
+
+import pytest
+
+from repro.engine.schema import Column, TableSchema, make_schema
+from repro.engine.table import Table
+from repro.engine.types import ColumnType
+from repro.errors import ExecutionError, SchemaError
+
+
+class TestColumnType:
+    def test_integer_accepts_int(self):
+        assert ColumnType.INTEGER.validate(3) == 3
+
+    def test_integer_accepts_integral_float(self):
+        assert ColumnType.INTEGER.validate(3.0) == 3
+
+    def test_integer_rejects_fraction(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INTEGER.validate(3.5)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INTEGER.validate(True)
+
+    def test_float_accepts_int(self):
+        assert ColumnType.FLOAT.validate(3) == 3.0
+
+    def test_text_rejects_number(self):
+        with pytest.raises(SchemaError):
+            ColumnType.TEXT.validate(3)
+
+    def test_boolean(self):
+        assert ColumnType.BOOLEAN.validate(True) is True
+        with pytest.raises(SchemaError):
+            ColumnType.BOOLEAN.validate("yes")
+
+    def test_none_always_allowed(self):
+        for column_type in ColumnType:
+            assert column_type.validate(None) is None
+
+    def test_summary_is_opaque(self):
+        payload = {"clean": 3}
+        assert ColumnType.SUMMARY.validate(payload) is payload
+
+    def test_is_numeric(self):
+        assert ColumnType.INTEGER.is_numeric
+        assert ColumnType.FLOAT.is_numeric
+        assert not ColumnType.TEXT.is_numeric
+
+
+class TestTableSchema:
+    def make(self):
+        return make_schema(
+            "Hotels",
+            [("hotelname", ColumnType.TEXT), ("price", ColumnType.FLOAT)],
+            key="hotelname",
+        )
+
+    def test_column_names(self):
+        assert self.make().column_names == ["hotelname", "price"]
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema("T", [("a", ColumnType.TEXT)], key="missing")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", [Column("a", ColumnType.TEXT), Column("a", ColumnType.TEXT)])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", [])
+
+    def test_validate_row_fills_missing_with_null(self):
+        row = self.make().validate_row({"hotelname": "h1"})
+        assert row == {"hotelname": "h1", "price": None}
+
+    def test_validate_row_rejects_unknown_columns(self):
+        with pytest.raises(SchemaError):
+            self.make().validate_row({"hotelname": "h1", "city": "london"})
+
+    def test_non_nullable_column(self):
+        schema = TableSchema(
+            "T", [Column("k", ColumnType.TEXT, nullable=False)], key="k"
+        )
+        with pytest.raises(SchemaError):
+            schema.validate_row({"k": None})
+
+    def test_column_lookup(self):
+        schema = self.make()
+        assert schema.column("price").type is ColumnType.FLOAT
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+
+
+class TestTable:
+    def make(self):
+        return Table(
+            make_schema(
+                "Hotels",
+                [("hotelname", ColumnType.TEXT), ("price", ColumnType.FLOAT)],
+                key="hotelname",
+            )
+        )
+
+    def test_insert_and_len(self):
+        table = self.make()
+        table.insert({"hotelname": "h1", "price": 100.0})
+        assert len(table) == 1
+
+    def test_duplicate_key_rejected(self):
+        table = self.make()
+        table.insert({"hotelname": "h1"})
+        with pytest.raises(SchemaError):
+            table.insert({"hotelname": "h1"})
+
+    def test_null_key_rejected(self):
+        with pytest.raises(SchemaError):
+            self.make().insert({"hotelname": None})
+
+    def test_get_by_key(self):
+        table = self.make()
+        table.insert({"hotelname": "h1", "price": 80.0})
+        assert table.get("h1")["price"] == 80.0
+        assert table.get("missing") is None
+
+    def test_scan_with_predicate(self):
+        table = self.make()
+        table.insert_many([
+            {"hotelname": "h1", "price": 80.0},
+            {"hotelname": "h2", "price": 200.0},
+        ])
+        cheap = table.scan(lambda row: row["price"] < 100)
+        assert [row["hotelname"] for row in cheap] == ["h1"]
+
+    def test_update(self):
+        table = self.make()
+        table.insert({"hotelname": "h1", "price": 80.0})
+        table.update("h1", {"price": 90.0})
+        assert table.get("h1")["price"] == 90.0
+
+    def test_update_missing_row(self):
+        with pytest.raises(ExecutionError):
+            self.make().update("nope", {"price": 1.0})
+
+    def test_keys_and_column_values(self):
+        table = self.make()
+        table.insert_many([
+            {"hotelname": "h1", "price": 80.0},
+            {"hotelname": "h2", "price": 200.0},
+        ])
+        assert table.keys() == ["h1", "h2"]
+        assert table.column_values("price") == [80.0, 200.0]
+
+    def test_column_values_unknown_column(self):
+        with pytest.raises(SchemaError):
+            self.make().column_values("city")
+
+    def test_keyless_table_rejects_get(self):
+        table = Table(make_schema("T", [("a", ColumnType.TEXT)]))
+        table.insert({"a": "x"})
+        with pytest.raises(ExecutionError):
+            table.get("x")

@@ -1,0 +1,181 @@
+"""Unit tests for the subjective-SQL parser."""
+
+import pytest
+
+from repro.engine.expressions import (
+    AndExpression,
+    ComparisonExpression,
+    OrExpression,
+    SubjectivePredicate,
+)
+from repro.engine.sqlparser import parse_query
+from repro.errors import ParseError
+
+
+class TestBasicSelect:
+    def test_select_star(self):
+        statement = parse_query("select * from Hotels")
+        assert statement.table == "Hotels"
+        assert statement.columns is None
+        assert statement.where is None
+
+    def test_select_columns(self):
+        statement = parse_query("select hotelname, price from Hotels")
+        assert statement.columns == ["hotelname", "price"]
+
+    def test_table_alias(self):
+        statement = parse_query("select * from Hotels h")
+        assert statement.alias == "h"
+
+    def test_case_insensitive_keywords(self):
+        statement = parse_query("SELECT * FROM Hotels WHERE price < 10")
+        assert statement.where is not None
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("select * from Hotels nonsense nonsense nonsense")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("select *")
+
+
+class TestWhere:
+    def test_numeric_comparison(self):
+        statement = parse_query("select * from Hotels where price_pn < 150")
+        assert isinstance(statement.where, ComparisonExpression)
+        assert statement.where.operator == "<"
+        assert statement.where.right.value == 150
+
+    def test_float_literal(self):
+        statement = parse_query("select * from Hotels where price_pn < 149.5")
+        assert statement.where.right.value == pytest.approx(149.5)
+
+    def test_string_literal(self):
+        statement = parse_query("select * from Hotels where city = 'london'")
+        assert statement.where.right.value == "london"
+
+    def test_not_equal_variants(self):
+        for operator in ("!=", "<>"):
+            statement = parse_query(f"select * from Hotels where city {operator} 'x'")
+            assert statement.where.operator == "!="
+
+    def test_boolean_literal(self):
+        statement = parse_query("select * from Hotels where has_pool = true")
+        assert statement.where.right.value is True
+
+    def test_in_list(self):
+        statement = parse_query("select * from Hotels where city in ('london', 'paris')")
+        assert statement.where.values == ("london", "paris")
+
+    def test_between(self):
+        statement = parse_query("select * from Hotels where price_pn between 50 and 100")
+        assert statement.where.low == 50
+        assert statement.where.high == 100
+
+    def test_and_or_precedence(self):
+        statement = parse_query(
+            "select * from Hotels where a = 1 or b = 2 and c = 3"
+        )
+        assert isinstance(statement.where, OrExpression)
+        assert isinstance(statement.where.operands[1], AndExpression)
+
+    def test_parentheses_override_precedence(self):
+        statement = parse_query(
+            "select * from Hotels where (a = 1 or b = 2) and c = 3"
+        )
+        assert isinstance(statement.where, AndExpression)
+
+    def test_not(self):
+        statement = parse_query("select * from Hotels where not city = 'london'")
+        assert statement.where.operand.right.value == "london"
+
+    def test_qualified_column(self):
+        statement = parse_query("select * from Hotels h where h.price_pn < 10")
+        assert statement.where.left.qualifier == "h"
+
+    def test_unclosed_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("select * from Hotels where (a = 1")
+
+    def test_missing_operator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("select * from Hotels where price 10")
+
+
+class TestSubjectivePredicates:
+    def test_single_predicate(self):
+        statement = parse_query('select * from Hotels where "has clean rooms"')
+        assert statement.subjective_predicates() == ["has clean rooms"]
+
+    def test_mixed_with_objective(self):
+        statement = parse_query(
+            'select * from Hotels where price_pn < 150 and "has clean rooms" '
+            'and "is a romantic getaway"'
+        )
+        assert statement.subjective_predicates() == [
+            "has clean rooms", "is a romantic getaway",
+        ]
+        assert statement.has_subjective_predicates()
+
+    def test_predicate_with_escaped_quote(self):
+        statement = parse_query(r'select * from Hotels where "a \"quoted\" word"')
+        assert statement.subjective_predicates() == ['a "quoted" word']
+
+    def test_predicates_in_disjunction(self):
+        statement = parse_query(
+            'select * from Hotels where "lively bar" or "quiet room"'
+        )
+        assert isinstance(statement.where, OrExpression)
+        assert all(
+            isinstance(operand, SubjectivePredicate)
+            for operand in statement.where.operands
+        )
+
+
+class TestClauses:
+    def test_order_by_default_ascending(self):
+        statement = parse_query("select * from Hotels order by price_pn")
+        assert statement.order_by.descending is False
+
+    def test_order_by_desc(self):
+        statement = parse_query("select * from Hotels order by price_pn desc")
+        assert statement.order_by.descending is True
+
+    def test_limit(self):
+        assert parse_query("select * from Hotels limit 5").limit == 5
+
+    def test_limit_requires_number(self):
+        with pytest.raises(ParseError):
+            parse_query("select * from Hotels limit five")
+
+    def test_join(self):
+        statement = parse_query(
+            "select * from Hotels h join Cafes c on h.street = c.street"
+        )
+        assert statement.join.table == "Cafes"
+        assert statement.join.alias == "c"
+        assert statement.join.left.qualifier == "h"
+
+    def test_inner_join_keyword(self):
+        statement = parse_query(
+            "select * from Hotels inner join Cafes on street = street"
+        )
+        assert statement.join is not None
+
+    def test_join_requires_equality(self):
+        with pytest.raises(ParseError):
+            parse_query("select * from Hotels join Cafes on a < b")
+
+    def test_full_query_roundtrip(self):
+        statement = parse_query(
+            'select * from Hotels h where h.city = \'london\' and price_pn < 300 '
+            'and "has really clean rooms" order by price_pn asc limit 10'
+        )
+        assert statement.limit == 10
+        assert statement.order_by is not None
+        assert len(statement.subjective_predicates()) == 1

@@ -1,0 +1,98 @@
+"""Integration tests for the end-to-end SubjectiveDatabaseBuilder."""
+
+import pytest
+
+from repro.core.markers import SummaryKind
+from repro.errors import ExtractionError
+
+
+class TestBuiltDatabase:
+    """Checks on the session-scoped hotel setup built through the full pipeline."""
+
+    def test_all_entities_registered(self, hotel_setup):
+        assert len(hotel_setup.database) == len(hotel_setup.corpus.entities)
+
+    def test_all_reviews_registered(self, hotel_setup):
+        assert hotel_setup.database.num_reviews() == len(hotel_setup.corpus.reviews)
+
+    def test_extractions_produced(self, hotel_setup):
+        assert hotel_setup.database.num_extractions() > 100
+
+    def test_every_attribute_has_markers(self, hotel_setup):
+        for attribute in hotel_setup.database.schema.subjective_attributes:
+            assert len(attribute.markers) >= 2
+            assert not any(marker.name.startswith("__pending") for marker in attribute.markers)
+
+    def test_summaries_exist_for_entities_with_extractions(self, hotel_setup):
+        database = hotel_setup.database
+        for entity_id in database.entity_ids():
+            for attribute in database.schema.subjective_attributes:
+                if database.extractions(entity_id=entity_id, attribute=attribute.name):
+                    summary = database.marker_summary(entity_id, attribute.name)
+                    assert summary is not None
+
+    def test_summary_mass_tracks_latent_quality(self, hotel_setup):
+        """Entities with high latent cleanliness have cleaner-leaning summaries."""
+        database = hotel_setup.database
+        corpus = hotel_setup.corpus
+        sentiments = []
+        qualities = []
+        for entity_id in database.entity_ids():
+            summary = database.marker_summary(entity_id, "room_cleanliness")
+            if summary is None or summary.total() == 0:
+                continue
+            sentiments.append(summary.overall_sentiment())
+            qualities.append(corpus.quality(entity_id, "room_cleanliness"))
+        best = qualities.index(max(qualities))
+        worst = qualities.index(min(qualities))
+        assert sentiments[best] > sentiments[worst]
+
+    def test_text_models_fitted(self, hotel_setup):
+        database = hotel_setup.database
+        assert database.phrase_embedder is not None
+        assert database.review_index is not None
+        assert database.entity_index is not None
+
+    def test_categorical_attribute_kind_preserved(self, hotel_setup):
+        attribute = hotel_setup.database.schema.subjective("bathroom_style")
+        assert attribute.kind is SummaryKind.CATEGORICAL
+
+    def test_provenance_recorded(self, hotel_setup):
+        database = hotel_setup.database
+        found_evidence = False
+        for entity_id in database.entity_ids():
+            summary = database.marker_summary(entity_id, "room_cleanliness")
+            if summary is None:
+                continue
+            for marker in summary.marker_names:
+                if database.explain(entity_id, "room_cleanliness", marker):
+                    found_evidence = True
+                    break
+            if found_evidence:
+                break
+        assert found_evidence
+
+    def test_classifier_and_aggregator_exposed(self, hotel_setup):
+        # prepare_domain goes through the builder; the builder keeps the
+        # trained classifier and aggregator for inspection and re-use.
+        assert hotel_setup.database.schema.name == "hotels"
+
+
+class TestBuilderValidation:
+    def test_builder_requires_entities_and_reviews(self, small_tagger, hotel_seeds):
+        from repro.core.attributes import ObjectiveAttribute
+        from repro.engine.types import ColumnType
+        from repro.extraction.builder import SubjectiveDatabaseBuilder
+        from repro.extraction.pipeline import ExtractionPipeline
+
+        builder = SubjectiveDatabaseBuilder(
+            schema_name="hotels",
+            entity_key="hotelname",
+            objective_attributes=[ObjectiveAttribute("city", ColumnType.TEXT)],
+            seed_sets=hotel_seeds,
+            pipeline=ExtractionPipeline(small_tagger),
+        )
+        with pytest.raises(ExtractionError):
+            builder.build([], [])
+        with pytest.raises(ExtractionError):
+            builder.build([("h1", {"city": "london"})], [])

@@ -1,0 +1,193 @@
+"""Tests for seed expansion, the attribute classifier, marker discovery and aggregation."""
+
+import pytest
+
+from repro.core.domain import LinguisticDomain
+from repro.core.markers import SummaryKind
+from repro.extraction.aggregation import SummaryAggregator
+from repro.extraction.attribute_classifier import AttributeClassifier
+from repro.extraction.marker_discovery import (
+    discover_categorical_markers,
+    discover_linear_markers,
+    suggest_markers,
+)
+from repro.extraction.seeds import SeedSet, expand_seeds
+
+
+class TestSeedSet:
+    def test_requires_both_term_kinds(self):
+        with pytest.raises(ValueError):
+            SeedSet("x", aspect_terms=["room"], opinion_terms=[])
+
+    def test_num_seeds(self):
+        seed_set = SeedSet("x", ["room", "suite"], ["clean", "dirty"])
+        assert seed_set.num_seeds == 4
+
+
+class TestSeedExpansion:
+    def make_seed_sets(self):
+        return [
+            SeedSet("cleanliness", ["room", "carpet"], ["clean", "dirty", "spotless"]),
+            SeedSet("staff", ["staff", "reception"], ["friendly", "rude"]),
+        ]
+
+    def test_cross_product_without_embeddings(self):
+        examples = expand_seeds(self.make_seed_sets(), embeddings=None, target_size=100)
+        assert len(examples) == 2 * 3 + 2 * 2
+        assert ("clean room", "cleanliness") in examples
+
+    def test_expansion_with_embeddings_grows_set(self, small_embedder):
+        base = expand_seeds(self.make_seed_sets(), embeddings=None, target_size=10_000)
+        grown = expand_seeds(self.make_seed_sets(),
+                             embeddings=small_embedder.embeddings, target_size=10_000)
+        assert len(grown) >= len(base)
+
+    def test_target_size_caps_output(self):
+        examples = expand_seeds(self.make_seed_sets(), embeddings=None, target_size=5)
+        assert len(examples) == 5
+
+    def test_empty_seed_sets_rejected(self):
+        with pytest.raises(ValueError):
+            expand_seeds([])
+
+
+class TestAttributeClassifier:
+    def examples(self):
+        return [
+            ("very clean room", "cleanliness"), ("dirty carpet", "cleanliness"),
+            ("spotless suite", "cleanliness"), ("stained floor", "cleanliness"),
+            ("friendly staff", "staff"), ("rude reception", "staff"),
+            ("helpful concierge", "staff"), ("kind manager", "staff"),
+            ("tasty breakfast", "food"), ("stale bread", "food"),
+            ("delicious buffet", "food"), ("cold coffee", "food"),
+        ]
+
+    def test_naive_bayes_head(self):
+        classifier = AttributeClassifier(head="naive_bayes").fit(self.examples())
+        assert classifier.predict("clean suite") == "cleanliness"
+        assert classifier.accuracy(self.examples()) > 0.9
+
+    def test_logistic_head(self):
+        classifier = AttributeClassifier(head="logistic").fit(self.examples())
+        assert classifier.predict("friendly manager") == "staff"
+
+    def test_classes_sorted(self):
+        classifier = AttributeClassifier().fit(self.examples())
+        assert classifier.classes == ["cleanliness", "food", "staff"]
+
+    def test_unknown_head_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeClassifier(head="svm").fit(self.examples())
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeClassifier().fit([])
+
+    def test_accuracy_empty_returns_zero(self):
+        classifier = AttributeClassifier().fit(self.examples())
+        assert classifier.accuracy([]) == 0.0
+
+
+class TestMarkerDiscovery:
+    def cleanliness_domain(self):
+        domain = LinguisticDomain("room_cleanliness")
+        for phrase, count in [
+            ("very clean room", 10), ("spotless room", 6), ("clean room", 12),
+            ("average room", 8), ("ok room", 5), ("dirty room", 9),
+            ("filthy room", 4), ("stained carpet", 3),
+        ]:
+            domain.add(phrase, count)
+        return domain
+
+    def test_linear_markers_ordered_by_sentiment(self):
+        markers = discover_linear_markers(self.cleanliness_domain(), num_markers=4)
+        assert len(markers) >= 2
+        sentiments = [marker.sentiment for marker in markers]
+        assert sentiments == sorted(sentiments, reverse=True)
+
+    def test_linear_marker_positions_contiguous(self):
+        markers = discover_linear_markers(self.cleanliness_domain(), num_markers=4)
+        assert [marker.position for marker in markers] == list(range(len(markers)))
+
+    def test_linear_markers_come_from_domain(self):
+        domain = self.cleanliness_domain()
+        markers = discover_linear_markers(domain, num_markers=3)
+        assert all(marker.name in domain for marker in markers)
+
+    def test_linear_requires_at_least_two(self):
+        with pytest.raises(ValueError):
+            discover_linear_markers(self.cleanliness_domain(), num_markers=1)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            discover_linear_markers(LinguisticDomain("x"), num_markers=3)
+
+    def test_categorical_markers(self, small_embedder):
+        domain = LinguisticDomain("bathroom_style")
+        for phrase in ("modern bathroom", "old bathroom", "luxurious bathroom",
+                       "broken faucet", "marble floors", "stained bath"):
+            domain.add(phrase)
+        markers = discover_categorical_markers(domain, small_embedder, num_markers=3)
+        assert 2 <= len(markers) <= 3
+        assert all(marker.name in domain for marker in markers)
+
+    def test_suggest_dispatches(self, small_embedder):
+        domain = self.cleanliness_domain()
+        linear = suggest_markers(domain, SummaryKind.LINEAR, num_markers=3)
+        categorical = suggest_markers(domain, SummaryKind.CATEGORICAL, num_markers=3,
+                                      embedder=small_embedder)
+        assert linear and categorical
+
+    def test_categorical_requires_embedder(self):
+        with pytest.raises(ValueError):
+            suggest_markers(self.cleanliness_domain(), SummaryKind.CATEGORICAL)
+
+
+class TestAggregation:
+    def test_aggregate_builds_summaries(self, hotel_database):
+        aggregator = SummaryAggregator(hotel_database)
+        summaries = aggregator.aggregate(store=False)
+        assert summaries
+        total_mass = sum(summary.total() for summary in summaries.values())
+        assert total_mass > 0
+
+    def test_review_filter_reduces_mass(self, hotel_database):
+        aggregator = SummaryAggregator(hotel_database)
+        full = aggregator.aggregate(store=False)
+        filtered = aggregator.aggregate(
+            review_filter=lambda review: review.year is not None and review.year >= 2016,
+            store=False,
+        )
+        full_mass = sum(summary.total() for summary in full.values())
+        filtered_mass = sum(summary.total() for summary in filtered.values())
+        assert filtered_mass < full_mass
+
+    def test_review_weight_scales_mass(self, hotel_database):
+        aggregator = SummaryAggregator(hotel_database)
+        unweighted = aggregator.aggregate(store=False)
+        doubled = aggregator.aggregate(review_weight=lambda review: 2.0, store=False)
+        unweighted_mass = sum(summary.total() for summary in unweighted.values())
+        doubled_mass = sum(summary.total() for summary in doubled.values())
+        assert doubled_mass == pytest.approx(2 * unweighted_mass, rel=1e-6)
+
+    def test_zero_weight_drops_everything(self, hotel_database):
+        aggregator = SummaryAggregator(hotel_database)
+        zeroed = aggregator.aggregate(review_weight=lambda review: 0.0, store=False)
+        assert sum(summary.total() for summary in zeroed.values()) == 0
+
+    def test_fractional_contributions_preserve_mass(self, hotel_database):
+        plain = SummaryAggregator(hotel_database, fractional=False).aggregate(store=False)
+        fractional = SummaryAggregator(hotel_database, fractional=True).aggregate(store=False)
+        plain_mass = sum(summary.total() for summary in plain.values())
+        fractional_mass = sum(summary.total() for summary in fractional.values())
+        assert fractional_mass == pytest.approx(plain_mass, rel=1e-6)
+
+    def test_contributions_reference_known_markers(self, hotel_database):
+        aggregator = SummaryAggregator(hotel_database)
+        attribute = hotel_database.schema.subjective_attributes[0]
+        records = hotel_database.extractions(attribute=attribute.name)[:20]
+        for record in records:
+            contributions = aggregator.marker_contributions(attribute, record)
+            assert all(attribute.has_marker(name) for name in contributions)
+            if contributions:
+                assert sum(contributions.values()) == pytest.approx(1.0)

@@ -1,0 +1,195 @@
+"""Tests for the opinion taggers, pairers and the extraction pipeline."""
+
+import pytest
+
+from repro.datasets.semeval import generate_absa_dataset
+from repro.errors import NotFittedError
+from repro.extraction.features import tagging_features
+from repro.extraction.pairing import OpinionPair, RuleBasedPairer, SupervisedPairer
+from repro.extraction.pipeline import ExtractionPipeline
+from repro.extraction.tagger import (
+    BaselineLexiconTagger,
+    PerceptronOpinionTagger,
+    TaggedSentence,
+)
+from repro.ml.metrics import span_f1
+
+
+class TestFeatures:
+    def test_features_are_strings(self):
+        features = tagging_features(["the", "room", "was", "clean"], 3)
+        assert all(isinstance(feature, str) for feature in features)
+
+    def test_lexicon_feature_for_opinion_words(self):
+        assert "lex=positive" in tagging_features(["clean"], 0)
+        assert "lex=negative" in tagging_features(["dirty"], 0)
+
+    def test_gazetteer_feature_for_aspect_nouns(self):
+        assert "gaz=aspect" in tagging_features(["room"], 0)
+
+    def test_boundary_positions(self):
+        features = tagging_features(["clean"], 0)
+        assert "position=first" in features and "position=last" in features
+
+
+class TestTaggedSentence:
+    def test_span_extraction(self):
+        sentence = TaggedSentence(("the", "room", "was", "very", "clean"),
+                                  ("O", "AS", "O", "OP", "OP"))
+        assert sentence.aspect_terms() == ["room"]
+        assert sentence.opinion_terms() == ["very clean"]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            TaggedSentence(("a",), ("O", "O"))
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            TaggedSentence(("a",), ("X",))
+
+
+class TestTaggers:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_absa_dataset("hotel", 250, 60, seed=11)
+
+    def test_perceptron_beats_baseline(self, dataset):
+        gold = [list(sentence.tags) for sentence in dataset.test]
+        tokens = [list(sentence.tokens) for sentence in dataset.test]
+        ours = PerceptronOpinionTagger(epochs=3, seed=1).fit(dataset.train)
+        baseline = BaselineLexiconTagger().fit(dataset.train)
+        ours_f1 = span_f1(gold, ours.predict_many(tokens))
+        baseline_f1 = span_f1(gold, baseline.predict_many(tokens))
+        assert ours_f1 > baseline_f1
+        assert ours_f1 > 0.6
+
+    def test_tag_returns_tagged_sentence(self, dataset):
+        tagger = PerceptronOpinionTagger(epochs=2, seed=1).fit(dataset.train[:100])
+        tagged = tagger.tag(["the", "room", "was", "spotless"])
+        assert isinstance(tagged, TaggedSentence)
+        assert len(tagged.tags) == 4
+
+    def test_unfitted_taggers_raise(self):
+        with pytest.raises(NotFittedError):
+            PerceptronOpinionTagger().predict(["room"])
+        with pytest.raises(NotFittedError):
+            BaselineLexiconTagger().predict(["room"])
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            PerceptronOpinionTagger().fit([])
+        with pytest.raises(ValueError):
+            BaselineLexiconTagger().fit([])
+
+    def test_baseline_tags_lexicon_words(self, dataset):
+        baseline = BaselineLexiconTagger().fit(dataset.train)
+        tags = baseline.predict(["the", "room", "was", "filthy"])
+        assert tags[-1] == "OP"
+
+
+def tagged(tokens, tags):
+    return TaggedSentence(tuple(tokens), tuple(tags))
+
+
+class TestRuleBasedPairer:
+    pairer = RuleBasedPairer()
+
+    def test_simple_pairing(self):
+        sentence = tagged(["the", "room", "was", "clean"], ["O", "AS", "O", "OP"])
+        pairs = self.pairer.pair(sentence)
+        assert len(pairs) == 1
+        assert pairs[0].phrase == "clean room"
+
+    def test_two_clause_pairing(self):
+        sentence = tagged(
+            ["bed", "was", "soft", "bathroom", "a", "bit", "small"],
+            ["AS", "O", "OP", "AS", "O", "O", "OP"],
+        )
+        pairs = self.pairer.pair(sentence)
+        assert {(pair.aspect_term, pair.opinion_term) for pair in pairs} == {
+            ("bed", "soft"), ("bathroom", "small"),
+        }
+
+    def test_shared_opinion_for_multiple_aspects(self):
+        sentence = tagged(
+            ["bed", "and", "bathroom", "were", "dirty"],
+            ["AS", "O", "AS", "O", "OP"],
+        )
+        pairs = self.pairer.pair(sentence)
+        assert len(pairs) == 2
+
+    def test_no_pairs_without_opinions(self):
+        sentence = tagged(["the", "room"], ["O", "AS"])
+        assert self.pairer.pair(sentence) == []
+
+    def test_distance_limit(self):
+        tokens = ["room"] + ["filler"] * 12 + ["clean"]
+        tags = ["AS"] + ["O"] * 12 + ["OP"]
+        assert RuleBasedPairer(max_distance=5).pair(tagged(tokens, tags)) == []
+
+
+class TestSupervisedPairer:
+    def make_examples(self):
+        examples = []
+        positive = tagged(["the", "room", "was", "clean"], ["O", "AS", "O", "OP"])
+        examples.append((positive, (1, 2), (3, 4), 1))
+        far = tagged(
+            ["room", "x", "x", "x", "x", "x", "x", "x", "clean"],
+            ["AS", "O", "O", "O", "O", "O", "O", "O", "OP"],
+        )
+        examples.append((far, (0, 1), (8, 9), 0))
+        return examples * 20
+
+    def test_fit_and_pair(self):
+        pairer = SupervisedPairer().fit(self.make_examples())
+        sentence = tagged(["the", "room", "was", "clean"], ["O", "AS", "O", "OP"])
+        pairs = pairer.pair(sentence)
+        assert pairs and isinstance(pairs[0], OpinionPair)
+
+    def test_accuracy(self):
+        examples = self.make_examples()
+        pairer = SupervisedPairer().fit(examples)
+        assert pairer.accuracy(examples) > 0.8
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            SupervisedPairer().pair(tagged(["room"], ["AS"]))
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            SupervisedPairer().fit([])
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self, small_tagger):
+        return ExtractionPipeline(small_tagger)
+
+    def test_extracts_from_sentence(self, pipeline):
+        opinions = pipeline.extract_sentence("the room was very clean")
+        assert opinions
+        assert any("clean" in opinion.opinion_term for opinion in opinions)
+
+    def test_extraction_sentiment_sign(self, pipeline):
+        positive = pipeline.extract_sentence("the room was spotless")
+        negative = pipeline.extract_sentence("the room was filthy")
+        if positive and negative:
+            assert positive[0].sentiment > negative[0].sentiment
+
+    def test_extract_review_splits_sentences(self, pipeline):
+        opinions = pipeline.extract_review(
+            "the room was very clean. the staff was rude."
+        )
+        aspects = {opinion.aspect_term for opinion in opinions}
+        assert len(aspects) >= 2
+
+    def test_empty_sentence(self, pipeline):
+        assert pipeline.extract_sentence("") == []
+
+    def test_extract_corpus_shape(self, pipeline):
+        results = pipeline.extract_corpus(["the bed was comfortable", "nothing here"])
+        assert len(results) == 2
+
+    def test_non_string_review_rejected(self, pipeline):
+        with pytest.raises(Exception):
+            pipeline.extract_review(None)

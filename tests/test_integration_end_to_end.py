@@ -1,0 +1,137 @@
+"""End-to-end integration tests: reviews in, ranked subjective answers out.
+
+These tests run the complete OpineDB pipeline (corpus generation → tagger →
+extraction → attribute classification → marker discovery → aggregation →
+query processing) on a small hotel corpus and check the system-level
+behaviours the paper claims:
+
+* subjective SQL with mixed objective and subjective predicates returns a
+  ranked list restricted by the objective filters;
+* the ranking agrees with the latent ground truth better than chance;
+* out-of-schema predicates still produce answers (via co-occurrence or text
+  retrieval);
+* results can be explained from review provenance;
+* re-aggregating with a review qualification changes the summaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ir_baseline import IrEntityRanker
+from repro.core.fuzzy import ZadehLogic
+from repro.core.processor import SubjectiveQueryProcessor
+from repro.extraction.aggregation import SummaryAggregator
+
+
+class TestEndToEnd:
+    def test_mixed_query_respects_objective_filter(self, hotel_setup):
+        processor = SubjectiveQueryProcessor(hotel_setup.database)
+        result = processor.execute(
+            'select * from Entities where city = \'london\' and price_pn < 500 '
+            'and "has really clean rooms" and "friendly staff" limit 5'
+        )
+        assert 0 < len(result) <= 5
+        for entity in result:
+            assert entity.row["city"] == "london"
+            assert entity.row["price_pn"] < 500
+
+    def test_ranking_correlates_with_ground_truth(self, hotel_setup):
+        processor = SubjectiveQueryProcessor(hotel_setup.database)
+        result = processor.execute(
+            'select * from Entities where "spotless room" limit 100'
+        )
+        scores = [entity.score for entity in result]
+        truths = [
+            hotel_setup.corpus.quality(entity.entity_id, "room_cleanliness")
+            for entity in result
+        ]
+        correlation = np.corrcoef(scores, truths)[0, 1]
+        assert correlation > 0.3
+
+    def test_conjunction_is_harder_than_single_predicate(self, hotel_setup):
+        processor = SubjectiveQueryProcessor(hotel_setup.database)
+        single = processor.execute('select * from Entities where "clean room"', top_k=100)
+        double = processor.execute(
+            'select * from Entities where "clean room" and "quiet room"', top_k=100
+        )
+        single_scores = {e.entity_id: e.score for e in single}
+        for entity in double:
+            assert entity.score <= single_scores[entity.entity_id] + 1e-9
+
+    def test_out_of_schema_predicate_still_answers(self, hotel_setup):
+        processor = SubjectiveQueryProcessor(hotel_setup.database)
+        result = processor.execute(
+            'select * from Entities where "great for motorcyclists" limit 5'
+        )
+        assert len(result) == 5
+        interpretation = result.interpretations["great for motorcyclists"]
+        assert interpretation.method is not None
+
+    def test_disjunctive_query(self, hotel_setup):
+        processor = SubjectiveQueryProcessor(hotel_setup.database)
+        result = processor.execute(
+            'select * from Entities where "lively bar" or "relaxing atmosphere" limit 5'
+        )
+        assert len(result) == 5
+
+    def test_negated_predicate(self, hotel_setup):
+        processor = SubjectiveQueryProcessor(hotel_setup.database)
+        positive = processor.execute('select * from Entities where "noisy room"', top_k=100)
+        negative = processor.execute('select * from Entities where not "noisy room"', top_k=100)
+        positive_scores = {e.entity_id: e.score for e in positive}
+        for entity in negative:
+            assert entity.score == pytest.approx(1.0 - positive_scores[entity.entity_id], abs=1e-6)
+
+    def test_zadeh_logic_variant_runs(self, hotel_setup):
+        processor = SubjectiveQueryProcessor(hotel_setup.database, logic=ZadehLogic())
+        result = processor.execute(
+            'select * from Entities where "clean room" and "friendly staff"', top_k=5
+        )
+        assert len(result) == 5
+
+    def test_explanations_point_to_reviews(self, hotel_setup):
+        database = hotel_setup.database
+        processor = SubjectiveQueryProcessor(database)
+        result = processor.execute('select * from Entities where "spotless room" limit 3')
+        top_entity = result.entity_ids[0]
+        interpretation = result.interpretations["spotless room"]
+        if interpretation.is_schema_interpretation:
+            pair = interpretation.pairs[0]
+            evidence = database.explain(top_entity, pair.attribute, pair.marker, limit=3)
+            for record in evidence:
+                assert record.entity_id == top_entity
+
+    def test_requalified_aggregation_changes_summaries(self, hotel_setup):
+        database = hotel_setup.database
+        aggregator = SummaryAggregator(database)
+        prolific = {
+            reviewer for reviewer, count in database.reviewer_review_counts().items()
+            if count >= 2
+        }
+        filtered = aggregator.aggregate(
+            review_filter=lambda review: review.reviewer_id in prolific, store=False
+        )
+        unfiltered = aggregator.aggregate(store=False)
+        assert sum(s.total() for s in filtered.values()) <= \
+            sum(s.total() for s in unfiltered.values())
+
+    def test_opinedb_beats_ir_on_negation_heavy_attribute(self, hotel_setup):
+        """Average ground-truth quietness of the top-5: OpineDB vs keyword IR."""
+        database = hotel_setup.database
+        corpus = hotel_setup.corpus
+        processor = SubjectiveQueryProcessor(database)
+        opine_top = processor.execute(
+            'select * from Entities where "quiet room" limit 5'
+        ).entity_ids
+        ir_top = [e for e, _s in IrEntityRanker(database).rank(["quiet room"], top_k=5)]
+        opine_quality = np.mean([corpus.quality(e, "room_quietness") for e in opine_top])
+        ir_quality = np.mean([corpus.quality(e, "room_quietness") for e in ir_top])
+        assert opine_quality >= ir_quality - 0.1
+
+    def test_engine_sql_still_usable_directly(self, hotel_setup):
+        rows = hotel_setup.database.engine.execute(
+            "select * from entities where city = 'london' order by price_pn limit 3"
+        )
+        assert len(rows) <= 3
+        prices = [row["price_pn"] for row in rows]
+        assert prices == sorted(prices)

@@ -1,0 +1,65 @@
+"""Unit tests for k-means clustering."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kmeans import KMeans
+
+
+def three_blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+    points = np.vstack([rng.normal(size=(30, 2)) + center for center in centers])
+    return points
+
+
+class TestKMeans:
+    def test_finds_three_clusters(self):
+        result = KMeans(n_clusters=3, seed=0).fit(three_blobs())
+        assert len(set(result.assignments.tolist())) == 3
+
+    def test_assignments_cover_all_points(self):
+        points = three_blobs()
+        result = KMeans(n_clusters=3, seed=0).fit(points)
+        assert result.assignments.shape[0] == points.shape[0]
+
+    def test_medoids_are_valid_indices(self):
+        points = three_blobs()
+        result = KMeans(n_clusters=3, seed=0).fit(points)
+        assert all(0 <= index < len(points) for index in result.medoid_indices)
+
+    def test_medoid_belongs_to_its_cluster(self):
+        points = three_blobs()
+        result = KMeans(n_clusters=3, seed=0).fit(points)
+        for cluster, medoid in enumerate(result.medoid_indices):
+            assert result.assignments[medoid] == cluster
+
+    def test_inertia_decreases_with_more_clusters(self):
+        points = three_blobs()
+        one = KMeans(n_clusters=1, seed=0).fit(points).inertia
+        three = KMeans(n_clusters=3, seed=0).fit(points).inertia
+        assert three < one
+
+    def test_deterministic_given_seed(self):
+        points = three_blobs()
+        first = KMeans(n_clusters=3, seed=5).fit(points)
+        second = KMeans(n_clusters=3, seed=5).fit(points)
+        assert np.array_equal(first.assignments, second.assignments)
+
+    def test_more_clusters_than_points_is_clamped(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = KMeans(n_clusters=5, seed=0).fit(points)
+        assert result.centroids.shape[0] == 2
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2).fit(np.zeros((0, 2)))
+
+    def test_identical_points(self):
+        points = np.ones((10, 3))
+        result = KMeans(n_clusters=2, seed=0).fit(points)
+        assert result.inertia == pytest.approx(0.0)

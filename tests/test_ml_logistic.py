@@ -1,0 +1,98 @@
+"""Unit tests for logistic regression (binary and multiclass)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.logistic import LogisticRegression
+
+
+def linearly_separable(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int).tolist()
+    return X, y
+
+
+class TestBinary:
+    def test_fits_separable_data(self):
+        X, y = linearly_separable()
+        model = LogisticRegression(epochs=200).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_probabilities_in_unit_interval(self):
+        X, y = linearly_separable()
+        model = LogisticRegression().fit(X, y)
+        probabilities = model.predict_proba(X)
+        assert np.all(probabilities >= 0) and np.all(probabilities <= 1)
+
+    def test_probability_rows_sum_to_one(self):
+        X, y = linearly_separable()
+        model = LogisticRegression().fit(X, y)
+        assert np.allclose(model.predict_proba(X).sum(axis=1), 1.0)
+
+    def test_positive_probability_monotone_in_signal(self):
+        X, y = linearly_separable()
+        model = LogisticRegression().fit(X, y)
+        low = model.positive_probability(np.array([[-2.0, -2.0]]))[0]
+        high = model.positive_probability(np.array([[2.0, 2.0]]))[0]
+        assert high > low
+
+    def test_single_sample_prediction(self):
+        X, y = linearly_separable()
+        model = LogisticRegression().fit(X, y)
+        assert model.predict(np.array([3.0, 3.0])) in ([0], [1])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((5, 2)), [1, 1, 1, 1, 1])
+
+    def test_misaligned_labels_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((5, 2)), [0, 1])
+
+
+class TestMulticlass:
+    def test_three_class_accuracy(self):
+        rng = np.random.default_rng(1)
+        centers = {"a": (0, 0), "b": (5, 5), "c": (-5, 5)}
+        X, y = [], []
+        for label, center in centers.items():
+            points = rng.normal(size=(40, 2)) + np.array(center)
+            X.append(points)
+            y.extend([label] * 40)
+        X = np.vstack(X)
+        model = LogisticRegression(epochs=300, learning_rate=1.0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_multiclass_probabilities_sum_to_one(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0], [4.0], [5.0]])
+        y = ["low", "low", "mid", "mid", "high", "high"]
+        model = LogisticRegression(epochs=200).fit(X, y)
+        assert np.allclose(model.predict_proba(X).sum(axis=1), 1.0)
+
+    def test_positive_probability_requires_binary(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        model = LogisticRegression(epochs=10).fit(X, ["a", "b", "c"])
+        with pytest.raises(NotFittedError):
+            model.positive_probability(X)
+
+
+class TestOptions:
+    def test_without_standardization(self):
+        X, y = linearly_separable()
+        model = LogisticRegression(standardize=False, epochs=300).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_without_intercept(self):
+        X, y = linearly_separable()
+        model = LogisticRegression(fit_intercept=False, epochs=300).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_rejects_non_2d_features(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros(5), [0, 1, 0, 1, 0])

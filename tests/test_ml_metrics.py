@@ -1,0 +1,121 @@
+"""Unit tests for evaluation metrics (accuracy, F1, span F1, NDCG)."""
+
+import pytest
+
+from repro.ml.metrics import (
+    accuracy,
+    dcg,
+    extract_spans,
+    f1_score,
+    ndcg_at_k,
+    precision_recall_f1,
+    span_f1,
+)
+from repro.ml.split import train_test_split
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_half(self):
+        assert accuracy([1, 0], [1, 1]) == 0.5
+
+    def test_empty(self):
+        assert accuracy([], []) == 0.0
+
+    def test_misaligned(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 0])
+
+
+class TestF1:
+    def test_precision_recall_f1_counts(self):
+        precision, recall, f1 = precision_recall_f1(2, 4, 2)
+        assert precision == 0.5
+        assert recall == 1.0
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_zero_denominators(self):
+        assert precision_recall_f1(0, 0, 0) == (0.0, 0.0, 0.0)
+
+    def test_binary_f1(self):
+        assert f1_score([1, 1, 0, 0], [1, 0, 0, 0]) == pytest.approx(2 / 3)
+
+    def test_binary_f1_perfect(self):
+        assert f1_score([1, 0], [1, 0]) == 1.0
+
+
+class TestSpans:
+    def test_extract_spans(self):
+        spans = extract_spans(["O", "AS", "AS", "O", "OP"])
+        assert spans == {(1, 3, "AS"), (4, 5, "OP")}
+
+    def test_extract_spans_at_boundaries(self):
+        assert extract_spans(["AS", "O", "OP"]) == {(0, 1, "AS"), (2, 3, "OP")}
+
+    def test_span_f1_perfect(self):
+        gold = [["O", "AS", "OP"]]
+        assert span_f1(gold, gold) == 1.0
+
+    def test_span_f1_partial_overlap_counts_zero(self):
+        gold = [["AS", "AS", "O"]]
+        predicted = [["AS", "O", "O"]]
+        assert span_f1(gold, predicted) == 0.0
+
+    def test_span_f1_filtered_by_label(self):
+        gold = [["AS", "O", "OP"]]
+        predicted = [["AS", "O", "O"]]
+        assert span_f1(gold, predicted, label="AS") == 1.0
+        assert span_f1(gold, predicted, label="OP") == 0.0
+
+    def test_span_f1_misaligned_corpora(self):
+        with pytest.raises(ValueError):
+            span_f1([["O"]], [])
+
+
+class TestNdcg:
+    def test_dcg_discounts_positions(self):
+        assert dcg([1.0, 1.0]) == pytest.approx(1.0 + 1.0 / 1.5849625, rel=1e-3)
+
+    def test_perfect_ranking_scores_one(self):
+        gains = [3.0, 2.0, 1.0]
+        assert ndcg_at_k(gains, gains, k=3) == pytest.approx(1.0)
+
+    def test_worse_ranking_scores_lower(self):
+        ideal = [3.0, 2.0, 1.0]
+        assert ndcg_at_k([1.0, 2.0, 3.0], ideal, k=3) < 1.0
+
+    def test_zero_ideal_returns_zero(self):
+        assert ndcg_at_k([0.0], [0.0], k=1) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k([1.0], [1.0], k=0)
+
+    def test_bounded_by_one(self):
+        assert 0.0 <= ndcg_at_k([1.0, 0.0], [1.0, 1.0, 1.0], k=2) <= 1.0
+
+
+class TestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(list(range(10)), test_fraction=0.3, seed=0)
+        assert len(train) == 7
+        assert len(test) == 3
+
+    def test_disjoint_and_complete(self):
+        items = list(range(20))
+        train, test = train_test_split(items, test_fraction=0.25, seed=1)
+        assert sorted(train + test) == items
+
+    def test_deterministic(self):
+        items = list(range(15))
+        assert train_test_split(items, seed=2) == train_test_split(items, seed=2)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split([1, 2], test_fraction=1.5)
+
+    def test_two_items_split_one_each(self):
+        train, test = train_test_split([1, 2], test_fraction=0.5, seed=0)
+        assert len(train) == 1 and len(test) == 1

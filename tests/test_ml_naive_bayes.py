@@ -1,0 +1,69 @@
+"""Unit tests for the multinomial naive Bayes text classifier."""
+
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+
+TRAIN = [
+    ("very clean room", "cleanliness"),
+    ("spotless carpet", "cleanliness"),
+    ("dirty bathroom floor", "cleanliness"),
+    ("friendly staff at reception", "staff"),
+    ("rude staff member", "staff"),
+    ("helpful concierge", "staff"),
+    ("delicious breakfast buffet", "food"),
+    ("stale bread at breakfast", "food"),
+    ("tasty fresh fruit", "food"),
+]
+
+
+def make_model():
+    texts = [text for text, _label in TRAIN]
+    labels = [label for _text, label in TRAIN]
+    return MultinomialNaiveBayes().fit(texts, labels)
+
+
+class TestFit:
+    def test_classes_sorted(self):
+        assert make_model().classes == ["cleanliness", "food", "staff"]
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes().fit([], [])
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes().fit(["a"], [])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MultinomialNaiveBayes().predict("clean room")
+
+
+class TestPredict:
+    def test_in_domain_predictions(self):
+        model = make_model()
+        assert model.predict("clean room") == "cleanliness"
+        assert model.predict("friendly concierge") == "staff"
+        assert model.predict("fresh breakfast") == "food"
+
+    def test_predict_many(self):
+        model = make_model()
+        assert model.predict_many(["clean room", "tasty bread"]) == ["cleanliness", "food"]
+
+    def test_score_perfect_on_training_data(self):
+        model = make_model()
+        texts = [text for text, _label in TRAIN]
+        labels = [label for _text, label in TRAIN]
+        assert model.score(texts, labels) >= 0.8
+
+    def test_log_scores_cover_all_classes(self):
+        scores = make_model().log_scores("clean room")
+        assert set(scores) == {"cleanliness", "staff", "food"}
+
+    def test_unknown_words_still_predict_something(self):
+        assert make_model().predict("zzzz qqqq") in ("cleanliness", "staff", "food")
+
+    def test_score_empty_returns_zero(self):
+        assert make_model().score([], []) == 0.0

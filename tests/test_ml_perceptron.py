@@ -1,0 +1,87 @@
+"""Unit tests for the structured perceptron sequence tagger."""
+
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.perceptron import StructuredPerceptronTagger
+
+TAGS = ["O", "A", "B"]
+
+
+def simple_features(tokens, position):
+    return [f"w={tokens[position]}", "bias"]
+
+
+def make_training_data():
+    # "x" tokens are tag A, "y" tokens are tag B, everything else O.
+    sentences, tags = [], []
+    patterns = [
+        (["x", "z", "y"], ["A", "O", "B"]),
+        (["z", "x", "x"], ["O", "A", "A"]),
+        (["y", "y", "z"], ["B", "B", "O"]),
+        (["x", "y"], ["A", "B"]),
+        (["z", "z"], ["O", "O"]),
+    ]
+    for tokens, tag_sequence in patterns * 4:
+        sentences.append(tokens)
+        tags.append(tag_sequence)
+    return sentences, tags
+
+
+class TestTraining:
+    def test_learns_simple_mapping(self):
+        sentences, tags = make_training_data()
+        tagger = StructuredPerceptronTagger(simple_features, TAGS, epochs=5).fit(sentences, tags)
+        assert tagger.predict(["x", "z", "y"]) == ["A", "O", "B"]
+
+    def test_predict_many(self):
+        sentences, tags = make_training_data()
+        tagger = StructuredPerceptronTagger(simple_features, TAGS, epochs=5).fit(sentences, tags)
+        results = tagger.predict_many([["x"], ["y"]])
+        assert results == [["A"], ["B"]]
+
+    def test_empty_sentence_predicts_empty(self):
+        sentences, tags = make_training_data()
+        tagger = StructuredPerceptronTagger(simple_features, TAGS, epochs=2).fit(sentences, tags)
+        assert tagger.predict([]) == []
+
+    def test_unfitted_raises(self):
+        tagger = StructuredPerceptronTagger(simple_features, TAGS)
+        with pytest.raises(NotFittedError):
+            tagger.predict(["x"])
+
+    def test_misaligned_corpus_rejected(self):
+        tagger = StructuredPerceptronTagger(simple_features, TAGS)
+        with pytest.raises(ValueError):
+            tagger.fit([["x"]], [])
+
+    def test_misaligned_sentence_rejected(self):
+        tagger = StructuredPerceptronTagger(simple_features, TAGS)
+        with pytest.raises(ValueError):
+            tagger.fit([["x", "y"]], [["A"]])
+
+    def test_unknown_tag_rejected(self):
+        tagger = StructuredPerceptronTagger(simple_features, TAGS)
+        with pytest.raises(ValueError):
+            tagger.fit([["x"]], [["Z"]])
+
+    def test_deterministic_given_seed(self):
+        sentences, tags = make_training_data()
+        first = StructuredPerceptronTagger(simple_features, TAGS, epochs=3, seed=1).fit(sentences, tags)
+        second = StructuredPerceptronTagger(simple_features, TAGS, epochs=3, seed=1).fit(sentences, tags)
+        tokens = ["x", "y", "z", "x"]
+        assert first.predict(tokens) == second.predict(tokens)
+
+    def test_transitions_matter(self):
+        # Tag of a token depends on the previous token's tag when emissions tie.
+        sentences = [["a", "b"], ["a", "b"], ["c", "b"], ["c", "b"]] * 5
+        tags = [["A", "A"], ["A", "A"], ["O", "O"], ["O", "O"]] * 5
+
+        def context_free(tokens, position):
+            # "b" has identical features everywhere; only transitions can
+            # disambiguate its tag.
+            return [f"w={tokens[position]}"] if tokens[position] != "b" else ["bias"]
+
+        tagger = StructuredPerceptronTagger(context_free, TAGS, epochs=8).fit(sentences, tags)
+        assert tagger.predict(["a", "b"]) == ["A", "A"]
+        assert tagger.predict(["c", "b"]) == ["O", "O"]

@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Covers the algebraic laws of the fuzzy-logic variants, the mass-conservation
+invariants of marker summaries, BM25 non-negativity and self-retrieval, the
+tokenizer's idempotence, NDCG bounds, and the SQL builder/parser round trip.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fuzzy import ProductLogic, ZadehLogic
+from repro.core.markers import Marker, MarkerSummary
+from repro.core.query import SubjectiveQueryBuilder
+from repro.engine.sqlparser import parse_query
+from repro.ml.metrics import dcg, extract_spans, ndcg_at_k
+from repro.text.bm25 import Bm25Index
+from repro.text.tokenize import tokenize
+from repro.text.vocab import Vocabulary
+
+degrees = st.floats(min_value=0.0, max_value=1.0)
+degree_lists = st.lists(degrees, min_size=1, max_size=6)
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+texts = st.lists(words, min_size=1, max_size=12).map(" ".join)
+
+
+class TestFuzzyLogicLaws:
+    @given(degree_lists)
+    def test_product_conjunction_bounded_by_min(self, values):
+        assert ProductLogic().conjunction(values) <= min(values) + 1e-12
+
+    @given(degree_lists)
+    def test_product_disjunction_at_least_max(self, values):
+        assert ProductLogic().disjunction(values) >= max(values) - 1e-12
+
+    @given(degree_lists)
+    def test_results_stay_in_unit_interval(self, values):
+        for logic in (ProductLogic(), ZadehLogic()):
+            assert 0.0 <= logic.conjunction(values) <= 1.0
+            assert 0.0 <= logic.disjunction(values) <= 1.0
+
+    @given(degrees)
+    def test_double_negation(self, value):
+        for logic in (ProductLogic(), ZadehLogic()):
+            assert abs(logic.negation(logic.negation(value)) - value) < 1e-9
+
+    @given(degrees, degrees)
+    def test_de_morgan_product(self, a, b):
+        logic = ProductLogic()
+        left = logic.disjunction([a, b])
+        right = logic.negation(logic.conjunction([logic.negation(a), logic.negation(b)]))
+        assert abs(left - right) < 1e-9
+
+    @given(degrees, degrees, degrees)
+    def test_zadeh_conjunction_associative(self, a, b, c):
+        logic = ZadehLogic()
+        assert logic.conjunction([logic.conjunction([a, b]), c]) == \
+            logic.conjunction([a, logic.conjunction([b, c])])
+
+    @given(degree_lists)
+    def test_zadeh_tighter_than_product_on_conjunction(self, values):
+        assert ProductLogic().conjunction(values) <= ZadehLogic().conjunction(values) + 1e-12
+
+
+class TestMarkerSummaryInvariants:
+    contributions = st.lists(
+        st.tuples(st.sampled_from(["good", "ok", "bad"]),
+                  st.floats(min_value=0.0, max_value=5.0),
+                  st.floats(min_value=-1.0, max_value=1.0)),
+        min_size=0, max_size=30,
+    )
+
+    def make_summary(self):
+        return MarkerSummary(
+            "attr", [Marker("good", 0, 0.8), Marker("ok", 1, 0.0), Marker("bad", 2, -0.8)]
+        )
+
+    @given(contributions)
+    def test_total_equals_sum_of_counts(self, rows):
+        summary = self.make_summary()
+        for marker, weight, sentiment in rows:
+            summary.add_phrase({marker: weight}, sentiment=sentiment)
+        assert abs(summary.total() - sum(summary.counts().values())) < 1e-9
+
+    @given(contributions)
+    def test_fractions_sum_to_one_or_zero(self, rows):
+        summary = self.make_summary()
+        for marker, weight, sentiment in rows:
+            summary.add_phrase({marker: weight}, sentiment=sentiment)
+        total_fraction = sum(summary.fractions().values())
+        assert abs(total_fraction - (1.0 if summary.total() > 0 else 0.0)) < 1e-9
+
+    @given(contributions)
+    def test_overall_sentiment_bounded(self, rows):
+        summary = self.make_summary()
+        for marker, weight, sentiment in rows:
+            summary.add_phrase({marker: weight}, sentiment=sentiment)
+        assert -1.0 - 1e-9 <= summary.overall_sentiment() <= 1.0 + 1e-9
+
+    @given(contributions, contributions)
+    def test_merge_adds_masses(self, first_rows, second_rows):
+        first, second = self.make_summary(), self.make_summary()
+        for marker, weight, sentiment in first_rows:
+            first.add_phrase({marker: weight}, sentiment=sentiment)
+        for marker, weight, sentiment in second_rows:
+            second.add_phrase({marker: weight}, sentiment=sentiment)
+        expected = first.total() + second.total()
+        first.merge(second)
+        assert abs(first.total() - expected) < 1e-9
+
+
+class TestTextInvariants:
+    @given(texts)
+    def test_tokenize_idempotent(self, text):
+        tokens = tokenize(text)
+        assert tokenize(" ".join(tokens)) == tokens
+
+    @given(texts)
+    def test_tokens_are_lowercase(self, text):
+        assert all(token == token.lower() for token in tokenize(text))
+
+    @given(st.lists(texts, min_size=1, max_size=8))
+    def test_vocabulary_counts_match_corpus(self, documents):
+        vocabulary = Vocabulary(min_count=1)
+        tokenised = [tokenize(document) for document in documents]
+        vocabulary.add_corpus(tokenised)
+        vocabulary.build()
+        assert vocabulary.total_count() == sum(len(tokens) for tokens in tokenised)
+
+    @given(st.lists(texts, min_size=1, max_size=8), texts)
+    @settings(max_examples=30)
+    def test_bm25_scores_nonnegative(self, documents, query):
+        index = Bm25Index()
+        for doc_id, document in enumerate(documents):
+            index.add_document(doc_id, document)
+        for hit in index.search(query, top_k=10):
+            assert hit.score >= 0.0
+
+    @given(st.lists(texts, min_size=2, max_size=6))
+    @settings(max_examples=30)
+    def test_bm25_document_scores_itself_positively(self, documents):
+        index = Bm25Index(drop_stopwords=False)
+        for doc_id, document in enumerate(documents):
+            index.add_document(doc_id, document)
+        if tokenize(documents[0]):
+            assert index.score(0, documents[0]) >= 0.0
+
+
+class TestMetricInvariants:
+    gains = st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=10)
+
+    @given(gains)
+    def test_dcg_nonnegative(self, values):
+        assert dcg(values) >= 0.0
+
+    @given(gains)
+    def test_ndcg_bounded(self, values):
+        ideal = sorted(values, reverse=True)
+        score = ndcg_at_k(values, ideal, k=len(values))
+        assert 0.0 <= score <= 1.0 + 1e-9
+
+    @given(gains)
+    def test_ideal_ordering_achieves_one(self, values):
+        ordered = sorted(values, reverse=True)
+        if sum(ordered) == 0:
+            return
+        assert abs(ndcg_at_k(ordered, ordered, k=len(ordered)) - 1.0) < 1e-9
+
+    @given(st.lists(st.sampled_from(["O", "AS", "OP"]), min_size=0, max_size=20))
+    def test_extracted_spans_are_disjoint_and_typed(self, tags):
+        spans = extract_spans(tags)
+        for start, end, label in spans:
+            assert 0 <= start < end <= len(tags)
+            assert all(tags[i] == label for i in range(start, end))
+        ordered = sorted(spans)
+        for (s1, e1, _l1), (s2, _e2, _l2) in zip(ordered, ordered[1:]):
+            assert e1 <= s2
+
+
+class TestQueryBuilderRoundTrip:
+    predicate_texts = st.lists(
+        st.text(alphabet=string.ascii_lowercase + " ", min_size=1, max_size=20)
+        .filter(lambda s: s.strip()),
+        min_size=1, max_size=5,
+    )
+
+    @given(predicate_texts, st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50)
+    def test_subjective_predicates_round_trip(self, predicates, limit):
+        builder = SubjectiveQueryBuilder("Entities")
+        for predicate in predicates:
+            builder.where_subjective(predicate)
+        builder.limit(limit)
+        statement = parse_query(builder.to_sql())
+        parsed = statement.subjective_predicates()
+        assert [" ".join(p.split()) for p in parsed] == \
+            [" ".join(p.split()) for p in predicates]
+        assert statement.limit == limit
+
+    @given(st.floats(min_value=0, max_value=1000),
+           st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+    @settings(max_examples=50)
+    def test_numeric_conditions_round_trip(self, value, operator):
+        sql = SubjectiveQueryBuilder("T").where_compare("price", operator, round(value, 2)).to_sql()
+        statement = parse_query(sql)
+        assert statement.where.operator == operator

@@ -1,0 +1,99 @@
+"""Unit tests for the inverted index and Okapi BM25 ranking."""
+
+import pytest
+
+from repro.text.bm25 import Bm25Index
+
+DOCUMENTS = [
+    (1, "the room was very clean and spotless"),
+    (2, "the room was dirty and the carpet was stained"),
+    (3, "breakfast was delicious with fresh fruit"),
+    (4, "the staff was friendly and helpful"),
+    (5, "clean clean clean room room"),
+]
+
+
+def make_index(**kwargs):
+    index = Bm25Index(**kwargs)
+    index.add_corpus(DOCUMENTS)
+    return index
+
+
+class TestIndexing:
+    def test_len(self):
+        assert len(make_index()) == 5
+
+    def test_contains(self):
+        index = make_index()
+        assert 1 in index
+        assert 99 not in index
+
+    def test_duplicate_id_rejected(self):
+        index = make_index()
+        with pytest.raises(ValueError):
+            index.add_document(1, "again")
+
+    def test_average_length_positive(self):
+        assert make_index().average_length > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Bm25Index(k1=-1)
+        with pytest.raises(ValueError):
+            Bm25Index(b=2.0)
+
+
+class TestScoring:
+    def test_relevant_document_scores_higher(self):
+        index = make_index()
+        assert index.score(1, "clean room") > index.score(3, "clean room")
+
+    def test_score_of_unindexed_document_is_zero(self):
+        assert make_index().score(99, "clean") == 0.0
+
+    def test_query_with_no_hits_scores_zero(self):
+        assert make_index().score(1, "zzzz") == 0.0
+
+    def test_idf_decreases_with_frequency(self):
+        index = make_index()
+        assert index.idf("delicious") > index.idf("room")
+
+    def test_idf_nonnegative(self):
+        index = make_index()
+        for token in ("room", "clean", "zzzz", "the"):
+            assert index.idf(token) >= 0.0
+
+    def test_term_frequency_saturates(self):
+        index = make_index()
+        # Document 5 repeats "clean" three times but should not be three
+        # times more relevant than document 1.
+        assert index.score(5, "clean") < 3 * index.score(1, "clean")
+
+
+class TestSearch:
+    def test_top_document_is_most_relevant(self):
+        hits = make_index().search("clean room", top_k=3)
+        assert hits[0].doc_id in (1, 5)
+
+    def test_respects_top_k(self):
+        assert len(make_index().search("the room", top_k=2)) == 2
+
+    def test_empty_query_returns_nothing(self):
+        assert make_index().search("") == []
+
+    def test_query_of_unknown_terms_returns_nothing(self):
+        assert make_index().search("zzzz qqqq") == []
+
+    def test_scores_sorted_descending(self):
+        hits = make_index().search("clean room staff", top_k=5)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_stopwords_ignored_by_default(self):
+        hits = make_index().search("the was and", top_k=5)
+        assert hits == []
+
+    def test_stopwords_kept_when_configured(self):
+        index = Bm25Index(drop_stopwords=False)
+        index.add_corpus(DOCUMENTS)
+        assert index.search("the", top_k=5)

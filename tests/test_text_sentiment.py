@@ -1,0 +1,73 @@
+"""Unit tests for the lexicon/rule sentiment analyzer."""
+
+from repro.text.sentiment import SentimentAnalyzer
+
+
+class TestPolarity:
+    analyzer = SentimentAnalyzer()
+
+    def test_positive_word(self):
+        assert self.analyzer.polarity("the room was clean") > 0
+
+    def test_negative_word(self):
+        assert self.analyzer.polarity("the room was dirty") < 0
+
+    def test_strong_beats_weak(self):
+        assert self.analyzer.polarity("spotless room") > self.analyzer.polarity("decent room")
+
+    def test_negation_flips_positive(self):
+        assert self.analyzer.polarity("the room was not clean") < 0
+
+    def test_negation_flips_negative(self):
+        assert self.analyzer.polarity("the food was not bad") > 0
+
+    def test_intensifier_boosts(self):
+        plain = self.analyzer.score("clean room").positive
+        boosted = self.analyzer.score("very clean room").positive
+        assert boosted > plain
+
+    def test_diminisher_reduces(self):
+        plain = self.analyzer.score("clean room").positive
+        reduced = self.analyzer.score("slightly clean room").positive
+        assert reduced < plain
+
+    def test_no_opinion_words_is_neutral(self):
+        score = self.analyzer.score("we arrived at seven in the evening")
+        assert score.polarity == 0.0
+        assert score.num_opinion_words == 0
+
+    def test_polarity_bounds(self):
+        for text in ("amazing wonderful perfect", "terrible awful disgusting", "ok average"):
+            assert -1.0 <= self.analyzer.polarity(text) <= 1.0
+
+    def test_mixed_sentence_is_between_extremes(self):
+        mixed = self.analyzer.polarity("the room was clean but the staff was rude")
+        assert self.analyzer.polarity("rude staff") < mixed < self.analyzer.polarity("clean room")
+
+
+class TestScoreFlags:
+    analyzer = SentimentAnalyzer()
+
+    def test_is_positive(self):
+        assert self.analyzer.score("wonderful breakfast").is_positive
+
+    def test_is_negative(self):
+        assert self.analyzer.score("filthy bathroom").is_negative
+
+    def test_positiveness_maps_to_unit_interval(self):
+        for text in ("great", "awful", "the", "not clean"):
+            assert 0.0 <= self.analyzer.positiveness(text) <= 1.0
+
+    def test_positiveness_ordering(self):
+        assert self.analyzer.positiveness("great hotel") > self.analyzer.positiveness("awful hotel")
+
+
+class TestCustomLexicon:
+    def test_extra_lexicon_overrides(self):
+        analyzer = SentimentAnalyzer(extra_lexicon={"banging": 0.9})
+        assert analyzer.polarity("banging breakfast") > 0
+
+    def test_lexicon_polarity_lookup(self):
+        analyzer = SentimentAnalyzer()
+        assert analyzer.lexicon_polarity("clean") > 0
+        assert analyzer.lexicon_polarity("zzzz") is None

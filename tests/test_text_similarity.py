@@ -1,0 +1,66 @@
+"""Unit tests for the k-d tree index and the Appendix-B substitution index."""
+
+import pytest
+
+from repro.text.similarity import KdTreeIndex, NearestPhraseIndex
+
+PHRASES = [
+    "very clean room",
+    "dirty room",
+    "spotless room",
+    "friendly staff",
+    "rude staff",
+    "delicious breakfast",
+    "stale breakfast",
+    "quiet room",
+    "noisy room",
+]
+
+
+class TestKdTreeIndex:
+    def test_indexes_all_phrases(self, small_embedder):
+        index = KdTreeIndex(small_embedder, PHRASES)
+        assert len(index) == len(PHRASES)
+
+    def test_exact_phrase_is_its_own_nearest(self, small_embedder):
+        index = KdTreeIndex(small_embedder, PHRASES)
+        match = index.query("very clean room", top_n=1)[0]
+        assert match.phrase == "very clean room"
+        assert match.score == pytest.approx(1.0, abs=1e-6)
+
+    def test_top_n_returns_requested_count(self, small_embedder):
+        index = KdTreeIndex(small_embedder, PHRASES)
+        assert len(index.query("clean room", top_n=3)) == 3
+
+    def test_unknown_words_return_empty(self, small_embedder):
+        index = KdTreeIndex(small_embedder, PHRASES)
+        assert index.query("zzzz qqqq") == []
+
+    def test_empty_phrase_list_rejected(self, small_embedder):
+        with pytest.raises(ValueError):
+            KdTreeIndex(small_embedder, [])
+
+
+class TestNearestPhraseIndex:
+    def test_exact_match_is_fast_hit(self, small_embedder):
+        index = NearestPhraseIndex(small_embedder, PHRASES)
+        match = index.query("dirty room")
+        assert match.phrase == "dirty room"
+        assert index.fast_hits == 1
+
+    def test_fast_hit_rate_tracks_lookups(self, small_embedder):
+        index = NearestPhraseIndex(small_embedder, PHRASES)
+        index.query("dirty room")
+        index.query("extraordinarily strange query words")
+        assert index.lookups == 2
+        assert 0.0 <= index.fast_hit_rate <= 1.0
+
+    def test_falls_back_to_tree_search(self, small_embedder):
+        index = NearestPhraseIndex(small_embedder, PHRASES)
+        match = index.query("breakfast was delicious and fresh")
+        assert match is not None
+        assert match.phrase in PHRASES
+
+    def test_deduplicates_phrases(self, small_embedder):
+        index = NearestPhraseIndex(small_embedder, ["clean room", "clean room"])
+        assert len(index._phrases) == 1

@@ -1,0 +1,98 @@
+"""Unit tests for the tokenizer and sentence splitter."""
+
+import pytest
+
+from repro.text.tokenize import (
+    iter_token_windows,
+    ngrams,
+    phrase_tokens,
+    sentences,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("The Room") == ["the", "room"]
+
+    def test_splits_on_punctuation(self):
+        assert tokenize("clean, tidy; spotless!") == ["clean", "tidy", "spotless"]
+
+    def test_keeps_intra_word_apostrophes(self):
+        assert tokenize("don't worry") == ["don't", "worry"]
+
+    def test_keeps_hyphenated_words(self):
+        assert tokenize("old-fashioned decor") == ["old-fashioned", "decor"]
+
+    def test_keeps_numbers(self):
+        assert tokenize("room 42 was great") == ["room", "42", "was", "great"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_only_punctuation(self):
+        assert tokenize("!!! ... ???") == []
+
+    def test_drop_stopwords(self):
+        tokens = tokenize("the room was very clean", keep_stopwords=False)
+        assert "the" not in tokens
+        assert "was" not in tokens
+        assert "clean" in tokens
+
+    def test_negations_survive_stopword_removal(self):
+        tokens = tokenize("not clean at all", keep_stopwords=False)
+        assert "not" in tokens
+
+
+class TestSentences:
+    def test_splits_on_periods(self):
+        assert sentences("First one. Second one.") == ["First one", "Second one"]
+
+    def test_splits_on_exclamation_and_question(self):
+        result = sentences("Great stay! Would we return? Maybe.")
+        assert len(result) == 3
+
+    def test_splits_on_newlines(self):
+        assert sentences("line one\nline two") == ["line one", "line two"]
+
+    def test_no_terminal_punctuation(self):
+        assert sentences("just one sentence") == ["just one sentence"]
+
+    def test_empty(self):
+        assert sentences("") == []
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_unigrams(self):
+        assert ngrams(["a", "b"], 1) == [("a",), ("b",)]
+
+    def test_too_short(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+
+class TestWindows:
+    def test_window_contents(self):
+        pairs = list(iter_token_windows(["a", "b", "c"], window=1))
+        assert pairs[0] == ("a", ["b"])
+        assert pairs[1] == ("b", ["a", "c"])
+        assert pairs[2] == ("c", ["b"])
+
+    def test_window_excludes_center(self):
+        for center, context in iter_token_windows(["x", "y", "z"], window=2):
+            assert center not in context or context.count(center) < 2
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            list(iter_token_windows(["a"], window=0))
+
+
+class TestPhraseTokens:
+    def test_drops_empty_phrases(self):
+        assert phrase_tokens(["clean room", "", "!!!"]) == [["clean", "room"]]

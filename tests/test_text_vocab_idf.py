@@ -1,0 +1,97 @@
+"""Unit tests for the vocabulary and document-frequency statistics."""
+
+import math
+
+import pytest
+
+from repro.text.idf import DocumentFrequencies
+from repro.text.vocab import Vocabulary
+
+
+class TestVocabulary:
+    def make(self, min_count=1):
+        vocabulary = Vocabulary(min_count=min_count)
+        vocabulary.add_corpus([
+            ["clean", "room", "clean"],
+            ["dirty", "room"],
+            ["clean", "bathroom"],
+        ])
+        return vocabulary.build()
+
+    def test_len_counts_unique_tokens(self):
+        assert len(self.make()) == 4
+
+    def test_min_count_filters(self):
+        vocabulary = self.make(min_count=2)
+        assert "clean" in vocabulary
+        assert "bathroom" not in vocabulary
+
+    def test_most_frequent_gets_lowest_id(self):
+        vocabulary = self.make()
+        assert vocabulary.id_of("clean") == 0
+
+    def test_id_token_roundtrip(self):
+        vocabulary = self.make()
+        for token in vocabulary:
+            assert vocabulary.token_of(vocabulary.id_of(token)) == token
+
+    def test_unknown_token_id_is_none(self):
+        assert self.make().id_of("pool") is None
+
+    def test_count(self):
+        vocabulary = self.make()
+        assert vocabulary.count("clean") == 3
+        assert vocabulary.count("missing") == 0
+
+    def test_total_count(self):
+        assert self.make().total_count() == 7
+
+    def test_encode_skips_unknown(self):
+        vocabulary = self.make()
+        assert len(vocabulary.encode(["clean", "pool"])) == 1
+
+    def test_encode_raises_when_strict(self):
+        with pytest.raises(KeyError):
+            self.make().encode(["pool"], skip_unknown=False)
+
+    def test_most_common(self):
+        assert self.make().most_common(1)[0][0] == "clean"
+
+
+class TestDocumentFrequencies:
+    def make(self):
+        frequencies = DocumentFrequencies()
+        frequencies.add_corpus([
+            ["clean", "room"],
+            ["clean", "bathroom"],
+            ["dirty", "room"],
+        ])
+        return frequencies
+
+    def test_num_documents(self):
+        assert self.make().num_documents == 3
+
+    def test_document_frequency(self):
+        frequencies = self.make()
+        assert frequencies.document_frequency("clean") == 2
+        assert frequencies.document_frequency("pool") == 0
+
+    def test_duplicates_in_one_document_count_once(self):
+        frequencies = DocumentFrequencies()
+        frequencies.add_document(["clean", "clean"])
+        assert frequencies.document_frequency("clean") == 1
+
+    def test_rarer_tokens_have_higher_idf(self):
+        frequencies = self.make()
+        assert frequencies.idf("dirty") > frequencies.idf("clean")
+
+    def test_unseen_token_has_max_idf(self):
+        frequencies = self.make()
+        expected = math.log((1 + 3) / 1) + 1.0
+        assert frequencies.idf("pool") == pytest.approx(expected)
+
+    def test_average_idf_positive(self):
+        assert self.make().average_idf() > 0
+
+    def test_average_idf_empty(self):
+        assert DocumentFrequencies().average_idf() == 1.0
