@@ -6,7 +6,6 @@ workload under the two fuzzy variants and under crisp per-condition
 thresholds (the Appendix-A strawman).
 """
 
-import pytest
 
 from benchmarks.conftest import print_result
 from repro.core.fuzzy import ProductLogic, ZadehLogic

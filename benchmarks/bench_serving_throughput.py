@@ -1,0 +1,90 @@
+"""Serving-layer throughput: cold single-query processing vs warm-cache serving.
+
+Models a production traffic pattern on the hotel workload: a pool of
+distinct queries (objective option + subjective predicates) served
+repeatedly, as popular queries are in practice.
+
+* **cold** — the seed behaviour: every request builds a fresh
+  :class:`SubjectiveQueryProcessor` and executes from scratch (parse,
+  interpret, per-entity scoring);
+* **warm** — a :class:`SubjectiveQueryEngine` whose plan/candidate/membership
+  caches were populated by a first pass over the query pool.
+
+The assertions pin the serving layer's contract: warm-cache repeated-query
+throughput at least 3× the cold path, and rankings identical to the
+sequential processor for every query.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_QUERIES, print_result
+from repro.core import SubjectiveQueryProcessor
+from repro.datasets.queries import HOTEL_OPTIONS, generate_workload, hotel_predicate_bank
+from repro.experiments.common import ExperimentTable
+from repro.serving import SubjectiveQueryEngine
+
+pytestmark = pytest.mark.slow
+
+
+def _hotel_workload(num_queries: int) -> list[str]:
+    """Distinct hotel-workload queries across options and difficulties."""
+    bank = hotel_predicate_bank()
+    sqls: list[str] = []
+    per_cell = max(1, num_queries // (len(HOTEL_OPTIONS) * 2))
+    for option_name, conditions in sorted(HOTEL_OPTIONS.items()):
+        for difficulty in ("easy", "medium"):
+            workload = generate_workload(
+                bank, option_name, conditions, difficulty,
+                num_queries=per_cell, domain="hotels", seed=17,
+            )
+            sqls.extend(query.sql for query in workload)
+    return sqls
+
+
+def test_serving_throughput_and_equivalence(hotel_setup_bench):
+    database = hotel_setup_bench.database
+    sqls = _hotel_workload(max(8, BENCH_QUERIES))
+    repeats = 3
+
+    # Cold: a fresh processor per request, the seed's serving story.
+    cold_started = time.perf_counter()
+    cold_results = [SubjectiveQueryProcessor(database).execute(sql) for sql in sqls]
+    cold_seconds = time.perf_counter() - cold_started
+    cold_qps = len(sqls) / cold_seconds
+
+    # Warm: populate the caches once, then measure repeated traffic.
+    engine = SubjectiveQueryEngine(database=database)
+    engine.run_batch(sqls)
+    warm_batch = engine.run_batch(sqls * repeats)
+    warm_qps = warm_batch.queries_per_second
+    speedup = warm_qps / cold_qps
+
+    # run_batch() must reproduce the sequential processor's rankings exactly.
+    for cold, warm in zip(cold_results, warm_batch.results):
+        assert warm.entity_ids == cold.entity_ids
+        assert [entity.score for entity in warm] == [entity.score for entity in cold]
+
+    snapshot = engine.stats_snapshot()
+    table = ExperimentTable(
+        title="Serving throughput (hotel workload)",
+        columns=["path", "queries", "seconds", "qps"],
+    )
+    table.add_row("cold (fresh processor)", len(sqls), round(cold_seconds, 4), round(cold_qps, 1))
+    table.add_row(
+        "warm (cached engine)", len(warm_batch), round(warm_batch.elapsed_seconds, 4),
+        round(warm_qps, 1),
+    )
+    table.add_row("speedup", "", "", round(speedup, 2))
+    print_result(table.format())
+    print_result(
+        "cache hit rates: "
+        f"plan={snapshot['plan_cache']['hit_rate']:.3f} "
+        f"membership={snapshot['membership_cache']['hit_rate']:.3f} "
+        f"candidate={snapshot['candidate_cache']['hit_rate']:.3f}"
+    )
+
+    assert speedup >= 3.0, f"warm-cache throughput only {speedup:.2f}x the cold path"

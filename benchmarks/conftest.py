@@ -3,31 +3,36 @@
 The benchmarks regenerate the paper's tables and figures at a laptop-friendly
 scale.  Domain setups (synthetic corpus + fully built subjective database)
 are expensive, so they are built once per benchmark session and shared.
+Scale knobs and the setup construction live in :mod:`repro.testing`
+(``REPRO_BENCH_ENTITIES`` / ``REPRO_BENCH_REVIEWS`` / ``REPRO_BENCH_QUERIES``
+environment variables).
 
-Scale knobs can be overridden through environment variables:
-
-* ``REPRO_BENCH_ENTITIES`` (default 60) — entities per domain;
-* ``REPRO_BENCH_REVIEWS``  (default 18) — mean reviews per entity;
-* ``REPRO_BENCH_QUERIES``  (default 10) — queries per workload cell.
+Every test collected from this directory is marked ``slow`` so the default
+CI test run can deselect benchmark-backed tests with ``-m "not slow"``.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-from repro.experiments.common import DomainSetup, prepare_domain
+from repro.experiments.common import DomainSetup
+from repro.testing import bench_scale, build_domain_setup, print_result
 
-BENCH_ENTITIES = int(os.environ.get("REPRO_BENCH_ENTITIES", "60"))
-BENCH_REVIEWS = int(os.environ.get("REPRO_BENCH_REVIEWS", "18"))
-BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "10"))
+__all__ = ["BENCH_ENTITIES", "BENCH_REVIEWS", "BENCH_QUERIES", "print_result"]
+
+BENCH_ENTITIES, BENCH_REVIEWS, BENCH_QUERIES = bench_scale()
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Mark every benchmark test as slow (registered in pyproject.toml)."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")
 def hotel_setup_bench() -> DomainSetup:
     """Hotel domain at benchmark scale."""
-    return prepare_domain(
+    return build_domain_setup(
         "hotels", num_entities=BENCH_ENTITIES, reviews_per_entity=BENCH_REVIEWS, seed=0
     )
 
@@ -35,7 +40,7 @@ def hotel_setup_bench() -> DomainSetup:
 @pytest.fixture(scope="session")
 def restaurant_setup_bench() -> DomainSetup:
     """Restaurant domain at benchmark scale (fewer reviews per entity, as in the paper)."""
-    return prepare_domain(
+    return build_domain_setup(
         "restaurants",
         num_entities=BENCH_ENTITIES,
         reviews_per_entity=max(8, int(BENCH_REVIEWS * 0.75)),
@@ -51,11 +56,6 @@ def hotel_setup_dense() -> DomainSetup:
     reviews (the Booking.com corpus averages ~345 reviews per hotel); this
     setup trades entity count for review density to reproduce that regime.
     """
-    return prepare_domain(
+    return build_domain_setup(
         "hotels", num_entities=24, reviews_per_entity=60, seed=1, num_markers=10
     )
-
-
-def print_result(text: str) -> None:
-    """Print a formatted experiment table under pytest-benchmark output."""
-    print("\n" + text + "\n")

@@ -6,7 +6,9 @@ domains, markers, marker summaries), its query language and processor
 construction pipeline (opinion extraction, attribute classification, marker
 discovery, aggregation), the baselines of the evaluation, and synthetic
 datasets plus an experiment harness that regenerates every table and figure
-of the paper's evaluation section.
+of the paper's evaluation section.  On top of the paper, ``repro.serving``
+adds a production-style serving layer (plan/membership caches, batch
+scoring, ``run_batch``) — see :class:`repro.serving.SubjectiveQueryEngine`.
 
 Quick start::
 
@@ -24,6 +26,6 @@ Quick start::
         print(entity.entity_id, round(entity.score, 3))
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

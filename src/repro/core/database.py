@@ -22,7 +22,7 @@ the IR baseline).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Mapping
 
 import numpy as np
@@ -117,6 +117,21 @@ class SubjectiveDatabase:
         self.review_index: Bm25Index | None = None
         self.entity_index: Bm25Index | None = None
         self._next_extraction_id = 0
+        self._data_version = 0
+
+    # --------------------------------------------------------- change tracking
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter bumped by every ingest or model (re)build.
+
+        Serving-layer caches (query plans, membership degrees) snapshot this
+        value and drop their contents when it moves, so cached results can
+        never outlive the data that produced them.
+        """
+        return self._data_version
+
+    def _bump_version(self) -> None:
+        self._data_version += 1
 
     # ----------------------------------------------------------- engine DDL
     def _create_engine_tables(self) -> None:
@@ -187,6 +202,7 @@ class SubjectiveDatabase:
         for attribute in self.schema.objective_attributes:
             row[attribute.name] = objective.get(attribute.name)
         self.engine.table("entities").insert(row)
+        self._bump_version()
         return record
 
     def entities(self) -> list[EntityRecord]:
@@ -225,6 +241,7 @@ class SubjectiveDatabase:
                 "helpful_votes": review.helpful_votes,
             }
         )
+        self._bump_version()
 
     def add_reviews(self, reviews: Iterable[ReviewRecord]) -> int:
         count = 0
@@ -307,6 +324,7 @@ class SubjectiveDatabase:
         )
         # The linguistic domain of the attribute grows with every extraction.
         self.schema.subjective(attribute).domain.add(record.phrase)
+        self._bump_version()
         return record
 
     def extractions(
@@ -367,6 +385,7 @@ class SubjectiveDatabase:
         self.entity_index = Bm25Index()
         for entity_id in self._entities:
             self.entity_index.add_document(entity_id, self.entity_document(entity_id))
+        self._bump_version()
 
     def phrase_vector(self, phrase: str) -> np.ndarray | None:
         """Embedding of a phrase, or ``None`` when text models are not fitted."""
@@ -378,6 +397,7 @@ class SubjectiveDatabase:
     def set_variation_marker(self, attribute: str, variation: str, marker: str) -> None:
         """Record which marker a linguistic variation was assigned to."""
         self._variation_marker[(attribute, variation)] = marker
+        self._bump_version()
 
     def variation_marker(self, attribute: str, variation: str) -> str | None:
         """Marker assigned to a linguistic variation (None if never aggregated)."""
@@ -408,6 +428,7 @@ class SubjectiveDatabase:
             table.insert(row)
         else:
             table.update(str(entity_id), {summary.attribute: summary.to_record()})
+        self._bump_version()
 
     def marker_summary(self, entity_id: Hashable, attribute: str) -> MarkerSummary | None:
         """The stored marker summary of (entity, attribute), or ``None``."""
@@ -425,6 +446,7 @@ class SubjectiveDatabase:
         """Drop all marker summaries and their provenance (before a rebuild)."""
         self._summaries.clear()
         self.provenance.clear()
+        self._bump_version()
 
     # ------------------------------------------------------------ provenance
     def explain(self, entity_id: Hashable, attribute: str, marker: str,

@@ -26,7 +26,6 @@ import enum
 import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Hashable
 
 from repro.core.database import SubjectiveDatabase
 from repro.errors import InterpretationError

@@ -36,6 +36,26 @@ class SummaryKind(enum.Enum):
     CATEGORICAL = "categorical"
 
 
+@dataclass
+class SummaryArrays:
+    """Contiguous array view of one marker summary, in marker order.
+
+    Built once per summary state and cached; membership functions read these
+    arrays instead of performing per-marker dict lookups, which is what makes
+    batch scoring over many entities a sequence of array passes.  ``total``
+    and the derived ``fractions``/``average_sentiments`` reproduce the exact
+    arithmetic of the scalar :class:`MarkerSummary` accessors so degrees are
+    bit-identical whichever path computes them.
+    """
+
+    counts: np.ndarray
+    sentiment_sums: np.ndarray
+    total: float
+    fractions: np.ndarray
+    average_sentiments: np.ndarray
+    vector_sums: list[np.ndarray | None]
+
+
 @dataclass(frozen=True)
 class Marker:
     """One marker of a subjective attribute.
@@ -100,6 +120,7 @@ class MarkerSummary:
         self.num_phrases = 0.0
         self.num_reviews = 0
         self.num_unmatched = 0.0
+        self._arrays: SummaryArrays | None = None
 
     # ------------------------------------------------------------ structure
     @property
@@ -145,6 +166,7 @@ class MarkerSummary:
             if vector is not None and self._dimension:
                 self._vector_sums[name] = self._vector_sums[name] + vector * weight
         self.num_phrases += sum(contributions.values())
+        self._arrays = None
 
     def add_unmatched(self, count: float = 1.0) -> None:
         """Record phrases of the attribute that matched no marker."""
@@ -162,6 +184,7 @@ class MarkerSummary:
         self.num_phrases += other.num_phrases
         self.num_reviews += other.num_reviews
         self.num_unmatched += other.num_unmatched
+        self._arrays = None
 
     # ------------------------------------------------------------- queries
     def count(self, marker_name: str) -> float:
@@ -213,6 +236,43 @@ class MarkerSummary:
         if count == 0.0:
             return np.zeros(self._dimension)
         return self._vector_sums[marker_name] / count
+
+    def arrays(self) -> SummaryArrays:
+        """Cached array view of the summary (see :class:`SummaryArrays`).
+
+        ``total`` is accumulated with the same sequential left-to-right sum
+        as :meth:`total`, and the derived arrays use the same per-element
+        guards as the scalar accessors, so values are bit-identical.
+        """
+        if self._arrays is None:
+            names = self.marker_names
+            counts = np.array([self._counts[name] for name in names], dtype=np.float64)
+            sentiment_sums = np.array(
+                [self._sentiment_sums[name] for name in names], dtype=np.float64
+            )
+            total = sum(self._counts.values())
+            if total == 0.0:
+                fractions = np.zeros(len(names))
+            else:
+                fractions = counts / total
+            average_sentiments = np.array(
+                [
+                    (self._sentiment_sums[name] / self._counts[name])
+                    if self._counts[name] != 0.0
+                    else 0.0
+                    for name in names
+                ],
+                dtype=np.float64,
+            )
+            self._arrays = SummaryArrays(
+                counts=counts,
+                sentiment_sums=sentiment_sums,
+                total=total,
+                fractions=fractions,
+                average_sentiments=average_sentiments,
+                vector_sums=[self._vector_sums[name] for name in names],
+            )
+        return self._arrays
 
     def dominant_marker(self) -> Marker:
         """The marker holding the largest share of the phrase mass."""

@@ -63,31 +63,78 @@ def _phrase_polarity(phrase: str) -> float:
     return cached
 
 
-def _marker_similarities(
-    summary: MarkerSummary, phrase: str, embedder: PhraseEmbedder | None
-) -> list[float]:
+@dataclass
+class PhraseContext:
+    """Per-phrase quantities hoisted out of per-entity scoring.
+
+    Scoring one predicate against many candidate entities repeats the same
+    phrase-level work (sentiment polarity, phrase embedding, similarity to
+    each marker name) for every entity.  A context computes each of those
+    once; the per-entity remainder then only touches that entity's summary
+    arrays.  Contexts are what make :meth:`MembershipFunction.degrees` a
+    single pass over precomputed arrays rather than N independent scorings.
+    """
+
+    phrase: str
+    polarity: float
+    vector: np.ndarray | None
+    embedder: PhraseEmbedder | None
+    _name_similarities: dict[str, float] = field(default_factory=dict)
+
+    def name_similarity(self, marker_name: str) -> float:
+        """Memoised similarity of the query phrase to one marker name."""
+        cached = self._name_similarities.get(marker_name)
+        if cached is None:
+            if self.embedder is None or self.vector is None:
+                cached = 0.0
+            else:
+                cached = cosine(self.vector, self.embedder.represent(marker_name))
+            self._name_similarities[marker_name] = cached
+        return cached
+
+
+def _context_for(phrase: str, embedder: PhraseEmbedder | None) -> PhraseContext:
+    return PhraseContext(
+        phrase=phrase,
+        polarity=_phrase_polarity(phrase),
+        vector=embedder.represent(phrase) if embedder is not None else None,
+        embedder=embedder,
+    )
+
+
+def _marker_similarities_ctx(summary: MarkerSummary, ctx: PhraseContext) -> list[float]:
     """Similarity of the query phrase to each marker (name and centroid)."""
-    if embedder is None:
+    if ctx.embedder is None:
         return [0.0] * len(summary.markers)
-    phrase_vector = embedder.represent(phrase)
+    arrays = summary.arrays()
     similarities = []
-    for marker in summary.markers:
-        name_vector = embedder.represent(marker.name)
-        name_similarity = cosine(phrase_vector, name_vector)
-        centroid = summary.centroid(marker.name)
-        centroid_similarity = (
-            cosine(phrase_vector, centroid) if centroid is not None else 0.0
-        )
+    for index, marker in enumerate(summary.markers):
+        name_similarity = ctx.name_similarity(marker.name)
+        vector_sum = arrays.vector_sums[index]
+        if vector_sum is None:
+            centroid_similarity = 0.0
+        else:
+            count = arrays.counts[index]
+            centroid = vector_sum / count if count != 0.0 else vector_sum
+            centroid_similarity = cosine(ctx.vector, centroid)
         similarities.append(max(name_similarity, centroid_similarity))
     return similarities
 
 
+def _marker_similarities(
+    summary: MarkerSummary, phrase: str, embedder: PhraseEmbedder | None
+) -> list[float]:
+    """Similarity of the query phrase to each marker (name and centroid)."""
+    return _marker_similarities_ctx(summary, _context_for(phrase, embedder))
+
+
 def _marker_polarities(summary: MarkerSummary) -> list[float]:
     """Polarity of each marker: observed average sentiment, else the marker's own."""
+    arrays = summary.arrays()
     polarities = []
-    for marker in summary.markers:
-        observed = summary.average_sentiment(marker.name)
-        if abs(observed) < 1e-9 and summary.count(marker.name) == 0.0:
+    for index, marker in enumerate(summary.markers):
+        observed = float(arrays.average_sentiments[index])
+        if abs(observed) < 1e-9 and arrays.counts[index] == 0.0:
             observed = marker.sentiment
         polarities.append(observed if abs(observed) > 1e-9 else marker.sentiment)
     return polarities
@@ -100,29 +147,37 @@ def _aligned_mass(summary: MarkerSummary, phrase_polarity: float) -> float:
     so a summary fully concentrated on strongly agreeing markers scores near
     1 and one concentrated on strongly disagreeing markers scores near 0.
     """
-    if summary.total() == 0.0:
+    arrays = summary.arrays()
+    if arrays.total == 0.0:
         return 0.0
     sign = 1.0 if phrase_polarity >= 0 else -1.0
-    fractions = [summary.fraction(name) for name in summary.marker_names]
     polarities = _marker_polarities(summary)
     alignments = [0.5 * (1.0 + sign * max(-1.0, min(1.0, polarity)))
                   for polarity in polarities]
-    return float(np.dot(fractions, alignments))
+    return float(np.dot(arrays.fractions, alignments))
+
+
+def _similarity_mass_ctx(
+    summary: MarkerSummary, ctx: PhraseContext
+) -> tuple[float, list[float]]:
+    """Mass concentrated on the markers most similar to the phrase, in [0, 1]."""
+    similarities = _marker_similarities_ctx(summary, ctx)
+    arrays = summary.arrays()
+    fractions = arrays.fractions
+    positives = np.clip(np.array(similarities), 0.0, None) ** 2
+    if positives.sum() <= 0 or arrays.total == 0.0:
+        return 0.5, similarities
+    weights = positives / positives.sum()
+    expected = float(np.dot(weights, fractions))
+    peak = float(np.max(fractions)) if len(fractions) else 1.0
+    return min(1.0, expected / (peak + 1e-9)), similarities
 
 
 def _similarity_mass(
     summary: MarkerSummary, phrase: str, embedder: PhraseEmbedder | None
 ) -> tuple[float, list[float]]:
     """Mass concentrated on the markers most similar to the phrase, in [0, 1]."""
-    similarities = _marker_similarities(summary, phrase, embedder)
-    fractions = [summary.fraction(name) for name in summary.marker_names]
-    positives = np.clip(np.array(similarities), 0.0, None) ** 2
-    if positives.sum() <= 0 or summary.total() == 0.0:
-        return 0.5, similarities
-    weights = positives / positives.sum()
-    expected = float(np.dot(weights, fractions))
-    peak = max(fractions) if fractions else 1.0
-    return min(1.0, expected / (peak + 1e-9)), similarities
+    return _similarity_mass_ctx(summary, _context_for(phrase, embedder))
 
 
 def summary_feature_vector(
@@ -179,6 +234,19 @@ class MembershipFunction:
         """Return a degree of truth in [0, 1]; ``summary`` may be ``None``."""
         raise NotImplementedError
 
+    def degrees(
+        self, summaries: Sequence[MarkerSummary | None], phrase: str
+    ) -> np.ndarray:
+        """Degrees of truth of one phrase against many summaries.
+
+        The batch-over-entities primitive driven by the query processor and
+        the serving engine.  The default loops over :meth:`degree`;
+        implementations override it to hoist phrase-level work out of the
+        per-entity loop.  Must return exactly the values :meth:`degree` would
+        return element-wise.
+        """
+        return np.array([self.degree(summary, phrase) for summary in summaries])
+
 
 @dataclass
 class HeuristicMembership(MembershipFunction):
@@ -197,17 +265,33 @@ class HeuristicMembership(MembershipFunction):
     smoothing_pseudocount: float = 3.0
 
     def degree(self, summary: MarkerSummary | None, phrase: str) -> float:
-        if summary is None or summary.total() == 0.0:
+        return self._degree_in_context(summary, _context_for(phrase, self.embedder))
+
+    def degrees(
+        self, summaries: Sequence[MarkerSummary | None], phrase: str
+    ) -> np.ndarray:
+        """Batch scoring: the phrase context is built once for all summaries."""
+        ctx = _context_for(phrase, self.embedder)
+        return np.array(
+            [self._degree_in_context(summary, ctx) for summary in summaries]
+        )
+
+    def _degree_in_context(
+        self, summary: MarkerSummary | None, ctx: PhraseContext
+    ) -> float:
+        if summary is None:
             return self.empty_degree
-        phrase_polarity = _phrase_polarity(phrase)
-        similarity_mass, _similarities = _similarity_mass(summary, phrase, self.embedder)
-        if abs(phrase_polarity) >= 0.05:
+        arrays = summary.arrays()
+        if arrays.total == 0.0:
+            return self.empty_degree
+        similarity_mass, _similarities = _similarity_mass_ctx(summary, ctx)
+        if abs(ctx.polarity) >= 0.05:
             sentiment_weight = self.polar_sentiment_weight
-            sentiment_score = _aligned_mass(summary, phrase_polarity)
+            sentiment_score = _aligned_mass(summary, ctx.polarity)
         else:
             sentiment_weight = self.neutral_sentiment_weight
             sentiment_score = 0.5 * (1.0 + summary.overall_sentiment())
-        total = summary.total()
+        total = arrays.total
         k = self.smoothing_pseudocount
         sentiment_score = (sentiment_score * total + 0.5 * k) / (total + k)
         degree = sentiment_weight * sentiment_score + (1.0 - sentiment_weight) * similarity_mass

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Callable, Hashable, Sequence
 
 from repro.core.database import SubjectiveDatabase
 from repro.core.fuzzy import FuzzyLogic, ProductLogic
@@ -40,6 +40,10 @@ from repro.core.membership import (
 from repro.engine.executor import QueryExecutor, SelectStatement
 from repro.engine.sqlparser import parse_query
 from repro.errors import ExecutionError
+
+#: Batch scorer signatures (entity ids, attribute/predicate, phrase) -> degrees.
+PairScorer = Callable[[Sequence[Hashable], str, str], list[float]]
+RetrievalScorer = Callable[[Sequence[Hashable], str], list[float]]
 
 
 @dataclass(frozen=True)
@@ -124,8 +128,44 @@ class SubjectiveQueryProcessor:
     # ----------------------------------------------------------------- query
     def execute(self, sql: str, top_k: int | None = None) -> QueryResult:
         """Parse and execute a subjective-SQL string."""
-        statement = parse_query(sql)
+        statement = self.prepare_statement(sql)
         return self.execute_statement(statement, top_k=top_k, sql=sql)
+
+    def prepare_statement(self, sql: str) -> SelectStatement:
+        """Parse a subjective-SQL string into an entity-targeted statement.
+
+        Parsing and retargeting are deterministic per SQL text, so the result
+        can be cached and re-executed (the serving layer's plan cache does
+        exactly that).
+        """
+        return self._retarget(parse_query(sql))
+
+    @staticmethod
+    def _retarget(statement: SelectStatement) -> SelectStatement:
+        """Point the statement at the entity table (queries may use the schema name)."""
+        if statement.table.lower() == "entities":
+            return statement
+        return SelectStatement(
+            table="entities",
+            alias=statement.alias,
+            columns=statement.columns,
+            join=statement.join,
+            where=statement.where,
+            order_by=statement.order_by,
+            limit=statement.limit,
+        )
+
+    def candidate_rows(self, statement: SelectStatement) -> list[dict]:
+        """Rows surviving the objective (crisp) part of the WHERE clause."""
+        executor = QueryExecutor(self.database.engine)
+        return executor.candidate_rows(statement)
+
+    def interpret_predicates(self, statement: SelectStatement) -> dict[str, Interpretation]:
+        """Interpret every subjective predicate of the statement."""
+        return {
+            predicate: self.interpreter.interpret(predicate)
+            for predicate in statement.subjective_predicates()
+        }
 
     def execute_statement(
         self,
@@ -134,33 +174,50 @@ class SubjectiveQueryProcessor:
         sql: str = "",
     ) -> QueryResult:
         """Execute an already-parsed statement."""
-        executor = QueryExecutor(self.database.engine)
-        target_table = statement.table.lower()
-        if target_table not in ("entities",):
-            # Queries may also target the entity table by its schema name.
-            statement = SelectStatement(
-                table="entities",
-                alias=statement.alias,
-                columns=statement.columns,
-                join=statement.join,
-                where=statement.where,
-                order_by=statement.order_by,
-                limit=statement.limit,
-            )
-        candidates = executor.candidate_rows(statement)
-        predicates = statement.subjective_predicates()
-        interpretations = {
-            predicate: self.interpreter.interpret(predicate) for predicate in predicates
-        }
+        statement = self._retarget(statement)
+        candidates = self.candidate_rows(statement)
+        interpretations = self.interpret_predicates(statement)
+        return self.rank_candidates(
+            statement, candidates, interpretations, sql=sql, top_k=top_k
+        )
 
-        key_column = self.database.schema.entity_key
+    def rank_candidates(
+        self,
+        statement: SelectStatement,
+        candidates: list[dict],
+        interpretations: dict[str, Interpretation],
+        degree_table: dict[str, dict[Hashable, float]] | None = None,
+        sql: str = "",
+        top_k: int | None = None,
+        row_entities: Sequence[Hashable] | None = None,
+    ) -> QueryResult:
+        """Rank candidate rows by fuzzy degree of truth.
+
+        ``degree_table`` maps predicate text to per-entity degrees; when not
+        supplied it is computed here through the batch primitives
+        (:meth:`interpretation_degrees`).  The serving engine passes a table
+        filled from its membership cache, so cached and freshly computed
+        queries flow through the same ranking code.  ``row_entities`` may
+        supply the precomputed entity id of each candidate row (the serving
+        engine caches them alongside the rows).
+        """
+        if row_entities is None:
+            row_entities = self.entity_ids_of(candidates, statement.alias)
+        if degree_table is None:
+            unique_ids = list(dict.fromkeys(row_entities))
+            degree_table = {
+                predicate: dict(
+                    zip(unique_ids, self.interpretation_degrees(unique_ids, interpretation))
+                )
+                for predicate, interpretation in interpretations.items()
+            }
+
         ranked: list[RankedEntity] = []
-        for row in candidates:
-            entity_id = self._entity_id_of(row, key_column, statement.alias)
+        for entity_id, row in zip(row_entities, candidates):
             degrees: dict[str, float] = {}
 
             def scorer(predicate_text: str, _row: dict, _entity=entity_id, _degrees=degrees) -> float:
-                degree = self._predicate_degree(_entity, interpretations[predicate_text])
+                degree = degree_table[predicate_text][_entity]
                 _degrees[predicate_text] = degree
                 return degree
 
@@ -185,6 +242,11 @@ class SubjectiveQueryProcessor:
         )
 
     # -------------------------------------------------------------- scoring
+    def entity_ids_of(self, rows: Sequence[dict], alias: str | None) -> list[Hashable]:
+        """Entity id of each candidate row (rows may repeat an entity after joins)."""
+        key_column = self.database.schema.entity_key
+        return [self._entity_id_of(row, key_column, alias) for row in rows]
+
     def _entity_id_of(self, row: dict, key_column: str, alias: str | None) -> Hashable:
         if key_column in row:
             return row[key_column]
@@ -192,29 +254,9 @@ class SubjectiveQueryProcessor:
             return row[f"{alias}.{key_column}"]
         raise ExecutionError(f"result row has no entity key column {key_column!r}")
 
-    def _predicate_degree(self, entity_id: Hashable, interpretation: Interpretation) -> float:
-        """Degree of truth of one interpreted predicate for one entity."""
-        if interpretation.method is InterpretationMethod.TEXT_RETRIEVAL:
-            return self._retrieval_degree(entity_id, interpretation.predicate)
-        degrees = []
-        for pair in interpretation.pairs:
-            degrees.append(
-                self._pair_degree(entity_id, pair.attribute, pair.marker, interpretation)
-            )
-        if not degrees:
-            return self._retrieval_degree(entity_id, interpretation.predicate)
-        if interpretation.combinator == "and":
-            return self.logic.conjunction(degrees)
-        return self.logic.disjunction(degrees)
-
-    def _pair_degree(
-        self,
-        entity_id: Hashable,
-        attribute: str,
-        marker: str,
-        interpretation: Interpretation,
-    ) -> float:
-        """Degree of truth of one ``A ≐ m`` condition for one entity.
+    @staticmethod
+    def phrase_for_pair(interpretation: Interpretation, marker: str) -> str:
+        """The phrase a membership function scores for one ``A ≐ m`` pair.
 
         For word2vec interpretations the original predicate text carries the
         user's wording ("really clean") and is the phrase handed to the
@@ -223,13 +265,76 @@ class SubjectiveQueryProcessor:
         used as the phrase.
         """
         if interpretation.method is InterpretationMethod.WORD2VEC:
-            phrase = interpretation.predicate
-        else:
-            phrase = marker
+            return interpretation.predicate
+        return marker
+
+    def pair_degrees(
+        self, entity_ids: Sequence[Hashable], attribute: str, phrase: str
+    ) -> list[float]:
+        """Batch primitive: degrees of one ``A ≐ m`` condition for many entities.
+
+        With markers enabled this is a single :meth:`MembershipFunction.degrees`
+        pass over the entities' precomputed marker-summary arrays; the
+        marker-free ablation falls back to per-entity raw-extraction scans.
+        """
         if not self.use_markers:
-            return self.raw_membership.degree_for_attribute(entity_id, attribute, phrase)
-        summary = self.database.marker_summary(entity_id, attribute)
-        return self.membership.degree(summary, phrase)
+            return [
+                self.raw_membership.degree_for_attribute(entity_id, attribute, phrase)
+                for entity_id in entity_ids
+            ]
+        summaries = [
+            self.database.marker_summary(entity_id, attribute)
+            for entity_id in entity_ids
+        ]
+        return [float(degree) for degree in self.membership.degrees(summaries, phrase)]
+
+    def retrieval_degrees(
+        self, entity_ids: Sequence[Hashable], predicate: str
+    ) -> list[float]:
+        """Batch primitive: text-retrieval fallback degrees for many entities."""
+        return [self._retrieval_degree(entity_id, predicate) for entity_id in entity_ids]
+
+    def interpretation_degrees(
+        self,
+        entity_ids: Sequence[Hashable],
+        interpretation: Interpretation,
+        pair_scorer: PairScorer | None = None,
+        retrieval_scorer: RetrievalScorer | None = None,
+    ) -> list[float]:
+        """Degrees of one interpreted predicate for many entities.
+
+        ``pair_scorer`` / ``retrieval_scorer`` default to the uncached batch
+        primitives; the serving engine passes cache-aware wrappers with the
+        same signatures, so both paths compute identical values.
+        """
+        pair_scorer = pair_scorer or self.pair_degrees
+        retrieval_scorer = retrieval_scorer or self.retrieval_degrees
+        if interpretation.method is InterpretationMethod.TEXT_RETRIEVAL or not interpretation.pairs:
+            return retrieval_scorer(entity_ids, interpretation.predicate)
+        per_pair = [
+            pair_scorer(
+                entity_ids,
+                pair.attribute,
+                self.phrase_for_pair(interpretation, pair.marker),
+            )
+            for pair in interpretation.pairs
+        ]
+        combine = (
+            self.logic.conjunction
+            if interpretation.combinator == "and"
+            else self.logic.disjunction
+        )
+        return [
+            combine([degrees[index] for degrees in per_pair])
+            for index in range(len(entity_ids))
+        ]
+
+    def predicate_degree(self, entity_id: Hashable, interpretation: Interpretation) -> float:
+        """Degree of truth of one interpreted predicate for one entity.
+
+        Single-entity convenience over :meth:`interpretation_degrees`.
+        """
+        return self.interpretation_degrees([entity_id], interpretation)[0]
 
     def _retrieval_degree(self, entity_id: Hashable, predicate: str) -> float:
         """Text-retrieval fallback: sigmoid(BM25(entity document, q) − c)."""

@@ -13,7 +13,7 @@ and Appendix D of the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.markers import SummaryKind
 

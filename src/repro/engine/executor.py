@@ -70,26 +70,36 @@ class QueryExecutor:
 
     def execute(self, statement: SelectStatement) -> list[Row]:
         """Run ``statement`` with objective (boolean) semantics."""
-        rows = self._scan_from(statement)
-        if statement.where is not None:
-            rows = [row for row in rows if statement.where.evaluate(row)]
-        rows = self._order(rows, statement.order_by)
-        limit = statement.limit if statement.limit is not None else self._default_limit
-        if limit is not None:
-            rows = rows[:limit]
-        return [self._project(row, statement.columns) for row in rows]
+        rows = self.candidate_rows(statement)
+        rows = self.order_and_limit(rows, statement)
+        return self.project_rows(rows, statement.columns)
 
     def candidate_rows(self, statement: SelectStatement) -> list[Row]:
         """Rows passing only the *objective* part of the WHERE clause.
 
-        Used by the subjective query processor: the objective predicates act
-        as a crisp pre-filter (they evaluate to 0 or 1 in the fuzzy semantics)
-        and the surviving rows are then ranked by fuzzy degree of truth.
+        Used by the subjective query processor and the serving engine: the
+        objective predicates act as a crisp pre-filter (they evaluate to 0 or
+        1 in the fuzzy semantics, and subjective leaves are inert ``True`` at
+        this level) and the surviving rows are then ranked by fuzzy degree of
+        truth.  This is the candidate-generation primitive shared by both the
+        boolean :meth:`execute` path and the batch scoring path.
         """
         rows = self._scan_from(statement)
         if statement.where is None:
             return rows
         return [row for row in rows if statement.where.evaluate(row)]
+
+    def order_and_limit(self, rows: list[Row], statement: SelectStatement) -> list[Row]:
+        """Apply the statement's ORDER BY and LIMIT to already-filtered rows."""
+        rows = self._order(rows, statement.order_by)
+        limit = statement.limit if statement.limit is not None else self._default_limit
+        if limit is not None:
+            rows = rows[:limit]
+        return rows
+
+    def project_rows(self, rows: list[Row], columns: list[str] | None) -> list[Row]:
+        """Project each row onto ``columns`` (all unqualified columns when None)."""
+        return [self._project(row, columns) for row in rows]
 
     # ------------------------------------------------------------ internal
     def _scan_from(self, statement: SelectStatement) -> list[Row]:

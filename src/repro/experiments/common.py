@@ -26,7 +26,6 @@ import numpy as np
 from repro.baselines.attribute_baseline import ScrapedAttributes
 from repro.core.attributes import ObjectiveAttribute
 from repro.core.database import SubjectiveDatabase
-from repro.core.markers import MarkerSummary
 from repro.datasets.corpus import SyntheticCorpus
 from repro.datasets.hotels import generate_hotel_corpus, hotel_seed_sets
 from repro.datasets.queries import (

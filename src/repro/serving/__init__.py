@@ -1,0 +1,38 @@
+"""Serving layer: batched subjective-query execution with caches.
+
+The core :class:`repro.core.SubjectiveQueryProcessor` reproduces the paper's
+pipeline faithfully but treats every query as independent: each call
+re-parses the SQL, re-interprets every subjective predicate, and scores each
+candidate entity from scratch.  This package amortises that work across a
+query stream, which is what a production deployment serving repeated and
+overlapping queries needs:
+
+* :class:`LRUCache` — the bounded cache primitive shared by the layers below;
+* :func:`normalize_sql` / :class:`QueryPlan` — normalised-SQL keyed plans
+  bundling the parsed statement with its predicate interpretations;
+* :class:`SubjectiveQueryEngine` — the serving front end: an LRU plan cache,
+  a per-database membership-degree cache invalidated on ingest, batch
+  (vectorized) degree computation over candidate entities, a ``run_batch()``
+  API, and cache/latency statistics.
+
+The engine produces results identical to the wrapped processor — caches only
+short-circuit recomputation of values the processor would have produced.
+"""
+
+from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.engine import (
+    BatchResult,
+    ServingStats,
+    SubjectiveQueryEngine,
+)
+from repro.serving.plans import QueryPlan, normalize_sql
+
+__all__ = [
+    "BatchResult",
+    "CacheStats",
+    "LRUCache",
+    "QueryPlan",
+    "ServingStats",
+    "SubjectiveQueryEngine",
+    "normalize_sql",
+]

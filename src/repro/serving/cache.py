@@ -1,0 +1,92 @@
+"""A small LRU cache with hit/miss accounting.
+
+Used by the serving engine for both the query-plan cache and the
+membership-degree cache.  Not thread-safe; the serving engine is a
+single-threaded front end (sharding across processes is the intended
+scale-out path, see ROADMAP).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache: lookups, hits, misses, evictions."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """Bounded mapping evicting the least-recently-used entry on overflow.
+
+    ``get`` refreshes recency; ``put`` inserts or refreshes.  A ``maxsize``
+    of ``None`` disables eviction (unbounded cache).
+    """
+
+    def __init__(self, maxsize: int | None = None) -> None:
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError(f"maxsize must be positive or None, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.stats = CacheStats()
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        """Look up ``key``, counting the hit/miss and refreshing recency."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return default
+
+    def peek(self, key: Hashable, default: object = None) -> object:
+        """Look up ``key`` without touching recency or counters."""
+        return self._entries.get(key, default)
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert or refresh ``key``, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if self.maxsize is not None and len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; they describe the lifetime)."""
+        self._entries.clear()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Iterator[Hashable]:
+        """Keys from least- to most-recently used."""
+        return iter(self._entries.keys())

@@ -1,0 +1,320 @@
+"""The subjective-query serving engine.
+
+:class:`SubjectiveQueryEngine` wraps a :class:`SubjectiveQueryProcessor`
+with the amortisation layers a query-serving deployment needs:
+
+* a **plan cache** — an LRU over :func:`normalize_sql` keys holding the
+  parsed statement and the predicate interpretations, so repeated (or
+  reformatted) queries skip parsing and interpretation entirely;
+* a **candidate cache** — objective pre-filter results per plan, so warm
+  queries skip the table scan/join/filter;
+* a **membership cache** — ``(entity_id, attribute, phrase) → degree`` (and
+  ``(entity_id, None, predicate)`` for the text-retrieval fallback), shared
+  across all queries touching the same predicate/entity combinations;
+* **batch scoring** — uncached degrees are computed for all missing
+  entities of a predicate in one :meth:`SubjectiveQueryProcessor.pair_degrees`
+  pass over precomputed marker-summary arrays, never entity-by-entity.
+
+Every cache snapshots :attr:`SubjectiveDatabase.data_version`; any ingest
+(entities, reviews, extractions, summaries, index rebuilds) moves the
+version and the next query drops all cached state.  Results are therefore
+always identical to running the wrapped processor directly — the test suite
+asserts equality and the throughput benchmark measures the speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.core.database import SubjectiveDatabase
+from repro.core.processor import QueryResult, SubjectiveQueryProcessor
+from repro.serving.cache import LRUCache
+from repro.serving.plans import QueryPlan, normalize_sql
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """Cached objective pre-filter result plus its derived entity-id views.
+
+    Row → entity-id resolution and deduplication are as data-version-stable
+    as the rows themselves, so they are computed once per plan and cached
+    together instead of being re-derived on every warm execution.
+    """
+
+    rows: list[dict]
+    row_entities: list[Hashable]
+    unique_ids: list[Hashable]
+
+
+@dataclass
+class ServingStats:
+    """Aggregate serving counters (cache counters live on the caches)."""
+
+    queries: int = 0
+    batch_queries: int = 0
+    invalidations: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean seconds per query served (0.0 before the first query)."""
+        if self.queries == 0:
+            return 0.0
+        return self.total_seconds / self.queries
+
+
+@dataclass
+class BatchResult:
+    """Results of one :meth:`SubjectiveQueryEngine.run_batch` call."""
+
+    results: list[QueryResult]
+    latencies: list[float]
+    elapsed_seconds: float
+    cache_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return len(self.results) / self.elapsed_seconds
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+
+class SubjectiveQueryEngine:
+    """Cached, batched serving front end over a subjective database.
+
+    Parameters
+    ----------
+    database:
+        The database to serve; a default processor is built over it.
+        Ignored when ``processor`` is given.
+    processor:
+        An explicitly configured processor to wrap (custom membership
+        function, fuzzy logic, thresholds, ...).
+    plan_cache_size:
+        Maximum cached query plans (normalised-SQL keyed LRU).
+    membership_cache_size:
+        Maximum cached membership degrees; sized generously by default since
+        entries are tiny and recomputation is the dominant query cost.
+    candidate_cache_size:
+        Maximum cached objective candidate-row lists, keyed per plan.
+        Cached rows are shared between results of repeated queries and must
+        be treated as read-only by callers.
+    """
+
+    def __init__(
+        self,
+        database: SubjectiveDatabase | None = None,
+        processor: SubjectiveQueryProcessor | None = None,
+        plan_cache_size: int | None = 256,
+        membership_cache_size: int | None = 200_000,
+        candidate_cache_size: int | None = 64,
+    ) -> None:
+        if processor is None:
+            if database is None:
+                raise ValueError("SubjectiveQueryEngine needs a database or a processor")
+            processor = SubjectiveQueryProcessor(database)
+        self.processor = processor
+        self.database = processor.database
+        self.plan_cache = LRUCache(plan_cache_size)
+        self.membership_cache = LRUCache(membership_cache_size)
+        self.candidate_cache = LRUCache(candidate_cache_size)
+        self.stats = ServingStats()
+        self._data_version = self.database.data_version
+
+    # ------------------------------------------------------------ invalidation
+    def invalidate(self) -> None:
+        """Drop every cache (called automatically when the database changes)."""
+        self.plan_cache.clear()
+        self.membership_cache.clear()
+        self.candidate_cache.clear()
+        self.processor.interpreter.invalidate()
+        self.stats.invalidations += 1
+        self._data_version = self.database.data_version
+
+    def _check_data_version(self) -> None:
+        if self.database.data_version != self._data_version:
+            self.invalidate()
+
+    # ------------------------------------------------------------------ plans
+    def plan(self, sql: str) -> QueryPlan:
+        """The cached (or freshly built) plan for one SQL string."""
+        self._check_data_version()
+        key = normalize_sql(sql)
+        plan = self.plan_cache.get(key)
+        if plan is not None and plan.data_version != self._data_version:
+            # Defensive: a plan that survived an invalidation is stale.
+            plan = None
+        if plan is None:
+            statement = self.processor.prepare_statement(sql)
+            interpretations = self.processor.interpret_predicates(statement)
+            plan = QueryPlan(
+                normalized_sql=key,
+                statement=statement,
+                interpretations=interpretations,
+                data_version=self._data_version,
+            )
+            self.plan_cache.put(key, plan)
+        return plan
+
+    # -------------------------------------------------------------- execution
+    def execute(self, sql: str, top_k: int | None = None) -> QueryResult:
+        """Serve one query through the caches; identical to processor output."""
+        self._check_data_version()
+        started = time.perf_counter()
+        plan = self.plan(sql)
+        candidates = self._candidate_rows(plan)
+        result = self._rank(plan, candidates, sql=sql, top_k=top_k)
+        self.stats.queries += 1
+        self.stats.total_seconds += time.perf_counter() - started
+        return result
+
+    def run_batch(self, sqls: Sequence[str], top_k: int | None = None) -> BatchResult:
+        """Execute many queries with shared plans, candidates and degrees.
+
+        Sharing happens through the caches: the first query touching a
+        (predicate, entity) combination pays for its batch scoring, every
+        later query in the batch reuses the degrees.  Returns the ranked
+        results in input order plus per-query latencies and the cache
+        activity the batch generated.
+        """
+        self._check_data_version()
+        before = self._cache_counters()
+        results: list[QueryResult] = []
+        latencies: list[float] = []
+        started = time.perf_counter()
+        for sql in sqls:
+            query_started = time.perf_counter()
+            results.append(self.execute(sql, top_k=top_k))
+            latencies.append(time.perf_counter() - query_started)
+        elapsed = time.perf_counter() - started
+        self.stats.batch_queries += len(results)
+        after = self._cache_counters()
+        delta = {name: after[name] - before[name] for name in after}
+        return BatchResult(
+            results=results,
+            latencies=latencies,
+            elapsed_seconds=elapsed,
+            cache_stats=delta,
+        )
+
+    # -------------------------------------------------------------- internals
+    def _candidate_rows(self, plan: QueryPlan) -> CandidateSet:
+        candidates = self.candidate_cache.get(plan.normalized_sql)
+        if candidates is None:
+            rows = self.processor.candidate_rows(plan.statement)
+            row_entities = self.processor.entity_ids_of(rows, plan.statement.alias)
+            candidates = CandidateSet(
+                rows=rows,
+                row_entities=row_entities,
+                unique_ids=list(dict.fromkeys(row_entities)),
+            )
+            self.candidate_cache.put(plan.normalized_sql, candidates)
+        return candidates
+
+    def _rank(
+        self,
+        plan: QueryPlan,
+        candidates: CandidateSet,
+        sql: str,
+        top_k: int | None,
+    ) -> QueryResult:
+        degree_table: dict[str, dict[Hashable, float]] = {}
+        for predicate, interpretation in plan.interpretations.items():
+            degrees = self.processor.interpretation_degrees(
+                candidates.unique_ids,
+                interpretation,
+                pair_scorer=self._cached_pair_degrees,
+                retrieval_scorer=self._cached_retrieval_degrees,
+            )
+            degree_table[predicate] = dict(zip(candidates.unique_ids, degrees))
+        return self.processor.rank_candidates(
+            plan.statement,
+            candidates.rows,
+            plan.interpretations,
+            degree_table=degree_table,
+            sql=sql,
+            top_k=top_k,
+            row_entities=candidates.row_entities,
+        )
+
+    def _cached_degrees(
+        self,
+        entity_ids: Sequence[Hashable],
+        attribute: str | None,
+        phrase: str,
+        compute,
+    ) -> list[float]:
+        """Serve degrees from the membership cache, batch-computing the misses."""
+        degrees: dict[Hashable, float] = {}
+        missing: list[Hashable] = []
+        for entity_id in entity_ids:
+            cached = self.membership_cache.get((entity_id, attribute, phrase), _MISSING)
+            if cached is _MISSING:
+                missing.append(entity_id)
+            else:
+                degrees[entity_id] = cached
+        if missing:
+            for entity_id, degree in zip(missing, compute(missing)):
+                self.membership_cache.put((entity_id, attribute, phrase), degree)
+                degrees[entity_id] = degree
+        return [degrees[entity_id] for entity_id in entity_ids]
+
+    def _cached_pair_degrees(
+        self,
+        entity_ids: Sequence[Hashable],
+        attribute: str,
+        phrase: str,
+    ) -> list[float]:
+        return self._cached_degrees(
+            entity_ids,
+            attribute,
+            phrase,
+            lambda missing: self.processor.pair_degrees(missing, attribute, phrase),
+        )
+
+    def _cached_retrieval_degrees(
+        self,
+        entity_ids: Sequence[Hashable],
+        predicate: str,
+    ) -> list[float]:
+        # Text-retrieval degrees have no attribute; None keeps the key space
+        # disjoint from pair degrees.
+        return self._cached_degrees(
+            entity_ids,
+            None,
+            predicate,
+            lambda missing: self.processor.retrieval_degrees(missing, predicate),
+        )
+
+    def _cache_counters(self) -> dict[str, int]:
+        return {
+            "plan_hits": self.plan_cache.stats.hits,
+            "plan_misses": self.plan_cache.stats.misses,
+            "membership_hits": self.membership_cache.stats.hits,
+            "membership_misses": self.membership_cache.stats.misses,
+            "candidate_hits": self.candidate_cache.stats.hits,
+            "candidate_misses": self.candidate_cache.stats.misses,
+        }
+
+    def stats_snapshot(self) -> dict[str, object]:
+        """One dict with serving counters and per-cache hit statistics."""
+        return {
+            "queries": self.stats.queries,
+            "batch_queries": self.stats.batch_queries,
+            "invalidations": self.stats.invalidations,
+            "total_seconds": self.stats.total_seconds,
+            "mean_latency": self.stats.mean_latency,
+            "plan_cache": self.plan_cache.stats.as_dict(),
+            "membership_cache": self.membership_cache.stats.as_dict(),
+            "candidate_cache": self.candidate_cache.stats.as_dict(),
+        }

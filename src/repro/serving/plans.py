@@ -1,0 +1,94 @@
+"""Query plans and the SQL normalisation that keys the plan cache.
+
+A :class:`QueryPlan` bundles everything about a query that does not depend
+on the data being current: the parsed (entity-retargeted) statement, the
+subjective predicate texts, and their interpretations.  Plans are cached
+under :func:`normalize_sql` keys so textual variants of the same query
+("SELECT * FROM Entities ..." vs "select  *  from entities ...") share one
+plan; the data-dependent parts (candidate rows, membership degrees) are
+recomputed or served from the membership cache per execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.interpreter import Interpretation
+from repro.engine.executor import SelectStatement
+from repro.engine.sqlparser import _KEYWORDS
+
+_QUOTES = ("'", '"')
+
+
+def normalize_sql(sql: str) -> str:
+    """Canonical cache key for a subjective-SQL string.
+
+    Collapses runs of whitespace to single spaces and lowercases SQL
+    *keywords* (which the parser treats case-insensitively), so formatting
+    and keyword-casing variants map to the same plan.  Identifiers keep
+    their case — column resolution is case-sensitive, so ``City`` and
+    ``city`` are different queries and must not share a plan.  Quoted
+    regions — string literals *and* subjective predicates, which are
+    double-quoted natural language — are preserved byte-for-byte because
+    predicate interpretation is case- and wording-sensitive.
+    """
+    out: list[str] = []
+    word: list[str] = []
+    quote: str | None = None
+    pending_space = False
+
+    def flush_word() -> None:
+        if word:
+            token = "".join(word)
+            out.append(token.lower() if token.lower() in _KEYWORDS else token)
+            word.clear()
+
+    for char in sql:
+        if quote is not None:
+            out.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in _QUOTES:
+            flush_word()
+            if pending_space and out:
+                out.append(" ")
+            pending_space = False
+            out.append(char)
+            quote = char
+            continue
+        if char.isspace():
+            flush_word()
+            pending_space = True
+            continue
+        if pending_space and out:
+            out.append(" ")
+        pending_space = False
+        if char.isalnum() or char == "_":
+            word.append(char)
+        else:
+            flush_word()
+            out.append(char)
+    flush_word()
+    return "".join(out)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A cached, reusable execution plan for one normalised query.
+
+    ``data_version`` records the database state the interpretations were
+    computed against; the serving engine drops plans wholesale when the
+    version moves (interpretations read linguistic domains, review indexes
+    and extraction statistics, all of which ingest can change).
+    """
+
+    normalized_sql: str
+    statement: SelectStatement
+    interpretations: dict[str, Interpretation]
+    data_version: int
+
+    @property
+    def predicates(self) -> tuple[str, ...]:
+        """The subjective predicate texts of the plan, in statement order."""
+        return tuple(self.interpretations)

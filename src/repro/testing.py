@@ -1,0 +1,59 @@
+"""Shared fixture helpers for the test suite and the benchmark harness.
+
+``tests/conftest.py`` and ``benchmarks/conftest.py`` both need fully built
+domain setups (synthetic corpus + subjective database) at different scales;
+this module holds the one implementation of the scale knobs and the setup
+construction so the two conftests stay thin wrappers.
+
+Scale knobs (benchmark defaults) can be overridden through environment
+variables:
+
+* ``REPRO_BENCH_ENTITIES`` (default 60) — entities per domain;
+* ``REPRO_BENCH_REVIEWS``  (default 18) — mean reviews per entity;
+* ``REPRO_BENCH_QUERIES``  (default 10) — queries per workload cell.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.common import DomainSetup, prepare_domain
+from repro.extraction.tagger import OpinionTagger
+
+
+def env_int(name: str, default: int) -> int:
+    """An integer environment knob with a default."""
+    return int(os.environ.get(name, str(default)))
+
+
+def bench_scale() -> tuple[int, int, int]:
+    """(entities, reviews per entity, queries per cell) for benchmark runs."""
+    return (
+        env_int("REPRO_BENCH_ENTITIES", 60),
+        env_int("REPRO_BENCH_REVIEWS", 18),
+        env_int("REPRO_BENCH_QUERIES", 10),
+    )
+
+
+def build_domain_setup(
+    domain: str,
+    num_entities: int,
+    reviews_per_entity: int,
+    seed: int,
+    num_markers: int = 4,
+    tagger: OpinionTagger | None = None,
+) -> DomainSetup:
+    """One fully built domain setup (corpus, database, banks, oracle)."""
+    return prepare_domain(
+        domain,
+        num_entities=num_entities,
+        reviews_per_entity=reviews_per_entity,
+        seed=seed,
+        num_markers=num_markers,
+        tagger=tagger,
+    )
+
+
+def print_result(text: str) -> None:
+    """Print a formatted experiment table under pytest/benchmark output."""
+    print("\n" + text + "\n")

@@ -1,7 +1,9 @@
 """Shared fixtures: small corpora and a fully built subjective database.
 
 The expensive fixtures are session-scoped so the construction pipeline runs
-once per test session; tests must treat them as read-only.
+once per test session; tests must treat them as read-only.  Domain-setup
+construction is shared with the benchmark harness through
+:mod:`repro.testing`.
 """
 
 from __future__ import annotations
@@ -11,8 +13,9 @@ import pytest
 from repro.datasets.hotels import generate_hotel_corpus, hotel_seed_sets
 from repro.datasets.restaurants import generate_restaurant_corpus, restaurant_seed_sets
 from repro.datasets.semeval import generate_absa_dataset
-from repro.experiments.common import DomainSetup, prepare_domain
+from repro.experiments.common import DomainSetup
 from repro.extraction.tagger import PerceptronOpinionTagger
+from repro.testing import build_domain_setup
 from repro.text.embeddings import PhraseEmbedder, PpmiSvdEmbeddings
 from repro.text.idf import DocumentFrequencies
 from repro.text.tokenize import tokenize
@@ -69,7 +72,7 @@ def small_tagger():
 @pytest.fixture(scope="session")
 def hotel_setup(small_tagger) -> DomainSetup:
     """A small but fully built hotel domain (database + bank + baselines data)."""
-    return prepare_domain(
+    return build_domain_setup(
         "hotels", num_entities=16, reviews_per_entity=10, seed=3, tagger=small_tagger
     )
 

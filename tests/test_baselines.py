@@ -1,6 +1,5 @@
 """Tests for the IR and attribute-based baselines."""
 
-import pytest
 
 from repro.baselines.attribute_baseline import AttributeBaseline, ScrapedAttributes
 from repro.baselines.ir_baseline import IrEntityRanker

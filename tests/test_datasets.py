@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.markers import SummaryKind
 from repro.datasets.corpus import generate_corpus
-from repro.datasets.hotels import HOTEL_CITIES, generate_hotel_corpus, hotel_seed_sets
+from repro.datasets.hotels import HOTEL_CITIES, generate_hotel_corpus
 from repro.datasets.phrasebanks import (
     NUM_LEVELS,
     AspectSpec,
@@ -20,7 +20,7 @@ from repro.datasets.queries import (
     restaurant_predicate_bank,
     satisfaction_oracle,
 )
-from repro.datasets.restaurants import RESTAURANT_CUISINES, generate_restaurant_corpus
+from repro.datasets.restaurants import RESTAURANT_CUISINES
 from repro.datasets.semeval import generate_absa_dataset, standard_absa_datasets
 from repro.datasets.survey import run_survey_simulation
 from repro.engine.sqlparser import parse_query
