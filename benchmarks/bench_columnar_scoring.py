@@ -1,0 +1,139 @@
+"""Cold-path scoring throughput: columnar kernels vs the scalar per-entity path.
+
+The serving layer (PR 1) made *warm* traffic fast; this benchmark measures
+the *cold* path that remains when every membership degree must be computed
+from the summaries — the serving engine's membership-cache-miss work.  Query
+plans, candidate rows, and predicate interpretations are prepared once and
+shared by both sides (the engine caches those even on a membership miss);
+each measured request then re-scores every candidate entity from scratch:
+
+* **scalar** — ``use_columnar=False``: one Python-loop
+  :meth:`MembershipFunction.degrees` pass per predicate, entity by entity;
+* **columnar** — the default path through
+  :class:`repro.core.columnar.ColumnarSummaryStore`: per predicate, a
+  handful of NumPy kernel calls over dense per-attribute summary arrays.
+
+Assertions pin the contract from ISSUE 2: rankings identical to sequential
+:class:`SubjectiveQueryProcessor` execution, and columnar cold-path
+throughput at least 5× the scalar path on a ≥200-entity domain.  Results
+are recorded in ``BENCH_columnar.json`` at the repository root.
+
+Scale knobs: ``REPRO_BENCH_COLUMNAR_ENTITIES`` (default 200, floored at
+200) and ``REPRO_BENCH_COLUMNAR_REVIEWS`` (default 6).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core import SubjectiveQueryProcessor
+from repro.datasets.queries import HOTEL_OPTIONS, generate_workload, hotel_predicate_bank
+from repro.experiments.common import ExperimentTable
+from repro.testing import build_domain_setup, env_int
+
+pytestmark = pytest.mark.slow
+
+COLUMNAR_ENTITIES = max(200, env_int("REPRO_BENCH_COLUMNAR_ENTITIES", 200))
+COLUMNAR_REVIEWS = env_int("REPRO_BENCH_COLUMNAR_REVIEWS", 6)
+SPEEDUP_FLOOR = 5.0
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_columnar.json"
+
+
+@pytest.fixture(scope="module")
+def columnar_setup():
+    """Hotel domain at columnar-benchmark scale (≥200 entities)."""
+    return build_domain_setup(
+        "hotels",
+        num_entities=COLUMNAR_ENTITIES,
+        reviews_per_entity=COLUMNAR_REVIEWS,
+        seed=0,
+    )
+
+
+def _hotel_workload(num_queries: int = 12) -> list[str]:
+    """Distinct hotel-workload queries across options and difficulties."""
+    bank = hotel_predicate_bank()
+    sqls: list[str] = []
+    per_cell = max(1, num_queries // (len(HOTEL_OPTIONS) * 2))
+    for option_name, conditions in sorted(HOTEL_OPTIONS.items()):
+        for difficulty in ("easy", "medium"):
+            workload = generate_workload(
+                bank, option_name, conditions, difficulty,
+                num_queries=per_cell, domain="hotels", seed=23,
+            )
+            sqls.extend(query.sql for query in workload)
+    return sqls
+
+
+def test_columnar_cold_path_speedup(columnar_setup):
+    database = columnar_setup.database
+    sqls = _hotel_workload()
+
+    scalar = SubjectiveQueryProcessor(database, use_columnar=False)
+    columnar = SubjectiveQueryProcessor(database)
+
+    # End-to-end rankings must be identical to sequential execution.
+    for sql in sqls:
+        scalar_result = scalar.execute(sql)
+        columnar_result = columnar.execute(sql)
+        assert columnar_result.entity_ids == scalar_result.entity_ids, sql
+
+    # Shared prepared plans: parsing/interpretation/candidate rows are cached
+    # even on a serving-layer membership miss, so the cold path under test is
+    # pure scoring + ranking over all candidates.
+    plans = []
+    for sql in sqls:
+        statement = scalar.prepare_statement(sql)
+        candidates = scalar.candidate_rows(statement)
+        interpretations = scalar.interpret_predicates(statement)
+        plans.append((sql, statement, candidates, interpretations))
+
+    def passes_per_second(processor: SubjectiveQueryProcessor, repeats: int) -> float:
+        started = time.perf_counter()
+        for _ in range(repeats):
+            for sql, statement, candidates, interpretations in plans:
+                processor.rank_candidates(statement, candidates, interpretations, sql=sql)
+        elapsed = time.perf_counter() - started
+        return repeats * len(plans) / elapsed
+
+    passes_per_second(columnar, 1)  # build the column arrays outside the timing
+    scalar_qps = passes_per_second(scalar, 1)
+    columnar_qps = passes_per_second(columnar, 5)
+    speedup = columnar_qps / scalar_qps
+
+    table = ExperimentTable(
+        title=f"Columnar cold-path scoring ({len(database)} entities, hotel workload)",
+        columns=["path", "queries", "qps"],
+    )
+    table.add_row("scalar per-entity", len(sqls), round(scalar_qps, 1))
+    table.add_row("columnar kernels", len(sqls), round(columnar_qps, 1))
+    table.add_row("speedup", "", round(speedup, 2))
+    print_result(table.format())
+
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "bench_columnar_scoring",
+                "domain": "hotels",
+                "entities": len(database),
+                "reviews_per_entity": COLUMNAR_REVIEWS,
+                "queries": len(sqls),
+                "scalar_qps": round(scalar_qps, 2),
+                "columnar_qps": round(columnar_qps, 2),
+                "speedup": round(speedup, 2),
+                "speedup_floor": SPEEDUP_FLOOR,
+                "rankings_identical": True,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"columnar cold path only {speedup:.2f}x the scalar path"
+    )

@@ -11,10 +11,18 @@ This package contains the paper's primary contribution:
   text-retrieval methods (Section 3.2, Figure 5);
 * the subjective query processor tying everything together (Figure 4);
 * the :class:`SubjectiveDatabase` container that holds entities, reviews,
-  extractions, marker summaries, and the supporting indexes.
+  extractions, marker summaries, and the supporting indexes;
+* the columnar summary store and vectorized scoring kernels that score a
+  predicate against all entities of an attribute in a handful of NumPy
+  calls (the cold-path execution layer under the serving caches).
 """
 
 from repro.core.domain import LinguisticDomain
+from repro.core.columnar import (
+    AttributeColumns,
+    ColumnarSummaryStore,
+    summary_feature_matrix,
+)
 from repro.core.markers import Marker, MarkerSummary, SummaryKind
 from repro.core.attributes import (
     ObjectiveAttribute,
@@ -39,6 +47,9 @@ from repro.core.database import EntityRecord, ExtractionRecord, ReviewRecord, Su
 from repro.core.processor import QueryResult, RankedEntity, SubjectiveQueryProcessor
 
 __all__ = [
+    "AttributeColumns",
+    "ColumnarSummaryStore",
+    "summary_feature_matrix",
     "LinguisticDomain",
     "Marker",
     "MarkerSummary",

@@ -1,0 +1,414 @@
+"""Columnar marker-summary storage and vectorized scoring kernels.
+
+The membership functions of Section 3.3 read only precomputed marker
+summaries, which makes each ``(summary, phrase)`` scoring cheap — but the
+scalar path still visits entities one at a time from Python, so a cold
+(uncached) predicate over E entities costs O(E·M) interpreted-loop
+iterations.  This module applies the classic columnar-execution move from
+the database literature: per subjective attribute, every entity's summary is
+stacked into contiguous entity-major arrays, and one phrase is scored
+against *all* entities with a handful of NumPy kernels.
+
+Layout per attribute (:class:`AttributeColumns`):
+
+* ``fractions`` / ``average_sentiments`` — E×M matrices;
+* ``totals`` / ``unmatched`` / ``overall_sentiments`` — length-E vectors;
+* ``centroids_unit`` — an E×M×D tensor of L2-prenormalized marker
+  centroids, so phrase–centroid cosine similarity is one tensor–vector
+  product;
+* ``name_units`` — the shared M×D matrix of L2-prenormalized marker-name
+  vectors, so phrase–marker-name similarity is one matrix–vector product.
+
+:class:`ColumnarSummaryStore` builds these lazily per attribute and
+invalidates them through :attr:`SubjectiveDatabase.data_version`, exactly
+like the serving-layer caches: any ingest moves the version and the next
+read rebuilds.  Kernels mirror the scalar membership arithmetic operation
+for operation, so degrees agree with the per-entity path to floating-point
+round-off (the test suite pins ``atol=1e-9`` and identical rankings).
+
+Entities whose summaries do not conform to the attribute's schema markers
+(or that have no stored summary at all) are simply absent from the columns;
+callers fall back to per-entity scalar scoring for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Sequence
+
+import numpy as np
+
+from repro.core.markers import Marker
+from repro.errors import SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.database import SubjectiveDatabase
+    from repro.core.membership import MembershipFunction
+
+
+def _unit_rows(matrix: np.ndarray) -> np.ndarray:
+    """L2-normalize the last axis, mapping zero vectors to zero vectors.
+
+    Cosine similarity is invariant to positive scaling, so prenormalized
+    rows turn every later cosine into a plain dot product; zero rows keep
+    the scalar convention ``cosine(u, 0) == 0``.
+    """
+    norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return matrix / norms
+
+
+def _slice_columns(columns: "AttributeColumns", rows: list[int]) -> "AttributeColumns":
+    """A row gather of ``columns`` restricted to ``rows`` (shared marker data).
+
+    The scoring kernels are row-independent, so running them over a gather
+    computes the same per-entity arithmetic as the full pass; used when the
+    requested entities are a small slice of the store.
+    """
+    entity_ids = [columns.entity_ids[row] for row in rows]
+    return AttributeColumns(
+        attribute=columns.attribute,
+        entity_ids=entity_ids,
+        row_of={entity_id: index for index, entity_id in enumerate(entity_ids)},
+        markers=columns.markers,
+        marker_sentiments=columns.marker_sentiments,
+        fractions=columns.fractions[rows],
+        average_sentiments=columns.average_sentiments[rows],
+        totals=columns.totals[rows],
+        unmatched=columns.unmatched[rows],
+        overall_sentiments=columns.overall_sentiments[rows],
+        centroids_unit=columns.centroids_unit[rows],
+        name_units=columns.name_units,
+    )
+
+
+@dataclass
+class AttributeColumns:
+    """Dense entity-major view of every marker summary of one attribute.
+
+    Rows are aligned with ``entity_ids``; ``row_of`` maps an entity id back
+    to its row.  All arrays are read-only snapshots of the summaries at one
+    :attr:`SubjectiveDatabase.data_version`.
+    """
+
+    attribute: str
+    entity_ids: list[Hashable]
+    row_of: dict[Hashable, int]
+    markers: list[Marker]
+    marker_sentiments: np.ndarray  # (M,)
+    fractions: np.ndarray  # (E, M)
+    average_sentiments: np.ndarray  # (E, M)
+    totals: np.ndarray  # (E,)
+    unmatched: np.ndarray  # (E,)
+    overall_sentiments: np.ndarray  # (E,)
+    centroids_unit: np.ndarray  # (E, M, D)
+    name_units: np.ndarray  # (M, D)
+
+    @property
+    def num_entities(self) -> int:
+        return len(self.entity_ids)
+
+    @property
+    def num_markers(self) -> int:
+        return len(self.markers)
+
+    @property
+    def dimension(self) -> int:
+        """Embedding dimension of the centroid/name vectors (0 when absent)."""
+        return self.name_units.shape[1]
+
+
+# --------------------------------------------------------------------------
+# Scoring kernels (attribute-wide; one phrase against all E entities)
+# --------------------------------------------------------------------------
+
+def phrase_marker_similarities(
+    columns: AttributeColumns, phrase_vector: np.ndarray | None
+) -> np.ndarray:
+    """E×M similarities of one phrase to each marker (name vs centroid max).
+
+    Mirrors the scalar ``_marker_similarities_ctx``: per marker, the larger
+    of the phrase's cosine to the marker *name* and to the marker's phrase
+    *centroid*.  The name term is one M×D matrix–vector product shared by
+    all entities; the centroid term is one E×M×D tensor–vector product.
+    """
+    shape = (columns.num_entities, columns.num_markers)
+    if phrase_vector is None or columns.dimension == 0:
+        return np.zeros(shape)
+    norm = float(np.linalg.norm(phrase_vector))
+    if norm == 0.0:
+        return np.zeros(shape)
+    unit = phrase_vector / norm
+    name_similarities = columns.name_units @ unit  # (M,)
+    centroid_similarities = columns.centroids_unit @ unit  # (E, M)
+    return np.maximum(name_similarities[np.newaxis, :], centroid_similarities)
+
+
+def similarity_mass(
+    columns: AttributeColumns, similarities: np.ndarray
+) -> np.ndarray:
+    """Length-E similarity-mass vector (scalar ``_similarity_mass_ctx``).
+
+    Phrase mass concentrated on the markers most similar to the phrase,
+    normalized by the summary's peak marker fraction; 0.5 (the neutral
+    prior) where the phrase matches no marker or the summary is empty.
+    """
+    positives = np.clip(similarities, 0.0, None) ** 2  # (E, M)
+    positive_sums = positives.sum(axis=1)  # (E,)
+    safe_sums = np.where(positive_sums > 0.0, positive_sums, 1.0)
+    weights = positives / safe_sums[:, np.newaxis]
+    expected = np.einsum("em,em->e", weights, columns.fractions)
+    peaks = columns.fractions.max(axis=1)
+    mass = np.minimum(1.0, expected / (peaks + 1e-9))
+    neutral = (positive_sums <= 0.0) | (columns.totals == 0.0)
+    return np.where(neutral, 0.5, mass)
+
+
+def marker_polarities(columns: AttributeColumns) -> np.ndarray:
+    """E×M marker polarities: observed average sentiment, else the marker's own."""
+    return np.where(
+        np.abs(columns.average_sentiments) > 1e-9,
+        columns.average_sentiments,
+        columns.marker_sentiments[np.newaxis, :],
+    )
+
+
+def aligned_mass(columns: AttributeColumns, phrase_polarity: float) -> np.ndarray:
+    """Length-E sentiment-aligned mass vector (scalar ``_aligned_mass``)."""
+    sign = 1.0 if phrase_polarity >= 0 else -1.0
+    alignments = 0.5 * (1.0 + sign * np.clip(marker_polarities(columns), -1.0, 1.0))
+    mass = np.einsum("em,em->e", columns.fractions, alignments)
+    return np.where(columns.totals == 0.0, 0.0, mass)
+
+
+def summary_feature_matrix(
+    columns: AttributeColumns,
+    phrase_vector: np.ndarray | None,
+    phrase_sentiment: float,
+) -> np.ndarray:
+    """E×12 feature matrix: row i is ``summary_feature_vector`` of entity i.
+
+    Feeds :class:`repro.core.membership.LearnedMembership` through a single
+    logistic matrix–vector product instead of E independent scorings.  The
+    caller supplies the phrase's embedding vector and sentiment so this
+    module stays free of the membership layer's text models.
+    """
+    similarities = phrase_marker_similarities(columns, phrase_vector)
+    mass = similarity_mass(columns, similarities)
+    aligned = aligned_mass(columns, phrase_sentiment)
+    rows = np.arange(columns.num_entities)
+    best = similarities.argmax(axis=1)
+    denominators = columns.unmatched + columns.totals
+    unmatched_fractions = np.where(
+        denominators > 0.0,
+        columns.unmatched / np.where(denominators > 0.0, denominators, 1.0),
+        0.0,
+    )
+    return np.column_stack(
+        [
+            np.log1p(columns.totals),
+            aligned,
+            mass,
+            columns.fractions[rows, best],
+            similarities[rows, best],
+            columns.average_sentiments[rows, best],
+            columns.overall_sentiments,
+            np.full(columns.num_entities, phrase_sentiment),
+            phrase_sentiment * columns.overall_sentiments,
+            unmatched_fractions,
+            np.einsum("em,em->e", columns.fractions, columns.average_sentiments),
+            (columns.totals == 0.0).astype(np.float64),
+        ]
+    )
+
+
+# --------------------------------------------------------------------------
+# The store
+# --------------------------------------------------------------------------
+
+class ColumnarSummaryStore:
+    """Lazily built per-attribute column arrays over a subjective database.
+
+    Columns are built on first use per attribute and dropped whenever
+    :attr:`SubjectiveDatabase.data_version` moves (the same invalidation
+    protocol as the serving-layer caches), so they can never serve degrees
+    computed from stale summaries.
+    """
+
+    def __init__(self, database: "SubjectiveDatabase") -> None:
+        self.database = database
+        self._columns: dict[str, AttributeColumns | None] = {}
+        self._version = database.data_version
+        self.builds = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------ lifecycle
+    def invalidate(self) -> None:
+        """Drop every built column set and resnapshot the data version."""
+        self._columns.clear()
+        self._version = self.database.data_version
+        self.invalidations += 1
+
+    def _check_version(self) -> None:
+        if self._version != self.database.data_version:
+            self.invalidate()
+
+    @property
+    def data_version(self) -> int:
+        """The database version the current columns were built against."""
+        return self._version
+
+    def columns(self, attribute: str) -> AttributeColumns | None:
+        """Column arrays of one attribute (``None`` when it has no summaries)."""
+        self._check_version()
+        if attribute not in self._columns:
+            built = self._build(attribute)
+            self._columns[attribute] = built
+            if built is not None:
+                self.builds += 1
+        return self._columns[attribute]
+
+    # -------------------------------------------------------------- scoring
+    def pair_degrees(
+        self,
+        membership: "MembershipFunction",
+        entity_ids: Sequence[Hashable],
+        attribute: str,
+        phrase: str,
+    ) -> list[float] | None:
+        """Degrees of one ``A ≐ m`` condition for many entities, columnar.
+
+        Returns ``None`` when the store cannot reproduce the scalar path
+        exactly — the membership function has no columnar kernel, it scores
+        with a different embedder than the one the column arrays were built
+        from, or the attribute has no columns — and callers then run the
+        scalar batch path.  Entities absent from the columns — no stored
+        summary, or a summary that does not conform to the schema markers —
+        fall back to per-entity scalar scoring, so results cover every
+        requested id.
+
+        When the requested resident ids are a small slice of the columns
+        (fewer than a quarter of the rows), the kernel runs over a row
+        gather of just those entities instead of all E: every kernel is
+        row-independent, so the gathered pass computes the same per-entity
+        arithmetic while a mostly-warm serving cache missing a handful of
+        entities stops paying for the whole store.
+        """
+        kernel = getattr(membership, "degrees_columnar", None)
+        if kernel is None:
+            return None
+        if getattr(membership, "embedder", None) is not self.database.phrase_embedder:
+            # The columns' centroid/name vectors come from the database's
+            # embedder; a membership scoring with any other embedder (or
+            # none) must take the scalar path to keep results identical.
+            return None
+        columns = self.columns(attribute)
+        if columns is None:
+            return None
+        rows = [columns.row_of.get(entity_id) for entity_id in entity_ids]
+        resident = sorted({row for row in rows if row is not None})
+        batch: np.ndarray | None = None
+        if resident:
+            if len(resident) * 4 < columns.num_entities:
+                sliced = _slice_columns(columns, resident)
+                partial = kernel(sliced, phrase)
+                batch = np.empty(columns.num_entities)
+                batch[resident] = partial
+            else:
+                batch = kernel(columns, phrase)
+        make_context = getattr(membership, "context_for", None)
+        context_degree = getattr(membership, "context_degree", None)
+        context = None
+        degrees: list[float] = []
+        for entity_id, row in zip(entity_ids, rows):
+            if row is not None:
+                degrees.append(float(batch[row]))
+                continue
+            # Entity absent from the columns: per-entity scalar fallback.  A
+            # context-capable membership shares one phrase context primed from
+            # the store's marker-name matrix across all absent entities.
+            summary = self.database.marker_summary(entity_id, attribute)
+            if make_context is not None and context_degree is not None:
+                if context is None:
+                    context = make_context(phrase)
+                    context.prime_name_similarities(columns)
+                degrees.append(float(context_degree(summary, context)))
+            else:
+                degrees.append(float(membership.degree(summary, phrase)))
+        return degrees
+
+    # ------------------------------------------------------------- building
+    def _build(self, attribute: str) -> AttributeColumns | None:
+        summaries = self.database.summaries_for_attribute(attribute)
+        if not summaries:
+            return None
+        try:
+            reference = list(self.database.schema.subjective(attribute).markers)
+        except SchemaError:
+            reference = list(next(iter(summaries.values())).markers)
+
+        entity_ids = [
+            entity_id
+            for entity_id, summary in summaries.items()
+            if summary.markers == reference
+        ]
+        if not entity_ids:
+            return None
+        num_entities = len(entity_ids)
+        num_markers = len(reference)
+
+        fractions = np.empty((num_entities, num_markers))
+        average_sentiments = np.empty((num_entities, num_markers))
+        totals = np.empty(num_entities)
+        unmatched = np.empty(num_entities)
+        overall_sentiments = np.empty(num_entities)
+
+        embedder = self.database.phrase_embedder
+        dimension = embedder.dimension if embedder is not None else 0
+        centroids = np.zeros((num_entities, num_markers, dimension))
+
+        for row, entity_id in enumerate(entity_ids):
+            summary = summaries[entity_id]
+            arrays = summary.arrays()
+            fractions[row] = arrays.fractions
+            average_sentiments[row] = arrays.average_sentiments
+            totals[row] = arrays.total
+            unmatched[row] = summary.num_unmatched
+            overall_sentiments[row] = summary.overall_sentiment()
+            if dimension:
+                centroids[row] = summary.vector_matrix(dimension)
+
+        if dimension:
+            name_vectors = np.vstack(
+                [embedder.represent(marker.name) for marker in reference]
+            )
+        else:
+            name_vectors = np.zeros((num_markers, 0))
+
+        return AttributeColumns(
+            attribute=attribute,
+            entity_ids=entity_ids,
+            row_of={entity_id: row for row, entity_id in enumerate(entity_ids)},
+            markers=reference,
+            marker_sentiments=np.array([marker.sentiment for marker in reference]),
+            fractions=fractions,
+            average_sentiments=average_sentiments,
+            totals=totals,
+            unmatched=unmatched,
+            overall_sentiments=overall_sentiments,
+            centroids_unit=_unit_rows(centroids) if dimension else centroids,
+            name_units=_unit_rows(name_vectors) if dimension else name_vectors,
+        )
+
+    # ------------------------------------------------------------ statistics
+    def stats_snapshot(self) -> dict[str, object]:
+        """Build/invalidation counters plus the currently resident columns."""
+        return {
+            "data_version": self._version,
+            "builds": self.builds,
+            "invalidations": self.invalidations,
+            "attributes": {
+                name: (columns.num_entities if columns is not None else 0)
+                for name, columns in self._columns.items()
+            },
+        }

@@ -274,6 +274,21 @@ class MarkerSummary:
             )
         return self._arrays
 
+    def vector_matrix(self, dimension: int) -> np.ndarray:
+        """(M, D) matrix of the per-marker embedding-vector sums.
+
+        Markers without a vector sum (no embedding dimension, or one that
+        does not match ``dimension``) contribute zero rows — the same "zero
+        vector means no centroid" convention the membership similarity code
+        uses.  The columnar store stacks these matrices into its E×M×D
+        centroid tensor.
+        """
+        matrix = np.zeros((len(self.markers), dimension))
+        for index, vector_sum in enumerate(self.arrays().vector_sums):
+            if vector_sum is not None and vector_sum.shape == (dimension,):
+                matrix[index] = vector_sum
+        return matrix
+
     def dominant_marker(self) -> Marker:
         """The marker holding the largest share of the phrase mass."""
         name = max(self._counts, key=lambda key: (self._counts[key], key))

@@ -39,6 +39,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core import columnar
+from repro.core.columnar import AttributeColumns
 from repro.core.database import ExtractionRecord, SubjectiveDatabase
 from repro.core.markers import MarkerSummary
 from repro.errors import NotFittedError
@@ -75,6 +77,11 @@ class PhraseContext:
     single pass over precomputed arrays rather than N independent scorings.
     """
 
+    #: Memoised marker-name similarities are capped per context; marker-name
+    #: vocabularies are tiny in practice, so the cap only guards pathological
+    #: callers that stream unbounded marker names through one context.
+    NAME_CACHE_LIMIT = 4096
+
     phrase: str
     polarity: float
     vector: np.ndarray | None
@@ -89,8 +96,29 @@ class PhraseContext:
                 cached = 0.0
             else:
                 cached = cosine(self.vector, self.embedder.represent(marker_name))
-            self._name_similarities[marker_name] = cached
+            if len(self._name_similarities) < self.NAME_CACHE_LIMIT:
+                self._name_similarities[marker_name] = cached
         return cached
+
+    def prime_name_similarities(self, columns: AttributeColumns) -> None:
+        """Prefill the name-similarity memo from columnar marker-name units.
+
+        One M×D matrix–vector product against the store's shared
+        prenormalized marker-name matrix replaces M separate cosine calls
+        when a scalar-path context scores an attribute the columnar store
+        has already materialised.
+        """
+        if self.vector is None or columns.dimension != self.vector.shape[0]:
+            return
+        norm = float(np.linalg.norm(self.vector))
+        if norm == 0.0:
+            similarities = np.zeros(columns.num_markers)
+        else:
+            similarities = columns.name_units @ (self.vector / norm)
+        for marker, similarity in zip(columns.markers, similarities):
+            if len(self._name_similarities) >= self.NAME_CACHE_LIMIT:
+                break
+            self._name_similarities.setdefault(marker.name, float(similarity))
 
 
 def _context_for(phrase: str, embedder: PhraseEmbedder | None) -> PhraseContext:
@@ -195,12 +223,23 @@ def summary_feature_vector(
     markers, letting a single model serve attributes with different marker
     counts.
     """
+    return _summary_features_ctx(
+        summary, _context_for(phrase, embedder), phrase_sentiment
+    )
+
+
+def _summary_features_ctx(
+    summary: MarkerSummary,
+    ctx: PhraseContext,
+    phrase_sentiment: float | None = None,
+) -> np.ndarray:
+    """Feature vector against a prebuilt phrase context (hoisted batch path)."""
     if phrase_sentiment is None:
-        phrase_sentiment = _phrase_polarity(phrase)
+        phrase_sentiment = ctx.polarity
     total = summary.total()
     fractions = [summary.fraction(name) for name in summary.marker_names]
     sentiments = [summary.average_sentiment(name) for name in summary.marker_names]
-    similarity_mass, similarities = _similarity_mass(summary, phrase, embedder)
+    similarity_mass, similarities = _similarity_mass_ctx(summary, ctx)
     aligned = _aligned_mass(summary, phrase_sentiment)
     best = int(np.argmax(similarities)) if similarities else 0
     overall_sentiment = summary.overall_sentiment()
@@ -276,6 +315,42 @@ class HeuristicMembership(MembershipFunction):
             [self._degree_in_context(summary, ctx) for summary in summaries]
         )
 
+    def degrees_columnar(self, columns: AttributeColumns, phrase: str) -> np.ndarray:
+        """Attribute-wide scoring: one phrase against every entity in ``columns``.
+
+        The columnar mirror of :meth:`degree` — marker similarities as one
+        tensor–vector product, aligned/similarity mass as matrix reductions,
+        smoothing and blending as elementwise kernels.  Returns a length-E
+        vector aligned with ``columns.entity_ids``, equal to the scalar path
+        up to floating-point round-off of the batched linear algebra.
+        """
+        vector = self.embedder.represent(phrase) if self.embedder is not None else None
+        polarity = _phrase_polarity(phrase)
+        similarities = columnar.phrase_marker_similarities(columns, vector)
+        similarity_mass = columnar.similarity_mass(columns, similarities)
+        if abs(polarity) >= 0.05:
+            sentiment_weight = self.polar_sentiment_weight
+            sentiment_scores = columnar.aligned_mass(columns, polarity)
+        else:
+            sentiment_weight = self.neutral_sentiment_weight
+            sentiment_scores = 0.5 * (1.0 + columns.overall_sentiments)
+        totals = columns.totals
+        k = self.smoothing_pseudocount
+        sentiment_scores = (sentiment_scores * totals + 0.5 * k) / (totals + k)
+        degrees = (
+            sentiment_weight * sentiment_scores
+            + (1.0 - sentiment_weight) * similarity_mass
+        )
+        return np.where(totals == 0.0, self.empty_degree, np.clip(degrees, 0.0, 1.0))
+
+    def context_for(self, phrase: str) -> PhraseContext:
+        """A phrase context usable with :meth:`context_degree` (fallback path)."""
+        return _context_for(phrase, self.embedder)
+
+    def context_degree(self, summary: MarkerSummary | None, ctx: PhraseContext) -> float:
+        """Score one summary against a shared (possibly primed) context."""
+        return self._degree_in_context(summary, ctx)
+
     def _degree_in_context(
         self, summary: MarkerSummary | None, ctx: PhraseContext
     ) -> float:
@@ -344,6 +419,39 @@ class LearnedMembership(MembershipFunction):
         features = self._features(summary, phrase)
         return float(self.model.positive_probability(features.reshape(1, -1))[0])
 
+    def degrees(
+        self, summaries: Sequence[MarkerSummary | None], phrase: str
+    ) -> np.ndarray:
+        """Batch scoring: one phrase context, one stacked logistic evaluation.
+
+        The phrase-level work (polarity, embedding, marker-name similarities)
+        is hoisted into a single context, the per-summary feature vectors are
+        vstacked, and the model runs once over the whole matrix instead of
+        once per entity.  Values match :meth:`degree` element-wise up to
+        floating-point round-off of the batched linear algebra.
+        """
+        if not self._fitted:
+            raise NotFittedError("LearnedMembership is not fitted")
+        degrees = np.full(len(summaries), 0.25)
+        ctx = _context_for(phrase, self.embedder)
+        present = [i for i, summary in enumerate(summaries) if summary is not None]
+        if present:
+            features = np.vstack(
+                [_summary_features_ctx(summaries[i], ctx) for i in present]
+            )
+            degrees[present] = self.model.positive_probability(features)
+        return degrees
+
+    def degrees_columnar(self, columns: AttributeColumns, phrase: str) -> np.ndarray:
+        """Attribute-wide scoring: E×12 feature matrix, one logistic pass."""
+        if not self._fitted:
+            raise NotFittedError("LearnedMembership is not fitted")
+        vector = self.embedder.represent(phrase) if self.embedder is not None else None
+        features = columnar.summary_feature_matrix(
+            columns, vector, _phrase_polarity(phrase)
+        )
+        return self.model.positive_probability(features)
+
 
 def raw_extraction_features(
     extractions: Sequence[ExtractionRecord],
@@ -363,11 +471,21 @@ def raw_extraction_features(
     if total == 0:
         return np.zeros(9)
     if embedder is not None:
+        # One stacked cosine kernel over all extraction-phrase vectors; the
+        # embedder memoises represent() so repeated scans of the same entity
+        # pay only the matrix product, never re-embedding.
         phrase_vector = embedder.represent(phrase)
-        similarities = [
-            cosine(phrase_vector, embedder.represent(record.phrase))
-            for record in extractions
-        ]
+        phrase_norm = float(np.linalg.norm(phrase_vector))
+        if phrase_norm == 0.0:
+            similarities = [0.0] * total
+        else:
+            matrix = np.vstack(
+                [embedder.represent(record.phrase) for record in extractions]
+            )
+            norms = np.linalg.norm(matrix, axis=1)
+            scale = np.where(norms > 0.0, norms * phrase_norm, 1.0)
+            products = (matrix @ phrase_vector) / scale
+            similarities = np.where(norms > 0.0, products, 0.0).tolist()
     else:
         similarities = [0.0] * total
     similar = [

@@ -21,10 +21,12 @@ ablation of Table 7).
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Sequence
 
+from repro.core.columnar import ColumnarSummaryStore
 from repro.core.database import SubjectiveDatabase
 from repro.core.fuzzy import FuzzyLogic, ProductLogic
 from repro.core.interpreter import (
@@ -44,6 +46,25 @@ from repro.errors import ExecutionError
 #: Batch scorer signatures (entity ids, attribute/predicate, phrase) -> degrees.
 PairScorer = Callable[[Sequence[Hashable], str, str], list[float]]
 RetrievalScorer = Callable[[Sequence[Hashable], str], list[float]]
+
+
+def _rank_key(entity: "RankedEntity") -> tuple[float, str]:
+    """Deterministic ranking order: score descending, entity id as tie-break."""
+    return (-entity.score, str(entity.entity_id))
+
+
+def _top_ranked(ranked: list["RankedEntity"], limit: int) -> list["RankedEntity"]:
+    """The ``limit`` best entities in ranking order.
+
+    ``heapq.nsmallest`` is documented to equal ``sorted(...)[:limit]``, so
+    the selection matches the previous full sort + slice exactly (including
+    the ``(-score, str(entity_id))`` tie-break) while doing O(n log k) work
+    when ``limit`` is far below the candidate count.
+    """
+    if limit < len(ranked):
+        return heapq.nsmallest(limit, ranked, key=_rank_key)
+    ranked.sort(key=_rank_key)
+    return ranked[:limit]
 
 
 @dataclass(frozen=True)
@@ -102,6 +123,16 @@ class SubjectiveQueryProcessor:
     use_markers:
         When ``False`` the processor bypasses marker summaries and uses
         ``raw_membership`` (must then be provided) — the Table 7 ablation.
+    use_columnar:
+        When ``True`` (the default) cold-path scoring routes through a
+        :class:`ColumnarSummaryStore`: one vectorized kernel pass per
+        predicate over dense per-attribute summary arrays, instead of a
+        Python loop over entities.  ``False`` forces the scalar per-entity
+        batch path (used as the comparison baseline by tests/benchmarks).
+    columnar_store:
+        The store backing the columnar path; built lazily over ``database``
+        when not supplied.  Sharing one store between processors over the
+        same database shares the built column arrays.
     """
 
     database: SubjectiveDatabase
@@ -112,6 +143,8 @@ class SubjectiveQueryProcessor:
     retrieval_pivot: float = 3.0
     use_markers: bool = True
     raw_membership: RawExtractionMembership | None = None
+    use_columnar: bool = True
+    columnar_store: ColumnarSummaryStore | None = None
 
     def __post_init__(self) -> None:
         if self.interpreter is None:
@@ -120,6 +153,8 @@ class SubjectiveQueryProcessor:
             self.membership = HeuristicMembership(
                 embedder=self.database.phrase_embedder
             )
+        if self.use_columnar and self.columnar_store is None:
+            self.columnar_store = ColumnarSummaryStore(self.database)
         if not self.use_markers and self.raw_membership is None:
             raise ExecutionError(
                 "use_markers=False requires a fitted RawExtractionMembership"
@@ -233,11 +268,10 @@ class SubjectiveQueryProcessor:
                     predicate_degrees=degrees,
                 )
             )
-        ranked.sort(key=lambda entity: (-entity.score, str(entity.entity_id)))
         limit = statement.limit or top_k or self.top_k
         return QueryResult(
             sql=sql,
-            entities=ranked[:limit],
+            entities=_top_ranked(ranked, limit),
             interpretations=interpretations,
         )
 
@@ -273,15 +307,25 @@ class SubjectiveQueryProcessor:
     ) -> list[float]:
         """Batch primitive: degrees of one ``A ≐ m`` condition for many entities.
 
-        With markers enabled this is a single :meth:`MembershipFunction.degrees`
-        pass over the entities' precomputed marker-summary arrays; the
-        marker-free ablation falls back to per-entity raw-extraction scans.
+        With markers enabled this routes through the columnar store — a
+        handful of NumPy kernel calls over dense per-attribute summary
+        arrays — falling back to a :meth:`MembershipFunction.degrees` pass
+        over per-entity summaries when the store cannot serve the request
+        (columnar disabled, membership without a columnar kernel, or an
+        attribute with no stored summaries).  The marker-free ablation falls
+        back to per-entity raw-extraction scans.
         """
         if not self.use_markers:
             return [
                 self.raw_membership.degree_for_attribute(entity_id, attribute, phrase)
                 for entity_id in entity_ids
             ]
+        if self.use_columnar and self.columnar_store is not None:
+            degrees = self.columnar_store.pair_degrees(
+                self.membership, entity_ids, attribute, phrase
+            )
+            if degrees is not None:
+                return degrees
         summaries = [
             self.database.marker_summary(entity_id, attribute)
             for entity_id in entity_ids
@@ -291,8 +335,22 @@ class SubjectiveQueryProcessor:
     def retrieval_degrees(
         self, entity_ids: Sequence[Hashable], predicate: str
     ) -> list[float]:
-        """Batch primitive: text-retrieval fallback degrees for many entities."""
-        return [self._retrieval_degree(entity_id, predicate) for entity_id in entity_ids]
+        """Batch primitive: text-retrieval fallback degrees for many entities.
+
+        BM25 scores for all candidates — ``sigmoid(BM25(D, q) − c)`` — come
+        from one :meth:`repro.text.bm25.Bm25Index.scores` pass (query
+        tokenisation and per-term idf computed once, term contributions
+        accumulated as array ops); the sigmoid squash stays per-entity
+        scalar so values are bit-identical to a per-entity computation.
+        """
+        index = self.database.entity_index
+        if index is None:
+            return [0.0 for _ in entity_ids]
+        pivot = self.retrieval_pivot
+        return [
+            1.0 / (1.0 + math.exp(-(score - pivot)))
+            for score in index.scores(entity_ids, predicate)
+        ]
 
     def interpretation_degrees(
         self,
@@ -337,12 +395,8 @@ class SubjectiveQueryProcessor:
         return self.interpretation_degrees([entity_id], interpretation)[0]
 
     def _retrieval_degree(self, entity_id: Hashable, predicate: str) -> float:
-        """Text-retrieval fallback: sigmoid(BM25(entity document, q) − c)."""
-        index = self.database.entity_index
-        if index is None:
-            return 0.0
-        score = index.score(entity_id, predicate)
-        return 1.0 / (1.0 + math.exp(-(score - self.retrieval_pivot)))
+        """Single-entity convenience over :meth:`retrieval_degrees`."""
+        return self.retrieval_degrees([entity_id], predicate)[0]
 
     # ------------------------------------------------------------- explain
     def explain(self, result: QueryResult, entity_id: Hashable, limit: int = 3) -> list[str]:

@@ -11,13 +11,17 @@ with the amortisation layers a query-serving deployment needs:
 * a **membership cache** — ``(entity_id, attribute, phrase) → degree`` (and
   ``(entity_id, None, predicate)`` for the text-retrieval fallback), shared
   across all queries touching the same predicate/entity combinations;
-* **batch scoring** — uncached degrees are computed for all missing
+* **columnar batch scoring** — uncached degrees are computed for all missing
   entities of a predicate in one :meth:`SubjectiveQueryProcessor.pair_degrees`
-  pass over precomputed marker-summary arrays, never entity-by-entity.
+  call, which routes through the processor's
+  :class:`repro.core.columnar.ColumnarSummaryStore`: a handful of NumPy
+  kernel calls over dense per-attribute summary arrays, never
+  entity-by-entity Python loops.
 
 Every cache snapshots :attr:`SubjectiveDatabase.data_version`; any ingest
 (entities, reviews, extractions, summaries, index rebuilds) moves the
-version and the next query drops all cached state.  Results are therefore
+version and the next query drops all cached state — including the columnar
+store's built column arrays.  Results are therefore
 always identical to running the wrapped processor directly — the test suite
 asserts equality and the throughput benchmark measures the speedup.
 """
@@ -138,6 +142,8 @@ class SubjectiveQueryEngine:
         self.membership_cache.clear()
         self.candidate_cache.clear()
         self.processor.interpreter.invalidate()
+        if self.processor.columnar_store is not None:
+            self.processor.columnar_store.invalidate()
         self.stats.invalidations += 1
         self._data_version = self.database.data_version
 
@@ -317,4 +323,9 @@ class SubjectiveQueryEngine:
             "plan_cache": self.plan_cache.stats.as_dict(),
             "membership_cache": self.membership_cache.stats.as_dict(),
             "candidate_cache": self.candidate_cache.stats.as_dict(),
+            "columnar_store": (
+                self.processor.columnar_store.stats_snapshot()
+                if self.processor.columnar_store is not None
+                else None
+            ),
         }

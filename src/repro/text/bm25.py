@@ -20,6 +20,8 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
 
+import numpy as np
+
 from repro.text.stopwords import STOPWORDS
 from repro.text.tokenize import tokenize
 
@@ -112,6 +114,45 @@ class Bm25Index:
             denominator = tf + self.k1 * (1 - self.b + self.b * doc_length / avg_length)
             total += idf * tf * (self.k1 + 1) / denominator
         return total
+
+    def scores(
+        self, doc_ids: Sequence[Hashable], query: str | Sequence[str]
+    ) -> list[float]:
+        """BM25 scores of many documents for one query (vectorized).
+
+        Equivalent to ``[self.score(doc_id, query) for doc_id in doc_ids]``
+        but the query is tokenised once, each term's idf is computed once,
+        and per-term contributions accumulate as array operations over the
+        whole candidate list.  The elementwise arithmetic mirrors
+        :meth:`score` operation for operation, so results are bit-identical;
+        unindexed documents score 0.0.
+        """
+        if not doc_ids:
+            return []
+        tokens = self._prepare(query)
+        avg_length = self.average_length or 1.0
+        lengths = np.array(
+            [self._doc_lengths.get(doc_id, 0) for doc_id in doc_ids], dtype=np.float64
+        )
+        totals = np.zeros(len(doc_ids))
+        base = self.k1 * (1 - self.b + self.b * lengths / avg_length)
+        for token in tokens:
+            postings = self._postings.get(token)
+            if not postings:
+                continue
+            tf = np.array(
+                [postings.get(doc_id, 0) for doc_id in doc_ids], dtype=np.float64
+            )
+            idf = self.idf(token)
+            # tf == 0 rows contribute exactly 0.0, matching the scalar skip;
+            # the guarded denominator also avoids 0/0 for an empty document
+            # when b == 1.0 (where base is 0 as well).
+            matched = tf > 0.0
+            denominator = np.where(matched, tf + base, 1.0)
+            totals += np.where(matched, idf * tf * (self.k1 + 1) / denominator, 0.0)
+        indexed = np.array([doc_id in self._doc_lengths for doc_id in doc_ids])
+        totals[~indexed] = 0.0
+        return totals.tolist()
 
     def search(self, query: str | Sequence[str], top_k: int = 10) -> list[SearchHit]:
         """Return up to ``top_k`` documents ranked by BM25 score."""

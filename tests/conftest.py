@@ -80,3 +80,14 @@ def hotel_setup(small_tagger) -> DomainSetup:
 @pytest.fixture(scope="session")
 def hotel_database(hotel_setup):
     return hotel_setup.database
+
+
+@pytest.fixture(scope="session")
+def restaurant_setup() -> DomainSetup:
+    """A small but fully built restaurant domain (trains its own tagger)."""
+    return build_domain_setup("restaurants", num_entities=12, reviews_per_entity=8, seed=4)
+
+
+@pytest.fixture(scope="session")
+def restaurant_database(restaurant_setup):
+    return restaurant_setup.database
