@@ -1,0 +1,151 @@
+"""Cold-path scaling of the entity-sharded serving engine.
+
+The sharded engine (PR 3) partitions every attribute's columnar arrays into
+K contiguous entity slices, fans uncached degree computation out across
+them, scores the WHERE tree over degree *vectors*, and merges per-shard
+top-k heaps into the global ranking.  This benchmark measures the cold
+(membership-cache-flushed) query path of:
+
+* **unsharded** — the PR 1/2 :class:`repro.serving.SubjectiveQueryEngine`;
+* **sharded** — :class:`repro.serving.ShardedSubjectiveQueryEngine` at
+  ``REPRO_BENCH_SHARDED_SHARDS`` threaded shards (threads release the GIL
+  inside the NumPy kernels; the executor sizes its concurrency to the
+  available cores).
+
+Both engines share plan/candidate caches and built column arrays across the
+timed passes, so the measurement isolates exactly the work a membership-
+cache miss triggers: kernel scoring, fuzzy combination, ranking.
+
+Assertions pin the contract from ISSUE 3: rankings (ids *and* scores)
+exactly equal to the unsharded engine, and ≥ 1.5× cold-path speedup at 4
+threaded shards on a ≥ 800-entity synthetic domain.  Results are recorded
+in ``BENCH_sharded.json`` at the repository root.
+
+Scale knobs: ``REPRO_BENCH_SHARDED_ENTITIES`` (default 800, floored at
+800) and ``REPRO_BENCH_SHARDED_SHARDS`` (default 4).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.experiments.common import ExperimentTable
+from repro.serving import ShardedSubjectiveQueryEngine, SubjectiveQueryEngine
+from repro.testing import build_synthetic_columnar_database, env_int
+
+pytestmark = pytest.mark.slow
+
+SHARDED_ENTITIES = max(800, env_int("REPRO_BENCH_SHARDED_ENTITIES", 800))
+NUM_SHARDS = env_int("REPRO_BENCH_SHARDED_SHARDS", 4)
+SPEEDUP_FLOOR = 1.5
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_sharded.json"
+
+#: Marker names double as predicates in the synthetic domain (each is its
+#: own linguistic variation, resolved by the word2vec method).
+QUERIES = [
+    'select * from Entities where "word003" and "word019" limit 10',
+    'select * from Entities where "word005" or "word021" limit 10',
+    "select * from Entities where city = 'london' and \"word010\" limit 10",
+    'select * from Entities where not "word007" and "word023" limit 10',
+    'select * from Entities where "word001" limit 10',
+    'select * from Entities where "word017" and "word002" and price < 200 limit 10',
+]
+
+
+@pytest.fixture(scope="module")
+def synthetic_database():
+    return build_synthetic_columnar_database(num_entities=SHARDED_ENTITIES, seed=0)
+
+
+def _one_cold_pass(engine) -> float:
+    """Queries per second of one membership-cache-flushed workload pass."""
+    engine.membership_cache.clear()
+    started = time.perf_counter()
+    for sql in QUERIES:
+        engine.execute(sql)
+    return len(QUERIES) / (time.perf_counter() - started)
+
+
+def _cold_queries_per_second(engines, passes: int = 14) -> list[float]:
+    """Best-of-``passes`` cold throughput per engine, passes interleaved.
+
+    Plans, candidate rows and column arrays stay warm (one untimed pass
+    builds them), so each timed query pays exactly the cache-miss scoring
+    work.  Passes alternate between the engines and each pass is timed
+    separately with the best pass winning: scheduler noise on a shared box
+    only ever slows a pass down and interleaving exposes every engine to
+    the same noise windows, so the per-engine maxima are stable estimators
+    of sustainable throughput.
+    """
+    for engine in engines:
+        for sql in QUERIES:
+            engine.execute(sql)
+    best = [0.0] * len(engines)
+    for _ in range(passes):
+        for position, engine in enumerate(engines):
+            best[position] = max(best[position], _one_cold_pass(engine))
+    return best
+
+
+def test_sharded_cold_path_speedup(synthetic_database):
+    database = synthetic_database
+    unsharded = SubjectiveQueryEngine(database=database)
+    sharded = ShardedSubjectiveQueryEngine(
+        database=database, num_shards=NUM_SHARDS, backend="thread"
+    )
+    try:
+        # Rankings — ids and scores — must be exactly those of the single
+        # engine (the differential suite additionally pins degrees).
+        for sql in QUERIES:
+            expected = unsharded.execute(sql)
+            actual = sharded.execute(sql)
+            assert actual.entity_ids == expected.entity_ids, sql
+            assert [entity.score for entity in actual] == [
+                entity.score for entity in expected
+            ], sql
+
+        unsharded_qps, sharded_qps = _cold_queries_per_second([unsharded, sharded])
+        speedup = sharded_qps / unsharded_qps
+
+        table = ExperimentTable(
+            title=(
+                f"Sharded cold-path serving ({len(database)} entities, "
+                f"{NUM_SHARDS} threaded shards)"
+            ),
+            columns=["engine", "queries", "qps"],
+        )
+        table.add_row("unsharded", len(QUERIES), round(unsharded_qps, 1))
+        table.add_row(f"{NUM_SHARDS}-shard thread", len(QUERIES), round(sharded_qps, 1))
+        table.add_row("speedup", "", round(speedup, 2))
+        print_result(table.format())
+
+        RESULTS_PATH.write_text(
+            json.dumps(
+                {
+                    "benchmark": "bench_sharded_scoring",
+                    "domain": "synthetic",
+                    "entities": len(database),
+                    "num_shards": NUM_SHARDS,
+                    "backend": "thread",
+                    "queries": len(QUERIES),
+                    "unsharded_qps": round(unsharded_qps, 2),
+                    "sharded_qps": round(sharded_qps, 2),
+                    "speedup": round(speedup, 2),
+                    "speedup_floor": SPEEDUP_FLOOR,
+                    "rankings_identical": True,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"sharded cold path only {speedup:.2f}x the unsharded engine"
+        )
+    finally:
+        sharded.close()

@@ -58,6 +58,33 @@ def _unit_rows(matrix: np.ndarray) -> np.ndarray:
     return matrix / norms
 
 
+def slice_view(columns: "AttributeColumns", start: int, stop: int) -> "AttributeColumns":
+    """A contiguous row range of ``columns`` as NumPy *views* (no copy).
+
+    Basic slicing of the E axis shares the underlying buffers, so a slice
+    view costs O(stop − start) only for the entity-id bookkeeping; the
+    per-entity arrays and the shared marker data are the store's own.  This
+    is the unit of placement for the sharded serving engine: every scoring
+    kernel is row-independent, so running it over a slice view computes
+    exactly the arithmetic the full pass would for those rows.
+    """
+    entity_ids = columns.entity_ids[start:stop]
+    return AttributeColumns(
+        attribute=columns.attribute,
+        entity_ids=entity_ids,
+        row_of={entity_id: index for index, entity_id in enumerate(entity_ids)},
+        markers=columns.markers,
+        marker_sentiments=columns.marker_sentiments,
+        fractions=columns.fractions[start:stop],
+        average_sentiments=columns.average_sentiments[start:stop],
+        totals=columns.totals[start:stop],
+        unmatched=columns.unmatched[start:stop],
+        overall_sentiments=columns.overall_sentiments[start:stop],
+        centroids_unit=columns.centroids_unit[start:stop],
+        name_units=columns.name_units,
+    )
+
+
 def _slice_columns(columns: "AttributeColumns", rows: list[int]) -> "AttributeColumns":
     """A row gather of ``columns`` restricted to ``rows`` (shared marker data).
 
@@ -140,7 +167,14 @@ def phrase_marker_similarities(
         return np.zeros(shape)
     unit = phrase_vector / norm
     name_similarities = columns.name_units @ unit  # (M,)
-    centroid_similarities = columns.centroids_unit @ unit  # (E, M)
+    # One 2-D GEMV over the flattened (E·M)×D tensor instead of E batched
+    # (M×D)·D products: the same per-row dot products (each output element
+    # is the dot of one centroid row with ``unit``) without the batched-
+    # matmul dispatch overhead per entity.
+    centroids = columns.centroids_unit
+    centroid_similarities = (
+        centroids.reshape(-1, centroids.shape[-1]) @ unit
+    ).reshape(shape)  # (E, M)
     return np.maximum(name_similarities[np.newaxis, :], centroid_similarities)
 
 
@@ -223,6 +257,78 @@ def summary_feature_matrix(
 
 
 # --------------------------------------------------------------------------
+# Shared scoring plumbing (used by the store and the sharded store)
+# --------------------------------------------------------------------------
+
+def columnar_kernel(membership: "MembershipFunction", database: "SubjectiveDatabase"):
+    """The membership's columnar kernel, or ``None`` when it cannot be used.
+
+    A kernel is usable only when the membership function exposes one *and*
+    scores with the same embedder the column arrays were built from; any
+    other combination must take the scalar path to keep results identical.
+    """
+    kernel = getattr(membership, "degrees_columnar", None)
+    if kernel is None:
+        return None
+    if getattr(membership, "embedder", None) is not database.phrase_embedder:
+        return None
+    return kernel
+
+
+def gather_degrees(
+    batch: np.ndarray | None,
+    rows: "list[int | None]",
+    entity_ids: Sequence[Hashable],
+    fallback,
+) -> list[float]:
+    """Per-entity degree list from a batch vector plus a scalar fallback.
+
+    When every requested entity is resident (the common case) the gather is
+    one fancy-index + ``tolist`` — no per-entity Python loop; otherwise
+    absent entities are scored through ``fallback`` one by one.
+    """
+    if batch is not None and None not in rows:
+        return batch[np.fromiter(rows, dtype=np.intp, count=len(rows))].tolist()
+    degrees: list[float] = []
+    for entity_id, row in zip(entity_ids, rows):
+        if row is not None:
+            degrees.append(float(batch[row]))
+        else:
+            degrees.append(fallback(entity_id))
+    return degrees
+
+
+def scalar_fallback_scorer(
+    membership: "MembershipFunction",
+    database: "SubjectiveDatabase",
+    attribute: str,
+    phrase: str,
+    columns: AttributeColumns,
+):
+    """Per-entity scorer for entities absent from the columns.
+
+    A context-capable membership shares one phrase context — primed from the
+    store's marker-name matrix — across all absent entities; otherwise each
+    entity pays a full scalar :meth:`MembershipFunction.degree`.
+    """
+    make_context = getattr(membership, "context_for", None)
+    context_degree = getattr(membership, "context_degree", None)
+    context: list = []  # lazily built so cache-warm calls never pay for it
+
+    def score(entity_id: Hashable) -> float:
+        summary = database.marker_summary(entity_id, attribute)
+        if make_context is not None and context_degree is not None:
+            if not context:
+                primed = make_context(phrase)
+                primed.prime_name_similarities(columns)
+                context.append(primed)
+            return float(context_degree(summary, context[0]))
+        return float(membership.degree(summary, phrase))
+
+    return score
+
+
+# --------------------------------------------------------------------------
 # The store
 # --------------------------------------------------------------------------
 
@@ -294,13 +400,8 @@ class ColumnarSummaryStore:
         arithmetic while a mostly-warm serving cache missing a handful of
         entities stops paying for the whole store.
         """
-        kernel = getattr(membership, "degrees_columnar", None)
+        kernel = columnar_kernel(membership, self.database)
         if kernel is None:
-            return None
-        if getattr(membership, "embedder", None) is not self.database.phrase_embedder:
-            # The columns' centroid/name vectors come from the database's
-            # embedder; a membership scoring with any other embedder (or
-            # none) must take the scalar path to keep results identical.
             return None
         columns = self.columns(attribute)
         if columns is None:
@@ -316,26 +417,12 @@ class ColumnarSummaryStore:
                 batch[resident] = partial
             else:
                 batch = kernel(columns, phrase)
-        make_context = getattr(membership, "context_for", None)
-        context_degree = getattr(membership, "context_degree", None)
-        context = None
-        degrees: list[float] = []
-        for entity_id, row in zip(entity_ids, rows):
-            if row is not None:
-                degrees.append(float(batch[row]))
-                continue
-            # Entity absent from the columns: per-entity scalar fallback.  A
-            # context-capable membership shares one phrase context primed from
-            # the store's marker-name matrix across all absent entities.
-            summary = self.database.marker_summary(entity_id, attribute)
-            if make_context is not None and context_degree is not None:
-                if context is None:
-                    context = make_context(phrase)
-                    context.prime_name_similarities(columns)
-                degrees.append(float(context_degree(summary, context)))
-            else:
-                degrees.append(float(membership.degree(summary, phrase)))
-        return degrees
+        return gather_degrees(
+            batch,
+            rows,
+            entity_ids,
+            scalar_fallback_scorer(membership, self.database, attribute, phrase, columns),
+        )
 
     # ------------------------------------------------------------- building
     def _build(self, attribute: str) -> AttributeColumns | None:

@@ -12,17 +12,36 @@ truth in [0, 1].  Two t-norm variants from the paper are provided:
 against (Appendix A): translating subjective conditions into crisp
 per-condition thresholds.  It is used by the Figure-7 experiment and the
 fuzzy-variant ablation bench.
+
+Each variant also provides *array* forms of its connectives
+(:meth:`FuzzyLogic.conjunction_arrays` and friends) that combine degree
+*vectors* — one degree per candidate entity — elementwise.  They fold over
+the operands in the same left-to-right order as the scalar forms, with the
+same validation semantics, so every element of the result is bit-identical
+to the scalar connective applied to that element's degrees.  The sharded
+serving engine uses them to score a whole candidate slice per WHERE-tree
+node instead of re-walking the tree once per row.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 
 def _validate(degree: float) -> float:
     if not 0.0 <= degree <= 1.0 + 1e-9:
         raise ValueError(f"degree of truth out of range: {degree}")
     return min(1.0, max(0.0, degree))
+
+
+def _validate_array(degrees: np.ndarray) -> np.ndarray:
+    """Elementwise mirror of :func:`_validate` (NaN fails the range check too)."""
+    if not np.all((degrees >= 0.0) & (degrees <= 1.0 + 1e-9)):
+        bad = degrees[~((degrees >= 0.0) & (degrees <= 1.0 + 1e-9))]
+        raise ValueError(f"degree of truth out of range: {bad[0]}")
+    return np.clip(degrees, 0.0, 1.0)
 
 
 class FuzzyLogic:
@@ -42,11 +61,31 @@ class FuzzyLogic:
         """Fuzzy NOT of a degree of truth."""
         return 1.0 - _validate(degree)
 
+    # Array forms: elementwise connectives over degree vectors.  Subclasses
+    # implementing them must fold operands left to right with the scalar
+    # arithmetic, so result[i] is bit-identical to the scalar connective of
+    # the i-th degrees.  Variants without array forms keep the default
+    # ``None`` capability and are scored row by row.
+    supports_arrays = False
+
+    def conjunction_arrays(self, degree_arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Elementwise fuzzy AND of one or more aligned degree vectors."""
+        raise NotImplementedError
+
+    def disjunction_arrays(self, degree_arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Elementwise fuzzy OR of one or more aligned degree vectors."""
+        raise NotImplementedError
+
+    def negation_array(self, degrees: np.ndarray) -> np.ndarray:
+        """Elementwise fuzzy NOT of a degree vector."""
+        return 1.0 - _validate_array(degrees)
+
 
 class ZadehLogic(FuzzyLogic):
     """The classic min/max fuzzy logic (Zadeh, Fagin 1996)."""
 
     name = "zadeh"
+    supports_arrays = True
 
     def conjunction(self, degrees: Sequence[float]) -> float:
         if not degrees:
@@ -58,11 +97,28 @@ class ZadehLogic(FuzzyLogic):
             return 0.0
         return max(_validate(degree) for degree in degrees)
 
+    def conjunction_arrays(self, degree_arrays: Sequence[np.ndarray]) -> np.ndarray:
+        if not degree_arrays:
+            raise ValueError("conjunction_arrays needs at least one operand")
+        result = _validate_array(degree_arrays[0])
+        for degrees in degree_arrays[1:]:
+            result = np.minimum(result, _validate_array(degrees))
+        return result
+
+    def disjunction_arrays(self, degree_arrays: Sequence[np.ndarray]) -> np.ndarray:
+        if not degree_arrays:
+            raise ValueError("disjunction_arrays needs at least one operand")
+        result = _validate_array(degree_arrays[0])
+        for degrees in degree_arrays[1:]:
+            result = np.maximum(result, _validate_array(degrees))
+        return result
+
 
 class ProductLogic(FuzzyLogic):
     """The multiplication variant used by OpineDB (Klement et al.)."""
 
     name = "product"
+    supports_arrays = True
 
     def conjunction(self, degrees: Sequence[float]) -> float:
         result = 1.0
@@ -74,6 +130,24 @@ class ProductLogic(FuzzyLogic):
         result = 1.0
         for degree in degrees:
             result *= 1.0 - _validate(degree)
+        return 1.0 - result
+
+    def conjunction_arrays(self, degree_arrays: Sequence[np.ndarray]) -> np.ndarray:
+        # ``1.0 * x == x`` bit-for-bit on [0, 1], so folding from the first
+        # validated operand equals the scalar fold that starts at 1.0.
+        if not degree_arrays:
+            raise ValueError("conjunction_arrays needs at least one operand")
+        result = _validate_array(degree_arrays[0])
+        for degrees in degree_arrays[1:]:
+            result = result * _validate_array(degrees)
+        return result
+
+    def disjunction_arrays(self, degree_arrays: Sequence[np.ndarray]) -> np.ndarray:
+        if not degree_arrays:
+            raise ValueError("disjunction_arrays needs at least one operand")
+        result = 1.0 - _validate_array(degree_arrays[0])
+        for degrees in degree_arrays[1:]:
+            result = result * (1.0 - _validate_array(degrees))
         return 1.0 - result
 
 

@@ -48,8 +48,13 @@ PairScorer = Callable[[Sequence[Hashable], str, str], list[float]]
 RetrievalScorer = Callable[[Sequence[Hashable], str], list[float]]
 
 
-def _rank_key(entity: "RankedEntity") -> tuple[float, str]:
-    """Deterministic ranking order: score descending, entity id as tie-break."""
+def rank_key(entity: "RankedEntity") -> tuple[float, str]:
+    """Deterministic ranking order: score descending, entity id as tie-break.
+
+    This is *the* ordering of query results; the sharded serving engine's
+    per-shard heaps and merge use the same key so merged rankings are
+    exactly the global ordering.
+    """
     return (-entity.score, str(entity.entity_id))
 
 
@@ -62,8 +67,8 @@ def _top_ranked(ranked: list["RankedEntity"], limit: int) -> list["RankedEntity"
     when ``limit`` is far below the candidate count.
     """
     if limit < len(ranked):
-        return heapq.nsmallest(limit, ranked, key=_rank_key)
-    ranked.sort(key=_rank_key)
+        return heapq.nsmallest(limit, ranked, key=rank_key)
+    ranked.sort(key=rank_key)
     return ranked[:limit]
 
 
@@ -303,27 +308,39 @@ class SubjectiveQueryProcessor:
         return marker
 
     def pair_degrees(
-        self, entity_ids: Sequence[Hashable], attribute: str, phrase: str
+        self,
+        entity_ids: Sequence[Hashable],
+        attribute: str,
+        phrase: str,
+        store: object | None = None,
     ) -> list[float]:
         """Batch primitive: degrees of one ``A ≐ m`` condition for many entities.
 
-        With markers enabled this routes through the columnar store — a
+        With markers enabled this routes through a columnar store — a
         handful of NumPy kernel calls over dense per-attribute summary
         arrays — falling back to a :meth:`MembershipFunction.degrees` pass
         over per-entity summaries when the store cannot serve the request
         (columnar disabled, membership without a columnar kernel, or an
         attribute with no stored summaries).  The marker-free ablation falls
         back to per-entity raw-extraction scans.
+
+        ``store`` routes one computation through a specific store instead of
+        the processor's own — any object with the store's ``pair_degrees``
+        protocol works, including
+        :class:`repro.serving.sharded.ShardedColumnarStore`, whose kernels
+        fan out across entity shards.  The sharded serving engine installs
+        its sharded store as ``columnar_store`` outright, so every degree
+        the processor computes is shard-routed; both stores produce exactly
+        the degrees of the unsharded path (the kernels are row-independent).
         """
         if not self.use_markers:
             return [
                 self.raw_membership.degree_for_attribute(entity_id, attribute, phrase)
                 for entity_id in entity_ids
             ]
-        if self.use_columnar and self.columnar_store is not None:
-            degrees = self.columnar_store.pair_degrees(
-                self.membership, entity_ids, attribute, phrase
-            )
+        store = store if store is not None else self.columnar_store
+        if self.use_columnar and store is not None:
+            degrees = store.pair_degrees(self.membership, entity_ids, attribute, phrase)
             if degrees is not None:
                 return degrees
         summaries = [

@@ -7,32 +7,52 @@ candidate entity from scratch.  This package amortises that work across a
 query stream, which is what a production deployment serving repeated and
 overlapping queries needs:
 
-* :class:`LRUCache` — the bounded cache primitive shared by the layers below;
+* :class:`LRUCache` / :class:`PartitionedLRUCache` — the bounded cache
+  primitives shared by the layers below;
 * :func:`normalize_sql` / :class:`QueryPlan` — normalised-SQL keyed plans
   bundling the parsed statement with its predicate interpretations;
 * :class:`SubjectiveQueryEngine` — the serving front end: an LRU plan cache,
   a per-database membership-degree cache invalidated on ingest, batch
   (vectorized) degree computation over candidate entities, a ``run_batch()``
-  API, and cache/latency statistics.
+  API, and cache/latency statistics;
+* :class:`ShardedSubjectiveQueryEngine` / :class:`ShardedColumnarStore` —
+  the entity-sharded scale-out tier: K contiguous slice views per
+  attribute, per-slice kernel fan-out (serial/thread/process backends), a
+  per-shard membership-cache partition, vectorized WHERE-tree scoring and
+  per-shard top-k merge.
 
-The engine produces results identical to the wrapped processor — caches only
-short-circuit recomputation of values the processor would have produced.
+The engines produce results identical to the wrapped processor — caches
+only short-circuit recomputation of values the processor would have
+produced, and sharded execution reorders work, never arithmetic.
 """
 
-from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.cache import CacheStats, LRUCache, PartitionedLRUCache
 from repro.serving.engine import (
     BatchResult,
     ServingStats,
     SubjectiveQueryEngine,
 )
 from repro.serving.plans import QueryPlan, normalize_sql
+from repro.serving.sharded import (
+    ShardedColumnarStore,
+    ShardedSubjectiveQueryEngine,
+    default_num_shards,
+    merge_shard_topk,
+    partition_bounds,
+)
 
 __all__ = [
     "BatchResult",
     "CacheStats",
     "LRUCache",
+    "PartitionedLRUCache",
     "QueryPlan",
     "ServingStats",
+    "ShardedColumnarStore",
+    "ShardedSubjectiveQueryEngine",
     "SubjectiveQueryEngine",
+    "default_num_shards",
+    "merge_shard_topk",
     "normalize_sql",
+    "partition_bounds",
 ]

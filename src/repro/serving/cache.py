@@ -1,16 +1,24 @@
-"""A small LRU cache with hit/miss accounting.
+"""LRU caches with hit/miss accounting.
 
-Used by the serving engine for both the query-plan cache and the
-membership-degree cache.  Not thread-safe; the serving engine is a
-single-threaded front end (sharding across processes is the intended
-scale-out path, see ROADMAP).
+:class:`LRUCache` backs the serving engine's query-plan, candidate and
+membership-degree caches.  :class:`PartitionedLRUCache` splits one logical
+cache into independent LRU partitions keyed by a router function — the
+sharded serving engine partitions its membership cache so each shard's
+degree entries live (and are evicted) in their own partition, while
+invalidation stays ``data_version``-driven: the engine clears every
+partition together whenever the database version moves, exactly like the
+unsharded cache.
+
+Individual caches are not thread-safe; the serving engines only touch them
+from the coordinating thread (shard workers run pure NumPy kernels and
+never see a cache).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Iterator
+from typing import Callable, Hashable, Iterator, Sequence
 
 
 @dataclass
@@ -77,6 +85,42 @@ class LRUCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
+    def get_many(self, keys: Sequence[Hashable], default: object = None) -> list[object]:
+        """Batch :meth:`get`: one value (or ``default``) per key, in order.
+
+        Counts hits/misses and refreshes recency exactly like per-key
+        ``get`` calls, with the per-key call layering hoisted out — the
+        serving engines look up hundreds of membership degrees per
+        predicate, which makes the bookkeeping itself a hot path.
+        """
+        entries = self._entries
+        move_to_end = entries.move_to_end
+        hits = 0
+        values: list[object] = []
+        append = values.append
+        for key in keys:
+            if key in entries:
+                move_to_end(key)
+                hits += 1
+                append(entries[key])
+            else:
+                append(default)
+        self.stats.hits += hits
+        self.stats.misses += len(values) - hits
+        return values
+
+    def put_many(self, items: Sequence[tuple[Hashable, object]]) -> None:
+        """Batch :meth:`put`; final contents and counters equal per-key puts."""
+        entries = self._entries
+        for key, value in items:
+            if key in entries:
+                entries.move_to_end(key)
+            entries[key] = value
+        if self.maxsize is not None:
+            while len(entries) > self.maxsize:
+                entries.popitem(last=False)
+                self.stats.evictions += 1
+
     def clear(self) -> None:
         """Drop all entries (counters are kept; they describe the lifetime)."""
         self._entries.clear()
@@ -90,3 +134,138 @@ class LRUCache:
     def keys(self) -> Iterator[Hashable]:
         """Keys from least- to most-recently used."""
         return iter(self._entries.keys())
+
+
+def _default_router(key: Hashable) -> int:
+    """Route a cache key by its first element (the entity id, by convention).
+
+    The serving caches key membership degrees as ``(entity_id, attribute,
+    phrase)`` tuples; routing on the entity id keeps all of one entity's
+    degrees in one partition, which is the ownership unit the sharded
+    engine cares about.  Non-tuple keys hash whole.
+    """
+    if isinstance(key, tuple) and key:
+        return hash(key[0])
+    return hash(key)
+
+
+class PartitionedLRUCache:
+    """One logical cache split into independent LRU partitions.
+
+    ``maxsize`` bounds the *total* entry count; each partition gets an equal
+    share (rounded up), so eviction pressure in one partition never evicts
+    another partition's entries.  The interface mirrors :class:`LRUCache`
+    (``get``/``put``/``peek``/``clear``/``len``/``in``); :attr:`stats`
+    aggregates across partitions, and per-partition statistics stay
+    available on the partitions themselves.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        maxsize: int | None = None,
+        router: Callable[[Hashable], int] | None = None,
+    ) -> None:
+        if num_partitions <= 0:
+            raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+        per_partition = None
+        if maxsize is not None:
+            per_partition = -(-maxsize // num_partitions)  # ceil division
+        self.partitions = [LRUCache(per_partition) for _ in range(num_partitions)]
+        self._router = router or _default_router
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def partition_of(self, key: Hashable) -> LRUCache:
+        """The partition owning ``key``."""
+        return self.partitions[self._router(key) % len(self.partitions)]
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        return self.partition_of(key).get(key, default)
+
+    def peek(self, key: Hashable, default: object = None) -> object:
+        return self.partition_of(key).peek(key, default)
+
+    def put(self, key: Hashable, value: object) -> None:
+        self.partition_of(key).put(key, value)
+
+    def get_many(self, keys: Sequence[Hashable], default: object = None) -> list[object]:
+        """Batch :meth:`get` with the per-key partition routing inlined.
+
+        Equivalent to per-key ``get`` calls (same values, recency updates
+        and per-partition counters); hit/miss counts are accumulated per
+        partition and flushed once.
+        """
+        partitions = self.partitions
+        num = len(partitions)
+        router = self._router
+        default_routing = router is _default_router
+        hits = [0] * num
+        misses = [0] * num
+        values: list[object] = []
+        append = values.append
+        for key in keys:
+            if default_routing:
+                # Inlined _default_router: the per-key call layering is
+                # measurable when batches span hundreds of entities.
+                index = hash(key[0] if isinstance(key, tuple) and key else key) % num
+            else:
+                index = router(key) % num
+            entries = partitions[index]._entries
+            if key in entries:
+                entries.move_to_end(key)
+                hits[index] += 1
+                append(entries[key])
+            else:
+                misses[index] += 1
+                append(default)
+        for index in range(num):
+            if hits[index]:
+                partitions[index].stats.hits += hits[index]
+            if misses[index]:
+                partitions[index].stats.misses += misses[index]
+        return values
+
+    def put_many(self, items: Sequence[tuple[Hashable, object]]) -> None:
+        """Batch :meth:`put`: items grouped per partition, then batch-inserted."""
+        num = len(self.partitions)
+        router = self._router
+        default_routing = router is _default_router
+        grouped: list[list[tuple[Hashable, object]]] = [[] for _ in range(num)]
+        for item in items:
+            key = item[0]
+            if default_routing:
+                index = hash(key[0] if isinstance(key, tuple) and key else key) % num
+            else:
+                index = router(key) % num
+            grouped[index].append(item)
+        for partition, group in zip(self.partitions, grouped):
+            if group:
+                partition.put_many(group)
+
+    def clear(self) -> None:
+        """Drop every partition's entries together (one invalidation unit)."""
+        for partition in self.partitions:
+            partition.clear()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self.partition_of(key)
+
+    def __len__(self) -> int:
+        return sum(len(partition) for partition in self.partitions)
+
+    def keys(self) -> Iterator[Hashable]:
+        """All keys, partition by partition (least- to most-recently used)."""
+        for partition in self.partitions:
+            yield from partition.keys()
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate counters summed over all partitions (a fresh snapshot)."""
+        return CacheStats(
+            hits=sum(partition.stats.hits for partition in self.partitions),
+            misses=sum(partition.stats.misses for partition in self.partitions),
+            evictions=sum(partition.stats.evictions for partition in self.partitions),
+        )

@@ -130,10 +130,20 @@ class SubjectiveQueryEngine:
         self.processor = processor
         self.database = processor.database
         self.plan_cache = LRUCache(plan_cache_size)
-        self.membership_cache = LRUCache(membership_cache_size)
+        self.membership_cache = self._build_membership_cache(membership_cache_size)
         self.candidate_cache = LRUCache(candidate_cache_size)
         self.stats = ServingStats()
         self._data_version = self.database.data_version
+
+    def _build_membership_cache(self, maxsize: int | None):
+        """The membership-degree cache; subclasses may partition it.
+
+        The sharded engine returns a
+        :class:`repro.serving.cache.PartitionedLRUCache` with one partition
+        per shard here; everything else about cache handling (lookup keys,
+        miss batching, ``data_version`` invalidation) is shared.
+        """
+        return LRUCache(maxsize)
 
     # ------------------------------------------------------------ invalidation
     def invalidate(self) -> None:
@@ -261,19 +271,23 @@ class SubjectiveQueryEngine:
         compute,
     ) -> list[float]:
         """Serve degrees from the membership cache, batch-computing the misses."""
-        degrees: dict[Hashable, float] = {}
-        missing: list[Hashable] = []
-        for entity_id in entity_ids:
-            cached = self.membership_cache.get((entity_id, attribute, phrase), _MISSING)
-            if cached is _MISSING:
-                missing.append(entity_id)
-            else:
-                degrees[entity_id] = cached
-        if missing:
-            for entity_id, degree in zip(missing, compute(missing)):
-                self.membership_cache.put((entity_id, attribute, phrase), degree)
-                degrees[entity_id] = degree
-        return [degrees[entity_id] for entity_id in entity_ids]
+        cached = self.membership_cache.get_many(
+            [(entity_id, attribute, phrase) for entity_id in entity_ids], _MISSING
+        )
+        missing = [
+            entity_id for entity_id, value in zip(entity_ids, cached) if value is _MISSING
+        ]
+        if not missing:
+            return cached
+        computed = compute(missing)
+        self.membership_cache.put_many(
+            [
+                ((entity_id, attribute, phrase), degree)
+                for entity_id, degree in zip(missing, computed)
+            ]
+        )
+        filled = iter(computed)
+        return [next(filled) if value is _MISSING else value for value in cached]
 
     def _cached_pair_degrees(
         self,

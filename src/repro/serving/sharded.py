@@ -1,0 +1,866 @@
+"""Entity-sharded serving: slice-partitioned columnar scoring with top-k merge.
+
+Subjective-query evaluation is embarrassingly parallel over entities: every
+scoring kernel of :mod:`repro.core.columnar` is row-independent, so any row
+range of an attribute's column arrays can be scored on its own and the
+results concatenated.  This module makes the shard the unit of placement:
+
+* :func:`partition_bounds` — the one partitioning rule: K contiguous,
+  exhaustive, disjoint row ranges whose sizes differ by at most one;
+* :class:`ShardedColumnarStore` — partitions a
+  :class:`~repro.core.columnar.ColumnarSummaryStore`'s E axis into K
+  contiguous *slice views* (NumPy basic slices — no copies) and fans a
+  predicate's uncached-degree computation out across them, serially or
+  through a ``concurrent.futures`` executor.  Threads release the GIL
+  inside the NumPy kernels; the process backend ships ``(attribute, start,
+  stop)`` slice indices — never arrays — to forked workers that rebuild
+  their columns from the inherited database;
+* :func:`fuzzy_score_arrays` — the WHERE tree evaluated over degree
+  *vectors* instead of row by row, using the fuzzy logic's array
+  connectives (bit-identical elementwise to the scalar walk);
+* :func:`merge_shard_topk` — per-shard top-k heaps merged into the global
+  ranking under exactly the processor's ``(-score, str(entity_id))`` order
+  with candidate position as the deterministic tie-break (the stable-sort
+  order of the unsharded path);
+* :class:`ShardedSubjectiveQueryEngine` — the serving front end wiring it
+  together: the sharded store is installed as the processor's columnar
+  store (so every degree the processor computes is shard-routed), the
+  membership cache is partitioned per shard, and ranking runs per shard
+  with a global merge.
+
+Results are exactly — not approximately — those of the unsharded
+:class:`~repro.serving.engine.SubjectiveQueryEngine`; the differential test
+suite pins equality of rankings, scores and degrees for shard counts
+{1, 2, 3, 7} on two domains.  Invalidation stays ``data_version``-driven:
+one version bump drops shard slices, the base columns, and every membership
+cache partition together.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from itertools import islice
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.core.columnar import (
+    AttributeColumns,
+    ColumnarSummaryStore,
+    _slice_columns,
+    columnar_kernel,
+    gather_degrees,
+    scalar_fallback_scorer,
+    slice_view,
+)
+from repro.core.database import SubjectiveDatabase
+from repro.core.fuzzy import FuzzyLogic
+from repro.core.interpreter import InterpretationMethod
+from repro.core.processor import (
+    QueryResult,
+    RankedEntity,
+    SubjectiveQueryProcessor,
+)
+from repro.engine.expressions import (
+    AndExpression,
+    BetweenExpression,
+    ComparisonExpression,
+    Expression,
+    InExpression,
+    NotExpression,
+    OrExpression,
+    SubjectivePredicate,
+)
+from repro.errors import ExecutionError
+from repro.serving.cache import PartitionedLRUCache
+from repro.serving.engine import CandidateSet, SubjectiveQueryEngine
+from repro.serving.plans import QueryPlan
+
+BACKENDS = ("serial", "thread", "process")
+
+
+# --------------------------------------------------------------------------
+# Partitioning rule
+# --------------------------------------------------------------------------
+
+def default_num_shards() -> int:
+    """A sensible shard count for this machine: one per core, at least one.
+
+    The default for both :class:`ShardedColumnarStore` and
+    :class:`ShardedSubjectiveQueryEngine` when ``num_shards`` is not given.
+    """
+    return max(1, os.cpu_count() or 1)
+
+
+def partition_bounds(num_rows: int, num_shards: int) -> list[int]:
+    """K+1 monotone bounds splitting ``range(num_rows)`` into K contiguous slices.
+
+    Shard ``i`` owns rows ``[bounds[i], bounds[i+1])``.  The slices are
+    disjoint, cover every row exactly once, and differ in size by at most
+    one (the first ``num_rows % num_shards`` shards get the extra row).
+    Shards beyond ``num_rows`` are empty, never dropped, so shard indexes
+    are stable regardless of the row count.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if num_rows < 0:
+        raise ValueError(f"num_rows must be non-negative, got {num_rows}")
+    base, extra = divmod(num_rows, num_shards)
+    bounds = [0]
+    for index in range(num_shards):
+        bounds.append(bounds[-1] + base + (1 if index < extra else 0))
+    return bounds
+
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """One shard's contiguous row range of an attribute's columns (a view)."""
+
+    index: int
+    start: int
+    stop: int
+    columns: AttributeColumns
+
+    @property
+    def num_entities(self) -> int:
+        return self.stop - self.start
+
+
+# --------------------------------------------------------------------------
+# Execution backends
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's scoring work for a single predicate computation.
+
+    ``rows`` is ``None`` for a full-slice kernel pass, or the slice-relative
+    row indices for a gathered pass over a sparse subset of the slice (the
+    base store's sparse-gather heuristic, applied per shard).
+    """
+
+    shard: ShardSlice
+    rows: list[int] | None
+
+
+class _SerialBackend:
+    """Run shard tasks inline on the coordinating thread."""
+
+    kind = "serial"
+
+    def map_local(self, fn: Callable[[ShardTask], np.ndarray], tasks: Sequence[ShardTask]):
+        return [fn(task) for task in tasks]
+
+    def invalidate(self) -> None:
+        pass
+
+    def shutdown(self) -> None:
+        pass
+
+
+class _ThreadBackend:
+    """Fan shard tasks out over a thread pool.
+
+    The kernels are NumPy-bound and release the GIL, so threads scale with
+    cores without any data movement: every worker scores views into the
+    parent's column arrays.  Actual concurrency is sized to the hardware:
+    tasks are chunked into at most ``min(max_workers, cpu_count)`` groups
+    (shard *placement* stays per-shard; only the executor refuses to
+    oversubscribe), and a single-core host runs tasks inline — parallelism
+    cannot help there, so the fan-out dispatch cost is not paid either.
+    """
+
+    kind = "thread"
+
+    def __init__(self, max_workers: int) -> None:
+        self.max_workers = max(1, max_workers)
+        self.parallelism = max(1, min(self.max_workers, os.cpu_count() or 1))
+        self._pool: ThreadPoolExecutor | None = None
+
+    def map_local(self, fn: Callable[[ShardTask], np.ndarray], tasks: Sequence[ShardTask]):
+        if len(tasks) <= 1 or self.parallelism == 1:
+            return [fn(task) for task in tasks]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.parallelism,
+                thread_name_prefix="repro-shard",
+            )
+        if len(tasks) <= self.parallelism:
+            return list(self._pool.map(fn, tasks))
+        # More tasks than usable cores: strided chunks, one per worker, so
+        # each task still runs exactly once and results keep task order.
+        stride = self.parallelism
+
+        def run_chunk(start: int) -> list[np.ndarray]:
+            return [fn(task) for task in tasks[start::stride]]
+
+        results: list[np.ndarray | None] = [None] * len(tasks)
+        for start, chunk in enumerate(self._pool.map(run_chunk, range(stride))):
+            results[start::stride] = chunk
+        return results
+
+    def invalidate(self) -> None:
+        pass  # threads hold no data-version state
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# Registry of (database, membership) states visible to forked workers.  A
+# forked child inherits the registry as of fork time; tasks carry the token
+# of the state they need, so concurrently registered stores never collide.
+_PROCESS_REGISTRY: dict[int, tuple[SubjectiveDatabase, object]] = {}
+_PROCESS_TOKENS = itertools.count(1)
+_CHILD_STORES: dict[int, ColumnarSummaryStore] = {}
+
+
+def _process_score(payload: tuple) -> np.ndarray:
+    """Score one shard task inside a forked worker.
+
+    Only slice indices travel over the pipe; the worker rebuilds its column
+    arrays (once, cached per token) from the database snapshot it inherited
+    at fork time.  Deterministic construction makes the arrays — and hence
+    the kernel results — identical to the parent's.
+    """
+    token, attribute, phrase, start, stop, rows = payload
+    database, membership = _PROCESS_REGISTRY[token]
+    store = _CHILD_STORES.get(token)
+    if store is None:
+        store = ColumnarSummaryStore(database)
+        _CHILD_STORES[token] = store
+    columns = store.columns(attribute)
+    kernel = columnar_kernel(membership, database)
+    view = slice_view(columns, start, stop)
+    if rows is not None:
+        view = _slice_columns(view, rows)
+    return kernel(view, phrase)
+
+
+class _ProcessBackend:
+    """Fan shard tasks out over forked worker processes.
+
+    Workers inherit the database at fork time and rebuild their own column
+    arrays; tasks ship slice indices, not arrays.  Requires the ``fork``
+    start method (the inherited-snapshot contract cannot hold under
+    ``spawn``); invalidation recycles the pool so no worker ever serves a
+    stale snapshot.
+    """
+
+    kind = "process"
+
+    def __init__(self, max_workers: int) -> None:
+        if multiprocessing.get_start_method(allow_none=False) != "fork":
+            raise ExecutionError(
+                "the process shard backend requires the 'fork' start method; "
+                "use backend='thread' on this platform"
+            )
+        self.max_workers = max(1, max_workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._token: int | None = None
+
+    def register(self, database: SubjectiveDatabase, membership: object) -> int:
+        """Publish the state workers must inherit; returns its task token.
+
+        Forked workers pin the registry as of fork time, so registering a
+        *different* database or membership recycles the pool — the next
+        fan-out re-forks with the new state instead of silently scoring
+        with the stale snapshot.
+        """
+        if self._token is None:
+            self._token = next(_PROCESS_TOKENS)
+        current = _PROCESS_REGISTRY.get(self._token)
+        if current is not None and (
+            current[0] is not database or current[1] is not membership
+        ):
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+        _PROCESS_REGISTRY[self._token] = (database, membership)
+        return self._token
+
+    def map_payloads(self, payloads: Sequence[tuple]) -> list[np.ndarray]:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        return list(self._pool.map(_process_score, payloads))
+
+    def invalidate(self) -> None:
+        # The data changed: forked snapshots are stale, so recycle the pool
+        # (a fresh fork re-inherits the registry with the current data).
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._token is not None:
+            _PROCESS_REGISTRY.pop(self._token, None)
+            self._token = None
+
+
+def _make_backend(name: str, max_workers: int):
+    if name == "serial":
+        return _SerialBackend()
+    if name == "thread":
+        return _ThreadBackend(max_workers)
+    if name == "process":
+        return _ProcessBackend(max_workers)
+    raise ValueError(f"unknown shard backend {name!r}; expected one of {BACKENDS}")
+
+
+# --------------------------------------------------------------------------
+# The sharded store
+# --------------------------------------------------------------------------
+
+class ShardedColumnarStore:
+    """K contiguous slice views over a columnar store, with fan-out scoring.
+
+    Implements the same ``pair_degrees`` protocol as
+    :class:`~repro.core.columnar.ColumnarSummaryStore`, so a
+    :class:`~repro.core.processor.SubjectiveQueryProcessor` can route
+    through it unchanged.  Degrees are exactly those of the base store: the
+    kernels are row-independent, so scoring each slice view separately
+    performs the same per-row arithmetic as one full pass.
+
+    Invalidation is ``data_version``-driven like every other serving-layer
+    cache: a version bump drops the shard slices *and* the base store's
+    columns together (and recycles process-backend workers, whose forked
+    snapshots are stale).
+    """
+
+    def __init__(
+        self,
+        database: SubjectiveDatabase,
+        num_shards: int | None = None,
+        backend: str = "serial",
+        base: ColumnarSummaryStore | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        if num_shards is None:
+            num_shards = default_num_shards()
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.database = database
+        self.num_shards = num_shards
+        self.base = base if base is not None else ColumnarSummaryStore(database)
+        self.backend = _make_backend(backend, max_workers or num_shards)
+        self._slices: dict[str, list[ShardSlice] | None] = {}
+        self._version = database.data_version
+        self.invalidations = 0
+        self.fanouts = 0  # sharded kernel passes (one per predicate computation)
+        self.shard_kernel_calls = 0  # individual per-slice kernel executions
+
+    # ------------------------------------------------------------ lifecycle
+    def invalidate(self) -> None:
+        """Drop shard slices and base columns together; recycle stale workers."""
+        self._slices.clear()
+        self.base.invalidate()
+        self.backend.invalidate()
+        self._version = self.database.data_version
+        self.invalidations += 1
+
+    def _check_version(self) -> None:
+        if self._version != self.database.data_version:
+            self.invalidate()
+
+    @property
+    def data_version(self) -> int:
+        """The database version the current slices were built against."""
+        return self._version
+
+    def close(self) -> None:
+        """Shut down executor workers (idempotent)."""
+        self.backend.shutdown()
+
+    # ----------------------------------------------------------- partitions
+    def columns(self, attribute: str) -> AttributeColumns | None:
+        """The unpartitioned column arrays (delegates to the base store)."""
+        self._check_version()
+        return self.base.columns(attribute)
+
+    def shard_slices(self, attribute: str) -> list[ShardSlice] | None:
+        """The K contiguous slice views of one attribute (empty slices kept).
+
+        ``None`` when the attribute has no columns.  Slices are NumPy basic
+        slices of the base arrays — building them copies nothing, and they
+        are cached per attribute until the data version moves.
+        """
+        self._check_version()
+        if attribute not in self._slices:
+            columns = self.base.columns(attribute)
+            if columns is None:
+                self._slices[attribute] = None
+            else:
+                bounds = partition_bounds(columns.num_entities, self.num_shards)
+                self._slices[attribute] = [
+                    ShardSlice(index, start, stop, slice_view(columns, start, stop))
+                    for index, (start, stop) in enumerate(zip(bounds, bounds[1:]))
+                ]
+        return self._slices[attribute]
+
+    # -------------------------------------------------------------- scoring
+    def pair_degrees(
+        self,
+        membership: object,
+        entity_ids: Sequence[Hashable],
+        attribute: str,
+        phrase: str,
+    ) -> list[float] | None:
+        """Sharded analog of :meth:`ColumnarSummaryStore.pair_degrees`.
+
+        Resident entities are grouped by shard and each shard's kernel runs
+        over its slice view (gathered down to the requested rows when they
+        are a sparse subset of the slice, mirroring the base store's
+        heuristic per shard); the backend decides where the per-slice
+        kernels execute.  Entities absent from the columns fall back to
+        per-entity scalar scoring on the coordinating thread, exactly like
+        the base store.  Returns ``None`` under the same conditions the
+        base store does, so callers' fallback behaviour is unchanged.
+        """
+        self._check_version()
+        kernel = columnar_kernel(membership, self.database)
+        if kernel is None:
+            return None
+        if self.backend.kind == "thread" and self.backend.parallelism == 1:
+            # The executor found no usable parallelism (single-core host):
+            # per-slice dispatch would be pure overhead, so run the base
+            # store's one-kernel pass — the kernels are row-independent, so
+            # the arithmetic (and hence every degree) is identical.
+            return self.base.pair_degrees(membership, entity_ids, attribute, phrase)
+        columns = self.base.columns(attribute)
+        if columns is None:
+            return None
+        rows = [columns.row_of.get(entity_id) for entity_id in entity_ids]
+        resident = sorted({row for row in rows if row is not None})
+        batch: np.ndarray | None = None
+        if resident:
+            batch = np.empty(columns.num_entities)
+            tasks, scatters = self._plan_tasks(attribute, resident)
+            embedder = getattr(membership, "embedder", None)
+            if embedder is not None:
+                # Warm the phrase-embedding memo once so concurrent shard
+                # kernels all hit the cache instead of re-embedding.
+                embedder.represent(phrase)
+            results = self._run_tasks(membership, kernel, attribute, phrase, tasks)
+            for scatter_rows, result in zip(scatters, results):
+                batch[scatter_rows] = result
+            self.fanouts += 1
+            self.shard_kernel_calls += len(tasks)
+        return gather_degrees(
+            batch,
+            rows,
+            entity_ids,
+            scalar_fallback_scorer(membership, self.database, attribute, phrase, columns),
+        )
+
+    def _plan_tasks(
+        self, attribute: str, resident: list[int]
+    ) -> tuple[list[ShardTask], list[object]]:
+        """Group sorted resident rows by shard into kernel tasks plus scatter targets.
+
+        Each task pairs a shard slice with the slice-relative rows to score
+        (``None`` for a full-slice pass; the base store's sparse-gather
+        heuristic is applied per shard).  Scatter targets place each task's
+        result back into the store-wide degree array.
+        """
+        slices = self.shard_slices(attribute)
+        tasks: list[ShardTask] = []
+        scatters: list[object] = []
+        position = 0
+        for shard in slices:
+            start = position
+            while position < len(resident) and resident[position] < shard.stop:
+                position += 1
+            shard_rows = resident[start:position]
+            if not shard_rows:
+                continue
+            if len(shard_rows) * 4 < shard.num_entities:
+                relative = [row - shard.start for row in shard_rows]
+                tasks.append(ShardTask(shard=shard, rows=relative))
+                scatters.append(np.asarray(shard_rows))
+            else:
+                tasks.append(ShardTask(shard=shard, rows=None))
+                scatters.append(slice(shard.start, shard.stop))
+        return tasks, scatters
+
+    def _run_tasks(
+        self,
+        membership: object,
+        kernel,
+        attribute: str,
+        phrase: str,
+        tasks: list[ShardTask],
+    ) -> list[np.ndarray]:
+        if self.backend.kind == "process":
+            token = self.backend.register(self.database, membership)
+            payloads = [
+                (token, attribute, phrase, task.shard.start, task.shard.stop, task.rows)
+                for task in tasks
+            ]
+            return self.backend.map_payloads(payloads)
+
+        def score(task: ShardTask) -> np.ndarray:
+            view = task.shard.columns
+            if task.rows is not None:
+                view = _slice_columns(view, task.rows)
+            return kernel(view, phrase)
+
+        return self.backend.map_local(score, tasks)
+
+    # ------------------------------------------------------------ statistics
+    def stats_snapshot(self) -> dict[str, object]:
+        """Shard counters plus the wrapped base store's snapshot."""
+        return {
+            "num_shards": self.num_shards,
+            "backend": self.backend.kind,
+            "data_version": self._version,
+            "invalidations": self.invalidations,
+            "fanouts": self.fanouts,
+            "shard_kernel_calls": self.shard_kernel_calls,
+            "base": self.base.stats_snapshot(),
+        }
+
+
+# --------------------------------------------------------------------------
+# Vectorized WHERE-tree scoring
+# --------------------------------------------------------------------------
+
+class _NotVectorizable(Exception):
+    """Internal: the WHERE tree (or logic) has no exact array form."""
+
+
+def fuzzy_score_arrays(
+    where: Expression | None,
+    rows: Sequence[dict],
+    degree_vectors: dict[str, np.ndarray],
+    logic: FuzzyLogic,
+) -> np.ndarray | None:
+    """Fuzzy scores of every candidate row, evaluated as degree vectors.
+
+    The WHERE tree is walked once; connectives combine length-N degree
+    vectors through the logic's array forms, which fold operands in the
+    same order and with the same validation as the scalar connectives — so
+    ``result[i]`` is bit-identical to ``where.fuzzy(rows[i], ...)``.
+    Objective leaves stay crisp per-row evaluations (exact 0.0/1.0).
+
+    Returns ``None`` when the logic provides no array connectives; callers
+    then score row by row through the scalar path.
+    """
+    if not getattr(logic, "supports_arrays", False):
+        return None
+    if where is None:
+        return np.ones(len(rows))
+    try:
+        return _eval_array(where, rows, degree_vectors, logic)
+    except _NotVectorizable:
+        return None
+
+
+def _eval_array(
+    node: Expression,
+    rows: Sequence[dict],
+    degree_vectors: dict[str, np.ndarray],
+    logic: FuzzyLogic,
+) -> np.ndarray:
+    if isinstance(node, SubjectivePredicate):
+        vector = degree_vectors.get(node.text)
+        if vector is None:
+            raise _NotVectorizable(node.text)
+        return vector
+    if isinstance(node, AndExpression):
+        return logic.conjunction_arrays(
+            [_eval_array(operand, rows, degree_vectors, logic) for operand in node.operands]
+        )
+    if isinstance(node, OrExpression):
+        return logic.disjunction_arrays(
+            [_eval_array(operand, rows, degree_vectors, logic) for operand in node.operands]
+        )
+    if isinstance(node, NotExpression):
+        return logic.negation_array(_eval_array(node.operand, rows, degree_vectors, logic))
+    if isinstance(node, (ComparisonExpression, InExpression, BetweenExpression)):
+        # Crisp objective leaf whose ``fuzzy`` is exactly ``1.0 if
+        # evaluate(row) else 0.0`` — evaluate once per row without the
+        # scalar fuzzy-walk machinery.
+        return np.fromiter(
+            (1.0 if node.evaluate(row) else 0.0 for row in rows),
+            dtype=float,
+            count=len(rows),
+        )
+    # Any other node type (literal, column reference, future nodes):
+    # evaluate its scalar fuzzy value row by row.  A per-row scorer keeps
+    # unknown nested nodes correct too.
+    return np.array(
+        [
+            node.fuzzy(row, _row_scorer(degree_vectors, index), logic)
+            for index, row in enumerate(rows)
+        ]
+    )
+
+
+def _row_scorer(degree_vectors: dict[str, np.ndarray], index: int):
+    def scorer(predicate_text: str, _row: dict) -> float:
+        vector = degree_vectors.get(predicate_text)
+        if vector is None:
+            raise _NotVectorizable(predicate_text)
+        return float(vector[index])
+
+    return scorer
+
+
+# --------------------------------------------------------------------------
+# Per-shard top-k merge
+# --------------------------------------------------------------------------
+
+def merge_shard_topk(
+    scores: np.ndarray,
+    row_entities: Sequence[Hashable],
+    num_shards: int,
+    limit: int,
+) -> list[int]:
+    """Global top-``limit`` candidate indices from per-shard top-k heaps.
+
+    Candidate rows are partitioned into ``num_shards`` contiguous chunks;
+    each chunk keeps a heap of its ``limit`` best rows, and the pre-sorted
+    per-shard lists are merged lazily.  The key is the processor's ranking
+    order — score descending, ``str(entity_id)`` ascending — with the
+    global candidate position as final tie-break, which is exactly the
+    order a stable global sort produces.  The property-based suite checks
+    the merge against global sorting for random degree vectors with ties.
+    """
+    if limit <= 0:
+        return []
+    num_rows = len(row_entities)
+    bounds = partition_bounds(num_rows, num_shards)
+
+    def key(index: int) -> tuple[float, str, int]:
+        return (-scores[index], str(row_entities[index]), index)
+
+    shard_heaps = [
+        heapq.nsmallest(limit, range(start, stop), key=key)
+        for start, stop in zip(bounds, bounds[1:])
+        if stop > start
+    ]
+    return list(islice(heapq.merge(*shard_heaps, key=key), limit))
+
+
+# --------------------------------------------------------------------------
+# The sharded serving engine
+# --------------------------------------------------------------------------
+
+class ShardedSubjectiveQueryEngine(SubjectiveQueryEngine):
+    """Entity-sharded serving front end; results identical to the unsharded engine.
+
+    Three layers become shard-aware:
+
+    * **degrees** — the processor's columnar store is replaced by a
+      :class:`ShardedColumnarStore`, so every uncached membership degree is
+      computed per contiguous entity slice (optionally on an executor);
+    * **membership cache** — partitioned per shard
+      (:class:`~repro.serving.cache.PartitionedLRUCache`), all partitions
+      invalidated together when :attr:`SubjectiveDatabase.data_version`
+      moves;
+    * **ranking** — each query's candidate rows are scored as degree
+      vectors per shard (:func:`fuzzy_score_arrays`) and the per-shard
+      top-k heaps are merged into the global ranking
+      (:func:`merge_shard_topk`).  When the fuzzy logic has no exact array
+      form, ranking transparently falls back to the unsharded scalar path —
+      degrees stay shard-computed either way.
+
+    Parameters mirror :class:`~repro.serving.engine.SubjectiveQueryEngine`
+    plus ``num_shards`` (K contiguous slices of every attribute's E axis;
+    defaults to :func:`default_num_shards` — one per core), ``backend``
+    (``"serial"``, ``"thread"`` or ``"process"``) and ``max_workers``
+    (defaults to ``num_shards``).
+    """
+
+    def __init__(
+        self,
+        database: SubjectiveDatabase | None = None,
+        processor: SubjectiveQueryProcessor | None = None,
+        num_shards: int | None = None,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        plan_cache_size: int | None = 256,
+        membership_cache_size: int | None = 200_000,
+        candidate_cache_size: int | None = 64,
+    ) -> None:
+        if num_shards is None:
+            num_shards = default_num_shards()
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown shard backend {backend!r}; expected one of {BACKENDS}")
+        self.num_shards = num_shards
+        self.backend = backend
+        super().__init__(
+            database=database,
+            processor=processor,
+            plan_cache_size=plan_cache_size,
+            membership_cache_size=membership_cache_size,
+            candidate_cache_size=candidate_cache_size,
+        )
+        self.sharded_store: ShardedColumnarStore | None = None
+        if self.processor.use_columnar:
+            base = self.processor.columnar_store
+            if isinstance(base, ShardedColumnarStore):
+                self.sharded_store = base
+            else:
+                self.sharded_store = ShardedColumnarStore(
+                    self.database,
+                    num_shards=num_shards,
+                    backend=backend,
+                    base=base,
+                    max_workers=max_workers,
+                )
+            # Install the sharded store so every degree the processor
+            # computes — through this engine or directly — is shard-routed.
+            self.processor.columnar_store = self.sharded_store
+
+    def _build_membership_cache(self, maxsize: int | None) -> PartitionedLRUCache:
+        return PartitionedLRUCache(self.num_shards, maxsize)
+
+    def close(self) -> None:
+        """Shut down shard executor workers (idempotent)."""
+        if self.sharded_store is not None:
+            self.sharded_store.close()
+
+    # -------------------------------------------------------------- ranking
+    def _rank(
+        self,
+        plan: QueryPlan,
+        candidates: CandidateSet,
+        sql: str,
+        top_k: int | None,
+    ) -> QueryResult:
+        # A logic without array connectives takes the unsharded scalar path
+        # outright (degrees are still shard-computed through the installed
+        # sharded store).
+        if not getattr(self.processor.logic, "supports_arrays", False):
+            return super()._rank(plan, candidates, sql=sql, top_k=top_k)
+        unique_degrees = {
+            predicate: self._interpretation_degree_vector(candidates.unique_ids, interpretation)
+            for predicate, interpretation in plan.interpretations.items()
+        }
+        result = self._rank_sharded(plan, candidates, unique_degrees, sql=sql, top_k=top_k)
+        if result is not None:
+            return result
+        # Scalar fallback (a WHERE node the array walk cannot serve):
+        # identical path to the unsharded engine.
+        degree_table = {
+            predicate: dict(zip(candidates.unique_ids, degrees.tolist()))
+            for predicate, degrees in unique_degrees.items()
+        }
+        return self.processor.rank_candidates(
+            plan.statement,
+            candidates.rows,
+            plan.interpretations,
+            degree_table=degree_table,
+            sql=sql,
+            top_k=top_k,
+            row_entities=candidates.row_entities,
+        )
+
+    def _interpretation_degree_vector(
+        self, unique_ids: Sequence[Hashable], interpretation
+    ) -> np.ndarray:
+        """Cached degrees of one interpreted predicate as a vector.
+
+        Mirrors :meth:`SubjectiveQueryProcessor.interpretation_degrees`
+        with the per-entity scalar combinator replaced by the fuzzy logic's
+        array connectives — the same left-to-right fold over per-pair
+        degree vectors, so every element is bit-identical to the scalar
+        combination (the differential suite pins this).
+        """
+        if (
+            interpretation.method is InterpretationMethod.TEXT_RETRIEVAL
+            or not interpretation.pairs
+        ):
+            return np.asarray(
+                self._cached_retrieval_degrees(unique_ids, interpretation.predicate),
+                dtype=float,
+            )
+        per_pair = [
+            np.asarray(
+                self._cached_pair_degrees(
+                    unique_ids,
+                    pair.attribute,
+                    self.processor.phrase_for_pair(interpretation, pair.marker),
+                ),
+                dtype=float,
+            )
+            for pair in interpretation.pairs
+        ]
+        logic = self.processor.logic
+        combine = (
+            logic.conjunction_arrays
+            if interpretation.combinator == "and"
+            else logic.disjunction_arrays
+        )
+        return combine(per_pair)
+
+    def _rank_sharded(
+        self,
+        plan: QueryPlan,
+        candidates: CandidateSet,
+        unique_degrees: dict[str, np.ndarray],
+        sql: str,
+        top_k: int | None,
+    ) -> QueryResult | None:
+        statement = plan.statement
+        rows = candidates.rows
+        row_entities = candidates.row_entities
+        if len(row_entities) == len(candidates.unique_ids):
+            # No duplicate entities (the common, join-free case):
+            # row_entities equals unique_ids element for element, so the
+            # per-unique vectors already are the per-row vectors.
+            degree_vectors = unique_degrees
+        else:
+            unique_index = {
+                entity_id: position for position, entity_id in enumerate(candidates.unique_ids)
+            }
+            row_positions = np.fromiter(
+                (unique_index[entity_id] for entity_id in row_entities),
+                dtype=np.intp,
+                count=len(row_entities),
+            )
+            degree_vectors = {
+                predicate: degrees[row_positions] for predicate, degrees in unique_degrees.items()
+            }
+        scores = fuzzy_score_arrays(
+            statement.where, rows, degree_vectors, self.processor.logic
+        )
+        if scores is None:
+            return None
+        limit = statement.limit or top_k or self.processor.top_k
+        selected = merge_shard_topk(scores, row_entities, self.num_shards, limit)
+        entities = [
+            RankedEntity(
+                entity_id=row_entities[index],
+                score=float(scores[index]),
+                row=rows[index],
+                predicate_degrees={
+                    predicate: float(vector[index]) for predicate, vector in degree_vectors.items()
+                },
+            )
+            for index in selected
+        ]
+        return QueryResult(sql=sql, entities=entities, interpretations=plan.interpretations)
+
+    # ----------------------------------------------------------- statistics
+    def stats_snapshot(self) -> dict[str, object]:
+        snapshot = super().stats_snapshot()
+        snapshot["num_shards"] = self.num_shards
+        snapshot["backend"] = self.backend
+        snapshot["membership_cache_partitions"] = [
+            partition.stats.as_dict() for partition in self.membership_cache.partitions
+        ]
+        return snapshot

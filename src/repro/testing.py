@@ -17,6 +17,12 @@ from __future__ import annotations
 
 import os
 
+import numpy as np
+
+from repro.core.attributes import ObjectiveAttribute, SubjectiveAttribute, SubjectiveSchema
+from repro.core.database import ReviewRecord, SubjectiveDatabase
+from repro.core.markers import Marker, MarkerSummary
+from repro.engine.types import ColumnType
 from repro.experiments.common import DomainSetup, prepare_domain
 from repro.extraction.tagger import OpinionTagger
 
@@ -57,3 +63,73 @@ def build_domain_setup(
 def print_result(text: str) -> None:
     """Print a formatted experiment table under pytest/benchmark output."""
     print("\n" + text + "\n")
+
+
+def build_synthetic_columnar_database(
+    num_entities: int = 800,
+    markers_per_attribute: int = 16,
+    dimension: int = 48,
+    seed: int = 0,
+) -> SubjectiveDatabase:
+    """A large synthetic database with directly constructed marker summaries.
+
+    The full extraction pipeline is too slow to build the ≥800-entity
+    domains the scale-out benchmarks need, and those benchmarks only
+    exercise serving-time scoring: what matters is a database with fitted
+    text models and one marker summary per (entity, attribute).  Summaries
+    are drawn from a seeded RNG; marker names double as interpretable query
+    predicates (each is registered as its own linguistic variation, so the
+    word2vec method resolves it with similarity 1.0).
+    """
+    rng = np.random.default_rng(seed)
+    vocab = [f"word{index:03d}" for index in range(max(120, 3 * markers_per_attribute))]
+    attributes = []
+    marker_names: dict[str, list[str]] = {}
+    for position, name in enumerate(("quality", "service")):
+        names = vocab[position * markers_per_attribute : (position + 1) * markers_per_attribute]
+        marker_names[name] = names
+        attribute = SubjectiveAttribute(
+            name=name,
+            markers=[
+                Marker(marker, index, 1.0 - 2.0 * index / (markers_per_attribute - 1))
+                for index, marker in enumerate(names)
+            ],
+        )
+        attribute.domain.add_many(names)
+        attributes.append(attribute)
+    schema = SubjectiveSchema(
+        name="synthetic",
+        entity_key="eid",
+        objective_attributes=[
+            ObjectiveAttribute("city", ColumnType.TEXT),
+            ObjectiveAttribute("price", ColumnType.FLOAT),
+        ],
+        subjective_attributes=attributes,
+    )
+    database = SubjectiveDatabase(schema, embedding_dimension=dimension)
+    review_id = 0
+    cities = ("london", "paris", "rome")
+    for position in range(num_entities):
+        entity_id = f"e{position:05d}"
+        database.add_entity(
+            entity_id,
+            {"city": cities[position % 3], "price": float(50 + position % 200)},
+        )
+        for _ in range(2):
+            words = rng.choice(vocab, size=12)
+            database.add_review(ReviewRecord(review_id, entity_id, " ".join(words)))
+            review_id += 1
+        for attribute in attributes:
+            summary = MarkerSummary(attribute.name, list(attribute.markers))
+            for _ in range(int(rng.integers(3, 7))):
+                summary.add_phrase(
+                    str(rng.choice(marker_names[attribute.name])),
+                    sentiment=float(rng.uniform(-1.0, 1.0)),
+                )
+            summary.add_unmatched(float(rng.integers(0, 3)))
+            database.store_summary(entity_id, summary)
+    for attribute in attributes:
+        for name in marker_names[attribute.name]:
+            database.set_variation_marker(attribute.name, name, name)
+    database.fit_text_models()
+    return database

@@ -2,17 +2,21 @@
 
 Covers the algebraic laws of the fuzzy-logic variants, the mass-conservation
 invariants of marker summaries, BM25 non-negativity and self-retrieval, the
-tokenizer's idempotence, NDCG bounds, and the SQL builder/parser round trip.
+tokenizer's idempotence, NDCG bounds, the SQL builder/parser round trip, and
+the sharded serving engine's partition/merge invariants (every row covered
+exactly once; per-shard top-k merge equal to global-sort top-k under ties).
 """
 
 from __future__ import annotations
 
 import string
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.fuzzy import ProductLogic, ZadehLogic
+from repro.serving.sharded import merge_shard_topk, partition_bounds
 from repro.core.markers import Marker, MarkerSummary
 from repro.core.query import SubjectiveQueryBuilder
 from repro.engine.sqlparser import parse_query
@@ -207,3 +211,89 @@ class TestQueryBuilderRoundTrip:
         sql = SubjectiveQueryBuilder("T").where_compare("price", operator, round(value, 2)).to_sql()
         statement = parse_query(sql)
         assert statement.where.operator == operator
+
+
+class TestShardPartitioning:
+    """Invariants of the sharded engine's one partitioning rule."""
+
+    @given(st.integers(min_value=0, max_value=300), st.integers(min_value=1, max_value=12))
+    def test_partition_covers_every_row_exactly_once(self, num_rows, num_shards):
+        bounds = partition_bounds(num_rows, num_shards)
+        assert len(bounds) == num_shards + 1
+        assert bounds[0] == 0 and bounds[-1] == num_rows
+        # Contiguous, disjoint, exhaustive and in row order: concatenating
+        # the slices reproduces range(num_rows) exactly.
+        covered = [row for start, stop in zip(bounds, bounds[1:]) for row in range(start, stop)]
+        assert covered == list(range(num_rows))
+        # Balanced: slice sizes differ by at most one.
+        sizes = [stop - start for start, stop in zip(bounds, bounds[1:])]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=1, max_value=12))
+    def test_slice_views_agree_with_partition(self, num_rows, num_shards):
+        bounds = partition_bounds(num_rows, num_shards)
+        # Empty shards are kept, never dropped, so shard indexes are stable.
+        assert len(bounds) - 1 == num_shards
+
+
+class TestShardTopkMerge:
+    """Merging per-shard top-k heaps equals global-sort top-k, ties included."""
+
+    # Scores drawn from a tiny pool so ties are common; entity ids from a
+    # tiny alphabet so duplicate ids (join fan-out) occur too.
+    cases = st.lists(
+        st.tuples(
+            st.sampled_from([0.0, 0.25, 0.5, 0.5, 0.75, 1.0]),
+            st.text(alphabet="abc", min_size=1, max_size=2),
+        ),
+        min_size=0,
+        max_size=40,
+    )
+
+    @given(cases, st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=45))
+    def test_merge_equals_stable_global_sort(self, rows, num_shards, limit):
+        scores = np.array([score for score, _ in rows], dtype=float)
+        entities = [entity for _, entity in rows]
+        expected = sorted(
+            range(len(rows)), key=lambda i: (-scores[i], str(entities[i]))
+        )[:limit]
+        assert merge_shard_topk(scores, entities, num_shards, limit) == expected
+
+    @given(cases)
+    def test_zero_or_negative_limit_is_empty(self, rows):
+        scores = np.array([score for score, _ in rows], dtype=float)
+        entities = [entity for _, entity in rows]
+        assert merge_shard_topk(scores, entities, 3, 0) == []
+        assert merge_shard_topk(scores, entities, 3, -1) == []
+
+
+class TestFuzzyArrayConnectives:
+    """Array connectives are bit-identical to the scalar folds, element-wise.
+
+    This is the exactness contract the sharded engine's vectorized WHERE
+    scoring rests on: fold order and validation match the scalar forms, so
+    == (not approx) must hold.
+    """
+
+    matrices = st.integers(min_value=1, max_value=4).flatmap(
+        lambda width: st.lists(
+            st.lists(degrees, min_size=width, max_size=width), min_size=1, max_size=5
+        )
+    )
+
+    @given(matrices)
+    def test_arrays_equal_scalar_folds(self, rows):
+        operands = [np.array(column) for column in zip(*rows)]
+        for logic in (ProductLogic(), ZadehLogic()):
+            conjunction = logic.conjunction_arrays(operands)
+            disjunction = logic.disjunction_arrays(operands)
+            for index, row in enumerate(rows):
+                assert conjunction[index] == logic.conjunction(row)
+                assert disjunction[index] == logic.disjunction(row)
+
+    @given(st.lists(degrees, min_size=1, max_size=8))
+    def test_negation_array_equals_scalar(self, values):
+        logic = ProductLogic()
+        negated = logic.negation_array(np.array(values))
+        for index, value in enumerate(values):
+            assert negated[index] == logic.negation(value)

@@ -1,0 +1,417 @@
+"""Differential equivalence tests: the sharded engine vs the single engine.
+
+The contract of :mod:`repro.serving.sharded` is *exact* equality — not
+approximate — with the unsharded :class:`repro.serving.SubjectiveQueryEngine`:
+same ranked entity ids, bit-identical scores and per-predicate degrees, for
+every shard count and execution backend.  These tests pin that contract on
+the two fully built domain fixtures (hotels, restaurants), including the
+BM25 text-retrieval fallback path, ``top_k`` edge cases, score ties, the
+array-connective ranking fallback, and the interleaved ingest + batch
+serving regression (a ``data_version`` bump mid-``run_batch`` must drop
+shard caches and columnar slices together).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SubjectiveQueryProcessor
+from repro.core.attributes import ObjectiveAttribute, SubjectiveAttribute, SubjectiveSchema
+from repro.core.columnar import ColumnarSummaryStore
+from repro.core.database import ReviewRecord, SubjectiveDatabase
+from repro.core.interpreter import InterpretationMethod
+from repro.engine.types import ColumnType
+from repro.core.markers import Marker, MarkerSummary
+from repro.serving import (
+    ShardedColumnarStore,
+    ShardedSubjectiveQueryEngine,
+    SubjectiveQueryEngine,
+)
+
+SHARD_COUNTS = [1, 2, 3, 7]
+
+#: Gibberish predicates interpret to nothing and must fall back to BM25
+#: text retrieval; the suite asserts the fallback actually triggered.
+FALLBACK_PREDICATE = "zxqv wobbly flurb"
+
+HOTEL_QUERIES = [
+    'select * from Entities where "has really clean rooms" limit 5',
+    "select * from Entities where city = 'london' and \"friendly staff\" limit 5",
+    'select * from Entities where "quiet comfortable rooms" and "great breakfast" limit 8',
+    'select * from Entities where not "noisy room" or "spotless room" limit 6',
+    f'select * from Entities where "{FALLBACK_PREDICATE}" limit 6',
+]
+
+RESTAURANT_QUERIES = [
+    'select * from Entities where "delicious fresh food" limit 5',
+    'select * from Entities where "friendly attentive service" and "cozy atmosphere" limit 6',
+    'select * from Entities where not "slow service" limit 4',
+    f'select * from Entities where "{FALLBACK_PREDICATE}" limit 5',
+]
+
+
+def _assert_identical_results(expected, actual, context: str = "") -> None:
+    """Exact equality of two query results: ids, scores, degrees, rows."""
+    assert actual.entity_ids == expected.entity_ids, context
+    for exp, act in zip(expected.entities, actual.entities):
+        assert act.entity_id == exp.entity_id, context
+        assert act.score == exp.score, context
+        assert act.predicate_degrees == exp.predicate_degrees, context
+        assert act.row == exp.row, context
+
+
+def _assert_engines_agree(database, sqls, num_shards, backend="serial", top_k=None):
+    baseline = SubjectiveQueryEngine(database=database)
+    sharded = ShardedSubjectiveQueryEngine(
+        database=database, num_shards=num_shards, backend=backend
+    )
+    try:
+        for sql in sqls:
+            expected = baseline.execute(sql, top_k=top_k)
+            actual = sharded.execute(sql, top_k=top_k)
+            _assert_identical_results(
+                expected, actual, context=f"{sql!r} shards={num_shards} backend={backend}"
+            )
+            # Warm (fully cached) executions must agree too.
+            _assert_identical_results(
+                expected, sharded.execute(sql, top_k=top_k), context=f"warm {sql!r}"
+            )
+    finally:
+        sharded.close()
+
+
+class TestDifferentialEquivalence:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_hotels_rankings_identical(self, hotel_database, num_shards):
+        _assert_engines_agree(hotel_database, HOTEL_QUERIES, num_shards)
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_restaurants_rankings_identical(self, restaurant_database, num_shards):
+        _assert_engines_agree(restaurant_database, RESTAURANT_QUERIES, num_shards)
+
+    @pytest.mark.parametrize("num_shards", [2, 7])
+    def test_thread_backend_identical(self, hotel_database, num_shards):
+        _assert_engines_agree(
+            hotel_database, HOTEL_QUERIES, num_shards, backend="thread"
+        )
+
+    def test_retrieval_fallback_is_exercised(self, hotel_database):
+        """The gibberish predicate really takes the BM25 fallback path."""
+        engine = ShardedSubjectiveQueryEngine(database=hotel_database, num_shards=3)
+        sql = HOTEL_QUERIES[-1]
+        engine.execute(sql)
+        plan = engine.plan(sql)
+        assert (
+            plan.interpretations[FALLBACK_PREDICATE].method
+            is InterpretationMethod.TEXT_RETRIEVAL
+        )
+
+    @pytest.mark.parametrize("top_k", [0, 1, 1000])
+    def test_top_k_edge_cases(self, hotel_database, top_k):
+        """``top_k`` of 0 (falls back to the default), 1, and far above E."""
+        sql = 'select * from Entities where "clean room" and "friendly staff"'
+        baseline = SubjectiveQueryEngine(database=hotel_database)
+        sharded = ShardedSubjectiveQueryEngine(database=hotel_database, num_shards=3)
+        _assert_identical_results(
+            baseline.execute(sql, top_k=top_k),
+            sharded.execute(sql, top_k=top_k),
+            context=f"top_k={top_k}",
+        )
+
+    def test_run_batch_identical(self, hotel_database):
+        baseline = SubjectiveQueryEngine(database=hotel_database)
+        sharded = ShardedSubjectiveQueryEngine(database=hotel_database, num_shards=3)
+        expected = baseline.run_batch(HOTEL_QUERIES)
+        actual = sharded.run_batch(HOTEL_QUERIES)
+        assert len(actual) == len(expected)
+        for exp, act in zip(expected.results, actual.results):
+            _assert_identical_results(exp, act)
+
+    def test_array_logic_fallback_identical(self, hotel_database):
+        """A logic without array connectives ranks through the scalar path."""
+        processor = SubjectiveQueryProcessor(hotel_database)
+        processor.logic.supports_arrays = False  # instance-level override
+        baseline = SubjectiveQueryEngine(database=hotel_database)
+        sharded = ShardedSubjectiveQueryEngine(processor=processor, num_shards=3)
+        for sql in HOTEL_QUERIES:
+            _assert_identical_results(
+                baseline.execute(sql), sharded.execute(sql), context=sql
+            )
+
+
+class TestShardedStoreDegrees:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_pair_degrees_exactly_equal(self, hotel_database, num_shards):
+        """Sharded degrees are bit-identical to the base store's, full and sparse."""
+        processor = SubjectiveQueryProcessor(hotel_database)
+        base = ColumnarSummaryStore(hotel_database)
+        sharded = ShardedColumnarStore(hotel_database, num_shards=num_shards)
+        attribute = next(
+            iter(hotel_database.schema.subjective_attributes)
+        ).name
+        entity_ids = hotel_database.entity_ids()
+        for phrase in ("very clean room", "noisy at night"):
+            for ids in (entity_ids, entity_ids[::3], entity_ids[:2]):
+                expected = base.pair_degrees(processor.membership, ids, attribute, phrase)
+                actual = sharded.pair_degrees(processor.membership, ids, attribute, phrase)
+                assert actual == expected
+
+    def test_processor_store_routing(self, hotel_database):
+        """``pair_degrees(store=...)`` routes one computation through a sharded store."""
+        processor = SubjectiveQueryProcessor(hotel_database)
+        sharded = ShardedColumnarStore(hotel_database, num_shards=3)
+        attribute = next(iter(hotel_database.schema.subjective_attributes)).name
+        ids = hotel_database.entity_ids()
+        expected = processor.pair_degrees(ids, attribute, "spotless room")
+        routed = processor.pair_degrees(ids, attribute, "spotless room", store=sharded)
+        assert routed == expected
+        assert sharded.fanouts == 1
+
+    def test_missing_attribute_returns_none(self, hotel_database):
+        processor = SubjectiveQueryProcessor(hotel_database)
+        sharded = ShardedColumnarStore(hotel_database, num_shards=2)
+        assert (
+            sharded.pair_degrees(
+                processor.membership, hotel_database.entity_ids(), "no_such_attr", "x"
+            )
+            is None
+        )
+
+
+# ---------------------------------------------------------------------------
+# A small mutable database (the session fixtures must stay read-only)
+# ---------------------------------------------------------------------------
+
+MARKERS = [Marker("clean", 0, 0.7), Marker("dirty", 1, -0.7)]
+
+
+def build_mutable_database(num_entities: int = 9) -> SubjectiveDatabase:
+    attribute = SubjectiveAttribute(name="room_cleanliness", markers=list(MARKERS))
+    # Variations in the linguistic domain make "clean room"/"dirty room"
+    # interpretable through the word2vec method (not the BM25 fallback).
+    attribute.domain.add_many(["clean room", "dirty room"])
+    schema = SubjectiveSchema(
+        name="hotels",
+        entity_key="hotelname",
+        objective_attributes=[
+            ObjectiveAttribute("city", ColumnType.TEXT),
+            ObjectiveAttribute("price_pn", ColumnType.FLOAT),
+        ],
+        subjective_attributes=[attribute],
+    )
+    database = SubjectiveDatabase(schema, embedding_dimension=12)
+    texts = [
+        "the room was very clean and the staff was friendly",
+        "dirty room with a bad smell and rude staff",
+        "spotless clean room and a great location",
+        "the room was clean and the breakfast was good",
+    ]
+    review_id = 0
+    for index in range(num_entities):
+        entity = f"h{index}"
+        database.add_entity(
+            entity, {"city": "london" if index % 2 else "paris", "price_pn": 100.0 + index}
+        )
+        for text in texts:
+            database.add_review(ReviewRecord(review_id, entity, text))
+            review_id += 1
+        summary = MarkerSummary("room_cleanliness", list(MARKERS))
+        # Entities 0-2 share one summary, so their degrees tie exactly and
+        # rankings exercise the deterministic (-score, str(id)) tie-break.
+        tier = min(index, 3)
+        summary.add_phrase("clean" if tier % 2 else "dirty", sentiment=0.4 if tier % 2 else -0.4)
+        summary.add_phrase("clean", sentiment=0.1 * tier)
+        database.store_summary(entity, summary)
+    database.set_variation_marker("room_cleanliness", "clean room", "clean")
+    database.set_variation_marker("room_cleanliness", "dirty room", "dirty")
+    database.fit_text_models()
+    return database
+
+
+INGEST_QUERY = 'select * from Entities where "clean room" limit 6'
+
+
+class _IngestingBatch(list):
+    """A query batch whose iteration ingests new data between two queries.
+
+    ``run_batch`` iterates its input sequence lazily, so yielding triggers
+    the ingest exactly between the first and second ``execute`` — the
+    mid-batch ``data_version`` bump of the regression test.
+    """
+
+    def __init__(self, sqls, ingest):
+        super().__init__(sqls)
+        self._ingest = ingest
+
+    def __iter__(self):
+        for index, sql in enumerate(super().__iter__()):
+            if index == 1:
+                self._ingest()
+            yield sql
+
+
+class TestProcessBackend:
+    def test_process_backend_identical(self):
+        import multiprocessing
+
+        if multiprocessing.get_start_method(allow_none=False) != "fork":
+            pytest.skip("process shard backend requires the fork start method")
+        database = build_mutable_database()
+        baseline = SubjectiveQueryEngine(database=database)
+        sharded = ShardedSubjectiveQueryEngine(
+            database=database, num_shards=3, backend="process"
+        )
+        try:
+            for sql in (INGEST_QUERY, HOTEL_QUERIES[1]):
+                _assert_identical_results(
+                    baseline.execute(sql), sharded.execute(sql), context=sql
+                )
+        finally:
+            sharded.close()
+
+
+class TestTieBreaking:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_tied_scores_rank_identically(self, num_shards):
+        database = build_mutable_database()
+        _assert_engines_agree(
+            database,
+            [INGEST_QUERY, 'select * from Entities where "clean room" limit 9'],
+            num_shards,
+        )
+
+
+class TestInterleavedIngest:
+    def test_mid_batch_ingest_drops_shard_state_together(self):
+        """A ``data_version`` bump mid-``run_batch`` leaves no stale degrees."""
+        database = build_mutable_database()
+        engine = ShardedSubjectiveQueryEngine(database=database, num_shards=3)
+        store = engine.sharded_store
+        version_before = database.data_version
+
+        # Prime every cache and the shard slices with pre-ingest state.  The
+        # query must read marker summaries (not the BM25 fallback) or the
+        # ingest below could not change its degrees.
+        stale = engine.execute(INGEST_QUERY)
+        plan = engine.plan(INGEST_QUERY)
+        assert all(
+            interpretation.method is not InterpretationMethod.TEXT_RETRIEVAL
+            for interpretation in plan.interpretations.values()
+        )
+        assert store.data_version == version_before
+        assert len(engine.membership_cache) > 0
+
+        def ingest():
+            # Flip every entity's summary so all pre-ingest degrees are wrong.
+            for index, entity in enumerate(sorted(database.entity_ids())):
+                summary = MarkerSummary("room_cleanliness", list(MARKERS))
+                summary.add_phrase("dirty" if index % 2 else "clean", sentiment=-0.6 if index % 2 else 0.6)
+                database.store_summary(entity, summary)
+
+        batch = engine.run_batch(_IngestingBatch([INGEST_QUERY, INGEST_QUERY], ingest))
+        assert database.data_version > version_before
+
+        # Shard slices, base columns and every cache partition were dropped
+        # together on the version bump.
+        assert store.data_version == database.data_version
+        assert store.invalidations >= 1
+        assert engine.stats.invalidations >= 1
+
+        # The post-ingest result equals a fresh engine over the new data...
+        fresh = SubjectiveQueryEngine(database=database).execute(INGEST_QUERY)
+        _assert_identical_results(fresh, batch.results[1])
+        # ... and genuinely differs from the pre-ingest ranking, so a stale
+        # survivor could not have passed the check above by accident.
+        stale_degrees = [entity.predicate_degrees for entity in stale.entities]
+        fresh_degrees = [entity.predicate_degrees for entity in fresh.entities]
+        assert stale_degrees != fresh_degrees
+
+        # No stale degree survives in any membership-cache partition: every
+        # cached value equals an uncached recomputation over the new data.
+        checker = SubjectiveQueryProcessor(database)
+        for key in list(engine.membership_cache.keys()):
+            entity_id, attribute, phrase = key
+            cached = engine.membership_cache.peek(key)
+            if attribute is None:
+                recomputed = checker.retrieval_degrees([entity_id], phrase)[0]
+            else:
+                recomputed = checker.pair_degrees([entity_id], attribute, phrase)[0]
+            assert cached == recomputed, key
+
+    def test_direct_ingest_invalidates_shard_slices(self):
+        database = build_mutable_database(num_entities=6)
+        store = ShardedColumnarStore(database, num_shards=3)
+        processor = SubjectiveQueryProcessor(database, columnar_store=store)
+        attribute = "room_cleanliness"
+        ids = database.entity_ids()
+        before = processor.pair_degrees(ids, attribute, "very clean room")
+        assert store.shard_slices(attribute) is not None
+
+        summary = MarkerSummary("room_cleanliness", list(MARKERS))
+        summary.add_phrase("clean", sentiment=0.9)
+        database.store_summary(ids[0], summary)
+
+        after = processor.pair_degrees(ids, attribute, "very clean room")
+        assert store.data_version == database.data_version
+        assert after != before
+        assert after == ColumnarSummaryStore(database).pair_degrees(
+            processor.membership, ids, attribute, "very clean room"
+        )
+
+
+class TestPartitionedMembershipCache:
+    def test_cache_is_partitioned_per_shard(self, hotel_database):
+        engine = ShardedSubjectiveQueryEngine(database=hotel_database, num_shards=4)
+        engine.execute(HOTEL_QUERIES[0])
+        cache = engine.membership_cache
+        assert cache.num_partitions == 4
+        assert len(cache) == sum(len(partition) for partition in cache.partitions)
+        assert len(cache) > 0
+        # Each key lives in exactly the partition its entity id routes to.
+        for key in cache.keys():
+            assert cache.peek(key) is not None
+        snapshot = engine.stats_snapshot()
+        assert snapshot["num_shards"] == 4
+        assert len(snapshot["membership_cache_partitions"]) == 4
+
+
+class TestDefaults:
+    def test_num_shards_defaults_to_one_per_core(self, hotel_database):
+        from repro.serving import default_num_shards
+
+        engine = ShardedSubjectiveQueryEngine(database=hotel_database)
+        assert engine.num_shards == default_num_shards() >= 1
+        store = ShardedColumnarStore(hotel_database)
+        assert store.num_shards == default_num_shards()
+
+    def test_process_backend_reregister_recycles_pool(self):
+        """Registering different state must recycle forked workers (their
+        snapshots pin the registry as of fork time)."""
+        import multiprocessing
+
+        if multiprocessing.get_start_method(allow_none=False) != "fork":
+            pytest.skip("process shard backend requires the fork start method")
+        from repro.serving.sharded import _PROCESS_REGISTRY, _ProcessBackend
+
+        backend = _ProcessBackend(max_workers=1)
+
+        class _StubPool:
+            def __init__(self):
+                self.shut_down = False
+
+            def shutdown(self, wait=True):
+                self.shut_down = True
+
+        database, membership = object(), object()
+        token = backend.register(database, membership)
+        pool = _StubPool()
+        backend._pool = pool
+        # Same state: the pool survives.
+        assert backend.register(database, membership) == token
+        assert not pool.shut_down
+        # New membership: stale forked snapshots must be recycled.
+        backend.register(database, object())
+        assert pool.shut_down
+        assert backend._pool is None
+        backend.shutdown()
+        assert token not in _PROCESS_REGISTRY
