@@ -85,7 +85,7 @@ def slice_view(columns: "AttributeColumns", start: int, stop: int) -> "Attribute
     )
 
 
-def _slice_columns(columns: "AttributeColumns", rows: list[int]) -> "AttributeColumns":
+def gather_rows(columns: "AttributeColumns", rows: list[int]) -> "AttributeColumns":
     """A row gather of ``columns`` restricted to ``rows`` (shared marker data).
 
     The scoring kernels are row-independent, so running them over a gather
@@ -107,6 +107,72 @@ def _slice_columns(columns: "AttributeColumns", rows: list[int]) -> "AttributeCo
         centroids_unit=columns.centroids_unit[rows],
         name_units=columns.name_units,
     )
+
+
+def resolve_slice(
+    columns: "AttributeColumns",
+    start: int,
+    stop: int,
+    rows: "list[int] | None" = None,
+) -> "AttributeColumns":
+    """The kernel-ready view of one shipped ``(start, stop, rows)`` slice spec.
+
+    This is the receiving half of the slice-shipping contract used by the
+    process shard backend and the RPC shard service: the sender ships only
+    indices — a contiguous ``[start, stop)`` row range of an attribute's
+    columns, optionally narrowed to slice-relative ``rows`` for a sparse
+    request — and the receiver resolves them against its own deterministic
+    rebuild of the column arrays.  Both sides build identical arrays from
+    the same database snapshot, so the resolved view (and every kernel
+    result computed from it) is bit-identical to the sender's.
+    """
+    view = slice_view(columns, start, stop)
+    if rows is not None:
+        view = gather_rows(view, rows)
+    return view
+
+
+def plan_slice_requests(
+    bounds: Sequence[int],
+    resident: Sequence[int],
+    sparse_factor: int = 4,
+) -> "list[tuple[int, int, int, list[int] | None, object]]":
+    """Group sorted resident rows into per-slice score requests.
+
+    ``bounds`` are the K+1 monotone partition bounds of the store's E axis
+    (slice ``i`` owns rows ``[bounds[i], bounds[i+1])``); ``resident`` are
+    the store-wide row indices to score, sorted ascending.  Returns one
+    request tuple ``(slice_id, start, stop, rows, scatter)`` per slice that
+    owns at least one resident row:
+
+    * ``rows`` is ``None`` for a full-slice kernel pass, or slice-relative
+      row indices when the resident rows are a sparse subset of the slice
+      (fewer than ``1/sparse_factor`` of its rows — the columnar store's
+      sparse-gather heuristic, applied per slice);
+    * ``scatter`` places the request's result vector back into a store-wide
+      degree array: a ``slice`` object for full passes, an index array for
+      gathers.
+
+    Empty slices produce no request, so shipping a request per tuple never
+    sends empty work.  Shared by the in-process sharded store and the RPC
+    coordinator — both fan out exactly these requests, only the transport
+    differs.
+    """
+    requests: list[tuple[int, int, int, list[int] | None, object]] = []
+    position = 0
+    for slice_id, (start, stop) in enumerate(zip(bounds, bounds[1:])):
+        begin = position
+        while position < len(resident) and resident[position] < stop:
+            position += 1
+        slice_rows = resident[begin:position]
+        if not slice_rows:
+            continue
+        if len(slice_rows) * sparse_factor < stop - start:
+            relative = [row - start for row in slice_rows]
+            requests.append((slice_id, start, stop, relative, np.asarray(slice_rows)))
+        else:
+            requests.append((slice_id, start, stop, None, slice(start, stop)))
+    return requests
 
 
 @dataclass
@@ -133,10 +199,12 @@ class AttributeColumns:
 
     @property
     def num_entities(self) -> int:
+        """Number of entity rows (E) in the column arrays."""
         return len(self.entity_ids)
 
     @property
     def num_markers(self) -> int:
+        """Number of markers (M) of the attribute's schema."""
         return len(self.markers)
 
     @property
@@ -316,6 +384,7 @@ def scalar_fallback_scorer(
     context: list = []  # lazily built so cache-warm calls never pay for it
 
     def score(entity_id: Hashable) -> float:
+        """Scalar degree of one absent-from-columns entity."""
         summary = database.marker_summary(entity_id, attribute)
         if make_context is not None and context_degree is not None:
             if not context:
@@ -411,7 +480,7 @@ class ColumnarSummaryStore:
         batch: np.ndarray | None = None
         if resident:
             if len(resident) * 4 < columns.num_entities:
-                sliced = _slice_columns(columns, resident)
+                sliced = gather_rows(columns, resident)
                 partial = kernel(sliced, phrase)
                 batch = np.empty(columns.num_entities)
                 batch[resident] = partial

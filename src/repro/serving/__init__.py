@@ -19,11 +19,18 @@ overlapping queries needs:
   the entity-sharded scale-out tier: K contiguous slice views per
   attribute, per-slice kernel fan-out (serial/thread/process backends), a
   per-shard membership-cache partition, vectorized WHERE-tree scoring and
-  per-shard top-k merge.
+  per-shard top-k merge;
+* :class:`CoordinatorQueryEngine` / :class:`RpcShardStore`
+  (:mod:`repro.serving.rpc`) — the disaggregated tier: long-lived shard
+  worker processes serving a length-prefixed binary ``score`` protocol
+  over local sockets, a coordinator that fans WHERE-tree scoring out and
+  merges per-shard top-k heaps, same caches, same invalidation unit.
 
-The engines produce results identical to the wrapped processor — caches
+Every engine produces results identical to the wrapped processor — caches
 only short-circuit recomputation of values the processor would have
-produced, and sharded execution reorders work, never arithmetic.
+produced, and sharded or RPC execution reorders work, never arithmetic.
+``docs/ARCHITECTURE.md`` documents all four layers, the cache hierarchy,
+and the ``data_version`` invalidation contract in one place.
 """
 
 from repro.serving.cache import CacheStats, LRUCache, PartitionedLRUCache
@@ -33,6 +40,15 @@ from repro.serving.engine import (
     SubjectiveQueryEngine,
 )
 from repro.serving.plans import QueryPlan, normalize_sql
+from repro.serving.rpc import (
+    CoordinatorQueryEngine,
+    FrameTooLargeError,
+    RpcError,
+    RpcShardStore,
+    ShardServiceClient,
+    ShardServiceWorker,
+    WorkerCrashedError,
+)
 from repro.serving.sharded import (
     ShardedColumnarStore,
     ShardedSubjectiveQueryEngine,
@@ -44,13 +60,20 @@ from repro.serving.sharded import (
 __all__ = [
     "BatchResult",
     "CacheStats",
+    "CoordinatorQueryEngine",
+    "FrameTooLargeError",
     "LRUCache",
     "PartitionedLRUCache",
     "QueryPlan",
+    "RpcError",
+    "RpcShardStore",
     "ServingStats",
+    "ShardServiceClient",
+    "ShardServiceWorker",
     "ShardedColumnarStore",
     "ShardedSubjectiveQueryEngine",
     "SubjectiveQueryEngine",
+    "WorkerCrashedError",
     "default_num_shards",
     "merge_shard_topk",
     "normalize_sql",

@@ -31,6 +31,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups counted (hits plus misses)."""
         return self.hits + self.misses
 
     @property
@@ -41,6 +42,7 @@ class CacheStats:
         return self.hits / self.lookups
 
     def as_dict(self) -> dict[str, float]:
+        """The counters plus hit rate as one plain dict (for snapshots)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -176,6 +178,7 @@ class PartitionedLRUCache:
 
     @property
     def num_partitions(self) -> int:
+        """Number of independent LRU partitions."""
         return len(self.partitions)
 
     def partition_of(self, key: Hashable) -> LRUCache:
@@ -183,12 +186,15 @@ class PartitionedLRUCache:
         return self.partitions[self._router(key) % len(self.partitions)]
 
     def get(self, key: Hashable, default: object = None) -> object:
+        """Look up ``key`` in its partition (counts and recency as ``LRUCache.get``)."""
         return self.partition_of(key).get(key, default)
 
     def peek(self, key: Hashable, default: object = None) -> object:
+        """Look up ``key`` without touching recency or counters."""
         return self.partition_of(key).peek(key, default)
 
     def put(self, key: Hashable, value: object) -> None:
+        """Insert or refresh ``key`` in its partition (partition-local eviction)."""
         self.partition_of(key).put(key, value)
 
     def get_many(self, keys: Sequence[Hashable], default: object = None) -> list[object]:
@@ -269,3 +275,15 @@ class PartitionedLRUCache:
             misses=sum(partition.stats.misses for partition in self.partitions),
             evictions=sum(partition.stats.evictions for partition in self.partitions),
         )
+
+    def partition_stats(self) -> list[dict[str, float]]:
+        """Per-partition counter dicts (``entries`` plus the hit statistics).
+
+        One dict per partition, in partition order — the shard-local view
+        the sharded engine's ``stats_snapshot`` and the shard-service
+        ``stats()`` RPC report, so operators can spot a hot or cold shard.
+        """
+        return [
+            {"entries": len(partition), **partition.stats.as_dict()}
+            for partition in self.partitions
+        ]

@@ -82,6 +82,7 @@ class BatchResult:
 
     @property
     def queries_per_second(self) -> float:
+        """Batch throughput over wall-clock time (0.0 for an empty batch)."""
         if self.elapsed_seconds <= 0.0:
             return 0.0
         return len(self.results) / self.elapsed_seconds
@@ -134,6 +135,25 @@ class SubjectiveQueryEngine:
         self.candidate_cache = LRUCache(candidate_cache_size)
         self.stats = ServingStats()
         self._data_version = self.database.data_version
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release executor or worker resources held by the engine.
+
+        The base engine holds none, so this is a no-op; the sharded engine
+        shuts down its executor pool here and the RPC coordinator shuts
+        down its shard-service worker processes.  Always idempotent, so
+        ``finally: engine.close()`` (or the context-manager form) is safe
+        for every engine flavour.
+        """
+
+    def __enter__(self) -> "SubjectiveQueryEngine":
+        """Enter a ``with`` block; the engine closes itself on exit."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Close the engine when the ``with`` block exits."""
+        self.close()
 
     def _build_membership_cache(self, maxsize: int | None):
         """The membership-degree cache; subclasses may partition it.

@@ -38,6 +38,7 @@ def normalize_sql(sql: str) -> str:
     pending_space = False
 
     def flush_word() -> None:
+        """Emit the pending token, lowercased when it is a SQL keyword."""
         if word:
             token = "".join(word)
             out.append(token.lower() if token.lower() in _KEYWORDS else token)

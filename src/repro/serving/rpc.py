@@ -1,0 +1,929 @@
+"""Shard-service RPC: worker processes scoring slices, a coordinator merging.
+
+PR 3 made the contiguous entity slice the unit of placement but kept every
+shard in one process.  This module moves the shards behind a service
+boundary — the deployment shape of a disaggregated, coordinator/worker
+query engine — while pinning the same exact-equality contract as every
+other serving layer:
+
+* **Frame protocol** — a small length-prefixed binary protocol over local
+  stream sockets: every message is a 4-byte big-endian length followed by
+  that many payload bytes (:func:`send_frame` / :func:`recv_frame`), with
+  oversized frames rejected on both ends before any allocation.  Requests
+  carry a one-byte opcode — ``score``, ``invalidate``, ``stats``,
+  ``shutdown`` — and responses a one-byte status (OK or a transported
+  error message);
+* :class:`ShardServiceWorker` — the server side: a long-lived worker
+  process owning a set of contiguous entity slices.  ``score(attribute,
+  phrase, slice_id, start, stop[, rows])`` resolves the shipped indices
+  against the worker's own deterministic rebuild of the column arrays
+  (:func:`repro.core.columnar.resolve_slice` — exactly the PR 3 process
+  backend's inherited-snapshot model) and returns the slice's degree
+  vector; results are memoised in a per-slice
+  :class:`~repro.serving.cache.PartitionedLRUCache` that ``invalidate``
+  drops;
+* :class:`ShardServiceClient` — the coordinator's per-worker handle:
+  pipelined request writes, typed response reads, and clean
+  :class:`WorkerCrashedError` surfacing when a worker dies mid-request;
+* :class:`RpcShardStore` — implements the same ``pair_degrees`` protocol
+  as :class:`~repro.serving.sharded.ShardedColumnarStore`, so the query
+  processor routes through it unchanged: resident rows are grouped into
+  per-slice score requests (:func:`repro.core.columnar.plan_slice_requests`
+  — the identical plan the in-process store executes), requests are
+  written to every involved worker before any response is read (workers
+  compute concurrently), and the returned vectors are scattered back into
+  one store-wide degree array;
+* :class:`CoordinatorQueryEngine` — the serving front end: plans once
+  through the inherited plan cache, fans WHERE-tree scoring out to the
+  workers through the installed :class:`RpcShardStore`, and merges
+  per-shard top-k heaps under the exact existing ``(-score,
+  str(entity_id), position)`` stable order (all of
+  :class:`~repro.serving.sharded.ShardedSubjectiveQueryEngine`'s ranking
+  machinery is reused verbatim — only the degree transport changed).
+
+Workers are forked, so they inherit the database snapshot of the moment
+they were spawned; ingest in the coordinator process can never reach them.
+The coordinator therefore honors :attr:`SubjectiveDatabase.data_version`
+the same way the process shard backend does: a version bump tears the
+worker fleet down and the next query re-forks it over the current data —
+one invalidation unit with the engine caches and the base column arrays.
+The ``invalidate`` RPC drops worker-side degree caches *within* a
+snapshot's lifetime (used by benchmarks and by deployments that recycle
+caches without re-forking); it reports the worker's snapshot version so
+the coordinator can detect skew.
+
+Because worker slices are rebuilt deterministically from the same snapshot
+the coordinator's own base store reads, every shipped kernel result is
+bit-identical to an in-process pass — the differential suite pins
+rankings, scores and degrees of :class:`CoordinatorQueryEngine` exactly
+equal to the unsharded engine across worker counts {1, 2, 4}.  Scaling
+across machines from here is a transport swap (TCP for the socketpair),
+not a rewrite.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import socket
+import struct
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.columnar import (
+    AttributeColumns,
+    ColumnarSummaryStore,
+    columnar_kernel,
+    gather_degrees,
+    plan_slice_requests,
+    resolve_slice,
+    scalar_fallback_scorer,
+)
+from repro.core.database import SubjectiveDatabase
+from repro.core.processor import SubjectiveQueryProcessor
+from repro.errors import ExecutionError
+from repro.serving.cache import PartitionedLRUCache
+from repro.serving.sharded import (
+    ShardedSubjectiveQueryEngine,
+    default_num_shards,
+    partition_bounds,
+)
+
+#: Default ceiling on one frame's payload size (requests and responses).
+#: Generous for degree vectors (8 bytes per entity) while still refusing a
+#: corrupt or hostile length prefix before allocating anything.
+DEFAULT_MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Default per-worker bound on memoised slice degree vectors.
+DEFAULT_WORKER_CACHE_SIZE = 4096
+
+OP_SCORE = 1
+OP_INVALIDATE = 2
+OP_STATS = 3
+OP_SHUTDOWN = 4
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+
+_U8 = struct.Struct("!B")
+_U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
+_HEADER = _U32
+
+#: Canonical wire dtypes: big-endian, so the protocol stays well-defined
+#: when the socketpair is one day swapped for a cross-machine transport.
+#: The byte swap is lossless, so degree bits survive the round trip.
+_WIRE_F64 = ">f8"
+_WIRE_U32 = ">u4"
+
+
+class RpcError(ExecutionError):
+    """A shard-service RPC failed (transport fault or worker-side error)."""
+
+
+class FrameTooLargeError(RpcError):
+    """A frame exceeded the configured maximum payload size."""
+
+
+class WorkerCrashedError(RpcError):
+    """A shard worker died (or closed its socket) with a request in flight."""
+
+
+# --------------------------------------------------------------------------
+# Frame transport
+# --------------------------------------------------------------------------
+
+def send_frame(sock: socket.socket, payload: bytes, max_frame_bytes: int) -> None:
+    """Write one length-prefixed frame, refusing oversized payloads locally.
+
+    The send-side check means a misconfigured caller fails fast instead of
+    making the peer drop the connection after reading the length prefix.
+    """
+    if len(payload) > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"refusing to send a {len(payload)}-byte frame "
+            f"(limit {max_frame_bytes} bytes)"
+        )
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """``count`` bytes from ``sock``; ``None`` on EOF before the first byte."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise RpcError("connection closed mid-frame")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if chunks else b""
+
+
+def recv_frame(sock: socket.socket, max_frame_bytes: int) -> bytes | None:
+    """Read one length-prefixed frame; ``None`` on clean EOF between frames.
+
+    A length prefix above ``max_frame_bytes`` raises
+    :class:`FrameTooLargeError` *before* any payload allocation — the
+    stream cannot be resynchronised afterwards, so the caller must close
+    the connection.  EOF in the middle of a frame raises :class:`RpcError`.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"peer announced a {length}-byte frame (limit {max_frame_bytes} bytes)"
+        )
+    if length == 0:
+        return b""
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise RpcError("connection closed mid-frame")
+    return payload
+
+
+# --------------------------------------------------------------------------
+# Payload codec
+# --------------------------------------------------------------------------
+
+def _pack_str(text: str) -> bytes:
+    """A UTF-8 string field: 4-byte big-endian length + bytes."""
+    data = text.encode("utf-8")
+    return _U32.pack(len(data)) + data
+
+
+class _Reader:
+    """Sequential field reader over one frame payload."""
+
+    def __init__(self, payload: bytes) -> None:
+        self._view = memoryview(payload)
+        self._offset = 0
+
+    def _take(self, count: int) -> memoryview:
+        start, end = self._offset, self._offset + count
+        if end > len(self._view):
+            raise RpcError("truncated frame payload")
+        self._offset = end
+        return self._view[start:end]
+
+    def read_u8(self) -> int:
+        """One unsigned byte."""
+        return _U8.unpack(self._take(_U8.size))[0]
+
+    def read_u32(self) -> int:
+        """One big-endian unsigned 32-bit integer."""
+        return _U32.unpack(self._take(_U32.size))[0]
+
+    def read_u64(self) -> int:
+        """One big-endian unsigned 64-bit integer."""
+        return _U64.unpack(self._take(_U64.size))[0]
+
+    def read_str(self) -> str:
+        """One length-prefixed UTF-8 string."""
+        return bytes(self._take(self.read_u32())).decode("utf-8")
+
+    def read_u32_array(self, count: int) -> list[int]:
+        """``count`` big-endian u32 values as a plain int list."""
+        data = self._take(4 * count)
+        return np.frombuffer(data, dtype=_WIRE_U32).astype(np.intp).tolist()
+
+    def read_f64_array(self, count: int) -> np.ndarray:
+        """``count`` big-endian f64 values as a native float64 array."""
+        data = self._take(8 * count)
+        return np.frombuffer(data, dtype=_WIRE_F64).astype(np.float64)
+
+
+def encode_score_request(
+    slice_id: int,
+    attribute: str,
+    phrase: str,
+    start: int,
+    stop: int,
+    rows: Sequence[int] | None,
+) -> bytes:
+    """The ``score`` request frame: one slice's scoring work, indices only.
+
+    ``rows`` (slice-relative, ``None`` for a full-slice pass) mirrors the
+    in-process sparse-gather heuristic.  Arrays never travel — the worker
+    resolves ``(attribute, start, stop, rows)`` against its own rebuilt
+    columns, exactly like the PR 3 process backend's payloads.
+    """
+    parts = [
+        _U8.pack(OP_SCORE),
+        _U32.pack(slice_id),
+        _pack_str(attribute),
+        _pack_str(phrase),
+        _U32.pack(start),
+        _U32.pack(stop),
+    ]
+    if rows is None:
+        parts.append(_U8.pack(0))
+    else:
+        parts.append(_U8.pack(1))
+        parts.append(_U32.pack(len(rows)))
+        parts.append(np.asarray(rows, dtype=_WIRE_U32).tobytes())
+    return b"".join(parts)
+
+
+def _encode_error(message: str) -> bytes:
+    """An error response frame transporting ``message`` to the peer."""
+    return _U8.pack(STATUS_ERROR) + _pack_str(message)
+
+
+# --------------------------------------------------------------------------
+# The worker (server side)
+# --------------------------------------------------------------------------
+
+class ShardServiceWorker:
+    """One shard-service worker: owns contiguous slices, serves score RPCs.
+
+    The worker holds a forked snapshot of the database and rebuilds its
+    column arrays from it on demand (:class:`ColumnarSummaryStore` builds
+    deterministically, so the arrays — and every kernel result — are
+    bit-identical to the coordinator's own).  Scored slice vectors are
+    memoised in a :class:`~repro.serving.cache.PartitionedLRUCache` with
+    one partition per owned slice, so eviction pressure from a hot slice
+    never evicts a colder slice's entries; the ``invalidate`` RPC drops
+    every partition together.
+
+    ``handle_frame`` is the transport-free dispatch (one request payload in,
+    one response payload out), used directly by the in-process tests;
+    :meth:`serve` wraps it in the framed socket loop.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        database: SubjectiveDatabase,
+        membership: object,
+        owned_slice_ids: Sequence[int],
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        cache_size: int | None = DEFAULT_WORKER_CACHE_SIZE,
+    ) -> None:
+        self.index = index
+        self.database = database
+        self.membership = membership
+        self.owned_slice_ids = list(owned_slice_ids)
+        self.max_frame_bytes = max_frame_bytes
+        self.store = ColumnarSummaryStore(database)
+        # Owned slice ids are a contiguous range, so ``slice_id % count``
+        # (the default router's hash of the key's first element) maps each
+        # owned slice onto its own partition.
+        self.cache = PartitionedLRUCache(max(1, len(self.owned_slice_ids)), cache_size)
+        self.score_requests = 0
+        self.kernel_calls = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------- dispatch
+    def handle_frame(self, payload: bytes) -> tuple[bytes, bool]:
+        """One request payload → ``(response payload, stop serving?)``.
+
+        Worker-side failures are transported as error responses, never
+        exceptions — a bad request must not take the service down.
+        """
+        try:
+            reader = _Reader(payload)
+            opcode = reader.read_u8()
+            if opcode == OP_SCORE:
+                return self._handle_score(reader), False
+            if opcode == OP_INVALIDATE:
+                return self._handle_invalidate(reader), False
+            if opcode == OP_STATS:
+                return self._handle_stats(), False
+            if opcode == OP_SHUTDOWN:
+                return _U8.pack(STATUS_OK), True
+            return _encode_error(f"unknown opcode {opcode}"), False
+        except Exception as error:  # noqa: BLE001 - transported to the peer
+            return _encode_error(f"{type(error).__name__}: {error}"), False
+
+    def _handle_score(self, reader: _Reader) -> bytes:
+        slice_id = reader.read_u32()
+        attribute = reader.read_str()
+        phrase = reader.read_str()
+        start = reader.read_u32()
+        stop = reader.read_u32()
+        rows: list[int] | None = None
+        if reader.read_u8():
+            rows = reader.read_u32_array(reader.read_u32())
+        self.score_requests += 1
+        key = (slice_id, attribute, phrase, start, stop, tuple(rows) if rows is not None else None)
+        vector = self.cache.get(key)
+        if vector is None:
+            vector = self._score(attribute, phrase, start, stop, rows)
+            self.cache.put(key, vector)
+        return _U8.pack(STATUS_OK) + _U32.pack(len(vector)) + vector.astype(_WIRE_F64).tobytes()
+
+    def _score(
+        self, attribute: str, phrase: str, start: int, stop: int, rows: list[int] | None
+    ) -> np.ndarray:
+        kernel = columnar_kernel(self.membership, self.database)
+        if kernel is None:
+            raise ExecutionError(
+                "the membership function has no usable columnar kernel in this worker"
+            )
+        columns = self.store.columns(attribute)
+        if columns is None:
+            raise ExecutionError(f"attribute {attribute!r} has no columns in worker {self.index}")
+        if stop > columns.num_entities or start > stop:
+            raise ExecutionError(
+                f"slice [{start}, {stop}) out of range for attribute {attribute!r} "
+                f"({columns.num_entities} entities in worker {self.index})"
+            )
+        self.kernel_calls += 1
+        view = resolve_slice(columns, start, stop, rows)
+        return np.asarray(kernel(view, phrase), dtype=np.float64)
+
+    def _handle_invalidate(self, reader: _Reader) -> bytes:
+        reader.read_u64()  # coordinator's version; returned version reports skew
+        dropped = len(self.cache)
+        self.cache.clear()
+        self.invalidations += 1
+        return _U8.pack(STATUS_OK) + _U64.pack(self.database.data_version) + _U32.pack(dropped)
+
+    def _handle_stats(self) -> bytes:
+        stats = {
+            "worker": self.index,
+            "pid": os.getpid(),
+            "data_version": self.database.data_version,
+            "owned_slices": self.owned_slice_ids,
+            "score_requests": self.score_requests,
+            "kernel_calls": self.kernel_calls,
+            "invalidations": self.invalidations,
+            "cache_entries": len(self.cache),
+            "cache_partitions": self.cache.partition_stats(),
+        }
+        return _U8.pack(STATUS_OK) + _pack_str(json.dumps(stats))
+
+    # ---------------------------------------------------------- socket loop
+    def serve(self, sock: socket.socket) -> None:
+        """Serve framed requests on ``sock`` until shutdown or peer EOF."""
+        while True:
+            try:
+                payload = recv_frame(sock, self.max_frame_bytes)
+            except FrameTooLargeError as error:
+                # The stream cannot be resynchronised after refusing a
+                # frame; report why, then drop the connection.
+                try:
+                    send_frame(sock, _encode_error(str(error)), self.max_frame_bytes)
+                except OSError:
+                    pass
+                return
+            except (RpcError, OSError):
+                return  # peer vanished mid-frame
+            if payload is None:
+                return  # clean EOF: the coordinator closed its end
+            response, stop = self.handle_frame(payload)
+            try:
+                send_frame(sock, response, self.max_frame_bytes)
+            except OSError:
+                return
+            if stop:
+                return
+
+
+def _worker_main(
+    index: int,
+    sock: socket.socket,
+    close_in_child: list[socket.socket],
+    database: SubjectiveDatabase,
+    membership: object,
+    owned_slice_ids: list[int],
+    max_frame_bytes: int,
+    cache_size: int | None,
+) -> None:
+    """Forked worker entry point: close inherited peer sockets, then serve."""
+    for other in close_in_child:
+        try:
+            other.close()
+        except OSError:
+            pass
+    worker = ShardServiceWorker(
+        index=index,
+        database=database,
+        membership=membership,
+        owned_slice_ids=owned_slice_ids,
+        max_frame_bytes=max_frame_bytes,
+        cache_size=cache_size,
+    )
+    try:
+        worker.serve(sock)
+    finally:
+        sock.close()
+
+
+# --------------------------------------------------------------------------
+# The client handle (coordinator side)
+# --------------------------------------------------------------------------
+
+class ShardServiceClient:
+    """The coordinator's handle to one worker: framed requests, typed reads.
+
+    Writes and reads are decoupled so the coordinator can pipeline — write
+    score requests to *every* involved worker, then collect responses —
+    which is what lets the workers compute concurrently.  Transport
+    failures surface as :class:`WorkerCrashedError` naming the worker.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        process: multiprocessing.process.BaseProcess,
+        sock: socket.socket,
+        owned_slice_ids: Sequence[int],
+        max_frame_bytes: int,
+    ) -> None:
+        self.index = index
+        self.process = process
+        self.sock = sock
+        self.owned_slice_ids = list(owned_slice_ids)
+        self.max_frame_bytes = max_frame_bytes
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker process is still running."""
+        return self.process.is_alive()
+
+    def _crashed(self, detail: str) -> WorkerCrashedError:
+        return WorkerCrashedError(
+            f"shard worker {self.index} (pid {self.process.pid}) {detail}; "
+            "the worker fleet will be respawned on the next query"
+        )
+
+    def send(self, payload: bytes) -> None:
+        """Write one request frame (no response read — see :meth:`read_ok`)."""
+        try:
+            send_frame(self.sock, payload, self.max_frame_bytes)
+        except FrameTooLargeError:
+            raise
+        except OSError as error:
+            raise self._crashed(f"is unreachable ({error})") from error
+
+    def read_ok(self) -> _Reader:
+        """Read one response frame, raising transported worker errors."""
+        try:
+            payload = recv_frame(self.sock, self.max_frame_bytes)
+        except FrameTooLargeError:
+            raise
+        except (RpcError, OSError) as error:
+            raise self._crashed(f"died mid-request ({error})") from error
+        if payload is None:
+            raise self._crashed("closed its connection with a request in flight")
+        reader = _Reader(payload)
+        if reader.read_u8() == STATUS_ERROR:
+            raise RpcError(f"shard worker {self.index}: {reader.read_str()}")
+        return reader
+
+    def read_score_vector(self) -> np.ndarray:
+        """The degree vector of one previously sent ``score`` request."""
+        reader = self.read_ok()
+        return reader.read_f64_array(reader.read_u32())
+
+    def invalidate(self, data_version: int) -> tuple[int, int]:
+        """Drop the worker's degree caches; returns (snapshot version, dropped)."""
+        self.send(_U8.pack(OP_INVALIDATE) + _U64.pack(data_version))
+        reader = self.read_ok()
+        return reader.read_u64(), reader.read_u32()
+
+    def stats(self) -> dict:
+        """The worker's counters and cache statistics (a ``stats`` RPC)."""
+        self.send(_U8.pack(OP_STATS))
+        return json.loads(self.read_ok().read_str())
+
+    def close(self, kill: bool = False) -> None:
+        """Stop the worker: graceful ``shutdown`` RPC, or ``kill`` outright.
+
+        Idempotent and safe on crashed workers; always reaps the process.
+        """
+        if not kill and self.alive:
+            try:
+                self.send(_U8.pack(OP_SHUTDOWN))
+                self.read_ok()
+            except RpcError:
+                pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        if self.alive:
+            self.process.terminate()
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.join(timeout=5)
+
+
+# --------------------------------------------------------------------------
+# The coordinator store
+# --------------------------------------------------------------------------
+
+class RpcShardStore:
+    """Entity-sliced degree scoring over shard-service worker processes.
+
+    Implements the ``pair_degrees`` protocol of
+    :class:`~repro.core.columnar.ColumnarSummaryStore` /
+    :class:`~repro.serving.sharded.ShardedColumnarStore`, so a
+    :class:`~repro.core.processor.SubjectiveQueryProcessor` routes through
+    it unchanged.  The store keeps its own base columnar store for row
+    lookup and scalar fallbacks; kernel work ships to the workers as
+    ``(attribute, start, stop[, rows])`` slice indices — never arrays.
+
+    Slices are assigned to workers contiguously
+    (:func:`~repro.serving.sharded.partition_bounds` over the slice ids),
+    so each worker owns a set of contiguous entity slices.  Workers are
+    forked lazily on first use and live until the data version moves, the
+    membership function changes, a worker crashes, or :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        database: SubjectiveDatabase,
+        num_workers: int | None = None,
+        num_slices: int | None = None,
+        base: ColumnarSummaryStore | None = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        worker_cache_size: int | None = DEFAULT_WORKER_CACHE_SIZE,
+    ) -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ExecutionError(
+                "the shard-service RPC layer requires the 'fork' start method; "
+                "use the in-process sharded engine on this platform"
+            )
+        if num_workers is None:
+            num_workers = default_num_shards()
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        if num_slices is None:
+            num_slices = num_workers
+        if num_slices < num_workers:
+            raise ValueError(f"num_slices ({num_slices}) must be >= num_workers ({num_workers})")
+        self.database = database
+        self.num_workers = num_workers
+        self.num_slices = num_slices
+        self.base = base if base is not None else ColumnarSummaryStore(database)
+        self.max_frame_bytes = max_frame_bytes
+        self.worker_cache_size = worker_cache_size
+        # Worker w owns the contiguous slice-id range [bounds[w], bounds[w+1]).
+        self._ownership = partition_bounds(num_slices, num_workers)
+        self._owner_of = [
+            worker
+            for worker, (start, stop) in enumerate(zip(self._ownership, self._ownership[1:]))
+            for _ in range(stop - start)
+        ]
+        self._workers: list[ShardServiceClient] = []
+        self._membership: object | None = None
+        self._version = database.data_version
+        self.invalidations = 0
+        self.respawns = 0
+        self.fanouts = 0  # sharded kernel passes (one per predicate computation)
+        self.rpc_requests = 0  # individual score requests shipped to workers
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def data_version(self) -> int:
+        """The database version the current worker fleet was forked against."""
+        return self._version
+
+    def _check_version(self) -> None:
+        if self._version != self.database.data_version:
+            self.invalidate()
+
+    def invalidate(self) -> None:
+        """Drop base columns and tear the (stale-snapshot) worker fleet down.
+
+        Forked workers pin the database as of fork time, so a
+        ``data_version`` bump makes every worker stale at once; the next
+        query re-forks the fleet over the current data.  Base columns, the
+        fleet, and the serving engine's caches all fall in the same
+        invalidation unit.
+        """
+        self.base.invalidate()
+        self._shutdown_workers()
+        self._version = self.database.data_version
+        self.invalidations += 1
+
+    def invalidate_worker_caches(self) -> int:
+        """Drop every live worker's degree caches; returns entries dropped.
+
+        The ``invalidate`` RPC: cache recycling *within* a snapshot's
+        lifetime (the data did not change, so the workers stay up).  Each
+        worker reports its snapshot version; skew tears the fleet down —
+        the snapshot can only be refreshed by re-forking.
+        """
+        dropped_total = 0
+        stale = False
+        for client in self._workers:
+            version, dropped = client.invalidate(self.database.data_version)
+            dropped_total += dropped
+            stale = stale or version != self.database.data_version
+        if stale:  # pragma: no cover - defensive; respawn handles skew
+            self._shutdown_workers()
+        return dropped_total
+
+    def close(self) -> None:
+        """Shut the worker fleet down gracefully (idempotent)."""
+        self._shutdown_workers()
+
+    def _shutdown_workers(self, kill: bool = False) -> None:
+        workers, self._workers = self._workers, []
+        for client in workers:
+            client.close(kill=kill)
+
+    # --------------------------------------------------------------- spawn
+    def _ensure_workers(self, membership: object) -> None:
+        """Fork the worker fleet if absent, stale, or bound to another membership."""
+        if self._workers and self._membership is not membership:
+            self._shutdown_workers()
+        if self._workers and not all(client.alive for client in self._workers):
+            self._shutdown_workers(kill=True)
+        if self._workers:
+            return
+        context = multiprocessing.get_context("fork")
+        clients: list[ShardServiceClient] = []
+        for index in range(self.num_workers):
+            owned = list(range(self._ownership[index], self._ownership[index + 1]))
+            parent_sock, child_sock = socket.socketpair()
+            # The child inherits every previously spawned worker's parent-
+            # side socket (plus its own); it must close those copies or a
+            # sibling crash would never surface as EOF to the coordinator.
+            close_in_child = [client.sock for client in clients] + [parent_sock]
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    index,
+                    child_sock,
+                    close_in_child,
+                    self.database,
+                    membership,
+                    owned,
+                    self.max_frame_bytes,
+                    self.worker_cache_size,
+                ),
+                daemon=True,
+                name=f"repro-shard-service-{index}",
+            )
+            process.start()
+            child_sock.close()
+            clients.append(
+                ShardServiceClient(index, process, parent_sock, owned, self.max_frame_bytes)
+            )
+        self._workers = clients
+        self._membership = membership
+        self.respawns += 1
+
+    @property
+    def workers(self) -> list[ShardServiceClient]:
+        """The live worker handles (empty before the first fan-out)."""
+        return self._workers
+
+    # ----------------------------------------------------------- partitions
+    def columns(self, attribute: str) -> AttributeColumns | None:
+        """The unpartitioned column arrays (delegates to the base store)."""
+        self._check_version()
+        return self.base.columns(attribute)
+
+    # -------------------------------------------------------------- scoring
+    def pair_degrees(
+        self,
+        membership: object,
+        entity_ids: Sequence[Hashable],
+        attribute: str,
+        phrase: str,
+    ) -> list[float] | None:
+        """RPC analog of :meth:`ShardedColumnarStore.pair_degrees`.
+
+        Resident entities are grouped into per-slice score requests (the
+        in-process store's exact plan), the requests are written to every
+        involved worker *before* any response is read — so workers compute
+        their slices concurrently — and the returned vectors are scattered
+        into one store-wide degree array.  Entities absent from the columns
+        fall back to per-entity scalar scoring on the coordinator, and
+        ``None`` is returned under the same conditions as the base store,
+        so callers' fallback behaviour is unchanged.
+
+        A worker crash surfaces as :class:`WorkerCrashedError`; the fleet
+        is torn down so the next query re-forks it cleanly.
+        """
+        self._check_version()
+        kernel = columnar_kernel(membership, self.database)
+        if kernel is None:
+            return None
+        columns = self.base.columns(attribute)
+        if columns is None:
+            return None
+        rows = [columns.row_of.get(entity_id) for entity_id in entity_ids]
+        resident = sorted({row for row in rows if row is not None})
+        batch: np.ndarray | None = None
+        if resident:
+            self._ensure_workers(membership)
+            bounds = partition_bounds(columns.num_entities, self.num_slices)
+            requests = plan_slice_requests(bounds, resident)
+            batch = np.empty(columns.num_entities)
+            per_worker: dict[int, list[tuple]] = {}
+            for request in requests:
+                per_worker.setdefault(self._owner_of[request[0]], []).append(request)
+            try:
+                rounds = max(len(group) for group in per_worker.values())
+                for round_index in range(rounds):
+                    self._fanout_round(per_worker, round_index, attribute, phrase, batch)
+            except Exception:
+                # Any failure mid-fan-out — a crash, a transported worker
+                # error, an oversized frame — can leave unread responses
+                # queued in healthy workers' sockets, desynchronising the
+                # framed streams; kill the whole fleet so the next query
+                # starts from a clean fork instead of consuming stale frames.
+                self._shutdown_workers(kill=True)
+                raise
+            self.fanouts += 1
+            self.rpc_requests += len(requests)
+        return gather_degrees(
+            batch,
+            rows,
+            entity_ids,
+            scalar_fallback_scorer(membership, self.database, attribute, phrase, columns),
+        )
+
+    def _fanout_round(
+        self,
+        per_worker: dict[int, list[tuple]],
+        round_index: int,
+        attribute: str,
+        phrase: str,
+        batch: np.ndarray,
+    ) -> None:
+        """One fan-out round: write at most one request per worker, then read.
+
+        All writes of the round complete before the first read, so every
+        involved worker computes concurrently; bounding each round to one
+        in-flight request per worker means a blocked peer is always
+        draining its socket — the buffers can never fill in both directions
+        at once, so the fan-out cannot deadlock at any frame size.
+        """
+        for worker_index, group in per_worker.items():
+            if round_index < len(group):
+                slice_id, start, stop, rows, _ = group[round_index]
+                payload = encode_score_request(slice_id, attribute, phrase, start, stop, rows)
+                self._workers[worker_index].send(payload)
+        for worker_index, group in per_worker.items():
+            if round_index < len(group):
+                scatter = group[round_index][4]
+                batch[scatter] = self._workers[worker_index].read_score_vector()
+
+    # ------------------------------------------------------------ statistics
+    def worker_stats(self) -> list[dict]:
+        """One ``stats()`` RPC result per live worker (empty when not spawned).
+
+        Dead or unreachable workers are skipped rather than raised — the
+        statistics surface must stay usable while a crash is being handled.
+        """
+        stats: list[dict] = []
+        for client in self._workers:
+            if not client.alive:
+                continue
+            try:
+                stats.append(client.stats())
+            except RpcError:
+                continue
+        return stats
+
+    def stats_snapshot(self) -> dict[str, object]:
+        """Coordinator counters plus the wrapped base store's snapshot."""
+        return {
+            "num_workers": self.num_workers,
+            "num_slices": self.num_slices,
+            "backend": "rpc",
+            "data_version": self._version,
+            "live_workers": sum(1 for client in self._workers if client.alive),
+            "invalidations": self.invalidations,
+            "respawns": self.respawns,
+            "fanouts": self.fanouts,
+            "rpc_requests": self.rpc_requests,
+            "base": self.base.stats_snapshot(),
+        }
+
+
+# --------------------------------------------------------------------------
+# The coordinator engine
+# --------------------------------------------------------------------------
+
+class CoordinatorQueryEngine(ShardedSubjectiveQueryEngine):
+    """Serving front end over shard-service workers; results exactly equal
+    to the unsharded engine.
+
+    The engine plans once through the inherited plan/candidate caches, and
+    every uncached membership degree is computed by the worker fleet
+    through the installed :class:`RpcShardStore`.  Ranking reuses the
+    sharded engine verbatim: WHERE-tree scoring over degree vectors via
+    the fuzzy logic's array connectives, per-shard top-k heaps merged
+    under the exact ``(-score, str(entity_id), position)`` stable order.
+    Only the degree transport differs — which is precisely why the
+    differential suite can pin rankings, scores and degrees bit-identical
+    to :class:`~repro.serving.engine.SubjectiveQueryEngine` across worker
+    counts.
+
+    Parameters mirror the sharded engine, with ``num_workers`` (worker
+    processes; default one per core) replacing the backend choice and
+    ``num_shards`` naming the slice count (default ``num_workers``; must
+    be at least ``num_workers``).  ``max_frame_bytes`` bounds RPC frame
+    sizes in both directions; ``worker_cache_size`` bounds each worker's
+    memoised slice vectors.  Call :meth:`close` (or use the engine as a
+    context manager) to shut the fleet down.
+    """
+
+    engine_backends = ("rpc",)
+
+    def __init__(
+        self,
+        database: SubjectiveDatabase | None = None,
+        processor: SubjectiveQueryProcessor | None = None,
+        num_workers: int | None = None,
+        num_shards: int | None = None,
+        plan_cache_size: int | None = 256,
+        membership_cache_size: int | None = 200_000,
+        candidate_cache_size: int | None = 64,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        worker_cache_size: int | None = DEFAULT_WORKER_CACHE_SIZE,
+    ) -> None:
+        if num_workers is None:
+            num_workers = default_num_shards()
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        self.num_workers = num_workers
+        self.max_frame_bytes = max_frame_bytes
+        self.worker_cache_size = worker_cache_size
+        super().__init__(
+            database=database,
+            processor=processor,
+            num_shards=num_shards if num_shards is not None else num_workers,
+            backend="rpc",
+            max_workers=num_workers,
+            plan_cache_size=plan_cache_size,
+            membership_cache_size=membership_cache_size,
+            candidate_cache_size=candidate_cache_size,
+        )
+
+    def _build_sharded_store(
+        self, base: ColumnarSummaryStore | None, max_workers: int | None
+    ) -> RpcShardStore:
+        """Install an :class:`RpcShardStore` as the processor's columnar store."""
+        return RpcShardStore(
+            self.database,
+            num_workers=max_workers,
+            num_slices=self.num_shards,
+            base=base,
+            max_frame_bytes=self.max_frame_bytes,
+            worker_cache_size=self.worker_cache_size,
+        )
+
+    def stats_snapshot(self) -> dict[str, object]:
+        """Serving counters plus coordinator fan-out and live-worker stats."""
+        snapshot = super().stats_snapshot()
+        snapshot["num_workers"] = self.num_workers
+        if self.sharded_store is not None:
+            snapshot["workers"] = self.sharded_store.worker_stats()
+        return snapshot

@@ -52,9 +52,11 @@ import numpy as np
 from repro.core.columnar import (
     AttributeColumns,
     ColumnarSummaryStore,
-    _slice_columns,
     columnar_kernel,
     gather_degrees,
+    gather_rows,
+    plan_slice_requests,
+    resolve_slice,
     scalar_fallback_scorer,
     slice_view,
 )
@@ -128,6 +130,7 @@ class ShardSlice:
 
     @property
     def num_entities(self) -> int:
+        """Number of entity rows the shard owns (``stop - start``)."""
         return self.stop - self.start
 
 
@@ -154,13 +157,14 @@ class _SerialBackend:
     kind = "serial"
 
     def map_local(self, fn: Callable[[ShardTask], np.ndarray], tasks: Sequence[ShardTask]):
+        """Score every task inline, in task order."""
         return [fn(task) for task in tasks]
 
     def invalidate(self) -> None:
-        pass
+        """No state to drop (tasks run inline on current data)."""
 
     def shutdown(self) -> None:
-        pass
+        """Nothing to shut down."""
 
 
 class _ThreadBackend:
@@ -183,6 +187,7 @@ class _ThreadBackend:
         self._pool: ThreadPoolExecutor | None = None
 
     def map_local(self, fn: Callable[[ShardTask], np.ndarray], tasks: Sequence[ShardTask]):
+        """Score tasks on the pool (inline when parallelism cannot help)."""
         if len(tasks) <= 1 or self.parallelism == 1:
             return [fn(task) for task in tasks]
         if self._pool is None:
@@ -197,6 +202,7 @@ class _ThreadBackend:
         stride = self.parallelism
 
         def run_chunk(start: int) -> list[np.ndarray]:
+            """Score every ``stride``-th task beginning at ``start``."""
             return [fn(task) for task in tasks[start::stride]]
 
         results: list[np.ndarray | None] = [None] * len(tasks)
@@ -205,9 +211,10 @@ class _ThreadBackend:
         return results
 
     def invalidate(self) -> None:
-        pass  # threads hold no data-version state
+        """No-op: threads hold no data-version state."""
 
     def shutdown(self) -> None:
+        """Stop the thread pool (recreated lazily on the next fan-out)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -237,10 +244,7 @@ def _process_score(payload: tuple) -> np.ndarray:
         _CHILD_STORES[token] = store
     columns = store.columns(attribute)
     kernel = columnar_kernel(membership, database)
-    view = slice_view(columns, start, stop)
-    if rows is not None:
-        view = _slice_columns(view, rows)
-    return kernel(view, phrase)
+    return kernel(resolve_slice(columns, start, stop, rows), phrase)
 
 
 class _ProcessBackend:
@@ -286,6 +290,7 @@ class _ProcessBackend:
         return self._token
 
     def map_payloads(self, payloads: Sequence[tuple]) -> list[np.ndarray]:
+        """Score slice payloads on the forked pool, in payload order."""
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.max_workers,
@@ -294,11 +299,14 @@ class _ProcessBackend:
         return list(self._pool.map(_process_score, payloads))
 
     def invalidate(self) -> None:
-        # The data changed: forked snapshots are stale, so recycle the pool
-        # (a fresh fork re-inherits the registry with the current data).
+        """Recycle the pool: the data changed, so forked snapshots are stale.
+
+        A fresh fork re-inherits the registry with the current data.
+        """
         self.shutdown()
 
     def shutdown(self) -> None:
+        """Stop the forked pool and unpublish this backend's registry state."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -470,26 +478,17 @@ class ShardedColumnarStore:
         Each task pairs a shard slice with the slice-relative rows to score
         (``None`` for a full-slice pass; the base store's sparse-gather
         heuristic is applied per shard).  Scatter targets place each task's
-        result back into the store-wide degree array.
+        result back into the store-wide degree array.  The grouping itself
+        is :func:`repro.core.columnar.plan_slice_requests` — the same plan
+        the RPC coordinator ships to shard-service workers.
         """
         slices = self.shard_slices(attribute)
+        bounds = [shard.start for shard in slices] + [slices[-1].stop if slices else 0]
         tasks: list[ShardTask] = []
         scatters: list[object] = []
-        position = 0
-        for shard in slices:
-            start = position
-            while position < len(resident) and resident[position] < shard.stop:
-                position += 1
-            shard_rows = resident[start:position]
-            if not shard_rows:
-                continue
-            if len(shard_rows) * 4 < shard.num_entities:
-                relative = [row - shard.start for row in shard_rows]
-                tasks.append(ShardTask(shard=shard, rows=relative))
-                scatters.append(np.asarray(shard_rows))
-            else:
-                tasks.append(ShardTask(shard=shard, rows=None))
-                scatters.append(slice(shard.start, shard.stop))
+        for slice_id, _start, _stop, rows, scatter in plan_slice_requests(bounds, resident):
+            tasks.append(ShardTask(shard=slices[slice_id], rows=rows))
+            scatters.append(scatter)
         return tasks, scatters
 
     def _run_tasks(
@@ -509,9 +508,10 @@ class ShardedColumnarStore:
             return self.backend.map_payloads(payloads)
 
         def score(task: ShardTask) -> np.ndarray:
+            """Run the kernel over one task's (possibly gathered) slice view."""
             view = task.shard.columns
             if task.rows is not None:
-                view = _slice_columns(view, task.rows)
+                view = gather_rows(view, task.rows)
             return kernel(view, phrase)
 
         return self.backend.map_local(score, tasks)
@@ -608,6 +608,7 @@ def _eval_array(
 
 def _row_scorer(degree_vectors: dict[str, np.ndarray], index: int):
     def scorer(predicate_text: str, _row: dict) -> float:
+        """Scalar degree of one predicate for the row at ``index``."""
         vector = degree_vectors.get(predicate_text)
         if vector is None:
             raise _NotVectorizable(predicate_text)
@@ -642,6 +643,7 @@ def merge_shard_topk(
     bounds = partition_bounds(num_rows, num_shards)
 
     def key(index: int) -> tuple[float, str, int]:
+        """The processor's ranking sort key with position tie-break."""
         return (-scores[index], str(row_entities[index]), index)
 
     shard_heaps = [
@@ -682,6 +684,9 @@ class ShardedSubjectiveQueryEngine(SubjectiveQueryEngine):
     (defaults to ``num_shards``).
     """
 
+    #: Backend names this engine accepts; the RPC coordinator overrides it.
+    engine_backends = BACKENDS
+
     def __init__(
         self,
         database: SubjectiveDatabase | None = None,
@@ -697,8 +702,10 @@ class ShardedSubjectiveQueryEngine(SubjectiveQueryEngine):
             num_shards = default_num_shards()
         if num_shards < 1:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
-        if backend not in BACKENDS:
-            raise ValueError(f"unknown shard backend {backend!r}; expected one of {BACKENDS}")
+        if backend not in self.engine_backends:
+            raise ValueError(
+                f"unknown shard backend {backend!r}; expected one of {self.engine_backends}"
+            )
         self.num_shards = num_shards
         self.backend = backend
         super().__init__(
@@ -714,16 +721,26 @@ class ShardedSubjectiveQueryEngine(SubjectiveQueryEngine):
             if isinstance(base, ShardedColumnarStore):
                 self.sharded_store = base
             else:
-                self.sharded_store = ShardedColumnarStore(
-                    self.database,
-                    num_shards=num_shards,
-                    backend=backend,
-                    base=base,
-                    max_workers=max_workers,
-                )
+                self.sharded_store = self._build_sharded_store(base, max_workers)
             # Install the sharded store so every degree the processor
             # computes — through this engine or directly — is shard-routed.
             self.processor.columnar_store = self.sharded_store
+
+    def _build_sharded_store(self, base: ColumnarSummaryStore | None, max_workers: int | None):
+        """The shard-routed store this engine installs on its processor.
+
+        The in-process engine wraps the base columnar store in a
+        :class:`ShardedColumnarStore`; the RPC coordinator overrides this to
+        return an :class:`repro.serving.rpc.RpcShardStore` speaking the same
+        ``pair_degrees`` protocol over shard-service workers.
+        """
+        return ShardedColumnarStore(
+            self.database,
+            num_shards=self.num_shards,
+            backend=self.backend,
+            base=base,
+            max_workers=max_workers,
+        )
 
     def _build_membership_cache(self, maxsize: int | None) -> PartitionedLRUCache:
         return PartitionedLRUCache(self.num_shards, maxsize)
@@ -857,10 +874,9 @@ class ShardedSubjectiveQueryEngine(SubjectiveQueryEngine):
 
     # ----------------------------------------------------------- statistics
     def stats_snapshot(self) -> dict[str, object]:
+        """Serving counters plus shard count, backend and per-partition cache stats."""
         snapshot = super().stats_snapshot()
         snapshot["num_shards"] = self.num_shards
         snapshot["backend"] = self.backend
-        snapshot["membership_cache_partitions"] = [
-            partition.stats.as_dict() for partition in self.membership_cache.partitions
-        ]
+        snapshot["membership_cache_partitions"] = self.membership_cache.partition_stats()
         return snapshot

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Check that internal links in the repository's markdown docs resolve.
+
+Scans README.md, ROADMAP.md and everything under docs/ for markdown links
+``[text](target)`` and verifies that every *internal* target exists:
+
+* relative file paths must exist inside the repository (a ``#fragment``
+  suffix is stripped; the fragment itself is checked against the target
+  file's headings when the target is markdown);
+* pure ``#fragment`` links must match a heading of the containing file;
+* external links (``http(s)://``, ``mailto:``) are skipped, as are
+  GitHub-web paths that intentionally escape the repository tree (the CI
+  badge's ``../../actions/...`` pattern).
+
+Exit status 0 when every internal link resolves, 1 otherwise — the CI
+docs job runs this script.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — good enough for these docs; images share the syntax.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def doc_files() -> list[Path]:
+    """The markdown files whose links are checked."""
+    files = [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("**/*.md")))
+    return [path for path in files if path.exists()]
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's anchor slug for a heading (lowercase, hyphens, no punctuation)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Every heading anchor defined by one markdown file."""
+    return {
+        github_anchor(match.group(1))
+        for match in HEADING_PATTERN.finditer(path.read_text(encoding="utf-8"))
+    }
+
+
+def check_file(path: Path) -> list[str]:
+    """All broken internal links of one markdown file, as messages."""
+    errors: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, fragment = target.partition("#")
+        if not target:
+            if fragment and github_anchor(fragment) not in anchors_of(path):
+                errors.append(f"{path.relative_to(REPO_ROOT)}: broken anchor #{fragment}")
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.is_relative_to(REPO_ROOT):
+            # GitHub-web path (e.g. the CI badge's ../../actions/...): not a
+            # repository file, nothing to check.
+            continue
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if github_anchor(fragment) not in anchors_of(resolved):
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}: broken anchor {target}#{fragment}"
+                )
+    return errors
+
+
+def main() -> int:
+    """Check every doc file; print failures and return the exit status."""
+    errors: list[str] = []
+    checked = doc_files()
+    for path in checked:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(checked)} files: {len(errors)} broken internal links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
