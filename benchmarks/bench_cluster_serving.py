@@ -1,0 +1,187 @@
+"""Concurrent-coordinator throughput of the TCP cluster serving engine.
+
+The cluster layer (PR 5) makes shard workers network-addressable — TCP
+nodes hydrated from shipped column snapshots — and, on top of that, makes
+the coordinator *concurrent*: ``run_batch`` keeps a bounded look-ahead
+window of queries whose uncached degree fan-outs are issued to the nodes
+ahead of time, and queries inside the window share assembled degree
+vectors outright instead of each re-walking the per-entity membership
+cache.  This benchmark measures what that buys a serving deployment on a
+repetitive query mix (the regime batch serving exists for — popular
+predicates recur across a traffic window):
+
+* **serial coordinator** — the same :class:`ClusterQueryEngine` with
+  ``max_inflight_queries=1``: queries execute strictly one at a time, each
+  paying its own per-entity cache walk and its own blocking node
+  round-trips (exactly the PR 4 coordinator's batch discipline);
+* **concurrent coordinator** — the same engine with the full look-ahead
+  window: fan-outs overlap across the window and per-pair degree vectors
+  are assembled once per batch.
+
+Both modes run over the same live node fleet with the same caches and the
+coordinator's membership cache flushed before every timed pass, so the
+comparison isolates the batch discipline itself.  Assertions pin the
+contract from ISSUE 5: batch results **bit-identical** between the two
+modes (and rankings equal to the unsharded engine), and concurrent
+throughput ≥ 1.3× serial over 2+ nodes on a ≥ 800-entity domain with ≥ 16
+queries in flight.  Results are recorded in ``BENCH_cluster.json`` at the
+repository root.
+
+Scale knobs: ``REPRO_BENCH_CLUSTER_ENTITIES`` (default 800, floored at
+800), ``REPRO_BENCH_CLUSTER_NODES`` (default 2, floored at 2) and
+``REPRO_BENCH_CLUSTER_INFLIGHT`` (default 32, floored at 16).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.experiments.common import ExperimentTable
+from repro.serving import ClusterQueryEngine, SubjectiveQueryEngine
+from repro.testing import build_synthetic_columnar_database, env_int
+
+pytestmark = pytest.mark.slow
+
+CLUSTER_ENTITIES = max(800, env_int("REPRO_BENCH_CLUSTER_ENTITIES", 800))
+NUM_NODES = max(2, env_int("REPRO_BENCH_CLUSTER_NODES", 2))
+MAX_INFLIGHT = max(16, env_int("REPRO_BENCH_CLUSTER_INFLIGHT", 32))
+SPEEDUP_FLOOR = 1.3
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+#: Popular-predicate serving mix: 32 queries drawn from 8 distinct
+#: predicate pairs (marker names double as predicates in the synthetic
+#: domain).  Repetition across the batch is what a traffic window of real
+#: users looks like, and it is the regime the look-ahead coordinator's
+#: vector reuse targets.
+_QUALITY = [f"word{index:03d}" for index in range(4)]
+_SERVICE = [f"word{index:03d}" for index in range(16, 20)]
+QUERIES = [
+    sql
+    for _ in range(4)
+    for index in range(4)
+    for sql in (
+        'select * from Entities where '
+        f'"{_QUALITY[index]}" and "{_SERVICE[index]}" limit 10',
+        'select * from Entities where '
+        f'"{_QUALITY[index]}" or "{_SERVICE[(index + 1) % 4]}" limit 10',
+    )
+]
+
+
+@pytest.fixture(scope="module")
+def synthetic_database():
+    return build_synthetic_columnar_database(num_entities=CLUSTER_ENTITIES, seed=0)
+
+
+def _one_pass(engine, max_inflight: int):
+    """(queries/s, batch) of one workload pass with a flushed membership cache."""
+    engine.max_inflight_queries = max_inflight
+    engine.membership_cache.clear()
+    started = time.perf_counter()
+    batch = engine.run_batch(QUERIES)
+    return len(QUERIES) / (time.perf_counter() - started), batch
+
+
+def _best_of(engine, max_inflight: int, passes: int = 12):
+    """Best-of-``passes`` throughput plus the last batch for equality checks.
+
+    Plans, candidate rows, column arrays, node hydration and node degree
+    caches stay warm (one untimed pass builds them), so each timed pass
+    pays exactly the post-flush coordinator work; the best pass wins since
+    scheduler noise on a shared box only ever slows a pass down.
+    """
+    best = 0.0
+    batch = None
+    for _ in range(passes):
+        qps, batch = _one_pass(engine, max_inflight)
+        best = max(best, qps)
+    return best, batch
+
+
+def test_cluster_concurrent_coordinator_speedup(synthetic_database):
+    database = synthetic_database
+    unsharded = SubjectiveQueryEngine(database=database)
+    engine = ClusterQueryEngine(
+        database=database, num_nodes=NUM_NODES, max_inflight_queries=MAX_INFLIGHT
+    )
+    try:
+        # Rankings — ids and scores — must be exactly those of the single
+        # engine (the differential suite additionally pins degrees).
+        for sql in dict.fromkeys(QUERIES):
+            expected = unsharded.execute(sql)
+            actual = engine.execute(sql)
+            assert actual.entity_ids == expected.entity_ids, sql
+            assert [entity.score for entity in actual] == [
+                entity.score for entity in expected
+            ], sql
+
+        # Interleave serial and concurrent passes so both see the same
+        # noise windows; the untimed warm-up already ran above.
+        serial_qps = 0.0
+        concurrent_qps = 0.0
+        serial_batch = concurrent_batch = None
+        for _ in range(12):
+            qps, serial_batch = _one_pass(engine, 1)
+            serial_qps = max(serial_qps, qps)
+            qps, concurrent_batch = _one_pass(engine, MAX_INFLIGHT)
+            concurrent_qps = max(concurrent_qps, qps)
+        speedup = concurrent_qps / serial_qps
+
+        # Bit-identical batches: ids, scores and per-predicate degrees.
+        for serial_result, concurrent_result in zip(
+            serial_batch.results, concurrent_batch.results
+        ):
+            assert concurrent_result.entity_ids == serial_result.entity_ids
+            for expected_entity, actual_entity in zip(
+                serial_result.entities, concurrent_result.entities
+            ):
+                assert actual_entity.score == expected_entity.score
+                assert (
+                    actual_entity.predicate_degrees
+                    == expected_entity.predicate_degrees
+                )
+
+        table = ExperimentTable(
+            title=(
+                f"Cluster concurrent coordinator ({len(database)} entities, "
+                f"{NUM_NODES} nodes, window {MAX_INFLIGHT})"
+            ),
+            columns=["coordinator", "qps"],
+        )
+        table.add_row("serial (window 1)", round(serial_qps, 1))
+        table.add_row(f"concurrent (window {MAX_INFLIGHT})", round(concurrent_qps, 1))
+        table.add_row("speedup", round(speedup, 2))
+        print_result(table.format())
+
+        RESULTS_PATH.write_text(
+            json.dumps(
+                {
+                    "benchmark": "bench_cluster_serving",
+                    "domain": "synthetic",
+                    "entities": len(database),
+                    "num_nodes": NUM_NODES,
+                    "max_inflight_queries": MAX_INFLIGHT,
+                    "queries": len(QUERIES),
+                    "distinct_queries": len(dict.fromkeys(QUERIES)),
+                    "serial_qps": round(serial_qps, 2),
+                    "concurrent_qps": round(concurrent_qps, 2),
+                    "speedup": round(speedup, 2),
+                    "speedup_floor": SPEEDUP_FLOOR,
+                    "batch_results_bit_identical": True,
+                    "rankings_identical_to_unsharded": True,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"concurrent coordinator only {speedup:.2f}x the serial coordinator"
+        )
+    finally:
+        engine.close()

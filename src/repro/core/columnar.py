@@ -33,13 +33,16 @@ callers fall back to per-entity scalar scoring for them.
 
 from __future__ import annotations
 
+import json
+import struct
+import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable, Sequence
 
 import numpy as np
 
 from repro.core.markers import Marker
-from repro.errors import SchemaError
+from repro.errors import SchemaError, SnapshotError, SnapshotIntegrityError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.database import SubjectiveDatabase
@@ -211,6 +214,266 @@ class AttributeColumns:
     def dimension(self) -> int:
         """Embedding dimension of the centroid/name vectors (0 when absent)."""
         return self.name_units.shape[1]
+
+
+# --------------------------------------------------------------------------
+# Column snapshots (deterministic, checksummed bytes for shipping slices)
+# --------------------------------------------------------------------------
+
+#: Magic prefix + format version of the packed column-snapshot layout.
+SNAPSHOT_MAGIC = b"OPSN"
+SNAPSHOT_FORMAT_VERSION = 1
+
+_SNAP_U16 = struct.Struct("!H")
+_SNAP_U32 = struct.Struct("!I")
+_SNAP_U64 = struct.Struct("!Q")
+
+#: Canonical big-endian f64 wire dtype — the byte swap is lossless, so
+#: every array bit survives the pack/unpack round trip.
+_SNAP_F64 = ">f8"
+
+
+def _pack_f64(array: np.ndarray) -> bytes:
+    """One array as big-endian f64 bytes in C order (deterministic)."""
+    return np.ascontiguousarray(array, dtype=np.float64).astype(_SNAP_F64).tobytes()
+
+
+@dataclass(frozen=True)
+class ColumnSnapshot:
+    """One attribute slice's column arrays as a shippable, versioned unit.
+
+    The snapshot is the sending half of the cluster hydration contract
+    (:mod:`repro.serving.cluster`): instead of relying on ``fork`` to put a
+    database copy inside every worker, the coordinator packs the slice's
+    arrays — fractions, sentiments, totals, unmatched counts, the centroid
+    tensor, the shared marker-name matrix, and the entity ids — into
+    deterministic bytes and ships them to a network-addressable shard node,
+    which unpacks them into a kernel-ready :class:`AttributeColumns` view.
+
+    ``data_version`` records the :attr:`SubjectiveDatabase.data_version`
+    the arrays were built against, ``slice_id`` / ``start`` / ``stop``
+    identify which contiguous row range of the attribute's E axis this is,
+    and ``columns`` holds exactly those rows (``columns.num_entities ==
+    stop - start``).
+
+    Packing is deterministic — the same snapshot state always produces the
+    same bytes — and self-checking: a CRC-32 over the body is verified by
+    :meth:`unpack`, so a corrupted or truncated snapshot raises a typed
+    :class:`repro.errors.SnapshotError` (checksum failures the narrower
+    :class:`repro.errors.SnapshotIntegrityError`) instead of hydrating
+    silently-wrong arrays.  Every float64 travels as big-endian bytes, a
+    lossless byte swap, so unpacked arrays are bit-identical to the packed
+    ones — which is what lets hydrated nodes keep the stack's exact-equality
+    guarantee.
+    """
+
+    data_version: int
+    slice_id: int
+    start: int
+    stop: int
+    columns: AttributeColumns
+
+    @classmethod
+    def of_slice(
+        cls,
+        columns: "AttributeColumns",
+        slice_id: int,
+        start: int,
+        stop: int,
+        data_version: int,
+    ) -> "ColumnSnapshot":
+        """The snapshot of rows ``[start, stop)`` of ``columns``.
+
+        The slice is taken with :func:`slice_view`, so building a snapshot
+        copies nothing until :meth:`pack` serializes the arrays.
+        """
+        if not 0 <= start <= stop <= columns.num_entities:
+            raise SnapshotError(
+                f"slice [{start}, {stop}) out of range for attribute "
+                f"{columns.attribute!r} ({columns.num_entities} entities)"
+            )
+        return cls(
+            data_version=data_version,
+            slice_id=slice_id,
+            start=start,
+            stop=stop,
+            columns=slice_view(columns, start, stop),
+        )
+
+    def pack(self) -> bytes:
+        """Serialize to deterministic, checksummed bytes.
+
+        Layout: ``magic (4) | format version (u16) | crc32 (u32) | body``,
+        where the body is ``data_version (u64) | slice_id | start | stop
+        (u32 each) | meta JSON (u32 length + bytes) | arrays``.  The meta
+        JSON (compact separators, sorted keys — deterministic) carries the
+        attribute name, the entity ids, the marker ``(name, position,
+        sentiment)`` triples and the embedding dimension; the arrays follow
+        as raw big-endian f64 in a fixed order with shapes derived from
+        (E, M, D).  Entity ids must be JSON-serializable (ints and strings
+        round-trip exactly); anything else raises :class:`SnapshotError`.
+        """
+        columns = self.columns
+        for entity_id in columns.entity_ids:
+            # JSON must round-trip ids *exactly* — tuples would silently
+            # come back as lists and break node-side row lookup.
+            if entity_id is not None and not isinstance(entity_id, (str, int, float)):
+                raise SnapshotError(
+                    f"entity id {entity_id!r} of attribute {columns.attribute!r} "
+                    "is not snapshot-serializable (ids must be str, int, float "
+                    "or None)"
+                )
+        try:
+            meta = json.dumps(
+                {
+                    "attribute": columns.attribute,
+                    "entity_ids": list(columns.entity_ids),
+                    "markers": [
+                        [marker.name, marker.position, marker.sentiment]
+                        for marker in columns.markers
+                    ],
+                    "dimension": columns.dimension,
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            ).encode("utf-8")
+        except (TypeError, ValueError) as error:
+            raise SnapshotError(
+                f"entity ids of attribute {columns.attribute!r} are not "
+                f"snapshot-serializable ({error})"
+            ) from error
+        body = b"".join(
+            [
+                _SNAP_U64.pack(self.data_version),
+                _SNAP_U32.pack(self.slice_id),
+                _SNAP_U32.pack(self.start),
+                _SNAP_U32.pack(self.stop),
+                _SNAP_U32.pack(len(meta)),
+                meta,
+                _pack_f64(columns.marker_sentiments),
+                _pack_f64(columns.fractions),
+                _pack_f64(columns.average_sentiments),
+                _pack_f64(columns.totals),
+                _pack_f64(columns.unmatched),
+                _pack_f64(columns.overall_sentiments),
+                _pack_f64(columns.centroids_unit),
+                _pack_f64(columns.name_units),
+            ]
+        )
+        return (
+            SNAPSHOT_MAGIC
+            + _SNAP_U16.pack(SNAPSHOT_FORMAT_VERSION)
+            + _SNAP_U32.pack(zlib.crc32(body))
+            + body
+        )
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "ColumnSnapshot":
+        """Rebuild a snapshot from :meth:`pack` bytes, verifying integrity.
+
+        Raises :class:`repro.errors.SnapshotError` for a wrong magic, an
+        unsupported format version, or a truncated/malformed payload, and
+        :class:`repro.errors.SnapshotIntegrityError` when the checksum does
+        not match — typed failures in every case, so a transport layer can
+        refuse bad hydration data without ever serving from it.
+        """
+        header_size = len(SNAPSHOT_MAGIC) + _SNAP_U16.size + _SNAP_U32.size
+        if len(payload) < header_size:
+            raise SnapshotError(
+                f"snapshot too short ({len(payload)} bytes; header is {header_size})"
+            )
+        if payload[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
+            raise SnapshotError("not a column snapshot (bad magic)")
+        offset = len(SNAPSHOT_MAGIC)
+        (version,) = _SNAP_U16.unpack_from(payload, offset)
+        offset += _SNAP_U16.size
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise SnapshotError(
+                f"unsupported snapshot format version {version} "
+                f"(this build reads version {SNAPSHOT_FORMAT_VERSION})"
+            )
+        (checksum,) = _SNAP_U32.unpack_from(payload, offset)
+        offset += _SNAP_U32.size
+        body = payload[offset:]
+        if zlib.crc32(body) != checksum:
+            raise SnapshotIntegrityError(
+                "column snapshot failed its checksum (corrupted in transit)"
+            )
+        try:
+            return cls._unpack_body(body)
+        except (struct.error, IndexError, KeyError, TypeError, UnicodeDecodeError) as error:
+            raise SnapshotError(f"malformed column snapshot body ({error})") from error
+
+    @classmethod
+    def _unpack_body(cls, body: bytes) -> "ColumnSnapshot":
+        offset = 0
+        (data_version,) = _SNAP_U64.unpack_from(body, offset)
+        offset += _SNAP_U64.size
+        slice_id, start, stop, meta_length = struct.unpack_from("!IIII", body, offset)
+        offset += 16
+        if offset + meta_length > len(body):
+            raise SnapshotError("truncated column snapshot (meta)")
+        try:
+            meta = json.loads(body[offset : offset + meta_length].decode("utf-8"))
+        except ValueError as error:
+            raise SnapshotError(f"malformed snapshot meta ({error})") from error
+        offset += meta_length
+        entity_ids = list(meta["entity_ids"])
+        markers = [
+            Marker(str(name), int(position), float(sentiment))
+            for name, position, sentiment in meta["markers"]
+        ]
+        num_entities, num_markers = len(entity_ids), len(markers)
+        dimension = int(meta["dimension"])
+        if stop - start != num_entities:
+            raise SnapshotError(
+                f"snapshot row range [{start}, {stop}) does not match its "
+                f"{num_entities} entity ids"
+            )
+
+        def take(shape: tuple[int, ...]) -> np.ndarray:
+            nonlocal offset
+            count = int(np.prod(shape)) if shape else 1
+            size = 8 * count
+            if offset + size > len(body):
+                raise SnapshotError("truncated column snapshot (arrays)")
+            array = np.frombuffer(body, dtype=_SNAP_F64, count=count, offset=offset)
+            offset += size
+            return array.astype(np.float64).reshape(shape)
+
+        marker_sentiments = take((num_markers,))
+        fractions = take((num_entities, num_markers))
+        average_sentiments = take((num_entities, num_markers))
+        totals = take((num_entities,))
+        unmatched = take((num_entities,))
+        overall_sentiments = take((num_entities,))
+        centroids_unit = take((num_entities, num_markers, dimension))
+        name_units = take((num_markers, dimension))
+        if offset != len(body):
+            raise SnapshotError(
+                f"column snapshot has {len(body) - offset} trailing bytes"
+            )
+        columns = AttributeColumns(
+            attribute=str(meta["attribute"]),
+            entity_ids=entity_ids,
+            row_of={entity_id: row for row, entity_id in enumerate(entity_ids)},
+            markers=markers,
+            marker_sentiments=marker_sentiments,
+            fractions=fractions,
+            average_sentiments=average_sentiments,
+            totals=totals,
+            unmatched=unmatched,
+            overall_sentiments=overall_sentiments,
+            centroids_unit=centroids_unit,
+            name_units=name_units,
+        )
+        return cls(
+            data_version=data_version,
+            slice_id=slice_id,
+            start=start,
+            stop=stop,
+            columns=columns,
+        )
 
 
 # --------------------------------------------------------------------------

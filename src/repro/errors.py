@@ -42,3 +42,11 @@ class NotFittedError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic dataset generator was configured inconsistently."""
+
+
+class SnapshotError(ReproError):
+    """A packed column snapshot is malformed, truncated, or unsupported."""
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """A packed column snapshot failed its checksum (corrupted in transit)."""

@@ -24,30 +24,47 @@ overlapping queries needs:
   (:mod:`repro.serving.rpc`) — the disaggregated tier: long-lived shard
   worker processes serving a length-prefixed binary ``score`` protocol
   over local sockets, a coordinator that fans WHERE-tree scoring out and
-  merges per-shard top-k heaps, same caches, same invalidation unit.
+  merges per-shard top-k heaps, same caches, same invalidation unit;
+* :class:`ClusterQueryEngine` / :class:`ClusterShardStore` /
+  :class:`ShardNodeServer` (:mod:`repro.serving.cluster`) — the
+  multi-node tier: shard nodes listening on **TCP** (same frame protocol,
+  shared in :mod:`repro.serving.protocol`), hydrated from shipped
+  :class:`~repro.core.columnar.ColumnSnapshot` bytes instead of fork, a
+  versioned ``hello`` handshake, pipelined per-node request queues, and a
+  concurrent ``run_batch`` that overlaps independent queries' fan-outs.
 
 Every engine produces results identical to the wrapped processor — caches
 only short-circuit recomputation of values the processor would have
-produced, and sharded or RPC execution reorders work, never arithmetic.
-``docs/ARCHITECTURE.md`` documents all four layers, the cache hierarchy,
-and the ``data_version`` invalidation contract in one place.
+produced, and sharded, RPC or cluster execution reorders work, never
+arithmetic.  ``docs/ARCHITECTURE.md`` documents all five layers, the cache
+hierarchy, and the ``data_version`` invalidation contract in one place.
 """
 
 from repro.serving.cache import CacheStats, LRUCache, PartitionedLRUCache
+from repro.serving.cluster import (
+    ClusterQueryEngine,
+    ClusterShardStore,
+    ShardNodeServer,
+    start_local_node,
+)
 from repro.serving.engine import (
     BatchResult,
     ServingStats,
     SubjectiveQueryEngine,
 )
 from repro.serving.plans import QueryPlan, normalize_sql
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    FrameTooLargeError,
+    HandshakeError,
+    RpcError,
+    WorkerCrashedError,
+)
 from repro.serving.rpc import (
     CoordinatorQueryEngine,
-    FrameTooLargeError,
-    RpcError,
     RpcShardStore,
     ShardServiceClient,
     ShardServiceWorker,
-    WorkerCrashedError,
 )
 from repro.serving.sharded import (
     ShardedColumnarStore,
@@ -60,14 +77,19 @@ from repro.serving.sharded import (
 __all__ = [
     "BatchResult",
     "CacheStats",
+    "ClusterQueryEngine",
+    "ClusterShardStore",
     "CoordinatorQueryEngine",
     "FrameTooLargeError",
+    "HandshakeError",
     "LRUCache",
+    "PROTOCOL_VERSION",
     "PartitionedLRUCache",
     "QueryPlan",
     "RpcError",
     "RpcShardStore",
     "ServingStats",
+    "ShardNodeServer",
     "ShardServiceClient",
     "ShardServiceWorker",
     "ShardedColumnarStore",
@@ -78,4 +100,5 @@ __all__ = [
     "merge_shard_topk",
     "normalize_sql",
     "partition_bounds",
+    "start_local_node",
 ]

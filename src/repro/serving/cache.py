@@ -78,6 +78,16 @@ class LRUCache:
         """Look up ``key`` without touching recency or counters."""
         return self._entries.get(key, default)
 
+    def peek_many(self, keys: Sequence[Hashable], default: object = None) -> list[object]:
+        """Batch :meth:`peek`: one value (or ``default``) per key, in order.
+
+        No recency updates, no counters — the probe the concurrent batch
+        coordinator uses to plan prefetches without perturbing the cache
+        statistics a serial execution would have produced.
+        """
+        get = self._entries.get
+        return [get(key, default) for key in keys]
+
     def put(self, key: Hashable, value: object) -> None:
         """Insert or refresh ``key``, evicting the LRU entry when full."""
         if key in self._entries:
@@ -192,6 +202,26 @@ class PartitionedLRUCache:
     def peek(self, key: Hashable, default: object = None) -> object:
         """Look up ``key`` without touching recency or counters."""
         return self.partition_of(key).peek(key, default)
+
+    def peek_many(self, keys: Sequence[Hashable], default: object = None) -> list[object]:
+        """Batch :meth:`peek` with the per-key partition routing inlined.
+
+        No recency updates, no counters; values (or ``default``) come back
+        in key order exactly like :meth:`get_many`.
+        """
+        partitions = self.partitions
+        num = len(partitions)
+        router = self._router
+        default_routing = router is _default_router
+        values: list[object] = []
+        append = values.append
+        for key in keys:
+            if default_routing:
+                index = hash(key[0] if isinstance(key, tuple) and key else key) % num
+            else:
+                index = router(key) % num
+            append(partitions[index]._entries.get(key, default))
+        return values
 
     def put(self, key: Hashable, value: object) -> None:
         """Insert or refresh ``key`` in its partition (partition-local eviction)."""

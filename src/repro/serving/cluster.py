@@ -1,0 +1,1811 @@
+"""Cluster transport: TCP shard nodes, snapshot hydration, a concurrent coordinator.
+
+PR 4 put the entity shards behind a service boundary, but the boundary was
+a local socketpair and the workers were forks — the column data reached
+them implicitly, by copy-on-write inheritance, and the coordinator executed
+queries strictly one at a time.  This module removes both limits and turns
+the stack into a true multi-node engine:
+
+* :class:`ShardNodeServer` — a shard worker that listens on **TCP** and
+  speaks exactly the frame protocol of :mod:`repro.serving.protocol` (the
+  same codec the socketpair path uses — one definition, no drift).  Every
+  connection opens with a versioned ``hello`` handshake carrying the
+  protocol version, the node's ``data_version`` and its owned slice ids;
+  version skew is a typed :class:`~repro.serving.protocol.HandshakeError`,
+  never a hang.  The node holds **no database**: its column slices arrive
+  over the wire as packed :class:`~repro.core.columnar.ColumnSnapshot`
+  bytes (``hydrate`` frames) — deterministic, checksummed, bit-exact — so
+  a node can run in any process on any machine, not just a fork of the
+  coordinator;
+* :class:`ClusterShardStore` — the coordinator side: implements the same
+  ``pair_degrees`` protocol as every other columnar store over a registry
+  of node connections.  Requests are **pipelined** through per-node
+  send/receive queues with a bounded in-flight window (a select-driven
+  pump keeps every node fed while responses stream back), slices are
+  hydrated lazily per ``(node, attribute, slice)`` and re-hydrated after
+  every ``data_version`` bump, and a lost connection or dead node surfaces
+  as the same :class:`~repro.serving.protocol.WorkerCrashedError` the RPC
+  layer raises — the fleet reconnects or respawns on the next query;
+* :class:`ClusterQueryEngine` — subclasses the sharded engine, so
+  WHERE-tree vectorization and the exact ``(-score, str(entity_id),
+  position)`` top-k merge are reused verbatim, and adds a **concurrent**
+  :meth:`~ClusterQueryEngine.run_batch`: a bounded window of queries is
+  planned ahead and their uncached degree fan-outs are issued to the nodes
+  before earlier queries finish ranking, so node latency hides under
+  coordinator CPU.  Results are bit-identical to serial execution — the
+  prefetch only warms the same caches the serial path would fill, with the
+  same deterministic values (every kernel is row-independent, so batching
+  composition cannot change a single bit).
+
+Exact equality is pinned by ``tests/test_serving_cluster.py``: rankings,
+scores and degrees equal to the unsharded engine over TCP for node counts
+{1, 2, 4} on two domains, including mid-batch ingest (snapshot
+re-hydration) and node loss → :class:`WorkerCrashedError` → recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import select
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.core.columnar import (
+    AttributeColumns,
+    ColumnarSummaryStore,
+    ColumnSnapshot,
+    columnar_kernel,
+    gather_degrees,
+    gather_rows,
+    plan_slice_requests,
+    scalar_fallback_scorer,
+)
+from repro.core.database import SubjectiveDatabase
+from repro.core.interpreter import InterpretationMethod
+from repro.core.processor import SubjectiveQueryProcessor
+from repro.errors import SnapshotError
+from repro.serving.cache import LRUCache
+from repro.serving.engine import BatchResult
+from repro.serving.plans import normalize_sql
+from repro.serving.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    OP_HELLO,
+    OP_HYDRATE,
+    OP_INVALIDATE,
+    OP_SCORE,
+    OP_SHUTDOWN,
+    OP_STATS,
+    PROTOCOL_VERSION,
+    STATUS_ERROR,
+    STATUS_OK,
+    FrameTooLargeError,
+    HandshakeError,
+    Reader,
+    RpcError,
+    WorkerCrashedError,
+    encode_error,
+    encode_hello,
+    encode_hello_ack,
+    encode_hydrate_request,
+    encode_invalidate_request,
+    encode_score_request,
+    frame_bytes,
+    pack_str,
+    read_hello_ack,
+    recv_frame,
+    send_frame,
+)
+from repro.serving.rpc import DEFAULT_WORKER_CACHE_SIZE
+from repro.serving.sharded import (
+    ShardedSubjectiveQueryEngine,
+    default_num_shards,
+    partition_bounds,
+)
+
+from repro.serving.protocol import (
+    _HEADER,
+    _U8,
+    _U32,
+    _U64,
+)
+
+#: Default bound on score/hydrate requests in flight per node connection.
+DEFAULT_INFLIGHT_WINDOW = 32
+
+#: Default bound on batch queries whose fan-outs may overlap in
+#: :meth:`ClusterQueryEngine.run_batch`.
+DEFAULT_MAX_INFLIGHT_QUERIES = 16
+
+#: Default seconds allowed for connecting + handshaking with one node.
+DEFAULT_CONNECT_TIMEOUT = 10.0
+
+#: Default seconds a fan-out may wait on node responses before the
+#: affected nodes are treated as crashed.
+DEFAULT_IO_TIMEOUT = 60.0
+
+#: Sentinel distinguishing "absent from the cache" from cached ``None``
+#: during batch prefetch probing.
+_PREFETCH_MISSING = object()
+
+
+# --------------------------------------------------------------------------
+# The shard node (server side)
+# --------------------------------------------------------------------------
+
+class ShardNodeServer:
+    """One TCP shard node: hydrated column slices, scored over the wire.
+
+    Unlike the fork-based :class:`~repro.serving.rpc.ShardServiceWorker`,
+    the node owns **no database** — it is constructed with only the
+    membership function (the scoring model, a deployment artifact) and
+    receives its column data as packed
+    :class:`~repro.core.columnar.ColumnSnapshot` bytes through ``hydrate``
+    frames.  Snapshots are checksummed and bit-exact, so a hydrated node
+    computes exactly the degrees the coordinator's own store would.
+
+    Every connection must open with a ``hello`` frame; the node refuses a
+    protocol version other than its own with a transported error (a typed
+    :class:`~repro.serving.protocol.HandshakeError` on the client side) and
+    otherwise acknowledges with its protocol version, the ``data_version``
+    of its hydrated snapshots (0 before any hydration) and the slice ids
+    it currently owns.  Scored slice vectors are memoised per slice; an
+    ``invalidate`` frame carrying a *newer* data version drops the hydrated
+    slices too, so the next scores can only be served after re-hydration.
+
+    ``serve_forever`` accepts connections sequentially (the coordinator
+    holds one pipelined connection per node and reconnects after a loss);
+    :meth:`stop` wakes and stops the accept loop.  ``handle_frame`` is the
+    transport-free dispatch used directly by in-process tests.
+    """
+
+    def __init__(
+        self,
+        node_id: int = 0,
+        membership: object | None = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        cache_size: int | None = DEFAULT_WORKER_CACHE_SIZE,
+    ) -> None:
+        self.node_id = node_id
+        self.membership = membership
+        self.max_frame_bytes = max_frame_bytes
+        self.cache_size = cache_size
+        self.data_version = 0
+        self._slices: dict[tuple[str, int], ColumnSnapshot] = {}
+        # Degree-vector memos, one bounded cache per hydrated
+        # (attribute, slice) — re-hydrating one attribute's slice must not
+        # evict another attribute's still-valid vectors.
+        self._caches: dict[tuple[str, int], LRUCache] = {}
+        self._listener: socket.socket | None = None
+        self._active: socket.socket | None = None
+        self._stopped = False
+        self.score_requests = 0
+        self.kernel_calls = 0
+        self.hydrations = 0
+        self.invalidations = 0
+        self.connections = 0
+
+    # ------------------------------------------------------------- lifecycle
+    def bind(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Open the TCP listener; returns the bound ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port — read :attr:`address` after.
+        """
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(8)
+        self._listener = listener
+        return self.address
+
+    def adopt_listener(self, listener: socket.socket) -> None:
+        """Serve on an already-bound listening socket (forked node entry)."""
+        self._listener = listener
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The listener's bound ``(host, port)``."""
+        if self._listener is None:
+            raise RpcError("node is not bound; call bind() first")
+        return self._listener.getsockname()
+
+    @property
+    def owned_slice_ids(self) -> list[int]:
+        """Slice ids currently hydrated on this node (sorted)."""
+        return sorted({slice_id for _, slice_id in self._slices})
+
+    def stop(self) -> None:
+        """Stop the accept loop and close the listener (thread-safe wake)."""
+        self._stopped = True
+        listener = self._listener
+        if listener is not None:
+            try:
+                # Wake a blocked accept() portably with a throwaway connect.
+                with socket.create_connection(listener.getsockname(), timeout=1):
+                    pass
+            except OSError:
+                pass
+            try:
+                listener.close()
+            except OSError:
+                pass
+        active = self._active
+        if active is not None:
+            try:
+                active.close()
+            except OSError:
+                pass
+
+    def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`stop` or ``shutdown``."""
+        if self._listener is None:
+            raise RpcError("node is not bound; call bind() first")
+        while not self._stopped:
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                break
+            if self._stopped:
+                connection.close()
+                break
+            self.connections += 1
+            self._active = connection
+            try:
+                self._serve_connection(connection)
+            finally:
+                self._active = None
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------ connection
+    def _serve_connection(self, sock: socket.socket) -> None:
+        """One connection: hello handshake first, then the framed loop."""
+        try:
+            first = recv_frame(sock, self.max_frame_bytes)
+        except (RpcError, OSError):
+            return
+        if first is None:
+            return
+        response, accepted = self._handle_hello(first)
+        try:
+            send_frame(sock, response, self.max_frame_bytes)
+        except OSError:
+            return
+        if not accepted:
+            return
+        while not self._stopped:
+            try:
+                payload = recv_frame(sock, self.max_frame_bytes)
+            except FrameTooLargeError as error:
+                # The stream cannot be resynchronised after refusing a
+                # frame; report why, then drop the connection.
+                try:
+                    send_frame(sock, encode_error(str(error)), self.max_frame_bytes)
+                except OSError:
+                    pass
+                return
+            except (RpcError, OSError):
+                return  # peer vanished mid-frame
+            if payload is None:
+                return  # clean EOF: the coordinator closed its end
+            response, stop = self.handle_frame(payload)
+            try:
+                send_frame(sock, response, self.max_frame_bytes)
+            except OSError:
+                return
+            if stop:
+                self._stopped = True
+                return
+
+    def _handle_hello(self, payload: bytes) -> tuple[bytes, bool]:
+        """Validate the connection-opening hello; ``(response, accepted?)``."""
+        try:
+            reader = Reader(payload)
+            opcode = reader.read_u8()
+            if opcode != OP_HELLO:
+                return (
+                    encode_error(
+                        f"expected a hello frame to open the connection, got opcode {opcode}"
+                    ),
+                    False,
+                )
+            peer_version = reader.read_u32()
+            reader.read_u64()  # the coordinator's data_version (diagnostic)
+        except RpcError as error:
+            return encode_error(f"malformed hello frame ({error})"), False
+        if peer_version != PROTOCOL_VERSION:
+            return (
+                encode_error(
+                    f"protocol version mismatch: peer speaks {peer_version}, "
+                    f"node speaks {PROTOCOL_VERSION}"
+                ),
+                False,
+            )
+        ack = encode_hello_ack(PROTOCOL_VERSION, self.data_version, self.owned_slice_ids)
+        return ack, True
+
+    # ------------------------------------------------------------- dispatch
+    def handle_frame(self, payload: bytes) -> tuple[bytes, bool]:
+        """One request payload → ``(response payload, stop serving?)``.
+
+        Node-side failures are transported as error responses, never
+        exceptions — a bad request must not take the node down.
+        """
+        try:
+            reader = Reader(payload)
+            opcode = reader.read_u8()
+            if opcode == OP_SCORE:
+                return self._handle_score(reader), False
+            if opcode == OP_HYDRATE:
+                return self._handle_hydrate(reader), False
+            if opcode == OP_INVALIDATE:
+                return self._handle_invalidate(reader), False
+            if opcode == OP_STATS:
+                return self._handle_stats(), False
+            if opcode == OP_HELLO:
+                return self._handle_hello(payload)[0], False
+            if opcode == OP_SHUTDOWN:
+                return _U8.pack(STATUS_OK), True
+            return encode_error(f"unknown opcode {opcode}"), False
+        except Exception as error:  # noqa: BLE001 - transported to the peer
+            return encode_error(f"{type(error).__name__}: {error}"), False
+
+    def _handle_hydrate(self, reader: Reader) -> bytes:
+        try:
+            snapshot = ColumnSnapshot.unpack(reader.read_rest())
+        except SnapshotError as error:
+            return encode_error(f"{type(error).__name__}: {error}")
+        if snapshot.data_version != self.data_version:
+            # A new data version supersedes every older slice: drop them
+            # all (and their memoised degrees) before installing the first
+            # snapshot of the new version — mixed-version scoring is
+            # impossible by construction.
+            self._slices.clear()
+            self._caches.clear()
+            self.data_version = snapshot.data_version
+        key = (snapshot.columns.attribute, snapshot.slice_id)
+        self._slices[key] = snapshot
+        self._caches.pop(key, None)
+        self.hydrations += 1
+        return (
+            _U8.pack(STATUS_OK)
+            + _U64.pack(self.data_version)
+            + _U32.pack(snapshot.columns.num_entities)
+        )
+
+    def _handle_score(self, reader: Reader) -> bytes:
+        slice_id = reader.read_u32()
+        attribute = reader.read_str()
+        phrase = reader.read_str()
+        start = reader.read_u32()
+        stop = reader.read_u32()
+        rows: list[int] | None = None
+        if reader.read_u8():
+            rows = reader.read_u32_array(reader.read_u32())
+        self.score_requests += 1
+        key = (phrase, start, stop, tuple(rows) if rows is not None else None)
+        cache = self._caches.get((attribute, slice_id))
+        if cache is None:
+            cache = self._caches[(attribute, slice_id)] = LRUCache(self.cache_size)
+        vector = cache.get(key)
+        if vector is None:
+            vector = self._score(slice_id, attribute, phrase, start, stop, rows)
+            cache.put(key, vector)
+        return _U8.pack(STATUS_OK) + _U32.pack(len(vector)) + vector.astype(">f8").tobytes()
+
+    def _score(
+        self,
+        slice_id: int,
+        attribute: str,
+        phrase: str,
+        start: int,
+        stop: int,
+        rows: list[int] | None,
+    ) -> np.ndarray:
+        if self.membership is None:
+            raise RpcError(f"node {self.node_id} has no membership function installed")
+        kernel = getattr(self.membership, "degrees_columnar", None)
+        if kernel is None:
+            raise RpcError(
+                f"the membership function of node {self.node_id} has no columnar kernel"
+            )
+        snapshot = self._slices.get((attribute, slice_id))
+        if snapshot is None:
+            raise RpcError(
+                f"slice {slice_id} of attribute {attribute!r} is not hydrated "
+                f"on node {self.node_id} (data_version {self.data_version})"
+            )
+        if snapshot.start != start or snapshot.stop != stop:
+            raise RpcError(
+                f"slice bounds mismatch for slice {slice_id} of {attribute!r}: "
+                f"request [{start}, {stop}) vs hydrated "
+                f"[{snapshot.start}, {snapshot.stop})"
+            )
+        view = snapshot.columns
+        if rows is not None:
+            view = gather_rows(view, rows)
+        self.kernel_calls += 1
+        return np.asarray(kernel(view, phrase), dtype=np.float64)
+
+    def _handle_invalidate(self, reader: Reader) -> bytes:
+        caller_version = reader.read_u64()
+        reported = self.data_version
+        dropped = sum(len(cache) for cache in self._caches.values())
+        self._caches.clear()
+        if caller_version != self.data_version:
+            # The coordinator moved on: every hydrated slice is stale.  The
+            # node returns to the unhydrated state and waits for fresh
+            # snapshots — it can never serve a stale degree.
+            self._slices.clear()
+            self.data_version = 0
+        self.invalidations += 1
+        return _U8.pack(STATUS_OK) + _U64.pack(reported) + _U32.pack(dropped)
+
+    def _handle_stats(self) -> bytes:
+        stats = {
+            "node": self.node_id,
+            "pid": os.getpid(),
+            "data_version": self.data_version,
+            "owned_slices": self.owned_slice_ids,
+            "hydrated_slices": len(self._slices),
+            "score_requests": self.score_requests,
+            "kernel_calls": self.kernel_calls,
+            "cache_hits": sum(cache.stats.hits for cache in self._caches.values()),
+            "hydrations": self.hydrations,
+            "invalidations": self.invalidations,
+            "connections": self.connections,
+            "cache_entries": sum(len(cache) for cache in self._caches.values()),
+        }
+        return _U8.pack(STATUS_OK) + pack_str(json.dumps(stats))
+
+
+def _node_main(
+    node_id: int,
+    listener: socket.socket,
+    close_in_child: list[socket.socket],
+    membership: object,
+    max_frame_bytes: int,
+    cache_size: int | None,
+) -> None:
+    """Forked node entry point: close inherited sockets, then serve TCP."""
+    for other in close_in_child:
+        try:
+            other.close()
+        except OSError:
+            pass
+    server = ShardNodeServer(
+        node_id=node_id,
+        membership=membership,
+        max_frame_bytes=max_frame_bytes,
+        cache_size=cache_size,
+    )
+    server.adopt_listener(listener)
+    server.serve_forever()
+
+
+# --------------------------------------------------------------------------
+# Replies and per-node channels (coordinator side)
+# --------------------------------------------------------------------------
+
+class NodeReply:
+    """One in-flight request's eventual response (single-threaded future).
+
+    Resolved by the I/O pump when the node's response frame arrives, or
+    failed with a transport error when the connection is lost.  ``decode``
+    turns the OK-status remainder of the response into the reply value.
+    """
+
+    __slots__ = ("decode", "done", "value", "error")
+
+    def __init__(self, decode: Callable[[Reader], object]) -> None:
+        self.decode = decode
+        self.done = False
+        self.value: object = None
+        self.error: Exception | None = None
+
+    def resolve(self, payload: bytes, node_index: int) -> None:
+        """Decode one response frame into this reply (errors captured)."""
+        try:
+            reader = Reader(payload)
+            if reader.read_u8() == STATUS_ERROR:
+                raise RpcError(f"cluster node {node_index}: {reader.read_str()}")
+            self.value = self.decode(reader)
+        except Exception as error:  # noqa: BLE001 - surfaced at collect time
+            self.error = error
+        self.done = True
+
+    def fail(self, error: Exception) -> None:
+        """Mark the reply failed (connection lost before the response)."""
+        if not self.done:
+            self.error = error
+            self.done = True
+
+
+def _decode_score(reader: Reader) -> np.ndarray:
+    """A ``score`` response: the slice's degree vector."""
+    return reader.read_f64_array(reader.read_u32())
+
+
+def _decode_versioned(reader: Reader) -> tuple[int, int]:
+    """A ``hydrate``/``invalidate`` response: (data_version, count)."""
+    return reader.read_u64(), reader.read_u32()
+
+
+def _decode_stats(reader: Reader) -> dict:
+    """A ``stats`` response: the node's JSON counters."""
+    return json.loads(reader.read_str())
+
+
+def _decode_ack(reader: Reader) -> None:
+    """An empty OK response (``shutdown``)."""
+    return None
+
+
+class ClusterNodeClient:
+    """The coordinator's pipelined connection to one shard node.
+
+    Requests enter a send queue; a bounded window of them is in flight at
+    any moment (framed into the output buffer and counted against
+    ``window``), and responses are matched to their
+    :class:`NodeReply` futures strictly in order — the node serves one
+    connection sequentially, so FIFO matching is exact.  All socket I/O is
+    non-blocking; :class:`ClusterShardStore`'s select pump drives every
+    channel together, which is what lets all nodes compute concurrently
+    while the coordinator does its own work.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        address: tuple[str, int],
+        max_frame_bytes: int,
+        window: int,
+        counters: dict[str, int],
+        owned_slice_ids: Sequence[int] = (),
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    ) -> None:
+        self.index = index
+        self.address = address
+        self.max_frame_bytes = max_frame_bytes
+        self.window = max(1, window)
+        self.counters = counters
+        self.owned_slice_ids = list(owned_slice_ids)
+        self.connect_timeout = connect_timeout
+        self.sock: socket.socket | None = None
+        self.dead = False
+        self.remote_data_version = 0
+        self.remote_owned: list[int] = []
+        self.queue: deque[tuple[bytes, NodeReply]] = deque()
+        self.inflight: deque[NodeReply] = deque()
+        self._out = bytearray()
+        self._in = bytearray()
+
+    # ------------------------------------------------------------ connection
+    def connect(self, data_version: int) -> None:
+        """Connect and run the versioned hello handshake (blocking).
+
+        Raises :class:`~repro.serving.protocol.HandshakeError` on protocol
+        skew or a malformed acknowledgement, and
+        :class:`~repro.serving.protocol.WorkerCrashedError` when the node
+        cannot be reached at all.
+        """
+        try:
+            sock = socket.create_connection(self.address, timeout=self.connect_timeout)
+        except OSError as error:
+            self.dead = True
+            raise WorkerCrashedError(
+                f"cluster node {self.index} at {self.address} is unreachable "
+                f"({error}); the coordinator will reconnect or respawn it on "
+                "the next query"
+            ) from error
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            send_frame(sock, encode_hello(PROTOCOL_VERSION, data_version), self.max_frame_bytes)
+            payload = recv_frame(sock, self.max_frame_bytes)
+            if payload is None:
+                raise HandshakeError(
+                    f"cluster node {self.index} closed the connection during the handshake"
+                )
+            _, self.remote_data_version, self.remote_owned = read_hello_ack(payload)
+        except HandshakeError:
+            sock.close()
+            self.dead = True
+            raise
+        except (RpcError, OSError) as error:
+            sock.close()
+            self.dead = True
+            raise HandshakeError(
+                f"handshake with cluster node {self.index} failed ({error})"
+            ) from error
+        sock.setblocking(False)
+        self.sock = sock
+        self.dead = False
+        self.counters["reconnects"] += 1
+
+    def fileno(self) -> int:
+        """The connected socket's file descriptor (for ``select``)."""
+        return self.sock.fileno()
+
+    @property
+    def has_work(self) -> bool:
+        """Whether any request is queued, buffered, or awaiting a response."""
+        return bool(self.queue or self._out or self.inflight)
+
+    @property
+    def wants_write(self) -> bool:
+        """Whether the pump should register this channel for writability."""
+        return bool(self._out) or bool(self.queue and len(self.inflight) < self.window)
+
+    # --------------------------------------------------------------- queueing
+    def enqueue(self, payload: bytes, decode: Callable[[Reader], object]) -> NodeReply:
+        """Queue one request frame; returns its :class:`NodeReply` future."""
+        if self.dead or self.sock is None:
+            raise WorkerCrashedError(
+                f"cluster node {self.index} at {self.address} has no live "
+                "connection; the coordinator will reconnect or respawn it on "
+                "the next query"
+            )
+        reply = NodeReply(decode)
+        self.queue.append((frame_bytes(payload, self.max_frame_bytes), reply))
+        self.counters["requests"] += 1
+        return reply
+
+    # ------------------------------------------------------------------ pump
+    def pump_writes(self) -> None:
+        """Frame queued requests up to the window and flush what the socket takes."""
+        while self.queue and len(self.inflight) < self.window:
+            frame, reply = self.queue.popleft()
+            self._out += frame
+            self.inflight.append(reply)
+        if not self._out:
+            return
+        try:
+            sent = self.sock.send(self._out)
+        except (BlockingIOError, InterruptedError):
+            return
+        if sent:
+            self.counters["bytes_sent"] += sent
+            del self._out[:sent]
+
+    def pump_reads(self) -> None:
+        """Read available bytes and resolve completed response frames in order."""
+        try:
+            data = self.sock.recv(1 << 16)
+        except (BlockingIOError, InterruptedError):
+            return
+        if not data:
+            raise RpcError("node closed its connection")
+        self.counters["bytes_received"] += len(data)
+        self._in += data
+        while True:
+            if len(self._in) < _HEADER.size:
+                return
+            (length,) = _HEADER.unpack(bytes(self._in[: _HEADER.size]))
+            if length > self.max_frame_bytes:
+                raise FrameTooLargeError(
+                    f"node {self.index} announced a {length}-byte frame "
+                    f"(limit {self.max_frame_bytes} bytes)"
+                )
+            if len(self._in) < _HEADER.size + length:
+                return
+            payload = bytes(self._in[_HEADER.size : _HEADER.size + length])
+            del self._in[: _HEADER.size + length]
+            if not self.inflight:
+                raise RpcError(f"node {self.index} sent a response with no request in flight")
+            self.inflight.popleft().resolve(payload, self.index)
+
+    # --------------------------------------------------------------- failure
+    def fail_all(self, error: Exception) -> None:
+        """Fail every outstanding reply and close the connection."""
+        for reply in self.inflight:
+            reply.fail(error)
+        for _, reply in self.queue:
+            reply.fail(error)
+        self.inflight.clear()
+        self.queue.clear()
+        self._out.clear()
+        self._in.clear()
+        self.dead = True
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+    def close(self) -> None:
+        """Close the connection without failing replies (clean teardown)."""
+        self.dead = True
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+
+# --------------------------------------------------------------------------
+# The cluster store (coordinator side)
+# --------------------------------------------------------------------------
+
+@dataclass
+class DegreeRequest:
+    """An issued-but-uncollected degree fan-out (one ``pair_degrees`` worth).
+
+    Produced by :meth:`ClusterShardStore.request_degrees`, consumed by
+    :meth:`ClusterShardStore.collect_degrees`.  Holding several of these at
+    once is what lets the concurrent coordinator overlap independent
+    queries' fan-outs across the nodes.
+    """
+
+    data_version: int
+    entity_ids: list[Hashable]
+    rows: list[int | None]
+    membership: object
+    attribute: str
+    phrase: str
+    columns: AttributeColumns
+    batch: np.ndarray | None
+    pending: list[tuple[str, NodeReply, object]] = field(default_factory=list)
+
+
+class ClusterShardStore:
+    """Entity-sliced degree scoring over TCP shard nodes.
+
+    Implements the ``pair_degrees`` protocol of
+    :class:`~repro.core.columnar.ColumnarSummaryStore`, so the query
+    processor routes through it unchanged.  Kernel work ships to the nodes
+    as ``(slice_id, attribute, start, stop[, rows])`` score requests over
+    pipelined per-node queues; column data ships exactly once per
+    ``(node, attribute, slice, data_version)`` as packed
+    :class:`~repro.core.columnar.ColumnSnapshot` bytes, enqueued ahead of
+    the first score request that needs the slice (the per-node FIFO
+    guarantees hydration lands first).
+
+    Two fleet shapes are supported: **managed** (default) — the store forks
+    local node processes listening on ephemeral localhost ports and owns
+    their full lifecycle, respawning dead nodes on the next query — and
+    **external** (``addresses=[(host, port), ...]``) — the store connects
+    to already-running :class:`ShardNodeServer` instances and can reconnect
+    after a connection loss but never spawns or shuts them down.  In both
+    shapes a node lost mid-request surfaces as
+    :class:`~repro.serving.protocol.WorkerCrashedError`, exactly like the
+    socketpair RPC layer.
+
+    A ``data_version`` bump drops base columns and hydration records
+    together, pushes ``invalidate`` to every reachable node (dropping node
+    caches *and* hydrated slices), and the next fan-out re-hydrates lazily
+    — snapshot re-hydration instead of the RPC layer's fleet re-fork.
+    """
+
+    def __init__(
+        self,
+        database: SubjectiveDatabase,
+        num_nodes: int | None = None,
+        num_slices: int | None = None,
+        base: ColumnarSummaryStore | None = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        node_cache_size: int | None = DEFAULT_WORKER_CACHE_SIZE,
+        addresses: Sequence[tuple[str, int]] | None = None,
+        window: int = DEFAULT_INFLIGHT_WINDOW,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        io_timeout: float = DEFAULT_IO_TIMEOUT,
+    ) -> None:
+        self._managed = addresses is None
+        if self._managed:
+            if "fork" not in multiprocessing.get_all_start_methods():
+                raise RpcError(
+                    "managed cluster nodes require the 'fork' start method; "
+                    "start ShardNodeServer instances yourself and pass addresses=..."
+                )
+            if num_nodes is None:
+                num_nodes = default_num_shards()
+        else:
+            if num_nodes is not None and num_nodes != len(addresses):
+                raise ValueError(
+                    f"num_nodes ({num_nodes}) contradicts the {len(addresses)} addresses given"
+                )
+            num_nodes = len(addresses)
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        if num_slices is None:
+            num_slices = num_nodes
+        if num_slices < num_nodes:
+            raise ValueError(f"num_slices ({num_slices}) must be >= num_nodes ({num_nodes})")
+        self.database = database
+        self.num_nodes = num_nodes
+        self.num_slices = num_slices
+        self.base = base if base is not None else ColumnarSummaryStore(database)
+        self.max_frame_bytes = max_frame_bytes
+        self.node_cache_size = node_cache_size
+        self.window = window
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        # Node n owns the contiguous slice-id range [bounds[n], bounds[n+1]).
+        self._ownership = partition_bounds(num_slices, num_nodes)
+        self._owner_of = [
+            node
+            for node, (start, stop) in enumerate(zip(self._ownership, self._ownership[1:]))
+            for _ in range(stop - start)
+        ]
+        self._channels: list[ClusterNodeClient | None] = [None] * num_nodes
+        self._processes: list[multiprocessing.process.BaseProcess | None] = [None] * num_nodes
+        self._addresses: list[tuple[str, int] | None] = (
+            [None] * num_nodes if self._managed else [tuple(a) for a in addresses]
+        )
+        self._hydrated: set[tuple[int, str, int]] = set()
+        self._membership: object | None = None
+        self._version = database.data_version
+        self.invalidations = 0
+        self.fanouts = 0  # sharded kernel passes (one per predicate computation)
+        self.rpc_requests = 0  # individual score requests shipped to nodes
+        self.hydrations = 0  # snapshots shipped
+        self._node_counters = [
+            {"requests": 0, "bytes_sent": 0, "bytes_received": 0, "reconnects": 0, "respawns": 0}
+            for _ in range(num_nodes)
+        ]
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def data_version(self) -> int:
+        """The database version the current hydration state reflects."""
+        return self._version
+
+    @property
+    def managed(self) -> bool:
+        """Whether this store spawns and owns its node processes."""
+        return self._managed
+
+    @property
+    def channels(self) -> list[ClusterNodeClient | None]:
+        """The per-node connection channels (``None`` before first use)."""
+        return self._channels
+
+    @property
+    def processes(self) -> list[multiprocessing.process.BaseProcess | None]:
+        """Managed node processes (all ``None`` for external fleets)."""
+        return self._processes
+
+    def _check_version(self) -> None:
+        if self._version != self.database.data_version:
+            self.invalidate()
+
+    def invalidate(self) -> None:
+        """Honor a ``data_version`` bump: drop columns, push node invalidation.
+
+        Base columns and hydration records drop immediately; every
+        reachable node receives an ``invalidate`` frame carrying the new
+        version, which makes it drop its degree caches *and* its hydrated
+        slices (they are stale by definition).  Fresh snapshots ship lazily
+        with the next fan-out — re-hydration, not re-fork.  A node that
+        cannot be reached is dropped and reconnected-or-respawned on the
+        next query; invalidation itself never raises.
+        """
+        self.base.invalidate()
+        self._hydrated.clear()
+        self._version = self.database.data_version
+        self.invalidations += 1
+        replies: list[NodeReply] = []
+        for channel in self._channels:
+            if channel is None or channel.dead or channel.sock is None:
+                continue
+            try:
+                replies.append(
+                    channel.enqueue(encode_invalidate_request(self._version), _decode_versioned)
+                )
+            except RpcError:
+                continue
+        if replies:
+            self._pump_until(replies, raise_errors=False)
+
+    def invalidate_node_caches(self) -> int:
+        """Drop every live node's degree caches; returns entries dropped.
+
+        Cache recycling *within* a snapshot's lifetime: the data did not
+        change, so hydrated slices stay in place (each node sees its own
+        current version in the frame and keeps its columns).  A node
+        reporting a different snapshot version has skewed — its hydration
+        records are dropped so the next fan-out re-ships fresh snapshots.
+        """
+        replies: list[tuple[int, NodeReply]] = []
+        for index, channel in enumerate(self._channels):
+            if channel is None or channel.dead or channel.sock is None:
+                continue
+            frame = encode_invalidate_request(self._version)
+            replies.append((index, channel.enqueue(frame, _decode_versioned)))
+        self._pump_until([reply for _, reply in replies])
+        dropped_total = 0
+        for index, reply in replies:
+            if reply.error is not None:
+                raise reply.error
+            version, dropped = reply.value
+            dropped_total += dropped
+            if version != self._version:
+                self._drop_hydration(index)
+        return dropped_total
+
+    def close(self) -> None:
+        """Shut the fleet down (idempotent).
+
+        Managed node processes receive a graceful ``shutdown`` frame and
+        are reaped (terminated if unresponsive); external nodes only have
+        their connections closed — their lifecycle belongs to whoever
+        started them.
+        """
+        for index, channel in enumerate(self._channels):
+            if channel is None:
+                continue
+            if self._managed and not channel.dead and channel.sock is not None:
+                try:
+                    reply = channel.enqueue(_U8.pack(OP_SHUTDOWN), _decode_ack)
+                    self._pump_until([reply], raise_errors=False, timeout=5.0)
+                except RpcError:
+                    pass
+            channel.close()
+            self._channels[index] = None
+        if self._managed:
+            for index, process in enumerate(self._processes):
+                if process is None:
+                    continue
+                process.join(timeout=5)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5)
+                if process.is_alive():  # pragma: no cover - last resort
+                    process.kill()
+                    process.join(timeout=5)
+                self._processes[index] = None
+        self._hydrated.clear()
+
+    # ----------------------------------------------------------------- fleet
+    def _spawn_node(self, index: int, membership: object) -> None:
+        """Fork one local node process listening on an ephemeral TCP port.
+
+        The listener is bound in the coordinator (so the address is known
+        without a rendezvous) and inherited by the fork; the child closes
+        the coordinator's live connections to its siblings so a sibling
+        crash always surfaces as EOF.
+        """
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        address = listener.getsockname()
+        close_in_child = [
+            channel.sock
+            for channel in self._channels
+            if channel is not None and channel.sock is not None
+        ]
+        context = multiprocessing.get_context("fork")
+        process = context.Process(
+            target=_node_main,
+            args=(
+                index,
+                listener,
+                close_in_child,
+                membership,
+                self.max_frame_bytes,
+                self.node_cache_size,
+            ),
+            daemon=True,
+            name=f"repro-cluster-node-{index}",
+        )
+        process.start()
+        listener.close()
+        self._processes[index] = process
+        self._addresses[index] = address
+        self._node_counters[index]["respawns"] += 1
+
+    def _ensure_nodes(self, membership: object) -> None:
+        """Connect (and for managed fleets, spawn) every node that needs it.
+
+        Reconnect-or-respawn: a channel lost since the last fan-out is
+        reconnected to the same address; a managed node whose process died
+        is forked afresh first.  A reconnected node keeps nothing the
+        coordinator relies on — its hydration records are dropped so the
+        next fan-out re-ships snapshots (hydration is idempotent).
+        Switching membership functions tears a managed fleet down (the
+        model is baked into the node processes at fork time).
+        """
+        if self._membership is not None and self._membership is not membership:
+            if self._managed:
+                self.close()
+            else:
+                for index, channel in enumerate(self._channels):
+                    if channel is not None:
+                        channel.close()
+                        self._channels[index] = None
+                        self._drop_hydration(index)
+        self._membership = membership
+        for index in range(self.num_nodes):
+            channel = self._channels[index]
+            if channel is not None and not channel.dead and channel.sock is not None:
+                continue
+            if self._managed:
+                process = self._processes[index]
+                if process is None or not process.is_alive():
+                    self._spawn_node(index, membership)
+            channel = ClusterNodeClient(
+                index,
+                self._addresses[index],
+                self.max_frame_bytes,
+                self.window,
+                self._node_counters[index],
+                owned_slice_ids=range(self._ownership[index], self._ownership[index + 1]),
+                connect_timeout=self.connect_timeout,
+            )
+            self._connect_with_retry(channel)
+            self._channels[index] = channel
+            self._drop_hydration(index)
+
+    def _connect_with_retry(self, channel: ClusterNodeClient, attempts: int = 40) -> None:
+        """Connect to one node, retrying briefly (a freshly forked node may
+        not have reached ``accept`` yet)."""
+        deadline = time.monotonic() + self.connect_timeout
+        last: Exception | None = None
+        for _ in range(attempts):
+            try:
+                channel.connect(self._version)
+                return
+            except HandshakeError:
+                raise
+            except WorkerCrashedError as error:
+                last = error
+                if time.monotonic() >= deadline:
+                    break
+                time.sleep(0.05)
+        raise last if last is not None else WorkerCrashedError("node connect failed")
+
+    def _drop_hydration(self, index: int) -> None:
+        self._hydrated = {key for key in self._hydrated if key[0] != index}
+
+    def _drop_channel(self, channel: ClusterNodeClient, error: Exception) -> None:
+        """A connection failed: fail its replies, mark it for reconnection."""
+        wrapped = WorkerCrashedError(
+            f"cluster node {channel.index} at {channel.address} failed "
+            f"mid-request ({error}); the coordinator will reconnect or "
+            "respawn it on the next query"
+        )
+        wrapped.__cause__ = error
+        channel.fail_all(wrapped)
+        self._drop_hydration(channel.index)
+
+    # ------------------------------------------------------------------ pump
+    def _live_channels(self) -> list[ClusterNodeClient]:
+        return [
+            channel
+            for channel in self._channels
+            if channel is not None and not channel.dead and channel.sock is not None
+        ]
+
+    def _service_io(self, timeout: float) -> bool:
+        """One pump step: write queued frames, read ready responses.
+
+        Registers every live channel that has work with ``select`` and
+        performs all ready I/O once; returns whether anything progressed.
+        Channel failures are absorbed here — the affected replies fail with
+        :class:`~repro.serving.protocol.WorkerCrashedError` and the channel
+        is marked dead for reconnection.
+        """
+        channels = [channel for channel in self._live_channels() if channel.has_work]
+        readers = [channel for channel in channels if channel.inflight]
+        writers = [channel for channel in channels if channel.wants_write]
+        if not readers and not writers:
+            return False
+        readable, writable, _ = select.select(readers, writers, [], timeout)
+        progressed = False
+        for channel in writable:
+            if channel.dead:
+                continue
+            try:
+                channel.pump_writes()
+                progressed = True
+            except (RpcError, OSError) as error:
+                self._drop_channel(channel, error)
+        for channel in readable:
+            if channel.dead:
+                continue
+            try:
+                channel.pump_reads()
+                progressed = True
+            except (RpcError, OSError) as error:
+                self._drop_channel(channel, error)
+        return progressed
+
+    def _pump_until(
+        self,
+        replies: Sequence[NodeReply],
+        raise_errors: bool = True,
+        timeout: float | None = None,
+    ) -> None:
+        """Drive the pump until every reply resolves (or fails).
+
+        A reply can only be outstanding while its channel is live (channel
+        loss fails its replies immediately), so the loop always terminates;
+        the deadline guards against a node that accepts requests but never
+        answers — its channel is treated as crashed.
+        """
+        deadline = time.monotonic() + (timeout if timeout is not None else self.io_timeout)
+        while not all(reply.done for reply in replies):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                stuck = RpcError("timed out waiting for node responses")
+                for channel in self._live_channels():
+                    if channel.inflight or channel.queue:
+                        self._drop_channel(channel, stuck)
+                break
+            self._service_io(min(remaining, 0.5))
+        if raise_errors:
+            for reply in replies:
+                if reply.error is not None:
+                    raise reply.error
+
+    # ----------------------------------------------------------- partitions
+    def columns(self, attribute: str) -> AttributeColumns | None:
+        """The unpartitioned column arrays (delegates to the base store)."""
+        self._check_version()
+        return self.base.columns(attribute)
+
+    # -------------------------------------------------------------- scoring
+    def request_degrees(
+        self,
+        membership: object,
+        entity_ids: Sequence[Hashable],
+        attribute: str,
+        phrase: str,
+    ) -> DegreeRequest | None:
+        """Issue one degree fan-out without waiting for the responses.
+
+        Plans the exact per-slice requests the in-process store executes
+        (:func:`repro.core.columnar.plan_slice_requests`), enqueues a
+        ``hydrate`` frame ahead of the first score touching a not-yet
+        hydrated slice, and opportunistically flushes the queues so nodes
+        start computing immediately.  Returns ``None`` under the same
+        conditions the base store does (no kernel / no columns), so
+        callers' scalar fallback behaviour is unchanged.  The returned
+        :class:`DegreeRequest` is consumed by :meth:`collect_degrees`;
+        issuing several before collecting any is how the concurrent
+        coordinator overlaps independent queries' fan-outs.
+        """
+        self._check_version()
+        kernel = columnar_kernel(membership, self.database)
+        if kernel is None:
+            return None
+        columns = self.base.columns(attribute)
+        if columns is None:
+            return None
+        rows = [columns.row_of.get(entity_id) for entity_id in entity_ids]
+        resident = sorted({row for row in rows if row is not None})
+        request = DegreeRequest(
+            data_version=self._version,
+            entity_ids=list(entity_ids),
+            rows=rows,
+            membership=membership,
+            attribute=attribute,
+            phrase=phrase,
+            columns=columns,
+            batch=np.empty(columns.num_entities) if resident else None,
+        )
+        if resident:
+            self._ensure_nodes(membership)
+            bounds = partition_bounds(columns.num_entities, self.num_slices)
+            slice_requests = plan_slice_requests(bounds, resident)
+            for slice_id, start, stop, slice_rows, scatter in slice_requests:
+                owner = self._owner_of[slice_id]
+                channel = self._channels[owner]
+                hydration_key = (owner, attribute, slice_id)
+                if hydration_key not in self._hydrated:
+                    snapshot = ColumnSnapshot.of_slice(
+                        columns, slice_id, start, stop, self._version
+                    )
+                    reply = channel.enqueue(
+                        encode_hydrate_request(snapshot.pack()), _decode_versioned
+                    )
+                    request.pending.append(("hydrate", reply, hydration_key))
+                    self._hydrated.add(hydration_key)
+                    self.hydrations += 1
+                reply = channel.enqueue(
+                    encode_score_request(slice_id, attribute, phrase, start, stop, slice_rows),
+                    _decode_score,
+                )
+                request.pending.append(("score", reply, scatter))
+            self.fanouts += 1
+            self.rpc_requests += len(slice_requests)
+            self._service_io(0.0)
+        return request
+
+    def collect_degrees(self, request: DegreeRequest) -> list[float]:
+        """Wait for one issued fan-out and gather its per-entity degrees.
+
+        A node lost while the request was in flight surfaces as
+        :class:`~repro.serving.protocol.WorkerCrashedError`; a transported
+        hydration failure additionally forgets the hydration record so the
+        next fan-out re-ships the snapshot.  Entities absent from the
+        columns fall back to per-entity scalar scoring on the coordinator,
+        exactly like every other store.
+        """
+        self._pump_until([reply for _, reply, _ in request.pending], raise_errors=False)
+        for kind, reply, extra in request.pending:
+            if reply.error is not None:
+                if kind == "hydrate":
+                    self._hydrated.discard(extra)
+                raise reply.error
+            if kind == "score":
+                request.batch[extra] = reply.value
+        return gather_degrees(
+            request.batch,
+            request.rows,
+            request.entity_ids,
+            scalar_fallback_scorer(
+                request.membership,
+                self.database,
+                request.attribute,
+                request.phrase,
+                request.columns,
+            ),
+        )
+
+    def pair_degrees(
+        self,
+        membership: object,
+        entity_ids: Sequence[Hashable],
+        attribute: str,
+        phrase: str,
+    ) -> list[float] | None:
+        """Cluster analog of :meth:`ColumnarSummaryStore.pair_degrees`.
+
+        One synchronous fan-out: issue, pump, gather.  Degrees are exactly
+        those of the unsharded store — hydrated snapshots round-trip every
+        float bit and the kernels are row-independent.
+        """
+        request = self.request_degrees(membership, entity_ids, attribute, phrase)
+        if request is None:
+            return None
+        return self.collect_degrees(request)
+
+    # ------------------------------------------------------------ statistics
+    def node_stats(self) -> list[dict]:
+        """One ``stats`` RPC result per connected node (dead nodes skipped)."""
+        replies: list[NodeReply] = []
+        for channel in self._live_channels():
+            replies.append(channel.enqueue(_U8.pack(OP_STATS), _decode_stats))
+        if replies:
+            self._pump_until(replies, raise_errors=False)
+        return [reply.value for reply in replies if reply.error is None and reply.done]
+
+    def partition_stats(self) -> list[dict[str, object]]:
+        """One dict per node: transport counters plus node cache activity.
+
+        Transport counters (``requests``, ``bytes_sent``,
+        ``bytes_received``, ``reconnects``, ``respawns``) are tracked
+        coordinator-side and survive reconnects and respawns; for reachable
+        nodes the dict additionally merges the node's own ``stats`` frame
+        (``cache_hits``, ``cache_entries``, hydrated slices).  Unreachable
+        nodes report transport counters only.
+        """
+        remote: dict[int, dict] = {}
+        for stats in self.node_stats():
+            remote[int(stats.get("node", -1))] = stats
+        entries: list[dict[str, object]] = []
+        for index, counters in enumerate(self._node_counters):
+            channel = self._channels[index]
+            entry: dict[str, object] = {
+                "node": index,
+                "address": self._addresses[index],
+                "connected": bool(
+                    channel is not None and not channel.dead and channel.sock is not None
+                ),
+                **counters,
+            }
+            node_stats = remote.get(index)
+            if node_stats is not None:
+                entry["cache_hits"] = node_stats.get("cache_hits", 0)
+                entry["cache_entries"] = node_stats.get("cache_entries", 0)
+                entry["hydrated_slices"] = node_stats.get("hydrated_slices", 0)
+                entry["data_version"] = node_stats.get("data_version", 0)
+            entries.append(entry)
+        return entries
+
+    def transport_counters(self) -> dict[str, int]:
+        """Aggregate transport counters (surfaced in ``run_batch`` stats)."""
+        return {
+            "rpc_requests": sum(c["requests"] for c in self._node_counters),
+            "rpc_bytes_sent": sum(c["bytes_sent"] for c in self._node_counters),
+            "rpc_bytes_received": sum(c["bytes_received"] for c in self._node_counters),
+            "node_reconnects": sum(c["reconnects"] for c in self._node_counters),
+            "node_respawns": sum(c["respawns"] for c in self._node_counters),
+            "snapshot_hydrations": self.hydrations,
+        }
+
+    def stats_snapshot(self) -> dict[str, object]:
+        """Coordinator counters plus the wrapped base store's snapshot."""
+        return {
+            "num_nodes": self.num_nodes,
+            "num_slices": self.num_slices,
+            "backend": "cluster",
+            "managed": self._managed,
+            "data_version": self._version,
+            "connected_nodes": len(self._live_channels()),
+            "invalidations": self.invalidations,
+            "fanouts": self.fanouts,
+            "rpc_requests": self.rpc_requests,
+            "hydrations": self.hydrations,
+            "base": self.base.stats_snapshot(),
+        }
+
+
+# --------------------------------------------------------------------------
+# The concurrent coordinator engine
+# --------------------------------------------------------------------------
+
+@dataclass
+class _PrefetchedQuery:
+    """One batch query planned ahead, with its issued degree fan-outs.
+
+    Each handle entry is ``(cache keys, store request, memo key or None,
+    candidate ids)`` — the memo key is set when the fan-out covers the
+    whole candidate set, so absorbing it can pre-fill the vector memo.
+    """
+
+    sql: str
+    data_version: int
+    handles: list[tuple] = field(default_factory=list)
+
+
+class ClusterQueryEngine(ShardedSubjectiveQueryEngine):
+    """Serving front end over TCP shard nodes; results exactly equal to the
+    unsharded engine, with a concurrent batch coordinator.
+
+    Planning, WHERE-tree vectorization over degree arrays, and the exact
+    ``(-score, str(entity_id), position)`` top-k merge are inherited from
+    the sharded engine verbatim; only the degree transport (an installed
+    :class:`ClusterShardStore`) and :meth:`run_batch` differ.
+
+    ``run_batch`` keeps a bounded window of up to ``max_inflight_queries``
+    queries planned ahead of the one currently executing: each windowed
+    query's uncached membership fan-outs are issued to the nodes
+    immediately, so while the coordinator ranks query *i*, the nodes are
+    already computing degrees for queries *i+1 … i+W*.  The look-ahead
+    window additionally enables **vector-level reuse**: once one windowed
+    query has assembled a predicate pair's degree vector over the shared
+    candidate set, every other query in the batch touching the same pair
+    reuses the vector outright instead of re-walking the per-entity
+    membership cache — the dominant coordinator cost under overlapping
+    query traffic.  Results are **bit-identical** to serial execution: the
+    prefetch only pre-fills the same membership cache the serial path
+    would fill, with the same deterministic values (kernels are
+    row-independent, so request batching cannot change any bit), reused
+    vectors hold exactly the values the per-entity walk would have
+    gathered, duplicate work is suppressed exactly where the serial path
+    would have had a cache hit, and a mid-batch ``data_version`` bump
+    discards every prefetched value from the old version before it can be
+    served.  The returned :class:`~repro.serving.engine.BatchResult`
+    reports serial-equivalent cache statistics (what a one-query-at-a-time
+    execution would have counted) plus the real transport counter deltas.
+
+    Fleet shape mirrors :class:`ClusterShardStore`: a managed local fleet
+    of ``num_nodes`` forked TCP nodes by default, or ``addresses=...`` to
+    serve over externally started :class:`ShardNodeServer` instances.  Set
+    ``max_inflight_queries=1`` for a strictly serial coordinator (the
+    baseline the cluster benchmark measures against).
+    """
+
+    engine_backends = ("cluster",)
+
+    def __init__(
+        self,
+        database: SubjectiveDatabase | None = None,
+        processor: SubjectiveQueryProcessor | None = None,
+        num_nodes: int | None = None,
+        num_shards: int | None = None,
+        plan_cache_size: int | None = 256,
+        membership_cache_size: int | None = 200_000,
+        candidate_cache_size: int | None = 64,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        node_cache_size: int | None = DEFAULT_WORKER_CACHE_SIZE,
+        addresses: Sequence[tuple[str, int]] | None = None,
+        window: int = DEFAULT_INFLIGHT_WINDOW,
+        max_inflight_queries: int = DEFAULT_MAX_INFLIGHT_QUERIES,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        io_timeout: float = DEFAULT_IO_TIMEOUT,
+    ) -> None:
+        if addresses is not None:
+            num_nodes = len(addresses)
+        elif num_nodes is None:
+            num_nodes = default_num_shards()
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        if max_inflight_queries < 1:
+            raise ValueError(
+                f"max_inflight_queries must be positive, got {max_inflight_queries}"
+            )
+        self.num_nodes = num_nodes
+        self.max_frame_bytes = max_frame_bytes
+        self.node_cache_size = node_cache_size
+        self.addresses = list(addresses) if addresses is not None else None
+        self.window = window
+        self.max_inflight_queries = max_inflight_queries
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        # Batch-local (attribute, phrase) → (unique_ids, degrees) memo;
+        # active only inside a concurrent run_batch, cleared on every
+        # invalidation so it can never outlive a data version.  The
+        # prefetch record tracks pairs whose keys were already issued or
+        # found cached by an earlier windowed query.
+        self._vector_memo: dict[tuple, tuple] | None = None
+        self._prefetched_pairs: dict[tuple, Sequence[Hashable]] = {}
+        super().__init__(
+            database=database,
+            processor=processor,
+            num_shards=num_shards if num_shards is not None else num_nodes,
+            backend="cluster",
+            max_workers=num_nodes,
+            plan_cache_size=plan_cache_size,
+            membership_cache_size=membership_cache_size,
+            candidate_cache_size=candidate_cache_size,
+        )
+
+    def _build_sharded_store(
+        self, base: ColumnarSummaryStore | None, max_workers: int | None
+    ) -> ClusterShardStore:
+        """Install a :class:`ClusterShardStore` as the processor's columnar store."""
+        return ClusterShardStore(
+            self.database,
+            num_nodes=max_workers,
+            num_slices=self.num_shards,
+            base=base,
+            max_frame_bytes=self.max_frame_bytes,
+            node_cache_size=self.node_cache_size,
+            addresses=self.addresses,
+            window=self.window,
+            connect_timeout=self.connect_timeout,
+            io_timeout=self.io_timeout,
+        )
+
+    # ----------------------------------------------------- vector-level reuse
+    def invalidate(self) -> None:
+        """Drop engine caches and the batch-local vector memo together."""
+        self._vector_memo = None if self._vector_memo is None else {}
+        self._prefetched_pairs = {}
+        super().invalidate()
+
+    @staticmethod
+    def _same_ids(stored: Sequence[Hashable], unique_ids: Sequence[Hashable]) -> bool:
+        """Whether two candidate-id sequences are the same set of rows."""
+        return stored is unique_ids or list(stored) == list(unique_ids)
+
+    @staticmethod
+    def _pair_signature(
+        attribute: str | None, phrase: str, unique_ids: Sequence[Hashable]
+    ) -> tuple:
+        """A cheap memo key for one predicate pair over one candidate set.
+
+        Batch queries may run over different candidate sets (objective
+        filters, the empty set of an all-crisp-false pre-filter), so the
+        ids participate in the key through an O(1) signature; lookups still
+        verify full id equality before reusing anything, so a signature
+        collision can only cost a recomputation, never change a value.
+        """
+        if len(unique_ids):
+            return (attribute, phrase, len(unique_ids), unique_ids[0], unique_ids[-1])
+        return (attribute, phrase, 0, None, None)
+
+    def _memo_lookup(self, key: tuple, unique_ids: Sequence[Hashable]):
+        memo = self._vector_memo
+        if memo is None:
+            return None
+        entry = memo.get(key)
+        if entry is None:
+            return None
+        memo_ids, values = entry
+        if self._same_ids(memo_ids, unique_ids):
+            return values
+        return None
+
+    def _cached_pair_degrees(
+        self, entity_ids: Sequence[Hashable], attribute: str, phrase: str
+    ) -> list[float]:
+        """Pair degrees with batch-local vector reuse (concurrent batches only).
+
+        Inside a concurrent ``run_batch``, the first query assembling one
+        predicate pair's degree list over the batch's shared candidate set
+        memoises the whole list; later windowed queries over the same ids
+        reuse it outright — the values are exactly what the per-entity
+        cache walk would have returned, so results cannot change, and the
+        walk (hundreds of tuple builds and cache probes per query) is the
+        dominant coordinator cost under overlapping traffic.
+        """
+        key = self._pair_signature(attribute, phrase, entity_ids)
+        values = self._memo_lookup(key, entity_ids)
+        if values is not None:
+            return values
+        values = super()._cached_pair_degrees(entity_ids, attribute, phrase)
+        if self._vector_memo is not None:
+            self._vector_memo[key] = (list(entity_ids), values)
+        return values
+
+    def _cached_retrieval_degrees(
+        self, entity_ids: Sequence[Hashable], predicate: str
+    ) -> list[float]:
+        """Retrieval degrees with the same batch-local vector reuse."""
+        key = self._pair_signature(None, predicate, entity_ids)
+        values = self._memo_lookup(key, entity_ids)
+        if values is not None:
+            return values
+        values = super()._cached_retrieval_degrees(entity_ids, predicate)
+        if self._vector_memo is not None:
+            self._vector_memo[key] = (list(entity_ids), values)
+        return values
+
+    # ------------------------------------------------------- concurrent batch
+    def run_batch(self, sqls: Sequence[str], top_k: int | None = None) -> BatchResult:
+        """Execute many queries, overlapping their node fan-outs.
+
+        With ``max_inflight_queries`` of 1 (or no cluster store installed)
+        this is exactly the inherited serial batch.  Otherwise queries are
+        consumed from ``sqls`` into a bounded look-ahead window; each
+        windowed query is planned and its uncached degree work issued to
+        the nodes, then queries are completed strictly in input order —
+        results, per-query latencies and ranked output are bit-identical to
+        the serial path.
+        """
+        if self.max_inflight_queries <= 1 or self.sharded_store is None:
+            return super().run_batch(sqls, top_k=top_k)
+        self._check_data_version()
+        transport_before = self._cache_counters()
+        accounting = {
+            "plan_hits": 0,
+            "plan_misses": 0,
+            "membership_hits": 0,
+            "membership_misses": 0,
+            "candidate_hits": 0,
+            "candidate_misses": 0,
+        }
+        pending: dict[tuple, int] = {}
+        iterator = iter(sqls)
+        window: deque[_PrefetchedQuery] = deque()
+        exhausted = False
+        results = []
+        latencies: list[float] = []
+        self._vector_memo = {}
+        self._prefetched_pairs = {}
+        started = time.perf_counter()
+        try:
+            while True:
+                while not exhausted and len(window) < self.max_inflight_queries:
+                    try:
+                        sql = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    window.append(self._prefetch_query(sql, pending, accounting))
+                if not window:
+                    break
+                item = window.popleft()
+                query_started = time.perf_counter()
+                self._absorb_prefetch(item)
+                results.append(self.execute(item.sql, top_k=top_k))
+                latencies.append(time.perf_counter() - query_started)
+        finally:
+            self._vector_memo = None
+            self._prefetched_pairs = {}
+        elapsed = time.perf_counter() - started
+        self.stats.batch_queries += len(results)
+        transport_after = self._cache_counters()
+        cache_stats = dict(accounting)
+        for name, value in transport_after.items():
+            if name not in cache_stats:
+                cache_stats[name] = value - transport_before.get(name, 0)
+        return BatchResult(
+            results=results,
+            latencies=latencies,
+            elapsed_seconds=elapsed,
+            cache_stats=cache_stats,
+        )
+
+    def _prefetch_query(
+        self, sql: str, pending: dict[tuple, int], accounting: dict[str, int]
+    ) -> _PrefetchedQuery:
+        """Plan one windowed query and issue its uncached degree fan-outs.
+
+        Accounting mirrors what a serial execution would have counted at
+        this point in the input order: a membership key already cached *or*
+        already requested by an earlier batch query is a hit (serial would
+        have found it cached by now), everything else is a miss and is
+        requested exactly once.
+        """
+        self._check_data_version()
+        version = self.database.data_version
+        # A version bump between windowed queries orphans every pending
+        # record at once (the caches they describe were cleared), so one
+        # sentinel comparison suffices — all live entries share a version.
+        if pending and next(iter(pending.values())) != version:
+            pending.clear()
+        plan_key = normalize_sql(sql)
+        if plan_key in self.plan_cache:
+            accounting["plan_hits"] += 1
+        else:
+            accounting["plan_misses"] += 1
+        plan = self.plan(sql)
+        if plan_key in self.candidate_cache:
+            accounting["candidate_hits"] += 1
+        else:
+            accounting["candidate_misses"] += 1
+        candidates = self._candidate_rows(plan)
+        item = _PrefetchedQuery(sql=sql, data_version=version)
+        processor = self.processor
+        for predicate, interpretation in plan.interpretations.items():
+            if (
+                interpretation.method is InterpretationMethod.TEXT_RETRIEVAL
+                or not interpretation.pairs
+            ):
+                self._prefetch_keys(
+                    item,
+                    candidates.unique_ids,
+                    None,
+                    predicate,
+                    pending,
+                    accounting,
+                    compute=lambda missing, p=predicate: processor.retrieval_degrees(missing, p),
+                )
+            else:
+                for pair in interpretation.pairs:
+                    phrase = processor.phrase_for_pair(interpretation, pair.marker)
+                    self._prefetch_keys(
+                        item,
+                        candidates.unique_ids,
+                        pair.attribute,
+                        phrase,
+                        pending,
+                        accounting,
+                        compute=lambda missing, a=pair.attribute, p=phrase: (
+                            processor.pair_degrees(missing, a, p)
+                        ),
+                    )
+        return item
+
+    def _prefetch_keys(
+        self,
+        item: _PrefetchedQuery,
+        unique_ids: Sequence[Hashable],
+        attribute: str | None,
+        phrase: str,
+        pending: dict[tuple, int],
+        accounting: dict[str, int],
+        compute,
+    ) -> None:
+        """Issue (or inline-compute) the uncached degrees of one predicate pair.
+
+        Predicate pairs are deduplicated at two levels before any per-key
+        work: the vector memo (an earlier batch query already *assembled*
+        the pair's vector) and the prefetch record (an earlier windowed
+        query already *issued or found cached* every key of the pair over
+        the same candidate set).  Either way a serial execution would have
+        found every key cached by the time this query ran, so the whole
+        pair counts as hits.
+        """
+        pair_key = self._pair_signature(attribute, phrase, unique_ids)
+        if self._memo_lookup(pair_key, unique_ids) is not None:
+            accounting["membership_hits"] += len(unique_ids)
+            return
+        recorded = self._prefetched_pairs.get(pair_key)
+        if recorded is not None and self._same_ids(recorded, unique_ids):
+            accounting["membership_hits"] += len(unique_ids)
+            return
+        self._prefetched_pairs[pair_key] = unique_ids
+        keys = [(entity_id, attribute, phrase) for entity_id in unique_ids]
+        present = self.membership_cache.peek_many(keys, _PREFETCH_MISSING)
+        missing_ids: list[Hashable] = []
+        missing_keys: list[tuple] = []
+        hits = 0
+        for entity_id, key, value in zip(unique_ids, keys, present):
+            if value is not _PREFETCH_MISSING or key in pending:
+                hits += 1
+            else:
+                missing_ids.append(entity_id)
+                missing_keys.append(key)
+        accounting["membership_hits"] += hits
+        accounting["membership_misses"] += len(missing_ids)
+        if not missing_ids:
+            return
+        for key in missing_keys:
+            pending[key] = item.data_version
+        # The asynchronous node path is only correct where the serial path
+        # would itself route through the columnar store: the marker-free
+        # ablation (``use_markers=False``) and the scalar baseline
+        # (``use_columnar=False``) must take the processor's own compute
+        # path, exactly like ``processor.pair_degrees`` would.
+        handle = None
+        if attribute is not None and self.processor.use_markers and self.processor.use_columnar:
+            handle = self.sharded_store.request_degrees(
+                self.processor.membership, missing_ids, attribute, phrase
+            )
+        if handle is None:
+            # No asynchronous path (text retrieval, or no columnar kernel):
+            # compute inline — the exact computation the serial path runs —
+            # and fill the cache immediately.
+            values = compute(missing_ids)
+            self.membership_cache.put_many(list(zip(missing_keys, values)))
+            return
+        # When the fan-out covers the whole candidate set (a cold pair),
+        # its collected values *are* the pair's vector: remember enough to
+        # pre-fill the vector memo at absorb time, sparing the first
+        # per-entity walk too.
+        memo_fill = pair_key if len(missing_ids) == len(unique_ids) else None
+        item.handles.append((missing_keys, handle, memo_fill, unique_ids))
+
+    def _absorb_prefetch(self, item: _PrefetchedQuery) -> None:
+        """Land one windowed query's fan-out results in the membership cache.
+
+        Values from a superseded ``data_version`` are discarded unfilled —
+        the following ``execute`` recomputes against current data — and
+        node-loss errors are swallowed for superseded requests only; for a
+        current-version request they surface exactly as the serial path's
+        :class:`~repro.serving.protocol.WorkerCrashedError` would.
+        """
+        for keys, handle, memo_fill, unique_ids in item.handles:
+            stale = self.database.data_version != handle.data_version
+            try:
+                values = self.sharded_store.collect_degrees(handle)
+            except RpcError:
+                if stale:
+                    continue
+                raise
+            if not stale:
+                self.membership_cache.put_many(list(zip(keys, values)))
+                if memo_fill is not None and self._vector_memo is not None:
+                    self._vector_memo[memo_fill] = (list(unique_ids), values)
+
+    # ----------------------------------------------------------- statistics
+    def stats_snapshot(self) -> dict[str, object]:
+        """Serving counters plus cluster fan-out and per-node statistics."""
+        snapshot = super().stats_snapshot()
+        snapshot["num_nodes"] = self.num_nodes
+        snapshot["max_inflight_queries"] = self.max_inflight_queries
+        if self.sharded_store is not None:
+            snapshot["nodes"] = self.sharded_store.partition_stats()
+        return snapshot
+
+
+def start_local_node(
+    membership: object,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    node_id: int = 0,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    cache_size: int | None = DEFAULT_WORKER_CACHE_SIZE,
+) -> tuple[ShardNodeServer, "object"]:
+    """Start a :class:`ShardNodeServer` on a daemon thread; returns (server, thread).
+
+    The convenience entry point for examples and tests that want an
+    in-process node reachable over real TCP: bind, serve in the
+    background, read ``server.address``, and hand the address to
+    :class:`ClusterQueryEngine` via ``addresses=[...]``.  Stop it with
+    ``server.stop()`` (after closing the engine, so the node is not
+    mid-request).
+    """
+    server = ShardNodeServer(
+        node_id=node_id,
+        membership=membership,
+        max_frame_bytes=max_frame_bytes,
+        cache_size=cache_size,
+    )
+    server.bind(host, port)
+    thread = threading.Thread(
+        target=server.serve_forever, name=f"repro-cluster-node-{node_id}", daemon=True
+    )
+    thread.start()
+    return server, thread

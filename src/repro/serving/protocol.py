@@ -1,0 +1,342 @@
+"""The shard-service wire protocol: one definition for every transport.
+
+PR 4 introduced a length-prefixed binary frame protocol between the query
+coordinator and shard workers over local socketpairs; the cluster transport
+(:mod:`repro.serving.cluster`) speaks the very same frames over TCP.  This
+module is the single home of everything both transports share, so the
+socketpair and TCP paths can never drift apart:
+
+* **framing** — :func:`send_frame` / :func:`recv_frame`: every message is a
+  4-byte big-endian payload length followed by that many payload bytes,
+  with frames above a configured ceiling refused on both ends *before* any
+  allocation;
+* **payload codec** — :class:`Reader` (sequential field reads over one
+  payload) and the ``pack``/``encode`` helpers; all integers are
+  big-endian, all arrays use the canonical big-endian wire dtypes, so the
+  protocol is well-defined across machines and the f64 byte swap is
+  lossless (degree bits survive the round trip);
+* **request/response constants** — the one-byte opcodes and statuses used
+  by every shard service (``score``, ``invalidate``, ``stats``,
+  ``shutdown``, plus the cluster-only ``hello`` and ``hydrate``);
+* **handshake** — the versioned ``hello`` exchange of the TCP transport: a
+  connecting coordinator announces its protocol version and
+  ``data_version``; the node acknowledges with its own version, the
+  version of the snapshot it is hydrated against, and the slice ids it
+  owns.  Version skew is a typed :class:`HandshakeError`, never a hang or
+  a silently misinterpreted stream;
+* **errors** — the transport error hierarchy (:class:`RpcError`,
+  :class:`FrameTooLargeError`, :class:`WorkerCrashedError`,
+  :class:`HandshakeError`) shared by all shard-service layers.
+
+:mod:`repro.serving.rpc` re-exports all of this under its original names,
+so code (and pickles of it) written against PR 4 keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+#: Version of the frame/handshake protocol this build speaks.  Bumped on
+#: any wire-visible change; the ``hello`` handshake refuses mismatches.
+PROTOCOL_VERSION = 1
+
+#: Default ceiling on one frame's payload size (requests and responses).
+#: Generous for degree vectors (8 bytes per entity) while still refusing a
+#: corrupt or hostile length prefix before allocating anything.  Column
+#: snapshots travel in ``hydrate`` frames, so cluster deployments with very
+#: large attribute slices may need to raise it.
+DEFAULT_MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+OP_SCORE = 1
+OP_INVALIDATE = 2
+OP_STATS = 3
+OP_SHUTDOWN = 4
+OP_HELLO = 5
+OP_HYDRATE = 6
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+
+_U8 = struct.Struct("!B")
+_U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
+_HEADER = _U32
+
+#: Canonical wire dtypes: big-endian, so the protocol stays well-defined
+#: across machines.  The byte swap is lossless, so degree bits survive the
+#: round trip.
+WIRE_F64 = ">f8"
+WIRE_U32 = ">u4"
+
+
+class RpcError(ExecutionError):
+    """A shard-service RPC failed (transport fault or worker-side error)."""
+
+
+class FrameTooLargeError(RpcError):
+    """A frame exceeded the configured maximum payload size."""
+
+
+class WorkerCrashedError(RpcError):
+    """A shard worker/node died (or closed its socket) mid-request."""
+
+
+class HandshakeError(RpcError):
+    """The versioned ``hello`` handshake failed (skew or a malformed reply)."""
+
+
+# --------------------------------------------------------------------------
+# Frame transport
+# --------------------------------------------------------------------------
+
+def send_frame(sock: socket.socket, payload: bytes, max_frame_bytes: int) -> None:
+    """Write one length-prefixed frame, refusing oversized payloads locally.
+
+    The send-side check means a misconfigured caller fails fast instead of
+    making the peer drop the connection after reading the length prefix.
+    """
+    if len(payload) > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"refusing to send a {len(payload)}-byte frame "
+            f"(limit {max_frame_bytes} bytes)"
+        )
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def frame_bytes(payload: bytes, max_frame_bytes: int) -> bytes:
+    """``payload`` as one wire-ready frame (header + payload), size-checked.
+
+    The buffered cluster transport appends frames to per-node output
+    buffers instead of writing them to a socket immediately;
+    this is its :func:`send_frame` analog.
+    """
+    if len(payload) > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"refusing to queue a {len(payload)}-byte frame "
+            f"(limit {max_frame_bytes} bytes)"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """``count`` bytes from ``sock``; ``None`` on EOF before the first byte."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise RpcError("connection closed mid-frame")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if chunks else b""
+
+
+def recv_frame(sock: socket.socket, max_frame_bytes: int) -> bytes | None:
+    """Read one length-prefixed frame; ``None`` on clean EOF between frames.
+
+    A length prefix above ``max_frame_bytes`` raises
+    :class:`FrameTooLargeError` *before* any payload allocation — the
+    stream cannot be resynchronised afterwards, so the caller must close
+    the connection.  EOF in the middle of a frame raises :class:`RpcError`.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"peer announced a {length}-byte frame (limit {max_frame_bytes} bytes)"
+        )
+    if length == 0:
+        return b""
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise RpcError("connection closed mid-frame")
+    return payload
+
+
+# --------------------------------------------------------------------------
+# Payload codec
+# --------------------------------------------------------------------------
+
+def pack_str(text: str) -> bytes:
+    """A UTF-8 string field: 4-byte big-endian length + bytes."""
+    data = text.encode("utf-8")
+    return _U32.pack(len(data)) + data
+
+
+class Reader:
+    """Sequential field reader over one frame payload."""
+
+    def __init__(self, payload: bytes) -> None:
+        self._view = memoryview(payload)
+        self._offset = 0
+
+    def _take(self, count: int) -> memoryview:
+        start, end = self._offset, self._offset + count
+        if end > len(self._view):
+            raise RpcError("truncated frame payload")
+        self._offset = end
+        return self._view[start:end]
+
+    @property
+    def remaining(self) -> int:
+        """Bytes left to read in the payload."""
+        return len(self._view) - self._offset
+
+    def read_u8(self) -> int:
+        """One unsigned byte."""
+        return _U8.unpack(self._take(_U8.size))[0]
+
+    def read_u32(self) -> int:
+        """One big-endian unsigned 32-bit integer."""
+        return _U32.unpack(self._take(_U32.size))[0]
+
+    def read_u64(self) -> int:
+        """One big-endian unsigned 64-bit integer."""
+        return _U64.unpack(self._take(_U64.size))[0]
+
+    def read_str(self) -> str:
+        """One length-prefixed UTF-8 string."""
+        return bytes(self._take(self.read_u32())).decode("utf-8")
+
+    def read_bytes(self) -> bytes:
+        """One length-prefixed opaque byte field."""
+        return bytes(self._take(self.read_u32()))
+
+    def read_rest(self) -> bytes:
+        """Every byte left in the payload (may be empty)."""
+        offset = self._offset
+        self._offset = len(self._view)
+        return bytes(self._view[offset:])
+
+    def read_u32_array(self, count: int) -> list[int]:
+        """``count`` big-endian u32 values as a plain int list."""
+        data = self._take(4 * count)
+        return np.frombuffer(data, dtype=WIRE_U32).astype(np.intp).tolist()
+
+    def read_f64_array(self, count: int) -> np.ndarray:
+        """``count`` big-endian f64 values as a native float64 array."""
+        data = self._take(8 * count)
+        return np.frombuffer(data, dtype=WIRE_F64).astype(np.float64)
+
+
+def encode_score_request(
+    slice_id: int,
+    attribute: str,
+    phrase: str,
+    start: int,
+    stop: int,
+    rows: Sequence[int] | None,
+) -> bytes:
+    """The ``score`` request frame: one slice's scoring work, indices only.
+
+    ``rows`` (slice-relative, ``None`` for a full-slice pass) mirrors the
+    in-process sparse-gather heuristic.  Arrays never travel — the worker
+    resolves ``(attribute, start, stop, rows)`` against its own rebuilt or
+    hydrated columns, exactly like the PR 3 process backend's payloads.
+    """
+    parts = [
+        _U8.pack(OP_SCORE),
+        _U32.pack(slice_id),
+        pack_str(attribute),
+        pack_str(phrase),
+        _U32.pack(start),
+        _U32.pack(stop),
+    ]
+    if rows is None:
+        parts.append(_U8.pack(0))
+    else:
+        parts.append(_U8.pack(1))
+        parts.append(_U32.pack(len(rows)))
+        parts.append(np.asarray(rows, dtype=WIRE_U32).tobytes())
+    return b"".join(parts)
+
+
+def encode_error(message: str) -> bytes:
+    """An error response frame transporting ``message`` to the peer."""
+    return _U8.pack(STATUS_ERROR) + pack_str(message)
+
+
+def encode_invalidate_request(data_version: int) -> bytes:
+    """The ``invalidate`` request frame carrying the caller's data version."""
+    return _U8.pack(OP_INVALIDATE) + _U64.pack(data_version)
+
+
+def encode_hydrate_request(snapshot_bytes: bytes) -> bytes:
+    """The ``hydrate`` request frame shipping one packed column snapshot.
+
+    The snapshot (:class:`repro.core.columnar.ColumnSnapshot`) is
+    self-describing — attribute, slice id, row range, data version and a
+    checksum all live inside ``snapshot_bytes`` — so the frame is just the
+    opcode plus the opaque payload.
+    """
+    return _U8.pack(OP_HYDRATE) + snapshot_bytes
+
+
+# --------------------------------------------------------------------------
+# The versioned hello handshake (TCP transport)
+# --------------------------------------------------------------------------
+
+def encode_hello(protocol_version: int, data_version: int) -> bytes:
+    """The coordinator's ``hello``: its protocol version and data version.
+
+    The first frame on every new TCP connection.  The node refuses any
+    other opcode first, and refuses a protocol version other than its own
+    with a transported error — so skew is always a typed failure.
+    """
+    return _U8.pack(OP_HELLO) + _U32.pack(protocol_version) + _U64.pack(data_version)
+
+
+def encode_hello_ack(
+    protocol_version: int, data_version: int, owned_slice_ids: Sequence[int]
+) -> bytes:
+    """The node's ``hello`` acknowledgement.
+
+    Carries the node's protocol version, the ``data_version`` of the
+    snapshot its hydrated slices were packed from (0 before any
+    hydration), and the slice ids it currently owns.
+    """
+    return (
+        _U8.pack(STATUS_OK)
+        + _U32.pack(protocol_version)
+        + _U64.pack(data_version)
+        + _U32.pack(len(owned_slice_ids))
+        + np.asarray(list(owned_slice_ids), dtype=WIRE_U32).tobytes()
+    )
+
+
+def read_hello_ack(payload: bytes) -> tuple[int, int, list[int]]:
+    """Decode a ``hello`` acknowledgement; typed errors, never a hang.
+
+    Returns ``(protocol_version, data_version, owned_slice_ids)``.  A
+    transported node-side error or a protocol version other than
+    :data:`PROTOCOL_VERSION` raises :class:`HandshakeError`; a malformed
+    (truncated) acknowledgement does too.
+    """
+    try:
+        reader = Reader(payload)
+        status = reader.read_u8()
+        if status != STATUS_OK:
+            raise HandshakeError(f"node refused the handshake: {reader.read_str()}")
+        version = reader.read_u32()
+        if version != PROTOCOL_VERSION:
+            raise HandshakeError(
+                f"protocol version mismatch: node speaks {version}, "
+                f"coordinator speaks {PROTOCOL_VERSION}"
+            )
+        data_version = reader.read_u64()
+        owned = reader.read_u32_array(reader.read_u32())
+    except HandshakeError:
+        raise
+    except RpcError as error:
+        raise HandshakeError(f"malformed hello acknowledgement ({error})") from error
+    return version, data_version, owned

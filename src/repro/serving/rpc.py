@@ -56,9 +56,12 @@ Because worker slices are rebuilt deterministically from the same snapshot
 the coordinator's own base store reads, every shipped kernel result is
 bit-identical to an in-process pass — the differential suite pins
 rankings, scores and degrees of :class:`CoordinatorQueryEngine` exactly
-equal to the unsharded engine across worker counts {1, 2, 4}.  Scaling
-across machines from here is a transport swap (TCP for the socketpair),
-not a rewrite.
+equal to the unsharded engine across worker counts {1, 2, 4}.
+
+The frame codec, opcodes and error types now live in
+:mod:`repro.serving.protocol` (one definition shared with the TCP cluster
+transport of :mod:`repro.serving.cluster`); this module re-exports them
+under their original names for backwards compatibility.
 """
 
 from __future__ import annotations
@@ -67,7 +70,6 @@ import json
 import multiprocessing
 import os
 import socket
-import struct
 from typing import Hashable, Sequence
 
 import numpy as np
@@ -85,195 +87,48 @@ from repro.core.database import SubjectiveDatabase
 from repro.core.processor import SubjectiveQueryProcessor
 from repro.errors import ExecutionError
 from repro.serving.cache import PartitionedLRUCache
+from repro.serving.protocol import (
+    DEFAULT_MAX_FRAME_BYTES as DEFAULT_MAX_FRAME_BYTES,
+)
+from repro.serving.protocol import (
+    OP_INVALIDATE,
+    OP_SCORE,
+    OP_SHUTDOWN,
+    OP_STATS,
+    STATUS_ERROR,
+    STATUS_OK,
+    FrameTooLargeError,
+    Reader,
+    RpcError,
+    WorkerCrashedError,
+    encode_error,
+    encode_score_request,
+    pack_str,
+    recv_frame,
+    send_frame,
+)
+from repro.serving.protocol import (
+    WIRE_F64 as _WIRE_F64,
+)
+from repro.serving.protocol import (
+    _HEADER,
+    _U8,
+    _U32,
+    _U64,
+)
 from repro.serving.sharded import (
     ShardedSubjectiveQueryEngine,
     default_num_shards,
     partition_bounds,
 )
 
-#: Default ceiling on one frame's payload size (requests and responses).
-#: Generous for degree vectors (8 bytes per entity) while still refusing a
-#: corrupt or hostile length prefix before allocating anything.
-DEFAULT_MAX_FRAME_BYTES = 16 * 1024 * 1024
-
 #: Default per-worker bound on memoised slice degree vectors.
 DEFAULT_WORKER_CACHE_SIZE = 4096
 
-OP_SCORE = 1
-OP_INVALIDATE = 2
-OP_STATS = 3
-OP_SHUTDOWN = 4
-
-STATUS_OK = 0
-STATUS_ERROR = 1
-
-_U8 = struct.Struct("!B")
-_U32 = struct.Struct("!I")
-_U64 = struct.Struct("!Q")
-_HEADER = _U32
-
-#: Canonical wire dtypes: big-endian, so the protocol stays well-defined
-#: when the socketpair is one day swapped for a cross-machine transport.
-#: The byte swap is lossless, so degree bits survive the round trip.
-_WIRE_F64 = ">f8"
-_WIRE_U32 = ">u4"
-
-
-class RpcError(ExecutionError):
-    """A shard-service RPC failed (transport fault or worker-side error)."""
-
-
-class FrameTooLargeError(RpcError):
-    """A frame exceeded the configured maximum payload size."""
-
-
-class WorkerCrashedError(RpcError):
-    """A shard worker died (or closed its socket) with a request in flight."""
-
-
-# --------------------------------------------------------------------------
-# Frame transport
-# --------------------------------------------------------------------------
-
-def send_frame(sock: socket.socket, payload: bytes, max_frame_bytes: int) -> None:
-    """Write one length-prefixed frame, refusing oversized payloads locally.
-
-    The send-side check means a misconfigured caller fails fast instead of
-    making the peer drop the connection after reading the length prefix.
-    """
-    if len(payload) > max_frame_bytes:
-        raise FrameTooLargeError(
-            f"refusing to send a {len(payload)}-byte frame "
-            f"(limit {max_frame_bytes} bytes)"
-        )
-    sock.sendall(_HEADER.pack(len(payload)) + payload)
-
-
-def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
-    """``count`` bytes from ``sock``; ``None`` on EOF before the first byte."""
-    chunks: list[bytes] = []
-    remaining = count
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            if chunks:
-                raise RpcError("connection closed mid-frame")
-            return None
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks) if chunks else b""
-
-
-def recv_frame(sock: socket.socket, max_frame_bytes: int) -> bytes | None:
-    """Read one length-prefixed frame; ``None`` on clean EOF between frames.
-
-    A length prefix above ``max_frame_bytes`` raises
-    :class:`FrameTooLargeError` *before* any payload allocation — the
-    stream cannot be resynchronised afterwards, so the caller must close
-    the connection.  EOF in the middle of a frame raises :class:`RpcError`.
-    """
-    header = _recv_exact(sock, _HEADER.size)
-    if header is None:
-        return None
-    (length,) = _HEADER.unpack(header)
-    if length > max_frame_bytes:
-        raise FrameTooLargeError(
-            f"peer announced a {length}-byte frame (limit {max_frame_bytes} bytes)"
-        )
-    if length == 0:
-        return b""
-    payload = _recv_exact(sock, length)
-    if payload is None:
-        raise RpcError("connection closed mid-frame")
-    return payload
-
-
-# --------------------------------------------------------------------------
-# Payload codec
-# --------------------------------------------------------------------------
-
-def _pack_str(text: str) -> bytes:
-    """A UTF-8 string field: 4-byte big-endian length + bytes."""
-    data = text.encode("utf-8")
-    return _U32.pack(len(data)) + data
-
-
-class _Reader:
-    """Sequential field reader over one frame payload."""
-
-    def __init__(self, payload: bytes) -> None:
-        self._view = memoryview(payload)
-        self._offset = 0
-
-    def _take(self, count: int) -> memoryview:
-        start, end = self._offset, self._offset + count
-        if end > len(self._view):
-            raise RpcError("truncated frame payload")
-        self._offset = end
-        return self._view[start:end]
-
-    def read_u8(self) -> int:
-        """One unsigned byte."""
-        return _U8.unpack(self._take(_U8.size))[0]
-
-    def read_u32(self) -> int:
-        """One big-endian unsigned 32-bit integer."""
-        return _U32.unpack(self._take(_U32.size))[0]
-
-    def read_u64(self) -> int:
-        """One big-endian unsigned 64-bit integer."""
-        return _U64.unpack(self._take(_U64.size))[0]
-
-    def read_str(self) -> str:
-        """One length-prefixed UTF-8 string."""
-        return bytes(self._take(self.read_u32())).decode("utf-8")
-
-    def read_u32_array(self, count: int) -> list[int]:
-        """``count`` big-endian u32 values as a plain int list."""
-        data = self._take(4 * count)
-        return np.frombuffer(data, dtype=_WIRE_U32).astype(np.intp).tolist()
-
-    def read_f64_array(self, count: int) -> np.ndarray:
-        """``count`` big-endian f64 values as a native float64 array."""
-        data = self._take(8 * count)
-        return np.frombuffer(data, dtype=_WIRE_F64).astype(np.float64)
-
-
-def encode_score_request(
-    slice_id: int,
-    attribute: str,
-    phrase: str,
-    start: int,
-    stop: int,
-    rows: Sequence[int] | None,
-) -> bytes:
-    """The ``score`` request frame: one slice's scoring work, indices only.
-
-    ``rows`` (slice-relative, ``None`` for a full-slice pass) mirrors the
-    in-process sparse-gather heuristic.  Arrays never travel — the worker
-    resolves ``(attribute, start, stop, rows)`` against its own rebuilt
-    columns, exactly like the PR 3 process backend's payloads.
-    """
-    parts = [
-        _U8.pack(OP_SCORE),
-        _U32.pack(slice_id),
-        _pack_str(attribute),
-        _pack_str(phrase),
-        _U32.pack(start),
-        _U32.pack(stop),
-    ]
-    if rows is None:
-        parts.append(_U8.pack(0))
-    else:
-        parts.append(_U8.pack(1))
-        parts.append(_U32.pack(len(rows)))
-        parts.append(np.asarray(rows, dtype=_WIRE_U32).tobytes())
-    return b"".join(parts)
-
-
-def _encode_error(message: str) -> bytes:
-    """An error response frame transporting ``message`` to the peer."""
-    return _U8.pack(STATUS_ERROR) + _pack_str(message)
+#: Backwards-compatible aliases for the pre-extraction private names.
+_Reader = Reader
+_pack_str = pack_str
+_encode_error = encode_error
 
 
 # --------------------------------------------------------------------------
@@ -477,12 +332,18 @@ class ShardServiceClient:
         sock: socket.socket,
         owned_slice_ids: Sequence[int],
         max_frame_bytes: int,
+        counters: dict[str, int] | None = None,
     ) -> None:
         self.index = index
         self.process = process
         self.sock = sock
         self.owned_slice_ids = list(owned_slice_ids)
         self.max_frame_bytes = max_frame_bytes
+        # Per-worker transport counters; the store shares one dict per
+        # worker index across respawns so the statistics survive the fleet.
+        if counters is None:
+            counters = {"requests": 0, "bytes_sent": 0, "bytes_received": 0}
+        self.counters = counters
 
     @property
     def alive(self) -> bool:
@@ -503,6 +364,8 @@ class ShardServiceClient:
             raise
         except OSError as error:
             raise self._crashed(f"is unreachable ({error})") from error
+        self.counters["requests"] += 1
+        self.counters["bytes_sent"] += _HEADER.size + len(payload)
 
     def read_ok(self) -> _Reader:
         """Read one response frame, raising transported worker errors."""
@@ -514,6 +377,7 @@ class ShardServiceClient:
             raise self._crashed(f"died mid-request ({error})") from error
         if payload is None:
             raise self._crashed("closed its connection with a request in flight")
+        self.counters["bytes_received"] += _HEADER.size + len(payload)
         reader = _Reader(payload)
         if reader.read_u8() == STATUS_ERROR:
             raise RpcError(f"shard worker {self.index}: {reader.read_str()}")
@@ -622,6 +486,12 @@ class RpcShardStore:
         self.respawns = 0
         self.fanouts = 0  # sharded kernel passes (one per predicate computation)
         self.rpc_requests = 0  # individual score requests shipped to workers
+        # Per-worker transport counters, shared with the client handles and
+        # kept across respawns so partition_stats() describes the lifetime.
+        self._worker_counters = [
+            {"requests": 0, "bytes_sent": 0, "bytes_received": 0, "respawns": 0}
+            for _ in range(num_workers)
+        ]
 
     # ------------------------------------------------------------ lifecycle
     @property
@@ -709,8 +579,16 @@ class RpcShardStore:
             )
             process.start()
             child_sock.close()
+            self._worker_counters[index]["respawns"] += 1
             clients.append(
-                ShardServiceClient(index, process, parent_sock, owned, self.max_frame_bytes)
+                ShardServiceClient(
+                    index,
+                    process,
+                    parent_sock,
+                    owned,
+                    self.max_frame_bytes,
+                    counters=self._worker_counters[index],
+                )
             )
         self._workers = clients
         self._membership = membership
@@ -830,6 +708,47 @@ class RpcShardStore:
             except RpcError:
                 continue
         return stats
+
+    def partition_stats(self) -> list[dict[str, object]]:
+        """One dict per worker: transport counters plus worker cache activity.
+
+        Transport counters (``requests``, ``bytes_sent``, ``bytes_received``,
+        ``respawns``) are tracked coordinator-side and survive fleet
+        respawns.  For live, reachable workers the dict additionally merges
+        the worker's own ``stats()`` RPC result (cache entries and
+        per-partition hit counts as ``cache_hits``); dead workers report
+        transport counters only — the statistics surface must stay usable
+        while a crash is being handled.
+        """
+        by_index = {client.index: client for client in self._workers}
+        stats: list[dict[str, object]] = []
+        for index, counters in enumerate(self._worker_counters):
+            entry: dict[str, object] = {"worker": index, **counters}
+            client = by_index.get(index)
+            entry["alive"] = bool(client is not None and client.alive)
+            if client is not None and client.alive:
+                try:
+                    remote = client.stats()
+                except RpcError:
+                    remote = None
+                if remote is not None:
+                    entry["cache_entries"] = remote.get("cache_entries")
+                    entry["cache_hits"] = sum(
+                        int(partition.get("hits", 0))
+                        for partition in remote.get("cache_partitions", [])
+                    )
+                    entry["owned_slices"] = remote.get("owned_slices")
+            stats.append(entry)
+        return stats
+
+    def transport_counters(self) -> dict[str, int]:
+        """Aggregate RPC transport counters (surfaced in ``run_batch`` stats)."""
+        return {
+            "rpc_requests": sum(c["requests"] for c in self._worker_counters),
+            "rpc_bytes_sent": sum(c["bytes_sent"] for c in self._worker_counters),
+            "rpc_bytes_received": sum(c["bytes_received"] for c in self._worker_counters),
+            "worker_respawns": sum(c["respawns"] for c in self._worker_counters),
+        }
 
     def stats_snapshot(self) -> dict[str, object]:
         """Coordinator counters plus the wrapped base store's snapshot."""

@@ -873,6 +873,38 @@ class ShardedSubjectiveQueryEngine(SubjectiveQueryEngine):
         return QueryResult(sql=sql, entities=entities, interpretations=plan.interpretations)
 
     # ----------------------------------------------------------- statistics
+    def _cache_counters(self) -> dict[str, int]:
+        """Cache counters plus the installed store's transport counters.
+
+        The hook that puts per-fleet RPC activity into ``run_batch``
+        statistics: stores with a service boundary (the socketpair RPC
+        store, the TCP cluster store) expose ``transport_counters()`` —
+        request/byte/reconnect totals — and ``run_batch`` reports their
+        batch-local deltas alongside the cache hit/miss deltas.
+        """
+        counters = super()._cache_counters()
+        store = self.sharded_store
+        transport = getattr(store, "transport_counters", None)
+        if transport is not None:
+            counters.update(transport())
+        return counters
+
+    def partition_stats(self) -> list[dict[str, object]]:
+        """Per-partition serving statistics: one dict per shard/worker/node.
+
+        For the in-process sharded engine these are the membership cache's
+        per-shard partitions; engines whose store puts shards behind a
+        service boundary override the *store* side — a store exposing its
+        own ``partition_stats()`` (per-worker/per-node RPC counters:
+        requests, bytes, cache hits, reconnects) takes precedence here, so
+        operators see the fleet, not just the local cache.
+        """
+        store = self.sharded_store
+        stats = getattr(store, "partition_stats", None)
+        if stats is not None:
+            return stats()
+        return self.membership_cache.partition_stats()
+
     def stats_snapshot(self) -> dict[str, object]:
         """Serving counters plus shard count, backend and per-partition cache stats."""
         snapshot = super().stats_snapshot()

@@ -12,6 +12,7 @@ from __future__ import annotations
 import string
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -297,3 +298,216 @@ class TestFuzzyArrayConnectives:
         negated = logic.negation_array(np.array(values))
         for index, value in enumerate(values):
             assert negated[index] == logic.negation(value)
+
+
+class TestFrameCodecRoundTrip:
+    """Frame codec properties: round trips are exact, damage is typed.
+
+    The length-prefixed frame protocol (shared by the socketpair RPC layer
+    and the TCP cluster transport through ``repro.serving.protocol``) must
+    deliver arbitrary payload sequences byte-exactly, refuse oversized
+    announcements before allocating, and raise a typed ``RpcError`` — never
+    hang or resynchronise silently — on any truncation.
+    """
+
+    payloads = st.lists(st.binary(min_size=0, max_size=512), min_size=1, max_size=6)
+
+    @given(payloads)
+    @settings(max_examples=40, deadline=None)
+    def test_frame_sequences_round_trip(self, frames):
+        import socket as socket_module
+
+        from repro.serving.protocol import recv_frame, send_frame
+
+        left, right = socket_module.socketpair()
+        try:
+            for payload in frames:
+                send_frame(left, payload, 1024)
+            for payload in frames:
+                assert recv_frame(right, 1024) == payload
+            left.close()
+            assert recv_frame(right, 1024) is None  # clean EOF
+        finally:
+            left.close()
+            right.close()
+
+    @given(st.binary(min_size=1, max_size=256), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_is_typed_never_silent(self, payload, data):
+        import socket as socket_module
+        import struct as struct_module
+
+        from repro.serving.protocol import RpcError, recv_frame
+
+        wire = struct_module.pack("!I", len(payload)) + payload
+        cut = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+        left, right = socket_module.socketpair()
+        try:
+            left.sendall(wire[:cut])
+            left.close()
+            if cut == 0:
+                assert recv_frame(right, 1024) is None
+            else:
+                with pytest.raises(RpcError):
+                    recv_frame(right, 1024)
+        finally:
+            right.close()
+
+    @given(st.text(min_size=1, max_size=32), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_reader_rejects_truncated_string_fields(self, text, data):
+        from repro.serving.protocol import Reader, RpcError, pack_str
+
+        packed = pack_str(text)
+        cut = data.draw(st.integers(min_value=0, max_value=len(packed) - 1))
+        with pytest.raises(RpcError):
+            Reader(packed[:cut]).read_str()
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.text(min_size=0, max_size=32),
+        st.text(min_size=0, max_size=32),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.one_of(st.none(), st.lists(st.integers(min_value=0, max_value=10_000), max_size=32)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_score_request_fields_round_trip(self, slice_id, attribute, phrase, start, stop, rows):
+        from repro.serving.protocol import OP_SCORE, Reader, encode_score_request
+
+        reader = Reader(encode_score_request(slice_id, attribute, phrase, start, stop, rows))
+        assert reader.read_u8() == OP_SCORE
+        assert reader.read_u32() == slice_id
+        assert reader.read_str() == attribute
+        assert reader.read_str() == phrase
+        assert reader.read_u32() == start
+        assert reader.read_u32() == stop
+        if rows is None:
+            assert reader.read_u8() == 0
+        else:
+            assert reader.read_u8() == 1
+            assert reader.read_u32_array(reader.read_u32()) == rows
+        assert reader.remaining == 0
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**64 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_version_mismatch_hello_is_typed(self, skew, data_version):
+        from repro.serving.protocol import (
+            PROTOCOL_VERSION,
+            HandshakeError,
+            encode_hello_ack,
+            read_hello_ack,
+        )
+
+        ack = encode_hello_ack(PROTOCOL_VERSION, data_version, [0, 1])
+        assert read_hello_ack(ack) == (PROTOCOL_VERSION, data_version, [0, 1])
+        if skew != PROTOCOL_VERSION:
+            with pytest.raises(HandshakeError):
+                read_hello_ack(encode_hello_ack(skew, data_version, []))
+        # A truncated acknowledgement is typed too, never a hang.
+        with pytest.raises(HandshakeError):
+            read_hello_ack(ack[: len(ack) - 3])
+
+
+class TestColumnSnapshotRoundTrip:
+    """Column snapshots: pack/unpack is bit-exact, corruption is typed.
+
+    The cluster hydration path rests on two properties checked here over
+    randomized array contents: determinism (same state, same bytes — twice
+    packed is byte-equal) with a bit-exact array round trip, and integrity
+    (any single flipped byte, truncation, or version skew raises a typed
+    ``SnapshotError``, never unpacks silently-wrong arrays).
+    """
+
+    shapes = st.tuples(
+        st.integers(min_value=0, max_value=7),   # entities
+        st.integers(min_value=1, max_value=5),   # markers
+        st.integers(min_value=0, max_value=6),   # embedding dimension
+    )
+    finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+    def _random_snapshot(self, draw_shape, data):
+        from repro.core.columnar import AttributeColumns, ColumnSnapshot
+        from repro.core.markers import Marker
+
+        num_entities, num_markers, dimension = draw_shape
+
+        def array(shape):
+            count = int(np.prod(shape)) if shape else 1
+            values = data.draw(
+                st.lists(self.finite, min_size=count, max_size=count)
+            )
+            return np.array(values, dtype=np.float64).reshape(shape)
+
+        entity_ids = [f"e{index}" for index in range(num_entities)]
+        columns = AttributeColumns(
+            attribute="quality",
+            entity_ids=entity_ids,
+            row_of={entity_id: row for row, entity_id in enumerate(entity_ids)},
+            markers=[Marker(f"m{index}", index, 0.1 * index) for index in range(num_markers)],
+            marker_sentiments=array((num_markers,)),
+            fractions=array((num_entities, num_markers)),
+            average_sentiments=array((num_entities, num_markers)),
+            totals=array((num_entities,)),
+            unmatched=array((num_entities,)),
+            overall_sentiments=array((num_entities,)),
+            centroids_unit=array((num_entities, num_markers, dimension)),
+            name_units=array((num_markers, dimension)),
+        )
+        version = data.draw(st.integers(min_value=0, max_value=2**63))
+        return ColumnSnapshot.of_slice(columns, 3, 0, num_entities, version)
+
+    @given(shapes, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_pack_unpack_bit_exact_and_deterministic(self, shape, data):
+        from repro.core.columnar import ColumnSnapshot
+
+        snapshot = self._random_snapshot(shape, data)
+        blob = snapshot.pack()
+        assert snapshot.pack() == blob  # deterministic bytes
+        back = ColumnSnapshot.unpack(blob)
+        assert back.data_version == snapshot.data_version
+        assert (back.slice_id, back.start, back.stop) == (3, 0, shape[0])
+        assert back.columns.entity_ids == snapshot.columns.entity_ids
+        assert back.columns.markers == snapshot.columns.markers
+        for name in (
+            "marker_sentiments",
+            "fractions",
+            "average_sentiments",
+            "totals",
+            "unmatched",
+            "overall_sentiments",
+            "centroids_unit",
+            "name_units",
+        ):
+            packed = getattr(snapshot.columns, name)
+            unpacked = getattr(back.columns, name)
+            assert unpacked.shape == packed.shape, name
+            assert (unpacked == packed).all(), name
+
+    @given(shapes, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_any_single_byte_flip_is_typed_error(self, shape, data):
+        from repro.core.columnar import ColumnSnapshot
+        from repro.errors import SnapshotError
+
+        blob = bytearray(self._random_snapshot(shape, data).pack())
+        position = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        blob[position] ^= flip
+        with pytest.raises(SnapshotError):
+            ColumnSnapshot.unpack(bytes(blob))
+
+    @given(shapes, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_any_truncation_is_typed_error(self, shape, data):
+        from repro.core.columnar import ColumnSnapshot
+        from repro.errors import SnapshotError
+
+        blob = self._random_snapshot(shape, data).pack()
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        with pytest.raises(SnapshotError):
+            ColumnSnapshot.unpack(blob[:cut])
