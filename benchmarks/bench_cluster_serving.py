@@ -146,6 +146,12 @@ def test_cluster_concurrent_coordinator_speedup(synthetic_database):
                     == expected_entity.predicate_degrees
                 )
 
+        # Round once and use the same figures in the printed table and the
+        # committed JSON, so the report and BENCH_cluster.json can never
+        # drift apart (the CHANGES-vs-JSON mismatch this PR reconciles).
+        serial_reported = round(serial_qps, 2)
+        concurrent_reported = round(concurrent_qps, 2)
+        speedup_reported = round(speedup, 2)
         table = ExperimentTable(
             title=(
                 f"Cluster concurrent coordinator ({len(database)} entities, "
@@ -153,9 +159,9 @@ def test_cluster_concurrent_coordinator_speedup(synthetic_database):
             ),
             columns=["coordinator", "qps"],
         )
-        table.add_row("serial (window 1)", round(serial_qps, 1))
-        table.add_row(f"concurrent (window {MAX_INFLIGHT})", round(concurrent_qps, 1))
-        table.add_row("speedup", round(speedup, 2))
+        table.add_row("serial (window 1)", serial_reported)
+        table.add_row(f"concurrent (window {MAX_INFLIGHT})", concurrent_reported)
+        table.add_row("speedup", speedup_reported)
         print_result(table.format())
 
         RESULTS_PATH.write_text(
@@ -168,9 +174,9 @@ def test_cluster_concurrent_coordinator_speedup(synthetic_database):
                     "max_inflight_queries": MAX_INFLIGHT,
                     "queries": len(QUERIES),
                     "distinct_queries": len(dict.fromkeys(QUERIES)),
-                    "serial_qps": round(serial_qps, 2),
-                    "concurrent_qps": round(concurrent_qps, 2),
-                    "speedup": round(speedup, 2),
+                    "serial_qps": serial_reported,
+                    "concurrent_qps": concurrent_reported,
+                    "speedup": speedup_reported,
                     "speedup_floor": SPEEDUP_FLOOR,
                     "batch_results_bit_identical": True,
                     "rankings_identical_to_unsharded": True,

@@ -1,0 +1,261 @@
+"""Closed-loop Zipfian load against the serving gateway vs a naive front.
+
+The gateway (PR 6) is the stack's front door: an asyncio server that
+coalesces identical in-flight requests into one shared execution, folds
+concurrent arrivals into ``run_batch`` micro-batches, and bounds its queue
+with typed admission control.  This benchmark measures what that buys a
+serving deployment under the traffic shape it was built for — **Zipfian
+popularity skew** from many concurrent clients (a few queries dominate,
+exactly the regime the plan/membership caches and the coalescing map
+exploit):
+
+* **naive front** — the same gateway process with coalescing and
+  micro-batching disabled (``coalesce=False, batch_window=0,
+  max_batch_size=1``) and one-connection-one-query clients: every request
+  opens a fresh TCP connection and executes privately, the
+  pre-gateway way of putting the engine behind a socket;
+* **gateway** — the default configuration: persistent connections,
+  identical in-flight requests share one execution, concurrent arrivals
+  share one ``run_batch``.
+
+Both fronts drive the **same** :class:`ClusterQueryEngine` (TCP shard
+nodes — the deployment topology the gateway exists for) with the same
+seeded per-client schedules, the coordinator membership cache flushed
+before every timed pass, passes interleaved so both see the same noise
+windows.  Assertions pin the contract from ISSUE 6: every transported
+response **bit-identical** to the serial engine, ≥ 30% of gateway requests
+served via coalescing or micro-batch sharing, zero admission rejections in
+either mode, and gateway throughput ≥ 2× the naive front with ≥ 100
+simulated clients.  Results are recorded in ``BENCH_gateway.json`` at the
+repository root.
+
+Scale knobs: ``REPRO_BENCH_GATEWAY_CLIENTS`` (default 100, floored at
+100), ``REPRO_BENCH_GATEWAY_REQUESTS`` (per client, default 10, floored
+at 5), ``REPRO_BENCH_GATEWAY_ENTITIES`` (default 800, floored at 400) and
+``REPRO_BENCH_GATEWAY_NODES`` (default 2, floored at 2).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.experiments.common import ExperimentTable
+from repro.serving import (
+    AsyncGatewayClient,
+    ClusterQueryEngine,
+    ServingGateway,
+    SubjectiveQueryEngine,
+)
+from repro.testing import build_synthetic_columnar_database, env_int
+
+pytestmark = pytest.mark.slow
+
+NUM_CLIENTS = max(100, env_int("REPRO_BENCH_GATEWAY_CLIENTS", 100))
+REQUESTS_PER_CLIENT = max(5, env_int("REPRO_BENCH_GATEWAY_REQUESTS", 10))
+GATEWAY_ENTITIES = max(400, env_int("REPRO_BENCH_GATEWAY_ENTITIES", 800))
+NUM_NODES = max(2, env_int("REPRO_BENCH_GATEWAY_NODES", 2))
+ZIPF_S = 1.1
+TOP_K = 10
+SPEEDUP_FLOOR = 2.0
+SHARED_FLOOR = 0.3
+PASSES = 3
+PASS_TIMEOUT = 120.0
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_gateway.json"
+
+#: The popularity pool: 32 distinct predicate-pair queries.  Zipfian rank
+#: probabilities over this pool give the head queries most of the traffic
+#: (rank 1 alone draws ~¼ of all requests at s=1.1), which is what makes
+#: coalescing meaningful — and is how real subjective-query traffic skews.
+_QUALITY = [f"word{index:03d}" for index in range(8)]
+_SERVICE = [f"word{index:03d}" for index in range(16, 24)]
+QUERY_POOL = [
+    sql
+    for index in range(8)
+    for sql in (
+        'select * from Entities where '
+        f'"{_QUALITY[index]}" and "{_SERVICE[index]}" limit {TOP_K}',
+        'select * from Entities where '
+        f'"{_QUALITY[index]}" or "{_SERVICE[(index + 1) % 8]}" limit {TOP_K}',
+        'select * from Entities where '
+        f'"{_QUALITY[(index + 3) % 8]}" and not "{_SERVICE[index]}" limit {TOP_K}',
+        'select * from Entities where '
+        f'not "{_QUALITY[index]}" or "{_SERVICE[(index + 5) % 8]}" limit {TOP_K}',
+    )
+][:32]
+
+
+def zipfian_schedules(seed: int) -> list[list[str]]:
+    """One seeded Zipfian request schedule per simulated client.
+
+    Query ``rank`` (0-based) is drawn with probability proportional to
+    ``1 / (rank + 1) ** ZIPF_S`` — the closed-form popularity skew of web
+    and query traffic.  The same seed yields the same schedules, so the
+    naive and gateway passes replay identical traffic.
+    """
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(len(QUERY_POOL))]
+    return [
+        rng.choices(QUERY_POOL, weights=weights, k=REQUESTS_PER_CLIENT)
+        for _ in range(NUM_CLIENTS)
+    ]
+
+
+async def _drive_clients(host, port, schedules, reconnect_per_request):
+    """Closed-loop clients: each awaits its reply before its next request.
+
+    Returns every ``(client, request_index, sql, reply)`` so the caller can
+    check each transported response against the serial engine.
+    """
+
+    async def one_client(schedule):
+        replies = []
+        client = None
+        for sql in schedule:
+            if client is None:
+                client = await AsyncGatewayClient.connect(host, port)
+            replies.append((sql, await client.query(sql)))
+            if reconnect_per_request:
+                await client.close()
+                client = None
+        if client is not None:
+            await client.close()
+        return replies
+
+    nested = await asyncio.gather(*(one_client(schedule) for schedule in schedules))
+    return [pair for replies in nested for pair in replies]
+
+
+def _one_pass(engine, schedules, *, naive: bool):
+    """(queries/s, replies, counters) of one pass with a flushed membership cache.
+
+    Each pass runs a fresh gateway (fresh counters) over the shared engine
+    on its own event loop; the engine's membership cache is flushed first so
+    both fronts pay the same post-flush degree recomputation and the
+    comparison isolates the front's discipline — private per-request
+    executions versus coalesced, micro-batched ones.
+    """
+    engine.membership_cache.clear()
+
+    async def body():
+        if naive:
+            gateway = ServingGateway(
+                engine, coalesce=False, batch_window=0.0, max_batch_size=1
+            )
+        else:
+            gateway = ServingGateway(engine)
+        host, port = await gateway.start()
+        try:
+            started = time.perf_counter()
+            replies = await _drive_clients(
+                host, port, schedules, reconnect_per_request=naive
+            )
+            elapsed = time.perf_counter() - started
+        finally:
+            await gateway.stop()
+        return len(replies) / elapsed, replies, gateway.counters
+
+    return asyncio.run(asyncio.wait_for(body(), timeout=PASS_TIMEOUT))
+
+
+@pytest.fixture(scope="module")
+def synthetic_database():
+    return build_synthetic_columnar_database(num_entities=GATEWAY_ENTITIES, seed=0)
+
+
+def test_gateway_speedup_over_naive_front(synthetic_database):
+    database = synthetic_database
+    serial = SubjectiveQueryEngine(database=database)
+    expected = {sql: serial.execute(sql) for sql in QUERY_POOL}
+    schedules = zipfian_schedules(seed=17)
+    total_requests = sum(len(schedule) for schedule in schedules)
+    engine = ClusterQueryEngine(database=database, num_nodes=NUM_NODES)
+    try:
+        # Untimed warm-up: hydrate the nodes and build plans/candidates so
+        # every timed pass pays exactly the post-flush serving work.
+        for sql in QUERY_POOL:
+            engine.execute(sql)
+
+        naive_qps = gateway_qps = 0.0
+        gateway_counters = None
+        all_replies = []
+        for _ in range(PASSES):
+            qps, replies, _ = _one_pass(engine, schedules, naive=True)
+            naive_qps = max(naive_qps, qps)
+            all_replies.append(replies)
+            qps, replies, counters = _one_pass(engine, schedules, naive=False)
+            if qps > gateway_qps:
+                gateway_qps, gateway_counters = qps, counters
+            all_replies.append(replies)
+        speedup = gateway_qps / naive_qps
+
+        # Every transported response — both fronts, every pass — must be
+        # bit-identical to the serial engine: ids, scores and degrees.
+        for replies in all_replies:
+            assert len(replies) == total_requests
+            for sql, reply in replies:
+                result = expected[sql]
+                assert reply.entity_ids == [str(e.entity_id) for e in result.entities], sql
+                assert reply.scores == [e.score for e in result.entities], sql
+                assert reply.predicate_degrees == [
+                    dict(e.predicate_degrees) for e in result.entities
+                ], sql
+
+        # The sharing contract: under Zipfian skew at this concurrency a
+        # third of requests must ride on someone else's execution.
+        shared_fraction = gateway_counters.shared_requests / gateway_counters.requests
+        assert gateway_counters.rejections == 0  # closed loop never overloads
+
+        table = ExperimentTable(
+            title=(
+                f"Serving gateway under Zipfian load ({len(database)} entities, "
+                f"{NUM_NODES} nodes, {NUM_CLIENTS} clients x {REQUESTS_PER_CLIENT} requests)"
+            ),
+            columns=["front", "qps"],
+        )
+        table.add_row("naive (one-connection-one-query)", round(naive_qps, 1))
+        table.add_row("gateway (coalesce + micro-batch)", round(gateway_qps, 1))
+        table.add_row("speedup", round(speedup, 2))
+        table.add_row("shared fraction", round(shared_fraction, 3))
+        print_result(table.format())
+
+        RESULTS_PATH.write_text(
+            json.dumps(
+                {
+                    "benchmark": "bench_gateway",
+                    "domain": "synthetic",
+                    "entities": len(database),
+                    "num_nodes": NUM_NODES,
+                    "clients": NUM_CLIENTS,
+                    "requests_per_client": REQUESTS_PER_CLIENT,
+                    "requests": total_requests,
+                    "distinct_queries": len(QUERY_POOL),
+                    "zipf_s": ZIPF_S,
+                    "naive_qps": round(naive_qps, 2),
+                    "gateway_qps": round(gateway_qps, 2),
+                    "speedup": round(speedup, 2),
+                    "speedup_floor": SPEEDUP_FLOOR,
+                    "shared_fraction": round(shared_fraction, 3),
+                    "shared_fraction_floor": SHARED_FLOOR,
+                    "responses_bit_identical": True,
+                    "rejections": gateway_counters.rejections,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+
+        assert shared_fraction >= SHARED_FLOOR, (
+            f"only {shared_fraction:.1%} of requests shared an execution"
+        )
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"gateway only {speedup:.2f}x the naive front"
+        )
+    finally:
+        engine.close()

@@ -24,9 +24,16 @@ BENCH_ENTITIES, BENCH_REVIEWS, BENCH_QUERIES = bench_scale()
 
 
 def pytest_collection_modifyitems(items) -> None:
-    """Mark every benchmark test as slow (registered in pyproject.toml)."""
+    """Mark every benchmark test as slow, with a benchmark-sized hang guard.
+
+    Both markers are registered in pyproject.toml.  The 300 s timeout
+    (pytest-timeout) overrides the repository-wide 60 s default: benchmark
+    items build domain setups and run many timed passes, but a stuck pass
+    must still fail the job rather than hang it.
+    """
     for item in items:
         item.add_marker(pytest.mark.slow)
+        item.add_marker(pytest.mark.timeout(300))
 
 
 @pytest.fixture(scope="session")

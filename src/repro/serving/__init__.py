@@ -31,13 +31,20 @@ overlapping queries needs:
   shared in :mod:`repro.serving.protocol`), hydrated from shipped
   :class:`~repro.core.columnar.ColumnSnapshot` bytes instead of fork, a
   versioned ``hello`` handshake, pipelined per-node request queues, and a
-  concurrent ``run_batch`` that overlaps independent queries' fan-outs.
+  concurrent ``run_batch`` that overlaps independent queries' fan-outs;
+* :class:`ServingGateway` / :class:`AsyncGatewayClient` / :class:`GatewayClient`
+  (:mod:`repro.serving.gateway`) — the client-facing front door: an
+  ``asyncio`` server that coalesces identical in-flight requests, folds
+  concurrent arrivals into ``run_batch`` micro-batches, enforces typed
+  admission control (:class:`AdmissionController`), and answers a live
+  ``stats`` opcode even while the engine is saturated.
 
 Every engine produces results identical to the wrapped processor — caches
 only short-circuit recomputation of values the processor would have
-produced, and sharded, RPC or cluster execution reorders work, never
-arithmetic.  ``docs/ARCHITECTURE.md`` documents all five layers, the cache
-hierarchy, and the ``data_version`` invalidation contract in one place.
+produced, and sharded, RPC, cluster or gateway execution reorders work,
+never arithmetic.  ``docs/ARCHITECTURE.md`` documents all six layers, the
+cache hierarchy, and the ``data_version`` invalidation contract in one
+place.
 """
 
 from repro.serving.cache import CacheStats, LRUCache, PartitionedLRUCache
@@ -52,10 +59,21 @@ from repro.serving.engine import (
     ServingStats,
     SubjectiveQueryEngine,
 )
+from repro.serving.gateway import (
+    AdmissionController,
+    AsyncGatewayClient,
+    GatewayClient,
+    GatewayHandle,
+    GatewayReply,
+    ServingGateway,
+    coalescing_key,
+    start_gateway,
+)
 from repro.serving.plans import QueryPlan, normalize_sql
 from repro.serving.protocol import (
     PROTOCOL_VERSION,
     FrameTooLargeError,
+    GatewayOverloadedError,
     HandshakeError,
     RpcError,
     WorkerCrashedError,
@@ -75,12 +93,18 @@ from repro.serving.sharded import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AsyncGatewayClient",
     "BatchResult",
     "CacheStats",
     "ClusterQueryEngine",
     "ClusterShardStore",
     "CoordinatorQueryEngine",
     "FrameTooLargeError",
+    "GatewayClient",
+    "GatewayHandle",
+    "GatewayOverloadedError",
+    "GatewayReply",
     "HandshakeError",
     "LRUCache",
     "PROTOCOL_VERSION",
@@ -88,6 +112,7 @@ __all__ = [
     "QueryPlan",
     "RpcError",
     "RpcShardStore",
+    "ServingGateway",
     "ServingStats",
     "ShardNodeServer",
     "ShardServiceClient",
@@ -96,9 +121,11 @@ __all__ = [
     "ShardedSubjectiveQueryEngine",
     "SubjectiveQueryEngine",
     "WorkerCrashedError",
+    "coalescing_key",
     "default_num_shards",
     "merge_shard_topk",
     "normalize_sql",
     "partition_bounds",
+    "start_gateway",
     "start_local_node",
 ]

@@ -17,7 +17,8 @@ socketpair and TCP paths can never drift apart:
   lossless (degree bits survive the round trip);
 * **request/response constants** — the one-byte opcodes and statuses used
   by every shard service (``score``, ``invalidate``, ``stats``,
-  ``shutdown``, plus the cluster-only ``hello`` and ``hydrate``);
+  ``shutdown``, plus the cluster-only ``hello`` and ``hydrate``, plus the
+  client-facing gateway ``query`` and ``gateway stats``);
 * **handshake** — the versioned ``hello`` exchange of the TCP transport: a
   connecting coordinator announces its protocol version and
   ``data_version``; the node acknowledges with its own version, the
@@ -59,9 +60,12 @@ OP_STATS = 3
 OP_SHUTDOWN = 4
 OP_HELLO = 5
 OP_HYDRATE = 6
+OP_QUERY = 7
+OP_GATEWAY_STATS = 8
 
 STATUS_OK = 0
 STATUS_ERROR = 1
+STATUS_OVERLOADED = 2
 
 _U8 = struct.Struct("!B")
 _U32 = struct.Struct("!I")
@@ -89,6 +93,15 @@ class WorkerCrashedError(RpcError):
 
 class HandshakeError(RpcError):
     """The versioned ``hello`` handshake failed (skew or a malformed reply)."""
+
+
+class GatewayOverloadedError(RpcError):
+    """The gateway refused a request under admission control (typed, retryable).
+
+    Transported as a :data:`STATUS_OVERLOADED` response frame: the request
+    was never admitted, no partial work happened, and the connection stays
+    usable — the client may retry after backing off.
+    """
 
 
 # --------------------------------------------------------------------------
@@ -312,6 +325,71 @@ def encode_hello_ack(
         + _U32.pack(len(owned_slice_ids))
         + np.asarray(list(owned_slice_ids), dtype=WIRE_U32).tobytes()
     )
+
+
+# --------------------------------------------------------------------------
+# The gateway request/response codec (client-facing front door)
+# --------------------------------------------------------------------------
+#
+# Unlike the strictly sequential shard-node exchanges, gateway clients may
+# pipeline: several requests can be outstanding on one connection and the
+# gateway answers them as they complete, not in arrival order.  Every
+# gateway frame therefore carries a client-chosen ``request_id`` (u32),
+# echoed verbatim in the response, so replies match requests without any
+# ordering assumption.
+
+
+def encode_gateway_query(request_id: int, sql: str, top_k: int | None = None) -> bytes:
+    """The gateway ``query`` request frame: one SQL string plus an optional top-k."""
+    parts = [_U8.pack(OP_QUERY), _U32.pack(request_id), pack_str(sql)]
+    if top_k is None:
+        parts.append(_U8.pack(0))
+    else:
+        parts.append(_U8.pack(1))
+        parts.append(_U32.pack(top_k))
+    return b"".join(parts)
+
+
+def encode_gateway_stats_request(request_id: int) -> bytes:
+    """The gateway ``stats`` request frame (gateway counters + engine stats)."""
+    return _U8.pack(OP_GATEWAY_STATS) + _U32.pack(request_id)
+
+
+def encode_gateway_response(request_id: int, body: str) -> bytes:
+    """A successful gateway response: echoed request id plus a JSON body."""
+    return _U8.pack(STATUS_OK) + _U32.pack(request_id) + pack_str(body)
+
+
+def encode_gateway_error(request_id: int, message: str) -> bytes:
+    """A failed gateway response transporting ``message`` to the client."""
+    return _U8.pack(STATUS_ERROR) + _U32.pack(request_id) + pack_str(message)
+
+
+def encode_gateway_overload(request_id: int, message: str) -> bytes:
+    """A typed admission-control rejection (the request was never admitted)."""
+    return _U8.pack(STATUS_OVERLOADED) + _U32.pack(request_id) + pack_str(message)
+
+
+def read_gateway_response(payload: bytes) -> tuple[int, str]:
+    """Decode one gateway response into ``(request_id, json_body)``.
+
+    A transported gateway-side failure raises :class:`RpcError`; a typed
+    admission-control rejection raises :class:`GatewayOverloadedError`.
+    Both carry the echoed request id on the exception as ``request_id`` so
+    pipelining clients can resolve the right outstanding call.
+    """
+    reader = Reader(payload)
+    status = reader.read_u8()
+    request_id = reader.read_u32()
+    message = reader.read_str()
+    if status == STATUS_OK:
+        return request_id, message
+    if status == STATUS_OVERLOADED:
+        error: RpcError = GatewayOverloadedError(message)
+    else:
+        error = RpcError(message)
+    error.request_id = request_id
+    raise error
 
 
 def read_hello_ack(payload: bytes) -> tuple[int, int, list[int]]:

@@ -511,3 +511,102 @@ class TestColumnSnapshotRoundTrip:
         cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
         with pytest.raises(SnapshotError):
             ColumnSnapshot.unpack(blob[:cut])
+
+
+class TestGatewayCoalescingKey:
+    """Two requests coalesce **iff** their normalized SQL (and top-k) match."""
+
+    # SQL-ish strings: unquoted keyword/identifier regions interleaved with
+    # double-quoted subjective predicates (which may contain odd spacing).
+    fragments = st.lists(
+        st.one_of(
+            st.sampled_from(["select *", "FROM Entities", "where", "and", "limit 5"]),
+            st.text(alphabet="ab \t", min_size=1, max_size=6).map(lambda s: f'"{s}"'),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+    sqls = fragments.map(" ".join)
+    topks = st.one_of(st.none(), st.integers(min_value=1, max_value=50))
+
+    @given(sqls, st.data())
+    def test_whitespace_respelling_always_coalesces(self, sql, data):
+        from repro.serving import coalescing_key, normalize_sql
+
+        # Re-spell the whitespace between tokens (outside quotes the key
+        # must not care) without touching quoted regions.
+        respelled = []
+        quoted = False
+        for char in sql:
+            if char == '"':
+                quoted = not quoted
+                respelled.append(char)
+            elif char in " \t" and not quoted:
+                respelled.append(data.draw(st.sampled_from([" ", "  ", "\t", " \t "])))
+            else:
+                respelled.append(char)
+        variant = "".join(respelled)
+        assert normalize_sql(variant) == normalize_sql(sql)
+        assert coalescing_key(variant) == coalescing_key(sql)
+
+    @given(sqls, sqls, topks, topks)
+    def test_keys_equal_iff_normalized_sql_and_topk_equal(self, a, b, top_a, top_b):
+        from repro.serving import coalescing_key, normalize_sql
+
+        same = normalize_sql(a) == normalize_sql(b) and top_a == top_b
+        assert (coalescing_key(a, top_a) == coalescing_key(b, top_b)) == same
+
+    @given(sqls, st.integers(min_value=1, max_value=50))
+    def test_topk_always_separates(self, sql, top_k):
+        from repro.serving import coalescing_key
+
+        assert coalescing_key(sql, top_k) != coalescing_key(sql, None)
+        assert coalescing_key(sql, top_k) != coalescing_key(sql, top_k + 1)
+
+
+class TestAdmissionControlInvariants:
+    """Admission control may refuse work but can never lose accepted work."""
+
+    operations = st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=4)),
+        min_size=0,
+        max_size=60,
+    )
+
+    @given(
+        operations,
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_every_admission_is_tracked_until_released(self, ops, depth, per_conn):
+        from repro.serving import AdmissionController
+
+        control = AdmissionController(
+            max_queue_depth=depth, max_inflight_per_connection=per_conn
+        )
+        # A mirror ledger of outstanding admissions per connection: the
+        # controller must agree with it after every operation.
+        ledger: dict[int, int] = {}
+        for is_admit, connection in ops:
+            if is_admit:
+                reason = control.try_admit(connection)
+                if reason is None:
+                    ledger[connection] = ledger.get(connection, 0) + 1
+                elif reason == "gateway":
+                    assert sum(ledger.values()) == depth
+                else:
+                    assert reason == "connection"
+                    assert ledger.get(connection, 0) == per_conn
+            elif ledger.get(connection, 0) > 0:
+                control.release(connection)
+                ledger[connection] -= 1
+            assert control.queue_depth == sum(ledger.values())
+            assert control.queue_depth <= depth
+            for conn, count in ledger.items():
+                assert control.inflight_of(conn) == count
+                assert count <= per_conn
+        # Every accepted request can still be released: none were dropped.
+        for connection, count in ledger.items():
+            for _ in range(count):
+                control.release(connection)
+        assert control.queue_depth == 0

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Check every committed ``BENCH_*.json`` against its own recorded floors.
+
+Each benchmark writes its measured figures next to the floor it asserts
+(``speedup`` + ``speedup_floor``, ``gateway_qps`` via ``speedup`` +
+``speedup_floor``, ``shared_fraction`` + ``shared_fraction_floor``, ...).
+The convention is positional: for every key ending in ``_floor``, the
+sibling key with the suffix stripped is the measured value, anywhere in
+the document (nested objects and lists are walked).  This script fails
+when
+
+* a recorded measurement is below its recorded floor — a bench JSON was
+  regenerated on a regressed build and committed anyway, or hand-edited
+  below its own gate; or
+* a ``*_floor`` key has no measured sibling — the measurement was renamed
+  or dropped while the floor stayed behind.
+
+So stale or regressed bench JSON can no longer merge silently: the CI
+bench job runs the benchmarks (which overwrite the JSON on success) and
+then this gate over whatever is on disk.  When ``GITHUB_STEP_SUMMARY`` is
+set, a markdown table of every measurement/floor pair is appended to it.
+
+Exit status 0 when every floor holds, 1 otherwise.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_files() -> list[Path]:
+    """Every committed benchmark-result document at the repository root."""
+    return sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def floor_pairs(node: object, path: str = "") -> list[tuple[str, float, float | None]]:
+    """All ``(key_path, floor, measured)`` pairs of one parsed document.
+
+    Walks nested objects and lists; ``measured`` is ``None`` when the
+    floor key has no sibling with the ``_floor`` suffix stripped.
+    """
+    pairs: list[tuple[str, float, float | None]] = []
+    if isinstance(node, dict):
+        for key, value in node.items():
+            here = f"{path}.{key}" if path else key
+            if key.endswith("_floor") and isinstance(value, (int, float)):
+                sibling = node.get(key[: -len("_floor")])
+                measured = float(sibling) if isinstance(sibling, (int, float)) else None
+                pairs.append((here, float(value), measured))
+            else:
+                pairs.extend(floor_pairs(value, here))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            pairs.extend(floor_pairs(value, f"{path}[{index}]"))
+    return pairs
+
+
+def check_file(path: Path) -> tuple[list[str], list[tuple[str, str, float, float | None, bool]]]:
+    """(error messages, summary rows) for one bench document."""
+    name = path.name
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{name}: unreadable ({error})"], []
+    errors: list[str] = []
+    rows: list[tuple[str, str, float, float | None, bool]] = []
+    pairs = floor_pairs(document)
+    if not pairs:
+        errors.append(f"{name}: records no *_floor keys — nothing is gated")
+        return errors, rows
+    for key_path, floor, measured in pairs:
+        metric = key_path[: -len("_floor")]
+        if measured is None:
+            errors.append(f"{name}: {key_path}={floor:g} has no measured {metric!r} sibling")
+            rows.append((name, metric, floor, None, False))
+        elif measured < floor:
+            errors.append(f"{name}: {metric}={measured:g} is below its floor {floor:g}")
+            rows.append((name, metric, floor, measured, False))
+        else:
+            rows.append((name, metric, floor, measured, True))
+    return errors, rows
+
+
+def write_step_summary(rows: list[tuple[str, str, float, float | None, bool]]) -> None:
+    """Append a markdown table of every measurement to ``GITHUB_STEP_SUMMARY``."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path or not rows:
+        return
+    lines = [
+        "## Benchmark floors",
+        "",
+        "| file | metric | measured | floor | status |",
+        "| --- | --- | ---: | ---: | --- |",
+    ]
+    for name, metric, floor, measured, ok in rows:
+        shown = "missing" if measured is None else f"{measured:g}"
+        lines.append(
+            f"| {name} | {metric} | {shown} | {floor:g} | {'ok' if ok else '**FAIL**'} |"
+        )
+    with open(summary_path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def main() -> int:
+    """Check every bench document; print failures and return the exit status."""
+    errors: list[str] = []
+    rows: list[tuple[str, str, float, float | None, bool]] = []
+    checked = bench_files()
+    if not checked:
+        print("no BENCH_*.json files found at the repository root", file=sys.stderr)
+        return 1
+    for path in checked:
+        file_errors, file_rows = check_file(path)
+        errors.extend(file_errors)
+        rows.extend(file_rows)
+    for error in errors:
+        print(error, file=sys.stderr)
+    write_step_summary(rows)
+    print(
+        f"checked {len(checked)} bench files, {len(rows)} gated metrics: "
+        f"{len(errors)} floor violations"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
