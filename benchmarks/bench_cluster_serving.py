@@ -47,6 +47,22 @@ from repro.testing import build_synthetic_columnar_database, env_int
 
 pytestmark = pytest.mark.slow
 
+#: The measurement harness, recorded verbatim under ``"harness"`` in the
+#: results document so a stale ``BENCH_cluster.json`` is detectable.  Must
+#: stay a pure literal — ``tools/check_bench_floors.py`` reads it with
+#: ``ast.literal_eval`` and warns when it drifts from the committed JSON.
+HARNESS = {
+    "benchmark": "bench_cluster_serving",
+    "domain": "synthetic",
+    "entities_default": 800,
+    "entities_env": "REPRO_BENCH_CLUSTER_ENTITIES",
+    "num_nodes_default": 2,
+    "max_inflight_default": 32,
+    "passes": 12,
+    "timing": "best-of-interleaved-batch-passes",
+    "speedup_floor": 1.3,
+}
+
 CLUSTER_ENTITIES = max(800, env_int("REPRO_BENCH_CLUSTER_ENTITIES", 800))
 NUM_NODES = max(2, env_int("REPRO_BENCH_CLUSTER_NODES", 2))
 MAX_INFLIGHT = max(16, env_int("REPRO_BENCH_CLUSTER_INFLIGHT", 32))
@@ -180,6 +196,7 @@ def test_cluster_concurrent_coordinator_speedup(synthetic_database):
                     "speedup_floor": SPEEDUP_FLOOR,
                     "batch_results_bit_identical": True,
                     "rankings_identical_to_unsharded": True,
+                    "harness": HARNESS,
                 },
                 indent=2,
             )

@@ -38,6 +38,21 @@ from repro.testing import build_domain_setup, env_int
 
 pytestmark = pytest.mark.slow
 
+#: The measurement harness, recorded verbatim under ``"harness"`` in the
+#: results document so a stale ``BENCH_columnar.json`` is detectable.  Must
+#: stay a pure literal — ``tools/check_bench_floors.py`` reads it with
+#: ``ast.literal_eval`` and warns when it drifts from the committed JSON.
+HARNESS = {
+    "benchmark": "bench_columnar_scoring",
+    "domain": "hotels",
+    "entities_default": 200,
+    "entities_env": "REPRO_BENCH_COLUMNAR_ENTITIES",
+    "reviews_per_entity_default": 6,
+    "queries": 12,
+    "timing": "scalar-vs-columnar-batch-scoring",
+    "speedup_floor": 5.0,
+}
+
 COLUMNAR_ENTITIES = max(200, env_int("REPRO_BENCH_COLUMNAR_ENTITIES", 200))
 COLUMNAR_REVIEWS = env_int("REPRO_BENCH_COLUMNAR_REVIEWS", 6)
 SPEEDUP_FLOOR = 5.0
@@ -128,6 +143,7 @@ def test_columnar_cold_path_speedup(columnar_setup):
                 "speedup": round(speedup, 2),
                 "speedup_floor": SPEEDUP_FLOOR,
                 "rankings_identical": True,
+                "harness": HARNESS,
             },
             indent=2,
         )

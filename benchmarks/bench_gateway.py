@@ -57,6 +57,26 @@ from repro.testing import build_synthetic_columnar_database, env_int
 
 pytestmark = pytest.mark.slow
 
+#: The measurement harness, recorded verbatim under ``"harness"`` in the
+#: results document so a stale ``BENCH_gateway.json`` is detectable.  Must
+#: stay a pure literal — ``tools/check_bench_floors.py`` reads it with
+#: ``ast.literal_eval`` and warns when it drifts from the committed JSON.
+HARNESS = {
+    "benchmark": "bench_gateway",
+    "domain": "synthetic",
+    "clients_default": 100,
+    "requests_per_client_default": 10,
+    "entities_default": 800,
+    "entities_env": "REPRO_BENCH_GATEWAY_ENTITIES",
+    "num_nodes_default": 2,
+    "zipf_s": 1.1,
+    "top_k": 10,
+    "passes": 3,
+    "timing": "best-of-zipfian-client-passes",
+    "speedup_floor": 2.0,
+    "shared_fraction_floor": 0.3,
+}
+
 NUM_CLIENTS = max(100, env_int("REPRO_BENCH_GATEWAY_CLIENTS", 100))
 REQUESTS_PER_CLIENT = max(5, env_int("REPRO_BENCH_GATEWAY_REQUESTS", 10))
 GATEWAY_ENTITIES = max(400, env_int("REPRO_BENCH_GATEWAY_ENTITIES", 800))
@@ -245,6 +265,7 @@ def test_gateway_speedup_over_naive_front(synthetic_database):
                     "shared_fraction_floor": SHARED_FLOOR,
                     "responses_bit_identical": True,
                     "rejections": gateway_counters.rejections,
+                    "harness": HARNESS,
                 },
                 indent=2,
             )

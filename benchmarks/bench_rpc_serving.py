@@ -52,6 +52,22 @@ from repro.testing import build_synthetic_columnar_database, env_int
 
 pytestmark = pytest.mark.slow
 
+#: The measurement harness, recorded verbatim under ``"harness"`` in the
+#: results document so a stale ``BENCH_rpc.json`` is detectable.  Must
+#: stay a pure literal — ``tools/check_bench_floors.py`` reads it with
+#: ``ast.literal_eval`` and warns when it drifts from the committed JSON.
+HARNESS = {
+    "benchmark": "bench_rpc_serving",
+    "domain": "synthetic",
+    "entities_default": 800,
+    "entities_env": "REPRO_BENCH_RPC_ENTITIES",
+    "num_workers_default": 4,
+    "queries": 6,
+    "passes": 14,
+    "timing": "best-of-interleaved-cold-passes",
+    "speedup_floor": 1.3,
+}
+
 RPC_ENTITIES = max(800, env_int("REPRO_BENCH_RPC_ENTITIES", 800))
 NUM_WORKERS = env_int("REPRO_BENCH_RPC_WORKERS", 4)
 SPEEDUP_FLOOR = 1.3
@@ -178,6 +194,7 @@ def test_rpc_coordinator_cold_path_speedup(synthetic_database):
                         "speedup": round(rpc_cold_qps / serial_cold_qps, 2),
                     },
                     "rankings_identical": True,
+                    "harness": HARNESS,
                 },
                 indent=2,
             )

@@ -40,6 +40,23 @@ from repro.testing import build_synthetic_columnar_database, env_int
 
 pytestmark = pytest.mark.slow
 
+#: The measurement harness, recorded verbatim under ``"harness"`` in the
+#: results document so a stale ``BENCH_sharded.json`` is detectable.  Must
+#: stay a pure literal — ``tools/check_bench_floors.py`` reads it with
+#: ``ast.literal_eval`` and warns when it drifts from the committed JSON.
+HARNESS = {
+    "benchmark": "bench_sharded_scoring",
+    "domain": "synthetic",
+    "entities_default": 800,
+    "entities_env": "REPRO_BENCH_SHARDED_ENTITIES",
+    "num_shards_default": 4,
+    "backend": "thread",
+    "queries": 6,
+    "passes": 14,
+    "timing": "best-of-interleaved-cold-passes",
+    "speedup_floor": 1.5,
+}
+
 SHARDED_ENTITIES = max(800, env_int("REPRO_BENCH_SHARDED_ENTITIES", 800))
 NUM_SHARDS = env_int("REPRO_BENCH_SHARDED_SHARDS", 4)
 SPEEDUP_FLOOR = 1.5
@@ -138,6 +155,7 @@ def test_sharded_cold_path_speedup(synthetic_database):
                     "speedup": round(speedup, 2),
                     "speedup_floor": SPEEDUP_FLOOR,
                     "rankings_identical": True,
+                    "harness": HARNESS,
                 },
                 indent=2,
             )

@@ -588,6 +588,249 @@ def summary_feature_matrix(
 
 
 # --------------------------------------------------------------------------
+# Score bounds (per-slice summaries powering threshold-style top-k pruning)
+# --------------------------------------------------------------------------
+
+#: Absolute safety margin folded into every score *upper* bound before a
+#: prune decision.  Bound arithmetic orders floating-point operations
+#: differently from the exact kernels, so a mathematically-tight bound can
+#: land a few ulps below the exact value; the margin absorbs that without
+#: giving up measurable pruning power (real score gaps between entities are
+#: orders of magnitude larger).
+PRUNE_MARGIN = 1e-9
+
+
+@dataclass
+class ScoreBounds:
+    """Per-entity bound ingredients for one attribute's column arrays.
+
+    Built once per ``data_version`` alongside :class:`AttributeColumns` and
+    invalidated on the same contract, these summaries let a membership
+    function compute a sound ``[lo, hi]`` envelope of its exact degree for
+    *every* entity without touching the E×M×D centroid tensor at query
+    time:
+
+    * ``deviations`` — E×M matrix of ``‖centroid_unit − name_unit‖₂``
+      (zero where an entity has no phrases for the marker): by
+      Cauchy–Schwarz against a unit phrase vector, the phrase–centroid
+      cosine is within ``deviations`` of the phrase–name cosine, which is
+      shared by all entities and costs one M×D GEMV;
+    * ``fraction_peaks`` / ``fraction_mins`` — per-row extrema of the
+      marker-fraction matrix (the peak doubles as the ISSUE-level "max
+      marker fraction" slice cap);
+    * ``sentiment_mins`` / ``sentiment_maxs`` — per-row extrema of the
+      average-sentiment matrix;
+    * ``max_fraction`` / ``max_abs_sentiment`` — scalar caps over the whole
+      slice, the cheapest possible "can anything here still matter?" test.
+
+    ``slice`` / ``narrowed`` mirror :func:`slice_view` / :func:`gather_rows`
+    so the sharded, RPC and cluster layers can bound exactly the rows a
+    request ships.
+    """
+
+    columns: AttributeColumns
+    deviations: np.ndarray  # (E, M)
+    fraction_peaks: np.ndarray  # (E,)
+    fraction_mins: np.ndarray  # (E,)
+    sentiment_mins: np.ndarray  # (E,)
+    sentiment_maxs: np.ndarray  # (E,)
+    max_fraction: float
+    max_abs_sentiment: float
+
+    @property
+    def num_entities(self) -> int:
+        """Number of entity rows the bounds cover."""
+        return self.columns.num_entities
+
+    @classmethod
+    def of_columns(cls, columns: AttributeColumns) -> "ScoreBounds":
+        """Build bound summaries for ``columns`` (one pass over the arrays)."""
+        num_entities, num_markers = columns.num_entities, columns.num_markers
+        if columns.dimension and num_markers:
+            deviations = np.linalg.norm(
+                columns.centroids_unit - columns.name_units[np.newaxis, :, :],
+                axis=-1,
+            )
+            # A zero centroid scores cosine 0, never name-similarity ± 1:
+            # its true similarity is exactly the name similarity floor, so
+            # deviation 0 is both sound and maximally tight there.
+            empty_centroids = (
+                np.linalg.norm(columns.centroids_unit, axis=-1) == 0.0
+            )
+            deviations = np.where(empty_centroids, 0.0, deviations)
+        else:
+            deviations = np.zeros((num_entities, num_markers))
+        if num_markers and num_entities:
+            fraction_peaks = columns.fractions.max(axis=1)
+            fraction_mins = columns.fractions.min(axis=1)
+            sentiment_mins = columns.average_sentiments.min(axis=1)
+            sentiment_maxs = columns.average_sentiments.max(axis=1)
+        else:
+            fraction_peaks = np.zeros(num_entities)
+            fraction_mins = np.zeros(num_entities)
+            sentiment_mins = np.zeros(num_entities)
+            sentiment_maxs = np.zeros(num_entities)
+        return cls(
+            columns=columns,
+            deviations=deviations,
+            fraction_peaks=fraction_peaks,
+            fraction_mins=fraction_mins,
+            sentiment_mins=sentiment_mins,
+            sentiment_maxs=sentiment_maxs,
+            max_fraction=float(fraction_peaks.max(initial=0.0)),
+            max_abs_sentiment=max(
+                float(np.abs(sentiment_mins).max(initial=0.0)),
+                float(np.abs(sentiment_maxs).max(initial=0.0)),
+            ),
+        )
+
+    def _restrict(self, columns: AttributeColumns, index) -> "ScoreBounds":
+        fraction_peaks = self.fraction_peaks[index]
+        sentiment_mins = self.sentiment_mins[index]
+        sentiment_maxs = self.sentiment_maxs[index]
+        return ScoreBounds(
+            columns=columns,
+            deviations=self.deviations[index],
+            fraction_peaks=fraction_peaks,
+            fraction_mins=self.fraction_mins[index],
+            sentiment_mins=sentiment_mins,
+            sentiment_maxs=sentiment_maxs,
+            max_fraction=float(fraction_peaks.max(initial=0.0)),
+            max_abs_sentiment=max(
+                float(np.abs(sentiment_mins).max(initial=0.0)),
+                float(np.abs(sentiment_maxs).max(initial=0.0)),
+            ),
+        )
+
+    def slice(self, start: int, stop: int) -> "ScoreBounds":
+        """Bounds of the contiguous row range ``[start, stop)`` (views)."""
+        return self._restrict(
+            slice_view(self.columns, start, stop), np.s_[start:stop]
+        )
+
+    def narrowed(self, rows: "list[int]") -> "ScoreBounds":
+        """Bounds of a row gather restricted to ``rows``."""
+        return self._restrict(
+            gather_rows(self.columns, list(rows)),
+            np.asarray(rows, dtype=np.intp),
+        )
+
+
+def similarity_mass_bounds(
+    bounds: ScoreBounds, phrase_vector: "np.ndarray | None"
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Sound per-entity ``[lo, hi]`` envelope of :func:`similarity_mass`.
+
+    The exact mass needs the E×M×D centroid tensor; the envelope needs only
+    the shared phrase–name similarities (one M×D GEMV) and the precomputed
+    centroid deviations: every marker similarity ``s`` satisfies
+    ``name_sim ≤ s ≤ name_sim + deviation`` (the max of two cosines is at
+    least the name cosine; Cauchy–Schwarz caps the centroid cosine from
+    above).  Squared-positive masses are then bracketed per marker, and the
+    normalized expectation is bracketed by the ratio of the bracketed sums.
+    Where centroids coincide with marker names (deviation 0) the envelope
+    collapses to the exact value up to :data:`PRUNE_MARGIN`.
+    """
+    columns = bounds.columns
+    num_entities = columns.num_entities
+    neutral_everywhere = (
+        np.full(num_entities, 0.5),
+        np.full(num_entities, 0.5),
+    )
+    if (
+        phrase_vector is None
+        or columns.dimension == 0
+        or columns.num_markers == 0
+    ):
+        return neutral_everywhere
+    norm = float(np.linalg.norm(phrase_vector))
+    if norm == 0.0:
+        return neutral_everywhere
+    unit = phrase_vector / norm
+    name_similarities = columns.name_units @ unit  # (M,)
+    positives_lo = np.clip(name_similarities, 0.0, None) ** 2  # (M,)
+    positives_hi = (
+        np.clip(name_similarities[np.newaxis, :] + bounds.deviations, 0.0, None)
+        ** 2
+    )  # (E, M)
+    lo_sum = float(positives_lo.sum())
+    hi_sums = positives_hi.sum(axis=1)  # (E,)
+    numerator_hi = np.einsum("em,em->e", positives_hi, columns.fractions)
+    numerator_lo = columns.fractions @ positives_lo  # (E,)
+    # Upper bound on the normalized expectation: it is a weighted average of
+    # fractions over the (unknown) positive-similarity support, so it can
+    # never exceed the largest fraction with a possibly-positive mass; when
+    # the phrase is certainly similarity-positive the hi/lo sum ratio is a
+    # second, usually tighter cap.
+    expected_hi = np.where(
+        positives_hi > 0.0, columns.fractions, 0.0
+    ).max(axis=1, initial=0.0)
+    if lo_sum > 0.0:
+        expected_hi = np.minimum(expected_hi, numerator_hi / lo_sum)
+    safe_hi_sums = np.where(hi_sums > 0.0, hi_sums, 1.0)
+    expected_lo = np.where(hi_sums > 0.0, numerator_lo / safe_hi_sums, 0.0)
+    denominators = bounds.fraction_peaks + 1e-9
+    hi = np.minimum(1.0, expected_hi / denominators + PRUNE_MARGIN)
+    lo = np.maximum(0.0, np.minimum(1.0, expected_lo / denominators) - PRUNE_MARGIN)
+    if lo_sum <= 0.0:
+        # The phrase is not certainly similarity-positive: any row may fall
+        # back to the 0.5 neutral prior, so the envelope must include it.
+        hi = np.maximum(hi, 0.5)
+        lo = np.minimum(lo, 0.5)
+    certainly_neutral = (hi_sums <= 0.0) | (columns.totals == 0.0)
+    hi = np.where(certainly_neutral, 0.5, hi)
+    lo = np.where(certainly_neutral, 0.5, lo)
+    return lo, hi
+
+
+def bounded_pair_degrees(
+    membership: "MembershipFunction",
+    columns: AttributeColumns,
+    bounds: ScoreBounds,
+    phrase: str,
+    threshold: float,
+) -> "tuple[np.ndarray, np.ndarray, int, int] | None":
+    """Threshold-pruned degrees of one phrase over all rows of ``columns``.
+
+    The membership's :meth:`degree_bounds` envelope is evaluated first (no
+    centroid tensor touched); rows whose upper bound falls below
+    ``threshold`` are *pruned* — their exact degree provably cannot reach
+    the current k-th score on any AND-path, so the returned value is the
+    upper bound itself and the exact kernel never sees them.  Surviving
+    rows are scored exactly (through a row gather when they are sparse), so
+    every returned exact value is bit-identical to the unpruned kernel.
+
+    Returns ``(values, exact_mask, scored, pruned)`` — ``scored`` counts
+    rows the exact kernel evaluated, ``pruned`` the bound-only rows — or
+    ``None`` when the membership exposes no usable bound envelope (callers
+    fall back to full scoring).  When every bound clears the threshold the
+    call degrades gracefully to one exact kernel pass; when none does (the
+    slice-cap case) the kernel is skipped entirely.
+    """
+    degree_bounds = getattr(membership, "degree_bounds", None)
+    kernel = getattr(membership, "degrees_columnar", None)
+    if degree_bounds is None or kernel is None:
+        return None
+    envelope = degree_bounds(bounds, phrase)
+    if envelope is None:
+        return None
+    _, upper = envelope
+    survivors = np.flatnonzero(upper >= threshold)
+    values = np.array(upper, dtype=np.float64, copy=True)
+    exact_mask = np.zeros(columns.num_entities, dtype=bool)
+    if survivors.size:
+        if survivors.size * 4 < columns.num_entities:
+            gathered = gather_rows(columns, survivors.tolist())
+            values[survivors] = kernel(gathered, phrase)
+        else:
+            values[survivors] = kernel(columns, phrase)[survivors]
+        exact_mask[survivors] = True
+    scored = int(survivors.size)
+    pruned = int(columns.num_entities - survivors.size)
+    return values, exact_mask, scored, pruned
+
+
+# --------------------------------------------------------------------------
 # Shared scoring plumbing (used by the store and the sharded store)
 # --------------------------------------------------------------------------
 
@@ -676,6 +919,11 @@ class ColumnarSummaryStore:
     def __init__(self, database: "SubjectiveDatabase") -> None:
         self.database = database
         self._columns: dict[str, AttributeColumns | None] = {}
+        self._bounds: dict[str, ScoreBounds | None] = {}
+        self._envelopes: dict[
+            tuple[str, str], "tuple[np.ndarray, np.ndarray] | None"
+        ] = {}
+        self._envelope_membership: object | None = None
         self._version = database.data_version
         self.builds = 0
         self.invalidations = 0
@@ -684,6 +932,9 @@ class ColumnarSummaryStore:
     def invalidate(self) -> None:
         """Drop every built column set and resnapshot the data version."""
         self._columns.clear()
+        self._bounds.clear()
+        self._envelopes.clear()
+        self._envelope_membership = None
         self._version = self.database.data_version
         self.invalidations += 1
 
@@ -705,6 +956,64 @@ class ColumnarSummaryStore:
             if built is not None:
                 self.builds += 1
         return self._columns[attribute]
+
+    def score_bounds(
+        self,
+        attribute: str,
+        start: "int | None" = None,
+        stop: "int | None" = None,
+    ) -> "ScoreBounds | None":
+        """Bound summaries of one attribute (``None`` without columns).
+
+        Built lazily from the attribute's columns and cached under the same
+        ``data_version`` contract: any ingest drops columns and bounds
+        together, so a stale bound can never justify a prune.  Pass
+        ``start`` / ``stop`` to get the bounds of one contiguous slice —
+        the per-slice view the sharded, RPC and cluster layers request.
+        """
+        self._check_version()
+        if attribute not in self._bounds:
+            columns = self.columns(attribute)
+            self._bounds[attribute] = (
+                ScoreBounds.of_columns(columns) if columns is not None else None
+            )
+        bounds = self._bounds[attribute]
+        if bounds is not None and start is not None:
+            end = bounds.num_entities if stop is None else stop
+            return bounds.slice(start, end)
+        return bounds
+
+    def degree_envelope(
+        self,
+        membership: "MembershipFunction",
+        attribute: str,
+        phrase: str,
+    ) -> "tuple[np.ndarray, np.ndarray] | None":
+        """Cached whole-store ``[lo, hi]`` degree envelope of one condition.
+
+        The envelope is elementwise per row, so one evaluation over the
+        whole store serves every later subset request as a plain array
+        gather — the pruned scan's chunks stop paying the phrase-level
+        bound arithmetic per chunk.  (The store-wide similarity caps make
+        the cached envelope at most *wider* than a per-slice one, which is
+        sound: pruning only ever consults ``hi`` as an upper bound.)
+        Cached under the same ``data_version`` contract as the columns and
+        bounds; re-keyed when a different membership function shows up.
+        """
+        self._check_version()
+        if self._envelope_membership is not membership:
+            self._envelopes.clear()
+            self._envelope_membership = membership
+        key = (attribute, phrase)
+        if key not in self._envelopes:
+            degree_bounds = getattr(membership, "degree_bounds", None)
+            bounds = self.score_bounds(attribute)
+            self._envelopes[key] = (
+                degree_bounds(bounds, phrase)
+                if degree_bounds is not None and bounds is not None
+                else None
+            )
+        return self._envelopes[key]
 
     # -------------------------------------------------------------- scoring
     def pair_degrees(
@@ -755,6 +1064,95 @@ class ColumnarSummaryStore:
             entity_ids,
             scalar_fallback_scorer(membership, self.database, attribute, phrase, columns),
         )
+
+    def pair_degrees_bounded(
+        self,
+        membership: "MembershipFunction",
+        entity_ids: Sequence[Hashable],
+        attribute: str,
+        phrase: str,
+        threshold: float,
+    ) -> "tuple[np.ndarray, np.ndarray, int, int] | None":
+        """Threshold-pruned degrees of one ``A ≐ m`` condition.
+
+        The pruning counterpart of :meth:`pair_degrees`: entities whose
+        bound envelope proves they cannot reach ``threshold`` are returned
+        as upper bounds (``exact_mask`` False) without running the exact
+        kernel; every other entity's value is bit-identical to the unpruned
+        path.  Returns ``(values, exact_mask, scored, pruned)`` aligned
+        with ``entity_ids``, or ``None`` whenever the exactness contract
+        cannot be kept cheaply — no columnar kernel, no bound envelope, no
+        columns, or any requested entity absent from the columns (the
+        scalar fallback has no bound story, so callers take the full path).
+        """
+        kernel = columnar_kernel(membership, self.database)
+        if kernel is None or getattr(membership, "degree_bounds", None) is None:
+            return None
+        columns = self.columns(attribute)
+        if columns is None:
+            return None
+        rows = [columns.row_of.get(entity_id) for entity_id in entity_ids]
+        if any(row is None for row in rows):
+            return None
+        envelope = self.degree_envelope(membership, attribute, phrase)
+        if envelope is None:
+            return None
+        _, upper = envelope
+        index = np.fromiter(rows, dtype=np.intp, count=len(rows))
+        values = np.array(upper[index], dtype=np.float64, copy=True)
+        requested_exact = values >= threshold
+        survivors = np.flatnonzero(requested_exact)
+        if survivors.size:
+            resident = sorted({rows[position] for position in survivors.tolist()})
+            if len(resident) * 4 < columns.num_entities:
+                gathered = gather_rows(columns, resident)
+                batch = np.empty(columns.num_entities)
+                batch[resident] = kernel(gathered, phrase)
+            else:
+                batch = kernel(columns, phrase)
+            values[survivors] = batch[index[survivors]]
+        # Counters cover the *requested* entities, not the kernel's internal
+        # view (the dense branch may score extra resident rows): that keeps
+        # ``entities_scored`` directly comparable with the unpruned path,
+        # which counts cache misses per requested entity.
+        scored = int(survivors.size)
+        return (
+            values,
+            requested_exact,
+            scored,
+            int(index.size - scored),
+        )
+
+    def pair_degree_envelope(
+        self,
+        membership: "MembershipFunction",
+        entity_ids: Sequence[Hashable],
+        attribute: str,
+        phrase: str,
+    ) -> "tuple[np.ndarray, np.ndarray] | None":
+        """``[lo, hi]`` degree envelope of one condition for many entities.
+
+        A pure array gather out of the cached whole-store envelope — no
+        exact kernel, no caches touched — so callers can screen whole
+        candidate chunks against a threshold before spending any per-entity
+        work on them.  ``None`` under the same conditions as
+        :meth:`pair_degrees_bounded` (no kernel, no bound support, no
+        columns, or a non-resident entity).
+        """
+        if columnar_kernel(membership, self.database) is None:
+            return None
+        columns = self.columns(attribute)
+        if columns is None:
+            return None
+        rows = [columns.row_of.get(entity_id) for entity_id in entity_ids]
+        if any(row is None for row in rows):
+            return None
+        envelope = self.degree_envelope(membership, attribute, phrase)
+        if envelope is None:
+            return None
+        lower, upper = envelope
+        index = np.fromiter(rows, dtype=np.intp, count=len(rows))
+        return lower[index], upper[index]
 
     # ------------------------------------------------------------- building
     def _build(self, attribute: str) -> AttributeColumns | None:

@@ -68,6 +68,16 @@ class FuzzyLogic:
     # ``None`` capability and are scored row by row.
     supports_arrays = False
 
+    # Interval-safe variants opt in here.  ``True`` asserts two properties
+    # the bound-based top-k planner relies on: every connective is monotone
+    # nondecreasing in each operand (so folding the lo and hi ends of
+    # per-predicate intervals separately brackets the exact score), and the
+    # conjunction is a true t-norm — never above any single operand — so a
+    # top-k threshold on the query score transfers to every AND-path
+    # predicate.  Both built-in variants (min/max and product) satisfy both;
+    # custom logics keep ``False`` and are never pruned.
+    supports_bounds = False
+
     def conjunction_arrays(self, degree_arrays: Sequence[np.ndarray]) -> np.ndarray:
         """Elementwise fuzzy AND of one or more aligned degree vectors."""
         raise NotImplementedError
@@ -86,6 +96,7 @@ class ZadehLogic(FuzzyLogic):
 
     name = "zadeh"
     supports_arrays = True
+    supports_bounds = True
 
     def conjunction(self, degrees: Sequence[float]) -> float:
         if not degrees:
@@ -119,6 +130,7 @@ class ProductLogic(FuzzyLogic):
 
     name = "product"
     supports_arrays = True
+    supports_bounds = True
 
     def conjunction(self, degrees: Sequence[float]) -> float:
         result = 1.0

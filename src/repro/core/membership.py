@@ -44,7 +44,7 @@ from repro.core.columnar import AttributeColumns
 from repro.core.database import ExtractionRecord, SubjectiveDatabase
 from repro.core.markers import MarkerSummary
 from repro.errors import NotFittedError
-from repro.ml.logistic import LogisticRegression
+from repro.ml.logistic import LogisticRegression, _sigmoid
 from repro.text.embeddings import PhraseEmbedder, cosine
 from repro.text.sentiment import SentimentAnalyzer
 
@@ -343,6 +343,40 @@ class HeuristicMembership(MembershipFunction):
         )
         return np.where(totals == 0.0, self.empty_degree, np.clip(degrees, 0.0, 1.0))
 
+    def degree_bounds(
+        self, bounds: "columnar.ScoreBounds", phrase: str
+    ) -> "tuple[np.ndarray, np.ndarray] | None":
+        """Sound per-entity ``[lo, hi]`` envelope of :meth:`degrees_columnar`.
+
+        The sentiment half of the blend reads only the E×M fraction and
+        sentiment matrices, so it is computed *exactly*; only the similarity
+        mass — the half that needs the E×M×D centroid tensor — is bracketed
+        through :func:`repro.core.columnar.similarity_mass_bounds`.  Every
+        exact degree therefore lies inside the returned envelope, which is
+        what lets the top-k planner prune entities whose ``hi`` cannot reach
+        the running k-th score without ever computing their exact degree.
+        """
+        columns = bounds.columns
+        vector = self.embedder.represent(phrase) if self.embedder is not None else None
+        polarity = _phrase_polarity(phrase)
+        mass_lo, mass_hi = columnar.similarity_mass_bounds(bounds, vector)
+        if abs(polarity) >= 0.05:
+            sentiment_weight = self.polar_sentiment_weight
+            sentiment_scores = columnar.aligned_mass(columns, polarity)
+        else:
+            sentiment_weight = self.neutral_sentiment_weight
+            sentiment_scores = 0.5 * (1.0 + columns.overall_sentiments)
+        totals = columns.totals
+        k = self.smoothing_pseudocount
+        sentiment_scores = (sentiment_scores * totals + 0.5 * k) / (totals + k)
+        base = sentiment_weight * sentiment_scores
+        lo = np.clip(base + (1.0 - sentiment_weight) * mass_lo, 0.0, 1.0)
+        hi = np.clip(base + (1.0 - sentiment_weight) * mass_hi, 0.0, 1.0)
+        empty = totals == 0.0
+        lo = np.where(empty, self.empty_degree, lo)
+        hi = np.where(empty, self.empty_degree, hi)
+        return lo, hi
+
     def context_for(self, phrase: str) -> PhraseContext:
         """A phrase context usable with :meth:`context_degree` (fallback path)."""
         return _context_for(phrase, self.embedder)
@@ -451,6 +485,100 @@ class LearnedMembership(MembershipFunction):
             columns, vector, _phrase_polarity(phrase)
         )
         return self.model.positive_probability(features)
+
+    def degree_bounds(
+        self, bounds: "columnar.ScoreBounds", phrase: str
+    ) -> "tuple[np.ndarray, np.ndarray] | None":
+        """Sound per-entity ``[lo, hi]`` envelope of :meth:`degrees_columnar`.
+
+        Interval arithmetic through the logistic head: most of the 12
+        summary features are exact functions of the E×M matrices, and the
+        uncertain ones (similarity mass, best-marker fraction / similarity /
+        sentiment) are replaced by per-row boxes from the precomputed
+        :class:`repro.core.columnar.ScoreBounds`.  Each feature interval is
+        pushed through its effective linear coefficient (weights folded with
+        the stored standardization), the interval decision values are padded
+        against float round-off, and the monotone sigmoid maps them to
+        degree bounds.  Returns ``None`` for configurations the envelope
+        cannot cover (unfitted or non-binary model, feature-count mismatch,
+        marker-less columns) — callers fall back to full scoring.
+        """
+        if not self._fitted:
+            return None
+        model = self.model
+        if (
+            model.weights_ is None
+            or model.classes_ is None
+            or len(model.classes_) != 2
+        ):
+            return None
+        columns = bounds.columns
+        if columns.num_markers == 0:
+            return None
+        vector = self.embedder.represent(phrase) if self.embedder is not None else None
+        polarity = _phrase_polarity(phrase)
+        num_entities = columns.num_entities
+        aligned = columnar.aligned_mass(columns, polarity)
+        mass_lo, mass_hi = columnar.similarity_mass_bounds(bounds, vector)
+        norm = float(np.linalg.norm(vector)) if vector is not None else 0.0
+        if vector is None or columns.dimension == 0 or norm == 0.0:
+            similarity_lo = np.zeros(num_entities)
+            similarity_hi = np.zeros(num_entities)
+        else:
+            name_similarities = columns.name_units @ (vector / norm)  # (M,)
+            similarity_lo = np.full(num_entities, float(name_similarities.max()))
+            similarity_hi = (
+                name_similarities[np.newaxis, :] + bounds.deviations
+            ).max(axis=1)
+        denominators = columns.unmatched + columns.totals
+        unmatched_fractions = np.where(
+            denominators > 0.0,
+            columns.unmatched / np.where(denominators > 0.0, denominators, 1.0),
+            0.0,
+        )
+        phrase_sentiments = np.full(num_entities, polarity)
+        dots = np.einsum(
+            "em,em->e", columns.fractions, columns.average_sentiments
+        )
+        empties = (columns.totals == 0.0).astype(np.float64)
+        shared = {
+            0: np.log1p(columns.totals),
+            1: aligned,
+            6: columns.overall_sentiments,
+            7: phrase_sentiments,
+            8: polarity * columns.overall_sentiments,
+            9: unmatched_fractions,
+            10: dots,
+            11: empties,
+        }
+        feature_lo = np.empty((num_entities, SUMMARY_FEATURE_COUNT))
+        feature_hi = np.empty((num_entities, SUMMARY_FEATURE_COUNT))
+        for index, column in shared.items():
+            feature_lo[:, index] = column
+            feature_hi[:, index] = column
+        feature_lo[:, 2], feature_hi[:, 2] = mass_lo, mass_hi
+        feature_lo[:, 3], feature_hi[:, 3] = bounds.fraction_mins, bounds.fraction_peaks
+        feature_lo[:, 4], feature_hi[:, 4] = similarity_lo, similarity_hi
+        feature_lo[:, 5], feature_hi[:, 5] = bounds.sentiment_mins, bounds.sentiment_maxs
+        weights = np.asarray(model.weights_[0], dtype=np.float64)
+        if model.fit_intercept:
+            if weights.shape[0] != SUMMARY_FEATURE_COUNT + 1:
+                return None
+            coefficients = weights[:SUMMARY_FEATURE_COUNT].copy()
+            constant = float(weights[SUMMARY_FEATURE_COUNT])
+        else:
+            if weights.shape[0] != SUMMARY_FEATURE_COUNT:
+                return None
+            coefficients = weights.copy()
+            constant = 0.0
+        if model.standardize and model._mean is not None and model._std is not None:
+            constant -= float(np.dot(coefficients, model._mean / model._std))
+            coefficients = coefficients / model._std
+        products_lo = feature_lo * coefficients
+        products_hi = feature_hi * coefficients
+        z_lo = constant + np.minimum(products_lo, products_hi).sum(axis=1) - 1e-6
+        z_hi = constant + np.maximum(products_lo, products_hi).sum(axis=1) + 1e-6
+        return _sigmoid(z_lo), _sigmoid(z_hi)
 
 
 def raw_extraction_features(

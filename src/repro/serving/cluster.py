@@ -62,6 +62,8 @@ from repro.core.columnar import (
     AttributeColumns,
     ColumnarSummaryStore,
     ColumnSnapshot,
+    ScoreBounds,
+    bounded_pair_degrees,
     columnar_kernel,
     gather_degrees,
     gather_rows,
@@ -81,6 +83,7 @@ from repro.serving.protocol import (
     OP_HYDRATE,
     OP_INVALIDATE,
     OP_SCORE,
+    OP_SCORE_BOUNDED,
     OP_SHUTDOWN,
     OP_STATS,
     PROTOCOL_VERSION,
@@ -96,10 +99,13 @@ from repro.serving.protocol import (
     encode_hello_ack,
     encode_hydrate_request,
     encode_invalidate_request,
+    encode_score_bounded_request,
+    encode_score_bounded_response,
     encode_score_request,
     frame_bytes,
     pack_str,
     read_hello_ack,
+    read_score_bounded_response,
     recv_frame,
     send_frame,
 )
@@ -183,11 +189,18 @@ class ShardNodeServer:
         # (attribute, slice) — re-hydrating one attribute's slice must not
         # evict another attribute's still-valid vectors.
         self._caches: dict[tuple[str, int], LRUCache] = {}
+        # Bound summaries per hydrated (attribute, slice), built lazily
+        # from the snapshot's columns on the first bounded score and
+        # dropped wherever the snapshot itself is dropped.
+        self._bounds: dict[tuple[str, int], ScoreBounds] = {}
         self._listener: socket.socket | None = None
         self._active: socket.socket | None = None
         self._stopped = False
         self.score_requests = 0
+        self.bounded_requests = 0
         self.kernel_calls = 0
+        self.entities_scored = 0
+        self.entities_pruned = 0
         self.hydrations = 0
         self.invalidations = 0
         self.connections = 0
@@ -349,6 +362,8 @@ class ShardNodeServer:
             opcode = reader.read_u8()
             if opcode == OP_SCORE:
                 return self._handle_score(reader), False
+            if opcode == OP_SCORE_BOUNDED:
+                return self._handle_score_bounded(reader), False
             if opcode == OP_HYDRATE:
                 return self._handle_hydrate(reader), False
             if opcode == OP_INVALIDATE:
@@ -375,10 +390,12 @@ class ShardNodeServer:
             # impossible by construction.
             self._slices.clear()
             self._caches.clear()
+            self._bounds.clear()
             self.data_version = snapshot.data_version
         key = (snapshot.columns.attribute, snapshot.slice_id)
         self._slices[key] = snapshot
         self._caches.pop(key, None)
+        self._bounds.pop(key, None)
         self.hydrations += 1
         return (
             _U8.pack(STATUS_OK)
@@ -440,6 +457,90 @@ class ShardNodeServer:
         self.kernel_calls += 1
         return np.asarray(kernel(view, phrase), dtype=np.float64)
 
+    def _handle_score_bounded(self, reader: Reader) -> bytes:
+        slice_id = reader.read_u32()
+        attribute = reader.read_str()
+        phrase = reader.read_str()
+        start = reader.read_u32()
+        stop = reader.read_u32()
+        rows: list[int] | None = None
+        if reader.read_u8():
+            rows = reader.read_u32_array(reader.read_u32())
+        threshold = float(reader.read_f64_array(1)[0])
+        self.bounded_requests += 1
+        key = (phrase, start, stop, tuple(rows) if rows is not None else None)
+        cache = self._caches.get((attribute, slice_id))
+        if cache is None:
+            cache = self._caches[(attribute, slice_id)] = LRUCache(self.cache_size)
+        vector = cache.get(key)
+        if vector is not None:
+            # A memoised exact vector answers any threshold without new
+            # kernel work — nothing was scored or pruned by this request.
+            return encode_score_bounded_response(
+                vector, np.ones(len(vector), dtype=bool), 0, 0
+            )
+        result = self._score_bounded(slice_id, attribute, phrase, start, stop, rows, threshold)
+        if result is None:
+            # No bound envelope for this membership/phrase: degrade to one
+            # exact pass — the response is still well-formed (all exact).
+            vector = self._score(slice_id, attribute, phrase, start, stop, rows)
+            cache.put(key, vector)
+            self.entities_scored += len(vector)
+            return encode_score_bounded_response(
+                vector, np.ones(len(vector), dtype=bool), len(vector), 0
+            )
+        values, exact_mask, scored, pruned = result
+        self.entities_scored += scored
+        self.entities_pruned += pruned
+        if pruned == 0:
+            # Fully exact results are interchangeable with plain ``score``
+            # responses; mixed vectors must never enter the cache (a bound
+            # is not a degree).
+            cache.put(key, values)
+        return encode_score_bounded_response(values, exact_mask, scored, pruned)
+
+    def _score_bounded(
+        self,
+        slice_id: int,
+        attribute: str,
+        phrase: str,
+        start: int,
+        stop: int,
+        rows: list[int] | None,
+        threshold: float,
+    ) -> "tuple[np.ndarray, np.ndarray, int, int] | None":
+        if self.membership is None:
+            raise RpcError(f"node {self.node_id} has no membership function installed")
+        if getattr(self.membership, "degrees_columnar", None) is None:
+            raise RpcError(
+                f"the membership function of node {self.node_id} has no columnar kernel"
+            )
+        snapshot = self._slices.get((attribute, slice_id))
+        if snapshot is None:
+            raise RpcError(
+                f"slice {slice_id} of attribute {attribute!r} is not hydrated "
+                f"on node {self.node_id} (data_version {self.data_version})"
+            )
+        if snapshot.start != start or snapshot.stop != stop:
+            raise RpcError(
+                f"slice bounds mismatch for slice {slice_id} of {attribute!r}: "
+                f"request [{start}, {stop}) vs hydrated "
+                f"[{snapshot.start}, {snapshot.stop})"
+            )
+        bounds_key = (attribute, slice_id)
+        bounds = self._bounds.get(bounds_key)
+        if bounds is None:
+            # Snapshot columns already are the slice: bound them whole.
+            bounds = self._bounds[bounds_key] = ScoreBounds.of_columns(snapshot.columns)
+        if rows is not None:
+            bounds = bounds.narrowed(rows)
+        result = bounded_pair_degrees(
+            self.membership, bounds.columns, bounds, phrase, threshold
+        )
+        if result is not None and result[2]:
+            self.kernel_calls += 1
+        return result
+
     def _handle_invalidate(self, reader: Reader) -> bytes:
         caller_version = reader.read_u64()
         reported = self.data_version
@@ -450,6 +551,7 @@ class ShardNodeServer:
             # node returns to the unhydrated state and waits for fresh
             # snapshots — it can never serve a stale degree.
             self._slices.clear()
+            self._bounds.clear()
             self.data_version = 0
         self.invalidations += 1
         return _U8.pack(STATUS_OK) + _U64.pack(reported) + _U32.pack(dropped)
@@ -462,7 +564,10 @@ class ShardNodeServer:
             "owned_slices": self.owned_slice_ids,
             "hydrated_slices": len(self._slices),
             "score_requests": self.score_requests,
+            "bounded_requests": self.bounded_requests,
             "kernel_calls": self.kernel_calls,
+            "entities_scored": self.entities_scored,
+            "entities_pruned": self.entities_pruned,
             "cache_hits": sum(cache.stats.hits for cache in self._caches.values()),
             "hydrations": self.hydrations,
             "invalidations": self.invalidations,
@@ -537,6 +642,11 @@ class NodeReply:
 def _decode_score(reader: Reader) -> np.ndarray:
     """A ``score`` response: the slice's degree vector."""
     return reader.read_f64_array(reader.read_u32())
+
+
+def _decode_score_bounded(reader: Reader) -> tuple:
+    """A ``score bounded`` response: (values, exact mask, scored, pruned)."""
+    return read_score_bounded_response(reader)
 
 
 def _decode_versioned(reader: Reader) -> tuple[int, int]:
@@ -853,6 +963,8 @@ class ClusterShardStore:
         self.fanouts = 0  # sharded kernel passes (one per predicate computation)
         self.rpc_requests = 0  # individual score requests shipped to nodes
         self.hydrations = 0  # snapshots shipped
+        self.entities_scored = 0  # rows the nodes' exact kernels evaluated
+        self.entities_pruned = 0  # rows settled by bounds alone
         self._node_counters = [
             {"requests": 0, "bytes_sent": 0, "bytes_received": 0, "reconnects": 0, "respawns": 0}
             for _ in range(num_nodes)
@@ -1276,6 +1388,83 @@ class ClusterShardStore:
             return None
         return self.collect_degrees(request)
 
+    def pair_degrees_bounded(
+        self,
+        membership: object,
+        entity_ids: Sequence[Hashable],
+        attribute: str,
+        phrase: str,
+        threshold: float,
+    ) -> "tuple[np.ndarray, np.ndarray, int, int] | None":
+        """Threshold-pruned cluster scoring: nodes skip rows their bounds cap.
+
+        The bounded twin of :meth:`pair_degrees`: the same per-slice plan is
+        fanned out as ``score bounded`` frames carrying the coordinator's
+        prune threshold, each node evaluates its hydrated slice's bound
+        envelope before its exact kernel, and the responses scatter values
+        plus a per-row exactness mask.  Hydration rides ahead of the first
+        bounded score exactly as in :meth:`request_degrees`.  The returned
+        counters cover the *requested* entities, mirroring the base store.
+        ``None`` under the base store's fallback conditions (no kernel, no
+        bound envelope, absent entities), in which case the caller takes
+        the full exact path.
+        """
+        self._check_version()
+        kernel = columnar_kernel(membership, self.database)
+        if kernel is None or getattr(membership, "degree_bounds", None) is None:
+            return None
+        columns = self.base.columns(attribute)
+        if columns is None:
+            return None
+        rows = [columns.row_of.get(entity_id) for entity_id in entity_ids]
+        if any(row is None for row in rows):
+            return None
+        resident = sorted(set(rows))
+        self._ensure_nodes(membership)
+        bounds = partition_bounds(columns.num_entities, self.num_slices)
+        slice_requests = plan_slice_requests(bounds, resident)
+        values = np.empty(columns.num_entities)
+        exact = np.zeros(columns.num_entities, dtype=bool)
+        pending: list[tuple[str, NodeReply, object]] = []
+        for slice_id, start, stop, slice_rows, scatter in slice_requests:
+            owner = self._owner_of[slice_id]
+            channel = self._channels[owner]
+            hydration_key = (owner, attribute, slice_id)
+            if hydration_key not in self._hydrated:
+                snapshot = ColumnSnapshot.of_slice(columns, slice_id, start, stop, self._version)
+                reply = channel.enqueue(
+                    encode_hydrate_request(snapshot.pack()), _decode_versioned
+                )
+                pending.append(("hydrate", reply, hydration_key))
+                self._hydrated.add(hydration_key)
+                self.hydrations += 1
+            reply = channel.enqueue(
+                encode_score_bounded_request(
+                    slice_id, attribute, phrase, start, stop, slice_rows, threshold
+                ),
+                _decode_score_bounded,
+            )
+            pending.append(("score", reply, scatter))
+        self.fanouts += 1
+        self.rpc_requests += len(slice_requests)
+        self._pump_until([reply for _, reply, _ in pending], raise_errors=False)
+        for kind, reply, extra in pending:
+            if reply.error is not None:
+                if kind == "hydrate":
+                    self._hydrated.discard(extra)
+                raise reply.error
+            if kind == "score":
+                vector, mask, _scored, _pruned = reply.value
+                values[extra] = vector
+                exact[extra] = mask
+        index = np.fromiter(rows, dtype=np.intp, count=len(rows))
+        requested_exact = exact[index]
+        scored = int(np.count_nonzero(requested_exact))
+        pruned = int(index.size - scored)
+        self.entities_scored += scored
+        self.entities_pruned += pruned
+        return values[index], requested_exact, scored, pruned
+
     # ------------------------------------------------------------ statistics
     def node_stats(self) -> list[dict]:
         """One ``stats`` RPC result per connected node (dead nodes skipped)."""
@@ -1316,6 +1505,8 @@ class ClusterShardStore:
                 entry["cache_entries"] = node_stats.get("cache_entries", 0)
                 entry["hydrated_slices"] = node_stats.get("hydrated_slices", 0)
                 entry["data_version"] = node_stats.get("data_version", 0)
+                entry["entities_scored"] = node_stats.get("entities_scored", 0)
+                entry["entities_pruned"] = node_stats.get("entities_pruned", 0)
             entries.append(entry)
         return entries
 
@@ -1343,6 +1534,8 @@ class ClusterShardStore:
             "fanouts": self.fanouts,
             "rpc_requests": self.rpc_requests,
             "hydrations": self.hydrations,
+            "entities_scored": self.entities_scored,
+            "entities_pruned": self.entities_pruned,
             "base": self.base.stats_snapshot(),
         }
 
@@ -1536,6 +1729,16 @@ class ClusterQueryEngine(ShardedSubjectiveQueryEngine):
         if self._vector_memo is not None:
             self._vector_memo[key] = (list(entity_ids), values)
         return values
+
+    def _prune_enabled(self) -> bool:
+        """Pruning is off inside a concurrent batch.
+
+        The prefetch window has already issued (or finished) full exact
+        fan-outs for every windowed query's predicate pairs; a bounded
+        re-fetch would only duplicate node work the batch machinery has
+        paid for, so the serial ranking path over the warm caches wins.
+        """
+        return self._vector_memo is None
 
     def _cached_retrieval_degrees(
         self, entity_ids: Sequence[Hashable], predicate: str

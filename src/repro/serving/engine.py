@@ -134,6 +134,13 @@ class SubjectiveQueryEngine:
         self.membership_cache = self._build_membership_cache(membership_cache_size)
         self.candidate_cache = LRUCache(candidate_cache_size)
         self.stats = ServingStats()
+        # The counter family the bound-based top-k planner reports at every
+        # layer: entities scored exactly by a kernel vs. entities dismissed
+        # on a bound alone.  The base engine never prunes, so its pruned
+        # count stays 0 — but layer 1 reporting the same names keeps
+        # run_batch() cache stats comparable across the whole stack.
+        self.entities_scored = 0
+        self.entities_pruned = 0
         self._data_version = self.database.data_version
 
     # ------------------------------------------------------------- lifecycle
@@ -300,6 +307,7 @@ class SubjectiveQueryEngine:
         if not missing:
             return cached
         computed = compute(missing)
+        self.entities_scored += len(missing)
         self.membership_cache.put_many(
             [
                 ((entity_id, attribute, phrase), degree)
@@ -344,6 +352,8 @@ class SubjectiveQueryEngine:
             "membership_misses": self.membership_cache.stats.misses,
             "candidate_hits": self.candidate_cache.stats.hits,
             "candidate_misses": self.candidate_cache.stats.misses,
+            "entities_scored": self.entities_scored,
+            "entities_pruned": self.entities_pruned,
         }
 
     def stats_snapshot(self) -> dict[str, object]:
@@ -354,6 +364,8 @@ class SubjectiveQueryEngine:
             "invalidations": self.stats.invalidations,
             "total_seconds": self.stats.total_seconds,
             "mean_latency": self.stats.mean_latency,
+            "entities_scored": self.entities_scored,
+            "entities_pruned": self.entities_pruned,
             "plan_cache": self.plan_cache.stats.as_dict(),
             "membership_cache": self.membership_cache.stats.as_dict(),
             "candidate_cache": self.candidate_cache.stats.as_dict(),

@@ -520,7 +520,14 @@ class ServingGateway:
             return
         started = time.perf_counter()
         try:
-            body = await self._submit(sql, top_k)
+            try:
+                body = await self._submit(sql, top_k)
+            finally:
+                # The admission slot guards queued *work*, which ends when
+                # _submit returns or fails — release before the response
+                # write, otherwise a client that already received its
+                # response could still observe itself occupying the queue.
+                self.admission.release(connection_id)
         except Exception as error:  # noqa: BLE001 - transported to the client
             self.counters.errors += 1
             await self._write_frame(
@@ -532,8 +539,6 @@ class ServingGateway:
             self.counters.responses += 1
             self._latencies.append(time.perf_counter() - started)
             await self._write_frame(writer, lock, encode_gateway_response(request_id, body))
-        finally:
-            self.admission.release(connection_id)
 
     # ---------------------------------------------------- coalescing + batching
     async def _submit(self, sql: str, top_k: int | None) -> str:

@@ -45,7 +45,9 @@ from repro.errors import ExecutionError
 
 #: Version of the frame/handshake protocol this build speaks.  Bumped on
 #: any wire-visible change; the ``hello`` handshake refuses mismatches.
-PROTOCOL_VERSION = 1
+#: Version 2 added the ``score bounded`` opcode (threshold-pruned scoring
+#: with a per-row exactness mask in the response).
+PROTOCOL_VERSION = 2
 
 #: Default ceiling on one frame's payload size (requests and responses).
 #: Generous for degree vectors (8 bytes per entity) while still refusing a
@@ -62,6 +64,7 @@ OP_HELLO = 5
 OP_HYDRATE = 6
 OP_QUERY = 7
 OP_GATEWAY_STATS = 8
+OP_SCORE_BOUNDED = 9
 
 STATUS_OK = 0
 STATUS_ERROR = 1
@@ -231,6 +234,10 @@ class Reader:
         self._offset = len(self._view)
         return bytes(self._view[offset:])
 
+    def read_raw(self, count: int) -> bytes:
+        """``count`` raw bytes (for fixed-size fields without a length prefix)."""
+        return bytes(self._take(count))
+
     def read_u32_array(self, count: int) -> list[int]:
         """``count`` big-endian u32 values as a plain int list."""
         data = self._take(4 * count)
@@ -272,6 +279,81 @@ def encode_score_request(
         parts.append(_U32.pack(len(rows)))
         parts.append(np.asarray(rows, dtype=WIRE_U32).tobytes())
     return b"".join(parts)
+
+
+_F64 = struct.Struct("!d")
+
+
+def encode_score_bounded_request(
+    slice_id: int,
+    attribute: str,
+    phrase: str,
+    start: int,
+    stop: int,
+    rows: Sequence[int] | None,
+    threshold: float,
+) -> bytes:
+    """The ``score bounded`` request: a score request plus a prune threshold.
+
+    Identical field layout to :func:`encode_score_request` (so workers
+    resolve the slice and rows the same way) with one trailing big-endian
+    f64: the coordinator's current k-th best score.  The worker may answer
+    any row with its degree *upper bound* instead of its exact degree as
+    long as that bound is below the threshold — the response's exactness
+    mask says which is which.
+    """
+    parts = [
+        _U8.pack(OP_SCORE_BOUNDED),
+        _U32.pack(slice_id),
+        pack_str(attribute),
+        pack_str(phrase),
+        _U32.pack(start),
+        _U32.pack(stop),
+    ]
+    if rows is None:
+        parts.append(_U8.pack(0))
+    else:
+        parts.append(_U8.pack(1))
+        parts.append(_U32.pack(len(rows)))
+        parts.append(np.asarray(rows, dtype=WIRE_U32).tobytes())
+    parts.append(_F64.pack(threshold))
+    return b"".join(parts)
+
+
+def encode_score_bounded_response(
+    values: np.ndarray, exact_mask: np.ndarray, scored: int, pruned: int
+) -> bytes:
+    """The ``score bounded`` response: values, per-row exactness, counters.
+
+    ``values`` holds exact degrees where ``exact_mask`` is set and degree
+    upper bounds elsewhere; ``scored``/``pruned`` are the worker-side row
+    counts behind the mask, carried explicitly so coordinators aggregate
+    counters without re-deriving them.
+    """
+    return (
+        _U8.pack(STATUS_OK)
+        + _U32.pack(len(values))
+        + np.asarray(values, dtype=WIRE_F64).tobytes()
+        + np.asarray(exact_mask, dtype=np.uint8).tobytes()
+        + _U32.pack(scored)
+        + _U32.pack(pruned)
+    )
+
+
+def read_score_bounded_response(
+    reader: Reader,
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Decode a ``score bounded`` response body (after its status byte).
+
+    Returns ``(values, exact_mask, scored, pruned)`` with the mask as a
+    boolean array aligned with ``values``.
+    """
+    count = reader.read_u32()
+    values = reader.read_f64_array(count)
+    exact_mask = np.frombuffer(reader.read_raw(count), dtype=np.uint8).astype(bool)
+    scored = reader.read_u32()
+    pruned = reader.read_u32()
+    return values, exact_mask, scored, pruned
 
 
 def encode_error(message: str) -> bytes:

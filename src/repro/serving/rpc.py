@@ -77,6 +77,7 @@ import numpy as np
 from repro.core.columnar import (
     AttributeColumns,
     ColumnarSummaryStore,
+    bounded_pair_degrees,
     columnar_kernel,
     gather_degrees,
     plan_slice_requests,
@@ -93,6 +94,7 @@ from repro.serving.protocol import (
 from repro.serving.protocol import (
     OP_INVALIDATE,
     OP_SCORE,
+    OP_SCORE_BOUNDED,
     OP_SHUTDOWN,
     OP_STATS,
     STATUS_ERROR,
@@ -102,8 +104,11 @@ from repro.serving.protocol import (
     RpcError,
     WorkerCrashedError,
     encode_error,
+    encode_score_bounded_request,
+    encode_score_bounded_response,
     encode_score_request,
     pack_str,
+    read_score_bounded_response,
     recv_frame,
     send_frame,
 )
@@ -174,6 +179,9 @@ class ShardServiceWorker:
         self.score_requests = 0
         self.kernel_calls = 0
         self.invalidations = 0
+        self.bounded_requests = 0
+        self.entities_scored = 0  # rows scored exactly on the bounded path
+        self.entities_pruned = 0  # rows answered with a bound alone
 
     # ------------------------------------------------------------- dispatch
     def handle_frame(self, payload: bytes) -> tuple[bytes, bool]:
@@ -187,6 +195,8 @@ class ShardServiceWorker:
             opcode = reader.read_u8()
             if opcode == OP_SCORE:
                 return self._handle_score(reader), False
+            if opcode == OP_SCORE_BOUNDED:
+                return self._handle_score_bounded(reader), False
             if opcode == OP_INVALIDATE:
                 return self._handle_invalidate(reader), False
             if opcode == OP_STATS:
@@ -213,6 +223,78 @@ class ShardServiceWorker:
             vector = self._score(attribute, phrase, start, stop, rows)
             self.cache.put(key, vector)
         return _U8.pack(STATUS_OK) + _U32.pack(len(vector)) + vector.astype(_WIRE_F64).tobytes()
+
+    def _handle_score_bounded(self, reader: _Reader) -> bytes:
+        slice_id = reader.read_u32()
+        attribute = reader.read_str()
+        phrase = reader.read_str()
+        start = reader.read_u32()
+        stop = reader.read_u32()
+        rows: list[int] | None = None
+        if reader.read_u8():
+            rows = reader.read_u32_array(reader.read_u32())
+        threshold = float(reader.read_f64_array(1)[0])
+        self.bounded_requests += 1
+        key = (slice_id, attribute, phrase, start, stop, tuple(rows) if rows is not None else None)
+        vector = self.cache.get(key)
+        if vector is not None:
+            # A memoised exact vector answers any threshold without new
+            # kernel work — nothing was scored or pruned by this request.
+            return encode_score_bounded_response(
+                vector, np.ones(len(vector), dtype=bool), 0, 0
+            )
+        result = self._score_bounded(attribute, phrase, start, stop, rows, threshold)
+        if result is None:
+            # No bound envelope for this membership/phrase: degrade to one
+            # exact pass — the response is still well-formed (all exact).
+            vector = self._score(attribute, phrase, start, stop, rows)
+            self.cache.put(key, vector)
+            self.entities_scored += len(vector)
+            return encode_score_bounded_response(
+                vector, np.ones(len(vector), dtype=bool), len(vector), 0
+            )
+        values, exact_mask, scored, pruned = result
+        self.entities_scored += scored
+        self.entities_pruned += pruned
+        if pruned == 0:
+            # Fully exact results are interchangeable with plain ``score``
+            # responses; mixed vectors must never enter the cache (a bound
+            # is not a degree).
+            self.cache.put(key, values)
+        return encode_score_bounded_response(values, exact_mask, scored, pruned)
+
+    def _score_bounded(
+        self,
+        attribute: str,
+        phrase: str,
+        start: int,
+        stop: int,
+        rows: list[int] | None,
+        threshold: float,
+    ) -> "tuple[np.ndarray, np.ndarray, int, int] | None":
+        kernel = columnar_kernel(self.membership, self.database)
+        if kernel is None:
+            raise ExecutionError(
+                "the membership function has no usable columnar kernel in this worker"
+            )
+        columns = self.store.columns(attribute)
+        if columns is None:
+            raise ExecutionError(f"attribute {attribute!r} has no columns in worker {self.index}")
+        if stop > columns.num_entities or start > stop:
+            raise ExecutionError(
+                f"slice [{start}, {stop}) out of range for attribute {attribute!r} "
+                f"({columns.num_entities} entities in worker {self.index})"
+            )
+        bounds = self.store.score_bounds(attribute, start, stop)
+        if bounds is None:
+            return None
+        if rows is not None:
+            bounds = bounds.narrowed(rows)
+        view = resolve_slice(columns, start, stop, rows)
+        result = bounded_pair_degrees(self.membership, view, bounds, phrase, threshold)
+        if result is not None and result[2]:
+            self.kernel_calls += 1
+        return result
 
     def _score(
         self, attribute: str, phrase: str, start: int, stop: int, rows: list[int] | None
@@ -250,6 +332,9 @@ class ShardServiceWorker:
             "score_requests": self.score_requests,
             "kernel_calls": self.kernel_calls,
             "invalidations": self.invalidations,
+            "bounded_requests": self.bounded_requests,
+            "entities_scored": self.entities_scored,
+            "entities_pruned": self.entities_pruned,
             "cache_entries": len(self.cache),
             "cache_partitions": self.cache.partition_stats(),
         }
@@ -388,6 +473,10 @@ class ShardServiceClient:
         reader = self.read_ok()
         return reader.read_f64_array(reader.read_u32())
 
+    def read_score_bounded(self) -> tuple[np.ndarray, np.ndarray, int, int]:
+        """The ``(values, exact_mask, scored, pruned)`` of one bounded request."""
+        return read_score_bounded_response(self.read_ok())
+
     def invalidate(self, data_version: int) -> tuple[int, int]:
         """Drop the worker's degree caches; returns (snapshot version, dropped)."""
         self.send(_U8.pack(OP_INVALIDATE) + _U64.pack(data_version))
@@ -486,6 +575,8 @@ class RpcShardStore:
         self.respawns = 0
         self.fanouts = 0  # sharded kernel passes (one per predicate computation)
         self.rpc_requests = 0  # individual score requests shipped to workers
+        self.entities_scored = 0  # requested rows scored exactly (bounded path)
+        self.entities_pruned = 0  # requested rows dismissed on a bound alone
         # Per-worker transport counters, shared with the client handles and
         # kept across respawns so partition_stats() describes the lifetime.
         self._worker_counters = [
@@ -666,6 +757,81 @@ class RpcShardStore:
             scalar_fallback_scorer(membership, self.database, attribute, phrase, columns),
         )
 
+    def pair_degrees_bounded(
+        self,
+        membership: object,
+        entity_ids: Sequence[Hashable],
+        attribute: str,
+        phrase: str,
+        threshold: float,
+    ) -> "tuple[np.ndarray, np.ndarray, int, int] | None":
+        """Threshold-pruned RPC scoring: workers skip rows their bounds cap.
+
+        The bounded twin of :meth:`pair_degrees`: the same per-slice request
+        plan is fanned out as ``score bounded`` frames carrying the
+        coordinator's prune threshold, and each worker evaluates its own
+        slice's bound envelope first — rows (or whole slices) whose degree
+        upper bound is below the threshold never reach the exact kernel.
+        Responses scatter values plus a per-row exactness mask; the
+        returned counters cover the *requested* entities, mirroring the
+        base store.  ``None`` under the base store's fallback conditions
+        (no kernel, no bound envelope, absent entities), in which case the
+        caller takes the full exact path.
+        """
+        self._check_version()
+        kernel = columnar_kernel(membership, self.database)
+        if kernel is None or getattr(membership, "degree_bounds", None) is None:
+            return None
+        columns = self.base.columns(attribute)
+        if columns is None:
+            return None
+        rows = [columns.row_of.get(entity_id) for entity_id in entity_ids]
+        if any(row is None for row in rows):
+            return None
+        resident = sorted(set(rows))
+        self._ensure_workers(membership)
+        bounds = partition_bounds(columns.num_entities, self.num_slices)
+        requests = plan_slice_requests(bounds, resident)
+        values = np.empty(columns.num_entities)
+        exact = np.zeros(columns.num_entities, dtype=bool)
+        per_worker: dict[int, list[tuple]] = {}
+        for request in requests:
+            per_worker.setdefault(self._owner_of[request[0]], []).append(request)
+        try:
+            rounds = max(len(group) for group in per_worker.values())
+            for round_index in range(rounds):
+                for worker_index, group in per_worker.items():
+                    if round_index < len(group):
+                        slice_id, start, stop, slice_rows, _ = group[round_index]
+                        self._workers[worker_index].send(
+                            encode_score_bounded_request(
+                                slice_id, attribute, phrase, start, stop, slice_rows, threshold
+                            )
+                        )
+                for worker_index, group in per_worker.items():
+                    if round_index < len(group):
+                        scatter = group[round_index][4]
+                        vector, mask, _scored, _pruned = self._workers[
+                            worker_index
+                        ].read_score_bounded()
+                        values[scatter] = vector
+                        exact[scatter] = mask
+        except Exception:
+            # Same hygiene as pair_degrees: a mid-fan-out failure can leave
+            # unread responses queued; kill the fleet so the next query
+            # starts from a clean fork.
+            self._shutdown_workers(kill=True)
+            raise
+        self.fanouts += 1
+        self.rpc_requests += len(requests)
+        index = np.fromiter(rows, dtype=np.intp, count=len(rows))
+        requested_exact = exact[index]
+        scored = int(np.count_nonzero(requested_exact))
+        pruned = int(index.size - scored)
+        self.entities_scored += scored
+        self.entities_pruned += pruned
+        return values[index], requested_exact, scored, pruned
+
     def _fanout_round(
         self,
         per_worker: dict[int, list[tuple]],
@@ -738,6 +904,8 @@ class RpcShardStore:
                         for partition in remote.get("cache_partitions", [])
                     )
                     entry["owned_slices"] = remote.get("owned_slices")
+                    entry["entities_scored"] = remote.get("entities_scored", 0)
+                    entry["entities_pruned"] = remote.get("entities_pruned", 0)
             stats.append(entry)
         return stats
 
@@ -762,6 +930,8 @@ class RpcShardStore:
             "respawns": self.respawns,
             "fanouts": self.fanouts,
             "rpc_requests": self.rpc_requests,
+            "entities_scored": self.entities_scored,
+            "entities_pruned": self.entities_pruned,
             "base": self.base.stats_snapshot(),
         }
 

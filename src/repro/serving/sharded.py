@@ -80,7 +80,7 @@ from repro.engine.expressions import (
 )
 from repro.errors import ExecutionError
 from repro.serving.cache import PartitionedLRUCache
-from repro.serving.engine import CandidateSet, SubjectiveQueryEngine
+from repro.serving.engine import _MISSING, CandidateSet, SubjectiveQueryEngine
 from repro.serving.plans import QueryPlan
 
 BACKENDS = ("serial", "thread", "process")
@@ -366,6 +366,8 @@ class ShardedColumnarStore:
         self.invalidations = 0
         self.fanouts = 0  # sharded kernel passes (one per predicate computation)
         self.shard_kernel_calls = 0  # individual per-slice kernel executions
+        self.entities_scored = 0  # rows scored exactly on the bounded path
+        self.entities_pruned = 0  # rows dismissed on a bound alone
 
     # ------------------------------------------------------------ lifecycle
     def invalidate(self) -> None:
@@ -470,6 +472,52 @@ class ShardedColumnarStore:
             scalar_fallback_scorer(membership, self.database, attribute, phrase, columns),
         )
 
+    def pair_degrees_bounded(
+        self,
+        membership: object,
+        entity_ids: Sequence[Hashable],
+        attribute: str,
+        phrase: str,
+        threshold: float,
+    ):
+        """Threshold-aware analog of :meth:`pair_degrees` for top-k pruning.
+
+        Delegates to the base store's
+        :meth:`~repro.core.columnar.ColumnarSummaryStore.pair_degrees_bounded`
+        regardless of backend: the bounded path exists to *avoid* kernel
+        work on cold selective queries, so the fan-out machinery (whose
+        value is parallelising full passes) would only add dispatch
+        overhead around a mostly-skipped computation.  Returns the base
+        store's ``(values, exact_mask, scored, pruned)`` — or ``None`` when
+        the membership function has no bound support, sending the caller
+        back to the exact sharded path.
+        """
+        self._check_version()
+        result = self.base.pair_degrees_bounded(
+            membership, entity_ids, attribute, phrase, threshold
+        )
+        if result is not None:
+            _values, _exact, scored, pruned = result
+            self.entities_scored += scored
+            self.entities_pruned += pruned
+        return result
+
+    def pair_degree_envelope(
+        self,
+        membership: object,
+        entity_ids: Sequence[Hashable],
+        attribute: str,
+        phrase: str,
+    ):
+        """Bound envelope gather, delegated straight to the base store.
+
+        Like :meth:`pair_degrees_bounded` this stays off the fan-out
+        machinery: the envelope read is a cached array gather, far below
+        any dispatch overhead.
+        """
+        self._check_version()
+        return self.base.pair_degree_envelope(membership, entity_ids, attribute, phrase)
+
     def _plan_tasks(
         self, attribute: str, resident: list[int]
     ) -> tuple[list[ShardTask], list[object]]:
@@ -526,6 +574,8 @@ class ShardedColumnarStore:
             "invalidations": self.invalidations,
             "fanouts": self.fanouts,
             "shard_kernel_calls": self.shard_kernel_calls,
+            "entities_scored": self.entities_scored,
+            "entities_pruned": self.entities_pruned,
             "base": self.base.stats_snapshot(),
         }
 
@@ -618,6 +668,156 @@ def _row_scorer(degree_vectors: dict[str, np.ndarray], index: int):
 
 
 # --------------------------------------------------------------------------
+# Interval arithmetic over the WHERE tree (bound-based top-k pruning)
+# --------------------------------------------------------------------------
+
+def fuzzy_bound_arrays(
+    where: Expression | None,
+    rows: Sequence[dict],
+    bound_vectors: "dict[str, tuple[np.ndarray, np.ndarray]]",
+    logic: FuzzyLogic,
+    prune_below: "float | None" = None,
+) -> "tuple[np.ndarray, np.ndarray] | None":
+    """``[lo, hi]`` envelope of :func:`fuzzy_score_arrays` per candidate row.
+
+    The bound mirror of the vectorized WHERE walk: each subjective
+    predicate contributes a ``(lo, hi)`` vector pair instead of one exact
+    vector, and the connectives fold the lo and hi ends *separately*
+    through the logic's array forms.  Both built-in logics are monotone
+    nondecreasing in every operand (``supports_bounds``), so the folded
+    ends bracket the exact score; where a predicate's interval is the
+    degenerate ``[d, d]`` the folds reproduce the exact arithmetic
+    operation for operation, making the envelope collapse to the exact
+    score bit for bit.  Negation swaps the ends; crisp objective leaves
+    stay exact 0/1 points.
+
+    ``prune_below`` enables the AND short-circuit: while folding a
+    conjunction, once every row's running upper bound has dropped below it
+    the remaining operands are skipped — a t-norm can only lower the bound
+    further, so the partial fold is still a valid upper bound (the lower
+    end is relaxed to 0, keeping the interval sound).  The threshold is
+    propagated into nested conjunctions only; OR and NOT operands are
+    always folded fully.
+
+    Returns ``None`` when the logic lacks array or bound support, or the
+    tree holds a node the interval walk cannot bracket.
+    """
+    if not getattr(logic, "supports_arrays", False):
+        return None
+    if not getattr(logic, "supports_bounds", False):
+        return None
+    if where is None:
+        ones = np.ones(len(rows))
+        return ones, ones.copy()
+    try:
+        return _eval_bounds(where, rows, bound_vectors, logic, prune_below)
+    except _NotVectorizable:
+        return None
+
+
+def _eval_bounds(
+    node: Expression,
+    rows: Sequence[dict],
+    bound_vectors: "dict[str, tuple[np.ndarray, np.ndarray]]",
+    logic: FuzzyLogic,
+    prune_below: "float | None",
+) -> "tuple[np.ndarray, np.ndarray]":
+    if isinstance(node, SubjectivePredicate):
+        interval = bound_vectors.get(node.text)
+        if interval is None:
+            raise _NotVectorizable(node.text)
+        return interval
+    if isinstance(node, AndExpression):
+        lows: list[np.ndarray] = []
+        highs: list[np.ndarray] = []
+        short_circuited = False
+        for position, operand in enumerate(node.operands):
+            lo, hi = _eval_bounds(operand, rows, bound_vectors, logic, prune_below)
+            lows.append(lo)
+            highs.append(hi)
+            if (
+                prune_below is not None
+                and position + 1 < len(node.operands)
+                and float(np.max(logic.conjunction_arrays(highs), initial=0.0))
+                < prune_below
+            ):
+                short_circuited = True
+                break
+        hi = logic.conjunction_arrays(highs)
+        if short_circuited:
+            # The skipped operands could only lower both ends further; 0 is
+            # the universally sound floor, and hi stays a valid cap.
+            return np.zeros(len(rows)), hi
+        return logic.conjunction_arrays(lows), hi
+    if isinstance(node, OrExpression):
+        intervals = [
+            _eval_bounds(operand, rows, bound_vectors, logic, None)
+            for operand in node.operands
+        ]
+        return (
+            logic.disjunction_arrays([lo for lo, _hi in intervals]),
+            logic.disjunction_arrays([hi for _lo, hi in intervals]),
+        )
+    if isinstance(node, NotExpression):
+        lo, hi = _eval_bounds(node.operand, rows, bound_vectors, logic, None)
+        return logic.negation_array(hi), logic.negation_array(lo)
+    if isinstance(node, (ComparisonExpression, InExpression, BetweenExpression)):
+        crisp = np.fromiter(
+            (1.0 if node.evaluate(row) else 0.0 for row in rows),
+            dtype=float,
+            count=len(rows),
+        )
+        return crisp, crisp.copy()
+    raise _NotVectorizable(type(node).__name__)
+
+
+def and_path_predicates(where: Expression | None) -> set[str]:
+    """Subjective predicates reachable from the root through AND nodes only.
+
+    Under a t-norm the query score can never exceed any single conjunct on
+    such a path, so the running k-th score is a valid prune threshold for
+    exactly these predicates; everything below an OR or NOT must be scored
+    without one.
+    """
+    found: set[str] = set()
+
+    def walk(node: Expression | None) -> None:
+        if isinstance(node, SubjectivePredicate):
+            found.add(node.text)
+        elif isinstance(node, AndExpression):
+            for operand in node.operands:
+                walk(operand)
+
+    walk(where)
+    return found
+
+
+def bounds_tree_supported(
+    where: Expression | None, known_predicates: "set[str]"
+) -> bool:
+    """Whether every node of the WHERE tree has an exact interval form.
+
+    The pruned ranking path refuses any tree it cannot bracket *before*
+    doing any work, so a query with an exotic node falls back to the full
+    path whole instead of mid-scan.
+    """
+    if where is None:
+        return True
+    if isinstance(where, SubjectivePredicate):
+        return where.text in known_predicates
+    if isinstance(where, (AndExpression, OrExpression)):
+        return all(
+            bounds_tree_supported(operand, known_predicates)
+            for operand in where.operands
+        )
+    if isinstance(where, NotExpression):
+        return bounds_tree_supported(where.operand, known_predicates)
+    return isinstance(
+        where, (ComparisonExpression, InExpression, BetweenExpression)
+    )
+
+
+# --------------------------------------------------------------------------
 # Per-shard top-k merge
 # --------------------------------------------------------------------------
 
@@ -654,6 +854,63 @@ def merge_shard_topk(
     return list(islice(heapq.merge(*shard_heaps, key=key), limit))
 
 
+class _ReverseKey:
+    """Max-heap adapter: inverts ``<`` so ``heapq`` keeps the *worst* kept row on top."""
+
+    __slots__ = ("key", "payload")
+
+    def __init__(self, key: tuple, payload: object) -> None:
+        self.key = key
+        self.payload = payload
+
+    def __lt__(self, other: "_ReverseKey") -> bool:
+        return other.key < self.key
+
+
+class TopKThreshold:
+    """Incremental top-k under the processor's ranking order, publishing a prune threshold.
+
+    The streaming counterpart of :func:`merge_shard_topk`: rows are offered
+    one at a time under the same ``(-score, str(entity_id), index)`` key,
+    and once ``limit`` rows are held, :attr:`threshold` exposes the running
+    k-th best score.  Any candidate whose score *upper bound* is strictly
+    below that threshold can be dismissed unscored — it cannot displace a
+    kept row even through the tie-break, because the threshold only rises
+    as better rows arrive, so the final k-th score is at least the
+    threshold the candidate was compared against.  Rows whose bound equals
+    the threshold must still be offered (the string/index tie-break could
+    admit them).  The property suite pins ``selected()`` against
+    :func:`merge_shard_topk` on random scores with ties.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"limit must be positive, got {limit}")
+        self.limit = limit
+        self._heap: list[_ReverseKey] = []
+
+    @property
+    def threshold(self) -> float | None:
+        """The current k-th best score, or ``None`` until ``limit`` rows are held."""
+        if len(self._heap) < self.limit:
+            return None
+        return -self._heap[0].key[0]
+
+    def offer(
+        self, score: float, entity_id: Hashable, index: int, payload: object
+    ) -> None:
+        """Offer one row; kept only while it beats the current k-th row."""
+        item = _ReverseKey((-score, str(entity_id), index), payload)
+        if len(self._heap) < self.limit:
+            heapq.heappush(self._heap, item)
+        elif item.key < self._heap[0].key:
+            heapq.heapreplace(self._heap, item)
+
+    def selected(self) -> list[object]:
+        """Payloads of the kept rows in final ranking order."""
+        return [item.payload for item in sorted(self._heap, key=lambda kept: kept.key)]
+
+
 # --------------------------------------------------------------------------
 # The sharded serving engine
 # --------------------------------------------------------------------------
@@ -680,8 +937,23 @@ class ShardedSubjectiveQueryEngine(SubjectiveQueryEngine):
     Parameters mirror :class:`~repro.serving.engine.SubjectiveQueryEngine`
     plus ``num_shards`` (K contiguous slices of every attribute's E axis;
     defaults to :func:`default_num_shards` — one per core), ``backend``
-    (``"serial"``, ``"thread"`` or ``"process"``) and ``max_workers``
-    (defaults to ``num_shards``).
+    (``"serial"``, ``"thread"`` or ``"process"``), ``max_workers``
+    (defaults to ``num_shards``) and ``prune_topk`` (bound-based top-k
+    pruning, on by default).
+
+    With ``prune_topk`` on, eligible top-k queries take a threshold-style
+    pruned scan first (:meth:`_rank_pruned`): candidates are walked in
+    chunks, each chunk's membership degrees are fetched through the
+    store's bounded path with the running k-th score as prune threshold,
+    and entities whose score *upper bound* cannot reach the threshold are
+    dismissed without ever running a scoring kernel.  Survivor scores are
+    bit-identical to the exact path (the bound envelope collapses to the
+    exact arithmetic on fully-scored rows), so the ranking — scores,
+    degrees, tie-breaks — equals the unpruned result exactly; the
+    differential suite pins this at several shard counts.  Any
+    ineligibility (no limit, retrieval predicates, duplicate candidate
+    rows, a logic or membership function without bound support, an exotic
+    WHERE node) falls back to the ordinary exact path for the whole query.
     """
 
     #: Backend names this engine accepts; the RPC coordinator overrides it.
@@ -697,6 +969,7 @@ class ShardedSubjectiveQueryEngine(SubjectiveQueryEngine):
         plan_cache_size: int | None = 256,
         membership_cache_size: int | None = 200_000,
         candidate_cache_size: int | None = 64,
+        prune_topk: bool = True,
     ) -> None:
         if num_shards is None:
             num_shards = default_num_shards()
@@ -708,6 +981,14 @@ class ShardedSubjectiveQueryEngine(SubjectiveQueryEngine):
             )
         self.num_shards = num_shards
         self.backend = backend
+        self.prune_topk = prune_topk
+        # Candidate rows in the *first* bounded-scan chunk; each later
+        # chunk is ``prune_chunk_growth`` times larger.  The first chunk
+        # stays small so the threshold exists almost immediately; the
+        # geometric growth keeps the per-chunk fixed cost logarithmic in
+        # the candidate count.
+        self.prune_chunk_size = 128
+        self.prune_chunk_growth = 4
         super().__init__(
             database=database,
             processor=processor,
@@ -763,6 +1044,10 @@ class ShardedSubjectiveQueryEngine(SubjectiveQueryEngine):
         # sharded store).
         if not getattr(self.processor.logic, "supports_arrays", False):
             return super()._rank(plan, candidates, sql=sql, top_k=top_k)
+        if self.prune_topk and self._prune_enabled():
+            pruned = self._rank_pruned(plan, candidates, sql=sql, top_k=top_k)
+            if pruned is not None:
+                return pruned
         unique_degrees = {
             predicate: self._interpretation_degree_vector(candidates.unique_ids, interpretation)
             for predicate, interpretation in plan.interpretations.items()
@@ -871,6 +1156,302 @@ class ShardedSubjectiveQueryEngine(SubjectiveQueryEngine):
             for index in selected
         ]
         return QueryResult(sql=sql, entities=entities, interpretations=plan.interpretations)
+
+    # -------------------------------------------------- bound-based pruning
+    def _prune_enabled(self) -> bool:
+        """Whether the pruned path may run right now (hook for subclasses).
+
+        The cluster engine returns ``False`` while a concurrent batch is in
+        flight — its prefetch pipeline already computes full exact vectors,
+        so a threshold scan would only duplicate work.
+        """
+        return True
+
+    def _rank_pruned(
+        self,
+        plan: QueryPlan,
+        candidates: CandidateSet,
+        sql: str,
+        top_k: int | None,
+    ) -> QueryResult | None:
+        """Threshold-style pruned ranking; ``None`` when the query is ineligible.
+
+        Candidates are scanned in chunks.  For each chunk the heap's
+        running k-th score is the prune threshold ``T``: membership degrees
+        are fetched through the store's bounded path (which skips kernels
+        for rows and whole slices whose degree upper bound is below the
+        per-predicate threshold), rows whose AND-path predicate bound falls
+        below ``T`` are dropped from the remaining fetches, and rows whose
+        final score upper bound is below ``T`` never reach the heap.  Every
+        row that survives all of this has exclusively exact degrees, so its
+        folded upper bound *is* its exact score — survivors are pushed
+        without any second scoring pass, and the result is bit-identical to
+        the unpruned ranking.
+        """
+        statement = plan.statement
+        where = statement.where
+        limit = statement.limit or top_k or self.processor.top_k
+        row_entities = candidates.row_entities
+        if not limit or limit < 1 or where is None:
+            return None
+        if len(row_entities) != len(candidates.unique_ids):
+            return None  # duplicate entities (joins): row remap not worth bounding
+        if len(row_entities) <= limit:
+            return None  # every candidate is kept; nothing to prune
+        logic = self.processor.logic
+        if not getattr(logic, "supports_bounds", False):
+            return None
+        if not self.processor.use_markers or not self.processor.use_columnar:
+            return None
+        store = self.processor.columnar_store
+        if store is None or not hasattr(store, "pair_degrees_bounded"):
+            return None
+        for interpretation in plan.interpretations.values():
+            if (
+                interpretation.method is InterpretationMethod.TEXT_RETRIEVAL
+                or not interpretation.pairs
+            ):
+                return None  # retrieval degrees have no bound form
+        if not bounds_tree_supported(where, set(plan.interpretations)):
+            return None
+        and_path = and_path_predicates(where)
+        # AND-path predicates first: their bounds both narrow the alive set
+        # and let the store skip slices, so they should see the threshold
+        # before any unboundable work happens.
+        ordered = sorted(
+            (
+                (text, interpretation, text in and_path)
+                for text, interpretation in plan.interpretations.items()
+            ),
+            key=lambda entry: not entry[2],
+        )
+        rows = candidates.rows
+        heap = TopKThreshold(limit)
+        screen = getattr(store, "pair_degree_envelope", None)
+        membership = self.processor.membership
+        # Vectorized pre-screen out of the store's cached envelope: the
+        # conjunction of the eligible AND-path predicate bounds caps the
+        # query score under any t-norm, so it both *orders* the scan
+        # (descending bound — the threshold-algorithm order, which fills
+        # the heap with the likeliest winners first) and provides a sorted
+        # stop condition: once the head of the remainder is below the k-th
+        # score, no remaining candidate can qualify.  Rows dropped here
+        # never cost any per-entity cache traffic.  Store layers without
+        # local envelope access (RPC, cluster) skip this and instead ship
+        # the threshold to the nodes.
+        scan_bound: np.ndarray | None = None
+        if screen is not None:
+            cap_vectors: list[np.ndarray] = []
+            for _text, interpretation, on_and_path in ordered:
+                if not on_and_path:
+                    break  # AND-path entries sort first
+                if (
+                    interpretation.combinator != "and"
+                    and len(interpretation.pairs) > 1
+                ):
+                    continue
+                pair_highs = []
+                for pair in interpretation.pairs:
+                    envelope = screen(
+                        membership,
+                        row_entities,
+                        pair.attribute,
+                        self.processor.phrase_for_pair(interpretation, pair.marker),
+                    )
+                    if envelope is None:
+                        pair_highs = None
+                        break
+                    pair_highs.append(envelope[1])
+                if pair_highs:
+                    cap_vectors.extend(pair_highs)
+            if cap_vectors:
+                scan_bound = (
+                    logic.conjunction_arrays(cap_vectors)
+                    if len(cap_vectors) > 1
+                    else cap_vectors[0]
+                )
+        if scan_bound is not None:
+            order = np.argsort(-scan_bound, kind="stable")
+            scan_bound = scan_bound[order]
+            scan_positions = order.tolist()
+            scan_ids = [row_entities[position] for position in scan_positions]
+            scan_rows = [rows[position] for position in scan_positions]
+        else:
+            scan_positions = None
+            scan_ids, scan_rows = row_entities, rows
+        total = len(row_entities)
+        # Chunks grow geometrically: the first (small) chunk seeds the
+        # heap so a real threshold exists almost immediately, and the
+        # growth keeps the per-chunk fixed cost of the bounded store
+        # round-trips logarithmic in the candidate count.
+        chunk_size = max(1, self.prune_chunk_size)
+        chunk_start = 0
+        while chunk_start < total:
+            threshold = heap.threshold
+            prune_threshold = threshold if threshold is not None else 0.0
+            if (
+                threshold is not None
+                and scan_bound is not None
+                and scan_bound[chunk_start] < prune_threshold
+            ):
+                # Descending bound order: everything from here on is
+                # provably below the k-th score.
+                self.entities_pruned += total - chunk_start
+                break
+            chunk_stop = min(chunk_start + chunk_size, total)
+            chunk_ids = scan_ids[chunk_start:chunk_stop]
+            chunk_rows = scan_rows[chunk_start:chunk_stop]
+            size = chunk_stop - chunk_start
+            alive = np.ones(size, dtype=bool)
+            if threshold is not None and scan_bound is not None:
+                alive = scan_bound[chunk_start:chunk_stop] >= prune_threshold
+                dropped = size - int(np.count_nonzero(alive))
+                if dropped:
+                    self.entities_pruned += dropped
+            bound_vectors: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+            for text, interpretation, on_and_path in ordered:
+                alive_index = np.flatnonzero(alive)
+                if alive_index.size == 0:
+                    break
+                alive_ids = [chunk_ids[position] for position in alive_index]
+                # A pair-level threshold is sound only when the pair value
+                # caps the predicate (t-norm combination, or a single pair)
+                # *and* the predicate caps the query (AND path).
+                pair_threshold = (
+                    prune_threshold
+                    if on_and_path
+                    and (
+                        interpretation.combinator == "and"
+                        or len(interpretation.pairs) == 1
+                    )
+                    else 0.0
+                )
+                pair_lows: list[np.ndarray] = []
+                pair_highs: list[np.ndarray] = []
+                for pair in interpretation.pairs:
+                    fetched = self._bounded_cached_pair_degrees(
+                        alive_ids,
+                        pair.attribute,
+                        self.processor.phrase_for_pair(interpretation, pair.marker),
+                        pair_threshold,
+                    )
+                    if fetched is None:
+                        return None  # no bound support after all: full path
+                    values, exact = fetched
+                    hi = np.asarray(values, dtype=float)
+                    pair_highs.append(hi)
+                    pair_lows.append(np.where(exact, hi, 0.0))
+                combine = (
+                    logic.conjunction_arrays
+                    if interpretation.combinator == "and"
+                    else logic.disjunction_arrays
+                )
+                predicate_lo = combine(pair_lows)
+                predicate_hi = combine(pair_highs)
+                # Scatter into chunk-wide vectors; dead rows keep the
+                # universally sound [0, 1] default (their values are never
+                # read back — they cannot re-enter the alive set).
+                lo_full = np.zeros(size)
+                hi_full = np.ones(size)
+                lo_full[alive_index] = predicate_lo
+                hi_full[alive_index] = predicate_hi
+                bound_vectors[text] = (lo_full, hi_full)
+                if on_and_path:
+                    # Under a t-norm the query score cannot exceed this
+                    # predicate, so rows whose cap is already below the
+                    # k-th score are out — skip them in later fetches.
+                    alive[alive_index] = predicate_hi >= prune_threshold
+            if alive.any():
+                envelope = fuzzy_bound_arrays(
+                    where, chunk_rows, bound_vectors, logic, prune_below=threshold
+                )
+                if envelope is None:
+                    return None
+                _lo_env, hi_env = envelope
+                for position in np.flatnonzero(alive & (hi_env >= prune_threshold)):
+                    index = int(position)
+                    score = float(hi_env[index])
+                    heap.offer(
+                        score,
+                        chunk_ids[index],
+                        # The tie-break key is the *original* candidate
+                        # position, so the ranking is identical however the
+                        # scan happens to be ordered.
+                        scan_positions[chunk_start + index]
+                        if scan_positions is not None
+                        else chunk_start + index,
+                        payload=RankedEntity(
+                            entity_id=chunk_ids[index],
+                            score=score,
+                            row=chunk_rows[index],
+                            predicate_degrees={
+                                text: float(vectors[1][index])
+                                for text, vectors in bound_vectors.items()
+                            },
+                        ),
+                    )
+            chunk_start = chunk_stop
+            chunk_size *= max(2, self.prune_chunk_growth)
+        return QueryResult(
+            sql=sql,
+            entities=list(heap.selected()),
+            interpretations=plan.interpretations,
+        )
+
+    def _bounded_cached_pair_degrees(
+        self,
+        entity_ids: Sequence[Hashable],
+        attribute: str,
+        phrase: str,
+        threshold: float,
+    ) -> tuple[list[float], list[bool]] | None:
+        """Membership degrees with per-row exactness, pruned below ``threshold``.
+
+        The bounded twin of the base engine's ``_cached_pair_degrees``:
+        cache hits are exact by construction (only exact degrees are ever
+        cached), misses go through the store's bounded path, and of the
+        returned values only the exact ones enter the cache — a pruned
+        row's upper bound is *not* its degree and must be recomputed if a
+        later query needs it.  Returns ``(values, exact_flags)`` aligned
+        with ``entity_ids``, or ``None`` when the store or membership
+        function cannot bound this phrase.
+        """
+        keys = [(entity_id, attribute, phrase) for entity_id in entity_ids]
+        cached = self.membership_cache.get_many(keys, _MISSING)
+        missing = [
+            entity_id
+            for entity_id, value in zip(entity_ids, cached)
+            if value is _MISSING
+        ]
+        if not missing:
+            return cached, [True] * len(cached)
+        result = self.processor.columnar_store.pair_degrees_bounded(
+            self.processor.membership, missing, attribute, phrase, threshold
+        )
+        if result is None:
+            return None
+        values, exact_mask, scored, pruned = result
+        self.entities_scored += scored
+        self.entities_pruned += pruned
+        self.membership_cache.put_many(
+            [
+                ((entity_id, attribute, phrase), float(value))
+                for entity_id, value, exact in zip(missing, values, exact_mask)
+                if exact
+            ]
+        )
+        filled_values = iter(values)
+        filled_exact = iter(exact_mask)
+        out_values: list[float] = []
+        out_exact: list[bool] = []
+        for value in cached:
+            if value is _MISSING:
+                out_values.append(float(next(filled_values)))
+                out_exact.append(bool(next(filled_exact)))
+            else:
+                out_values.append(value)
+                out_exact.append(True)
+        return out_values, out_exact
 
     # ----------------------------------------------------------- statistics
     def _cache_counters(self) -> dict[str, int]:

@@ -17,7 +17,19 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.fuzzy import ProductLogic, ZadehLogic
-from repro.serving.sharded import merge_shard_topk, partition_bounds
+from repro.engine.expressions import (
+    AndExpression,
+    NotExpression,
+    OrExpression,
+    SubjectivePredicate,
+)
+from repro.serving.sharded import (
+    TopKThreshold,
+    fuzzy_bound_arrays,
+    fuzzy_score_arrays,
+    merge_shard_topk,
+    partition_bounds,
+)
 from repro.core.markers import Marker, MarkerSummary
 from repro.core.query import SubjectiveQueryBuilder
 from repro.engine.sqlparser import parse_query
@@ -266,6 +278,133 @@ class TestShardTopkMerge:
         entities = [entity for _, entity in rows]
         assert merge_shard_topk(scores, entities, 3, 0) == []
         assert merge_shard_topk(scores, entities, 3, -1) == []
+
+
+class TestBoundIntervalContainment:
+    """``fuzzy_bound_arrays`` envelopes always bracket the exact score.
+
+    This is the soundness contract the pruned top-k path rests on: for any
+    WHERE tree of subjective predicates and any per-predicate ``[lo, hi]``
+    interval containing the exact degree, the folded envelope contains the
+    exact ``fuzzy_score_arrays`` value — with or without the AND
+    short-circuit — and degenerate ``[d, d]`` intervals collapse to the
+    exact score bit for bit.
+    """
+
+    predicate_names = ("p0", "p1", "p2", "p3")
+
+    trees = st.recursive(
+        st.sampled_from(predicate_names).map(SubjectivePredicate),
+        lambda children: st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda ops: AndExpression(tuple(ops))
+            ),
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda ops: OrExpression(tuple(ops))
+            ),
+            children.map(NotExpression),
+        ),
+        max_leaves=6,
+    )
+
+    def _draw_vectors(self, data, num_rows):
+        pads = st.floats(min_value=0.0, max_value=0.5)
+        exact = {}
+        bounds = {}
+        for name in self.predicate_names:
+            values = np.array(
+                data.draw(st.lists(degrees, min_size=num_rows, max_size=num_rows))
+            )
+            lo_pad = np.array(
+                data.draw(st.lists(pads, min_size=num_rows, max_size=num_rows))
+            )
+            hi_pad = np.array(
+                data.draw(st.lists(pads, min_size=num_rows, max_size=num_rows))
+            )
+            exact[name] = values
+            bounds[name] = (
+                np.clip(values - lo_pad, 0.0, 1.0),
+                np.clip(values + hi_pad, 0.0, 1.0),
+            )
+        return exact, bounds
+
+    @given(trees, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_envelope_contains_exact_score(self, tree, data):
+        num_rows = data.draw(st.integers(min_value=1, max_value=5))
+        rows = [{} for _ in range(num_rows)]
+        exact, bounds = self._draw_vectors(data, num_rows)
+        prune_below = data.draw(
+            st.one_of(st.none(), st.floats(min_value=0.0, max_value=1.0))
+        )
+        for logic in (ProductLogic(), ZadehLogic()):
+            envelope = fuzzy_bound_arrays(
+                tree, rows, bounds, logic, prune_below=prune_below
+            )
+            score = fuzzy_score_arrays(tree, rows, exact, logic)
+            assert envelope is not None and score is not None
+            lo, hi = envelope
+            assert np.all(lo <= score + 1e-12)
+            assert np.all(score <= hi + 1e-12)
+
+    @given(trees, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_degenerate_intervals_collapse_bitwise(self, tree, data):
+        """Exact ``[d, d]`` inputs make the envelope the exact score, == not ≈."""
+        num_rows = data.draw(st.integers(min_value=1, max_value=5))
+        rows = [{} for _ in range(num_rows)]
+        exact = {
+            name: np.array(
+                data.draw(st.lists(degrees, min_size=num_rows, max_size=num_rows))
+            )
+            for name in self.predicate_names
+        }
+        point_bounds = {
+            name: (values, values.copy()) for name, values in exact.items()
+        }
+        for logic in (ProductLogic(), ZadehLogic()):
+            lo, hi = fuzzy_bound_arrays(tree, rows, point_bounds, logic)
+            score = fuzzy_score_arrays(tree, rows, exact, logic)
+            assert np.array_equal(hi, score)
+            assert np.array_equal(lo, score)
+
+
+class TestTopKThresholdHeap:
+    """The incremental threshold heap equals the batch top-k merge, ties included."""
+
+    cases = st.lists(
+        st.tuples(
+            st.sampled_from([0.0, 0.25, 0.5, 0.5, 0.75, 1.0]),
+            st.text(alphabet="abc", min_size=1, max_size=2),
+        ),
+        min_size=0,
+        max_size=40,
+    )
+
+    @given(cases, st.integers(min_value=1, max_value=8))
+    def test_incremental_selection_equals_merge(self, rows, limit):
+        scores = np.array([score for score, _ in rows], dtype=float)
+        entities = [entity for _, entity in rows]
+        heap = TopKThreshold(limit)
+        for index, (score, entity) in enumerate(rows):
+            heap.offer(score, entity, index, index)
+        assert heap.selected() == merge_shard_topk(scores, entities, 3, limit)
+
+    @given(cases, st.integers(min_value=1, max_value=8))
+    def test_threshold_is_monotone_and_is_kth_score(self, rows, limit):
+        heap = TopKThreshold(limit)
+        published = None
+        for index, (score, entity) in enumerate(rows):
+            heap.offer(score, entity, index, index)
+            threshold = heap.threshold
+            if published is not None:
+                assert threshold is not None and threshold >= published
+            published = threshold
+        if len(rows) < limit:
+            assert heap.threshold is None
+        else:
+            kth_index = heap.selected()[-1]
+            assert heap.threshold == rows[kth_index][0]
 
 
 class TestFuzzyArrayConnectives:

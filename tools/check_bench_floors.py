@@ -20,17 +20,30 @@ bench job runs the benchmarks (which overwrite the JSON on success) and
 then this gate over whatever is on disk.  When ``GITHUB_STEP_SUMMARY`` is
 set, a markdown table of every measurement/floor pair is appended to it.
 
+Benchmarks additionally record the module-level ``HARNESS`` literal they
+were measured under beneath the reserved ``"harness"`` key.  That subtree
+is *configuration*, not measurement — its ``*_floor`` entries are skipped
+by the gate — but it is compared against the script's current ``HARNESS``
+literal (read with ``ast.literal_eval``, never by importing the script)
+and any drift prints a warning: the committed figures were produced by a
+harness that no longer matches the source.  Drift warns, it does not fail
+— regenerating the JSON resolves it.
+
 Exit status 0 when every floor holds, 1 otherwise.  Stdlib only.
 """
 
 from __future__ import annotations
 
+import ast
 import json
 import os
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Reserved key under which benchmarks record their HARNESS literal.
+HARNESS_KEY = "harness"
 
 
 def bench_files() -> list[Path]:
@@ -48,6 +61,8 @@ def floor_pairs(node: object, path: str = "") -> list[tuple[str, float, float | 
     if isinstance(node, dict):
         for key, value in node.items():
             here = f"{path}.{key}" if path else key
+            if key == HARNESS_KEY:
+                continue  # recorded configuration, not a measurement
             if key.endswith("_floor") and isinstance(value, (int, float)):
                 sibling = node.get(key[: -len("_floor")])
                 measured = float(sibling) if isinstance(sibling, (int, float)) else None
@@ -86,6 +101,59 @@ def check_file(path: Path) -> tuple[list[str], list[tuple[str, str, float, float
     return errors, rows
 
 
+def script_harness(benchmark: str) -> "dict | None":
+    """The module-level ``HARNESS`` literal of one benchmark script.
+
+    Parsed with :mod:`ast` — never imported, so a broken or heavyweight
+    benchmark module cannot take the gate down.  ``None`` when the script
+    is missing, unparsable, or declares no literal ``HARNESS``.
+    """
+    script = REPO_ROOT / "benchmarks" / f"{benchmark}.py"
+    try:
+        tree = ast.parse(script.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+    harness = None
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(target, ast.Name) and target.id == "HARNESS"
+            for target in node.targets
+        ):
+            try:
+                harness = ast.literal_eval(node.value)
+            except ValueError:
+                return None
+    return harness if isinstance(harness, dict) else None
+
+
+def harness_warnings(path: Path, document: object) -> list[str]:
+    """Warn-only drift report between a bench document and its script.
+
+    A document without a ``"harness"`` key, or whose script records no
+    ``HARNESS`` literal, is simply skipped — only an actual mismatch
+    between the two (a harness edited without regenerating the JSON, or
+    the JSON regenerated under different knobs) is reported.
+    """
+    if not isinstance(document, dict):
+        return []
+    recorded = document.get(HARNESS_KEY)
+    benchmark = document.get("benchmark")
+    if not isinstance(recorded, dict) or not isinstance(benchmark, str):
+        return []
+    current = script_harness(benchmark)
+    if current is None or current == recorded:
+        return []
+    drifted = sorted(
+        key
+        for key in set(current) | set(recorded)
+        if current.get(key) != recorded.get(key)
+    )
+    return [
+        f"warning: {path.name}: harness drifted from benchmarks/{benchmark}.py "
+        f"(keys: {', '.join(drifted)}) — regenerate the bench JSON"
+    ]
+
+
 def write_step_summary(rows: list[tuple[str, str, float, float | None, bool]]) -> None:
     """Append a markdown table of every measurement to ``GITHUB_STEP_SUMMARY``."""
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
@@ -114,16 +182,24 @@ def main() -> int:
     if not checked:
         print("no BENCH_*.json files found at the repository root", file=sys.stderr)
         return 1
+    warnings: list[str] = []
     for path in checked:
         file_errors, file_rows = check_file(path)
         errors.extend(file_errors)
         rows.extend(file_rows)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            document = None  # already reported by check_file
+        warnings.extend(harness_warnings(path, document))
+    for warning in warnings:
+        print(warning, file=sys.stderr)
     for error in errors:
         print(error, file=sys.stderr)
     write_step_summary(rows)
     print(
         f"checked {len(checked)} bench files, {len(rows)} gated metrics: "
-        f"{len(errors)} floor violations"
+        f"{len(errors)} floor violations, {len(warnings)} harness warnings"
     )
     return 1 if errors else 0
 
