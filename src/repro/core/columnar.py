@@ -221,21 +221,151 @@ class AttributeColumns:
 # --------------------------------------------------------------------------
 
 #: Magic prefix + format version of the packed column-snapshot layout.
+#: Version 2 added the flags byte after the checksum: zlib body
+#: compression, optional f32 centroid quantization, and delta frames.
 SNAPSHOT_MAGIC = b"OPSN"
-SNAPSHOT_FORMAT_VERSION = 1
+SNAPSHOT_FORMAT_VERSION = 2
+
+#: Container flag bits (one u8 between the checksum and the body).
+SNAPSHOT_FLAG_ZLIB = 0x01  # body is zlib-compressed
+SNAPSHOT_FLAG_F32_CENTROIDS = 0x02  # centroid tensor quantized to f32
+SNAPSHOT_FLAG_DELTA = 0x04  # body is a SnapshotDelta, not a full snapshot
 
 _SNAP_U16 = struct.Struct("!H")
 _SNAP_U32 = struct.Struct("!I")
 _SNAP_U64 = struct.Struct("!Q")
+_SNAP_U8 = struct.Struct("!B")
 
 #: Canonical big-endian f64 wire dtype — the byte swap is lossless, so
-#: every array bit survives the pack/unpack round trip.
+#: every array bit survives the pack/unpack round trip.  The f32 dtype is
+#: used only for quantized centroid tensors behind an explicit tolerance.
 _SNAP_F64 = ">f8"
+_SNAP_F32 = ">f4"
+_SNAP_ROW = ">u4"
 
 
 def _pack_f64(array: np.ndarray) -> bytes:
     """One array as big-endian f64 bytes in C order (deterministic)."""
     return np.ascontiguousarray(array, dtype=np.float64).astype(_SNAP_F64).tobytes()
+
+
+def _pack_centroids(array: np.ndarray, tolerance: float | None) -> tuple[bytes, int]:
+    """The centroid tensor as wire bytes; ``(bytes, container flags)``.
+
+    Lossless f64 by default.  With an explicit ``tolerance``, the tensor is
+    quantized to f32 *iff* every element's round-trip error stays within
+    the tolerance — otherwise a typed :class:`SnapshotError` refuses the
+    pack, so a caller can never silently ship degrees it did not sign up
+    for.  (Unit-normalized centroids round-trip through f32 with error
+    ~6e-8, so tolerances down to 1e-7 are routinely satisfiable.)
+    """
+    if tolerance is None:
+        return _pack_f64(array), 0
+    if tolerance < 0:
+        raise SnapshotError(f"centroid tolerance must be >= 0, got {tolerance}")
+    exact = np.ascontiguousarray(array, dtype=np.float64)
+    quantized = exact.astype(np.float32)
+    error = float(np.max(np.abs(exact - quantized.astype(np.float64)))) if exact.size else 0.0
+    if error > tolerance:
+        raise SnapshotError(
+            f"f32 centroid quantization error {error:g} exceeds the "
+            f"declared tolerance {tolerance:g}"
+        )
+    return quantized.astype(_SNAP_F32).tobytes(), SNAPSHOT_FLAG_F32_CENTROIDS
+
+
+def _snapshot_meta(columns: "AttributeColumns", entity_ids: Sequence[Hashable]) -> bytes:
+    """The deterministic meta-JSON bytes shared by full and delta bodies."""
+    for entity_id in entity_ids:
+        # JSON must round-trip ids *exactly* — tuples would silently
+        # come back as lists and break node-side row lookup.
+        if entity_id is not None and not isinstance(entity_id, (str, int, float)):
+            raise SnapshotError(
+                f"entity id {entity_id!r} of attribute {columns.attribute!r} "
+                "is not snapshot-serializable (ids must be str, int, float "
+                "or None)"
+            )
+    try:
+        return json.dumps(
+            {
+                "attribute": columns.attribute,
+                "entity_ids": list(entity_ids),
+                "markers": [
+                    [marker.name, marker.position, marker.sentiment]
+                    for marker in columns.markers
+                ],
+                "dimension": columns.dimension,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise SnapshotError(
+            f"entity ids of attribute {columns.attribute!r} are not "
+            f"snapshot-serializable ({error})"
+        ) from error
+
+
+def _pack_container(body: bytes, flags: int, compress: bool) -> bytes:
+    """Wrap one body in the versioned, checksummed snapshot container.
+
+    Layout: ``magic (4) | format version (u16) | crc32 (u32) | flags (u8) |
+    stored body``.  The CRC covers the flags byte *and* the stored body, so
+    a flipped flag (e.g. compressed read as raw) is an integrity failure,
+    never a misparse.  Compression is zlib level 1 — the point is cheap
+    wire-size reduction on hydrate frames, not archival ratios.
+    """
+    if compress:
+        flags |= SNAPSHOT_FLAG_ZLIB
+        body = zlib.compress(body, 1)
+    stored = _SNAP_U8.pack(flags) + body
+    return (
+        SNAPSHOT_MAGIC
+        + _SNAP_U16.pack(SNAPSHOT_FORMAT_VERSION)
+        + _SNAP_U32.pack(zlib.crc32(stored))
+        + stored
+    )
+
+
+def _unpack_container(payload: bytes) -> tuple[int, bytes]:
+    """Verify one container's header + checksum; ``(flags, body bytes)``.
+
+    Raises :class:`SnapshotError` for a wrong magic, an unsupported format
+    version or a truncated payload, and :class:`SnapshotIntegrityError`
+    when the checksum over ``flags | stored body`` does not match.  The
+    checksum is verified *before* decompression, so corrupted compressed
+    bytes fail typed instead of feeding garbage to zlib.
+    """
+    header_size = len(SNAPSHOT_MAGIC) + _SNAP_U16.size + _SNAP_U32.size + _SNAP_U8.size
+    if len(payload) < header_size:
+        raise SnapshotError(
+            f"snapshot too short ({len(payload)} bytes; header is {header_size})"
+        )
+    if payload[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
+        raise SnapshotError("not a column snapshot (bad magic)")
+    offset = len(SNAPSHOT_MAGIC)
+    (version,) = _SNAP_U16.unpack_from(payload, offset)
+    offset += _SNAP_U16.size
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot format version {version} "
+            f"(this build reads version {SNAPSHOT_FORMAT_VERSION})"
+        )
+    (checksum,) = _SNAP_U32.unpack_from(payload, offset)
+    offset += _SNAP_U32.size
+    stored = payload[offset:]
+    if zlib.crc32(stored) != checksum:
+        raise SnapshotIntegrityError(
+            "column snapshot failed its checksum (corrupted in transit)"
+        )
+    flags = stored[0]
+    body = stored[1:]
+    if flags & SNAPSHOT_FLAG_ZLIB:
+        try:
+            body = zlib.decompress(body)
+        except zlib.error as error:
+            raise SnapshotError(f"snapshot body failed to decompress ({error})") from error
+    return flags, body
 
 
 @dataclass(frozen=True)
@@ -300,48 +430,30 @@ class ColumnSnapshot:
             columns=slice_view(columns, start, stop),
         )
 
-    def pack(self) -> bytes:
+    def pack(self, compress: bool = False, centroid_tolerance: float | None = None) -> bytes:
         """Serialize to deterministic, checksummed bytes.
 
-        Layout: ``magic (4) | format version (u16) | crc32 (u32) | body``,
-        where the body is ``data_version (u64) | slice_id | start | stop
-        (u32 each) | meta JSON (u32 length + bytes) | arrays``.  The meta
-        JSON (compact separators, sorted keys — deterministic) carries the
-        attribute name, the entity ids, the marker ``(name, position,
-        sentiment)`` triples and the embedding dimension; the arrays follow
-        as raw big-endian f64 in a fixed order with shapes derived from
-        (E, M, D).  Entity ids must be JSON-serializable (ints and strings
-        round-trip exactly); anything else raises :class:`SnapshotError`.
+        Layout: ``magic (4) | format version (u16) | crc32 (u32) | flags
+        (u8) | body``, where the body is ``data_version (u64) | slice_id |
+        start | stop (u32 each) | meta JSON (u32 length + bytes) |
+        arrays``.  The meta JSON (compact separators, sorted keys —
+        deterministic) carries the attribute name, the entity ids, the
+        marker ``(name, position, sentiment)`` triples and the embedding
+        dimension; the arrays follow as raw big-endian f64 in a fixed
+        order with shapes derived from (E, M, D).  Entity ids must be
+        JSON-serializable (ints and strings round-trip exactly); anything
+        else raises :class:`SnapshotError`.
+
+        ``compress=True`` wraps the body in zlib framing — still lossless,
+        every unpacked bit identical.  ``centroid_tolerance`` opts into f32
+        quantization of the E×M×D centroid tensor (the dominant term of a
+        hydrate frame): the pack is refused with :class:`SnapshotError`
+        unless every element's f64→f32→f64 round-trip error is within the
+        tolerance.  The default (``None``) keeps full bit-identity.
         """
         columns = self.columns
-        for entity_id in columns.entity_ids:
-            # JSON must round-trip ids *exactly* — tuples would silently
-            # come back as lists and break node-side row lookup.
-            if entity_id is not None and not isinstance(entity_id, (str, int, float)):
-                raise SnapshotError(
-                    f"entity id {entity_id!r} of attribute {columns.attribute!r} "
-                    "is not snapshot-serializable (ids must be str, int, float "
-                    "or None)"
-                )
-        try:
-            meta = json.dumps(
-                {
-                    "attribute": columns.attribute,
-                    "entity_ids": list(columns.entity_ids),
-                    "markers": [
-                        [marker.name, marker.position, marker.sentiment]
-                        for marker in columns.markers
-                    ],
-                    "dimension": columns.dimension,
-                },
-                sort_keys=True,
-                separators=(",", ":"),
-            ).encode("utf-8")
-        except (TypeError, ValueError) as error:
-            raise SnapshotError(
-                f"entity ids of attribute {columns.attribute!r} are not "
-                f"snapshot-serializable ({error})"
-            ) from error
+        meta = _snapshot_meta(columns, columns.entity_ids)
+        centroid_bytes, flags = _pack_centroids(columns.centroids_unit, centroid_tolerance)
         body = b"".join(
             [
                 _SNAP_U64.pack(self.data_version),
@@ -356,56 +468,35 @@ class ColumnSnapshot:
                 _pack_f64(columns.totals),
                 _pack_f64(columns.unmatched),
                 _pack_f64(columns.overall_sentiments),
-                _pack_f64(columns.centroids_unit),
+                centroid_bytes,
                 _pack_f64(columns.name_units),
             ]
         )
-        return (
-            SNAPSHOT_MAGIC
-            + _SNAP_U16.pack(SNAPSHOT_FORMAT_VERSION)
-            + _SNAP_U32.pack(zlib.crc32(body))
-            + body
-        )
+        return _pack_container(body, flags, compress)
 
     @classmethod
     def unpack(cls, payload: bytes) -> "ColumnSnapshot":
         """Rebuild a snapshot from :meth:`pack` bytes, verifying integrity.
 
         Raises :class:`repro.errors.SnapshotError` for a wrong magic, an
-        unsupported format version, or a truncated/malformed payload, and
-        :class:`repro.errors.SnapshotIntegrityError` when the checksum does
-        not match — typed failures in every case, so a transport layer can
-        refuse bad hydration data without ever serving from it.
+        unsupported format version, a delta frame (those belong to
+        :meth:`SnapshotDelta.unpack`), or a truncated/malformed payload,
+        and :class:`repro.errors.SnapshotIntegrityError` when the checksum
+        does not match — typed failures in every case, so a transport
+        layer can refuse bad hydration data without ever serving from it.
         """
-        header_size = len(SNAPSHOT_MAGIC) + _SNAP_U16.size + _SNAP_U32.size
-        if len(payload) < header_size:
+        flags, body = _unpack_container(payload)
+        if flags & SNAPSHOT_FLAG_DELTA:
             raise SnapshotError(
-                f"snapshot too short ({len(payload)} bytes; header is {header_size})"
-            )
-        if payload[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
-            raise SnapshotError("not a column snapshot (bad magic)")
-        offset = len(SNAPSHOT_MAGIC)
-        (version,) = _SNAP_U16.unpack_from(payload, offset)
-        offset += _SNAP_U16.size
-        if version != SNAPSHOT_FORMAT_VERSION:
-            raise SnapshotError(
-                f"unsupported snapshot format version {version} "
-                f"(this build reads version {SNAPSHOT_FORMAT_VERSION})"
-            )
-        (checksum,) = _SNAP_U32.unpack_from(payload, offset)
-        offset += _SNAP_U32.size
-        body = payload[offset:]
-        if zlib.crc32(body) != checksum:
-            raise SnapshotIntegrityError(
-                "column snapshot failed its checksum (corrupted in transit)"
+                "payload is a delta snapshot frame; unpack it with SnapshotDelta.unpack"
             )
         try:
-            return cls._unpack_body(body)
+            return cls._unpack_body(body, flags)
         except (struct.error, IndexError, KeyError, TypeError, UnicodeDecodeError) as error:
             raise SnapshotError(f"malformed column snapshot body ({error})") from error
 
     @classmethod
-    def _unpack_body(cls, body: bytes) -> "ColumnSnapshot":
+    def _unpack_body(cls, body: bytes, flags: int) -> "ColumnSnapshot":
         offset = 0
         (data_version,) = _SNAP_U64.unpack_from(body, offset)
         offset += _SNAP_U64.size
@@ -430,24 +521,24 @@ class ColumnSnapshot:
                 f"snapshot row range [{start}, {stop}) does not match its "
                 f"{num_entities} entity ids"
             )
-
-        def take(shape: tuple[int, ...]) -> np.ndarray:
+        def take(shape: tuple[int, ...], dtype: str = _SNAP_F64) -> np.ndarray:
             nonlocal offset
             count = int(np.prod(shape)) if shape else 1
-            size = 8 * count
+            size = np.dtype(dtype).itemsize * count
             if offset + size > len(body):
                 raise SnapshotError("truncated column snapshot (arrays)")
-            array = np.frombuffer(body, dtype=_SNAP_F64, count=count, offset=offset)
+            array = np.frombuffer(body, dtype=dtype, count=count, offset=offset)
             offset += size
             return array.astype(np.float64).reshape(shape)
 
+        centroid_dtype = _SNAP_F32 if flags & SNAPSHOT_FLAG_F32_CENTROIDS else _SNAP_F64
         marker_sentiments = take((num_markers,))
         fractions = take((num_entities, num_markers))
         average_sentiments = take((num_entities, num_markers))
         totals = take((num_entities,))
         unmatched = take((num_entities,))
         overall_sentiments = take((num_entities,))
-        centroids_unit = take((num_entities, num_markers, dimension))
+        centroids_unit = take((num_entities, num_markers, dimension), centroid_dtype)
         name_units = take((num_markers, dimension))
         if offset != len(body):
             raise SnapshotError(
@@ -472,6 +563,329 @@ class ColumnSnapshot:
             slice_id=slice_id,
             start=start,
             stop=stop,
+            columns=columns,
+        )
+
+
+@dataclass(frozen=True)
+class SnapshotDelta:
+    """The changed rows between two versions of one slice's snapshot.
+
+    A small ingest typically touches a handful of entities, yet the
+    ``data_version`` contract invalidates every hydrated slice — before
+    deltas, each node re-downloaded its whole slice.  A delta carries only
+    the rows whose per-entity arrays changed between ``base_version`` and
+    ``data_version``: the receiver applies them over the base snapshot it
+    still holds (:meth:`apply`) and obtains a snapshot *bit-identical* to
+    the full pack of the new version, because every unchanged row is
+    byte-equal by construction and every changed row ships its exact f64
+    bits.
+
+    ``rows`` are slice-relative indices, strictly ascending; ``columns``
+    is a gather of exactly those rows (shared marker data included for
+    shape bookkeeping, but the delta is only *eligible* when the shared
+    ``marker_sentiments`` / ``name_units`` arrays and the slice's entity
+    ids are unchanged — :meth:`between` returns ``None`` otherwise, and
+    the coordinator falls back to a full snapshot).
+    """
+
+    base_version: int
+    data_version: int
+    slice_id: int
+    start: int
+    stop: int
+    rows: tuple[int, ...]
+    columns: AttributeColumns
+
+    #: Per-entity arrays a delta ships, in wire order.  ``centroids_unit``
+    #: is packed last of the row arrays so the f32-quantization flag can
+    #: apply to it alone, exactly as in the full snapshot layout.
+    _ROW_ARRAYS = (
+        "fractions",
+        "average_sentiments",
+        "totals",
+        "unmatched",
+        "overall_sentiments",
+        "centroids_unit",
+    )
+
+    @property
+    def num_rows(self) -> int:
+        """Number of changed rows the delta carries."""
+        return len(self.rows)
+
+    @classmethod
+    def between(
+        cls,
+        base: "ColumnSnapshot",
+        new: "ColumnSnapshot",
+        max_fraction: float = 0.5,
+    ) -> "SnapshotDelta | None":
+        """The delta turning ``base`` into ``new``, or ``None`` if ineligible.
+
+        Eligibility is conservative — a delta is only built when applying
+        it can reproduce the new snapshot bit-for-bit from the base:
+
+        * same attribute, slice id and ``[start, stop)`` row range;
+        * identical entity-id list (an ingest that adds entities moves the
+          partition bounds — every slice re-ships in full);
+        * identical marker schema and bit-equal shared arrays
+          (``marker_sentiments``, ``name_units``) — those are not carried
+          by the delta;
+        * fewer than ``max_fraction`` of the rows changed (beyond that a
+          full snapshot is no bigger and needs no base bookkeeping).
+
+        Row change detection is exact (``!=`` on the raw f64 bits per
+        row), so an untouched row can never ride along and a touched row
+        can never be missed.
+        """
+        old, fresh = base.columns, new.columns
+        if (
+            base.slice_id != new.slice_id
+            or base.start != new.start
+            or base.stop != new.stop
+            or old.attribute != fresh.attribute
+            or list(old.entity_ids) != list(fresh.entity_ids)
+            or old.markers != fresh.markers
+            or old.dimension != fresh.dimension
+            or not np.array_equal(old.marker_sentiments, fresh.marker_sentiments)
+            or not np.array_equal(old.name_units, fresh.name_units)
+        ):
+            return None
+        changed = (
+            np.any(old.fractions != fresh.fractions, axis=1)
+            | np.any(old.average_sentiments != fresh.average_sentiments, axis=1)
+            | (old.totals != fresh.totals)
+            | (old.unmatched != fresh.unmatched)
+            | (old.overall_sentiments != fresh.overall_sentiments)
+        )
+        if old.dimension:
+            changed |= np.any(old.centroids_unit != fresh.centroids_unit, axis=(1, 2))
+        rows = [int(row) for row in np.flatnonzero(changed)]
+        if len(rows) > max_fraction * max(1, fresh.num_entities):
+            return None
+        return cls(
+            base_version=base.data_version,
+            data_version=new.data_version,
+            slice_id=new.slice_id,
+            start=new.start,
+            stop=new.stop,
+            rows=tuple(rows),
+            columns=gather_rows(fresh, rows),
+        )
+
+    def pack(self, compress: bool = False, centroid_tolerance: float | None = None) -> bytes:
+        """Serialize to the shared snapshot container with the delta flag set.
+
+        Body layout: ``base_version (u64) | data_version (u64) | slice_id |
+        start | stop | row count (u32 each) | rows (u32 each, ascending,
+        slice-relative) | meta JSON (u32 length + bytes; the *changed*
+        rows' entity ids) | per-row arrays`` in :attr:`_ROW_ARRAYS` order.
+        ``compress`` / ``centroid_tolerance`` behave exactly as in
+        :meth:`ColumnSnapshot.pack`.
+        """
+        columns = self.columns
+        meta = _snapshot_meta(columns, columns.entity_ids)
+        centroid_bytes, flags = _pack_centroids(columns.centroids_unit, centroid_tolerance)
+        body = b"".join(
+            [
+                _SNAP_U64.pack(self.base_version),
+                _SNAP_U64.pack(self.data_version),
+                _SNAP_U32.pack(self.slice_id),
+                _SNAP_U32.pack(self.start),
+                _SNAP_U32.pack(self.stop),
+                _SNAP_U32.pack(len(self.rows)),
+                np.asarray(self.rows, dtype=np.uint32).astype(_SNAP_ROW).tobytes(),
+                _SNAP_U32.pack(len(meta)),
+                meta,
+                _pack_f64(columns.fractions),
+                _pack_f64(columns.average_sentiments),
+                _pack_f64(columns.totals),
+                _pack_f64(columns.unmatched),
+                _pack_f64(columns.overall_sentiments),
+                centroid_bytes,
+            ]
+        )
+        return _pack_container(body, flags | SNAPSHOT_FLAG_DELTA, compress)
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "SnapshotDelta":
+        """Rebuild a delta from :meth:`pack` bytes, verifying integrity.
+
+        Same typed-failure contract as :meth:`ColumnSnapshot.unpack`
+        (:class:`SnapshotError` on malformed/mistyped frames — including a
+        *full* snapshot frame handed here — and
+        :class:`SnapshotIntegrityError` on checksum mismatch).
+        """
+        flags, body = _unpack_container(payload)
+        if not flags & SNAPSHOT_FLAG_DELTA:
+            raise SnapshotError(
+                "payload is a full snapshot frame; unpack it with ColumnSnapshot.unpack"
+            )
+        try:
+            return cls._unpack_body(body, flags)
+        except (struct.error, IndexError, KeyError, TypeError, UnicodeDecodeError) as error:
+            raise SnapshotError(f"malformed delta snapshot body ({error})") from error
+
+    @classmethod
+    def _unpack_body(cls, body: bytes, flags: int) -> "SnapshotDelta":
+        offset = 0
+        base_version, data_version = struct.unpack_from("!QQ", body, offset)
+        offset += 16
+        slice_id, start, stop, num_rows = struct.unpack_from("!IIII", body, offset)
+        offset += 16
+        row_bytes = 4 * num_rows
+        if offset + row_bytes > len(body):
+            raise SnapshotError("truncated delta snapshot (rows)")
+        rows = tuple(
+            int(row)
+            for row in np.frombuffer(body, dtype=_SNAP_ROW, count=num_rows, offset=offset)
+        )
+        offset += row_bytes
+        if any(not 0 <= row < stop - start for row in rows):
+            raise SnapshotError(
+                f"delta row indices out of slice range [0, {stop - start})"
+            )
+        if any(a >= b for a, b in zip(rows, rows[1:])):
+            raise SnapshotError("delta row indices are not strictly ascending")
+        (meta_length,) = _SNAP_U32.unpack_from(body, offset)
+        offset += _SNAP_U32.size
+        if offset + meta_length > len(body):
+            raise SnapshotError("truncated delta snapshot (meta)")
+        try:
+            meta = json.loads(body[offset : offset + meta_length].decode("utf-8"))
+        except ValueError as error:
+            raise SnapshotError(f"malformed delta snapshot meta ({error})") from error
+        offset += meta_length
+        entity_ids = list(meta["entity_ids"])
+        if len(entity_ids) != num_rows:
+            raise SnapshotError(
+                f"delta carries {num_rows} rows but {len(entity_ids)} entity ids"
+            )
+        markers = [
+            Marker(str(name), int(position), float(sentiment))
+            for name, position, sentiment in meta["markers"]
+        ]
+        num_markers = len(markers)
+        dimension = int(meta["dimension"])
+
+        def take(shape: tuple[int, ...], dtype: str = _SNAP_F64) -> np.ndarray:
+            nonlocal offset
+            count = int(np.prod(shape)) if shape else 1
+            size = np.dtype(dtype).itemsize * count
+            if offset + size > len(body):
+                raise SnapshotError("truncated delta snapshot (arrays)")
+            array = np.frombuffer(body, dtype=dtype, count=count, offset=offset)
+            offset += size
+            return array.astype(np.float64).reshape(shape)
+
+        centroid_dtype = _SNAP_F32 if flags & SNAPSHOT_FLAG_F32_CENTROIDS else _SNAP_F64
+        fractions = take((num_rows, num_markers))
+        average_sentiments = take((num_rows, num_markers))
+        totals = take((num_rows,))
+        unmatched = take((num_rows,))
+        overall_sentiments = take((num_rows,))
+        centroids_unit = take((num_rows, num_markers, dimension), centroid_dtype)
+        if offset != len(body):
+            raise SnapshotError(
+                f"delta snapshot has {len(body) - offset} trailing bytes"
+            )
+        columns = AttributeColumns(
+            attribute=str(meta["attribute"]),
+            entity_ids=entity_ids,
+            row_of={entity_id: row for row, entity_id in enumerate(entity_ids)},
+            markers=markers,
+            # The shared arrays are not carried — the delta contract is
+            # that the base's are still current; apply() reuses them.
+            marker_sentiments=np.zeros(num_markers),
+            fractions=fractions,
+            average_sentiments=average_sentiments,
+            totals=totals,
+            unmatched=unmatched,
+            overall_sentiments=overall_sentiments,
+            centroids_unit=centroids_unit,
+            name_units=np.zeros((num_markers, dimension)),
+        )
+        return cls(
+            base_version=base_version,
+            data_version=data_version,
+            slice_id=slice_id,
+            start=start,
+            stop=stop,
+            rows=rows,
+            columns=columns,
+        )
+
+    def apply(self, base: "ColumnSnapshot") -> "ColumnSnapshot":
+        """The new-version snapshot obtained by patching ``base``.
+
+        Every mismatch between the delta's expectations and the offered
+        base — version skew, a different slice, a different attribute or
+        marker schema, or entity ids that moved — raises a typed
+        :class:`SnapshotError`; the node-side transport turns that into a
+        transported error and the coordinator re-ships a full snapshot.
+        Unchanged rows are shared with the base arrays byte-for-byte, so a
+        lossless delta applied to a lossless base reproduces exactly the
+        bits a full snapshot of the new version would carry.
+        """
+        old = base.columns
+        if base.data_version != self.base_version:
+            raise SnapshotError(
+                f"delta base version skew: delta was built against version "
+                f"{self.base_version}, the offered base holds {base.data_version}"
+            )
+        if (
+            base.slice_id != self.slice_id
+            or base.start != self.start
+            or base.stop != self.stop
+            or old.attribute != self.columns.attribute
+        ):
+            raise SnapshotError(
+                f"delta for slice {self.slice_id} of {self.columns.attribute!r} "
+                f"[{self.start}, {self.stop}) does not match base slice "
+                f"{base.slice_id} of {old.attribute!r} [{base.start}, {base.stop})"
+            )
+        if old.markers != self.columns.markers or old.dimension != self.columns.dimension:
+            raise SnapshotError("delta marker schema does not match its base")
+        rows = list(self.rows)
+        if any(row >= old.num_entities for row in rows):
+            raise SnapshotError("delta row indices out of range for its base")
+        changed_ids = [old.entity_ids[row] for row in rows]
+        if changed_ids != list(self.columns.entity_ids):
+            raise SnapshotError("delta entity ids do not match the base rows")
+        fractions = old.fractions.copy()
+        average_sentiments = old.average_sentiments.copy()
+        totals = old.totals.copy()
+        unmatched = old.unmatched.copy()
+        overall_sentiments = old.overall_sentiments.copy()
+        centroids_unit = old.centroids_unit.copy()
+        if rows:
+            fractions[rows] = self.columns.fractions
+            average_sentiments[rows] = self.columns.average_sentiments
+            totals[rows] = self.columns.totals
+            unmatched[rows] = self.columns.unmatched
+            overall_sentiments[rows] = self.columns.overall_sentiments
+            centroids_unit[rows] = self.columns.centroids_unit
+        entity_ids = list(old.entity_ids)
+        columns = AttributeColumns(
+            attribute=old.attribute,
+            entity_ids=entity_ids,
+            row_of={entity_id: row for row, entity_id in enumerate(entity_ids)},
+            markers=old.markers,
+            marker_sentiments=old.marker_sentiments,
+            fractions=fractions,
+            average_sentiments=average_sentiments,
+            totals=totals,
+            unmatched=unmatched,
+            overall_sentiments=overall_sentiments,
+            centroids_unit=centroids_unit,
+            name_units=old.name_units,
+        )
+        return ColumnSnapshot(
+            data_version=self.data_version,
+            slice_id=self.slice_id,
+            start=self.start,
+            stop=self.stop,
             columns=columns,
         )
 

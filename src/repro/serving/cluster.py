@@ -63,6 +63,7 @@ from repro.core.columnar import (
     ColumnarSummaryStore,
     ColumnSnapshot,
     ScoreBounds,
+    SnapshotDelta,
     bounded_pair_degrees,
     columnar_kernel,
     gather_degrees,
@@ -81,6 +82,7 @@ from repro.serving.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     OP_HELLO,
     OP_HYDRATE,
+    OP_HYDRATE_DELTA,
     OP_INVALIDATE,
     OP_SCORE,
     OP_SCORE_BOUNDED,
@@ -97,6 +99,7 @@ from repro.serving.protocol import (
     encode_error,
     encode_hello,
     encode_hello_ack,
+    encode_hydrate_delta_request,
     encode_hydrate_request,
     encode_invalidate_request,
     encode_score_bounded_request,
@@ -185,6 +188,14 @@ class ShardNodeServer:
         self.cache_size = cache_size
         self.data_version = 0
         self._slices: dict[tuple[str, int], ColumnSnapshot] = {}
+        # One generation of superseded snapshots, kept as delta bases: an
+        # ``invalidate`` (or the first snapshot of a newer version) retires
+        # the current slices here instead of discarding them, so a
+        # subsequent ``hydrate delta`` built against the retired version
+        # can re-hydrate without re-downloading unchanged rows.  Never
+        # served from — scoring reads ``_slices`` only.
+        self._stale: dict[tuple[str, int], ColumnSnapshot] = {}
+        self._stale_version = 0
         # Degree-vector memos, one bounded cache per hydrated
         # (attribute, slice) — re-hydrating one attribute's slice must not
         # evict another attribute's still-valid vectors.
@@ -202,6 +213,7 @@ class ShardNodeServer:
         self.entities_scored = 0
         self.entities_pruned = 0
         self.hydrations = 0
+        self.delta_hydrations = 0
         self.invalidations = 0
         self.connections = 0
 
@@ -366,6 +378,8 @@ class ShardNodeServer:
                 return self._handle_score_bounded(reader), False
             if opcode == OP_HYDRATE:
                 return self._handle_hydrate(reader), False
+            if opcode == OP_HYDRATE_DELTA:
+                return self._handle_hydrate_delta(reader), False
             if opcode == OP_INVALIDATE:
                 return self._handle_invalidate(reader), False
             if opcode == OP_STATS:
@@ -378,20 +392,27 @@ class ShardNodeServer:
         except Exception as error:  # noqa: BLE001 - transported to the peer
             return encode_error(f"{type(error).__name__}: {error}"), False
 
-    def _handle_hydrate(self, reader: Reader) -> bytes:
-        try:
-            snapshot = ColumnSnapshot.unpack(reader.read_rest())
-        except SnapshotError as error:
-            return encode_error(f"{type(error).__name__}: {error}")
+    def _retire_slices(self, new_version: int) -> None:
+        """Supersede every hydrated slice, keeping one generation as delta bases.
+
+        A new data version invalidates all current slices together —
+        mixed-version scoring is impossible by construction.  Instead of
+        discarding them, the slices are retired to :attr:`_stale` (tagged
+        with their version) so a later ``hydrate delta`` against that
+        version can rebuild locally instead of re-downloading.
+        """
+        if self._slices:
+            self._stale = dict(self._slices)
+            self._stale_version = self.data_version
+        self._slices = {}
+        self._caches.clear()
+        self._bounds.clear()
+        self.data_version = new_version
+
+    def _install_snapshot(self, snapshot: ColumnSnapshot) -> bytes:
+        """Install one unpacked snapshot; the shared hydrate OK response."""
         if snapshot.data_version != self.data_version:
-            # A new data version supersedes every older slice: drop them
-            # all (and their memoised degrees) before installing the first
-            # snapshot of the new version — mixed-version scoring is
-            # impossible by construction.
-            self._slices.clear()
-            self._caches.clear()
-            self._bounds.clear()
-            self.data_version = snapshot.data_version
+            self._retire_slices(snapshot.data_version)
         key = (snapshot.columns.attribute, snapshot.slice_id)
         self._slices[key] = snapshot
         self._caches.pop(key, None)
@@ -402,6 +423,48 @@ class ShardNodeServer:
             + _U64.pack(self.data_version)
             + _U32.pack(snapshot.columns.num_entities)
         )
+
+    def _handle_hydrate(self, reader: Reader) -> bytes:
+        try:
+            snapshot = ColumnSnapshot.unpack(reader.read_rest())
+        except SnapshotError as error:
+            return encode_error(f"{type(error).__name__}: {error}")
+        return self._install_snapshot(snapshot)
+
+    def _handle_hydrate_delta(self, reader: Reader) -> bytes:
+        """Re-hydrate one slice from a delta over a base the node still holds.
+
+        The base is looked up first among the live slices (the delta's base
+        version may still be current here) and then among the retired
+        generation.  A missing or version-skewed base, a corrupt frame, or
+        a delta whose expectations do not match the base all transport a
+        typed error back — the coordinator responds by re-shipping a full
+        snapshot; the node never installs a doubtful slice.
+        """
+        try:
+            delta = SnapshotDelta.unpack(reader.read_rest())
+        except SnapshotError as error:
+            return encode_error(f"{type(error).__name__}: {error}")
+        key = (delta.columns.attribute, delta.slice_id)
+        base: ColumnSnapshot | None = None
+        if self.data_version == delta.base_version:
+            base = self._slices.get(key)
+        if base is None and self._stale_version == delta.base_version:
+            base = self._stale.get(key)
+        if base is None:
+            return encode_error(
+                f"SnapshotError: node {self.node_id} holds no base snapshot at "
+                f"version {delta.base_version} for slice {delta.slice_id} of "
+                f"{delta.columns.attribute!r} (have version {self.data_version}, "
+                f"stale {self._stale_version}); ship a full snapshot"
+            )
+        try:
+            snapshot = delta.apply(base)
+        except SnapshotError as error:
+            return encode_error(f"{type(error).__name__}: {error}")
+        response = self._install_snapshot(snapshot)
+        self.delta_hydrations += 1
+        return response
 
     def _handle_score(self, reader: Reader) -> bytes:
         slice_id = reader.read_u32()
@@ -548,11 +611,10 @@ class ShardNodeServer:
         self._caches.clear()
         if caller_version != self.data_version:
             # The coordinator moved on: every hydrated slice is stale.  The
-            # node returns to the unhydrated state and waits for fresh
-            # snapshots — it can never serve a stale degree.
-            self._slices.clear()
-            self._bounds.clear()
-            self.data_version = 0
+            # node returns to the unhydrated state — it can never serve a
+            # stale degree — but retires the slices as delta bases so the
+            # coming re-hydration can ship only changed rows.
+            self._retire_slices(caller_version)
         self.invalidations += 1
         return _U8.pack(STATUS_OK) + _U64.pack(reported) + _U32.pack(dropped)
 
@@ -570,6 +632,8 @@ class ShardNodeServer:
             "entities_pruned": self.entities_pruned,
             "cache_hits": sum(cache.stats.hits for cache in self._caches.values()),
             "hydrations": self.hydrations,
+            "delta_hydrations": self.delta_hydrations,
+            "stale_slices": len(self._stale),
             "invalidations": self.invalidations,
             "connections": self.connections,
             "cache_entries": sum(len(cache) for cache in self._caches.values()),
@@ -852,6 +916,33 @@ class ClusterNodeClient:
 # --------------------------------------------------------------------------
 
 @dataclass
+class _PendingCall:
+    """One enqueued node call of a fan-out, with everything needed to retry it.
+
+    ``kind`` is ``"hydrate"`` or ``"score"``.  Score calls carry their full
+    request parameters (slice identity, row subset, scatter target,
+    optional prune threshold) so that when the serving node dies
+    mid-request, :meth:`ClusterShardStore._collect_calls` can re-issue the
+    exact same call on an untried replica; ``tried`` accumulates the nodes
+    already attempted so a failover can never loop.
+    """
+
+    kind: str
+    reply: NodeReply
+    node: int
+    attribute: str = ""
+    slice_id: int = -1
+    hydration_key: "tuple[int, str, int] | None" = None
+    phrase: str = ""
+    start: int = 0
+    stop: int = 0
+    rows: "list[int] | None" = None
+    scatter: object = None
+    threshold: float | None = None
+    tried: set[int] = field(default_factory=set)
+
+
+@dataclass
 class DegreeRequest:
     """An issued-but-uncollected degree fan-out (one ``pair_degrees`` worth).
 
@@ -869,7 +960,7 @@ class DegreeRequest:
     phrase: str
     columns: AttributeColumns
     batch: np.ndarray | None
-    pending: list[tuple[str, NodeReply, object]] = field(default_factory=list)
+    pending: list[_PendingCall] = field(default_factory=list)
 
 
 class ClusterShardStore:
@@ -899,6 +990,29 @@ class ClusterShardStore:
     together, pushes ``invalidate`` to every reachable node (dropping node
     caches *and* hydrated slices), and the next fan-out re-hydrates lazily
     — snapshot re-hydration instead of the RPC layer's fleet re-fork.
+
+    Three cold-path controls (all default-off / lossless):
+
+    * ``replication`` — hydrate every slice on R nodes (the owner plus its
+      R−1 ring successors) and route each score to the least-loaded live
+      replica.  A node killed mid-fan-out then degrades to a warm replica:
+      the in-flight calls fail over and the caller never sees a
+      :class:`~repro.serving.protocol.WorkerCrashedError`; the dead node
+      rejoins (reconnect or respawn) on the next fan-out.  With the
+      default ``replication=1`` the single-owner crash semantics are
+      exactly the pre-replication ones.
+    * ``snapshot_compression`` — zlib framing on hydrate payloads;
+      lossless, every hydrated bit unchanged.
+    * ``centroid_tolerance`` — opt-in f32 quantization of snapshot
+      centroid tensors (the dominant hydrate bytes) under an explicit
+      error bound; ``None`` (default) keeps full bit-identity.
+
+    Independent of those flags, re-hydration after an ingest ships **delta
+    frames** wherever it can: the coordinator keeps the previous packed
+    generation per slice, and a node still holding that base receives only
+    the changed rows (:class:`~repro.core.columnar.SnapshotDelta`) instead
+    of the whole slice.  A node that cannot apply a delta answers with a
+    typed error and a full snapshot is shipped — never a stale slice.
     """
 
     def __init__(
@@ -913,6 +1027,9 @@ class ClusterShardStore:
         window: int = DEFAULT_INFLIGHT_WINDOW,
         connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
         io_timeout: float = DEFAULT_IO_TIMEOUT,
+        replication: int = 1,
+        snapshot_compression: bool = False,
+        centroid_tolerance: float | None = None,
     ) -> None:
         self._managed = addresses is None
         if self._managed:
@@ -935,6 +1052,8 @@ class ClusterShardStore:
             num_slices = num_nodes
         if num_slices < num_nodes:
             raise ValueError(f"num_slices ({num_slices}) must be >= num_nodes ({num_nodes})")
+        if replication < 1:
+            raise ValueError(f"replication must be positive, got {replication}")
         self.database = database
         self.num_nodes = num_nodes
         self.num_slices = num_slices
@@ -944,6 +1063,11 @@ class ClusterShardStore:
         self.window = window
         self.connect_timeout = connect_timeout
         self.io_timeout = io_timeout
+        # R is clamped to the fleet size: replicating a slice onto the same
+        # node twice buys nothing.
+        self.replication = min(replication, num_nodes)
+        self.snapshot_compression = snapshot_compression
+        self.centroid_tolerance = centroid_tolerance
         # Node n owns the contiguous slice-id range [bounds[n], bounds[n+1]).
         self._ownership = partition_bounds(num_slices, num_nodes)
         self._owner_of = [
@@ -957,12 +1081,23 @@ class ClusterShardStore:
             [None] * num_nodes if self._managed else [tuple(a) for a in addresses]
         )
         self._hydrated: set[tuple[int, str, int]] = set()
+        # Delta-hydration bookkeeping: the current packed generation per
+        # (attribute, slice), the previous generation (the delta base), the
+        # data version each (node, attribute, slice) last received, and a
+        # one-entry delta cache per slice so R replicas (and re-issues)
+        # never pack the same delta twice.
+        self._slice_bases: dict[tuple[str, int], ColumnSnapshot] = {}
+        self._slice_prev: dict[tuple[str, int], ColumnSnapshot] = {}
+        self._node_bases: dict[tuple[int, str, int], int] = {}
+        self._slice_deltas: dict[tuple[str, int], tuple[int, int, bytes | None]] = {}
         self._membership: object | None = None
         self._version = database.data_version
         self.invalidations = 0
         self.fanouts = 0  # sharded kernel passes (one per predicate computation)
         self.rpc_requests = 0  # individual score requests shipped to nodes
-        self.hydrations = 0  # snapshots shipped
+        self.hydrations = 0  # snapshots shipped (full or delta)
+        self.delta_hydrations = 0  # of which delta frames
+        self.failovers = 0  # crashed score calls re-issued on a replica
         self.entities_scored = 0  # rows the nodes' exact kernels evaluated
         self.entities_pruned = 0  # rows settled by bounds alone
         self._node_counters = [
@@ -1081,6 +1216,7 @@ class ClusterShardStore:
                     process.join(timeout=5)
                 self._processes[index] = None
         self._hydrated.clear()
+        self._node_bases.clear()
 
     # ----------------------------------------------------------------- fleet
     def _spawn_node(self, index: int, membership: object) -> None:
@@ -1182,7 +1318,16 @@ class ClusterShardStore:
         raise last if last is not None else WorkerCrashedError("node connect failed")
 
     def _drop_hydration(self, index: int) -> None:
+        """Forget what one node holds (its state is unknown after a loss).
+
+        Dropping the node's base-version records too means the next
+        hydration ships full snapshots — a reconnected node *may* still
+        hold its slices, but delta shipping must never bet on it.
+        """
         self._hydrated = {key for key in self._hydrated if key[0] != index}
+        self._node_bases = {
+            key: version for key, version in self._node_bases.items() if key[0] != index
+        }
 
     def _drop_channel(self, channel: ClusterNodeClient, error: Exception) -> None:
         """A connection failed: fail its replies, mark it for reconnection."""
@@ -1194,6 +1339,264 @@ class ClusterShardStore:
         wrapped.__cause__ = error
         channel.fail_all(wrapped)
         self._drop_hydration(channel.index)
+
+    # ------------------------------------------------- hydration and routing
+    def _replicas_of(self, slice_id: int) -> list[int]:
+        """The nodes hosting one slice: its owner plus R−1 ring successors."""
+        primary = self._owner_of[slice_id]
+        return [(primary + offset) % self.num_nodes for offset in range(self.replication)]
+
+    def _hydration_payload(
+        self,
+        node: int,
+        columns: AttributeColumns,
+        attribute: str,
+        slice_id: int,
+        start: int,
+        stop: int,
+    ) -> bytes:
+        """The hydrate frame for one ``(node, slice)``: delta when possible.
+
+        The coordinator keeps the current packed generation per slice and
+        one previous generation.  When the target node's last-shipped
+        version matches the previous generation, the frame is a
+        :class:`~repro.core.columnar.SnapshotDelta` carrying only the
+        changed rows (packed once per slice per version step, shared by
+        every replica); in every other case — first hydration, a node more
+        than one generation behind, a reconnect that wiped its records, or
+        a slice where too much changed — it is a full snapshot.
+        Compression and centroid quantization apply to both shapes.
+        """
+        key = (attribute, slice_id)
+        current = self._slice_bases.get(key)
+        if current is None or current.data_version != self._version:
+            if current is not None:
+                self._slice_prev[key] = current
+            current = ColumnSnapshot.of_slice(columns, slice_id, start, stop, self._version)
+            self._slice_bases[key] = current
+        prev = self._slice_prev.get(key)
+        node_version = self._node_bases.get((node, attribute, slice_id))
+        if (
+            prev is not None
+            and node_version == prev.data_version
+            and prev.data_version != self._version
+        ):
+            cached = self._slice_deltas.get(key)
+            if cached is None or cached[0] != prev.data_version or cached[1] != self._version:
+                delta = SnapshotDelta.between(prev, current)
+                blob = (
+                    delta.pack(self.snapshot_compression, self.centroid_tolerance)
+                    if delta is not None
+                    else None
+                )
+                cached = (prev.data_version, self._version, blob)
+                self._slice_deltas[key] = cached
+            if cached[2] is not None:
+                self.delta_hydrations += 1
+                return encode_hydrate_delta_request(cached[2])
+        return encode_hydrate_request(
+            current.pack(self.snapshot_compression, self.centroid_tolerance)
+        )
+
+    def _channel_load(self, node: int) -> int:
+        """One node's outstanding work (queued + in-flight requests)."""
+        channel = self._channels[node]
+        return len(channel.inflight) + len(channel.queue)
+
+    def _issue_slice_call(
+        self,
+        pending: list[_PendingCall],
+        columns: AttributeColumns,
+        attribute: str,
+        phrase: str,
+        slice_id: int,
+        start: int,
+        stop: int,
+        rows: "list[int] | None",
+        scatter: object,
+        threshold: float | None,
+    ) -> None:
+        """Hydrate one slice's replicas as needed, then enqueue its score call.
+
+        Every replica missing the slice receives a hydrate frame (warm
+        standby — the availability the replication factor buys); the score
+        itself goes to the least-loaded replica.  Routing cannot affect
+        results: replicas hydrate from identical snapshot bytes and the
+        kernels are row-independent, so any replica computes the same
+        vector bit for bit.
+        """
+        replicas = self._replicas_of(slice_id)
+        for node in replicas:
+            hydration_key = (node, attribute, slice_id)
+            if hydration_key in self._hydrated:
+                continue
+            payload = self._hydration_payload(node, columns, attribute, slice_id, start, stop)
+            reply = self._channels[node].enqueue(payload, _decode_versioned)
+            pending.append(
+                _PendingCall(
+                    kind="hydrate",
+                    reply=reply,
+                    node=node,
+                    attribute=attribute,
+                    slice_id=slice_id,
+                    hydration_key=hydration_key,
+                )
+            )
+            self._hydrated.add(hydration_key)
+            self._node_bases[hydration_key] = self._version
+            self.hydrations += 1
+        target = min(replicas, key=self._channel_load)
+        if threshold is None:
+            payload = encode_score_request(slice_id, attribute, phrase, start, stop, rows)
+            decode = _decode_score
+        else:
+            payload = encode_score_bounded_request(
+                slice_id, attribute, phrase, start, stop, rows, threshold
+            )
+            decode = _decode_score_bounded
+        reply = self._channels[target].enqueue(payload, decode)
+        pending.append(
+            _PendingCall(
+                kind="score",
+                reply=reply,
+                node=target,
+                attribute=attribute,
+                slice_id=slice_id,
+                phrase=phrase,
+                start=start,
+                stop=stop,
+                rows=rows,
+                scatter=scatter,
+                threshold=threshold,
+                tried={target},
+            )
+        )
+
+    def _failover_target(self, call: _PendingCall) -> int | None:
+        """A live, untried replica to re-issue one crashed score call on."""
+        candidates = []
+        for node in self._replicas_of(call.slice_id):
+            if node in call.tried:
+                continue
+            channel = self._channels[node]
+            if channel is None or channel.dead or channel.sock is None:
+                continue
+            candidates.append(node)
+        if not candidates:
+            return None
+        return min(candidates, key=self._channel_load)
+
+    def _reissue(
+        self, call: _PendingCall, node: int, columns: AttributeColumns
+    ) -> list[_PendingCall]:
+        """Re-issue one crashed score call on ``node``; the replacement calls.
+
+        Hydration rides ahead of the retried score exactly as on the
+        original path (the per-node FIFO guarantees ordering), so a
+        replica that never saw the slice serves the retry correctly.
+        """
+        new_calls: list[_PendingCall] = []
+        channel = self._channels[node]
+        hydration_key = (node, call.attribute, call.slice_id)
+        if hydration_key not in self._hydrated:
+            payload = self._hydration_payload(
+                node, columns, call.attribute, call.slice_id, call.start, call.stop
+            )
+            reply = channel.enqueue(payload, _decode_versioned)
+            new_calls.append(
+                _PendingCall(
+                    kind="hydrate",
+                    reply=reply,
+                    node=node,
+                    attribute=call.attribute,
+                    slice_id=call.slice_id,
+                    hydration_key=hydration_key,
+                )
+            )
+            self._hydrated.add(hydration_key)
+            self._node_bases[hydration_key] = self._version
+            self.hydrations += 1
+        if call.threshold is None:
+            payload = encode_score_request(
+                call.slice_id, call.attribute, call.phrase, call.start, call.stop, call.rows
+            )
+            decode = _decode_score
+        else:
+            payload = encode_score_bounded_request(
+                call.slice_id,
+                call.attribute,
+                call.phrase,
+                call.start,
+                call.stop,
+                call.rows,
+                call.threshold,
+            )
+            decode = _decode_score_bounded
+        reply = channel.enqueue(payload, decode)
+        self.rpc_requests += 1
+        new_calls.append(
+            _PendingCall(
+                kind="score",
+                reply=reply,
+                node=node,
+                attribute=call.attribute,
+                slice_id=call.slice_id,
+                phrase=call.phrase,
+                start=call.start,
+                stop=call.stop,
+                rows=call.rows,
+                scatter=call.scatter,
+                threshold=call.threshold,
+                tried=call.tried | {node},
+            )
+        )
+        return new_calls
+
+    def _collect_calls(
+        self, calls: list[_PendingCall], columns: AttributeColumns
+    ) -> list[_PendingCall]:
+        """Resolve one fan-out's calls; completed score calls, in any order.
+
+        The failover loop: pump until every outstanding call resolves,
+        re-issue score calls whose node crashed onto an untried live
+        replica (hydrating it first if needed), and repeat until nothing
+        is outstanding.  With a replica available a node loss is invisible
+        to the caller; with none (``replication=1``, or every replica
+        tried) the original :class:`~repro.serving.protocol.
+        WorkerCrashedError` surfaces exactly as before.  Non-crash errors
+        — a refused snapshot, a version-skewed delta, a node-side scoring
+        fault — always raise: they signal bugs or corruption, and retrying
+        them elsewhere would only mask the signal.  A crashed *hydrate*
+        call alone never fails the fan-out (its record is rolled back and
+        any score routed to that node fails over on its own), so a dying
+        warm standby costs nothing.
+        """
+        completed: list[_PendingCall] = []
+        pending = list(calls)
+        while pending:
+            self._pump_until([call.reply for call in pending], raise_errors=False)
+            next_round: list[_PendingCall] = []
+            for call in pending:
+                error = call.reply.error
+                if error is None:
+                    if call.kind == "score":
+                        completed.append(call)
+                    continue
+                if call.kind == "hydrate":
+                    self._hydrated.discard(call.hydration_key)
+                    self._node_bases.pop(call.hydration_key, None)
+                    if isinstance(error, WorkerCrashedError):
+                        continue
+                    raise error
+                if not isinstance(error, WorkerCrashedError):
+                    raise error
+                node = self._failover_target(call)
+                if node is None:
+                    raise error
+                self.failovers += 1
+                next_round.extend(self._reissue(call, node, columns))
+            pending = next_round
+        return completed
 
     # ------------------------------------------------------------------ pump
     def _live_channels(self) -> list[ClusterNodeClient]:
@@ -1316,24 +1719,18 @@ class ClusterShardStore:
             bounds = partition_bounds(columns.num_entities, self.num_slices)
             slice_requests = plan_slice_requests(bounds, resident)
             for slice_id, start, stop, slice_rows, scatter in slice_requests:
-                owner = self._owner_of[slice_id]
-                channel = self._channels[owner]
-                hydration_key = (owner, attribute, slice_id)
-                if hydration_key not in self._hydrated:
-                    snapshot = ColumnSnapshot.of_slice(
-                        columns, slice_id, start, stop, self._version
-                    )
-                    reply = channel.enqueue(
-                        encode_hydrate_request(snapshot.pack()), _decode_versioned
-                    )
-                    request.pending.append(("hydrate", reply, hydration_key))
-                    self._hydrated.add(hydration_key)
-                    self.hydrations += 1
-                reply = channel.enqueue(
-                    encode_score_request(slice_id, attribute, phrase, start, stop, slice_rows),
-                    _decode_score,
+                self._issue_slice_call(
+                    request.pending,
+                    columns,
+                    attribute,
+                    phrase,
+                    slice_id,
+                    start,
+                    stop,
+                    slice_rows,
+                    scatter,
+                    None,
                 )
-                request.pending.append(("score", reply, scatter))
             self.fanouts += 1
             self.rpc_requests += len(slice_requests)
             self._service_io(0.0)
@@ -1342,21 +1739,17 @@ class ClusterShardStore:
     def collect_degrees(self, request: DegreeRequest) -> list[float]:
         """Wait for one issued fan-out and gather its per-entity degrees.
 
-        A node lost while the request was in flight surfaces as
-        :class:`~repro.serving.protocol.WorkerCrashedError`; a transported
-        hydration failure additionally forgets the hydration record so the
-        next fan-out re-ships the snapshot.  Entities absent from the
-        columns fall back to per-entity scalar scoring on the coordinator,
-        exactly like every other store.
+        A node lost while the request was in flight fails over to a warm
+        replica when the replication factor provides one, invisibly to the
+        caller; without one it surfaces as
+        :class:`~repro.serving.protocol.WorkerCrashedError` exactly as
+        before.  A transported hydration failure forgets the hydration
+        record so the next fan-out re-ships the snapshot.  Entities absent
+        from the columns fall back to per-entity scalar scoring on the
+        coordinator, exactly like every other store.
         """
-        self._pump_until([reply for _, reply, _ in request.pending], raise_errors=False)
-        for kind, reply, extra in request.pending:
-            if reply.error is not None:
-                if kind == "hydrate":
-                    self._hydrated.discard(extra)
-                raise reply.error
-            if kind == "score":
-                request.batch[extra] = reply.value
+        for call in self._collect_calls(request.pending, request.columns):
+            request.batch[call.scatter] = call.reply.value
         return gather_degrees(
             request.batch,
             request.rows,
@@ -1425,38 +1818,26 @@ class ClusterShardStore:
         slice_requests = plan_slice_requests(bounds, resident)
         values = np.empty(columns.num_entities)
         exact = np.zeros(columns.num_entities, dtype=bool)
-        pending: list[tuple[str, NodeReply, object]] = []
+        pending: list[_PendingCall] = []
         for slice_id, start, stop, slice_rows, scatter in slice_requests:
-            owner = self._owner_of[slice_id]
-            channel = self._channels[owner]
-            hydration_key = (owner, attribute, slice_id)
-            if hydration_key not in self._hydrated:
-                snapshot = ColumnSnapshot.of_slice(columns, slice_id, start, stop, self._version)
-                reply = channel.enqueue(
-                    encode_hydrate_request(snapshot.pack()), _decode_versioned
-                )
-                pending.append(("hydrate", reply, hydration_key))
-                self._hydrated.add(hydration_key)
-                self.hydrations += 1
-            reply = channel.enqueue(
-                encode_score_bounded_request(
-                    slice_id, attribute, phrase, start, stop, slice_rows, threshold
-                ),
-                _decode_score_bounded,
+            self._issue_slice_call(
+                pending,
+                columns,
+                attribute,
+                phrase,
+                slice_id,
+                start,
+                stop,
+                slice_rows,
+                scatter,
+                threshold,
             )
-            pending.append(("score", reply, scatter))
         self.fanouts += 1
         self.rpc_requests += len(slice_requests)
-        self._pump_until([reply for _, reply, _ in pending], raise_errors=False)
-        for kind, reply, extra in pending:
-            if reply.error is not None:
-                if kind == "hydrate":
-                    self._hydrated.discard(extra)
-                raise reply.error
-            if kind == "score":
-                vector, mask, _scored, _pruned = reply.value
-                values[extra] = vector
-                exact[extra] = mask
+        for call in self._collect_calls(pending, columns):
+            vector, mask, _scored, _pruned = call.reply.value
+            values[call.scatter] = vector
+            exact[call.scatter] = mask
         index = np.fromiter(rows, dtype=np.intp, count=len(rows))
         requested_exact = exact[index]
         scored = int(np.count_nonzero(requested_exact))
@@ -1468,12 +1849,28 @@ class ClusterShardStore:
     # ------------------------------------------------------------ statistics
     def node_stats(self) -> list[dict]:
         """One ``stats`` RPC result per connected node (dead nodes skipped)."""
-        replies: list[NodeReply] = []
-        for channel in self._live_channels():
-            replies.append(channel.enqueue(_U8.pack(OP_STATS), _decode_stats))
+        return [stats for _, stats in self._indexed_node_stats()]
+
+    def _indexed_node_stats(self) -> list[tuple[int, dict]]:
+        """``(channel index, stats frame)`` per reachable node.
+
+        Keyed by the coordinator's channel index, *not* the node's
+        self-reported ``node`` id: an external fleet may number its
+        servers however it likes (duplicates included), and a respawned
+        managed node must keep reporting under the slot it serves.
+        """
+        replies: list[tuple[int, NodeReply]] = []
+        for index, channel in enumerate(self._channels):
+            if channel is None or channel.dead or channel.sock is None:
+                continue
+            replies.append((index, channel.enqueue(_U8.pack(OP_STATS), _decode_stats)))
         if replies:
-            self._pump_until(replies, raise_errors=False)
-        return [reply.value for reply in replies if reply.error is None and reply.done]
+            self._pump_until([reply for _, reply in replies], raise_errors=False)
+        return [
+            (index, reply.value)
+            for index, reply in replies
+            if reply.error is None and reply.done
+        ]
 
     def partition_stats(self) -> list[dict[str, object]]:
         """One dict per node: transport counters plus node cache activity.
@@ -1483,11 +1880,12 @@ class ClusterShardStore:
         coordinator-side and survive reconnects and respawns; for reachable
         nodes the dict additionally merges the node's own ``stats`` frame
         (``cache_hits``, ``cache_entries``, hydrated slices).  Unreachable
-        nodes report transport counters only.
+        nodes report transport counters only.  Node frames attach to the
+        channel they arrived on, so a respawn cycle or an external fleet
+        with clashing node ids can never double-assign one node's frame
+        to another's entry.
         """
-        remote: dict[int, dict] = {}
-        for stats in self.node_stats():
-            remote[int(stats.get("node", -1))] = stats
+        remote: dict[int, dict] = dict(self._indexed_node_stats())
         entries: list[dict[str, object]] = []
         for index, counters in enumerate(self._node_counters):
             channel = self._channels[index]
@@ -1504,6 +1902,8 @@ class ClusterShardStore:
                 entry["cache_hits"] = node_stats.get("cache_hits", 0)
                 entry["cache_entries"] = node_stats.get("cache_entries", 0)
                 entry["hydrated_slices"] = node_stats.get("hydrated_slices", 0)
+                entry["delta_hydrations"] = node_stats.get("delta_hydrations", 0)
+                entry["stale_slices"] = node_stats.get("stale_slices", 0)
                 entry["data_version"] = node_stats.get("data_version", 0)
                 entry["entities_scored"] = node_stats.get("entities_scored", 0)
                 entry["entities_pruned"] = node_stats.get("entities_pruned", 0)
@@ -1519,6 +1919,8 @@ class ClusterShardStore:
             "node_reconnects": sum(c["reconnects"] for c in self._node_counters),
             "node_respawns": sum(c["respawns"] for c in self._node_counters),
             "snapshot_hydrations": self.hydrations,
+            "snapshot_delta_hydrations": self.delta_hydrations,
+            "slice_failovers": self.failovers,
         }
 
     def stats_snapshot(self) -> dict[str, object]:
@@ -1528,12 +1930,15 @@ class ClusterShardStore:
             "num_slices": self.num_slices,
             "backend": "cluster",
             "managed": self._managed,
+            "replication": self.replication,
             "data_version": self._version,
             "connected_nodes": len(self._live_channels()),
             "invalidations": self.invalidations,
             "fanouts": self.fanouts,
             "rpc_requests": self.rpc_requests,
             "hydrations": self.hydrations,
+            "delta_hydrations": self.delta_hydrations,
+            "failovers": self.failovers,
             "entities_scored": self.entities_scored,
             "entities_pruned": self.entities_pruned,
             "base": self.base.stats_snapshot(),
@@ -1614,6 +2019,9 @@ class ClusterQueryEngine(ShardedSubjectiveQueryEngine):
         max_inflight_queries: int = DEFAULT_MAX_INFLIGHT_QUERIES,
         connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
         io_timeout: float = DEFAULT_IO_TIMEOUT,
+        replication: int = 1,
+        snapshot_compression: bool = False,
+        centroid_tolerance: float | None = None,
     ) -> None:
         if addresses is not None:
             num_nodes = len(addresses)
@@ -1633,6 +2041,9 @@ class ClusterQueryEngine(ShardedSubjectiveQueryEngine):
         self.max_inflight_queries = max_inflight_queries
         self.connect_timeout = connect_timeout
         self.io_timeout = io_timeout
+        self.replication = replication
+        self.snapshot_compression = snapshot_compression
+        self.centroid_tolerance = centroid_tolerance
         # Batch-local (attribute, phrase) → (unique_ids, degrees) memo;
         # active only inside a concurrent run_batch, cleared on every
         # invalidation so it can never outlive a data version.  The
@@ -1666,6 +2077,9 @@ class ClusterQueryEngine(ShardedSubjectiveQueryEngine):
             window=self.window,
             connect_timeout=self.connect_timeout,
             io_timeout=self.io_timeout,
+            replication=self.replication,
+            snapshot_compression=self.snapshot_compression,
+            centroid_tolerance=self.centroid_tolerance,
         )
 
     # ----------------------------------------------------- vector-level reuse

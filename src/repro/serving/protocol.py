@@ -17,8 +17,9 @@ socketpair and TCP paths can never drift apart:
   lossless (degree bits survive the round trip);
 * **request/response constants** — the one-byte opcodes and statuses used
   by every shard service (``score``, ``invalidate``, ``stats``,
-  ``shutdown``, plus the cluster-only ``hello`` and ``hydrate``, plus the
-  client-facing gateway ``query`` and ``gateway stats``);
+  ``shutdown``, plus the cluster-only ``hello``, ``hydrate`` and
+  ``hydrate delta``, plus the client-facing gateway ``query`` and
+  ``gateway stats``);
 * **handshake** — the versioned ``hello`` exchange of the TCP transport: a
   connecting coordinator announces its protocol version and
   ``data_version``; the node acknowledges with its own version, the
@@ -46,8 +47,10 @@ from repro.errors import ExecutionError
 #: Version of the frame/handshake protocol this build speaks.  Bumped on
 #: any wire-visible change; the ``hello`` handshake refuses mismatches.
 #: Version 2 added the ``score bounded`` opcode (threshold-pruned scoring
-#: with a per-row exactness mask in the response).
-PROTOCOL_VERSION = 2
+#: with a per-row exactness mask in the response).  Version 3 added the
+#: ``hydrate delta`` opcode and the snapshot container's flags byte
+#: (compressed / f32-quantized / delta hydration frames).
+PROTOCOL_VERSION = 3
 
 #: Default ceiling on one frame's payload size (requests and responses).
 #: Generous for degree vectors (8 bytes per entity) while still refusing a
@@ -65,6 +68,7 @@ OP_HYDRATE = 6
 OP_QUERY = 7
 OP_GATEWAY_STATS = 8
 OP_SCORE_BOUNDED = 9
+OP_HYDRATE_DELTA = 10
 
 STATUS_OK = 0
 STATUS_ERROR = 1
@@ -375,6 +379,20 @@ def encode_hydrate_request(snapshot_bytes: bytes) -> bytes:
     opcode plus the opaque payload.
     """
     return _U8.pack(OP_HYDRATE) + snapshot_bytes
+
+
+def encode_hydrate_delta_request(delta_bytes: bytes) -> bytes:
+    """The ``hydrate delta`` request frame shipping one packed snapshot delta.
+
+    The delta (:class:`repro.core.columnar.SnapshotDelta`) is
+    self-describing exactly like a full snapshot — base version, new
+    version, slice identity, changed rows and a checksum all live inside
+    ``delta_bytes`` (compression too: it rides in the snapshot container's
+    flags byte) — so the frame is just the opcode plus the opaque payload.
+    A node that no longer holds the delta's base responds with a
+    transported error and the coordinator falls back to a full snapshot.
+    """
+    return _U8.pack(OP_HYDRATE_DELTA) + delta_bytes
 
 
 # --------------------------------------------------------------------------

@@ -92,6 +92,9 @@ from repro.serving.protocol import (
     DEFAULT_MAX_FRAME_BYTES as DEFAULT_MAX_FRAME_BYTES,
 )
 from repro.serving.protocol import (
+    OP_HYDRATE_DELTA as OP_HYDRATE_DELTA,  # re-export: cluster wire-format parity
+)
+from repro.serving.protocol import (
     OP_INVALIDATE,
     OP_SCORE,
     OP_SCORE_BOUNDED,

@@ -3,7 +3,10 @@
 ``tests/conftest.py`` and ``benchmarks/conftest.py`` both need fully built
 domain setups (synthetic corpus + subjective database) at different scales;
 this module holds the one implementation of the scale knobs and the setup
-construction so the two conftests stay thin wrappers.
+construction so the two conftests stay thin wrappers.  It also hosts the
+cluster **fault-injection harness** (:class:`ClusterFaultInjector`) that
+the fault suites and the recovery benchmark drive kill-node /
+drop-connection / delay scenarios with.
 
 Scale knobs (benchmark defaults) can be overridden through environment
 variables:
@@ -16,6 +19,9 @@ variables:
 from __future__ import annotations
 
 import os
+import signal
+import socket
+import time
 
 import numpy as np
 
@@ -63,6 +69,125 @@ def build_domain_setup(
 def print_result(text: str) -> None:
     """Print a formatted experiment table under pytest/benchmark output."""
     print("\n" + text + "\n")
+
+
+def corrupt_frame(payload: bytes, position: int, flip: int = 0x01) -> bytes:
+    """``payload`` with one byte XOR-flipped — the canonical corruption probe.
+
+    ``flip`` must be non-zero (a zero XOR is a no-op, which would silently
+    turn a corruption test into a pass-through) and ``position`` indexes
+    into the payload, negative indices included.
+    """
+    if not payload:
+        raise ValueError("cannot corrupt an empty payload")
+    if not 0 < flip < 256:
+        raise ValueError(f"flip must be a non-zero byte value, got {flip}")
+    mutated = bytearray(payload)
+    mutated[position] ^= flip
+    return bytes(mutated)
+
+
+class ClusterFaultInjector:
+    """Deterministic fault injection against one managed cluster fleet.
+
+    Wraps a :class:`~repro.serving.cluster.ClusterShardStore` (or any
+    object exposing its ``processes`` / ``channels`` lists) and turns the
+    faults the recovery machinery must survive into one-line test calls:
+
+    * :meth:`kill_node` — SIGKILL the node process (a crashed machine);
+    * :meth:`drop_connection` — close the coordinator's socket to one
+      node without touching the process (a network partition the node
+      survives);
+    * :meth:`pause_node` / :meth:`resume_node` — SIGSTOP / SIGCONT the
+      process (a stalled node: accepts connections, answers nothing);
+    * :func:`corrupt_frame` (module-level) — flip one byte of a payload.
+
+    Only managed fleets can receive process-level faults; the injector
+    raises rather than signal a process it cannot see.  Every injector is
+    synchronous and deterministic — no background threads, no sleeps
+    hidden inside — so tests control exactly when the fault lands
+    relative to the request flow.
+    """
+
+    def __init__(self, store: object) -> None:
+        self.store = store
+        self._paused: set[int] = set()
+
+    def _process(self, index: int):
+        processes = getattr(self.store, "processes", None)
+        if not processes or processes[index] is None:
+            raise ValueError(
+                f"node {index} has no managed process (external fleet?); "
+                "process-level faults need a managed cluster"
+            )
+        return processes[index]
+
+    def kill_node(self, index: int, wait: bool = True, timeout: float = 10.0) -> int:
+        """SIGKILL node ``index``; returns the dead pid.
+
+        With ``wait`` (the default) the call blocks until the process is
+        reaped, so the node is provably gone — not merely signalled —
+        when the test proceeds to the next request.
+        """
+        process = self._process(index)
+        os.kill(process.pid, signal.SIGKILL)
+        if wait:
+            process.join(timeout=timeout)
+            if process.is_alive():
+                raise TimeoutError(f"node {index} (pid {process.pid}) survived SIGKILL")
+        return process.pid
+
+    def drop_connection(self, index: int) -> bool:
+        """Sever the coordinator's TCP connection to node ``index``.
+
+        The node process stays alive and listening; only the established
+        socket dies, exactly like a mid-flight network failure.  Returns
+        whether there was a live connection to sever.  The socket is shut
+        down, not closed — its descriptor stays valid for the
+        coordinator's select pump, which observes EOF and handles the loss
+        through its ordinary crash path.
+        """
+        channel = self.store.channels[index]
+        if channel is None or channel.sock is None:
+            return False
+        try:
+            channel.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        return True
+
+    def pause_node(self, index: int) -> None:
+        """SIGSTOP node ``index``: alive and connected, but answering nothing."""
+        process = self._process(index)
+        os.kill(process.pid, signal.SIGSTOP)
+        self._paused.add(index)
+
+    def resume_node(self, index: int) -> None:
+        """SIGCONT a paused node; it drains its backlog and answers again."""
+        process = self._process(index)
+        os.kill(process.pid, signal.SIGCONT)
+        self._paused.discard(index)
+
+    def delay_node(self, index: int, seconds: float) -> None:
+        """Stall node ``index`` for ``seconds`` (SIGSTOP, sleep, SIGCONT).
+
+        A synchronous convenience over :meth:`pause_node` /
+        :meth:`resume_node` for tests that only need "the node was slow",
+        not precise control of what happens while it is stopped.
+        """
+        self.pause_node(index)
+        try:
+            time.sleep(seconds)
+        finally:
+            self.resume_node(index)
+
+    def restore(self) -> None:
+        """Resume every still-paused node (teardown safety net)."""
+        for index in list(self._paused):
+            try:
+                self.resume_node(index)
+            except (ValueError, OSError):
+                self._paused.discard(index)
 
 
 def build_synthetic_columnar_database(

@@ -551,6 +551,48 @@ class TestFrameCodecRoundTrip:
             read_hello_ack(ack[: len(ack) - 3])
 
 
+#: Random snapshot shapes shared by the round-trip and delta properties.
+SNAPSHOT_SHAPES = st.tuples(
+    st.integers(min_value=0, max_value=7),   # entities
+    st.integers(min_value=1, max_value=5),   # markers
+    st.integers(min_value=0, max_value=6),   # embedding dimension
+)
+SNAPSHOT_FINITE = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+def _random_snapshot(draw_shape, data):
+    """One randomized ``ColumnSnapshot`` over drawn array contents."""
+    from repro.core.columnar import AttributeColumns, ColumnSnapshot
+    from repro.core.markers import Marker
+
+    num_entities, num_markers, dimension = draw_shape
+
+    def array(shape):
+        count = int(np.prod(shape)) if shape else 1
+        values = data.draw(
+            st.lists(SNAPSHOT_FINITE, min_size=count, max_size=count)
+        )
+        return np.array(values, dtype=np.float64).reshape(shape)
+
+    entity_ids = [f"e{index}" for index in range(num_entities)]
+    columns = AttributeColumns(
+        attribute="quality",
+        entity_ids=entity_ids,
+        row_of={entity_id: row for row, entity_id in enumerate(entity_ids)},
+        markers=[Marker(f"m{index}", index, 0.1 * index) for index in range(num_markers)],
+        marker_sentiments=array((num_markers,)),
+        fractions=array((num_entities, num_markers)),
+        average_sentiments=array((num_entities, num_markers)),
+        totals=array((num_entities,)),
+        unmatched=array((num_entities,)),
+        overall_sentiments=array((num_entities,)),
+        centroids_unit=array((num_entities, num_markers, dimension)),
+        name_units=array((num_markers, dimension)),
+    )
+    version = data.draw(st.integers(min_value=0, max_value=2**63))
+    return ColumnSnapshot.of_slice(columns, 3, 0, num_entities, version)
+
+
 class TestColumnSnapshotRoundTrip:
     """Column snapshots: pack/unpack is bit-exact, corruption is typed.
 
@@ -561,43 +603,11 @@ class TestColumnSnapshotRoundTrip:
     ``SnapshotError``, never unpacks silently-wrong arrays).
     """
 
-    shapes = st.tuples(
-        st.integers(min_value=0, max_value=7),   # entities
-        st.integers(min_value=1, max_value=5),   # markers
-        st.integers(min_value=0, max_value=6),   # embedding dimension
-    )
-    finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+    shapes = SNAPSHOT_SHAPES
+    finite = SNAPSHOT_FINITE
 
     def _random_snapshot(self, draw_shape, data):
-        from repro.core.columnar import AttributeColumns, ColumnSnapshot
-        from repro.core.markers import Marker
-
-        num_entities, num_markers, dimension = draw_shape
-
-        def array(shape):
-            count = int(np.prod(shape)) if shape else 1
-            values = data.draw(
-                st.lists(self.finite, min_size=count, max_size=count)
-            )
-            return np.array(values, dtype=np.float64).reshape(shape)
-
-        entity_ids = [f"e{index}" for index in range(num_entities)]
-        columns = AttributeColumns(
-            attribute="quality",
-            entity_ids=entity_ids,
-            row_of={entity_id: row for row, entity_id in enumerate(entity_ids)},
-            markers=[Marker(f"m{index}", index, 0.1 * index) for index in range(num_markers)],
-            marker_sentiments=array((num_markers,)),
-            fractions=array((num_entities, num_markers)),
-            average_sentiments=array((num_entities, num_markers)),
-            totals=array((num_entities,)),
-            unmatched=array((num_entities,)),
-            overall_sentiments=array((num_entities,)),
-            centroids_unit=array((num_entities, num_markers, dimension)),
-            name_units=array((num_markers, dimension)),
-        )
-        version = data.draw(st.integers(min_value=0, max_value=2**63))
-        return ColumnSnapshot.of_slice(columns, 3, 0, num_entities, version)
+        return _random_snapshot(draw_shape, data)
 
     @given(shapes, st.data())
     @settings(max_examples=30, deadline=None)
@@ -650,6 +660,129 @@ class TestColumnSnapshotRoundTrip:
         cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
         with pytest.raises(SnapshotError):
             ColumnSnapshot.unpack(blob[:cut])
+
+
+class TestSnapshotDeltaAndCompression:
+    """Delta and compressed snapshot frames: equivalence and integrity.
+
+    The cold-path optimisations must be invisible to the data: a delta
+    applied to its base is **byte-identical** to the full snapshot it
+    stands in for (for any changed-row subset), lossless compression
+    round-trips every float bit, and any single-byte flip in either frame
+    shape is a typed error — the same contract the plain container already
+    pins, extended to the new formats.  Compression properties run with
+    ``deadline=None``: zlib over hypothesis-sized arrays is fast but
+    jittery under coverage tooling.
+    """
+
+    # At least one entity so a changed-row subset can exist.
+    shapes = st.tuples(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=6),
+    )
+
+    def _delta_pair(self, shape, data):
+        """(base, new, delta) with a drawn subset of rows perturbed."""
+        from repro.core.columnar import ColumnSnapshot, SnapshotDelta
+        from dataclasses import replace
+
+        base = _random_snapshot(shape, data)
+        num_entities = shape[0]
+        # At most half the rows: stays under between()'s delta-eligibility
+        # fraction, so the pair always yields a delta.
+        subset = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_entities - 1),
+                min_size=0,
+                max_size=num_entities // 2,
+                unique=True,
+            )
+        )
+        columns = base.columns
+        perturbed = replace(
+            columns,
+            fractions=columns.fractions.copy(),
+            average_sentiments=columns.average_sentiments.copy(),
+            totals=columns.totals.copy(),
+            unmatched=columns.unmatched.copy(),
+            overall_sentiments=columns.overall_sentiments.copy(),
+            centroids_unit=columns.centroids_unit.copy(),
+        )
+        for row in subset:
+            perturbed.fractions[row] += 1.0
+            perturbed.totals[row] += 2.0
+            if perturbed.centroids_unit.size:
+                perturbed.centroids_unit[row] += 0.5
+        new = ColumnSnapshot(
+            data_version=base.data_version + 1,
+            slice_id=base.slice_id,
+            start=base.start,
+            stop=base.stop,
+            columns=perturbed,
+        )
+        delta = SnapshotDelta.between(base, new)
+        assert delta is not None
+        assert set(delta.rows) == set(subset)
+        return base, new, delta
+
+    @given(shapes, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_delta_applied_to_base_equals_full_snapshot(self, shape, data):
+        from repro.core.columnar import SnapshotDelta
+
+        base, new, delta = self._delta_pair(shape, data)
+        for compress in (False, True):
+            blob = delta.pack(compress=compress)
+            assert delta.pack(compress=compress) == blob  # deterministic bytes
+            applied = SnapshotDelta.unpack(blob).apply(base)
+            assert applied.pack() == new.pack()
+
+    @given(SNAPSHOT_SHAPES, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_lossless_compressed_roundtrip_bit_exact(self, shape, data):
+        from repro.core.columnar import ColumnSnapshot
+
+        snapshot = _random_snapshot(shape, data)
+        blob = snapshot.pack(compress=True)
+        assert snapshot.pack(compress=True) == blob  # deterministic bytes
+        back = ColumnSnapshot.unpack(blob)
+        # Compression changes the frame, never the payload: the lossless
+        # round trip re-packs to the identity.
+        assert back.pack() == snapshot.pack()
+
+    @given(shapes, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_single_byte_flip_in_compressed_or_delta_frame_is_typed(self, shape, data):
+        from repro.core.columnar import ColumnSnapshot, SnapshotDelta
+        from repro.errors import SnapshotError
+
+        base, _new, delta = self._delta_pair(shape, data)
+        compressed = bytearray(base.pack(compress=True))
+        position = data.draw(st.integers(min_value=0, max_value=len(compressed) - 1))
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        compressed[position] ^= flip
+        with pytest.raises(SnapshotError):
+            ColumnSnapshot.unpack(bytes(compressed))
+
+        frame = bytearray(delta.pack(compress=True))
+        position = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        frame[position] ^= flip
+        with pytest.raises(SnapshotError):
+            SnapshotDelta.unpack(bytes(frame))
+
+    @given(shapes, st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_frame_shapes_never_cross_unpack(self, shape, data):
+        """A delta frame refuses ColumnSnapshot.unpack and vice versa."""
+        from repro.core.columnar import ColumnSnapshot, SnapshotDelta
+        from repro.errors import SnapshotError
+
+        base, _new, delta = self._delta_pair(shape, data)
+        with pytest.raises(SnapshotError, match="delta"):
+            ColumnSnapshot.unpack(delta.pack())
+        with pytest.raises(SnapshotError, match="full"):
+            SnapshotDelta.unpack(base.pack())
 
 
 class TestGatewayCoalescingKey:

@@ -253,7 +253,10 @@ class TestNodeDispatch:
         assert reader.read_u8() == STATUS_OK
         assert reader.read_u64() == version
         assert node.owned_slice_ids == []  # newer version: slices dropped
-        assert node.data_version == 0
+        assert node.data_version == version + 1  # node adopts the caller's version
+        # The superseded generation is retired as a delta base, not discarded.
+        assert node._stale_version == version
+        assert set(node._stale) == {(attribute, 0)}
 
     def test_cross_version_hydration_drops_older_slices(self, hotel_database):
         node = self._node(hotel_database)
