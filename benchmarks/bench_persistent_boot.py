@@ -1,0 +1,189 @@
+"""Cold boot from the persistent storage tier vs rebuild-from-reviews.
+
+The storage tier's economic claim is that restart cost stops scaling with
+the corpus: a database booted from disk maps its column files and reads
+the catalog, while the rebuild path re-runs everything the save amortised
+— summary construction, text-model fitting, and the scalar column
+derivation.  Two measurements pin that:
+
+* **10k-entity boot speedup.**  Best-of-passes wall-clock of
+  ``SubjectiveDatabase.open`` (plus forcing both attributes' serving
+  columns, so the mmap path really executes) against rebuilding the same
+  database from its review corpus and deriving the columns in RAM.  The
+  floor: disk boot is ≥ 3× faster (``boot_speedup``).
+
+* **Scale arm (≥100k entities).**  :func:`repro.storage.generate_synthetic_store`
+  writes a consistent 100k-entity directory straight to disk — far past
+  what the rebuild path could produce in bench time — and the boot and
+  first-query-ready times are recorded to show the boot cost curve stays
+  flat in the corpus size (recorded, not floored: absolute times are
+  machine-dependent).
+
+Results land in ``BENCH_persist.json``.  Scale knobs:
+``REPRO_BENCH_PERSIST_ENTITIES`` (default 10000, floored at 500) and
+``REPRO_BENCH_PERSIST_BIG_ENTITIES`` (default 100000, floored at 5000).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core.database import SubjectiveDatabase
+from repro.experiments.common import ExperimentTable
+from repro.storage import PersistentColumnarStore, generate_synthetic_store
+from repro.storage.synthetic import SYNTHETIC_ATTRIBUTE
+from repro.testing import build_synthetic_columnar_database, env_int
+
+pytestmark = pytest.mark.slow
+
+#: The measurement harness, recorded verbatim under ``"harness"`` in the
+#: results document so a stale ``BENCH_persist.json`` is detectable.  Must
+#: stay a pure literal — ``tools/check_bench_floors.py`` reads it with
+#: ``ast.literal_eval`` and warns when it drifts from the committed JSON.
+HARNESS = {
+    "benchmark": "bench_persistent_boot",
+    "domain": "synthetic",
+    "entities_default": 10000,
+    "entities_env": "REPRO_BENCH_PERSIST_ENTITIES",
+    "big_entities_default": 100000,
+    "big_entities_env": "REPRO_BENCH_PERSIST_BIG_ENTITIES",
+    "markers_per_attribute": 16,
+    "dimension": 48,
+    "passes": 3,
+    "timing": "best-of-passes; boot = open + force both attributes' columns",
+    "boot_speedup_floor": 3.0,
+}
+
+ENTITIES = max(500, env_int("REPRO_BENCH_PERSIST_ENTITIES", 10_000))
+BIG_ENTITIES = max(5_000, env_int("REPRO_BENCH_PERSIST_BIG_ENTITIES", 100_000))
+MARKERS = 16
+DIMENSION = 48
+PASSES = 3
+BOOT_SPEEDUP_FLOOR = 3.0
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_persist.json"
+
+
+def _scratch_dir(prefix: str) -> str:
+    """A scratch storage directory honoring ``REPRO_STORAGE_DIR``."""
+    base = os.environ.get("REPRO_STORAGE_DIR")
+    if base:
+        os.makedirs(base, exist_ok=True)
+    return tempfile.mkdtemp(prefix=prefix, dir=base or None)
+
+
+def _best_s(action, passes: int = PASSES) -> float:
+    """Best-of-``passes`` wall-clock of ``action`` in seconds."""
+    best = float("inf")
+    for _ in range(passes):
+        started = time.perf_counter()
+        action()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _force_columns(database: SubjectiveDatabase) -> object:
+    """Build (or map) every subjective attribute's serving columns."""
+    store = database.columnar_store()
+    for attribute in database.schema.subjective_attributes:
+        assert store.columns(attribute.name) is not None
+    return store
+
+
+def _rebuild_from_reviews() -> SubjectiveDatabase:
+    """The no-storage-tier restart: rebuild the database and its columns."""
+    database = build_synthetic_columnar_database(
+        num_entities=ENTITIES, markers_per_attribute=MARKERS, dimension=DIMENSION, seed=0
+    )
+    _force_columns(database)
+    return database
+
+
+def _boot_from_disk(directory: str) -> SubjectiveDatabase:
+    """The storage-tier restart: map the columns, read the catalog."""
+    database = SubjectiveDatabase.open(directory)
+    _force_columns(database)
+    return database
+
+
+def test_persistent_boot_benchmark():
+    directory = _scratch_dir("repro-bench-persist-")
+    big_directory = _scratch_dir("repro-bench-persist-big-")
+    try:
+        # --- 10k arm: rebuild vs boot ---------------------------------------
+        rebuild_s = _best_s(_rebuild_from_reviews)
+        database = build_synthetic_columnar_database(
+            num_entities=ENTITIES, markers_per_attribute=MARKERS, dimension=DIMENSION, seed=0
+        )
+        started = time.perf_counter()
+        database.save(directory)
+        save_s = time.perf_counter() - started
+        boot_s = _best_s(lambda: _boot_from_disk(directory))
+
+        booted = SubjectiveDatabase.open(directory)
+        store = _force_columns(booted)
+        assert isinstance(store, PersistentColumnarStore)
+        mmap_serves = store.mmap_serves
+        assert mmap_serves == len(booted.schema.subjective_attributes)
+        assert len(booted.entities()) == len(database.entities())
+        boot_speedup = rebuild_s / boot_s
+
+        # --- scale arm: ≥100k entities straight from disk -------------------
+        started = time.perf_counter()
+        generate_synthetic_store(
+            big_directory, num_entities=BIG_ENTITIES, num_markers=8, dimension=8
+        )
+        generate_s = time.perf_counter() - started
+        big_boot_s = _best_s(lambda: _boot_from_disk(big_directory))
+        big = SubjectiveDatabase.open(big_directory)
+        big_columns = big.columnar_store().columns(SYNTHETIC_ATTRIBUTE)
+        assert big_columns is not None and big_columns.num_entities == BIG_ENTITIES
+
+        table = ExperimentTable(
+            title=f"Persistent boot ({ENTITIES} entities; scale arm {BIG_ENTITIES})",
+            columns=["measurement", "value"],
+        )
+        table.add_row("rebuild from reviews (s)", round(rebuild_s, 3))
+        table.add_row("cold boot from disk (s)", round(boot_s, 3))
+        table.add_row("boot speedup", round(boot_speedup, 2))
+        table.add_row("save (s)", round(save_s, 3))
+        table.add_row(f"boot {BIG_ENTITIES} entities (s)", round(big_boot_s, 3))
+        table.add_row("mmap-served attributes", mmap_serves)
+        print_result(table.format())
+
+        RESULTS_PATH.write_text(
+            json.dumps(
+                {
+                    "benchmark": "bench_persistent_boot",
+                    "domain": "synthetic",
+                    "entities": ENTITIES,
+                    "big_entities": BIG_ENTITIES,
+                    "rebuild_s": round(rebuild_s, 4),
+                    "boot_s": round(boot_s, 4),
+                    "boot_speedup": round(boot_speedup, 2),
+                    "boot_speedup_floor": BOOT_SPEEDUP_FLOOR,
+                    "save_s": round(save_s, 4),
+                    "big_generate_s": round(generate_s, 4),
+                    "big_boot_s": round(big_boot_s, 4),
+                    "mmap_served_attributes": mmap_serves,
+                    "harness": HARNESS,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+
+        assert boot_speedup >= BOOT_SPEEDUP_FLOOR, (
+            f"cold boot from disk only {boot_speedup:.2f}x the rebuild "
+            f"(floor {BOOT_SPEEDUP_FLOOR}x)"
+        )
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+        shutil.rmtree(big_directory, ignore_errors=True)

@@ -230,6 +230,7 @@ SNAPSHOT_FORMAT_VERSION = 2
 SNAPSHOT_FLAG_ZLIB = 0x01  # body is zlib-compressed
 SNAPSHOT_FLAG_F32_CENTROIDS = 0x02  # centroid tensor quantized to f32
 SNAPSHOT_FLAG_DELTA = 0x04  # body is a SnapshotDelta, not a full snapshot
+SNAPSHOT_FLAG_COLUMN_FILE = 0x08  # body is an mmap-layout column file (repro.storage)
 
 _SNAP_U16 = struct.Struct("!H")
 _SNAP_U32 = struct.Struct("!I")
@@ -489,6 +490,10 @@ class ColumnSnapshot:
         if flags & SNAPSHOT_FLAG_DELTA:
             raise SnapshotError(
                 "payload is a delta snapshot frame; unpack it with SnapshotDelta.unpack"
+            )
+        if flags & SNAPSHOT_FLAG_COLUMN_FILE:
+            raise SnapshotError(
+                "payload is a persistent column file; read it with repro.storage"
             )
         try:
             return cls._unpack_body(body, flags)

@@ -119,6 +119,12 @@ class SubjectiveDatabase:
         self._next_extraction_id = 0
         self._data_version = 0
 
+        # Installed by repro.storage.open_database: a lazy materialiser for
+        # persisted marker summaries and a factory producing the mmap-backed
+        # columnar store.  Both stay None for purely in-RAM databases.
+        self._summary_loader = None
+        self._store_factory: Callable[["SubjectiveDatabase"], object] | None = None
+
     # --------------------------------------------------------- change tracking
     @property
     def data_version(self) -> int:
@@ -432,10 +438,16 @@ class SubjectiveDatabase:
 
     def marker_summary(self, entity_id: Hashable, attribute: str) -> MarkerSummary | None:
         """The stored marker summary of (entity, attribute), or ``None``."""
-        return self._summaries.get((entity_id, attribute))
+        summary = self._summaries.get((entity_id, attribute))
+        if summary is None and self._summary_loader is not None:
+            self._summary_loader.load(entity_id, attribute)
+            summary = self._summaries.get((entity_id, attribute))
+        return summary
 
     def summaries_for_attribute(self, attribute: str) -> dict[Hashable, MarkerSummary]:
         """All stored summaries of one attribute, keyed by entity."""
+        if self._summary_loader is not None:
+            self._summary_loader.load_attribute(attribute)
         return {
             entity_id: summary
             for (entity_id, name), summary in self._summaries.items()
@@ -445,8 +457,39 @@ class SubjectiveDatabase:
     def clear_summaries(self) -> None:
         """Drop all marker summaries and their provenance (before a rebuild)."""
         self._summaries.clear()
+        self._summary_loader = None  # a rebuild supersedes the persisted state
         self.provenance.clear()
         self._bump_version()
+
+    # ------------------------------------------------------------ persistence
+    def columnar_store(self) -> "object":
+        """A columnar store over this database, honouring the storage tier.
+
+        Databases opened from a storage directory return a
+        :class:`~repro.storage.PersistentColumnarStore` serving zero-copy
+        ``numpy.memmap`` views while the directory is current; in-RAM
+        databases get an ordinary
+        :class:`~repro.core.columnar.ColumnarSummaryStore`.  Every serving
+        layer builds its base store through this method.
+        """
+        if self._store_factory is not None:
+            return self._store_factory(self)
+        from repro.core.columnar import ColumnarSummaryStore
+
+        return ColumnarSummaryStore(self)
+
+    def save(self, directory: str) -> None:
+        """Persist the full database state under ``directory`` (storage tier)."""
+        from repro.storage import save_database
+
+        save_database(self, directory)
+
+    @classmethod
+    def open(cls, directory: str) -> "SubjectiveDatabase":
+        """Boot a database from a storage directory written by :meth:`save`."""
+        from repro.storage import open_database
+
+        return open_database(directory)
 
     # ------------------------------------------------------------ provenance
     def explain(self, entity_id: Hashable, attribute: str, marker: str,

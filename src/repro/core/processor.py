@@ -159,7 +159,7 @@ class SubjectiveQueryProcessor:
                 embedder=self.database.phrase_embedder
             )
         if self.use_columnar and self.columnar_store is None:
-            self.columnar_store = ColumnarSummaryStore(self.database)
+            self.columnar_store = self.database.columnar_store()
         if not self.use_markers and self.raw_membership is None:
             raise ExecutionError(
                 "use_markers=False requires a fitted RawExtractionMembership"

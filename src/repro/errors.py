@@ -50,3 +50,11 @@ class SnapshotError(ReproError):
 
 class SnapshotIntegrityError(SnapshotError):
     """A packed column snapshot failed its checksum (corrupted in transit)."""
+
+
+class StorageError(ReproError):
+    """The persistent storage tier is missing, malformed, or inconsistent."""
+
+
+class CatalogError(StorageError):
+    """The storage catalog (SQLite) is missing, corrupt, or version-skewed."""

@@ -181,12 +181,31 @@ class ShardNodeServer:
         membership: object | None = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         cache_size: int | None = DEFAULT_WORKER_CACHE_SIZE,
+        data_dir: str | None = None,
     ) -> None:
         self.node_id = node_id
         self.membership = membership
         self.max_frame_bytes = max_frame_bytes
         self.cache_size = cache_size
+        self.data_dir = data_dir
         self.data_version = 0
+        # Warm-restart path: a node given ``data_dir`` maps the persistent
+        # storage tier's column files and adopts the catalog's durable
+        # ``data_version`` as its own, so the hello acknowledgement
+        # advertises a local store the coordinator can skip ``hydrate``
+        # frames for.  An unreadable or corrupt directory downgrades to the
+        # ordinary wire-hydrated cold start — never a refusal to serve.
+        self._local: "object | None" = None
+        if data_dir is not None:
+            from repro.errors import StorageError
+            from repro.storage import StoreReader
+
+            try:
+                self._local = StoreReader(data_dir).verify()
+            except StorageError:
+                self._local = None
+            else:
+                self.data_version = self._local.data_version
         self._slices: dict[tuple[str, int], ColumnSnapshot] = {}
         # One generation of superseded snapshots, kept as delta bases: an
         # ``invalidate`` (or the first snapshot of a newer version) retires
@@ -214,6 +233,7 @@ class ShardNodeServer:
         self.entities_pruned = 0
         self.hydrations = 0
         self.delta_hydrations = 0
+        self.local_hydrations = 0
         self.invalidations = 0
         self.connections = 0
 
@@ -359,7 +379,12 @@ class ShardNodeServer:
                 ),
                 False,
             )
-        ack = encode_hello_ack(PROTOCOL_VERSION, self.data_version, self.owned_slice_ids)
+        ack = encode_hello_ack(
+            PROTOCOL_VERSION,
+            self.data_version,
+            self.owned_slice_ids,
+            local_store=self._local_store_fresh,
+        )
         return ack, True
 
     # ------------------------------------------------------------- dispatch
@@ -486,6 +511,45 @@ class ShardNodeServer:
             cache.put(key, vector)
         return _U8.pack(STATUS_OK) + _U32.pack(len(vector)) + vector.astype(">f8").tobytes()
 
+    @property
+    def _local_store_fresh(self) -> bool:
+        """Whether the node's local store matches its current data version.
+
+        True only while no ``invalidate`` (or newer-versioned hydrate) has
+        moved the node past the catalog the store was opened from — a stale
+        store must never answer a score, exactly as a stale snapshot never
+        does.
+        """
+        local = self._local
+        return local is not None and self.data_version == local.data_version
+
+    def _local_slice(
+        self, attribute: str, slice_id: int, start: int, stop: int
+    ) -> "ColumnSnapshot | None":
+        """Carve one slice out of the local mmap store instead of the wire.
+
+        Returns ``None`` whenever the local store cannot serve the request
+        bit-exactly (stale version, unknown attribute, bounds outside the
+        persisted rows) so the caller falls back to the not-hydrated error
+        and the coordinator re-ships the snapshot.  A served slice is a
+        zero-copy view over the mapped column file, installed in
+        ``_slices`` exactly as a wire hydration would be.
+        """
+        if not self._local_store_fresh:
+            return None
+        from repro.errors import StorageError
+
+        try:
+            columns = self._local.columns(attribute)
+        except StorageError:
+            return None
+        if columns is None or not (0 <= start <= stop <= columns.num_entities):
+            return None
+        snapshot = ColumnSnapshot.of_slice(columns, slice_id, start, stop, self.data_version)
+        self._slices[(attribute, slice_id)] = snapshot
+        self.local_hydrations += 1
+        return snapshot
+
     def _score(
         self,
         slice_id: int,
@@ -503,6 +567,8 @@ class ShardNodeServer:
                 f"the membership function of node {self.node_id} has no columnar kernel"
             )
         snapshot = self._slices.get((attribute, slice_id))
+        if snapshot is None:
+            snapshot = self._local_slice(attribute, slice_id, start, stop)
         if snapshot is None:
             raise RpcError(
                 f"slice {slice_id} of attribute {attribute!r} is not hydrated "
@@ -580,6 +646,8 @@ class ShardNodeServer:
             )
         snapshot = self._slices.get((attribute, slice_id))
         if snapshot is None:
+            snapshot = self._local_slice(attribute, slice_id, start, stop)
+        if snapshot is None:
             raise RpcError(
                 f"slice {slice_id} of attribute {attribute!r} is not hydrated "
                 f"on node {self.node_id} (data_version {self.data_version})"
@@ -633,6 +701,8 @@ class ShardNodeServer:
             "cache_hits": sum(cache.stats.hits for cache in self._caches.values()),
             "hydrations": self.hydrations,
             "delta_hydrations": self.delta_hydrations,
+            "local_store": self._local_store_fresh,
+            "local_hydrations": self.local_hydrations,
             "stale_slices": len(self._stale),
             "invalidations": self.invalidations,
             "connections": self.connections,
@@ -648,6 +718,7 @@ def _node_main(
     membership: object,
     max_frame_bytes: int,
     cache_size: int | None,
+    data_dir: str | None = None,
 ) -> None:
     """Forked node entry point: close inherited sockets, then serve TCP."""
     for other in close_in_child:
@@ -660,6 +731,7 @@ def _node_main(
         membership=membership,
         max_frame_bytes=max_frame_bytes,
         cache_size=cache_size,
+        data_dir=data_dir,
     )
     server.adopt_listener(listener)
     server.serve_forever()
@@ -762,6 +834,7 @@ class ClusterNodeClient:
         self.dead = False
         self.remote_data_version = 0
         self.remote_owned: list[int] = []
+        self.remote_local_store = False
         self.queue: deque[tuple[bytes, NodeReply]] = deque()
         self.inflight: deque[NodeReply] = deque()
         self._out = bytearray()
@@ -793,7 +866,12 @@ class ClusterNodeClient:
                 raise HandshakeError(
                     f"cluster node {self.index} closed the connection during the handshake"
                 )
-            _, self.remote_data_version, self.remote_owned = read_hello_ack(payload)
+            (
+                _,
+                self.remote_data_version,
+                self.remote_owned,
+                self.remote_local_store,
+            ) = read_hello_ack(payload)
         except HandshakeError:
             sock.close()
             self.dead = True
@@ -1030,6 +1108,7 @@ class ClusterShardStore:
         replication: int = 1,
         snapshot_compression: bool = False,
         centroid_tolerance: float | None = None,
+        data_dir: str | None = None,
     ) -> None:
         self._managed = addresses is None
         if self._managed:
@@ -1057,7 +1136,7 @@ class ClusterShardStore:
         self.database = database
         self.num_nodes = num_nodes
         self.num_slices = num_slices
-        self.base = base if base is not None else ColumnarSummaryStore(database)
+        self.base = base if base is not None else database.columnar_store()
         self.max_frame_bytes = max_frame_bytes
         self.node_cache_size = node_cache_size
         self.window = window
@@ -1068,6 +1147,9 @@ class ClusterShardStore:
         self.replication = min(replication, num_nodes)
         self.snapshot_compression = snapshot_compression
         self.centroid_tolerance = centroid_tolerance
+        # Directory of the persistent storage tier the managed nodes boot
+        # from (None → nodes cold-start and hydrate over the wire).
+        self.data_dir = data_dir
         # Node n owns the contiguous slice-id range [bounds[n], bounds[n+1]).
         self._ownership = partition_bounds(num_slices, num_nodes)
         self._owner_of = [
@@ -1097,6 +1179,7 @@ class ClusterShardStore:
         self.rpc_requests = 0  # individual score requests shipped to nodes
         self.hydrations = 0  # snapshots shipped (full or delta)
         self.delta_hydrations = 0  # of which delta frames
+        self.local_hydrations = 0  # hydrate frames skipped: node store was warm
         self.failovers = 0  # crashed score calls re-issued on a replica
         self.entities_scored = 0  # rows the nodes' exact kernels evaluated
         self.entities_pruned = 0  # rows settled by bounds alone
@@ -1247,6 +1330,7 @@ class ClusterShardStore:
                 membership,
                 self.max_frame_bytes,
                 self.node_cache_size,
+                self.data_dir,
             ),
             daemon=True,
             name=f"repro-cluster-node-{index}",
@@ -1430,6 +1514,15 @@ class ClusterShardStore:
             hydration_key = (node, attribute, slice_id)
             if hydration_key in self._hydrated:
                 continue
+            channel = self._channels[node]
+            if channel.remote_local_store and channel.remote_data_version == self._version:
+                # The node advertised a warm persistent store at exactly the
+                # coordinator's version: it will carve this slice out of its
+                # own mmap on first use, so no hydrate frame ships at all.
+                self._hydrated.add(hydration_key)
+                self._node_bases[hydration_key] = self._version
+                self.local_hydrations += 1
+                continue
             payload = self._hydration_payload(node, columns, attribute, slice_id, start, stop)
             reply = self._channels[node].enqueue(payload, _decode_versioned)
             pending.append(
@@ -1498,6 +1591,14 @@ class ClusterShardStore:
         new_calls: list[_PendingCall] = []
         channel = self._channels[node]
         hydration_key = (node, call.attribute, call.slice_id)
+        if hydration_key not in self._hydrated and (
+            channel.remote_local_store and channel.remote_data_version == self._version
+        ):
+            # Same skip as the original path: a warm local store at the
+            # coordinator's version hydrates itself on first use.
+            self._hydrated.add(hydration_key)
+            self._node_bases[hydration_key] = self._version
+            self.local_hydrations += 1
         if hydration_key not in self._hydrated:
             payload = self._hydration_payload(
                 node, columns, call.attribute, call.slice_id, call.start, call.stop
@@ -1938,6 +2039,7 @@ class ClusterShardStore:
             "rpc_requests": self.rpc_requests,
             "hydrations": self.hydrations,
             "delta_hydrations": self.delta_hydrations,
+            "local_hydrations": self.local_hydrations,
             "failovers": self.failovers,
             "entities_scored": self.entities_scored,
             "entities_pruned": self.entities_pruned,
@@ -2022,6 +2124,7 @@ class ClusterQueryEngine(ShardedSubjectiveQueryEngine):
         replication: int = 1,
         snapshot_compression: bool = False,
         centroid_tolerance: float | None = None,
+        data_dir: str | None = None,
     ) -> None:
         if addresses is not None:
             num_nodes = len(addresses)
@@ -2044,6 +2147,7 @@ class ClusterQueryEngine(ShardedSubjectiveQueryEngine):
         self.replication = replication
         self.snapshot_compression = snapshot_compression
         self.centroid_tolerance = centroid_tolerance
+        self.data_dir = data_dir
         # Batch-local (attribute, phrase) → (unique_ids, degrees) memo;
         # active only inside a concurrent run_batch, cleared on every
         # invalidation so it can never outlive a data version.  The
@@ -2080,6 +2184,7 @@ class ClusterQueryEngine(ShardedSubjectiveQueryEngine):
             replication=self.replication,
             snapshot_compression=self.snapshot_compression,
             centroid_tolerance=self.centroid_tolerance,
+            data_dir=self.data_dir,
         )
 
     # ----------------------------------------------------- vector-level reuse
@@ -2404,6 +2509,7 @@ def start_local_node(
     node_id: int = 0,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     cache_size: int | None = DEFAULT_WORKER_CACHE_SIZE,
+    data_dir: str | None = None,
 ) -> tuple[ShardNodeServer, "object"]:
     """Start a :class:`ShardNodeServer` on a daemon thread; returns (server, thread).
 
@@ -2419,6 +2525,7 @@ def start_local_node(
         membership=membership,
         max_frame_bytes=max_frame_bytes,
         cache_size=cache_size,
+        data_dir=data_dir,
     )
     server.bind(host, port)
     thread = threading.Thread(
@@ -2426,3 +2533,62 @@ def start_local_node(
     )
     thread.start()
     return server, thread
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Serve one shard node over TCP from a persistent storage directory.
+
+    ``python -m repro.serving.cluster --data-dir DIR`` boots the membership
+    function from the directory's catalog (the persisted embedder drives
+    :class:`~repro.core.membership.HeuristicMembership`), maps the column
+    files, and serves until interrupted.  A coordinator whose
+    ``data_version`` matches the catalog's never ships a hydrate frame to
+    this node — the warm-restart path the storage tier exists for.
+    """
+    import argparse
+
+    from repro.core.membership import HeuristicMembership
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving.cluster",
+        description="Serve a cluster shard node from a persistent storage directory.",
+    )
+    parser.add_argument(
+        "--data-dir",
+        required=True,
+        help="storage directory written by SubjectiveDatabase.save()",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="listen address")
+    parser.add_argument("--port", type=int, default=0, help="listen port (0 = ephemeral)")
+    parser.add_argument("--node-id", type=int, default=0, help="node id reported in stats")
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=DEFAULT_WORKER_CACHE_SIZE,
+        help="per-slice degree-vector cache entries",
+    )
+    options = parser.parse_args(argv)
+    database = SubjectiveDatabase.open(options.data_dir)
+    membership = HeuristicMembership(embedder=database.phrase_embedder)
+    server = ShardNodeServer(
+        node_id=options.node_id,
+        membership=membership,
+        cache_size=options.cache_size,
+        data_dir=options.data_dir,
+    )
+    host, port = server.bind(options.host, options.port)
+    print(
+        f"node {options.node_id} serving {options.data_dir} "
+        f"(data_version {server.data_version}, local_store={server._local_store_fresh}) "
+        f"on {host}:{port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,8 +49,12 @@ from repro.errors import ExecutionError
 #: Version 2 added the ``score bounded`` opcode (threshold-pruned scoring
 #: with a per-row exactness mask in the response).  Version 3 added the
 #: ``hydrate delta`` opcode and the snapshot container's flags byte
-#: (compressed / f32-quantized / delta hydration frames).
-PROTOCOL_VERSION = 3
+#: (compressed / f32-quantized / delta hydration frames).  Version 4 added
+#: the ``local_store`` flag to the hello acknowledgement: a node backed by
+#: a persistent data directory (``repro.storage``) advertises that it can
+#: hydrate slices from local disk, so a coordinator at the same
+#: ``data_version`` skips the ``hydrate`` snapshot frames entirely.
+PROTOCOL_VERSION = 4
 
 #: Default ceiling on one frame's payload size (requests and responses).
 #: Generous for degree vectors (8 bytes per entity) while still refusing a
@@ -410,13 +414,19 @@ def encode_hello(protocol_version: int, data_version: int) -> bytes:
 
 
 def encode_hello_ack(
-    protocol_version: int, data_version: int, owned_slice_ids: Sequence[int]
+    protocol_version: int,
+    data_version: int,
+    owned_slice_ids: Sequence[int],
+    local_store: bool = False,
 ) -> bytes:
     """The node's ``hello`` acknowledgement.
 
     Carries the node's protocol version, the ``data_version`` of the
     snapshot its hydrated slices were packed from (0 before any
-    hydration), and the slice ids it currently owns.
+    hydration), the slice ids it currently owns, and a ``local_store``
+    flag advertising that the node can hydrate slices from a local
+    persistent data directory at that ``data_version`` — a coordinator
+    holding the same version then skips shipping snapshot frames.
     """
     return (
         _U8.pack(STATUS_OK)
@@ -424,6 +434,7 @@ def encode_hello_ack(
         + _U64.pack(data_version)
         + _U32.pack(len(owned_slice_ids))
         + np.asarray(list(owned_slice_ids), dtype=WIRE_U32).tobytes()
+        + _U8.pack(1 if local_store else 0)
     )
 
 
@@ -492,13 +503,13 @@ def read_gateway_response(payload: bytes) -> tuple[int, str]:
     raise error
 
 
-def read_hello_ack(payload: bytes) -> tuple[int, int, list[int]]:
+def read_hello_ack(payload: bytes) -> tuple[int, int, list[int], bool]:
     """Decode a ``hello`` acknowledgement; typed errors, never a hang.
 
-    Returns ``(protocol_version, data_version, owned_slice_ids)``.  A
-    transported node-side error or a protocol version other than
-    :data:`PROTOCOL_VERSION` raises :class:`HandshakeError`; a malformed
-    (truncated) acknowledgement does too.
+    Returns ``(protocol_version, data_version, owned_slice_ids,
+    local_store)``.  A transported node-side error or a protocol version
+    other than :data:`PROTOCOL_VERSION` raises :class:`HandshakeError`; a
+    malformed (truncated) acknowledgement does too.
     """
     try:
         reader = Reader(payload)
@@ -513,8 +524,9 @@ def read_hello_ack(payload: bytes) -> tuple[int, int, list[int]]:
             )
         data_version = reader.read_u64()
         owned = reader.read_u32_array(reader.read_u32())
+        local_store = bool(reader.read_u8())
     except HandshakeError:
         raise
     except RpcError as error:
         raise HandshakeError(f"malformed hello acknowledgement ({error})") from error
-    return version, data_version, owned
+    return version, data_version, owned, local_store

@@ -174,7 +174,7 @@ class ShardServiceWorker:
         self.membership = membership
         self.owned_slice_ids = list(owned_slice_ids)
         self.max_frame_bytes = max_frame_bytes
-        self.store = ColumnarSummaryStore(database)
+        self.store = database.columnar_store()
         # Owned slice ids are a contiguous range, so ``slice_id % count``
         # (the default router's hash of the key's first element) maps each
         # owned slice onto its own partition.
@@ -561,7 +561,7 @@ class RpcShardStore:
         self.database = database
         self.num_workers = num_workers
         self.num_slices = num_slices
-        self.base = base if base is not None else ColumnarSummaryStore(database)
+        self.base = base if base is not None else database.columnar_store()
         self.max_frame_bytes = max_frame_bytes
         self.worker_cache_size = worker_cache_size
         # Worker w owns the contiguous slice-id range [bounds[w], bounds[w+1]).

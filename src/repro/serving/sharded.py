@@ -240,7 +240,7 @@ def _process_score(payload: tuple) -> np.ndarray:
     database, membership = _PROCESS_REGISTRY[token]
     store = _CHILD_STORES.get(token)
     if store is None:
-        store = ColumnarSummaryStore(database)
+        store = database.columnar_store()
         _CHILD_STORES[token] = store
     columns = store.columns(attribute)
     kernel = columnar_kernel(membership, database)
@@ -359,7 +359,7 @@ class ShardedColumnarStore:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
         self.database = database
         self.num_shards = num_shards
-        self.base = base if base is not None else ColumnarSummaryStore(database)
+        self.base = base if base is not None else database.columnar_store()
         self.backend = _make_backend(backend, max_workers or num_shards)
         self._slices: dict[str, list[ShardSlice] | None] = {}
         self._version = database.data_version

@@ -1,0 +1,297 @@
+"""The durable storage catalog: a WAL-mode SQLite file beside the column files.
+
+The catalog is the storage tier's source of truth.  It records everything a
+:class:`~repro.core.database.SubjectiveDatabase` cannot rebuild from the
+column files alone — entities, reviews, extractions, the schema (with its
+linguistic-domain counts), variation→marker assignments, provenance, the
+text-model state — plus, per subjective attribute, the *version-stamped*
+column file holding that attribute's arrays and the checksums that bind
+catalog and file together.
+
+Two version counters cooperate:
+
+* ``data_version`` (``meta`` table) — the database's global monotonic
+  counter at save time.  Cluster nodes compare it against the
+  coordinator's hello to decide whether their local files are current.
+* ``attributes.version`` — a per-attribute counter bumped only when that
+  attribute's column bytes actually change between saves.  The same value
+  is embedded in the column file's meta JSON, so a catalog pointing at a
+  file from a different save generation is detected as version skew
+  (:class:`~repro.errors.CatalogError`) instead of serving mixed states.
+
+Writes happen in single transactions (``save`` replaces the whole logical
+state atomically); the WAL journal keeps concurrent readers — a serving
+process booting from the directory mid-save — on a consistent snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import CatalogError
+
+#: File name of the catalog inside a storage directory.
+CATALOG_FILENAME = "catalog.sqlite"
+
+#: Format version of the catalog schema; readers refuse other versions.
+CATALOG_FORMAT_VERSION = 1
+
+_SCHEMA_STATEMENTS = (
+    "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)",
+    "CREATE TABLE IF NOT EXISTS entities ("
+    " seq INTEGER PRIMARY KEY, entity_id TEXT NOT NULL, objective TEXT NOT NULL)",
+    "CREATE TABLE IF NOT EXISTS reviews ("
+    " seq INTEGER PRIMARY KEY, review_id INTEGER NOT NULL, entity_id TEXT NOT NULL,"
+    " text TEXT NOT NULL, reviewer_id TEXT NOT NULL, rating REAL, year INTEGER,"
+    " helpful_votes INTEGER NOT NULL)",
+    "CREATE TABLE IF NOT EXISTS extractions ("
+    " seq INTEGER PRIMARY KEY, extraction_id INTEGER NOT NULL, entity_id TEXT NOT NULL,"
+    " review_id INTEGER NOT NULL, sentence TEXT NOT NULL, aspect_term TEXT NOT NULL,"
+    " opinion_term TEXT NOT NULL, attribute TEXT NOT NULL, marker TEXT,"
+    " sentiment REAL NOT NULL)",
+    "CREATE TABLE IF NOT EXISTS variations ("
+    " attribute TEXT NOT NULL, variation TEXT NOT NULL, marker TEXT NOT NULL,"
+    " PRIMARY KEY (attribute, variation))",
+    "CREATE TABLE IF NOT EXISTS provenance ("
+    " seq INTEGER PRIMARY KEY, entity_id TEXT NOT NULL, attribute TEXT NOT NULL,"
+    " marker TEXT NOT NULL, extraction_id INTEGER NOT NULL)",
+    "CREATE TABLE IF NOT EXISTS attributes ("
+    " name TEXT PRIMARY KEY, position INTEGER NOT NULL, version INTEGER NOT NULL,"
+    " file TEXT NOT NULL, crc INTEGER NOT NULL, content_crc INTEGER NOT NULL,"
+    " num_entities INTEGER NOT NULL)",
+    "CREATE TABLE IF NOT EXISTS summaries ("
+    " seq INTEGER PRIMARY KEY, attribute TEXT NOT NULL, entity_id TEXT NOT NULL,"
+    " row INTEGER, payload TEXT)",
+    "CREATE INDEX IF NOT EXISTS idx_summaries_attribute ON summaries (attribute, seq)",
+    "CREATE TABLE IF NOT EXISTS models ("
+    " name TEXT PRIMARY KEY, version INTEGER NOT NULL, file TEXT NOT NULL,"
+    " crc INTEGER NOT NULL)",
+)
+
+#: Logical tables replaced wholesale by :meth:`StorageCatalog.replace_state`.
+_STATE_TABLES = (
+    "entities",
+    "reviews",
+    "extractions",
+    "variations",
+    "provenance",
+    "attributes",
+    "summaries",
+    "models",
+)
+
+
+def encode_entity_id(entity_id: object) -> str:
+    """JSON-encode one entity id for use as a catalog key.
+
+    Only ids that round-trip through JSON exactly are accepted — the same
+    ``str | int | float | bool | None`` contract the column-snapshot wire
+    format enforces, so anything the catalog stores can also ship in a
+    hydrate frame.
+    """
+    if entity_id is not None and not isinstance(entity_id, (str, int, float)):
+        raise CatalogError(
+            f"entity id {entity_id!r} is not storage-serializable "
+            "(ids must be str, int, float or None)"
+        )
+    return json.dumps(entity_id, sort_keys=True, separators=(",", ":"))
+
+
+def decode_entity_id(encoded: str) -> object:
+    """Invert :func:`encode_entity_id`."""
+    return json.loads(encoded)
+
+
+class StorageCatalog:
+    """One open catalog connection with typed failure modes.
+
+    ``create=True`` initialises a fresh catalog (creating the directory's
+    SQLite file and schema); otherwise a missing or malformed catalog
+    raises :class:`~repro.errors.CatalogError`.  The object is a context
+    manager; :meth:`close` checkpoints the WAL so a directory copied after
+    a clean close needs only the main database file.
+    """
+
+    def __init__(self, directory: str, create: bool = False) -> None:
+        self.directory = directory
+        self.path = os.path.join(directory, CATALOG_FILENAME)
+        if not create and not os.path.exists(self.path):
+            raise CatalogError(f"no storage catalog at {self.path}")
+        if create:
+            os.makedirs(directory, exist_ok=True)
+        try:
+            self._connection = sqlite3.connect(self.path)
+            self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute("PRAGMA synchronous=NORMAL")
+            self._connection.execute("PRAGMA busy_timeout=10000")
+            for statement in _SCHEMA_STATEMENTS:
+                self._connection.execute(statement)
+            self._connection.commit()
+        except sqlite3.Error as error:
+            raise CatalogError(f"cannot open storage catalog {self.path} ({error})") from error
+        if create:
+            current = self.get_meta("format_version")
+            if current is None:
+                self.set_meta("format_version", str(CATALOG_FORMAT_VERSION))
+                self._connection.commit()
+        version = self.get_meta("format_version")
+        if version != str(CATALOG_FORMAT_VERSION):
+            self._connection.close()
+            raise CatalogError(
+                f"unsupported catalog format version {version!r} "
+                f"(this build reads version {CATALOG_FORMAT_VERSION})"
+            )
+
+    # ---------------------------------------------------------------- basics
+    def __enter__(self) -> "StorageCatalog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Checkpoint the WAL and close the connection (idempotent)."""
+        connection = self._connection
+        if connection is None:
+            return
+        try:
+            connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            connection.commit()
+        except sqlite3.Error:
+            pass
+        connection.close()
+        self._connection = None
+
+    def _execute(self, sql: str, parameters: Sequence[object] = ()) -> sqlite3.Cursor:
+        if self._connection is None:
+            raise CatalogError("storage catalog is closed")
+        try:
+            return self._connection.execute(sql, parameters)
+        except sqlite3.Error as error:
+            raise CatalogError(f"catalog query failed ({error})") from error
+
+    # ------------------------------------------------------------------ meta
+    def get_meta(self, key: str) -> str | None:
+        """One ``meta`` value, or ``None`` when the key is absent."""
+        row = self._execute("SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return None if row is None else row[0]
+
+    def require_meta(self, key: str) -> str:
+        """One ``meta`` value; raises :class:`CatalogError` when absent."""
+        value = self.get_meta(key)
+        if value is None:
+            raise CatalogError(f"storage catalog is missing required meta key {key!r}")
+        return value
+
+    def set_meta(self, key: str, value: str) -> None:
+        """Upsert one ``meta`` value (caller commits)."""
+        self._execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+            (key, value),
+        )
+
+    @property
+    def data_version(self) -> int:
+        """The database's global ``data_version`` recorded at save time."""
+        try:
+            return int(self.require_meta("data_version"))
+        except ValueError as error:
+            raise CatalogError(f"malformed data_version in catalog ({error})") from error
+
+    # ------------------------------------------------------------------ reads
+    def attribute_rows(self) -> list[sqlite3.Row]:
+        """All ``attributes`` rows ordered by schema position."""
+        cursor = self._execute(
+            "SELECT name, position, version, file, crc, content_crc, num_entities "
+            "FROM attributes ORDER BY position"
+        )
+        cursor.row_factory = sqlite3.Row
+        return cursor.fetchall()
+
+    def model_rows(self) -> list[sqlite3.Row]:
+        """All ``models`` rows (name, version, file, crc)."""
+        cursor = self._execute("SELECT name, version, file, crc FROM models ORDER BY name")
+        cursor.row_factory = sqlite3.Row
+        return cursor.fetchall()
+
+    def rows(self, sql: str, parameters: Sequence[object] = ()) -> list[tuple]:
+        """Arbitrary read query (used by the loaders and the test battery)."""
+        return self._execute(sql, parameters).fetchall()
+
+    # ----------------------------------------------------------------- writes
+    def replace_state(
+        self,
+        meta: Mapping[str, str],
+        entities: Iterable[tuple],
+        reviews: Iterable[tuple],
+        extractions: Iterable[tuple],
+        variations: Iterable[tuple],
+        provenance: Iterable[tuple],
+        attributes: Iterable[tuple],
+        summaries: Iterable[tuple],
+        models: Iterable[tuple],
+    ) -> None:
+        """Replace the catalog's logical state in one committed transaction.
+
+        Readers (WAL mode) either see the previous complete save or this
+        one — never a mixture.  ``meta`` keys are upserted, every state
+        table is rewritten.  Tuple shapes follow the table definitions,
+        without the ``seq`` columns (assigned here, preserving iteration
+        order).
+        """
+        if self._connection is None:
+            raise CatalogError("storage catalog is closed")
+        try:
+            with self._connection:  # one transaction, committed on success
+                for table in _STATE_TABLES:
+                    self._connection.execute(f"DELETE FROM {table}")
+                for key, value in meta.items():
+                    self._connection.execute(
+                        "INSERT INTO meta (key, value) VALUES (?, ?) "
+                        "ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+                        (key, value),
+                    )
+                self._connection.executemany(
+                    "INSERT INTO entities (seq, entity_id, objective) VALUES (?, ?, ?)",
+                    ((seq, *row) for seq, row in enumerate(entities)),
+                )
+                self._connection.executemany(
+                    "INSERT INTO reviews (seq, review_id, entity_id, text, reviewer_id,"
+                    " rating, year, helpful_votes) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    ((seq, *row) for seq, row in enumerate(reviews)),
+                )
+                self._connection.executemany(
+                    "INSERT INTO extractions (seq, extraction_id, entity_id, review_id,"
+                    " sentence, aspect_term, opinion_term, attribute, marker, sentiment)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    ((seq, *row) for seq, row in enumerate(extractions)),
+                )
+                self._connection.executemany(
+                    "INSERT INTO variations (attribute, variation, marker) VALUES (?, ?, ?)",
+                    variations,
+                )
+                self._connection.executemany(
+                    "INSERT INTO provenance (seq, entity_id, attribute, marker,"
+                    " extraction_id) VALUES (?, ?, ?, ?, ?)",
+                    ((seq, *row) for seq, row in enumerate(provenance)),
+                )
+                self._connection.executemany(
+                    "INSERT INTO attributes (name, position, version, file, crc,"
+                    " content_crc, num_entities) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    attributes,
+                )
+                self._connection.executemany(
+                    "INSERT INTO summaries (seq, attribute, entity_id, row, payload)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    ((seq, *row) for seq, row in enumerate(summaries)),
+                )
+                self._connection.executemany(
+                    "INSERT INTO models (name, version, file, crc) VALUES (?, ?, ?, ?)",
+                    models,
+                )
+        except sqlite3.Error as error:
+            raise CatalogError(f"catalog save failed ({error})") from error

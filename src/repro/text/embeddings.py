@@ -54,6 +54,28 @@ class WordEmbeddings:
         self._vocabulary = vocabulary
         self._matrix = matrix / norms
 
+    @classmethod
+    def from_normalized(
+        cls, vocabulary: Vocabulary, matrix: np.ndarray
+    ) -> "WordEmbeddings":
+        """Wrap an already-L2-normalised matrix without re-normalising it.
+
+        The persistent storage tier saves the normalised matrix verbatim
+        and must restore the exact same bytes (possibly as a read-only
+        ``numpy.memmap`` view); running the constructor's normalisation
+        again would both copy the matrix and perturb rows whose norm is
+        not bit-exactly 1.0 after the first pass.
+        """
+        if len(vocabulary) != matrix.shape[0]:
+            raise ValueError(
+                "vocabulary size and matrix row count differ: "
+                f"{len(vocabulary)} vs {matrix.shape[0]}"
+            )
+        instance = cls.__new__(cls)
+        instance._vocabulary = vocabulary
+        instance._matrix = matrix
+        return instance
+
     @property
     def vocabulary(self) -> Vocabulary:
         return self._vocabulary

@@ -541,8 +541,8 @@ class TestFrameCodecRoundTrip:
             read_hello_ack,
         )
 
-        ack = encode_hello_ack(PROTOCOL_VERSION, data_version, [0, 1])
-        assert read_hello_ack(ack) == (PROTOCOL_VERSION, data_version, [0, 1])
+        ack = encode_hello_ack(PROTOCOL_VERSION, data_version, [0, 1], local_store=True)
+        assert read_hello_ack(ack) == (PROTOCOL_VERSION, data_version, [0, 1], True)
         if skew != PROTOCOL_VERSION:
             with pytest.raises(HandshakeError):
                 read_hello_ack(encode_hello_ack(skew, data_version, []))
@@ -882,3 +882,130 @@ class TestAdmissionControlInvariants:
             for _ in range(count):
                 control.release(connection)
         assert control.queue_depth == 0
+
+
+# --------------------------------------------------------------------------
+# Persistent storage tier invariants
+# --------------------------------------------------------------------------
+
+def _storage_tree_digest(directory: str) -> dict[str, bytes]:
+    """Raw bytes of every column/model file, keyed by relative path."""
+    import os
+
+    tree: dict[str, bytes] = {}
+    for subdir in ("columns", "models"):
+        root = os.path.join(directory, subdir)
+        if not os.path.isdir(root):
+            continue
+        for name in sorted(os.listdir(root)):
+            with open(os.path.join(root, name), "rb") as handle:
+                tree[f"{subdir}/{name}"] = handle.read()
+    return tree
+
+
+class TestPersistentStorageProperties:
+    """save/open invariants of :mod:`repro.storage` under random databases."""
+
+    @given(
+        st.integers(min_value=3, max_value=14),
+        st.integers(min_value=0, max_value=2**31),
+        st.booleans(),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_save_open_save_is_byte_stable(self, num_entities, seed, with_embedder):
+        import tempfile
+
+        from repro.core.database import SubjectiveDatabase
+        from repro.testing import build_synthetic_columnar_database
+
+        database = build_synthetic_columnar_database(
+            num_entities=num_entities, markers_per_attribute=4, dimension=8, seed=seed
+        )
+        if not with_embedder:
+            database.phrase_embedder = None  # the embedder-less save path
+        with tempfile.TemporaryDirectory() as directory:
+            database.save(directory)
+            first = _storage_tree_digest(directory)
+            booted = SubjectiveDatabase.open(directory)
+            booted.save(directory)
+            assert _storage_tree_digest(directory) == first
+            assert booted.data_version == database.data_version
+
+    @given(st.integers(min_value=0, max_value=2**31), st.data())
+    @settings(max_examples=8, deadline=None)
+    def test_catalog_versions_are_monotonic_under_ingest(self, seed, data):
+        import tempfile
+
+        from repro.core.markers import MarkerSummary
+        from repro.storage import StorageCatalog
+        from repro.testing import build_synthetic_columnar_database
+
+        database = build_synthetic_columnar_database(
+            num_entities=8, markers_per_attribute=4, dimension=8, seed=seed
+        )
+        with tempfile.TemporaryDirectory() as directory:
+            database.save(directory)
+            with StorageCatalog(directory) as catalog:
+                data_version = catalog.data_version
+                versions = {row["name"]: row["version"] for row in catalog.attribute_rows()}
+            for _ in range(data.draw(st.integers(min_value=1, max_value=3))):
+                entity = f"e{data.draw(st.integers(min_value=0, max_value=7)):05d}"
+                attribute = data.draw(st.sampled_from(["quality", "service"]))
+                summary = MarkerSummary(
+                    attribute, list(database.schema.subjective(attribute).markers)
+                )
+                summary.add_phrase(
+                    summary.markers[data.draw(st.integers(min_value=0, max_value=3))].name,
+                    sentiment=data.draw(st.floats(min_value=-1.0, max_value=1.0)),
+                )
+                database.store_summary(entity, summary)
+                database.save(directory)
+                with StorageCatalog(directory) as catalog:
+                    next_data_version = catalog.data_version
+                    next_versions = {
+                        row["name"]: row["version"] for row in catalog.attribute_rows()
+                    }
+                assert next_data_version > data_version
+                assert next_versions.keys() == versions.keys()
+                for name, version in versions.items():
+                    assert next_versions[name] >= version
+                data_version, versions = next_data_version, next_versions
+
+    @given(st.integers(min_value=0, max_value=2**31), st.data())
+    @settings(max_examples=8, deadline=None)
+    def test_mmap_gather_equals_in_memory_gather(self, seed, data):
+        import tempfile
+
+        from repro.core.columnar import gather_rows
+        from repro.core.database import SubjectiveDatabase
+        from repro.testing import build_synthetic_columnar_database
+
+        database = build_synthetic_columnar_database(
+            num_entities=12, markers_per_attribute=4, dimension=8, seed=seed
+        )
+        with tempfile.TemporaryDirectory() as directory:
+            database.save(directory)
+            booted = SubjectiveDatabase.open(directory)
+            attribute = data.draw(st.sampled_from(["quality", "service"]))
+            ram = database.columnar_store().columns(attribute)
+            mapped = booted.columnar_store().columns(attribute)
+            rows = data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=ram.num_entities - 1),
+                    min_size=1,
+                    max_size=ram.num_entities,
+                )
+            )
+            expected = gather_rows(ram, rows)
+            actual = gather_rows(mapped, rows)
+            for name in (
+                "fractions",
+                "average_sentiments",
+                "totals",
+                "unmatched",
+                "overall_sentiments",
+                "centroids_unit",
+            ):
+                np.testing.assert_array_equal(
+                    getattr(expected, name), getattr(actual, name), err_msg=name
+                )

@@ -114,10 +114,13 @@ class TestHandshake:
     def test_hello_roundtrip(self, hotel_node):
         with socket.create_connection(hotel_node.address, timeout=5) as sock:
             send_frame(sock, encode_hello(PROTOCOL_VERSION, 42), 1 << 20)
-            version, data_version, owned = read_hello_ack(recv_frame(sock, 1 << 20))
+            version, data_version, owned, local_store = read_hello_ack(
+                recv_frame(sock, 1 << 20)
+            )
             assert version == PROTOCOL_VERSION
             assert data_version == 0  # nothing hydrated yet
             assert owned == []
+            assert local_store is False  # no persistent data directory
 
     def test_version_mismatch_is_typed_error(self, hotel_node):
         with socket.create_connection(hotel_node.address, timeout=5) as sock:
