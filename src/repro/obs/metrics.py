@@ -1,0 +1,545 @@
+"""Typed metrics instruments and the registry that collects them.
+
+The serving stack accumulated one ad-hoc counter dict per layer
+(``partition_stats()``, ``transport_counters()``, ``stats_snapshot()``,
+``mmap_serves``, …).  This module replaces the *cells* those dicts read
+from with shared, registry-registered instruments while the legacy
+dict-returning APIs stay in place as thin views:
+
+* :class:`Counter` — a monotonically-increasing numeric cell.  It
+  implements the in-place and read-side numeric protocol (``+=``,
+  ``int()``, ``-``, ``/``, comparisons) so existing call sites like
+  ``self.kernel_calls += 1`` or ``after[name] - before[name]`` keep
+  working unchanged when the plain ``int`` attribute is swapped for a
+  cell.
+* :class:`Gauge` — a settable numeric cell for point-in-time values.
+* :class:`FuncGauge` — a collect-time view over a callable, for values
+  that are aggregates of other cells (e.g. partitioned-cache totals).
+* :class:`Histogram` — fixed-bucket distribution with p50/p95/p99
+  estimation by linear interpolation inside the owning bucket.
+* :class:`MetricsRegistry` — the per-engine (or per-process) collection:
+  ``snapshot()`` for tests and stats endpoints, ``to_prometheus()`` for
+  the Prometheus text exposition format, ``to_json_lines()`` for log
+  shipping.
+
+Everything here is dependency-free and cheap enough for warm-path use:
+an increment is one attribute add, a histogram observation one bisect.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "FuncGauge",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "as_plain",
+    "cell_property",
+]
+
+# Prometheus-style latency buckets (seconds, upper bounds).  The serving
+# stack's warm path sits in the 0.1–10 ms range and cold cluster queries
+# in the 10 ms–1 s range; these bounds bracket both with +inf catching
+# pathological stalls.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    """Rewrite ``name`` into the Prometheus metric-name alphabet."""
+    clean = _NAME_RE.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+class _NumericCell:
+    """Shared numeric read protocol for :class:`Counter` and :class:`Gauge`.
+
+    A cell behaves like the number it holds on the *read* side so call
+    sites that previously stored a plain ``int`` (arithmetic, ``sum()``,
+    comparisons, dict deltas) keep working after the swap.  Writes go
+    through the subclass API (``inc``/``set``/``+=``).
+    """
+
+    __slots__ = ("name", "help", "_value")
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", value: float = 0) -> None:
+        self.name = name
+        self.help = help
+        self._value = value
+
+    @property
+    def value(self) -> int | float:
+        """Current cell value."""
+        return self._value
+
+    # -- read-side numeric protocol -------------------------------------
+    def __int__(self) -> int:
+        return int(self._value)
+
+    def __float__(self) -> float:
+        return float(self._value)
+
+    def __index__(self) -> int:
+        return int(self._value)
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    def __add__(self, other: object) -> int | float:
+        return self._value + _raw(other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> int | float:
+        return self._value - _raw(other)
+
+    def __rsub__(self, other: object) -> int | float:
+        return _raw(other) - self._value
+
+    def __mul__(self, other: object) -> int | float:
+        return self._value * _raw(other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: object) -> float:
+        return self._value / _raw(other)
+
+    def __rtruediv__(self, other: object) -> float:
+        return _raw(other) / self._value
+
+    def __eq__(self, other: object) -> bool:
+        try:
+            return self._value == _raw(other)
+        except TypeError:
+            return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        if eq is NotImplemented:
+            return eq
+        return not eq
+
+    def __lt__(self, other: object) -> bool:
+        return self._value < _raw(other)
+
+    def __le__(self, other: object) -> bool:
+        return self._value <= _raw(other)
+
+    def __gt__(self, other: object) -> bool:
+        return self._value > _raw(other)
+
+    def __ge__(self, other: object) -> bool:
+        return self._value >= _raw(other)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, value={self._value!r})"
+
+
+def _raw(value: object) -> int | float:
+    """Unwrap a cell (or pass a plain number through) for arithmetic."""
+    if isinstance(value, _NumericCell):
+        return value._value
+    return value  # type: ignore[return-value]
+
+
+class Counter(_NumericCell):
+    """A monotonically-increasing counter cell.
+
+    ``counter += n`` is supported (and returns the *same* cell, so
+    attribute call sites keep pointing at the registered instrument);
+    decrements raise, matching Prometheus counter semantics.  ``reset``
+    exists for harness code that re-zeroes an engine between phases.
+    """
+
+    __slots__ = ()
+
+    kind = "counter"
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the cell."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (amount={amount!r})")
+        self._value += amount
+
+    def __iadd__(self, amount: object) -> "Counter":
+        self.inc(_raw(amount))
+        return self
+
+    def reset(self, value: int | float = 0) -> None:
+        """Re-zero the cell (benchmark harnesses reset between phases)."""
+        self._value = value
+
+
+class Gauge(_NumericCell):
+    """A settable cell for point-in-time values (queue depth, age, …)."""
+
+    __slots__ = ()
+
+    kind = "gauge"
+
+    def set(self, value: int | float) -> None:
+        """Replace the cell value."""
+        self._value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (may be negative) to the cell."""
+        self._value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        """Subtract ``amount`` from the cell."""
+        self._value -= amount
+
+    def __iadd__(self, amount: object) -> "Gauge":
+        self.inc(_raw(amount))
+        return self
+
+    def __isub__(self, amount: object) -> "Gauge":
+        self.dec(_raw(amount))
+        return self
+
+
+class FuncGauge:
+    """A collect-time gauge reading its value from a callable.
+
+    Used to expose aggregates that have no single backing cell — e.g.
+    the summed hit count of a partitioned cache — without duplicating
+    state: the legacy object stays the source of truth and the registry
+    evaluates the view at snapshot/export time.
+    """
+
+    __slots__ = ("name", "help", "_fn")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, fn: Callable[[], int | float], help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._fn = fn
+
+    @property
+    def value(self) -> int | float:
+        """Evaluate the backing callable."""
+        return self._fn()
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimation.
+
+    ``buckets`` are the finite upper bounds (ascending); an implicit
+    ``+inf`` bucket catches the overflow.  ``quantile(q)`` finds the
+    bucket holding the q-th observation and interpolates linearly inside
+    it, which is the standard Prometheus ``histogram_quantile`` estimate;
+    ``p50``/``p95``/``p99`` are shorthands.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "_sum", "_count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one finite bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must be strictly ascending, got {bounds!r}")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for the +inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def observe(self, value: float) -> None:
+        """Record one observation (one bisect, warm-path cheap)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Per-bucket cumulative counts, ``+inf`` last (equals ``count``)."""
+        total = 0
+        out = []
+        for n in self.counts:
+            total += n
+            out.append(total)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-th quantile (``0 <= q <= 1``) from the buckets.
+
+        Returns ``0.0`` when empty.  Observations in the ``+inf`` bucket
+        clamp to the largest finite bound (there is no upper edge to
+        interpolate toward).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index == len(self.bounds):  # +inf bucket: clamp
+                    return self.bounds[-1]
+                lower = self.bounds[index - 1] if index else 0.0
+                upper = self.bounds[index]
+                within = (rank - (cumulative - bucket_count)) / bucket_count
+                return lower + (upper - lower) * max(0.0, min(1.0, within))
+        return self.bounds[-1]
+
+    def p50(self) -> float:
+        """Median estimate."""
+        return self.quantile(0.50)
+
+    def p95(self) -> float:
+        """95th-percentile estimate."""
+        return self.quantile(0.95)
+
+    def p99(self) -> float:
+        """99th-percentile estimate."""
+        return self.quantile(0.99)
+
+    @property
+    def value(self) -> dict[str, object]:
+        """Snapshot dict: count, sum, quantile estimates, bucket counts."""
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "p50": self.p50(),
+            "p95": self.p95(),
+            "p99": self.p99(),
+            "buckets": {
+                **{repr(b): c for b, c in zip(self.bounds, self.cumulative_counts())},
+                "+inf": self._count,
+            },
+        }
+
+
+Instrument = Counter | Gauge | FuncGauge | Histogram
+
+
+class MetricsRegistry:
+    """A named collection of instruments with snapshot and export views.
+
+    Layers create (or adopt) cells through ``counter``/``gauge``/
+    ``histogram``/``register``; ``snapshot()`` flattens every instrument
+    to plain JSON-safe values, which is what the stats-equivalence tests
+    compare against the legacy dicts.  Instrument creation is locked;
+    increments on the cells themselves are plain attribute updates, same
+    as the ad-hoc ints they replaced.
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = _sanitize(namespace)
+        self._instruments: dict[str, Instrument] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the :class:`Counter` registered under ``name``."""
+        return self._get_or_create(name, lambda: Counter(name, help=help), Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the :class:`Gauge` registered under ``name``."""
+        return self._get_or_create(name, lambda: Gauge(name, help=help), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        """Get or create the :class:`Histogram` registered under ``name``."""
+        return self._get_or_create(name, lambda: Histogram(name, buckets, help=help), Histogram)
+
+    def func_gauge(self, name: str, fn: Callable[[], int | float], help: str = "") -> FuncGauge:
+        """Register a collect-time :class:`FuncGauge` view under ``name``."""
+        return self._get_or_create(name, lambda: FuncGauge(name, fn, help=help), FuncGauge)
+
+    def register(self, name: str, instrument: Instrument) -> Instrument:
+        """Adopt an externally-created cell under ``name``.
+
+        This is how a cache's existing ``CacheStats`` counters become
+        registry instruments without moving: the cache keeps mutating the
+        cell, the registry exports it.  Re-registering the same object
+        under the same name is a no-op; a different object is an error.
+        """
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is instrument:
+                return instrument
+            if existing is not None:
+                raise ValueError(f"instrument {name!r} already registered")
+            self._instruments[name] = instrument
+        return instrument
+
+    def _get_or_create(self, name, factory, expected):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, expected):
+                raise TypeError(
+                    f"instrument {name!r} is a {type(instrument).__name__}, "
+                    f"not a {expected.__name__}"
+                )
+            return instrument
+
+    def get(self, name: str) -> Instrument | None:
+        """The instrument registered under ``name``, or ``None``."""
+        return self._instruments.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __iter__(self) -> Iterator[tuple[str, Instrument]]:
+        return iter(sorted(self._instruments.items()))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict[str, object]:
+        """Every instrument flattened to a JSON-safe value, name-sorted.
+
+        Counters/gauges flatten to numbers, histograms to their summary
+        dict; the result round-trips through ``json.dumps`` unchanged.
+        """
+        out: dict[str, object] = {}
+        for name, instrument in self:
+            value = instrument.value
+            if isinstance(value, float) and not math.isfinite(value):
+                value = repr(value)
+            out[name] = value
+        return out
+
+    def to_prometheus(self) -> str:
+        """Render every instrument in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for name, instrument in self:
+            metric = f"{self.namespace}_{_sanitize(name)}"
+            if instrument.help:
+                lines.append(f"# HELP {metric} {instrument.help}")
+            lines.append(f"# TYPE {metric} {instrument.kind}")
+            if isinstance(instrument, Histogram):
+                cumulative = instrument.cumulative_counts()
+                for bound, count in zip(instrument.bounds, cumulative):
+                    lines.append(f'{metric}_bucket{{le="{bound!r}"}} {count}')
+                lines.append(f'{metric}_bucket{{le="+Inf"}} {instrument.count}')
+                lines.append(f"{metric}_sum {instrument.sum!r}")
+                lines.append(f"{metric}_count {instrument.count}")
+            else:
+                lines.append(f"{metric} {_format_value(instrument.value)}")
+        return "\n".join(lines) + "\n"
+
+    def to_json_lines(self) -> str:
+        """One JSON object per instrument per line (for log shipping)."""
+        lines = []
+        for name, instrument in self:
+            value = instrument.value
+            if isinstance(value, float) and not math.isfinite(value):
+                value = repr(value)
+            lines.append(
+                json.dumps(
+                    {"name": name, "kind": instrument.kind, "value": value},
+                    sort_keys=True,
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+
+def _format_value(value: object) -> str:
+    """Format a scalar for the Prometheus text format."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    raise TypeError(f"cannot export non-numeric value {value!r}")
+
+
+def cell_property(cell_attr: str, doc: str = "") -> property:
+    """A value-read / cell-write property over a counter cell attribute.
+
+    The migration shim for classes whose plain-``int`` counter attributes
+    became registry :class:`Counter` cells: reads return a plain ``int``
+    snapshot (so ``before = store.fanouts`` never aliases a mutating
+    cell), writes — including the ``store.fanouts += 1`` read-modify-write
+    — land in the cell stored under ``cell_attr`` on the instance.
+    """
+
+    def getter(self) -> int:
+        return int(getattr(self, cell_attr))
+
+    def setter(self, value: int) -> None:
+        getattr(self, cell_attr).reset(int(value))
+
+    return property(getter, setter, doc=doc or f"Counter value of ``{cell_attr}``.")
+
+
+def as_plain(mapping: Mapping[str, object]) -> dict[str, object]:
+    """Copy ``mapping`` with any metric cells unwrapped to plain numbers.
+
+    The wire-facing stats handlers (`OP_STATS`, gateway stats) feed their
+    dicts to ``json.dumps``; this keeps those boundaries JSON-safe after
+    counter cells replaced plain ints.
+    """
+    out: dict[str, object] = {}
+    for key, value in mapping.items():
+        if isinstance(value, _NumericCell):
+            out[key] = value.value
+        elif isinstance(value, Mapping):
+            out[key] = as_plain(value)
+        elif isinstance(value, list):
+            out[key] = [as_plain(v) if isinstance(v, Mapping) else v for v in value]
+        else:
+            out[key] = value
+    return out

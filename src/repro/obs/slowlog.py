@@ -1,0 +1,165 @@
+"""Threshold-gated slow-query log: SQL, span tree, pruning counters.
+
+The serving engines call :meth:`SlowQueryLog.maybe_record` after every
+query with the elapsed seconds; queries at or above the configured
+threshold are captured into a bounded ring together with the query's
+trace id, its buffered spans (so the record holds the full span tree
+even after the :class:`~repro.obs.trace.TraceStore` ring moves on) and
+the pruning counters that explain *why* it was slow.  With no threshold
+configured the per-query cost is one attribute test.
+
+Enable globally with ``REPRO_SLOW_QUERY_MS`` in the environment or
+:func:`configure_slow_query_log`; engines can also be handed a private
+log instance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs.trace import TraceStore, global_trace_store
+
+__all__ = [
+    "SlowQueryLog",
+    "SlowQueryRecord",
+    "configure_slow_query_log",
+    "global_slow_query_log",
+]
+
+SLOW_QUERY_ENV_MS = "REPRO_SLOW_QUERY_MS"
+
+
+@dataclass(slots=True)
+class SlowQueryRecord:
+    """One captured slow query."""
+
+    sql: str
+    seconds: float
+    threshold: float
+    trace_id: int = 0
+    entities_scored: int = 0
+    entities_pruned: int = 0
+    spans: list[dict[str, object]] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe dict (one line of the exported log)."""
+        return {
+            "sql": self.sql,
+            "seconds": self.seconds,
+            "threshold": self.threshold,
+            "trace_id": self.trace_id,
+            "entities_scored": self.entities_scored,
+            "entities_pruned": self.entities_pruned,
+            "spans": list(self.spans),
+        }
+
+
+class SlowQueryLog:
+    """Bounded ring of :class:`SlowQueryRecord`, gated on a threshold.
+
+    ``threshold_seconds=None`` disables capture entirely (the warm-path
+    default).  Thread-safe; the gateway's engine thread and a cluster
+    coordinator may both record.
+    """
+
+    def __init__(self, threshold_seconds: float | None = None, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.threshold_seconds = threshold_seconds
+        self._records: deque[SlowQueryRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a threshold is configured."""
+        return self.threshold_seconds is not None
+
+    def maybe_record(
+        self,
+        sql: str,
+        seconds: float,
+        trace_id: int = 0,
+        entities_scored: int = 0,
+        entities_pruned: int = 0,
+        trace_store: TraceStore | None = None,
+    ) -> SlowQueryRecord | None:
+        """Capture the query if it met the threshold; return the record.
+
+        The query's span tree is copied out of ``trace_store`` (the
+        global store by default) at capture time, keyed on ``trace_id``.
+        """
+        threshold = self.threshold_seconds
+        if threshold is None or seconds < threshold:
+            return None
+        spans: list[dict[str, object]] = []
+        if trace_id:
+            store = trace_store if trace_store is not None else global_trace_store()
+            spans = [record.as_dict() for record in store.spans(trace_id=trace_id)]
+        record = SlowQueryRecord(
+            sql=sql,
+            seconds=seconds,
+            threshold=threshold,
+            trace_id=trace_id,
+            entities_scored=int(entities_scored),
+            entities_pruned=int(entities_pruned),
+            spans=spans,
+        )
+        with self._lock:
+            self._records.append(record)
+        return record
+
+    def records(self) -> list[SlowQueryRecord]:
+        """Captured records, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        """Drop every captured record."""
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def to_json_lines(self) -> str:
+        """One record per line (ship to a log pipeline or trace_report)."""
+        rows = [json.dumps(r.as_dict(), sort_keys=True) for r in self.records()]
+        return "\n".join(rows) + ("\n" if rows else "")
+
+
+def _threshold_from_env() -> float | None:
+    raw = os.environ.get(SLOW_QUERY_ENV_MS, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw) / 1000.0
+    except ValueError:
+        return None
+
+
+_global_log = SlowQueryLog(threshold_seconds=_threshold_from_env())
+
+
+def global_slow_query_log() -> SlowQueryLog:
+    """The process-global log the engines record into by default."""
+    return _global_log
+
+
+def configure_slow_query_log(
+    threshold_seconds: float | None, capacity: int | None = None
+) -> SlowQueryLog:
+    """Set (or disable, with ``None``) the global log's threshold.
+
+    ``capacity`` swaps in a fresh ring of that size; otherwise existing
+    records are kept.
+    """
+    global _global_log
+    if capacity is not None:
+        _global_log = SlowQueryLog(threshold_seconds=threshold_seconds, capacity=capacity)
+    else:
+        _global_log.threshold_seconds = threshold_seconds
+    return _global_log

@@ -71,7 +71,10 @@ from repro.serving.gateway import (
 )
 from repro.serving.plans import QueryPlan, normalize_sql
 from repro.serving.protocol import (
+    OP_TRACES,
     PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
+    TRACE_PROTOCOL_VERSION,
     FrameTooLargeError,
     GatewayOverloadedError,
     HandshakeError,
@@ -107,11 +110,13 @@ __all__ = [
     "GatewayReply",
     "HandshakeError",
     "LRUCache",
+    "OP_TRACES",
     "PROTOCOL_VERSION",
     "PartitionedLRUCache",
     "QueryPlan",
     "RpcError",
     "RpcShardStore",
+    "SUPPORTED_PROTOCOL_VERSIONS",
     "ServingGateway",
     "ServingStats",
     "ShardNodeServer",
@@ -120,6 +125,7 @@ __all__ = [
     "ShardedColumnarStore",
     "ShardedSubjectiveQueryEngine",
     "SubjectiveQueryEngine",
+    "TRACE_PROTOCOL_VERSION",
     "WorkerCrashedError",
     "coalescing_key",
     "default_num_shards",

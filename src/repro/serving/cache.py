@@ -17,17 +17,56 @@ never see a cache).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Callable, Hashable, Iterator, Sequence
 
+from repro.obs.metrics import Counter
 
-@dataclass
+
 class CacheStats:
-    """Counters of one cache: lookups, hits, misses, evictions."""
+    """Counters of one cache: lookups, hits, misses, evictions.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
+    Storage is a trio of live :class:`repro.obs.metrics.Counter` cells
+    (:attr:`hits_cell` & co.) that a serving engine registers in its
+    :class:`~repro.obs.MetricsRegistry`.  Attribute *reads* stay plain
+    ``int`` value snapshots — ``before = cache.stats.hits`` must not
+    alias a mutating cell — while attribute *writes* (``stats.hits += n``)
+    land in the registered cell, so the registry and this legacy view can
+    never disagree.
+    """
+
+    __slots__ = ("hits_cell", "misses_cell", "evictions_cell")
+
+    def __init__(self, hits: int = 0, misses: int = 0, evictions: int = 0) -> None:
+        self.hits_cell = Counter("cache_hits", value=int(hits))
+        self.misses_cell = Counter("cache_misses", value=int(misses))
+        self.evictions_cell = Counter("cache_evictions", value=int(evictions))
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache."""
+        return int(self.hits_cell)
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self.hits_cell.reset(int(value))
+
+    @property
+    def misses(self) -> int:
+        """Lookups that fell through to recomputation."""
+        return int(self.misses_cell)
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self.misses_cell.reset(int(value))
+
+    @property
+    def evictions(self) -> int:
+        """Entries evicted to respect ``maxsize``."""
+        return int(self.evictions_cell)
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self.evictions_cell.reset(int(value))
 
     @property
     def lookups(self) -> int:
@@ -40,6 +79,21 @@ class CacheStats:
         if self.lookups == 0:
             return 0.0
         return self.hits / self.lookups
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return (self.hits, self.misses, self.evictions) == (
+            other.hits,
+            other.misses,
+            other.evictions,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )
 
     def as_dict(self) -> dict[str, float]:
         """The counters plus hit rate as one plain dict (for snapshots)."""

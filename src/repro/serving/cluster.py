@@ -75,6 +75,8 @@ from repro.core.database import SubjectiveDatabase
 from repro.core.interpreter import InterpretationMethod
 from repro.core.processor import SubjectiveQueryProcessor
 from repro.errors import SnapshotError
+from repro.obs.metrics import MetricsRegistry, cell_property
+from repro.obs.trace import current_wire_trace, global_trace_store, record_span, span
 from repro.serving.cache import LRUCache
 from repro.serving.engine import BatchResult
 from repro.serving.plans import normalize_sql
@@ -88,7 +90,10 @@ from repro.serving.protocol import (
     OP_SCORE_BOUNDED,
     OP_SHUTDOWN,
     OP_STATS,
+    OP_TRACES,
     PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
+    TRACE_PROTOCOL_VERSION,
     STATUS_ERROR,
     STATUS_OK,
     FrameTooLargeError,
@@ -105,13 +110,16 @@ from repro.serving.protocol import (
     encode_score_bounded_request,
     encode_score_bounded_response,
     encode_score_request,
+    encode_traces_request,
     frame_bytes,
     pack_str,
     read_hello_ack,
     read_score_bounded_response,
+    read_trace_field,
     recv_frame,
     send_frame,
 )
+from repro.utils.timing import now
 from repro.serving.rpc import DEFAULT_WORKER_CACHE_SIZE
 from repro.serving.sharded import (
     ShardedSubjectiveQueryEngine,
@@ -226,16 +234,51 @@ class ShardNodeServer:
         self._listener: socket.socket | None = None
         self._active: socket.socket | None = None
         self._stopped = False
-        self.score_requests = 0
-        self.bounded_requests = 0
-        self.kernel_calls = 0
-        self.entities_scored = 0
-        self.entities_pruned = 0
-        self.hydrations = 0
-        self.delta_hydrations = 0
-        self.local_hydrations = 0
-        self.invalidations = 0
-        self.connections = 0
+        # Protocol version agreed at the last hello (min of both peers);
+        # pre-handshake frames are served at the node's own version.
+        self.negotiated_version = PROTOCOL_VERSION
+        self.metrics = MetricsRegistry()
+        self._score_requests_cell = self.metrics.counter(
+            "score_requests", help="Exact score frames served"
+        )
+        self._bounded_requests_cell = self.metrics.counter(
+            "bounded_requests", help="Bounded score frames served"
+        )
+        self._kernel_calls_cell = self.metrics.counter(
+            "kernel_calls", help="Columnar kernel invocations (cache misses)"
+        )
+        self._entities_scored_cell = self.metrics.counter(
+            "entities_scored", help="Requested rows scored exactly (bounded path)"
+        )
+        self._entities_pruned_cell = self.metrics.counter(
+            "entities_pruned", help="Requested rows dismissed on a bound alone"
+        )
+        self._hydrations_cell = self.metrics.counter(
+            "hydrations", help="Full snapshot installs over the wire"
+        )
+        self._delta_hydrations_cell = self.metrics.counter(
+            "delta_hydrations", help="Snapshots rebuilt locally from a delta"
+        )
+        self._local_hydrations_cell = self.metrics.counter(
+            "local_hydrations", help="Snapshots served from the local mmap store"
+        )
+        self._invalidations_cell = self.metrics.counter(
+            "invalidations", help="Invalidate frames that dropped hydrated state"
+        )
+        self._connections_cell = self.metrics.counter(
+            "connections", help="Coordinator connections accepted"
+        )
+
+    score_requests = cell_property("_score_requests_cell")
+    bounded_requests = cell_property("_bounded_requests_cell")
+    kernel_calls = cell_property("_kernel_calls_cell")
+    entities_scored = cell_property("_entities_scored_cell")
+    entities_pruned = cell_property("_entities_pruned_cell")
+    hydrations = cell_property("_hydrations_cell")
+    delta_hydrations = cell_property("_delta_hydrations_cell")
+    local_hydrations = cell_property("_local_hydrations_cell")
+    invalidations = cell_property("_invalidations_cell")
+    connections = cell_property("_connections_cell")
 
     # ------------------------------------------------------------- lifecycle
     def bind(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
@@ -371,16 +414,19 @@ class ShardNodeServer:
             reader.read_u64()  # the coordinator's data_version (diagnostic)
         except RpcError as error:
             return encode_error(f"malformed hello frame ({error})"), False
-        if peer_version != PROTOCOL_VERSION:
+        if peer_version not in SUPPORTED_PROTOCOL_VERSIONS:
             return (
                 encode_error(
                     f"protocol version mismatch: peer speaks {peer_version}, "
-                    f"node speaks {PROTOCOL_VERSION}"
+                    f"node supports {sorted(SUPPORTED_PROTOCOL_VERSIONS)}"
                 ),
                 False,
             )
+        # The connection runs at the lower of the two versions: a v4
+        # coordinator sees a v4 ack and never learns about trace fields.
+        self.negotiated_version = min(peer_version, PROTOCOL_VERSION)
         ack = encode_hello_ack(
-            PROTOCOL_VERSION,
+            self.negotiated_version,
             self.data_version,
             self.owned_slice_ids,
             local_store=self._local_store_fresh,
@@ -409,6 +455,8 @@ class ShardNodeServer:
                 return self._handle_invalidate(reader), False
             if opcode == OP_STATS:
                 return self._handle_stats(), False
+            if opcode == OP_TRACES:
+                return self._handle_traces(reader), False
             if opcode == OP_HELLO:
                 return self._handle_hello(payload)[0], False
             if opcode == OP_SHUTDOWN:
@@ -500,15 +548,29 @@ class ShardNodeServer:
         rows: list[int] | None = None
         if reader.read_u8():
             rows = reader.read_u32_array(reader.read_u32())
+        trace = read_trace_field(reader)
+        started = now()
         self.score_requests += 1
         key = (phrase, start, stop, tuple(rows) if rows is not None else None)
         cache = self._caches.get((attribute, slice_id))
         if cache is None:
             cache = self._caches[(attribute, slice_id)] = LRUCache(self.cache_size)
         vector = cache.get(key)
+        cached = vector is not None
         if vector is None:
             vector = self._score(slice_id, attribute, phrase, start, stop, rows)
             cache.put(key, vector)
+        if trace is not None:
+            record_span(
+                "node_score",
+                trace_id=trace[0],
+                parent_id=trace[1],
+                duration=now() - started,
+                node=self.node_id,
+                slice_id=slice_id,
+                attribute=attribute,
+                cached=cached,
+            )
         return _U8.pack(STATUS_OK) + _U32.pack(len(vector)) + vector.astype(">f8").tobytes()
 
     @property
@@ -596,7 +658,26 @@ class ShardNodeServer:
         if reader.read_u8():
             rows = reader.read_u32_array(reader.read_u32())
         threshold = float(reader.read_f64_array(1)[0])
+        trace = read_trace_field(reader)
+        started = now()
         self.bounded_requests += 1
+
+        def finish(response: bytes, scored: int, pruned: int, cached: bool) -> bytes:
+            if trace is not None:
+                record_span(
+                    "node_score_bounded",
+                    trace_id=trace[0],
+                    parent_id=trace[1],
+                    duration=now() - started,
+                    node=self.node_id,
+                    slice_id=slice_id,
+                    attribute=attribute,
+                    scored=scored,
+                    pruned=pruned,
+                    cached=cached,
+                )
+            return response
+
         key = (phrase, start, stop, tuple(rows) if rows is not None else None)
         cache = self._caches.get((attribute, slice_id))
         if cache is None:
@@ -605,8 +686,13 @@ class ShardNodeServer:
         if vector is not None:
             # A memoised exact vector answers any threshold without new
             # kernel work — nothing was scored or pruned by this request.
-            return encode_score_bounded_response(
-                vector, np.ones(len(vector), dtype=bool), 0, 0
+            return finish(
+                encode_score_bounded_response(
+                    vector, np.ones(len(vector), dtype=bool), 0, 0
+                ),
+                0,
+                0,
+                True,
             )
         result = self._score_bounded(slice_id, attribute, phrase, start, stop, rows, threshold)
         if result is None:
@@ -615,8 +701,13 @@ class ShardNodeServer:
             vector = self._score(slice_id, attribute, phrase, start, stop, rows)
             cache.put(key, vector)
             self.entities_scored += len(vector)
-            return encode_score_bounded_response(
-                vector, np.ones(len(vector), dtype=bool), len(vector), 0
+            return finish(
+                encode_score_bounded_response(
+                    vector, np.ones(len(vector), dtype=bool), len(vector), 0
+                ),
+                len(vector),
+                0,
+                False,
             )
         values, exact_mask, scored, pruned = result
         self.entities_scored += scored
@@ -626,7 +717,12 @@ class ShardNodeServer:
             # responses; mixed vectors must never enter the cache (a bound
             # is not a degree).
             cache.put(key, values)
-        return encode_score_bounded_response(values, exact_mask, scored, pruned)
+        return finish(
+            encode_score_bounded_response(values, exact_mask, scored, pruned),
+            scored,
+            pruned,
+            False,
+        )
 
     def _score_bounded(
         self,
@@ -710,6 +806,13 @@ class ShardNodeServer:
         }
         return _U8.pack(STATUS_OK) + pack_str(json.dumps(stats))
 
+    def _handle_traces(self, reader: Reader) -> bytes:
+        """Serve the node's recorded spans as JSON (``traces`` frames)."""
+        trace_id = reader.read_u64()
+        limit = reader.read_u32()
+        payload = global_trace_store().to_json(trace_id=trace_id, limit=limit)
+        return _U8.pack(STATUS_OK) + pack_str(payload)
+
 
 def _node_main(
     node_id: int,
@@ -726,6 +829,9 @@ def _node_main(
             other.close()
         except OSError:
             pass
+    # The fork copies the coordinator's span buffer; without this clear,
+    # node_traces() would re-serve the parent's spans as duplicates.
+    global_trace_store().clear()
     server = ShardNodeServer(
         node_id=node_id,
         membership=membership,
@@ -795,6 +901,11 @@ def _decode_stats(reader: Reader) -> dict:
     return json.loads(reader.read_str())
 
 
+def _decode_traces(reader: Reader) -> list[dict]:
+    """A ``traces`` response: the node's recorded spans as JSON."""
+    return json.loads(reader.read_str())
+
+
 def _decode_ack(reader: Reader) -> None:
     """An empty OK response (``shutdown``)."""
     return None
@@ -835,6 +946,9 @@ class ClusterNodeClient:
         self.remote_data_version = 0
         self.remote_owned: list[int] = []
         self.remote_local_store = False
+        # Protocol version the node acked (min of both peers); trace fields
+        # are only stamped on frames when this reaches TRACE_PROTOCOL_VERSION.
+        self.negotiated_version = PROTOCOL_VERSION
         self.queue: deque[tuple[bytes, NodeReply]] = deque()
         self.inflight: deque[NodeReply] = deque()
         self._out = bytearray()
@@ -867,7 +981,7 @@ class ClusterNodeClient:
                     f"cluster node {self.index} closed the connection during the handshake"
                 )
             (
-                _,
+                self.negotiated_version,
                 self.remote_data_version,
                 self.remote_owned,
                 self.remote_local_store,
@@ -890,6 +1004,17 @@ class ClusterNodeClient:
     def fileno(self) -> int:
         """The connected socket's file descriptor (for ``select``)."""
         return self.sock.fileno()
+
+    def wire_trace(self) -> "tuple[int, int] | None":
+        """The active trace as a wire ``(trace_id, span_id)`` pair.
+
+        ``None`` when tracing is off, no trace is active, or the node
+        negotiated a protocol below :data:`~repro.serving.protocol.
+        TRACE_PROTOCOL_VERSION` — a v4 node must never see a trace field.
+        """
+        if self.negotiated_version < TRACE_PROTOCOL_VERSION:
+            return None
+        return current_wire_trace()
 
     @property
     def has_work(self) -> bool:
@@ -1174,19 +1299,48 @@ class ClusterShardStore:
         self._slice_deltas: dict[tuple[str, int], tuple[int, int, bytes | None]] = {}
         self._membership: object | None = None
         self._version = database.data_version
-        self.invalidations = 0
-        self.fanouts = 0  # sharded kernel passes (one per predicate computation)
-        self.rpc_requests = 0  # individual score requests shipped to nodes
-        self.hydrations = 0  # snapshots shipped (full or delta)
-        self.delta_hydrations = 0  # of which delta frames
-        self.local_hydrations = 0  # hydrate frames skipped: node store was warm
-        self.failovers = 0  # crashed score calls re-issued on a replica
-        self.entities_scored = 0  # rows the nodes' exact kernels evaluated
-        self.entities_pruned = 0  # rows settled by bounds alone
+        self.metrics = MetricsRegistry()
+        self._invalidations_cell = self.metrics.counter(
+            "invalidations", help="Data-version bumps pushed to the node fleet"
+        )
+        self._fanouts_cell = self.metrics.counter(
+            "fanouts", help="Sharded kernel passes (one per predicate computation)"
+        )
+        self._rpc_requests_cell = self.metrics.counter(
+            "rpc_requests", help="Individual score requests shipped to nodes"
+        )
+        self._hydrations_cell = self.metrics.counter(
+            "hydrations", help="Snapshots shipped (full or delta)"
+        )
+        self._delta_hydrations_cell = self.metrics.counter(
+            "delta_hydrations", help="Hydrations shipped as delta frames"
+        )
+        self._local_hydrations_cell = self.metrics.counter(
+            "local_hydrations", help="Hydrate frames skipped: node store was warm"
+        )
+        self._failovers_cell = self.metrics.counter(
+            "failovers", help="Crashed score calls re-issued on a replica"
+        )
+        self._entities_scored_cell = self.metrics.counter(
+            "entities_scored", help="Rows the nodes' exact kernels evaluated"
+        )
+        self._entities_pruned_cell = self.metrics.counter(
+            "entities_pruned", help="Rows settled by bounds alone"
+        )
         self._node_counters = [
             {"requests": 0, "bytes_sent": 0, "bytes_received": 0, "reconnects": 0, "respawns": 0}
             for _ in range(num_nodes)
         ]
+
+    invalidations = cell_property("_invalidations_cell")
+    fanouts = cell_property("_fanouts_cell")
+    rpc_requests = cell_property("_rpc_requests_cell")
+    hydrations = cell_property("_hydrations_cell")
+    delta_hydrations = cell_property("_delta_hydrations_cell")
+    local_hydrations = cell_property("_local_hydrations_cell")
+    failovers = cell_property("_failovers_cell")
+    entities_scored = cell_property("_entities_scored_cell")
+    entities_pruned = cell_property("_entities_pruned_cell")
 
     # ------------------------------------------------------------ lifecycle
     @property
@@ -1523,7 +1677,8 @@ class ClusterShardStore:
                 self._node_bases[hydration_key] = self._version
                 self.local_hydrations += 1
                 continue
-            payload = self._hydration_payload(node, columns, attribute, slice_id, start, stop)
+            with span("hydrate", node=node, attribute=attribute, slice_id=slice_id):
+                payload = self._hydration_payload(node, columns, attribute, slice_id, start, stop)
             reply = self._channels[node].enqueue(payload, _decode_versioned)
             pending.append(
                 _PendingCall(
@@ -1539,12 +1694,15 @@ class ClusterShardStore:
             self._node_bases[hydration_key] = self._version
             self.hydrations += 1
         target = min(replicas, key=self._channel_load)
+        trace = self._channels[target].wire_trace()
         if threshold is None:
-            payload = encode_score_request(slice_id, attribute, phrase, start, stop, rows)
+            payload = encode_score_request(
+                slice_id, attribute, phrase, start, stop, rows, trace=trace
+            )
             decode = _decode_score
         else:
             payload = encode_score_bounded_request(
-                slice_id, attribute, phrase, start, stop, rows, threshold
+                slice_id, attribute, phrase, start, stop, rows, threshold, trace=trace
             )
             decode = _decode_score_bounded
         reply = self._channels[target].enqueue(payload, decode)
@@ -1617,9 +1775,16 @@ class ClusterShardStore:
             self._hydrated.add(hydration_key)
             self._node_bases[hydration_key] = self._version
             self.hydrations += 1
+        trace = channel.wire_trace()
         if call.threshold is None:
             payload = encode_score_request(
-                call.slice_id, call.attribute, call.phrase, call.start, call.stop, call.rows
+                call.slice_id,
+                call.attribute,
+                call.phrase,
+                call.start,
+                call.stop,
+                call.rows,
+                trace=trace,
             )
             decode = _decode_score
         else:
@@ -1631,6 +1796,7 @@ class ClusterShardStore:
                 call.stop,
                 call.rows,
                 call.threshold,
+                trace=trace,
             )
             decode = _decode_score_bounded
         reply = channel.enqueue(payload, decode)
@@ -1849,8 +2015,9 @@ class ClusterShardStore:
         from the columns fall back to per-entity scalar scoring on the
         coordinator, exactly like every other store.
         """
-        for call in self._collect_calls(request.pending, request.columns):
-            request.batch[call.scatter] = call.reply.value
+        with span("transport", layer="cluster", requests=len(request.pending)):
+            for call in self._collect_calls(request.pending, request.columns):
+                request.batch[call.scatter] = call.reply.value
         return gather_degrees(
             request.batch,
             request.rows,
@@ -1935,10 +2102,11 @@ class ClusterShardStore:
             )
         self.fanouts += 1
         self.rpc_requests += len(slice_requests)
-        for call in self._collect_calls(pending, columns):
-            vector, mask, _scored, _pruned = call.reply.value
-            values[call.scatter] = vector
-            exact[call.scatter] = mask
+        with span("transport", layer="cluster", requests=len(pending), bounded=True):
+            for call in self._collect_calls(pending, columns):
+                vector, mask, _scored, _pruned = call.reply.value
+                values[call.scatter] = vector
+                exact[call.scatter] = mask
         index = np.fromiter(rows, dtype=np.intp, count=len(rows))
         requested_exact = exact[index]
         scored = int(np.count_nonzero(requested_exact))
@@ -1972,6 +2140,29 @@ class ClusterShardStore:
             for index, reply in replies
             if reply.error is None and reply.done
         ]
+
+    def node_traces(self, trace_id: int = 0, limit: int = 0) -> list[dict]:
+        """Span records collected from every reachable node's trace store.
+
+        Nodes record spans whenever a score frame carries a trace field
+        (negotiated protocol v5+), so the coordinator can stitch one
+        cross-process span tree by querying the fleet after a traced
+        query.  Dead nodes are skipped, mirroring :meth:`node_stats`.
+        """
+        replies: list[NodeReply] = []
+        for channel in self._channels:
+            if channel is None or channel.dead or channel.sock is None:
+                continue
+            if channel.negotiated_version < TRACE_PROTOCOL_VERSION:
+                continue
+            replies.append(channel.enqueue(encode_traces_request(trace_id, limit), _decode_traces))
+        if replies:
+            self._pump_until(replies, raise_errors=False)
+        spans: list[dict] = []
+        for reply in replies:
+            if reply.error is None and reply.done:
+                spans.extend(reply.value)
+        return spans
 
     def partition_stats(self) -> list[dict[str, object]]:
         """One dict per node: transport counters plus node cache activity.
@@ -2304,7 +2495,7 @@ class ClusterQueryEngine(ShardedSubjectiveQueryEngine):
         latencies: list[float] = []
         self._vector_memo = {}
         self._prefetched_pairs = {}
-        started = time.perf_counter()
+        started = now()
         try:
             while True:
                 while not exhausted and len(window) < self.max_inflight_queries:
@@ -2317,14 +2508,14 @@ class ClusterQueryEngine(ShardedSubjectiveQueryEngine):
                 if not window:
                     break
                 item = window.popleft()
-                query_started = time.perf_counter()
+                query_started = now()
                 self._absorb_prefetch(item)
                 results.append(self.execute(item.sql, top_k=top_k))
-                latencies.append(time.perf_counter() - query_started)
+                latencies.append(now() - query_started)
         finally:
             self._vector_memo = None
             self._prefetched_pairs = {}
-        elapsed = time.perf_counter() - started
+        elapsed = now() - started
         self.stats.batch_queries += len(results)
         transport_after = self._cache_counters()
         cache_stats = dict(accounting)

@@ -28,14 +28,17 @@ asserts equality and the throughput benchmark measures the speedup.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
 from repro.core.database import SubjectiveDatabase
 from repro.core.processor import QueryResult, SubjectiveQueryProcessor
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog, global_slow_query_log
+from repro.obs.trace import span
 from repro.serving.cache import LRUCache
 from repro.serving.plans import QueryPlan, normalize_sql
+from repro.utils.timing import now
 
 _MISSING = object()
 
@@ -54,14 +57,76 @@ class CandidateSet:
     unique_ids: list[Hashable]
 
 
-@dataclass
 class ServingStats:
-    """Aggregate serving counters (cache counters live on the caches)."""
+    """Aggregate serving counters (cache counters live on the caches).
 
-    queries: int = 0
-    batch_queries: int = 0
-    invalidations: int = 0
-    total_seconds: float = 0.0
+    Storage is a set of live :class:`repro.obs.metrics.Counter` cells
+    (``*_cell`` attributes) the engine registers in its
+    :class:`~repro.obs.MetricsRegistry`.  Attribute reads are plain
+    value snapshots; writes (``stats.queries += 1``) land in the
+    registered cell — the registry and this legacy view share storage.
+    """
+
+    __slots__ = (
+        "queries_cell",
+        "batch_queries_cell",
+        "invalidations_cell",
+        "total_seconds_cell",
+    )
+
+    def __init__(
+        self,
+        queries: int = 0,
+        batch_queries: int = 0,
+        invalidations: int = 0,
+        total_seconds: float = 0.0,
+    ) -> None:
+        self.queries_cell = Counter("queries", value=int(queries))
+        self.batch_queries_cell = Counter("batch_queries", value=int(batch_queries))
+        self.invalidations_cell = Counter("invalidations", value=int(invalidations))
+        self.total_seconds_cell = Counter("total_seconds", value=float(total_seconds))
+
+    @property
+    def queries(self) -> int:
+        """Queries served through :meth:`SubjectiveQueryEngine.execute`."""
+        return int(self.queries_cell)
+
+    @queries.setter
+    def queries(self, value: int) -> None:
+        self.queries_cell.reset(int(value))
+
+    @property
+    def batch_queries(self) -> int:
+        """Queries served inside :meth:`SubjectiveQueryEngine.run_batch` calls."""
+        return int(self.batch_queries_cell)
+
+    @batch_queries.setter
+    def batch_queries(self, value: int) -> None:
+        self.batch_queries_cell.reset(int(value))
+
+    @property
+    def invalidations(self) -> int:
+        """Whole-cache invalidations triggered by ``data_version`` moves."""
+        return int(self.invalidations_cell)
+
+    @invalidations.setter
+    def invalidations(self, value: int) -> None:
+        self.invalidations_cell.reset(int(value))
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock seconds spent serving queries."""
+        return float(self.total_seconds_cell)
+
+    @total_seconds.setter
+    def total_seconds(self, value: float) -> None:
+        self.total_seconds_cell.reset(float(value))
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingStats(queries={self.queries}, batch_queries={self.batch_queries}, "
+            f"invalidations={self.invalidations}, total_seconds={self.total_seconds})"
+        )
 
     @property
     def mean_latency(self) -> float:
@@ -134,14 +199,69 @@ class SubjectiveQueryEngine:
         self.membership_cache = self._build_membership_cache(membership_cache_size)
         self.candidate_cache = LRUCache(candidate_cache_size)
         self.stats = ServingStats()
+        # One registry per engine: every serving counter below is (or is
+        # viewed by) an instrument in it, and the legacy dict-returning
+        # APIs (_cache_counters, stats_snapshot) are thin views over the
+        # same cells.
+        self.metrics = MetricsRegistry()
+        self.metrics.register("queries", self.stats.queries_cell)
+        self.metrics.register("batch_queries", self.stats.batch_queries_cell)
+        self.metrics.register("invalidations", self.stats.invalidations_cell)
+        self.metrics.register("total_seconds", self.stats.total_seconds_cell)
+        self.metrics.register("plan_cache_hits", self.plan_cache.stats.hits_cell)
+        self.metrics.register("plan_cache_misses", self.plan_cache.stats.misses_cell)
+        self.metrics.register("plan_cache_evictions", self.plan_cache.stats.evictions_cell)
+        self.metrics.register("candidate_cache_hits", self.candidate_cache.stats.hits_cell)
+        self.metrics.register("candidate_cache_misses", self.candidate_cache.stats.misses_cell)
+        self.metrics.register(
+            "candidate_cache_evictions", self.candidate_cache.stats.evictions_cell
+        )
+        # The membership cache may be partitioned (its aggregate stats are
+        # computed, not a single cell), so it is exported as collect-time
+        # views instead of registered cells.
+        self.metrics.func_gauge(
+            "membership_cache_hits", lambda: int(self.membership_cache.stats.hits)
+        )
+        self.metrics.func_gauge(
+            "membership_cache_misses", lambda: int(self.membership_cache.stats.misses)
+        )
+        self.metrics.func_gauge(
+            "membership_cache_evictions", lambda: int(self.membership_cache.stats.evictions)
+        )
+        self.latency_histogram = self.metrics.histogram(
+            "query_latency_seconds", help="Per-query serving latency"
+        )
         # The counter family the bound-based top-k planner reports at every
         # layer: entities scored exactly by a kernel vs. entities dismissed
         # on a bound alone.  The base engine never prunes, so its pruned
         # count stays 0 — but layer 1 reporting the same names keeps
         # run_batch() cache stats comparable across the whole stack.
-        self.entities_scored = 0
-        self.entities_pruned = 0
+        # Exposed as properties over registry cells so harness code that
+        # assigns ``engine.entities_scored = 0`` resets the registered
+        # cell instead of orphaning it.
+        self._entities_scored_cell = self.metrics.counter("entities_scored")
+        self._entities_pruned_cell = self.metrics.counter("entities_pruned")
+        self.slow_query_log: SlowQueryLog = global_slow_query_log()
         self._data_version = self.database.data_version
+
+    # ----------------------------------------------------- pruning counters
+    @property
+    def entities_scored(self) -> int:
+        """Entities scored exactly by a kernel (reads the registry cell)."""
+        return int(self._entities_scored_cell)
+
+    @entities_scored.setter
+    def entities_scored(self, value: int) -> None:
+        self._entities_scored_cell.reset(int(value))
+
+    @property
+    def entities_pruned(self) -> int:
+        """Entities dismissed on a bound alone (reads the registry cell)."""
+        return int(self._entities_pruned_cell)
+
+    @entities_pruned.setter
+    def entities_pruned(self, value: int) -> None:
+        self._entities_pruned_cell.reset(int(value))
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -211,14 +331,41 @@ class SubjectiveQueryEngine:
 
     # -------------------------------------------------------------- execution
     def execute(self, sql: str, top_k: int | None = None) -> QueryResult:
-        """Serve one query through the caches; identical to processor output."""
+        """Serve one query through the caches; identical to processor output.
+
+        When tracing is enabled (:func:`repro.obs.enable_tracing`) the
+        query runs under a ``query`` span with ``plan`` / ``candidates``
+        / ``score`` child spans — remote fan-out performed inside the
+        score stage stamps its frames with that span's context.  Queries
+        at or above the slow-query threshold are captured into
+        :attr:`slow_query_log` with their span tree and pruning deltas.
+        """
         self._check_data_version()
-        started = time.perf_counter()
-        plan = self.plan(sql)
-        candidates = self._candidate_rows(plan)
-        result = self._rank(plan, candidates, sql=sql, top_k=top_k)
+        slow_threshold = self.slow_query_log.threshold_seconds
+        scored_before = pruned_before = 0
+        if slow_threshold is not None:
+            scored_before = int(self._entities_scored_cell)
+            pruned_before = int(self._entities_pruned_cell)
+        started = now()
+        with span("query", sql=sql) as handle:
+            with span("plan"):
+                plan = self.plan(sql)
+            with span("candidates"):
+                candidates = self._candidate_rows(plan)
+            with span("score"):
+                result = self._rank(plan, candidates, sql=sql, top_k=top_k)
+        elapsed = now() - started
         self.stats.queries += 1
-        self.stats.total_seconds += time.perf_counter() - started
+        self.stats.total_seconds += elapsed
+        self.latency_histogram.observe(elapsed)
+        if slow_threshold is not None and elapsed >= slow_threshold:
+            self.slow_query_log.maybe_record(
+                sql=sql,
+                seconds=elapsed,
+                trace_id=handle.context.trace_id if handle is not None else 0,
+                entities_scored=int(self._entities_scored_cell) - scored_before,
+                entities_pruned=int(self._entities_pruned_cell) - pruned_before,
+            )
         return result
 
     def run_batch(self, sqls: Sequence[str], top_k: int | None = None) -> BatchResult:
@@ -234,12 +381,12 @@ class SubjectiveQueryEngine:
         before = self._cache_counters()
         results: list[QueryResult] = []
         latencies: list[float] = []
-        started = time.perf_counter()
+        started = now()
         for sql in sqls:
-            query_started = time.perf_counter()
+            query_started = now()
             results.append(self.execute(sql, top_k=top_k))
-            latencies.append(time.perf_counter() - query_started)
-        elapsed = time.perf_counter() - started
+            latencies.append(now() - query_started)
+        elapsed = now() - started
         self.stats.batch_queries += len(results)
         after = self._cache_counters()
         delta = {name: after[name] - before[name] for name in after}
@@ -345,27 +492,36 @@ class SubjectiveQueryEngine:
         )
 
     def _cache_counters(self) -> dict[str, int]:
+        # Values are snapshotted to plain ints — the counters are live
+        # registry cells, and run_batch subtracts a before-dict from an
+        # after-dict (two references to one mutating cell would always
+        # subtract to zero).
         return {
-            "plan_hits": self.plan_cache.stats.hits,
-            "plan_misses": self.plan_cache.stats.misses,
-            "membership_hits": self.membership_cache.stats.hits,
-            "membership_misses": self.membership_cache.stats.misses,
-            "candidate_hits": self.candidate_cache.stats.hits,
-            "candidate_misses": self.candidate_cache.stats.misses,
-            "entities_scored": self.entities_scored,
-            "entities_pruned": self.entities_pruned,
+            "plan_hits": int(self.plan_cache.stats.hits),
+            "plan_misses": int(self.plan_cache.stats.misses),
+            "membership_hits": int(self.membership_cache.stats.hits),
+            "membership_misses": int(self.membership_cache.stats.misses),
+            "candidate_hits": int(self.candidate_cache.stats.hits),
+            "candidate_misses": int(self.candidate_cache.stats.misses),
+            "entities_scored": int(self._entities_scored_cell),
+            "entities_pruned": int(self._entities_pruned_cell),
         }
 
     def stats_snapshot(self) -> dict[str, object]:
-        """One dict with serving counters and per-cache hit statistics."""
+        """One dict with serving counters and per-cache hit statistics.
+
+        A thin plain-value view over the engine's :attr:`metrics`
+        registry cells — always ``json.dumps``-safe (the worker/node
+        stats handlers ship it over the wire verbatim).
+        """
         return {
-            "queries": self.stats.queries,
-            "batch_queries": self.stats.batch_queries,
-            "invalidations": self.stats.invalidations,
-            "total_seconds": self.stats.total_seconds,
+            "queries": int(self.stats.queries),
+            "batch_queries": int(self.stats.batch_queries),
+            "invalidations": int(self.stats.invalidations),
+            "total_seconds": float(self.stats.total_seconds),
             "mean_latency": self.stats.mean_latency,
-            "entities_scored": self.entities_scored,
-            "entities_pruned": self.entities_pruned,
+            "entities_scored": int(self._entities_scored_cell),
+            "entities_pruned": int(self._entities_pruned_cell),
             "plan_cache": self.plan_cache.stats.as_dict(),
             "membership_cache": self.membership_cache.stats.as_dict(),
             "candidate_cache": self.candidate_cache.stats.as_dict(),

@@ -47,18 +47,29 @@ import itertools
 import json
 import socket
 import threading
-import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.processor import QueryResult
+from repro.obs.metrics import MetricsRegistry, cell_property
+from repro.obs.trace import (
+    SpanRecord,
+    TraceContext,
+    activate,
+    current_wire_trace,
+    global_trace_store,
+    new_id,
+    tracing_enabled,
+)
 from repro.serving.plans import normalize_sql
 from repro.serving.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     OP_GATEWAY_STATS,
     OP_QUERY,
+    OP_TRACES,
     Reader,
     RpcError,
     encode_gateway_error,
@@ -66,11 +77,14 @@ from repro.serving.protocol import (
     encode_gateway_query,
     encode_gateway_response,
     encode_gateway_stats_request,
+    encode_gateway_traces_request,
     frame_bytes,
     read_gateway_response,
+    read_trace_field,
     recv_frame,
     send_frame,
 )
+from repro.utils.timing import monotonic, now
 
 _HEADER_SIZE = 4
 
@@ -174,22 +188,53 @@ class AdmissionController:
         self._total -= 1
 
 
-@dataclass
 class GatewayCounters:
-    """Aggregate gateway counters, all monotone, surfaced by ``stats``."""
+    """Aggregate gateway counters, all monotone, surfaced by ``stats``.
 
-    connections: int = 0
-    requests: int = 0
-    responses: int = 0
-    errors: int = 0
-    stats_requests: int = 0
-    coalesced_hits: int = 0
-    batches: int = 0
-    batched_queries: int = 0
-    max_batch_size: int = 0
-    shared_batch_queries: int = 0
-    rejected_gateway: int = 0
-    rejected_connection: int = 0
+    Storage is registry-backed :class:`repro.obs.metrics.Counter` cells:
+    attribute *reads* return plain ``int`` snapshots (``before =
+    counters.requests`` must never alias a mutating cell) while attribute
+    *writes* land in the registered cell, so ``as_dict()`` and the
+    registry's ``snapshot()`` can never disagree.  Pass ``registry`` to
+    register the cells in a shared :class:`~repro.obs.MetricsRegistry`
+    (the gateway passes its own); by default the counters own a private
+    one.
+    """
+
+    _CELL_NAMES = (
+        "connections",
+        "requests",
+        "responses",
+        "errors",
+        "stats_requests",
+        "trace_requests",
+        "coalesced_hits",
+        "batches",
+        "batched_queries",
+        "max_batch_size",
+        "shared_batch_queries",
+        "rejected_gateway",
+        "rejected_connection",
+    )
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        for name in self._CELL_NAMES:
+            setattr(self, f"_{name}_cell", self.metrics.counter(name))
+
+    connections = cell_property("_connections_cell")
+    requests = cell_property("_requests_cell")
+    responses = cell_property("_responses_cell")
+    errors = cell_property("_errors_cell")
+    stats_requests = cell_property("_stats_requests_cell")
+    trace_requests = cell_property("_trace_requests_cell")
+    coalesced_hits = cell_property("_coalesced_hits_cell")
+    batches = cell_property("_batches_cell")
+    batched_queries = cell_property("_batched_queries_cell")
+    max_batch_size = cell_property("_max_batch_size_cell")
+    shared_batch_queries = cell_property("_shared_batch_queries_cell")
+    rejected_gateway = cell_property("_rejected_gateway_cell")
+    rejected_connection = cell_property("_rejected_connection_cell")
 
     @property
     def rejections(self) -> int:
@@ -214,6 +259,7 @@ class GatewayCounters:
             "responses": self.responses,
             "errors": self.errors,
             "stats_requests": self.stats_requests,
+            "trace_requests": self.trace_requests,
             "coalesced_hits": self.coalesced_hits,
             "batches": self.batches,
             "batched_queries": self.batched_queries,
@@ -234,6 +280,7 @@ class _PendingQuery:
     sql: str
     top_k: int | None
     future: asyncio.Future = field(repr=False)
+    trace: TraceContext | None = None
 
 
 def serialize_result(result: QueryResult) -> dict[str, object]:
@@ -326,7 +373,16 @@ class ServingGateway:
         self.max_batch_size = max_batch_size
         self.max_frame_bytes = max_frame_bytes
         self.admission = AdmissionController(max_queue_depth, max_inflight_per_connection)
-        self.counters = GatewayCounters()
+        self.metrics = MetricsRegistry()
+        self.counters = GatewayCounters(registry=self.metrics)
+        self.latency_histogram = self.metrics.histogram(
+            "request_latency_seconds", help="Per-request gateway latency"
+        )
+        self.metrics.func_gauge(
+            "queue_depth",
+            lambda: self.admission.queue_depth,
+            help="Admitted requests not yet released",
+        )
         #: One thread: the engine is single-threaded by design, and running
         #: it off the event loop is what keeps ``stats`` responsive while a
         #: batch executes.
@@ -486,6 +542,22 @@ class ServingGateway:
             body = json.dumps(await self._stats_payload())
             await self._write_frame(writer, lock, encode_gateway_response(request_id, body))
             return
+        if opcode == OP_TRACES:
+            self.counters.trace_requests += 1
+            try:
+                trace_id = reader.read_u64()
+                limit = reader.read_u32()
+            except RpcError as error:
+                self.counters.errors += 1
+                await self._write_frame(
+                    writer,
+                    lock,
+                    encode_gateway_error(request_id, f"malformed traces frame ({error})"),
+                )
+                return
+            body = json.dumps(await self._traces_payload(trace_id, limit))
+            await self._write_frame(writer, lock, encode_gateway_response(request_id, body))
+            return
         if opcode != OP_QUERY:
             self.counters.errors += 1
             await self._write_frame(
@@ -495,6 +567,7 @@ class ServingGateway:
         try:
             sql = reader.read_str()
             top_k = reader.read_u32() if reader.read_u8() else None
+            wire = read_trace_field(reader)
         except RpcError as error:
             self.counters.errors += 1
             await self._write_frame(
@@ -518,10 +591,18 @@ class ServingGateway:
                 )
             await self._write_frame(writer, lock, encode_gateway_overload(request_id, message))
             return
-        started = time.perf_counter()
+        trace_ctx: TraceContext | None = None
+        if tracing_enabled():
+            # The request's root span: continue a trace the client stamped
+            # on the frame, or mint a fresh one at the front door.
+            if wire is not None:
+                trace_ctx = TraceContext(trace_id=wire[0], span_id=new_id(), parent_id=wire[1])
+            else:
+                trace_ctx = TraceContext.new_root()
+        started = now()
         try:
             try:
-                body = await self._submit(sql, top_k)
+                body = await self._submit(sql, top_k, trace_ctx)
             finally:
                 # The admission slot guards queued *work*, which ends when
                 # _submit returns or fails — release before the response
@@ -537,11 +618,29 @@ class ServingGateway:
             )
         else:
             self.counters.responses += 1
-            self._latencies.append(time.perf_counter() - started)
+            elapsed = now() - started
+            self._latencies.append(elapsed)
+            self.latency_histogram.observe(elapsed)
+            if trace_ctx is not None:
+                # Recorded directly (not via record_span) so the span id is
+                # exactly the one batch-execution spans parented onto.
+                global_trace_store().record(
+                    SpanRecord(
+                        name="gateway_request",
+                        trace_id=trace_ctx.trace_id,
+                        span_id=trace_ctx.span_id,
+                        parent_id=trace_ctx.parent_id,
+                        start=started,
+                        duration=elapsed,
+                        attrs={"sql": sql},
+                    )
+                )
             await self._write_frame(writer, lock, encode_gateway_response(request_id, body))
 
     # ---------------------------------------------------- coalescing + batching
-    async def _submit(self, sql: str, top_k: int | None) -> str:
+    async def _submit(
+        self, sql: str, top_k: int | None, trace: TraceContext | None = None
+    ) -> str:
         """Resolve one admitted query to its serialized response body.
 
         The first request of a key becomes the leader: it enters the
@@ -562,7 +661,9 @@ class ServingGateway:
         else:
             key = (object(), None)  # unique, never matched
             future = loop.create_future()
-        self._backlog.append(_PendingQuery(key=key, sql=sql, top_k=top_k, future=future))
+        self._backlog.append(
+            _PendingQuery(key=key, sql=sql, top_k=top_k, future=future, trace=trace)
+        )
         if self._wake is not None:
             self._wake.set()
         return await asyncio.shield(future)
@@ -632,10 +733,18 @@ class ServingGateway:
         for top_k, indexes in groups.items():
             ran_group = False
             if len(indexes) > 1:
+                # One run_batch shares fan-outs across the group; its spans
+                # parent onto the first traced item's request context.
+                group_trace = next(
+                    (items[index].trace for index in indexes if items[index].trace is not None),
+                    None,
+                )
+                scope = activate(group_trace) if group_trace is not None else nullcontext()
                 try:
-                    batch = self.engine.run_batch(
-                        [items[index].sql for index in indexes], top_k=top_k
-                    )
+                    with scope:
+                        batch = self.engine.run_batch(
+                            [items[index].sql for index in indexes], top_k=top_k
+                        )
                 except Exception:  # noqa: BLE001 - isolate the failing query below
                     ran_group = False
                 else:
@@ -644,8 +753,11 @@ class ServingGateway:
                     ran_group = True
             if not ran_group:
                 for index in indexes:
+                    item = items[index]
+                    scope = activate(item.trace) if item.trace is not None else nullcontext()
                     try:
-                        result = self.engine.execute(items[index].sql, top_k=top_k)
+                        with scope:
+                            result = self.engine.execute(item.sql, top_k=top_k)
                     except Exception as error:  # noqa: BLE001 - transported per item
                         outcomes[index] = error
                     else:
@@ -656,7 +768,7 @@ class ServingGateway:
     # ------------------------------------------------------------- statistics
     def _maybe_refresh_snapshot(self) -> None:
         """Refresh the cached engine statistics (engine thread only)."""
-        if time.monotonic() - self._snapshot_time < _SNAPSHOT_MIN_AGE:
+        if monotonic() - self._snapshot_time < _SNAPSHOT_MIN_AGE:
             return
         self._refresh_snapshot()
 
@@ -667,7 +779,7 @@ class ServingGateway:
         if partition_stats is not None:
             snapshot["partitions"] = partition_stats()
         self._engine_snapshot = snapshot
-        self._snapshot_time = time.monotonic()
+        self._snapshot_time = monotonic()
 
     def _latency_percentiles(self) -> dict[str, float]:
         """p50/p99 over the recent latency window, in milliseconds."""
@@ -688,9 +800,13 @@ class ServingGateway:
         engine snapshot is refreshed first (live ``partition_stats()``);
         when it is busy executing a batch, the most recent snapshot is
         served instead — the stats opcode must stay responsive under
-        exactly the overload conditions it exists to observe.
+        exactly the overload conditions it exists to observe.  A snapshot
+        served while the engine was busy carries ``"stale": true`` plus
+        its age in seconds, so an operator reading stats under saturation
+        knows the engine section describes a recent past, not the present.
         """
-        if not self._engine_busy and not self._refreshing:
+        busy = self._engine_busy or self._refreshing
+        if not busy:
             self._refreshing = True
             try:
                 await asyncio.get_running_loop().run_in_executor(
@@ -705,7 +821,35 @@ class ServingGateway:
         gateway["inflight_keys"] = len(self._inflight)
         gateway["backlog"] = len(self._backlog)
         gateway.update(self._latency_percentiles())
-        return {"gateway": gateway, "engine": self._engine_snapshot}
+        engine: dict[str, object] | None = self._engine_snapshot
+        if engine is not None:
+            engine = dict(engine)
+            engine["stale"] = busy
+            engine["snapshot_age_seconds"] = round(max(0.0, monotonic() - self._snapshot_time), 6)
+        return {"gateway": gateway, "engine": engine}
+
+    async def _traces_payload(self, trace_id: int = 0, limit: int = 0) -> list[dict]:
+        """The ``traces`` response body: local spans plus remote fleet spans.
+
+        Coordinator-side spans come straight from the process-global
+        :class:`~repro.obs.trace.TraceStore`; when the engine exposes a
+        remote collector (``node_traces`` on the cluster store,
+        ``worker_traces`` on the RPC store) and the engine thread is idle,
+        the fleet's spans are fetched through the engine executor and
+        appended — one flat list covering the whole distributed query.
+        """
+        records = [record.as_dict() for record in global_trace_store().spans(trace_id, limit)]
+        store = getattr(self.engine, "sharded_store", None)
+        collector = getattr(store, "node_traces", None) or getattr(store, "worker_traces", None)
+        if collector is not None and not self._engine_busy:
+            try:
+                remote = await asyncio.get_running_loop().run_in_executor(
+                    self.engine_executor, lambda: collector(trace_id, limit)
+                )
+            except Exception:  # noqa: BLE001 - remote trace stores are best-effort
+                remote = []
+            records.extend(remote)
+        return records
 
     def stats_snapshot(self) -> dict[str, object]:
         """Gateway counters as one dict (in-process convenience, no RPC)."""
@@ -813,15 +957,31 @@ class AsyncGatewayClient:
         return await future
 
     async def query(self, sql: str, top_k: int | None = None) -> GatewayReply:
-        """Execute one query; raises typed errors on rejection or failure."""
+        """Execute one query; raises typed errors on rejection or failure.
+
+        When tracing is enabled client-side inside an active span, the
+        request frame carries the trace field so the gateway continues the
+        client's trace instead of minting a fresh root.
+        """
         request_id = next(self._ids)
-        body = await self._request(encode_gateway_query(request_id, sql, top_k), request_id)
+        body = await self._request(
+            encode_gateway_query(request_id, sql, top_k, trace=current_wire_trace()),
+            request_id,
+        )
         return GatewayReply.from_json(body)
 
     async def stats(self) -> dict[str, object]:
         """Fetch the gateway's live statistics payload."""
         request_id = next(self._ids)
         body = await self._request(encode_gateway_stats_request(request_id), request_id)
+        return json.loads(body)
+
+    async def traces(self, trace_id: int = 0, limit: int = 0) -> list[dict]:
+        """Fetch recorded spans (gateway-local plus remote fleet spans)."""
+        request_id = next(self._ids)
+        body = await self._request(
+            encode_gateway_traces_request(request_id, trace_id, limit), request_id
+        )
         return json.loads(body)
 
     async def close(self) -> None:
@@ -869,11 +1029,21 @@ class GatewayClient:
     def query(self, sql: str, top_k: int | None = None) -> GatewayReply:
         """Execute one query; raises typed errors on rejection or failure."""
         request_id = next(self._ids)
-        return GatewayReply.from_json(self._request(encode_gateway_query(request_id, sql, top_k)))
+        return GatewayReply.from_json(
+            self._request(
+                encode_gateway_query(request_id, sql, top_k, trace=current_wire_trace())
+            )
+        )
 
     def stats(self) -> dict[str, object]:
         """Fetch the gateway's live statistics payload."""
         return json.loads(self._request(encode_gateway_stats_request(next(self._ids))))
+
+    def traces(self, trace_id: int = 0, limit: int = 0) -> list[dict]:
+        """Fetch recorded spans (gateway-local plus remote fleet spans)."""
+        return json.loads(
+            self._request(encode_gateway_traces_request(next(self._ids), trace_id, limit))
+        )
 
     def close(self) -> None:
         """Close the connection."""

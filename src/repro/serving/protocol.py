@@ -45,7 +45,8 @@ import numpy as np
 from repro.errors import ExecutionError
 
 #: Version of the frame/handshake protocol this build speaks.  Bumped on
-#: any wire-visible change; the ``hello`` handshake refuses mismatches.
+#: any wire-visible change; the ``hello`` handshake negotiates (and
+#: refuses unknown versions) — see :data:`SUPPORTED_PROTOCOL_VERSIONS`.
 #: Version 2 added the ``score bounded`` opcode (threshold-pruned scoring
 #: with a per-row exactness mask in the response).  Version 3 added the
 #: ``hydrate delta`` opcode and the snapshot container's flags byte
@@ -54,7 +55,22 @@ from repro.errors import ExecutionError
 #: a persistent data directory (``repro.storage``) advertises that it can
 #: hydrate slices from local disk, so a coordinator at the same
 #: ``data_version`` skips the ``hydrate`` snapshot frames entirely.
-PROTOCOL_VERSION = 4
+#: Version 5 added the optional trailing **trace field** on ``score`` /
+#: ``score bounded`` / gateway ``query`` requests (distributed tracing,
+#: :mod:`repro.obs`) and the ``traces`` opcode for querying a peer's span
+#: ring buffer.
+PROTOCOL_VERSION = 5
+
+#: Protocol versions this build can interoperate with.  The hello
+#: handshake negotiates ``min(coordinator, node)``: a v5 coordinator
+#: talking to a v4 node (or vice versa) simply never sends trace fields
+#: or ``traces`` requests on that connection, and versions outside this
+#: set stay a typed :class:`HandshakeError`.
+SUPPORTED_PROTOCOL_VERSIONS = frozenset({4, 5})
+
+#: Lowest negotiated version at which trace fields / ``traces`` requests
+#: may be sent on a connection.
+TRACE_PROTOCOL_VERSION = 5
 
 #: Default ceiling on one frame's payload size (requests and responses).
 #: Generous for degree vectors (8 bytes per entity) while still refusing a
@@ -73,6 +89,7 @@ OP_QUERY = 7
 OP_GATEWAY_STATS = 8
 OP_SCORE_BOUNDED = 9
 OP_HYDRATE_DELTA = 10
+OP_TRACES = 11
 
 STATUS_OK = 0
 STATUS_ERROR = 1
@@ -257,6 +274,34 @@ class Reader:
         return np.frombuffer(data, dtype=WIRE_F64).astype(np.float64)
 
 
+def pack_trace_field(trace: tuple[int, int] | None) -> bytes:
+    """The optional trailing trace field: ``(trace_id, span_id)`` or absent.
+
+    Protocol v5.  Encoded as a presence byte plus two u64 ids; ``None``
+    encodes to **zero bytes** — which is exactly what a v4 frame looks
+    like, so receivers detect the field purely from leftover payload
+    (:func:`read_trace_field`) and v4 peers never see it at all.
+    """
+    if trace is None:
+        return b""
+    trace_id, span_id = trace
+    return _U8.pack(1) + _U64.pack(trace_id) + _U64.pack(span_id)
+
+
+def read_trace_field(reader: Reader) -> tuple[int, int] | None:
+    """Decode the optional trailing trace field; ``None`` when absent.
+
+    Must be called after every fixed field of the request has been read:
+    the field is detected by payload remaining, so a v4 frame (nothing
+    left) and an explicit absent marker both return ``None``.
+    """
+    if reader.remaining == 0:
+        return None
+    if not reader.read_u8():
+        return None
+    return reader.read_u64(), reader.read_u64()
+
+
 def encode_score_request(
     slice_id: int,
     attribute: str,
@@ -264,6 +309,7 @@ def encode_score_request(
     start: int,
     stop: int,
     rows: Sequence[int] | None,
+    trace: tuple[int, int] | None = None,
 ) -> bytes:
     """The ``score`` request frame: one slice's scoring work, indices only.
 
@@ -271,6 +317,9 @@ def encode_score_request(
     in-process sparse-gather heuristic.  Arrays never travel — the worker
     resolves ``(attribute, start, stop, rows)`` against its own rebuilt or
     hydrated columns, exactly like the PR 3 process backend's payloads.
+    ``trace`` optionally appends the v5 trace field (see
+    :func:`pack_trace_field`); only pass it on connections negotiated at
+    :data:`TRACE_PROTOCOL_VERSION` or above.
     """
     parts = [
         _U8.pack(OP_SCORE),
@@ -286,6 +335,7 @@ def encode_score_request(
         parts.append(_U8.pack(1))
         parts.append(_U32.pack(len(rows)))
         parts.append(np.asarray(rows, dtype=WIRE_U32).tobytes())
+    parts.append(pack_trace_field(trace))
     return b"".join(parts)
 
 
@@ -300,6 +350,7 @@ def encode_score_bounded_request(
     stop: int,
     rows: Sequence[int] | None,
     threshold: float,
+    trace: tuple[int, int] | None = None,
 ) -> bytes:
     """The ``score bounded`` request: a score request plus a prune threshold.
 
@@ -308,7 +359,8 @@ def encode_score_bounded_request(
     f64: the coordinator's current k-th best score.  The worker may answer
     any row with its degree *upper bound* instead of its exact degree as
     long as that bound is below the threshold — the response's exactness
-    mask says which is which.
+    mask says which is which.  ``trace`` optionally appends the v5 trace
+    field after the threshold.
     """
     parts = [
         _U8.pack(OP_SCORE_BOUNDED),
@@ -325,6 +377,7 @@ def encode_score_bounded_request(
         parts.append(_U32.pack(len(rows)))
         parts.append(np.asarray(rows, dtype=WIRE_U32).tobytes())
     parts.append(_F64.pack(threshold))
+    parts.append(pack_trace_field(trace))
     return b"".join(parts)
 
 
@@ -450,15 +503,48 @@ def encode_hello_ack(
 # ordering assumption.
 
 
-def encode_gateway_query(request_id: int, sql: str, top_k: int | None = None) -> bytes:
-    """The gateway ``query`` request frame: one SQL string plus an optional top-k."""
+def encode_gateway_query(
+    request_id: int,
+    sql: str,
+    top_k: int | None = None,
+    trace: tuple[int, int] | None = None,
+) -> bytes:
+    """The gateway ``query`` request frame: one SQL string plus an optional top-k.
+
+    ``trace`` optionally appends the v5 trace field so a client carrying
+    its own trace context can parent the gateway's spans on it.
+    """
     parts = [_U8.pack(OP_QUERY), _U32.pack(request_id), pack_str(sql)]
     if top_k is None:
         parts.append(_U8.pack(0))
     else:
         parts.append(_U8.pack(1))
         parts.append(_U32.pack(top_k))
+    parts.append(pack_trace_field(trace))
     return b"".join(parts)
+
+
+def encode_traces_request(trace_id: int = 0, limit: int = 0) -> bytes:
+    """The shard-service ``traces`` request: query a peer's span buffer.
+
+    ``trace_id`` filters to one trace (0 = all buffered spans); ``limit``
+    keeps only the newest N matches (0 = no limit).  The response is a
+    :data:`STATUS_OK` byte plus one string field holding a JSON array of
+    span dicts (:meth:`repro.obs.TraceStore.to_json`).  Protocol v5 —
+    only send on connections negotiated at that version.
+    """
+    return _U8.pack(OP_TRACES) + _U64.pack(trace_id) + _U32.pack(limit)
+
+
+def encode_gateway_traces_request(request_id: int, trace_id: int = 0, limit: int = 0) -> bytes:
+    """The gateway ``traces`` request (same opcode, gateway framing).
+
+    Gateway frames always carry the client's ``request_id`` after the
+    opcode; the filter fields match :func:`encode_traces_request` and the
+    response is a standard gateway response whose JSON body is the span
+    array.
+    """
+    return _U8.pack(OP_TRACES) + _U32.pack(request_id) + _U64.pack(trace_id) + _U32.pack(limit)
 
 
 def encode_gateway_stats_request(request_id: int) -> bytes:
@@ -507,9 +593,13 @@ def read_hello_ack(payload: bytes) -> tuple[int, int, list[int], bool]:
     """Decode a ``hello`` acknowledgement; typed errors, never a hang.
 
     Returns ``(protocol_version, data_version, owned_slice_ids,
-    local_store)``.  A transported node-side error or a protocol version
-    other than :data:`PROTOCOL_VERSION` raises :class:`HandshakeError`; a
-    malformed (truncated) acknowledgement does too.
+    local_store)``.  The acknowledged version may be any member of
+    :data:`SUPPORTED_PROTOCOL_VERSIONS` — the connection then runs at
+    ``min(PROTOCOL_VERSION, acked)``, which is how a v5 coordinator
+    negotiates trace fields *off* against a v4 node.  A transported
+    node-side error or an unsupported version raises
+    :class:`HandshakeError`; a malformed (truncated) acknowledgement does
+    too.
     """
     try:
         reader = Reader(payload)
@@ -517,10 +607,10 @@ def read_hello_ack(payload: bytes) -> tuple[int, int, list[int], bool]:
         if status != STATUS_OK:
             raise HandshakeError(f"node refused the handshake: {reader.read_str()}")
         version = reader.read_u32()
-        if version != PROTOCOL_VERSION:
+        if version not in SUPPORTED_PROTOCOL_VERSIONS:
             raise HandshakeError(
                 f"protocol version mismatch: node speaks {version}, "
-                f"coordinator speaks {PROTOCOL_VERSION}"
+                f"coordinator supports {sorted(SUPPORTED_PROTOCOL_VERSIONS)}"
             )
         data_version = reader.read_u64()
         owned = reader.read_u32_array(reader.read_u32())

@@ -94,12 +94,15 @@ from repro.serving.protocol import (
 from repro.serving.protocol import (
     OP_HYDRATE_DELTA as OP_HYDRATE_DELTA,  # re-export: cluster wire-format parity
 )
+from repro.obs.metrics import MetricsRegistry, cell_property
+from repro.obs.trace import current_wire_trace, global_trace_store, record_span, span
 from repro.serving.protocol import (
     OP_INVALIDATE,
     OP_SCORE,
     OP_SCORE_BOUNDED,
     OP_SHUTDOWN,
     OP_STATS,
+    OP_TRACES,
     STATUS_ERROR,
     STATUS_OK,
     FrameTooLargeError,
@@ -110,8 +113,10 @@ from repro.serving.protocol import (
     encode_score_bounded_request,
     encode_score_bounded_response,
     encode_score_request,
+    encode_traces_request,
     pack_str,
     read_score_bounded_response,
+    read_trace_field,
     recv_frame,
     send_frame,
 )
@@ -129,6 +134,7 @@ from repro.serving.sharded import (
     default_num_shards,
     partition_bounds,
 )
+from repro.utils.timing import now
 
 #: Default per-worker bound on memoised slice degree vectors.
 DEFAULT_WORKER_CACHE_SIZE = 4096
@@ -179,12 +185,27 @@ class ShardServiceWorker:
         # (the default router's hash of the key's first element) maps each
         # owned slice onto its own partition.
         self.cache = PartitionedLRUCache(max(1, len(self.owned_slice_ids)), cache_size)
-        self.score_requests = 0
-        self.kernel_calls = 0
-        self.invalidations = 0
-        self.bounded_requests = 0
-        self.entities_scored = 0  # rows scored exactly on the bounded path
-        self.entities_pruned = 0  # rows answered with a bound alone
+        # Worker counters live in a per-worker registry; the attributes
+        # below are value-read/cell-write properties over the cells, so
+        # the ``stats`` RPC dict and the registry always agree.
+        self.metrics = MetricsRegistry()
+        self._score_requests_cell = self.metrics.counter("score_requests")
+        self._kernel_calls_cell = self.metrics.counter("kernel_calls")
+        self._invalidations_cell = self.metrics.counter("invalidations")
+        self._bounded_requests_cell = self.metrics.counter("bounded_requests")
+        self._entities_scored_cell = self.metrics.counter(
+            "entities_scored", help="Rows scored exactly on the bounded path"
+        )
+        self._entities_pruned_cell = self.metrics.counter(
+            "entities_pruned", help="Rows answered with a bound alone"
+        )
+
+    score_requests = cell_property("_score_requests_cell")
+    kernel_calls = cell_property("_kernel_calls_cell")
+    invalidations = cell_property("_invalidations_cell")
+    bounded_requests = cell_property("_bounded_requests_cell")
+    entities_scored = cell_property("_entities_scored_cell")
+    entities_pruned = cell_property("_entities_pruned_cell")
 
     # ------------------------------------------------------------- dispatch
     def handle_frame(self, payload: bytes) -> tuple[bytes, bool]:
@@ -204,6 +225,8 @@ class ShardServiceWorker:
                 return self._handle_invalidate(reader), False
             if opcode == OP_STATS:
                 return self._handle_stats(), False
+            if opcode == OP_TRACES:
+                return self._handle_traces(reader), False
             if opcode == OP_SHUTDOWN:
                 return _U8.pack(STATUS_OK), True
             return _encode_error(f"unknown opcode {opcode}"), False
@@ -219,12 +242,26 @@ class ShardServiceWorker:
         rows: list[int] | None = None
         if reader.read_u8():
             rows = reader.read_u32_array(reader.read_u32())
+        trace = read_trace_field(reader)
+        started = now()
         self.score_requests += 1
         key = (slice_id, attribute, phrase, start, stop, tuple(rows) if rows is not None else None)
         vector = self.cache.get(key)
+        cached = vector is not None
         if vector is None:
             vector = self._score(attribute, phrase, start, stop, rows)
             self.cache.put(key, vector)
+        if trace is not None:
+            record_span(
+                "worker_score",
+                trace[0],
+                trace[1],
+                now() - started,
+                worker=self.index,
+                slice_id=slice_id,
+                attribute=attribute,
+                cached=cached,
+            )
         return _U8.pack(STATUS_OK) + _U32.pack(len(vector)) + vector.astype(_WIRE_F64).tobytes()
 
     def _handle_score_bounded(self, reader: _Reader) -> bytes:
@@ -237,14 +274,36 @@ class ShardServiceWorker:
         if reader.read_u8():
             rows = reader.read_u32_array(reader.read_u32())
         threshold = float(reader.read_f64_array(1)[0])
+        trace = read_trace_field(reader)
+        started = now()
         self.bounded_requests += 1
         key = (slice_id, attribute, phrase, start, stop, tuple(rows) if rows is not None else None)
+
+        def finish(response: bytes, scored: int, pruned: int, cached: bool) -> bytes:
+            if trace is not None:
+                record_span(
+                    "worker_score_bounded",
+                    trace[0],
+                    trace[1],
+                    now() - started,
+                    worker=self.index,
+                    slice_id=slice_id,
+                    attribute=attribute,
+                    scored=scored,
+                    pruned=pruned,
+                    cached=cached,
+                )
+            return response
+
         vector = self.cache.get(key)
         if vector is not None:
             # A memoised exact vector answers any threshold without new
             # kernel work — nothing was scored or pruned by this request.
-            return encode_score_bounded_response(
-                vector, np.ones(len(vector), dtype=bool), 0, 0
+            return finish(
+                encode_score_bounded_response(vector, np.ones(len(vector), dtype=bool), 0, 0),
+                0,
+                0,
+                True,
             )
         result = self._score_bounded(attribute, phrase, start, stop, rows, threshold)
         if result is None:
@@ -253,8 +312,13 @@ class ShardServiceWorker:
             vector = self._score(attribute, phrase, start, stop, rows)
             self.cache.put(key, vector)
             self.entities_scored += len(vector)
-            return encode_score_bounded_response(
-                vector, np.ones(len(vector), dtype=bool), len(vector), 0
+            return finish(
+                encode_score_bounded_response(
+                    vector, np.ones(len(vector), dtype=bool), len(vector), 0
+                ),
+                len(vector),
+                0,
+                False,
             )
         values, exact_mask, scored, pruned = result
         self.entities_scored += scored
@@ -264,7 +328,12 @@ class ShardServiceWorker:
             # responses; mixed vectors must never enter the cache (a bound
             # is not a degree).
             self.cache.put(key, values)
-        return encode_score_bounded_response(values, exact_mask, scored, pruned)
+        return finish(
+            encode_score_bounded_response(values, exact_mask, scored, pruned),
+            scored,
+            pruned,
+            False,
+        )
 
     def _score_bounded(
         self,
@@ -343,6 +412,18 @@ class ShardServiceWorker:
         }
         return _U8.pack(STATUS_OK) + _pack_str(json.dumps(stats))
 
+    def _handle_traces(self, reader: _Reader) -> bytes:
+        """Serve the worker's buffered spans (``OP_TRACES``, protocol v5).
+
+        The request carries a trace-id filter (0 = all) and a newest-N
+        limit (0 = no limit); the response is a JSON array of span dicts
+        from this process's global :class:`~repro.obs.TraceStore`.
+        """
+        trace_id = reader.read_u64()
+        limit = reader.read_u32()
+        payload = global_trace_store().to_json(trace_id=trace_id, limit=limit)
+        return _U8.pack(STATUS_OK) + _pack_str(payload)
+
     # ---------------------------------------------------------- socket loop
     def serve(self, sock: socket.socket) -> None:
         """Serve framed requests on ``sock`` until shutdown or peer EOF."""
@@ -386,6 +467,9 @@ def _worker_main(
             other.close()
         except OSError:
             pass
+    # The fork copies the coordinator's span buffer; without this clear,
+    # worker_traces() would re-serve the parent's spans as duplicates.
+    global_trace_store().clear()
     worker = ShardServiceWorker(
         index=index,
         database=database,
@@ -491,6 +575,11 @@ class ShardServiceClient:
         self.send(_U8.pack(OP_STATS))
         return json.loads(self.read_ok().read_str())
 
+    def traces(self, trace_id: int = 0, limit: int = 0) -> list[dict]:
+        """Span records from the worker's trace store (a ``traces`` RPC)."""
+        self.send(encode_traces_request(trace_id, limit))
+        return json.loads(self.read_ok().read_str())
+
     def close(self, kill: bool = False) -> None:
         """Stop the worker: graceful ``shutdown`` RPC, or ``kill`` outright.
 
@@ -574,18 +663,38 @@ class RpcShardStore:
         self._workers: list[ShardServiceClient] = []
         self._membership: object | None = None
         self._version = database.data_version
-        self.invalidations = 0
-        self.respawns = 0
-        self.fanouts = 0  # sharded kernel passes (one per predicate computation)
-        self.rpc_requests = 0  # individual score requests shipped to workers
-        self.entities_scored = 0  # requested rows scored exactly (bounded path)
-        self.entities_pruned = 0  # requested rows dismissed on a bound alone
+        self.metrics = MetricsRegistry()
+        self._invalidations_cell = self.metrics.counter(
+            "invalidations", help="Fleet teardowns forced by a data-version bump"
+        )
+        self._respawns_cell = self.metrics.counter(
+            "respawns", help="Worker-fleet forks (lazy spawns and crash recoveries)"
+        )
+        self._fanouts_cell = self.metrics.counter(
+            "fanouts", help="Sharded kernel passes (one per predicate computation)"
+        )
+        self._rpc_requests_cell = self.metrics.counter(
+            "rpc_requests", help="Individual score requests shipped to workers"
+        )
+        self._entities_scored_cell = self.metrics.counter(
+            "entities_scored", help="Requested rows scored exactly (bounded path)"
+        )
+        self._entities_pruned_cell = self.metrics.counter(
+            "entities_pruned", help="Requested rows dismissed on a bound alone"
+        )
         # Per-worker transport counters, shared with the client handles and
         # kept across respawns so partition_stats() describes the lifetime.
         self._worker_counters = [
             {"requests": 0, "bytes_sent": 0, "bytes_received": 0, "respawns": 0}
             for _ in range(num_workers)
         ]
+
+    invalidations = cell_property("_invalidations_cell")
+    respawns = cell_property("_respawns_cell")
+    fanouts = cell_property("_fanouts_cell")
+    rpc_requests = cell_property("_rpc_requests_cell")
+    entities_scored = cell_property("_entities_scored_cell")
+    entities_pruned = cell_property("_entities_pruned_cell")
 
     # ------------------------------------------------------------ lifecycle
     @property
@@ -741,8 +850,12 @@ class RpcShardStore:
                 per_worker.setdefault(self._owner_of[request[0]], []).append(request)
             try:
                 rounds = max(len(group) for group in per_worker.values())
-                for round_index in range(rounds):
-                    self._fanout_round(per_worker, round_index, attribute, phrase, batch)
+                with span("transport", layer="rpc", requests=len(requests)):
+                    trace = current_wire_trace()
+                    for round_index in range(rounds):
+                        self._fanout_round(
+                            per_worker, round_index, attribute, phrase, batch, trace
+                        )
             except Exception:
                 # Any failure mid-fan-out — a crash, a transported worker
                 # error, an oversized frame — can leave unread responses
@@ -802,23 +915,32 @@ class RpcShardStore:
             per_worker.setdefault(self._owner_of[request[0]], []).append(request)
         try:
             rounds = max(len(group) for group in per_worker.values())
-            for round_index in range(rounds):
-                for worker_index, group in per_worker.items():
-                    if round_index < len(group):
-                        slice_id, start, stop, slice_rows, _ = group[round_index]
-                        self._workers[worker_index].send(
-                            encode_score_bounded_request(
-                                slice_id, attribute, phrase, start, stop, slice_rows, threshold
+            with span("transport", layer="rpc", requests=len(requests), bounded=True):
+                trace = current_wire_trace()
+                for round_index in range(rounds):
+                    for worker_index, group in per_worker.items():
+                        if round_index < len(group):
+                            slice_id, start, stop, slice_rows, _ = group[round_index]
+                            self._workers[worker_index].send(
+                                encode_score_bounded_request(
+                                    slice_id,
+                                    attribute,
+                                    phrase,
+                                    start,
+                                    stop,
+                                    slice_rows,
+                                    threshold,
+                                    trace=trace,
+                                )
                             )
-                        )
-                for worker_index, group in per_worker.items():
-                    if round_index < len(group):
-                        scatter = group[round_index][4]
-                        vector, mask, _scored, _pruned = self._workers[
-                            worker_index
-                        ].read_score_bounded()
-                        values[scatter] = vector
-                        exact[scatter] = mask
+                    for worker_index, group in per_worker.items():
+                        if round_index < len(group):
+                            scatter = group[round_index][4]
+                            vector, mask, _scored, _pruned = self._workers[
+                                worker_index
+                            ].read_score_bounded()
+                            values[scatter] = vector
+                            exact[scatter] = mask
         except Exception:
             # Same hygiene as pair_degrees: a mid-fan-out failure can leave
             # unread responses queued; kill the fleet so the next query
@@ -842,6 +964,7 @@ class RpcShardStore:
         attribute: str,
         phrase: str,
         batch: np.ndarray,
+        trace: tuple[int, int] | None = None,
     ) -> None:
         """One fan-out round: write at most one request per worker, then read.
 
@@ -854,7 +977,9 @@ class RpcShardStore:
         for worker_index, group in per_worker.items():
             if round_index < len(group):
                 slice_id, start, stop, rows, _ = group[round_index]
-                payload = encode_score_request(slice_id, attribute, phrase, start, stop, rows)
+                payload = encode_score_request(
+                    slice_id, attribute, phrase, start, stop, rows, trace=trace
+                )
                 self._workers[worker_index].send(payload)
         for worker_index, group in per_worker.items():
             if round_index < len(group):
@@ -877,6 +1002,24 @@ class RpcShardStore:
             except RpcError:
                 continue
         return stats
+
+    def worker_traces(self, trace_id: int = 0, limit: int = 0) -> list[dict]:
+        """Span records collected from every live worker's trace store.
+
+        Workers record spans whenever a score frame carries a trace field,
+        so the coordinator can stitch a cross-process span tree by querying
+        the fleet after a traced query.  Dead or unreachable workers are
+        skipped, mirroring :meth:`worker_stats`.
+        """
+        spans: list[dict] = []
+        for client in self._workers:
+            if not client.alive:
+                continue
+            try:
+                spans.extend(client.traces(trace_id=trace_id, limit=limit))
+            except RpcError:
+                continue
+        return spans
 
     def partition_stats(self) -> list[dict[str, object]]:
         """One dict per worker: transport counters plus worker cache activity.

@@ -79,6 +79,8 @@ from repro.engine.expressions import (
     SubjectivePredicate,
 )
 from repro.errors import ExecutionError
+from repro.obs.metrics import MetricsRegistry, cell_property
+from repro.obs.trace import span
 from repro.serving.cache import PartitionedLRUCache
 from repro.serving.engine import _MISSING, CandidateSet, SubjectiveQueryEngine
 from repro.serving.plans import QueryPlan
@@ -363,11 +365,30 @@ class ShardedColumnarStore:
         self.backend = _make_backend(backend, max_workers or num_shards)
         self._slices: dict[str, list[ShardSlice] | None] = {}
         self._version = database.data_version
-        self.invalidations = 0
-        self.fanouts = 0  # sharded kernel passes (one per predicate computation)
-        self.shard_kernel_calls = 0  # individual per-slice kernel executions
-        self.entities_scored = 0  # rows scored exactly on the bounded path
-        self.entities_pruned = 0  # rows dismissed on a bound alone
+        # Counter cells in the store's registry; the public attributes are
+        # value-read/cell-write properties (cell_property) over them, so
+        # existing ``store.fanouts += 1`` call sites and value reads keep
+        # their old semantics while the registry exports the live cells.
+        self.metrics = MetricsRegistry()
+        self._invalidations_cell = self.metrics.counter("invalidations")
+        self._fanouts_cell = self.metrics.counter(
+            "fanouts", help="Sharded kernel passes (one per predicate computation)"
+        )
+        self._shard_kernel_calls_cell = self.metrics.counter(
+            "shard_kernel_calls", help="Individual per-slice kernel executions"
+        )
+        self._entities_scored_cell = self.metrics.counter(
+            "entities_scored", help="Rows scored exactly on the bounded path"
+        )
+        self._entities_pruned_cell = self.metrics.counter(
+            "entities_pruned", help="Rows dismissed on a bound alone"
+        )
+
+    invalidations = cell_property("_invalidations_cell")
+    fanouts = cell_property("_fanouts_cell")
+    shard_kernel_calls = cell_property("_shard_kernel_calls_cell")
+    entities_scored = cell_property("_entities_scored_cell")
+    entities_pruned = cell_property("_entities_pruned_cell")
 
     # ------------------------------------------------------------ lifecycle
     def invalidate(self) -> None:
@@ -1006,6 +1027,22 @@ class ShardedSubjectiveQueryEngine(SubjectiveQueryEngine):
             # Install the sharded store so every degree the processor
             # computes — through this engine or directly — is shard-routed.
             self.processor.columnar_store = self.sharded_store
+        self._register_store_metrics()
+
+    def _register_store_metrics(self) -> None:
+        """Adopt the installed store's instruments under ``store_*`` names.
+
+        Gives the engine's :attr:`metrics` registry one unified view of
+        coordinator-side serving counters *and* the store/fleet counters
+        (fanouts, RPC requests, hydrations, …) — the cells stay owned and
+        incremented by the store, exactly like the cache cells.
+        """
+        store = self.sharded_store
+        store_metrics = getattr(store, "metrics", None)
+        if store_metrics is None:
+            return
+        for name, instrument in store_metrics:
+            self.metrics.register(f"store_{name}", instrument)
 
     def _build_sharded_store(self, base: ColumnarSummaryStore | None, max_workers: int | None):
         """The shard-routed store this engine installs on its processor.
@@ -1143,7 +1180,8 @@ class ShardedSubjectiveQueryEngine(SubjectiveQueryEngine):
         if scores is None:
             return None
         limit = statement.limit or top_k or self.processor.top_k
-        selected = merge_shard_topk(scores, row_entities, self.num_shards, limit)
+        with span("merge", num_shards=self.num_shards, rows=len(row_entities)):
+            selected = merge_shard_topk(scores, row_entities, self.num_shards, limit)
         entities = [
             RankedEntity(
                 entity_id=row_entities[index],

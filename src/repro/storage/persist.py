@@ -58,6 +58,7 @@ from repro.core.domain import LinguisticDomain
 from repro.core.markers import Marker, MarkerSummary, SummaryKind
 from repro.engine.types import ColumnType
 from repro.errors import CatalogError, SchemaError, StorageError
+from repro.obs.metrics import MetricsRegistry, cell_property
 from repro.storage.catalog import (
     CATALOG_FILENAME,
     StorageCatalog,
@@ -665,8 +666,13 @@ class PersistentColumnarStore(ColumnarSummaryStore):
     def __init__(self, database: SubjectiveDatabase, reader: StoreReader) -> None:
         super().__init__(database)
         self.reader = reader
-        #: Number of column builds served straight from the memory maps.
-        self.mmap_serves = 0
+        self.metrics = MetricsRegistry()
+        self._mmap_serves_cell = self.metrics.counter(
+            "mmap_serves", help="Column builds served straight from the memory maps"
+        )
+
+    #: Number of column builds served straight from the memory maps.
+    mmap_serves = cell_property("_mmap_serves_cell")
 
     def _build(self, attribute: str) -> AttributeColumns | None:
         if self._version == self.reader.data_version:

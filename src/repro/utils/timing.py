@@ -1,4 +1,15 @@
-"""Timing helpers used by the experiment harness (Table 7 runtimes)."""
+"""Timing helpers: the shared clock plus experiment stopwatches.
+
+:func:`now` is the repo's single monotonic clock source — serving-layer
+latency stats and the :mod:`repro.obs` trace spans both read it, so a
+span's duration and the legacy ``total_seconds`` counters can never
+disagree about what a second is.  ``tools/check_timing_discipline.py``
+(run in CI lint) rejects new bare ``time.perf_counter()`` call sites
+outside this module and :mod:`repro.obs`.
+
+:class:`Stopwatch` / :func:`timed` serve the experiment harness (Table 7
+runtimes): accumulating measured sections while excluding setup.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +17,15 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
+
+#: The shared monotonic clock (seconds, arbitrary epoch).  An alias of
+#: ``time.perf_counter`` so routing call sites through it costs nothing.
+now = time.perf_counter
+
+
+def monotonic() -> float:
+    """Coarser monotonic clock for freshness/age checks (not for spans)."""
+    return time.monotonic()
 
 
 @dataclass

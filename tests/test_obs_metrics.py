@@ -1,0 +1,285 @@
+"""Metrics registry: instrument semantics, exporters, and the slow-query log.
+
+The observability layer's contract (ISSUE 10) is that the registry cells
+*are* the counters the serving layers mutate — the legacy dicts became
+views — so the cells must behave exactly like the plain ints they
+replaced on the read side (arithmetic, comparisons, dict deltas) while
+rejecting what a Prometheus counter rejects on the write side.  The
+cross-layer reconciliation against ``partition_stats()`` /
+``stats_snapshot()`` lives in ``test_obs_equivalence.py``; this module
+pins the instruments themselves, the exporters, the ``cell_property``
+migration shim, and the threshold-gated slow-query log.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    FuncGauge,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SlowQueryLog,
+    SpanRecord,
+    TraceStore,
+    as_plain,
+)
+from repro.obs.metrics import cell_property
+
+
+class TestCounter:
+    def test_inc_and_iadd_accumulate(self):
+        cell = Counter("hits")
+        cell.inc()
+        cell.inc(4)
+        cell += 2
+        assert int(cell) == 7
+
+    def test_iadd_returns_the_same_cell(self):
+        # ``self.hits += 1`` must keep the attribute pointing at the
+        # registered instrument, not rebind it to a plain int.
+        cell = Counter("hits")
+        alias = cell
+        alias += 1
+        assert alias is cell
+
+    def test_decrement_raises(self):
+        cell = Counter("hits")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            cell.inc(-1)
+        with pytest.raises(ValueError, match="cannot decrease"):
+            cell += -3
+
+    def test_read_side_numeric_protocol(self):
+        cell = Counter("hits")
+        cell.inc(10)
+        assert cell == 10 and cell != 9
+        assert cell > 9 and cell >= 10 and cell < 11 and cell <= 10
+        assert cell - 4 == 6 and 14 - cell == 4
+        assert cell + 1 == 11 and cell * 2 == 20
+        assert cell / 4 == 2.5 and 20 / cell == 2.0
+        assert float(cell) == 10.0 and bool(cell)
+        assert [0] * 3 + [1] * int(cell) == [0, 0, 0] + [1] * 10
+
+    def test_cell_to_cell_arithmetic(self):
+        before, after = Counter("a"), Counter("b")
+        after.inc(9)
+        before.inc(2)
+        assert after - before == 7
+        assert after == Counter("c", value=9)
+
+    def test_reset_rezeros(self):
+        cell = Counter("hits")
+        cell.inc(5)
+        cell.reset()
+        assert int(cell) == 0
+        cell.reset(3)
+        assert int(cell) == 3
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        cell = Gauge("depth")
+        cell.set(5)
+        cell += 2
+        cell -= 3
+        cell.dec()
+        assert int(cell) == 3
+        cell.inc(-2)  # gauges may go down
+        assert int(cell) == 1
+
+
+class TestFuncGauge:
+    def test_value_is_evaluated_at_read_time(self):
+        backing = {"total": 0}
+        gauge = FuncGauge("total", lambda: backing["total"])
+        assert gauge.value == 0
+        backing["total"] = 41
+        assert gauge.value == 41
+
+
+class TestHistogram:
+    def test_counts_sum_and_buckets(self):
+        histogram = Histogram("latency", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.02, 0.02, 0.5, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(2.545)
+        assert histogram.counts == [1, 2, 1, 1]  # last is the +inf bucket
+        assert histogram.cumulative_counts() == [1, 3, 4, 5]
+
+    def test_quantiles_are_ordered_and_clamped(self):
+        histogram = Histogram("latency", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.02, 0.02, 0.5, 2.0):
+            histogram.observe(value)
+        assert 0.0 <= histogram.p50() <= histogram.p95() <= histogram.p99()
+        # Observations beyond the last finite bound clamp to it.
+        overflow = Histogram("latency", buckets=(0.01,))
+        overflow.observe(5.0)
+        assert overflow.p99() == 0.01
+
+    def test_empty_histogram_quantiles_are_zero(self):
+        histogram = Histogram("latency")
+        assert histogram.p50() == histogram.p95() == histogram.p99() == 0.0
+
+    def test_invalid_buckets_and_quantiles_raise(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", buckets=(0.1, 0.1))
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", buckets=(0.2, 0.1))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram("h").quantile(1.5)
+
+    def test_default_buckets_bracket_the_warm_path(self):
+        histogram = Histogram("latency")
+        assert histogram.bounds == DEFAULT_LATENCY_BUCKETS
+        histogram.observe(0.0008)  # warm-path query
+        histogram.observe(0.08)  # cold cluster query
+        assert histogram.counts[-1] == 0  # neither overflowed
+
+
+class TestCellProperty:
+    class Holder:
+        def __init__(self) -> None:
+            self.metrics = MetricsRegistry()
+            self._hits_cell = self.metrics.counter("hits")
+
+        hits = cell_property("_hits_cell")
+
+    def test_reads_are_plain_int_snapshots(self):
+        holder = self.Holder()
+        before = holder.hits
+        holder._hits_cell.inc(5)
+        assert before == 0  # never aliases the mutating cell
+        assert holder.hits == 5
+        assert type(holder.hits) is int
+
+    def test_writes_land_in_the_registered_cell(self):
+        holder = self.Holder()
+        holder.hits += 3
+        holder.hits = 0
+        holder.hits += 1
+        assert int(holder.metrics.get("hits")) == 1
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_the_same_cell(self):
+        registry = MetricsRegistry()
+        assert registry.counter("hits") is registry.counter("hits")
+        assert registry.histogram("lat") is registry.histogram("lat")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("hits")
+        with pytest.raises(TypeError, match="not a Gauge"):
+            registry.gauge("hits")
+
+    def test_register_adopts_and_rejects_conflicts(self):
+        registry = MetricsRegistry()
+        cell = Counter("external")
+        assert registry.register("external", cell) is cell
+        assert registry.register("external", cell) is cell  # idempotent
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("external", Counter("other"))
+
+    def test_iteration_is_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zebra")
+        registry.counter("apple")
+        registry.gauge("mango")
+        assert [name for name, _ in registry] == ["apple", "mango", "zebra"]
+        assert len(registry) == 3 and "apple" in registry and "kiwi" not in registry
+
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(2)
+        registry.gauge("depth").set(4)
+        registry.func_gauge("view", lambda: 7)
+        registry.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["hits"] == 2 and snapshot["depth"] == 4 and snapshot["view"] == 7
+        assert snapshot["lat"]["count"] == 1
+
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry(namespace="repro")
+        registry.counter("cache hits", help="total cache hits").inc(3)
+        registry.histogram("latency_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        text = registry.to_prometheus()
+        assert "# HELP repro_cache_hits total cache hits" in text
+        assert "# TYPE repro_cache_hits counter" in text
+        assert "repro_cache_hits 3" in text
+        assert "# TYPE repro_latency_seconds histogram" in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_latency_seconds_count 1" in text
+
+    def test_json_lines_export_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(1)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        rows = [json.loads(line) for line in registry.to_json_lines().splitlines()]
+        assert {row["name"] for row in rows} == {"hits", "lat"}
+        assert {row["kind"] for row in rows} == {"counter", "histogram"}
+
+
+class TestAsPlain:
+    def test_unwraps_cells_recursively(self):
+        hits = Counter("hits")
+        hits.inc(3)
+        nested = {"hits": hits, "inner": {"depth": Gauge("d")}, "rows": [{"n": hits}], "x": 1}
+        plain = as_plain(nested)
+        assert plain == {"hits": 3, "inner": {"depth": 0}, "rows": [{"n": 3}], "x": 1}
+        assert json.loads(json.dumps(plain)) == plain
+
+
+class TestSlowQueryLog:
+    def test_disabled_log_records_nothing(self):
+        log = SlowQueryLog()
+        assert not log.enabled
+        assert log.maybe_record("select 1", seconds=99.0) is None
+        assert log.records() == []
+
+    def test_threshold_gates_capture(self):
+        log = SlowQueryLog(threshold_seconds=0.1)
+        assert log.maybe_record("fast", seconds=0.05) is None
+        record = log.maybe_record("slow", seconds=0.25, entities_scored=7, entities_pruned=3)
+        assert record is not None and record.sql == "slow"
+        assert record.entities_scored == 7 and record.entities_pruned == 3
+        assert [r.sql for r in log.records()] == ["slow"]
+
+    def test_span_tree_is_copied_at_capture_time(self):
+        store = TraceStore()
+        store.record(
+            SpanRecord(
+                name="query", trace_id=5, span_id=1, parent_id=0, start=0.0, duration=0.2
+            )
+        )
+        store.record(
+            SpanRecord(
+                name="score", trace_id=5, span_id=2, parent_id=1, start=0.01, duration=0.1
+            )
+        )
+        log = SlowQueryLog(threshold_seconds=0.1)
+        record = log.maybe_record("slow", seconds=0.2, trace_id=5, trace_store=store)
+        assert [s["name"] for s in record.spans] == ["query", "score"]
+        store.clear()  # the record keeps its copy after the ring moves on
+        assert len(record.spans) == 2
+
+    def test_ring_is_bounded(self):
+        log = SlowQueryLog(threshold_seconds=0.0, capacity=2)
+        for index in range(4):
+            log.maybe_record(f"q{index}", seconds=1.0)
+        assert [r.sql for r in log.records()] == ["q2", "q3"]
+
+    def test_json_lines_round_trip(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        log.maybe_record("select 1", seconds=0.5)
+        rows = [json.loads(line) for line in log.to_json_lines().splitlines()]
+        assert rows[0]["sql"] == "select 1" and rows[0]["seconds"] == 0.5

@@ -511,6 +511,50 @@ class TestStats:
         assert snapshot["requests"] == 1
         assert snapshot["queue_depth"] == 0
 
+    def test_fresh_engine_snapshot_is_not_stale(self, hotel_database):
+        engine = SubjectiveQueryEngine(database=hotel_database)
+        with start_gateway(engine) as handle, GatewayClient(*handle.address) as client:
+            client.query(HOTEL_QUERIES[0], top_k=5)
+            stats = client.stats()
+        section = stats["engine"]
+        assert section["stale"] is False
+        assert section["snapshot_age_seconds"] >= 0.0
+
+    def test_saturated_engine_serves_cached_snapshot_marked_stale(self, hotel_database):
+        # The satellite fix from ISSUE 10: while the engine thread is
+        # busy, the stats opcode serves the cached engine snapshot — and
+        # must say so, with the snapshot's age, instead of passing the
+        # cache off as live data.
+        engine = SubjectiveQueryEngine(database=hotel_database)
+
+        async def body():
+            gateway = ServingGateway(engine, batch_window=0.005)
+            host, port = await gateway.start()
+            try:
+                client = await AsyncGatewayClient.connect(host, port)
+                fresh = await client.stats()  # caches a snapshot while idle
+                assert fresh["engine"]["stale"] is False
+                with BlockedEngine(gateway) as blocked:
+                    task = asyncio.ensure_future(
+                        client.query(HOTEL_QUERIES[0], top_k=5)
+                    )
+                    while gateway.counters.requests < 1:
+                        await asyncio.sleep(0.005)
+                    stale = await asyncio.wait_for(client.stats(), timeout=5)
+                    assert stale["engine"]["stale"] is True
+                    assert stale["engine"]["snapshot_age_seconds"] >= 0.0
+                    blocked.release()
+                    await task
+                # Engine idle again: the next payload refreshes and clears
+                # the marker.
+                recovered = await client.stats()
+                assert recovered["engine"]["stale"] is False
+                await client.close()
+            finally:
+                await gateway.stop()
+
+        run(body())
+
 
 # ---------------------------------------------------------------------------
 # Transport edges

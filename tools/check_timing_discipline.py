@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Reject bare ``time.perf_counter()`` call sites outside the timing module.
+
+Every wall-clock measurement in ``src/repro`` must route through the
+helpers of :mod:`repro.utils.timing` (``now``, ``monotonic``,
+``Stopwatch``, ``timed``).  One funnel keeps the clock swappable — the
+observability layer's histograms and spans, the serving engines' latency
+accounting, and the benchmarks all agree on a single time source — and
+makes the discipline checkable: this script walks the tree with
+:mod:`ast` (never imports anything) and fails on any ``perf_counter``
+reference in a module that is not allowed to own one.
+
+Allowed owners:
+
+* ``src/repro/utils/timing.py`` — the funnel itself;
+* anything under ``src/repro/obs/`` — the observability subsystem may
+  alias the timing helpers but in practice imports ``now`` too; the
+  allowance keeps the gate about *discipline*, not circular imports.
+
+Everything else in ``src/repro`` fails the check, whether the reference
+is ``time.perf_counter(...)``, ``from time import perf_counter``, or a
+bare ``perf_counter`` name imported under an alias.  Exit status 0 when
+clean, 1 with one ``path:line`` diagnostic per violation.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Files and directory prefixes (relative to the repo root, POSIX form)
+#: allowed to reference ``perf_counter`` directly.
+ALLOWED = (
+    "src/repro/utils/timing.py",
+    "src/repro/obs/",
+)
+
+
+def is_allowed(path: Path) -> bool:
+    """Whether one source file may own direct ``perf_counter`` references."""
+    relative = path.relative_to(REPO_ROOT).as_posix()
+    return any(
+        relative == entry or (entry.endswith("/") and relative.startswith(entry))
+        for entry in ALLOWED
+    )
+
+
+def violations_in(path: Path) -> list[tuple[int, str]]:
+    """``(line, detail)`` for every direct ``perf_counter`` reference."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError) as error:
+        return [(1, f"unparsable ({error})")]
+    found: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr == "perf_counter":
+            found.append((node.lineno, "time.perf_counter reference"))
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "perf_counter":
+                    found.append((node.lineno, "from time import perf_counter"))
+    return found
+
+
+def main() -> int:
+    """Scan ``src/repro``; print violations and return the exit status."""
+    violations: list[str] = []
+    checked = 0
+    for path in sorted(SOURCE_ROOT.rglob("*.py")):
+        if is_allowed(path):
+            continue
+        checked += 1
+        for line, detail in violations_in(path):
+            relative = path.relative_to(REPO_ROOT).as_posix()
+            violations.append(
+                f"{relative}:{line}: {detail} — route through repro.utils.timing"
+                " (now/monotonic/Stopwatch/timed)"
+            )
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    print(f"checked {checked} files: {len(violations)} timing-discipline violations")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Render exported trace spans as per-trace trees with self-time accounting.
+
+Input is the span export of :class:`repro.obs.trace.TraceStore` — either a
+JSON array (``to_json`` / the ``OP_TRACES`` response body) or JSON lines
+(``to_json_lines``), read from a file argument or stdin.  Spans from
+several processes may be concatenated freely: coordinator spans and the
+worker/node spans fetched over ``OP_TRACES`` share trace and parent ids,
+so the report stitches them into one tree per trace.
+
+For every span the report shows its wall time and its *self* time (wall
+time minus the wall time of its direct children), which is what makes a
+slow stage stand out: a ``query`` span whose time is all in ``score`` has
+near-zero self time, while a coordinator stall shows up as self time on
+the parent.  Spans whose parent is absent from the export (for example a
+worker span whose coordinator span fell off the ring buffer) are rendered
+as roots, marked ``(orphan)``.
+
+Usage::
+
+    python tools/trace_report.py spans.json
+    python tools/trace_report.py --trace 123456789 spans.jsonl
+    ... | python tools/trace_report.py -
+
+Stdlib only; exit status 0 on success, 1 on unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def parse_spans(text: str) -> list[dict]:
+    """Span dicts from a JSON array or JSON-lines export (order preserved)."""
+    stripped = text.strip()
+    if not stripped:
+        return []
+    if stripped.startswith("["):
+        rows = json.loads(stripped)
+        if not isinstance(rows, list):
+            raise ValueError("top-level JSON value is not an array of spans")
+        return [dict(row) for row in rows]
+    rows = []
+    for number, line in enumerate(stripped.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rows.append(dict(json.loads(line)))
+        except json.JSONDecodeError as error:
+            raise ValueError(f"line {number} is not a JSON span object ({error})") from error
+    return rows
+
+
+def _children_index(spans: list[dict]) -> dict[int, list[dict]]:
+    """Direct children of every span id, in recorded order."""
+    index: dict[int, list[dict]] = {}
+    for span in spans:
+        index.setdefault(int(span.get("parent_id", 0)), []).append(span)
+    return index
+
+
+def self_seconds(span: dict, children: list[dict]) -> float:
+    """One span's duration minus its direct children's durations (floored at 0)."""
+    duration = float(span.get("duration", 0.0))
+    return max(0.0, duration - sum(float(child.get("duration", 0.0)) for child in children))
+
+
+def _format_attrs(attrs: dict) -> str:
+    """Free-form span attributes as a compact ``key=value`` suffix."""
+    if not attrs:
+        return ""
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        shown = repr(value) if isinstance(value, str) else value
+        parts.append(f"{key}={shown}")
+    return "  [" + " ".join(str(part) for part in parts) + "]"
+
+
+def render_trace(trace_id: int, spans: list[dict]) -> list[str]:
+    """The report lines of one trace: a tree with wall and self times."""
+    by_id = {int(span["span_id"]): span for span in spans}
+    children_of = _children_index(spans)
+    total = sum(
+        float(span.get("duration", 0.0))
+        for span in spans
+        if int(span.get("parent_id", 0)) not in by_id
+    )
+    lines = [f"trace {trace_id}  ({len(spans)} spans, {total * 1000:.3f} ms)"]
+
+    def walk(span: dict, depth: int, orphan: bool) -> None:
+        span_children = children_of.get(int(span["span_id"]), [])
+        duration = float(span.get("duration", 0.0))
+        self_time = self_seconds(span, span_children)
+        marker = "  (orphan)" if orphan else ""
+        lines.append(
+            f"{'  ' * depth}- {span.get('name', '?')}  "
+            f"{duration * 1000:.3f} ms  (self {self_time * 1000:.3f} ms)"
+            f"{_format_attrs(dict(span.get('attrs') or {}))}{marker}"
+        )
+        for child in sorted(span_children, key=lambda s: float(s.get("start", 0.0))):
+            walk(child, depth + 1, orphan=False)
+
+    roots = [span for span in spans if int(span.get("parent_id", 0)) not in by_id]
+    for root in sorted(roots, key=lambda s: float(s.get("start", 0.0))):
+        walk(root, 1, orphan=int(root.get("parent_id", 0)) != 0)
+    return lines
+
+
+def report(spans: list[dict], trace_filter: int = 0) -> str:
+    """The full report over every trace id present (newest trace last)."""
+    if trace_filter:
+        spans = [span for span in spans if int(span.get("trace_id", 0)) == trace_filter]
+    if not spans:
+        return "no spans" + (f" for trace {trace_filter}" if trace_filter else "")
+    order: dict[int, None] = {}
+    for span in spans:
+        order.setdefault(int(span.get("trace_id", 0)), None)
+    blocks = []
+    for trace_id in order:
+        members = [span for span in spans if int(span.get("trace_id", 0)) == trace_id]
+        blocks.append("\n".join(render_trace(trace_id, members)))
+    return "\n\n".join(blocks)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: read an export, print the span trees."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="span export (JSON array or JSON lines); '-' for stdin")
+    parser.add_argument(
+        "--trace", type=int, default=0, help="only render this trace id (default: all)"
+    )
+    arguments = parser.parse_args(argv)
+    try:
+        if arguments.path == "-":
+            text = sys.stdin.read()
+        else:
+            with open(arguments.path, encoding="utf-8") as handle:
+                text = handle.read()
+        spans = parse_spans(text)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(report(spans, trace_filter=arguments.trace))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
